@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates the configuration tables the evaluation sweeps run over:
+ * Table VII (CPU frequency configurations B1-B4, OC1-OC3), Table VIII
+ * (GPU configurations Base, OCG1-OCG3), and Table IX (the application
+ * catalog with each app's metric of interest).
+ */
+
+#include <iostream>
+
+#include "hw/configs.hh"
+#include "workload/app.hh"
+#include "workload/gpu_training.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+int
+main()
+{
+    util::printHeading(std::cout,
+                       "Table VII: CPU frequency configurations");
+    util::TableWriter cpu({"Config", "Core [GHz]", "Voltage offset [mV]",
+                           "Turbo", "LLC [GHz]", "Memory [GHz]"});
+    for (const auto &config : hw::cpuConfigCatalog()) {
+        cpu.addRow({config.name, util::fmt(config.core, 1),
+                    util::fmt(config.voltageOffsetMv, 0),
+                    config.isOverclock() ? "N/A"
+                                         : (config.turboEnabled ? "yes"
+                                                                : "no"),
+                    util::fmt(config.llc, 1), util::fmt(config.memory, 1)});
+    }
+    cpu.print(std::cout);
+
+    util::printHeading(std::cout, "Table VIII: GPU configurations");
+    util::TableWriter gpu({"Config", "Power [W]", "Base [GHz]",
+                           "Turbo [GHz]", "Memory [GHz]",
+                           "Voltage offset [mV]"});
+    for (const auto &config : hw::gpuConfigCatalog()) {
+        gpu.addRow({config.name, util::fmt(config.powerLimit, 0),
+                    util::fmt(config.base, 2), util::fmt(config.turbo, 3),
+                    util::fmt(config.memory, 1),
+                    util::fmt(config.voltageOffsetMv, 0)});
+    }
+    gpu.print(std::cout);
+
+    util::printHeading(std::cout, "Table IX: application catalog");
+    util::TableWriter apps({"Application", "#Cores", "Source", "Metric",
+                            "Core/LLC/Mem/IO split"});
+    for (const auto &app : workload::appCatalog()) {
+        apps.addRow({app.name, util::fmt(app.cores, 0),
+                     app.inHouse ? "in-house" : "public",
+                     workload::metricName(app.metric),
+                     util::fmt(app.work.core, 2) + "/" +
+                         util::fmt(app.work.llc, 2) + "/" +
+                         util::fmt(app.work.mem, 2) + "/" +
+                         util::fmt(app.work.io, 2)});
+    }
+    apps.addRow({"VGG", "16", "public", "Seconds",
+                 "GPU training (6 variants, Fig. 11)"});
+    apps.addRow({"STREAM", "16", "public", "MB/S",
+                 "memory bandwidth kernels (Fig. 10)"});
+    apps.print(std::cout);
+    std::cout << "The Core/LLC/Mem/IO split is this repo's calibrated"
+                 " bottleneck decomposition\n(the substitution for the"
+                 " closed-source binaries; see DESIGN.md).\n";
+    return 0;
+}

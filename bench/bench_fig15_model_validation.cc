@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig. 15: validation of the Eq. 1 utilization model. Three
+ * server VMs serve a load that steps through 1000/2000/500/3000/1000 QPS
+ * every 5 minutes; the auto-scaler may only scale up/down (no
+ * scale-out). The trace shows the model driving utilization back under
+ * the 40 % threshold whenever a frequency exists that can, and the
+ * frequency relaxing when load drops.
+ */
+
+#include <iostream>
+
+#include "autoscale/experiment.hh"
+#include "autoscale/model.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+int
+main()
+{
+    util::printHeading(
+        std::cout,
+        "Fig. 15: Eq. 1 model validation (3 VMs, scale-up/down only)");
+    std::cout << "Load: 1000 / 2000 / 500 / 3000 / 1000 QPS, 5 minutes"
+                 " each. Frequency range\nB2 (3.4 GHz) to OC1 (4.1 GHz),"
+                 " 8 bins; scale-up threshold 40%.\n\n";
+
+    const auto scaled = autoscale::runValidationExperiment(true);
+    const auto flat = autoscale::runValidationExperiment(false);
+
+    const autoscale::FrequencyGrid grid(3.4, 4.1, 8);
+    util::TableWriter table({"t [s]", "QPS", "Util (no scaling)",
+                             "Util (model)", "Frequency",
+                             "Freq [% of range]"});
+    const std::vector<double> levels{1000, 2000, 500, 3000, 1000};
+    for (std::size_t i = 0; i < scaled.trace.size(); ++i) {
+        const auto &point = scaled.trace[i];
+        // Print one row every 30 s to keep the series readable.
+        if (static_cast<long>(point.time) % 30 != 0)
+            continue;
+        const auto level_idx = std::min<std::size_t>(
+            static_cast<std::size_t>(point.time / 300.0), 4);
+        const double flat_util =
+            i < flat.trace.size() ? flat.trace[i].util30 : 0.0;
+        table.addRow({util::fmt(point.time, 0),
+                      util::fmt(levels[level_idx], 0),
+                      util::fmt(flat_util * 100.0, 1) + "%",
+                      util::fmt(point.util30 * 100.0, 1) + "%",
+                      util::fmt(point.frequency, 2) + " GHz",
+                      util::fmt(grid.spanFraction(point.frequency) * 100.0,
+                                0) + "%"});
+    }
+    table.print(std::cout);
+
+    // Summary statistics per load level.
+    util::printHeading(std::cout, "Per-level summary");
+    util::TableWriter summary({"QPS", "Util no-scaling (last 2 min)",
+                               "Util model (last 2 min)",
+                               "Freq (last 2 min)"});
+    for (std::size_t level = 0; level < levels.size(); ++level) {
+        const Seconds lo = 300.0 * level + 180.0;
+        const Seconds hi = 300.0 * (level + 1);
+        double flat_util = 0.0;
+        double model_util = 0.0;
+        double freq = 0.0;
+        int count = 0;
+        for (std::size_t i = 0; i < scaled.trace.size(); ++i) {
+            const auto &point = scaled.trace[i];
+            if (point.time < lo || point.time > hi)
+                continue;
+            model_util += point.util30;
+            freq += point.frequency;
+            if (i < flat.trace.size())
+                flat_util += flat.trace[i].util30;
+            ++count;
+        }
+        if (!count)
+            continue;
+        summary.addRow({util::fmt(levels[level], 0),
+                        util::fmt(flat_util / count * 100.0, 1) + "%",
+                        util::fmt(model_util / count * 100.0, 1) + "%",
+                        util::fmt(freq / count, 2) + " GHz"});
+    }
+    summary.print(std::cout);
+    std::cout << "Paper shape: at 2000 QPS the model raises frequency in"
+                 " steps until utilization\ndrops below 40%; at 500 QPS"
+                 " it relaxes to the base clock; at 3000 QPS even the\n"
+                 "maximum frequency leaves utilization above the scale-out"
+                 " threshold, which would\ntrigger a scale-out in the"
+                 " full system.\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Regenerates Fig. 9: normalized metric of interest plus average and
+ * P99 server power for the cloud applications of Table IX across the
+ * Table VII configurations (B2 = 1.0 baseline).
+ *
+ * Latency-metric rows come from the M/G/k queueing simulation with
+ * service times scaled by the bottleneck model; time/throughput rows
+ * come from the bottleneck model directly. Power is the small-tank-#1
+ * server (Xeon W-3175X in HFE-7000) at each application's activity.
+ */
+
+#include <iostream>
+
+#include "hw/configs.hh"
+#include "hw/cpu.hh"
+#include "sim/simulation.hh"
+#include "thermal/cooling.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "workload/app.hh"
+#include "workload/perf.hh"
+#include "workload/queueing.hh"
+
+using namespace imsim;
+
+namespace {
+
+/** Rest-of-server power for the small-tank-#1 machine [W]. */
+Watts
+restOfServer(GHz mem_clock)
+{
+    // 8 DIMMs at 5 W (scaling with clock) + motherboard + storage.
+    return 40.0 * (mem_clock / 2.4) + 26.0 + 24.0;
+}
+
+/** Server power for an app under a config. */
+Watts
+serverPower(const workload::AppProfile &app, const hw::CpuConfig &config,
+            double burst)
+{
+    static const thermal::TwoPhaseImmersionCooling cooling(
+        thermal::hfe7000());
+    auto cpu = hw::CpuModel::xeonW3175x();
+    cpu.applyConfig(config);
+    const double activity = std::min(1.0, app.activity * burst);
+    return cpu.power(cooling, activity).total + restOfServer(config.memory);
+}
+
+/** Normalized latency metric via the queueing simulation. */
+double
+queueingMetric(const workload::AppProfile &app, const hw::CpuConfig &config)
+{
+    const auto run = [&](GHz core, double service_scale) {
+        sim::Simulation sim;
+        workload::QueueingCluster::Params params;
+        params.serviceMean = app.serviceMean * service_scale;
+        params.serviceCv = app.serviceCv;
+        params.kappa = 1.0; // Scaling is already folded into the mean.
+        params.refFreq = core;
+        params.threadsPerServer = app.cores;
+        workload::QueueingCluster cluster(sim, util::Rng(99), params);
+        cluster.addServer(core);
+        // Load the app to ~55 % of one VM.
+        cluster.setArrivalRate(0.55 * app.cores / app.serviceMean);
+        sim.runUntil(120.0);
+        return app.metric == workload::Metric::P99Latency
+                   ? cluster.latencies().p99()
+                   : cluster.latencies().p95();
+    };
+    // Fold the full bottleneck model into the service-time scale.
+    const double scale = workload::relativeTime(
+        app.work, {config.core, config.llc, config.memory});
+    const double baseline = run(3.4, 1.0);
+    const double value = run(config.core, scale);
+    return value / baseline;
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printHeading(
+        std::cout,
+        "Fig. 9: normalized metric (B2 = 1.00; latency/time rows: lower "
+        "is better,\nOPS rows: higher is better)");
+
+    const std::vector<std::string> configs{"B1", "B3", "B4",
+                                           "OC1", "OC2", "OC3"};
+    std::vector<std::string> header{"Application", "Metric"};
+    for (const auto &name : configs)
+        header.push_back(name);
+    util::TableWriter table(header);
+
+    for (const auto &app : workload::appCatalog()) {
+        std::vector<std::string> row{app.name,
+                                     workload::metricName(app.metric)};
+        const bool latency =
+            app.metric == workload::Metric::P95Latency ||
+            app.metric == workload::Metric::P99Latency;
+        for (const auto &name : configs) {
+            const auto &config = hw::cpuConfig(name);
+            const double value =
+                latency ? queueingMetric(app, config)
+                        : workload::relativeMetric(
+                              app, {config.core, config.llc,
+                                    config.memory});
+            row.push_back(util::fmt(value, 2));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "Paper shape: every app improves 10-25% under"
+                 " overclocking; OC1 (core) is the\nbiggest single lever"
+                 " except for TeraSort and DiskSpeed; memory overclocking"
+                 "\n(OC3) helps memory-bound SQL most; Training and BI"
+                 " barely respond to cache or\nmemory clocks.\n";
+
+    util::printHeading(std::cout,
+                       "Fig. 9 (lower panel): server power draw [W]");
+    std::vector<std::string> pheader{"Application", "Power"};
+    for (const auto &name : configs)
+        pheader.push_back(name);
+    pheader.push_back("B2");
+    util::TableWriter power_table(pheader);
+    for (const auto &app : workload::appCatalog()) {
+        std::vector<std::string> avg{app.name, "avg"};
+        std::vector<std::string> p99{"", "P99"};
+        for (const auto &name : configs) {
+            const auto &config = hw::cpuConfig(name);
+            avg.push_back(util::fmt(serverPower(app, config, 1.0), 0));
+            p99.push_back(
+                util::fmt(serverPower(app, config, app.burstiness), 0));
+        }
+        const auto &b2 = hw::cpuConfig("B2");
+        avg.push_back(util::fmt(serverPower(app, b2, 1.0), 0));
+        p99.push_back(util::fmt(serverPower(app, b2, app.burstiness), 0));
+        power_table.addRow(avg);
+        power_table.addRow(p99);
+    }
+    power_table.print(std::cout);
+    std::cout << "Paper shape: OC1 raises P99 power noticeably; OC2 adds"
+                 " only marginal power;\nOC3 (memory) raises power"
+                 " substantially for every app.\n";
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's hot paths: the DES
+ * event loop, Eq. 1 evaluation, the lifetime model, the coupled socket
+ * power solve, the hypervisor scheduler step, and the queueing cluster.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/counters.hh"
+#include "power/socket_power.hh"
+#include "reliability/lifetime.hh"
+#include "sim/simulation.hh"
+#include "thermal/cooling.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "vm/hypervisor.hh"
+#include "workload/app.hh"
+#include "workload/queueing.hh"
+
+using namespace imsim;
+
+namespace {
+
+void
+BM_SimulationEventLoop(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        int counter = 0;
+        for (int i = 0; i < state.range(0); ++i) {
+            sim.at(static_cast<double>(i % 97),
+                   [&counter] { ++counter; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(counter);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulationEventLoop)->Arg(1000)->Arg(10000);
+
+void
+BM_Eq1Prediction(benchmark::State &state)
+{
+    double util = 0.42;
+    for (auto _ : state) {
+        util = hw::predictedUtilization(util, 0.87, 3.4, 4.1);
+        util = hw::predictedUtilization(util, 0.87, 4.1, 3.4);
+        benchmark::DoNotOptimize(util);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Eq1Prediction);
+
+void
+BM_LifetimeEvaluation(benchmark::State &state)
+{
+    const reliability::LifetimeModel model;
+    reliability::StressCondition cond;
+    cond.voltage = 0.98;
+    cond.tjMax = 74.0;
+    cond.tMin = 50.0;
+    cond.freqRatio = 1.23;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.lifetime(cond));
+        cond.tjMax += 1e-9; // Defeat caching.
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LifetimeEvaluation);
+
+void
+BM_SocketPowerSolve(benchmark::State &state)
+{
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    const thermal::TwoPhaseImmersionCooling cooling(thermal::fc3284());
+    power::OperatingPoint op{2.6, 0.90, 1.0};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(socket.solve(op, cooling).total);
+        op.frequency += 1e-9;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SocketPowerSolve);
+
+void
+BM_TurboEffectiveFrequency(benchmark::State &state)
+{
+    const auto governor = hw::TurboGovernor::skylake8180();
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    const thermal::TwoPhaseImmersionCooling cooling(thermal::fc3284());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            governor.effectiveFrequency(socket, cooling, 28));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TurboEffectiveFrequency);
+
+void
+BM_HypervisorStep(benchmark::State &state)
+{
+    vm::HypervisorSim sim(16, {3.4, 2.4, 2.4}, util::Rng(1));
+    for (int i = 0; i < 4; ++i)
+        sim.addLatencyVm(workload::app("SQL"), 500.0);
+    sim.addBatchVm(workload::app("BI"));
+    for (auto _ : state)
+        sim.run(0.1); // 100 scheduler steps.
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_HypervisorStep);
+
+void
+BM_QueueingClusterSecond(benchmark::State &state)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 2.6e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(2), params);
+    cluster.addServer(3.4);
+    cluster.addServer(3.4);
+    cluster.setArrivalRate(2000.0);
+    Seconds horizon = 0.0;
+    for (auto _ : state) {
+        horizon += 1.0;
+        sim.runUntil(horizon); // ~2000 requests/iteration.
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_QueueingClusterSecond);
+
+void
+BM_PercentileEstimator(benchmark::State &state)
+{
+    util::Rng rng(3);
+    for (auto _ : state) {
+        util::PercentileEstimator est;
+        for (int i = 0; i < state.range(0); ++i)
+            est.add(rng.uniform());
+        benchmark::DoNotOptimize(est.p95());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PercentileEstimator)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

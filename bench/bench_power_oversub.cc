@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regenerates the Sec. IV power-management discussion (Takeaway 1) as an
+ * experiment: a power-oversubscribed feed hosting diurnal racks under
+ * three overclocking policies — never, always, and power-aware — plus
+ * the wear-credit scheduler's five-year ledger (the paper's wear-out
+ * counter direction).
+ */
+
+#include <iostream>
+
+#include "cluster/datacenter.hh"
+#include "core/credit.hh"
+#include "reliability/lifetime.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+namespace {
+
+void
+powerOversubscription()
+{
+    util::printHeading(
+        std::cout,
+        "Sec. IV Takeaway 1: overclocking under power oversubscription");
+    std::cout << "3 racks x 24 servers (one latency rack at higher"
+                 " capping priority), 40 kW feed,\n30% oversubscribed,"
+                 " 14 simulated days of diurnal load.\n\n";
+
+    cluster::RackConfig batch;
+    batch.priority = 1;
+    cluster::RackConfig latency;
+    latency.priority = 2;
+    latency.overclockDemand = 0.7;
+    cluster::DatacenterPowerSim sim({batch, batch, latency}, 40000.0,
+                                    1.3, 1.2);
+
+    util::TableWriter table({"Policy", "Feed util", "Capping time",
+                             "OC demand served", "OC wasted (capped)",
+                             "Delivered speedup", "Energy [MWh]"});
+    struct Row
+    {
+        const char *name;
+        cluster::OverclockPolicy policy;
+    };
+    for (const Row &row :
+         {Row{"Never overclock", cluster::OverclockPolicy::Never},
+          Row{"Always overclock", cluster::OverclockPolicy::Always},
+          Row{"Power-aware overclock",
+              cluster::OverclockPolicy::PowerAware}}) {
+        util::Rng rng(2021);
+        const auto outcome = sim.run(row.policy, rng, 14.0);
+        table.addRow(
+            {row.name,
+             util::fmt(outcome.meanFeedUtilization * 100.0, 1) + "%",
+             util::fmt(outcome.cappingMinutesShare * 100.0, 1) + "%",
+             util::fmt(outcome.overclockShare * 100.0, 1) + "%",
+             util::fmt(outcome.cappedOverclockShare * 100.0, 1) + "%",
+             util::fmt(outcome.speedupDelivered, 3),
+             util::fmt(outcome.energyMwh, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "Paper: 'Overclocking in oversubscribed datacenters"
+                 " increases the chance of\nhitting limits and triggering"
+                 " power capping ... might offset any performance\ngains'"
+                 " — the always-overclock row pays capping minutes for"
+                 " speedup it then\nloses; the power-aware row overclocks"
+                 " in the diurnal valleys instead.\n";
+}
+
+void
+creditLedger()
+{
+    util::printHeading(
+        std::cout,
+        "Sec. IV extension: five-year wear-credit ledger (HFE-7000)");
+    const reliability::LifetimeModel model;
+    reliability::WearTracker tracker(model, 5.0);
+    core::CreditScheduler scheduler(tracker);
+
+    const reliability::StressCondition nominal{0.90, 51.0, 35.0, 1.0, 1.0};
+    const reliability::StressCondition green{0.98, 60.0, 35.0, 1.23, 1.0};
+    const reliability::StressCondition red{1.01, 64.0, 35.0, 1.30, 1.0};
+
+    util::Rng rng(5);
+    const Years step = 6.0 / units::kHoursPerYear;
+    double green_h = 0.0;
+    double red_h = 0.0;
+    util::TableWriter table({"Year", "Credit banked", "Wear consumed",
+                             "Green-band hours", "Red-band hours"});
+    for (int year = 1; year <= 5; ++year) {
+        for (int slot = 0; slot < 1461; ++slot) {
+            const bool demand = rng.bernoulli(0.4);
+            const auto decision =
+                scheduler.decide(nominal, green, red, demand, step);
+            const auto &applied = decision.redBand ? red
+                                  : decision.overclock ? green
+                                                       : nominal;
+            if (decision.redBand)
+                red_h += 6.0;
+            else if (decision.overclock)
+                green_h += 6.0;
+            scheduler.commit(applied, step);
+        }
+        table.addRow({util::fmt(year, 0),
+                      util::fmtPercent(tracker.credit()),
+                      util::fmtPercent(tracker.consumed()),
+                      util::fmt(green_h, 0), util::fmt(red_h, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "The scheduler spends exactly the credit the"
+                 " moderately-utilized server banks:\nred-band hours"
+                 " (beyond +23%) appear once a reserve exists, and the"
+                 " part retires\nat its design budget instead of under"
+                 " it.\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    powerOversubscription();
+    creditLedger();
+    return 0;
+}

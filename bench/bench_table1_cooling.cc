@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Regenerates Table I (comparison of datacenter cooling technologies)
+ * and Table II (dielectric fluid properties) from the thermal catalogs,
+ * plus the facility-power consequences for a 700 W server under each
+ * technology.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "power/facility.hh"
+#include "thermal/cooling.hh"
+#include "thermal/fluid.hh"
+#include "thermal/liquid_loops.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+int
+main()
+{
+    util::printHeading(std::cout,
+                       "Table I: datacenter cooling technologies");
+    util::TableWriter table1({"Technology", "Avg PUE", "Peak PUE",
+                              "Fan overhead", "Max server cooling"});
+    for (const auto &spec : thermal::coolingTechCatalog()) {
+        table1.addRow({spec.name, util::fmt(spec.avgPue, 2),
+                       util::fmt(spec.peakPue, 2),
+                       util::fmt(spec.fanOverheadFraction * 100.0, 0) + "%",
+                       util::fmt(spec.maxServerCooling / 1000.0, 1) +
+                           " kW"});
+    }
+    table1.print(std::cout);
+
+    util::printHeading(std::cout, "Table II: dielectric fluid properties");
+    util::TableWriter table2({"Property", thermal::fc3284().name,
+                              thermal::hfe7000().name});
+    const auto &fc = thermal::fc3284();
+    const auto &hfe = thermal::hfe7000();
+    table2.addRow({"Boiling point [C]", util::fmt(fc.boilingPoint, 0),
+                   util::fmt(hfe.boilingPoint, 0)});
+    table2.addRow({"Dielectric constant", util::fmt(fc.dielectricConstant, 2),
+                   util::fmt(hfe.dielectricConstant, 1)});
+    table2.addRow({"Latent heat [J/g]", util::fmt(fc.latentHeatJPerG, 0),
+                   util::fmt(hfe.latentHeatJPerG, 0)});
+    table2.addRow({"Useful life [years]", ">" + util::fmt(fc.usefulLife, 0),
+                   ">" + util::fmt(hfe.usefulLife, 0)});
+    table2.print(std::cout);
+
+    util::printHeading(
+        std::cout, "Derived: facility power for one 700 W server (peak)");
+    util::TableWriter table3(
+        {"Technology", "Facility power [W]", "Overhead vs 2PIC [W]"});
+    const power::Facility best(thermal::CoolingTech::Immersion2P);
+    for (const auto &spec : thermal::coolingTechCatalog()) {
+        const power::Facility facility(spec.tech);
+        table3.addRow(
+            {spec.name, util::fmt(facility.facilityPowerPeak(700.0), 0),
+             util::fmt(facility.facilityPowerPeak(700.0) -
+                           best.facilityPowerPeak(700.0),
+                       0)});
+    }
+    table3.print(std::cout);
+
+    util::printHeading(
+        std::cout,
+        "Derived: junction temperature of a 204 W socket per technology");
+    std::vector<std::unique_ptr<thermal::CoolingSystem>> systems;
+    systems.push_back(std::make_unique<thermal::AirCooling>(
+        thermal::CoolingTech::Chiller, 22.0, 0.22));
+    systems.push_back(std::make_unique<thermal::AirCooling>(
+        thermal::CoolingTech::WaterSide, 30.0, 0.22));
+    systems.push_back(std::make_unique<thermal::AirCooling>(
+        thermal::CoolingTech::DirectEvaporative, 35.0, 0.22));
+    systems.push_back(std::make_unique<thermal::ColdPlateCooling>());
+    systems.push_back(
+        std::make_unique<thermal::SinglePhaseImmersionCooling>());
+    systems.push_back(std::make_unique<thermal::TwoPhaseImmersionCooling>(
+        thermal::fc3284(),
+        thermal::BoilingInterface{
+            thermal::BoilingInterface::Coating::DirectIhs}));
+
+    util::TableWriter tj({"System", "Reference [C]", "Rth [C/W]",
+                          "Tj at 204 W [C]"});
+    for (const auto &system : systems) {
+        tj.addRow({system->name(),
+                   util::fmt(system->referenceTemperature(204.0), 1),
+                   util::fmt(system->thermalResistance(), 2),
+                   util::fmt(system->junctionTemperature(204.0), 1)});
+    }
+    tj.print(std::cout);
+
+    std::cout << "\nPaper check: 2PIC average PUE 1.02 / peak 1.03, no fan"
+                 " overhead,\n>4 kW per-server cooling; chillers 1.70/2.00"
+                 " with 5% fans (Table I).\n";
+    return 0;
+}

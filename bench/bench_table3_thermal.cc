@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regenerates Table III (maximum attained frequency and power for the
+ * Skylake 8168/8180 under air and FC-3284) and the Sec. IV per-server
+ * power-savings decomposition (2 x 11 W static + 42 W fans + ~118 W PUE
+ * = ~182 W).
+ */
+
+#include <iostream>
+
+#include "hw/turbo.hh"
+#include "power/facility.hh"
+#include "power/server_power.hh"
+#include "power/socket_power.hh"
+#include "thermal/cooling.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+namespace {
+
+struct Platform
+{
+    const char *name;
+    hw::TurboGovernor governor;
+    power::SocketPowerModel socket;
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling immersion;
+    const char *becLocation;
+    int cores;
+};
+
+void
+printPlatform(util::TableWriter &table, const Platform &platform)
+{
+    const auto report = [&](const thermal::CoolingSystem &cooling,
+                            const char *label, const char *bec) {
+        const GHz turbo = platform.governor.effectiveFrequency(
+            platform.socket, cooling, platform.cores);
+        const auto sol = platform.socket.solve(
+            {turbo, platform.socket.curve().voltageFor(turbo), 1.0},
+            cooling);
+        table.addRow({platform.name, label, util::fmt(sol.tj, 0) + " C",
+                      util::fmt(sol.total, 1) + " W",
+                      util::fmt(turbo, 1) + " GHz", bec,
+                      util::fmt(cooling.thermalResistance(), 2) + " C/W"});
+    };
+    report(platform.air, "Air", "N/A");
+    report(platform.immersion, "2PIC", platform.becLocation);
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printHeading(std::cout,
+                       "Table III: max turbo and power, air vs FC-3284");
+    util::TableWriter table({"Platform", "Cooling", "Tj max", "Power",
+                             "Max turbo", "BEC location", "Rth"});
+
+    Platform p8168{
+        "Skylake 8168 (24c)",
+        hw::TurboGovernor::skylake8168(),
+        power::SocketPowerModel::skylakeServer(3.1),
+        thermal::AirCooling(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.22),
+        thermal::TwoPhaseImmersionCooling(
+            thermal::fc3284(),
+            {thermal::BoilingInterface::Coating::CopperPlate}),
+        "Copper plate",
+        24};
+    printPlatform(table, p8168);
+
+    Platform p8180{
+        "Skylake 8180 (28c)",
+        hw::TurboGovernor::skylake8180(),
+        power::SocketPowerModel::skylakeServer(2.6),
+        thermal::AirCooling(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.21),
+        thermal::TwoPhaseImmersionCooling(
+            thermal::fc3284(),
+            {thermal::BoilingInterface::Coating::DirectIhs}),
+        "CPU IHS",
+        28};
+    printPlatform(table, p8180);
+    table.print(std::cout);
+    std::cout << "Paper: 8168 air 92 C/3.1 GHz vs 2PIC 75 C/3.2 GHz;"
+                 " 8180 air 90 C/2.6 GHz vs 2PIC 68 C/2.7 GHz,\nboth at"
+                 " ~204.5 W (one extra 100 MHz bin from lower leakage).\n";
+
+    util::printHeading(std::cout,
+                       "Sec. IV: per-server power savings of 2PIC");
+    const auto savings = power::immersionSavings(700.0, 42.0, 11.0, 2);
+    util::TableWriter sav({"Component", "Saving [W]"});
+    sav.addRow({"Static power (2 sockets x ~11 W)",
+                util::fmt(savings.staticTotal, 0)});
+    sav.addRow({"Server fans", util::fmt(savings.fans, 0)});
+    sav.addRow({"Facility PUE overhead", util::fmt(savings.pueOverhead, 0)});
+    sav.addRow({"Total", util::fmt(savings.total, 0)});
+    sav.print(std::cout);
+    std::cout << "Paper: ~182 W per 700 W server (2x11 + 42 + 118).\n";
+
+    util::printHeading(std::cout,
+                       "Sec. III: Open Compute blade power budget");
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    thermal::AirCooling air(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.21);
+    const auto breakdown = server.compute({2.6, 0.90, 1.0}, air);
+    util::TableWriter budget({"Component", "Power [W]"});
+    budget.addRow({"2 x CPU socket", util::fmt(breakdown.sockets, 0)});
+    budget.addRow({"24 x DDR4 DIMM", util::fmt(breakdown.memory, 0)});
+    budget.addRow({"Motherboard+FPGA+storage", util::fmt(breakdown.other, 0)});
+    budget.addRow({"Fans", util::fmt(breakdown.fans, 0)});
+    budget.addRow({"Total", util::fmt(breakdown.total, 0)});
+    budget.print(std::cout);
+    std::cout << "Paper: 410 + 120 + 128 + 42 = 700 W.\n";
+    return 0;
+}

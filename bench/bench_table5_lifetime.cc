@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates Table IV (failure-mode dependencies) and Table V
+ * (projected lifetimes for air / FC-3284 / HFE-7000 at nominal and
+ * overclocked operating points), plus the DESIGN.md ablation: the same
+ * projections with the thermal-cycling mechanism removed, showing why
+ * immersion's narrow temperature band matters.
+ */
+
+#include <iostream>
+
+#include "reliability/lifetime.hh"
+#include "reliability/mechanisms.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+namespace {
+
+std::string
+formatYears(Years years)
+{
+    if (years > 10.0)
+        return "> 10 years";
+    if (years < 1.0)
+        return "< 1 year";
+    return util::fmt(years, 1) + " years";
+}
+
+} // namespace
+
+int
+main()
+{
+    util::printHeading(std::cout, "Table IV: failure-mode dependencies");
+    util::TableWriter deps({"Failure mode", "T", "dT", "V"});
+    deps.addRow({"Gate oxide breakdown", "yes", "no", "yes"});
+    deps.addRow({"Electro-migration", "yes", "no", "no (J)"});
+    deps.addRow({"Thermal cycling", "no", "yes", "no"});
+    deps.print(std::cout);
+
+    util::printHeading(std::cout, "Table V: projected processor lifetime");
+    const reliability::LifetimeModel model;
+    std::size_t count = 0;
+    const auto *scenarios = reliability::tableVScenarios(count);
+    util::TableWriter table({"Cooling", "OC", "Voltage", "Tj max", "DTj",
+                             "Lifetime", "(model years)"});
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &sc = scenarios[i];
+        const Years life = model.lifetime(sc.condition);
+        table.addRow(
+            {sc.cooling, sc.overclocked ? "yes" : "no",
+             util::fmt(sc.condition.voltage, 2) + " V",
+             util::fmt(sc.condition.tjMax, 0) + " C",
+             util::fmt(sc.condition.tMin, 0) + "-" +
+                 util::fmt(sc.condition.tjMax, 0) + " C",
+             formatYears(life), util::fmt(life, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "Paper: 5 y / <1 y / >10 y / ~4 y / >10 y / 5 y.\n";
+
+    util::printHeading(std::cout,
+                       "Per-mechanism failure-rate breakdown [1/years]");
+    util::TableWriter rates(
+        {"Cooling", "OC", "Gate oxide", "Electromigration",
+         "Thermal cycling", "Total"});
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &sc = scenarios[i];
+        const auto breakdown = model.failureRate(sc.condition);
+        rates.addRow({sc.cooling, sc.overclocked ? "yes" : "no",
+                      util::fmt(breakdown.gateOxide, 4),
+                      util::fmt(breakdown.electromigration, 4),
+                      util::fmt(breakdown.thermalCycling, 4),
+                      util::fmt(breakdown.total, 4)});
+    }
+    rates.print(std::cout);
+
+    util::printHeading(
+        std::cout,
+        "Ablation: lifetimes with the thermal-cycling term removed");
+    util::TableWriter ablation({"Cooling", "OC", "Full model",
+                                "No-cycling model", "Delta"});
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &sc = scenarios[i];
+        const auto breakdown = model.failureRate(sc.condition);
+        const Years full = 1.0 / breakdown.total;
+        const Years no_tc =
+            1.0 / (breakdown.gateOxide + breakdown.electromigration);
+        ablation.addRow({sc.cooling, sc.overclocked ? "yes" : "no",
+                         util::fmt(full, 2), util::fmt(no_tc, 2),
+                         util::fmtPercent(no_tc / full - 1.0)});
+    }
+    ablation.print(std::cout);
+    std::cout << "Takeaway: removing cycling barely changes immersion rows"
+                 " (narrow dT band)\nbut extends the air rows noticeably —"
+                 " immersion's stable temperatures are a\nreliability"
+                 " feature in their own right.\n";
+
+    util::printHeading(std::cout,
+                       "Extension: lifetime credit at moderate utilization");
+    util::TableWriter credit(
+        {"Duty cycle", "HFE-7000 OC wear/year", "Years to budget"});
+    for (double duty : {1.0, 0.8, 0.6, 0.4}) {
+        reliability::StressCondition cond = scenarios[5].condition;
+        cond.dutyCycle = duty;
+        const double wear = model.wearFraction(cond, 1.0);
+        credit.addRow({util::fmt(duty * 100.0, 0) + "%",
+                       util::fmt(wear, 4), util::fmt(1.0 / wear, 1)});
+    }
+    credit.print(std::cout);
+    return 0;
+}

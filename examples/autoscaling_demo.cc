@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Overclocking-enhanced auto-scaling on a diurnal load: a Client-Server
+ * deployment rides a morning ramp, a lunchtime dip, and an evening peak.
+ * Compare the baseline auto-scaler against OC-A ("scale up, then out").
+ *
+ * Run: ./build/examples/autoscaling_demo
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "autoscale/autoscaler.hh"
+#include "sim/simulation.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "workload/queueing.hh"
+
+using namespace imsim;
+
+namespace {
+
+struct Outcome
+{
+    double p95Ms;
+    double meanMs;
+    double vmHours;
+    std::size_t maxVms;
+    std::size_t scaleOuts;
+};
+
+Outcome
+runDay(autoscale::Policy policy)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 2.6e-3; // Client-Server at B2.
+    params.serviceCv = 1.5;
+    params.kappa = 0.9;
+    params.threadsPerServer = 4;
+    workload::QueueingCluster cluster(sim, util::Rng(7), params);
+    cluster.addServer(3.4);
+
+    autoscale::AutoScalerConfig config;
+    config.policy = policy;
+    autoscale::AutoScaler scaler(sim, cluster, config);
+    scaler.start();
+
+    // A compressed "day": each hour becomes 2 simulated minutes.
+    const std::vector<double> hourly_qps{
+        300,  250,  200,  200,  250,  400,  // night
+        800,  1400, 2000, 2300, 2400, 2200, // morning ramp
+        1800, 1600, 1900, 2200, 2500, 2800, // afternoon
+        3200, 3400, 2800, 1800, 1000, 500,  // evening peak and wind-down
+    };
+    const Seconds step = 120.0;
+    for (std::size_t hour = 0; hour < hourly_qps.size(); ++hour) {
+        const double qps = hourly_qps[hour];
+        if (hour == 0)
+            cluster.setArrivalRate(qps);
+        else
+            sim.at(step * static_cast<double>(hour),
+                   [&cluster, qps] { cluster.setArrivalRate(qps); });
+    }
+    sim.runUntil(step * static_cast<double>(hourly_qps.size()));
+
+    Outcome outcome{};
+    outcome.p95Ms = cluster.latencies().p95() * 1000.0;
+    outcome.meanMs = cluster.latencies().mean() * 1000.0;
+    outcome.vmHours = cluster.vmHours();
+    outcome.maxVms = cluster.maxServers();
+    outcome.scaleOuts = scaler.scaleOuts();
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Auto-scaling a Client-Server deployment through a"
+                 " compressed diurnal day\n(24 steps of 2 minutes; load"
+                 " 200 -> 3400 QPS).\n";
+
+    const Outcome baseline = runDay(autoscale::Policy::Baseline);
+    const Outcome oce = runDay(autoscale::Policy::OcE);
+    const Outcome oca = runDay(autoscale::Policy::OcA);
+
+    util::TableWriter table({"Policy", "P95 [ms]", "Mean [ms]",
+                             "VM-hours", "Max VMs", "Scale-outs"});
+    const auto add = [&](const char *name, const Outcome &outcome) {
+        table.addRow({name, util::fmt(outcome.p95Ms, 2),
+                      util::fmt(outcome.meanMs, 2),
+                      util::fmt(outcome.vmHours, 2),
+                      util::fmt(outcome.maxVms, 0),
+                      util::fmt(outcome.scaleOuts, 0)});
+    };
+    add("Baseline", baseline);
+    add("OC-E (overclock while scaling out)", oce);
+    add("OC-A (scale up, then out)", oca);
+    table.print(std::cout);
+
+    std::cout << "\nOC-A absorbs the ramps by raising frequency within"
+                 " microseconds instead of\nwaiting 60 s for new VMs:"
+                 " its tail latency improves "
+              << util::fmtPercent(1.0 - oca.p95Ms / baseline.p95Ms)
+              << " while using "
+              << util::fmtPercent(1.0 - oca.vmHours / baseline.vmHours)
+              << " fewer VM-hours.\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Quickstart: immerse an overclockable server in a 2PIC tank, inspect
+ * its thermals and power, check what overclocking does to its expected
+ * lifetime, and ask the control plane for a safe overclock.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/controller.hh"
+#include "hw/configs.hh"
+#include "hw/cpu.hh"
+#include "power/capping.hh"
+#include "reliability/lifetime.hh"
+#include "reliability/stability.hh"
+#include "thermal/tank.hh"
+#include "util/table.hh"
+
+using namespace imsim;
+
+int
+main()
+{
+    // 1. Build the paper's small tank #1: two slots of HFE-7000 with
+    // boiling-enhancement coating on the CPU heat spreader.
+    thermal::ImmersionTank tank = thermal::makeSmallTank1();
+    std::cout << "Tank: " << tank.name() << ", fluid "
+              << tank.coolingSystem().fluid().name << " boiling at "
+              << tank.fluidTemperature() << " C\n";
+
+    // 2. Drop in the overclockable Xeon W-3175X and sweep the Table VII
+    // configurations.
+    hw::CpuModel cpu = hw::CpuModel::xeonW3175x();
+    const auto &cooling = tank.coolingSystem();
+
+    util::TableWriter table({"Config", "Core GHz", "Package W", "Tj C",
+                             "Margin mV"});
+    for (const char *name : {"B2", "OC1", "OC3"}) {
+        cpu.applyConfig(hw::cpuConfig(name));
+        const auto breakdown = cpu.power(cooling, 1.0);
+        table.addRow({name, util::fmt(cpu.clocks().core, 1),
+                      util::fmt(breakdown.total, 0),
+                      util::fmt(breakdown.tj, 1),
+                      util::fmt(cpu.voltageMarginMv(), 0)});
+        tank.setHeatLoad(0, breakdown.total);
+    }
+    table.print(std::cout);
+    std::cout << "Condenser headroom at OC3: " << tank.headroom()
+              << " W\n\n";
+
+    // 3. What does overclocking cost in lifetime?
+    reliability::LifetimeModel lifetime;
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    const Celsius tj_nominal = cpu.power(cooling, 1.0).tj;
+    cpu.applyConfig(hw::cpuConfig("OC1"));
+    const Celsius tj_oc = cpu.power(cooling, 1.0).tj;
+    reliability::StressCondition nominal{0.90, tj_nominal, 34.0, 1.0, 1.0};
+    reliability::StressCondition overclocked{cpu.coreVoltage(), tj_oc,
+                                             34.0, 4.1 / 3.4, 1.0};
+    std::cout << "Expected lifetime at B2:  "
+              << util::fmt(lifetime.lifetime(nominal), 1) << " years\n"
+              << "Expected lifetime at OC1: "
+              << util::fmt(lifetime.lifetime(overclocked), 1)
+              << " years (air-cooled nominal is ~5)\n\n";
+
+    // 4. Ask the control plane for a safe overclock: it checks the wear
+    // budget, the stability watchdog, and the power budget.
+    reliability::WearTracker tracker(lifetime, 5.0);
+    reliability::ErrorRateWatchdog watchdog;
+    power::RaplCapper budget(450.0);
+    core::OverclockController controller(cpu, cooling, tracker, watchdog,
+                                         budget);
+    const auto decision = controller.request(4.1, /*duration_h=*/24.0,
+                                             /*activity=*/0.7,
+                                             /*now_s=*/0.0);
+    std::cout << "Overclock request 4.1 GHz for 24 h: "
+              << (decision.approved ? "APPROVED" : "DENIED") << " ("
+              << decision.reason << "), granted "
+              << util::fmt(decision.grantedCore, 1) << " GHz\n";
+    std::cout << "Lifetime-neutral green band tops out at "
+              << util::fmt(controller.greenBandCeiling(), 1) << " GHz ("
+              << util::fmtPercent(controller.greenBandCeiling() / 3.4 -
+                                  1.0)
+              << " over all-core turbo)\n";
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "autoscale/autoscaler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace autoscale {
+
+std::string
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::Baseline:
+        return "Baseline";
+      case Policy::OcE:
+        return "OC-E";
+      case Policy::OcA:
+        return "OC-A";
+    }
+    util::panic("policyName: unhandled policy");
+}
+
+AutoScaler::AutoScaler(sim::Simulation &simulation,
+                       workload::QueueingCluster &cluster_in,
+                       AutoScalerConfig config)
+    : sim(simulation), cluster(cluster_in), cfg(config),
+      grid(config.baseFrequency, config.maxFrequency, config.frequencyBins),
+      fleetFreq(config.baseFrequency)
+{
+    util::fatalIf(cfg.decisionPeriod <= 0.0,
+                  "AutoScaler: decision period must be positive");
+    util::fatalIf(cfg.minVms == 0, "AutoScaler: minVms must be >= 1");
+    util::fatalIf(cfg.minVms > cfg.maxVms,
+                  "AutoScaler: minVms exceeds maxVms");
+    util::fatalIf(cfg.scaleInThreshold >= cfg.scaleOutThreshold,
+                  "AutoScaler: scale-in threshold must be below scale-out");
+}
+
+void
+AutoScaler::start()
+{
+    util::fatalIf(running, "AutoScaler::start: already running");
+    running = true;
+    startTime = sim.now();
+    lastFreqChange = sim.now();
+    loopEvent = sim.every(cfg.decisionPeriod, [this] { decide(); });
+}
+
+void
+AutoScaler::stop()
+{
+    if (!running)
+        return;
+    sim.cancel(loopEvent);
+    running = false;
+}
+
+void
+AutoScaler::applyFrequency(GHz f)
+{
+    freqIntegral += fleetFreq * (sim.now() - lastFreqChange);
+    lastFreqChange = sim.now();
+    fleetFreq = f;
+    cluster.setAllFrequencies(f);
+}
+
+double
+AutoScaler::averageFrequency() const
+{
+    const Seconds elapsed = sim.now() - startTime;
+    if (elapsed <= 0.0)
+        return fleetFreq;
+    const double integral =
+        freqIntegral + fleetFreq * (sim.now() - lastFreqChange);
+    return integral / elapsed;
+}
+
+double
+AutoScaler::measureScalableFraction()
+{
+    double total = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t id = 0; id < cluster.serverCount(); ++id) {
+        if (!cluster.isActive(id))
+            continue;
+        const hw::CounterSample now_sample = cluster.counters(id);
+        const auto it = lastCounters.find(id);
+        if (it != lastCounters.end()) {
+            total += now_sample.scalableFraction(it->second);
+            ++counted;
+        }
+        lastCounters[id] = now_sample;
+    }
+    // Before first deltas exist, assume fully scalable work.
+    return counted ? total / static_cast<double>(counted) : 1.0;
+}
+
+void
+AutoScaler::triggerScaleOut()
+{
+    scaleOutPending = true;
+    ++scaleOutCount;
+    sim.after(cfg.scaleOutLatency, [this] {
+        cluster.addServer(fleetFreq);
+        scaleOutPending = false;
+        if (cfg.policy == Policy::OcE) {
+            // Fig. 8(a): the scale-out completed; drop back to base.
+            applyFrequency(cfg.baseFrequency);
+        }
+    });
+}
+
+void
+AutoScaler::decide()
+{
+    const Seconds now = sim.now();
+    const double util_short =
+        cluster.fleetUtilization(cfg.shortWindow);
+    const double util_long = cluster.fleetUtilization(cfg.longWindow);
+    const double p_over_a = measureScalableFraction();
+    const std::size_t vms = cluster.activeServers();
+
+    // --- Scale-up/down (OC-A only): every tick, pick the minimum
+    // sufficient frequency for the short-window utilization.
+    if (cfg.policy == Policy::OcA) {
+        if (util_short > cfg.scaleUpThreshold) {
+            const GHz f = minimumSufficientFrequency(
+                grid, util_short, p_over_a, fleetFreq,
+                cfg.scaleUpThreshold);
+            if (f > fleetFreq + 1e-9)
+                applyFrequency(f);
+        } else if (util_short < cfg.scaleDownThreshold &&
+                   fleetFreq > cfg.baseFrequency + 1e-9) {
+            // Load dropped: lowest frequency that still keeps the
+            // predicted utilization under the scale-up threshold.
+            const GHz f = minimumSufficientFrequency(
+                grid, util_short, p_over_a, fleetFreq,
+                cfg.scaleUpThreshold);
+            if (f < fleetFreq - 1e-9)
+                applyFrequency(f);
+        }
+    }
+
+    // --- Scale-out/in on the long window, one VM at a time.
+    if (cfg.scaleOutEnabled && !scaleOutPending) {
+        if (util_long > cfg.scaleOutThreshold && vms < cfg.maxVms) {
+            if (cfg.policy == Policy::OcE)
+                applyFrequency(cfg.maxFrequency); // Hide the latency.
+            triggerScaleOut();
+        } else if (util_long < cfg.scaleInThreshold && vms > cfg.minVms) {
+            cluster.removeServer();
+            ++scaleInCount;
+            if (cfg.policy == Policy::OcA &&
+                fleetFreq > cfg.baseFrequency + 1e-9) {
+                applyFrequency(cfg.baseFrequency);
+            }
+        }
+    }
+
+    traceLog.push_back(TracePoint{now, util_short, util_long, fleetFreq,
+                                  cluster.activeServers(),
+                                  scaleOutPending});
+}
+
+} // namespace autoscale
+} // namespace imsim

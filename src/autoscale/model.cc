@@ -1,0 +1,44 @@
+#include "autoscale/model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace autoscale {
+
+FrequencyGrid::FrequencyGrid(GHz f_lo, GHz f_hi, int bins)
+{
+    util::fatalIf(f_lo <= 0.0 || f_hi <= f_lo,
+                  "FrequencyGrid: need 0 < f_lo < f_hi");
+    util::fatalIf(bins <= 0, "FrequencyGrid: need at least one bin");
+    const GHz step = (f_hi - f_lo) / static_cast<double>(bins);
+    for (int i = 0; i <= bins; ++i)
+        grid.push_back(f_lo + step * static_cast<double>(i));
+}
+
+double
+FrequencyGrid::spanFraction(GHz f) const
+{
+    const GHz lo = grid.front();
+    const GHz hi = grid.back();
+    return std::clamp((f - lo) / (hi - lo), 0.0, 1.0);
+}
+
+GHz
+minimumSufficientFrequency(const FrequencyGrid &grid, double util,
+                           double p_over_a, GHz f_current, double target)
+{
+    util::fatalIf(target <= 0.0,
+                  "minimumSufficientFrequency: target must be positive");
+    for (GHz f : grid.frequencies()) {
+        const double predicted =
+            hw::predictedUtilization(util, p_over_a, f_current, f);
+        if (predicted <= target)
+            return f;
+    }
+    return grid.high();
+}
+
+} // namespace autoscale
+} // namespace imsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Frequency-selection model of the overclocking-enhanced auto-scaler
+ * (Sec. VI-D): given the current utilization, the Aperf/Pperf scalable
+ * fraction, and a discrete frequency grid, find the minimum frequency
+ * whose Eq. 1-predicted utilization lands below a target threshold.
+ */
+
+#ifndef IMSIM_AUTOSCALE_MODEL_HH
+#define IMSIM_AUTOSCALE_MODEL_HH
+
+#include <vector>
+
+#include "hw/counters.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace autoscale {
+
+/**
+ * Discrete frequency grid the scale-up/down knob moves on: the paper
+ * divides [3.4 GHz (B2), 4.1 GHz (OC1)] into 8 bins.
+ */
+class FrequencyGrid
+{
+  public:
+    /**
+     * @param f_lo  Lowest frequency [GHz].
+     * @param f_hi  Highest frequency [GHz].
+     * @param bins  Number of bins (grid has bins + 1 points).
+     */
+    FrequencyGrid(GHz f_lo, GHz f_hi, int bins);
+
+    /** @return all grid frequencies, ascending. */
+    const std::vector<GHz> &frequencies() const { return grid; }
+
+    /** @return lowest frequency. */
+    GHz low() const { return grid.front(); }
+
+    /** @return highest frequency. */
+    GHz high() const { return grid.back(); }
+
+    /** Fraction of the grid span that @p f represents (Fig. 15's
+     *  secondary axis: 0 at B2, 1 at OC1). */
+    double spanFraction(GHz f) const;
+
+  private:
+    std::vector<GHz> grid;
+};
+
+/**
+ * Minimum frequency on @p grid whose Eq. 1 prediction from
+ * (@p util, @p p_over_a, @p f_current) is at most @p target utilization.
+ * Falls back to the grid maximum when no frequency suffices.
+ */
+GHz minimumSufficientFrequency(const FrequencyGrid &grid, double util,
+                               double p_over_a, GHz f_current,
+                               double target);
+
+} // namespace autoscale
+} // namespace imsim
+
+#endif // IMSIM_AUTOSCALE_MODEL_HH

@@ -1,0 +1,82 @@
+#include "autoscale/predictive.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace autoscale {
+
+HoltForecaster::HoltForecaster(double alpha_in, double beta_in)
+    : alpha(alpha_in), beta(beta_in)
+{
+    util::fatalIf(alpha <= 0.0 || alpha > 1.0,
+                  "HoltForecaster: alpha out of (0,1]");
+    util::fatalIf(beta <= 0.0 || beta > 1.0,
+                  "HoltForecaster: beta out of (0,1]");
+}
+
+void
+HoltForecaster::observe(Seconds t, double value)
+{
+    util::fatalIf(count > 0 && t <= lastTime,
+                  "HoltForecaster::observe: non-increasing time");
+    if (count == 0) {
+        levelEst = value;
+        trendEst = 0.0;
+    } else {
+        const Seconds dt = t - lastTime;
+        const double prev_level = levelEst;
+        // Standard Holt update with the trend expressed per second so
+        // irregular sampling works.
+        levelEst = alpha * value +
+                   (1.0 - alpha) * (levelEst + trendEst * dt);
+        trendEst = beta * ((levelEst - prev_level) / dt) +
+                   (1.0 - beta) * trendEst;
+    }
+    lastTime = t;
+    ++count;
+}
+
+double
+HoltForecaster::forecast(Seconds horizon) const
+{
+    util::fatalIf(horizon < 0.0, "HoltForecaster: negative horizon");
+    if (count == 0)
+        return 0.0;
+    return levelEst + trendEst * horizon;
+}
+
+ProactiveDecision
+planProactive(const HoltForecaster &forecaster, double threshold,
+              Seconds scale_out_latency, Seconds horizon)
+{
+    util::fatalIf(threshold <= 0.0, "planProactive: bad threshold");
+    util::fatalIf(scale_out_latency < 0.0 || horizon <= 0.0,
+                  "planProactive: bad latencies");
+    ProactiveDecision decision;
+    if (forecaster.observations() < 2)
+        return decision;
+
+    // When does the linear forecast cross the threshold?
+    const double level = forecaster.level();
+    const double trend = forecaster.trend();
+    if (level >= threshold) {
+        decision.predictedBreach = 0.0;
+    } else if (trend > 1e-12) {
+        const Seconds eta = (threshold - level) / trend;
+        if (eta <= horizon)
+            decision.predictedBreach = eta;
+    }
+    if (decision.predictedBreach < 0.0)
+        return decision;
+
+    // Start the scale-out so it lands at (or before) the breach; when
+    // the breach beats the VM-creation latency, bridge with overclock.
+    decision.scaleOutNow =
+        decision.predictedBreach <= scale_out_latency;
+    decision.overclockBridge =
+        decision.predictedBreach < scale_out_latency;
+    return decision;
+}
+
+} // namespace autoscale
+} // namespace imsim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Predictive load forecasting for proactive scale-out.
+ *
+ * Sec. V notes that "providers have started predicting surges in load
+ * and scaling out proactively [8], but the time required for scaling out
+ * can still impact application performance" — i.e. prediction and
+ * overclocking are complementary. This module provides a double-
+ * exponential (Holt) forecaster over the utilization telemetry and a
+ * planner that converts a forecast into a proactive scale-out lead time,
+ * so the OC policies can be composed with prediction.
+ */
+
+#ifndef IMSIM_AUTOSCALE_PREDICTIVE_HH
+#define IMSIM_AUTOSCALE_PREDICTIVE_HH
+
+#include <cstddef>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace autoscale {
+
+/**
+ * Holt double-exponential smoother: tracks level and trend of a sampled
+ * signal and extrapolates linearly.
+ */
+class HoltForecaster
+{
+  public:
+    /**
+     * @param alpha Level smoothing factor in (0, 1].
+     * @param beta  Trend smoothing factor in (0, 1].
+     */
+    explicit HoltForecaster(double alpha = 0.4, double beta = 0.2);
+
+    /** Feed one observation taken at time @p t. */
+    void observe(Seconds t, double value);
+
+    /** Forecast the signal @p horizon seconds past the last sample. */
+    double forecast(Seconds horizon) const;
+
+    /** @return current level estimate. */
+    double level() const { return levelEst; }
+
+    /** @return current per-second trend estimate. */
+    double trend() const { return trendEst; }
+
+    /** @return number of observations consumed. */
+    std::size_t observations() const { return count; }
+
+  private:
+    double alpha;
+    double beta;
+    double levelEst = 0.0;
+    double trendEst = 0.0;
+    Seconds lastTime = 0.0;
+    std::size_t count = 0;
+};
+
+/** Decision of the proactive planner. */
+struct ProactiveDecision
+{
+    bool scaleOutNow = false;  ///< Start a VM creation immediately.
+    bool overclockBridge = false; ///< Overclock to cover the lead time.
+    Seconds predictedBreach = -1.0; ///< When util crosses the threshold
+                                    ///< (< 0: not within horizon).
+};
+
+/**
+ * Proactive scale-out planner: starts the (slow) scale-out early enough
+ * that the VM lands before the predicted threshold breach, and flags an
+ * overclock bridge when the breach will arrive sooner than the VM can.
+ *
+ * @param forecaster        Trained forecaster.
+ * @param threshold         Utilization threshold to protect.
+ * @param scale_out_latency VM creation latency [s].
+ * @param horizon           How far ahead to look [s].
+ */
+ProactiveDecision planProactive(const HoltForecaster &forecaster,
+                                double threshold,
+                                Seconds scale_out_latency,
+                                Seconds horizon);
+
+} // namespace autoscale
+} // namespace imsim
+
+#endif // IMSIM_AUTOSCALE_PREDICTIVE_HH

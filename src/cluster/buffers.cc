@@ -1,0 +1,99 @@
+#include "cluster/buffers.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace cluster {
+
+BufferSimulator::BufferSimulator(std::size_t servers, int vms_per_server,
+                                 double buffer_fraction)
+    : serverCount(servers), vmsPerServer(vms_per_server),
+      bufferFraction(buffer_fraction)
+{
+    util::fatalIf(servers == 0, "BufferSimulator: need servers");
+    util::fatalIf(vms_per_server <= 0,
+                  "BufferSimulator: need VMs per server");
+    util::fatalIf(buffer_fraction <= 0.0 || buffer_fraction >= 1.0,
+                  "BufferSimulator: buffer fraction must be in (0,1)");
+}
+
+BufferResult
+BufferSimulator::simulate(BufferStrategy strategy, util::Rng &rng,
+                          double duration_h,
+                          double failures_per_server_year,
+                          double repair_hours) const
+{
+    util::fatalIf(duration_h <= 0.0, "BufferSimulator: bad duration");
+    util::fatalIf(failures_per_server_year < 0.0 || repair_hours <= 0.0,
+                  "BufferSimulator: bad failure parameters");
+
+    BufferResult out;
+    out.servers = serverCount;
+
+    const auto reserved = static_cast<std::size_t>(
+        std::ceil(bufferFraction * static_cast<double>(serverCount)));
+    if (strategy == BufferStrategy::Static) {
+        out.sellableServers = serverCount - reserved;
+    } else {
+        out.sellableServers = serverCount;
+    }
+    out.vmsHosted = static_cast<int>(out.sellableServers) * vmsPerServer;
+    out.utilizationNormal = static_cast<double>(out.sellableServers) /
+                            static_cast<double>(serverCount);
+
+    // Hour-step simulation of failures and repairs.
+    const double fail_per_hour =
+        failures_per_server_year / units::kHoursPerYear;
+    std::vector<double> down_until; // Repair completion times.
+    for (double t = 0.0; t < duration_h; t += 1.0) {
+        down_until.erase(std::remove_if(down_until.begin(), down_until.end(),
+                                        [t](double u) { return u <= t; }),
+                         down_until.end());
+        const std::size_t up = serverCount - down_until.size();
+        const std::int64_t failures =
+            rng.poisson(fail_per_hour * static_cast<double>(up));
+        for (std::int64_t i = 0; i < failures; ++i) {
+            ++out.failures;
+            down_until.push_back(t + rng.exponential(repair_hours));
+
+            // Can the displaced VMs be re-hosted?
+            if (strategy == BufferStrategy::Static) {
+                // Spare headroom = reserved servers minus those already
+                // absorbing concurrently failed hosts.
+                if (down_until.size() <= reserved)
+                    ++out.recovered;
+            } else {
+                // Overclock survivors: each survivor gains
+                // bufferFraction of extra capacity.
+                const double survivors =
+                    static_cast<double>(serverCount - down_until.size());
+                const double spare_vms =
+                    survivors * bufferFraction *
+                    static_cast<double>(vmsPerServer);
+                const double displaced =
+                    static_cast<double>(down_until.size()) *
+                    static_cast<double>(vmsPerServer);
+                if (displaced <= spare_vms)
+                    ++out.recovered;
+            }
+        }
+        if (strategy == BufferStrategy::Virtual && !down_until.empty()) {
+            // Survivors hosting failed-over VMs run overclocked. The
+            // displaced VMs spread over all survivors.
+            const double survivors =
+                static_cast<double>(serverCount - down_until.size());
+            const double needed_fraction = std::min(
+                1.0, static_cast<double>(down_until.size()) / survivors /
+                         bufferFraction);
+            out.overclockHours += survivors * needed_fraction;
+        }
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace imsim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Failover buffer strategies (Fig. 6): a static buffer of reserved
+ * servers versus a virtual buffer realised by overclocking the surviving
+ * servers after a failure. The virtual buffer lets the provider sell the
+ * reserved capacity during normal operation.
+ */
+
+#ifndef IMSIM_CLUSTER_BUFFERS_HH
+#define IMSIM_CLUSTER_BUFFERS_HH
+
+#include <cstddef>
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace cluster {
+
+/** How failover capacity is provisioned. */
+enum class BufferStrategy
+{
+    Static,  ///< Reserve whole servers; idle in normal operation.
+    Virtual, ///< Sell all capacity; overclock survivors on failure.
+};
+
+/** Outcome of a buffer simulation. */
+struct BufferResult
+{
+    std::size_t servers = 0;         ///< Fleet size.
+    std::size_t sellableServers = 0; ///< Servers hosting VMs normally.
+    int vmsHosted = 0;               ///< VMs sold in normal operation.
+    std::size_t failures = 0;        ///< Host-failure events simulated.
+    std::size_t recovered = 0;       ///< Failures fully absorbed.
+    double overclockHours = 0.0;     ///< Server-hours spent overclocked.
+    double utilizationNormal = 0.0;  ///< Sellable fraction of the fleet.
+};
+
+/**
+ * Failover-buffer simulator for a homogeneous cluster.
+ */
+class BufferSimulator
+{
+  public:
+    /**
+     * @param servers          Fleet size.
+     * @param vms_per_server   VMs a server hosts at nominal frequency.
+     * @param buffer_fraction  Fraction of the fleet reserved (Static) or
+     *                         the overclock capacity headroom (Virtual);
+     *                         e.g. 0.1 = 10 %.
+     */
+    BufferSimulator(std::size_t servers, int vms_per_server,
+                    double buffer_fraction);
+
+    /**
+     * Simulate @p duration_h hours of operation with an exponential
+     * host-failure process.
+     *
+     * @param strategy           Buffer strategy.
+     * @param rng                Random stream.
+     * @param duration_h         Simulated hours.
+     * @param failures_per_server_year Host failure rate.
+     * @param repair_hours       Mean time to repair a failed host.
+     */
+    BufferResult simulate(BufferStrategy strategy, util::Rng &rng,
+                          double duration_h,
+                          double failures_per_server_year = 0.5,
+                          double repair_hours = 24.0) const;
+
+  private:
+    std::size_t serverCount;
+    int vmsPerServer;
+    double bufferFraction;
+};
+
+} // namespace cluster
+} // namespace imsim
+
+#endif // IMSIM_CLUSTER_BUFFERS_HH

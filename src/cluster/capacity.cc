@@ -1,0 +1,80 @@
+#include "cluster/capacity.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace cluster {
+
+CapacityPlanner::CapacityPlanner(double overclock_headroom)
+    : headroom(overclock_headroom)
+{
+    util::fatalIf(overclock_headroom < 0.0,
+                  "CapacityPlanner: negative headroom");
+}
+
+std::vector<CapacityPoint>
+CapacityPlanner::evaluate(const std::vector<double> &demand,
+                          const std::vector<double> &supply) const
+{
+    util::fatalIf(demand.size() != supply.size(),
+                  "CapacityPlanner: demand/supply length mismatch");
+    std::vector<CapacityPoint> out;
+    out.reserve(demand.size());
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+        CapacityPoint point{};
+        point.demandVms = demand[i];
+        point.supplyVms = supply[i];
+        point.servedNominal = std::min(demand[i], supply[i]);
+        point.deniedNominal = demand[i] - point.servedNominal;
+        const double boosted = supply[i] * (1.0 + headroom);
+        point.servedOverclock = std::min(demand[i], boosted);
+        point.deniedOverclock = demand[i] - point.servedOverclock;
+        out.push_back(point);
+    }
+    return out;
+}
+
+CapacitySummary
+CapacityPlanner::summarise(const std::vector<CapacityPoint> &points) const
+{
+    CapacitySummary s;
+    for (const auto &p : points) {
+        s.peakGapVms = std::max(s.peakGapVms, p.deniedNominal);
+        s.deniedVmPeriodsNominal += p.deniedNominal;
+        s.deniedVmPeriodsOverclock += p.deniedOverclock;
+        if (p.servedOverclock > p.supplyVms)
+            s.overclockedPeriods += 1.0;
+    }
+    return s;
+}
+
+void
+CapacityPlanner::makeCrisisScenario(std::size_t periods, double initial_vms,
+                                    double growth, double step_vms,
+                                    std::size_t step_every,
+                                    std::size_t delay_periods,
+                                    std::vector<double> &demand,
+                                    std::vector<double> &supply)
+{
+    util::fatalIf(periods == 0 || step_every == 0,
+                  "makeCrisisScenario: bad horizon");
+    demand.assign(periods, 0.0);
+    supply.assign(periods, 0.0);
+    double d = initial_vms;
+    double s = initial_vms;
+    for (std::size_t i = 0; i < periods; ++i) {
+        demand[i] = d;
+        d *= 1.0 + growth;
+        // Planned supply step arrives late by delay_periods.
+        if (i >= delay_periods && (i - delay_periods) % step_every == 0 &&
+            i != delay_periods)
+            s += step_vms;
+        supply[i] = s;
+    }
+}
+
+} // namespace cluster
+} // namespace imsim

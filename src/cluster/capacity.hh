@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacity-crisis mitigation (Fig. 7): when demand outgrows forecasted
+ * supply (construction delays, equipment shortages), overclocking lets the
+ * provider host more VMs on the existing fleet and bridge (part of) the
+ * gap instead of denying service.
+ */
+
+#ifndef IMSIM_CLUSTER_CAPACITY_HH
+#define IMSIM_CLUSTER_CAPACITY_HH
+
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace cluster {
+
+/** One period (e.g. a week) of the planning horizon. */
+struct CapacityPoint
+{
+    double demandVms;     ///< VMs customers want.
+    double supplyVms;     ///< VMs the deployed fleet hosts at nominal.
+    double servedNominal; ///< VMs served without overclocking.
+    double servedOverclock; ///< VMs served with overclock headroom.
+    double deniedNominal;   ///< Demand denied without overclocking.
+    double deniedOverclock; ///< Demand denied with overclocking.
+};
+
+/** Aggregate outcome over the horizon. */
+struct CapacitySummary
+{
+    double peakGapVms = 0.0;        ///< Worst nominal shortfall.
+    double deniedVmPeriodsNominal = 0.0;   ///< Integral of denied demand.
+    double deniedVmPeriodsOverclock = 0.0; ///< Same, with overclocking.
+    double overclockedPeriods = 0.0; ///< Periods the fleet ran overclocked.
+};
+
+/**
+ * Capacity planner comparing nominal and overclock-assisted operation.
+ */
+class CapacityPlanner
+{
+  public:
+    /**
+     * @param overclock_headroom Extra VM-hosting fraction overclocking
+     *                           buys (e.g. 0.2 = +20 % packing density,
+     *                           the Sec. VI-C result).
+     */
+    explicit CapacityPlanner(double overclock_headroom = 0.2);
+
+    /**
+     * Evaluate a horizon.
+     *
+     * @param demand Demand trajectory [VMs per period].
+     * @param supply Supply trajectory [VMs hostable at nominal].
+     */
+    std::vector<CapacityPoint>
+    evaluate(const std::vector<double> &demand,
+             const std::vector<double> &supply) const;
+
+    /** Summarise an evaluated horizon. */
+    CapacitySummary summarise(const std::vector<CapacityPoint> &points) const;
+
+    /**
+     * Build the Fig. 7 style scenario: exponential demand growth against
+     * stepwise supply that arrives late by @p delay_periods.
+     *
+     * @param periods        Horizon length.
+     * @param initial_vms    Demand and supply at period 0.
+     * @param growth         Per-period demand growth (e.g. 0.05).
+     * @param step_vms       VMs added per supply step.
+     * @param step_every     Periods between planned supply steps.
+     * @param delay_periods  Delivery delay causing the crisis.
+     */
+    static void
+    makeCrisisScenario(std::size_t periods, double initial_vms,
+                       double growth, double step_vms,
+                       std::size_t step_every, std::size_t delay_periods,
+                       std::vector<double> &demand,
+                       std::vector<double> &supply);
+
+  private:
+    double headroom;
+};
+
+} // namespace cluster
+} // namespace imsim
+
+#endif // IMSIM_CLUSTER_CAPACITY_HH

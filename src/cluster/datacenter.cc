@@ -1,0 +1,174 @@
+#include "cluster/datacenter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace cluster {
+
+DatacenterPowerSim::DatacenterPowerSim(std::vector<RackConfig> rack_configs,
+                                       Watts feed_capacity,
+                                       double oversubscription,
+                                       double oc_speedup)
+    : racks(std::move(rack_configs)), feedCapacity(feed_capacity),
+      oversub(oversubscription), ocSpeedup(oc_speedup)
+{
+    util::fatalIf(racks.empty(), "DatacenterPowerSim: need racks");
+    util::fatalIf(feed_capacity <= 0.0,
+                  "DatacenterPowerSim: feed capacity must be positive");
+    util::fatalIf(oversubscription < 1.0,
+                  "DatacenterPowerSim: oversubscription must be >= 1");
+    util::fatalIf(oc_speedup < 1.0,
+                  "DatacenterPowerSim: speedup must be >= 1");
+    for (const auto &rack : racks) {
+        util::fatalIf(rack.servers == 0, "DatacenterPowerSim: empty rack");
+        util::fatalIf(rack.idlePower < 0.0 ||
+                          rack.nominalPeak <= rack.idlePower,
+                      "DatacenterPowerSim: bad rack power range");
+        util::fatalIf(rack.overclockDemand < 0.0 ||
+                          rack.overclockDemand > 1.0,
+                      "DatacenterPowerSim: overclock demand out of [0,1]");
+    }
+}
+
+Watts
+DatacenterPowerSim::fleetNominalPeak() const
+{
+    Watts total = 0.0;
+    for (const auto &rack : racks)
+        total += rack.nominalPeak * static_cast<double>(rack.servers);
+    return total;
+}
+
+DatacenterOutcome
+DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
+                        double days) const
+{
+    util::fatalIf(days <= 0.0, "DatacenterPowerSim::run: bad horizon");
+
+    // One utilization trace per rack (racks aggregate many servers, so
+    // use a smoother trace than a single machine's).
+    workload::TraceParams trace_params;
+    trace_params.sampleInterval = 60.0;
+    trace_params.noiseSigma = 0.03;
+    trace_params.burstProb = 0.005;
+    std::vector<std::vector<workload::TraceSample>> traces;
+    traces.reserve(racks.size());
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        workload::TraceGenerator gen(trace_params);
+        traces.push_back(gen.generate(rng, days));
+    }
+
+    DatacenterOutcome out;
+    out.policy = policy;
+
+    double feed_util_sum = 0.0;
+    double capping_minutes = 0.0;
+    double want_minutes = 0.0;
+    double oc_minutes = 0.0;
+    double capped_oc_minutes = 0.0;
+    double speedup_sum = 0.0;
+
+    const std::size_t minutes = traces.front().size();
+    for (std::size_t minute = 0; minute < minutes; ++minute) {
+        // Build the consumer list for this minute.
+        std::vector<power::PowerConsumer> consumers;
+        std::vector<double> want_oc(racks.size(), 0.0);
+        Watts demand_total = 0.0;
+        for (std::size_t r = 0; r < racks.size(); ++r) {
+            const auto &rack = racks[r];
+            const double util = traces[r][minute].utilization;
+            const double servers = static_cast<double>(rack.servers);
+            Watts demand =
+                servers * (rack.idlePower +
+                           util * (rack.nominalPeak - rack.idlePower));
+            const Watts minimum = servers * rack.idlePower;
+
+            // Which share of the rack wants (and may get) an overclock?
+            want_oc[r] = util * rack.overclockDemand;
+            bool grant = false;
+            switch (policy) {
+              case OverclockPolicy::Never:
+                break;
+              case OverclockPolicy::Always:
+                grant = true;
+                break;
+              case OverclockPolicy::PowerAware:
+                // Decided after the base demand pass; handled below by
+                // a headroom check on the running total.
+                grant = true;
+                break;
+            }
+            if (grant && want_oc[r] > 0.0) {
+                demand += servers * want_oc[r] * rack.overclockExtra;
+            }
+            consumers.push_back(power::PowerConsumer{
+                "rack" + std::to_string(r), demand, minimum,
+                rack.priority});
+            demand_total += demand;
+        }
+
+        // Power-aware policy backs the overclock out again when the
+        // aggregate would breach the feed.
+        if (policy == OverclockPolicy::PowerAware &&
+            demand_total > feedCapacity) {
+            for (std::size_t r = 0; r < racks.size(); ++r) {
+                const auto &rack = racks[r];
+                const Watts oc_part = static_cast<double>(rack.servers) *
+                                      want_oc[r] * rack.overclockExtra;
+                consumers[r].demand -= oc_part;
+                demand_total -= oc_part;
+                want_oc[r] = -want_oc[r]; // Mark "wanted but withheld".
+            }
+        }
+
+        const power::PowerBudget budget(feedCapacity, oversub);
+        const auto allocations = budget.allocate(consumers);
+        Watts drawn = 0.0;
+        bool any_capped = false;
+        for (std::size_t r = 0; r < racks.size(); ++r) {
+            drawn += allocations[r].granted;
+            any_capped = any_capped || allocations[r].capped;
+
+            const auto &rack = racks[r];
+            const double servers = static_cast<double>(rack.servers);
+            const double wanted = std::abs(want_oc[r]) * servers;
+            want_minutes += wanted;
+            const bool overclocked =
+                policy != OverclockPolicy::Never && want_oc[r] > 0.0;
+            if (overclocked) {
+                oc_minutes += wanted;
+                if (allocations[r].capped) {
+                    // Capping claws the frequency back: the overclock
+                    // bought nothing this minute.
+                    capped_oc_minutes += wanted;
+                    speedup_sum += wanted * 1.0;
+                } else {
+                    speedup_sum += wanted * ocSpeedup;
+                }
+            } else {
+                speedup_sum += wanted * 1.0;
+            }
+        }
+        feed_util_sum += drawn / feedCapacity;
+        if (any_capped)
+            capping_minutes += 1.0;
+        out.energyMwh += drawn / 1e6 / 60.0;
+    }
+
+    const double total_minutes = static_cast<double>(minutes);
+    out.meanFeedUtilization = feed_util_sum / total_minutes;
+    out.cappingMinutesShare = capping_minutes / total_minutes;
+    out.overclockShare =
+        want_minutes > 0.0 ? oc_minutes / want_minutes : 0.0;
+    out.cappedOverclockShare =
+        oc_minutes > 0.0 ? capped_oc_minutes / oc_minutes : 0.0;
+    out.speedupDelivered =
+        want_minutes > 0.0 ? speedup_sum / want_minutes : 1.0;
+    return out;
+}
+
+} // namespace cluster
+} // namespace imsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Datacenter-scale power simulation: overclocking under power
+ * oversubscription.
+ *
+ * Sec. IV ("Power consumption") warns that overclocking in power-
+ * oversubscribed datacenters "increases the chance of hitting limits and
+ * triggering power capping mechanisms", whose frequency reductions "might
+ * offset any performance gains from overclocking" — and recommends
+ * overclocking "during periods of power underutilization due to workload
+ * variability and diurnal patterns" with priority-aware capping as the
+ * safety net. This simulator reproduces that trade-off: a feed with an
+ * oversubscribed budget, racks of servers following diurnal utilization
+ * traces, and three overclocking policies whose capping exposure and
+ * delivered speedup are measured.
+ */
+
+#ifndef IMSIM_CLUSTER_DATACENTER_HH
+#define IMSIM_CLUSTER_DATACENTER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "power/capping.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+#include "workload/trace.hh"
+
+namespace imsim {
+namespace cluster {
+
+/** When servers are allowed to overclock. */
+enum class OverclockPolicy
+{
+    Never,       ///< Plain fleet, no overclocking.
+    Always,      ///< Overclock whenever a server wants speed.
+    PowerAware,  ///< Overclock only while the feed has headroom.
+};
+
+/** One rack of identical servers. */
+struct RackConfig
+{
+    std::size_t servers = 24;
+    Watts idlePower = 200.0;       ///< Per-server power at zero load.
+    Watts nominalPeak = 700.0;     ///< Per-server power at full load.
+    Watts overclockExtra = 200.0;  ///< Extra power while overclocked.
+    int priority = 1;              ///< Capping priority (higher = later).
+    double overclockDemand = 0.5;  ///< Fraction of busy time the rack's
+                                   ///< tenants want overclocking.
+};
+
+/** Aggregate outcome of one simulated horizon. */
+struct DatacenterOutcome
+{
+    OverclockPolicy policy;
+    double energyMwh = 0.0;           ///< IT energy consumed.
+    double meanFeedUtilization = 0.0; ///< Average feed draw / capacity.
+    double cappingMinutesShare = 0.0; ///< Fraction of time capping fired.
+    double overclockShare = 0.0;      ///< Server-minutes overclocked /
+                                      ///< server-minutes wanting it.
+    double cappedOverclockShare = 0.0;///< Overclocked minutes that were
+                                      ///< then capped (wasted).
+    double speedupDelivered = 0.0;    ///< Mean delivered speedup across
+                                      ///< overclock-demanding minutes.
+};
+
+/**
+ * Fixed-step (1-minute) datacenter power simulator.
+ */
+class DatacenterPowerSim
+{
+  public:
+    /**
+     * @param racks            Rack configurations.
+     * @param feed_capacity    Feed circuit capacity [W].
+     * @param oversubscription Provisioned/capacity ratio (>= 1).
+     * @param oc_speedup       Speedup overclocking delivers when not
+     *                         capped (e.g. 1.2).
+     */
+    DatacenterPowerSim(std::vector<RackConfig> racks, Watts feed_capacity,
+                       double oversubscription = 1.2,
+                       double oc_speedup = 1.2);
+
+    /**
+     * Simulate @p days of operation under @p policy.
+     *
+     * @param rng Random stream (drives the per-rack diurnal traces).
+     */
+    DatacenterOutcome run(OverclockPolicy policy, util::Rng &rng,
+                          double days) const;
+
+    /** @return total nominal peak power across racks [W]. */
+    Watts fleetNominalPeak() const;
+
+  private:
+    std::vector<RackConfig> racks;
+    Watts feedCapacity;
+    double oversub;
+    double ocSpeedup;
+};
+
+} // namespace cluster
+} // namespace imsim
+
+#endif // IMSIM_CLUSTER_DATACENTER_HH

@@ -1,0 +1,116 @@
+#include "cluster/migration.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace cluster {
+
+MigrationModel::MigrationModel(MigrationParams params) : cfg(params)
+{
+    util::fatalIf(cfg.memoryGb <= 0.0, "MigrationModel: bad memory size");
+    util::fatalIf(cfg.bandwidthGbps <= 0.0,
+                  "MigrationModel: bad bandwidth");
+    util::fatalIf(cfg.dirtyRateGbps < 0.0,
+                  "MigrationModel: negative dirty rate");
+    util::fatalIf(cfg.stopCopyThresholdGb <= 0.0,
+                  "MigrationModel: bad stop-copy threshold");
+    util::fatalIf(cfg.maxRounds <= 0, "MigrationModel: bad round limit");
+}
+
+MigrationEstimate
+MigrationModel::estimate() const
+{
+    // Bandwidth here is GB/s of effective copy rate; inputs are Gbps.
+    const double bw = cfg.bandwidthGbps / 8.0;
+    const double dirty = cfg.dirtyRateGbps / 8.0;
+
+    MigrationEstimate out{};
+    out.converged = dirty < bw;
+
+    double remaining = cfg.memoryGb;
+    Seconds elapsed = 0.0;
+    double copied = 0.0;
+    int round = 0;
+    while (round < cfg.maxRounds && remaining > cfg.stopCopyThresholdGb) {
+        const Seconds round_time = remaining / bw;
+        copied += remaining;
+        elapsed += round_time;
+        // Pages redirtied while this round copied become next round's
+        // work; a non-converging guest plateaus at dirty/bw of memory.
+        remaining = std::min(cfg.memoryGb, dirty * round_time);
+        ++round;
+        if (!out.converged && round >= 3)
+            break; // Plateaued; force stop-and-copy.
+    }
+    out.rounds = round;
+    out.downtime = remaining / bw;
+    out.dataCopiedGb = copied + remaining;
+    out.totalTime = elapsed + out.downtime;
+    return out;
+}
+
+HotspotOutcome
+evaluateHotspot(HotspotResponse response, double slowdown,
+                double oc_speedup, Seconds hotspot_duration,
+                const MigrationModel &migration, double oc_wear_per_hour)
+{
+    util::fatalIf(slowdown <= 0.0 || slowdown > 1.0,
+                  "evaluateHotspot: slowdown out of (0,1]");
+    util::fatalIf(oc_speedup < 1.0,
+                  "evaluateHotspot: overclock speedup must be >= 1");
+    util::fatalIf(hotspot_duration < 0.0,
+                  "evaluateHotspot: negative duration");
+    util::fatalIf(oc_wear_per_hour < 0.0,
+                  "evaluateHotspot: negative wear rate");
+
+    HotspotOutcome out{};
+    out.response = response;
+    const double loss_rate = 1.0 - slowdown;
+    // Overclocking restores contended speed toward (and beyond) parity;
+    // residual loss is clipped at zero — excess speedup is headroom, not
+    // negative degradation.
+    const double oc_loss_rate =
+        std::max(0.0, 1.0 - slowdown * oc_speedup);
+    const MigrationEstimate mig = migration.estimate();
+
+    switch (response) {
+      case HotspotResponse::Endure:
+        out.degradationSeconds = loss_rate * hotspot_duration;
+        break;
+      case HotspotResponse::MigrateOnly: {
+        // Suffer (plus migration CPU overhead) until the move lands.
+        const Seconds exposed =
+            std::min(hotspot_duration, mig.totalTime);
+        out.degradationSeconds =
+            (loss_rate + migration.params().cpuOverhead) * exposed +
+            mig.downtime;
+        out.migrationTime = mig.totalTime;
+        break;
+      }
+      case HotspotResponse::OverclockStopGap: {
+        const Seconds exposed =
+            std::min(hotspot_duration, mig.totalTime);
+        out.degradationSeconds =
+            (oc_loss_rate + migration.params().cpuOverhead) * exposed +
+            mig.downtime;
+        out.migrationTime = mig.totalTime;
+        out.overclockedTime = exposed;
+        out.wearFractionSpent =
+            oc_wear_per_hour * exposed / units::kSecondsPerHour;
+        break;
+      }
+      case HotspotResponse::OverclockOnly:
+        out.degradationSeconds = oc_loss_rate * hotspot_duration;
+        out.overclockedTime = hotspot_duration;
+        out.wearFractionSpent =
+            oc_wear_per_hour * hotspot_duration / units::kSecondsPerHour;
+        break;
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace imsim

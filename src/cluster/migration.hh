@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Live VM migration model and the "overclock as a stop-gap" policy.
+ *
+ * Sec. V (dense VM packing): "overclocking could be used simply as a
+ * stop-gap solution to performance loss until live VM migration (which
+ * is a resource-hungry and lengthy operation) can eliminate the problem
+ * completely." This module models pre-copy live migration (iterative
+ * dirty-page copying over a bandwidth-limited link, then a stop-and-copy
+ * pause) and compares three responses to an oversubscription hotspot:
+ * endure it, migrate a VM away, or overclock until the migration lands.
+ */
+
+#ifndef IMSIM_CLUSTER_MIGRATION_HH
+#define IMSIM_CLUSTER_MIGRATION_HH
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace cluster {
+
+/** Parameters of a pre-copy live migration. */
+struct MigrationParams
+{
+    double memoryGb = 16.0;       ///< VM memory footprint.
+    double bandwidthGbps = 10.0;  ///< Migration link bandwidth.
+    double dirtyRateGbps = 1.5;   ///< Rate the guest redirties memory.
+    double stopCopyThresholdGb = 0.25; ///< Residual that triggers pause.
+    int maxRounds = 30;           ///< Pre-copy round limit.
+    double cpuOverhead = 0.15;    ///< Host CPU share migration consumes.
+};
+
+/** Outcome of a migration-time computation. */
+struct MigrationEstimate
+{
+    Seconds totalTime;   ///< Start to completion [s].
+    Seconds downtime;    ///< Stop-and-copy pause [s].
+    int rounds;          ///< Pre-copy rounds used.
+    double dataCopiedGb; ///< Total bytes moved (with re-copies).
+    bool converged;      ///< Dirty rate < bandwidth (else forced stop).
+};
+
+/**
+ * Pre-copy live migration model.
+ */
+class MigrationModel
+{
+  public:
+    explicit MigrationModel(MigrationParams params = {});
+
+    /** Estimate the migration of one VM. */
+    MigrationEstimate estimate() const;
+
+    /** @return the parameters. */
+    const MigrationParams &params() const { return cfg; }
+
+  private:
+    MigrationParams cfg;
+};
+
+/** How a provider responds to an oversubscription hotspot. */
+enum class HotspotResponse
+{
+    Endure,           ///< Accept the interference until it passes.
+    MigrateOnly,      ///< Start a migration; suffer until it lands.
+    OverclockStopGap, ///< Overclock now, migrate in the background.
+    OverclockOnly,    ///< Overclock for the hotspot's whole duration.
+};
+
+/** Integrated cost of one hotspot episode under a response policy. */
+struct HotspotOutcome
+{
+    HotspotResponse response;
+    double degradationSeconds;  ///< Integral of (slowdown x time) [s].
+    Seconds overclockedTime;    ///< Time spent overclocked [s].
+    Seconds migrationTime;      ///< Migration duration (0 if none).
+    double wearFractionSpent;   ///< Lifetime fraction consumed.
+};
+
+/**
+ * Evaluate a hotspot episode: a host oversubscribed such that affected
+ * VMs run at @p slowdown (< 1) of their entitled speed for
+ * @p hotspot_duration, unless mitigated.
+ *
+ * @param response          Mitigation policy.
+ * @param slowdown          Relative VM speed while contended (e.g. 0.8).
+ * @param oc_speedup        Speed multiplier overclocking provides.
+ * @param hotspot_duration  How long the contention would last [s].
+ * @param migration         Migration model for the move-away option.
+ * @param oc_wear_per_hour  Lifetime fraction consumed per overclocked
+ *                          hour (from the reliability model).
+ */
+HotspotOutcome evaluateHotspot(HotspotResponse response, double slowdown,
+                               double oc_speedup,
+                               Seconds hotspot_duration,
+                               const MigrationModel &migration,
+                               double oc_wear_per_hour);
+
+} // namespace cluster
+} // namespace imsim
+
+#endif // IMSIM_CLUSTER_MIGRATION_HH

@@ -1,0 +1,130 @@
+#include "cluster/packing.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace cluster {
+
+BinPacker::BinPacker(vm::HostSpec host_spec, std::size_t count,
+                     double cpu_oversub)
+    : oversub(cpu_oversub)
+{
+    util::fatalIf(count == 0, "BinPacker: need at least one host");
+    util::fatalIf(cpu_oversub < 1.0,
+                  "BinPacker: oversubscription ratio must be >= 1");
+    util::fatalIf(host_spec.pcores <= 0 || host_spec.memoryGb <= 0.0,
+                  "BinPacker: invalid host spec");
+    fleet.resize(count);
+    for (auto &host : fleet)
+        host.spec = host_spec;
+}
+
+bool
+BinPacker::fits(const PackedHost &host, const vm::VmSpec &vm) const
+{
+    const double vcore_cap =
+        static_cast<double>(host.spec.pcores) * oversub;
+    return static_cast<double>(host.vcoresUsed + vm.vcores) <=
+               vcore_cap + 1e-9 &&
+           host.memoryUsedGb + vm.memoryGb <= host.spec.memoryGb + 1e-9;
+}
+
+double
+BinPacker::slack(const PackedHost &host) const
+{
+    const double vcore_cap =
+        static_cast<double>(host.spec.pcores) * oversub;
+    const double cpu_slack =
+        (vcore_cap - static_cast<double>(host.vcoresUsed)) / vcore_cap;
+    const double mem_slack =
+        (host.spec.memoryGb - host.memoryUsedGb) / host.spec.memoryGb;
+    return cpu_slack + mem_slack;
+}
+
+std::optional<std::size_t>
+BinPacker::place(const vm::VmSpec &vm)
+{
+    util::fatalIf(vm.vcores <= 0, "BinPacker::place: VM needs vcores");
+    // Best fit: the non-empty host with the least remaining slack that
+    // still fits; fall back to opening an empty host.
+    std::optional<std::size_t> best;
+    double best_slack = 1e18;
+    std::optional<std::size_t> empty;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        if (!fits(fleet[i], vm))
+            continue;
+        if (fleet[i].vms.empty()) {
+            if (!empty)
+                empty = i;
+            continue;
+        }
+        const double s = slack(fleet[i]);
+        if (s < best_slack) {
+            best_slack = s;
+            best = i;
+        }
+    }
+    if (!best)
+        best = empty;
+    if (!best) {
+        ++failedCount;
+        return std::nullopt;
+    }
+    PackedHost &host = fleet[*best];
+    host.vcoresUsed += vm.vcores;
+    host.memoryUsedGb += vm.memoryGb;
+    host.vms.push_back(vm);
+    return best;
+}
+
+std::size_t
+BinPacker::placeAll(std::vector<vm::VmSpec> vms)
+{
+    std::sort(vms.begin(), vms.end(),
+              [](const vm::VmSpec &a, const vm::VmSpec &b) {
+                  if (a.vcores != b.vcores)
+                      return a.vcores > b.vcores;
+                  return a.memoryGb > b.memoryGb;
+              });
+    std::size_t placed = 0;
+    for (const auto &vm_spec : vms)
+        if (place(vm_spec))
+            ++placed;
+    return placed;
+}
+
+std::vector<vm::VmSpec>
+BinPacker::evictHost(std::size_t host)
+{
+    util::fatalIf(host >= fleet.size(), "BinPacker::evictHost: bad host");
+    std::vector<vm::VmSpec> evicted = std::move(fleet[host].vms);
+    fleet[host].vms.clear();
+    fleet[host].vcoresUsed = 0;
+    fleet[host].memoryUsedGb = 0.0;
+    return evicted;
+}
+
+PackingStats
+BinPacker::stats() const
+{
+    PackingStats out;
+    out.hostsTotal = fleet.size();
+    out.failed = failedCount;
+    for (const auto &host : fleet) {
+        if (host.vms.empty())
+            continue;
+        ++out.hostsUsed;
+        out.vcoresPlaced += host.vcoresUsed;
+        out.pcoresUsed += host.spec.pcores;
+    }
+    out.density = out.pcoresUsed > 0
+                      ? static_cast<double>(out.vcoresPlaced) /
+                            static_cast<double>(out.pcoresUsed)
+                      : 0.0;
+    return out;
+}
+
+} // namespace cluster
+} // namespace imsim

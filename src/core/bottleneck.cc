@@ -1,0 +1,61 @@
+#include "core/bottleneck.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace core {
+
+ResourceSignals
+signalsFromWork(const workload::WorkVector &work)
+{
+    ResourceSignals s{};
+    const double cpu = work.core + work.llc + work.mem;
+    s.coreScalable = cpu > 0.0 ? work.core / cpu : 0.0;
+    const double stalls = work.llc + work.mem;
+    s.llcPressure = stalls > 0.0 ? work.llc / (cpu > 0 ? cpu : 1.0) : 0.0;
+    s.memPressure = stalls > 0.0 ? work.mem / (cpu > 0 ? cpu : 1.0) : 0.0;
+    s.ioFraction = work.io;
+    return s;
+}
+
+BottleneckAnalyzer::BottleneckAnalyzer(double sensitivity_threshold)
+    : threshold(sensitivity_threshold)
+{
+    util::fatalIf(sensitivity_threshold <= 0.0 ||
+                      sensitivity_threshold >= 1.0,
+                  "BottleneckAnalyzer: threshold must be in (0,1)");
+}
+
+Recommendation
+BottleneckAnalyzer::recommend(const ResourceSignals &signals) const
+{
+    Recommendation rec;
+    // Weight each domain's sensitivity by the CPU-resident time: a VM
+    // that is 90 % IO gains little from any overclock.
+    const double cpu_weight = 1.0 - signals.ioFraction;
+    rec.core = signals.coreScalable * cpu_weight > threshold;
+    rec.uncore = signals.llcPressure * cpu_weight > threshold;
+    rec.memory = signals.memPressure * cpu_weight > threshold;
+    return rec;
+}
+
+const hw::CpuConfig &
+BottleneckAnalyzer::configFor(const Recommendation &rec) const
+{
+    if (!rec.any())
+        return hw::cpuConfig("B2");
+    if (rec.memory)
+        return hw::cpuConfig("OC3"); // Memory OC rides on uncore OC.
+    if (rec.uncore)
+        return hw::cpuConfig("OC2");
+    return hw::cpuConfig("OC1");
+}
+
+const hw::CpuConfig &
+BottleneckAnalyzer::configForApp(const workload::AppProfile &app) const
+{
+    return configFor(recommend(signalsFromWork(app.work)));
+}
+
+} // namespace core
+} // namespace imsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Counter-based bottleneck analysis (Sec. I, Sec. IV "Performance"):
+ * decide *which* component to overclock for a VM whose workload the
+ * provider cannot see. The analyzer consumes architecture-independent
+ * resource signals (derivable from Aperf/Pperf, LLC-miss and
+ * memory-bandwidth counters) and recommends the cheapest Table VII
+ * configuration that addresses the bottleneck, avoiding the wasted power
+ * of overclocking non-bottleneck domains (the paper's BI example).
+ */
+
+#ifndef IMSIM_CORE_BOTTLENECK_HH
+#define IMSIM_CORE_BOTTLENECK_HH
+
+#include <string>
+
+#include "hw/configs.hh"
+#include "hw/counters.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace core {
+
+/** Resource-sensitivity signals for one VM, all in [0, 1]. */
+struct ResourceSignals
+{
+    double coreScalable; ///< dPperf/dAperf: core-clock sensitivity.
+    double llcPressure;  ///< LLC-bound fraction of the stalls.
+    double memPressure;  ///< DRAM-bound fraction of the stalls.
+    double ioFraction;   ///< Non-CPU (IO/network) time fraction.
+};
+
+/** Derive signals from an application's (hidden) work vector, the way
+ *  the hardware counters would surface them. */
+ResourceSignals signalsFromWork(const workload::WorkVector &work);
+
+/** Which domains an overclock recommendation touches. */
+struct Recommendation
+{
+    bool core = false;
+    bool uncore = false;
+    bool memory = false;
+
+    /** @return whether any domain is recommended. */
+    bool any() const { return core || uncore || memory; }
+};
+
+/**
+ * Bottleneck analyzer.
+ */
+class BottleneckAnalyzer
+{
+  public:
+    /**
+     * @param sensitivity_threshold Minimum sensitivity for a domain to
+     *        be worth its overclocking power cost.
+     */
+    explicit BottleneckAnalyzer(double sensitivity_threshold = 0.15);
+
+    /** Recommend which domains to overclock for @p signals. */
+    Recommendation recommend(const ResourceSignals &signals) const;
+
+    /**
+     * Map a recommendation to the cheapest Table VII configuration that
+     * covers it (B2 when nothing is worth overclocking; OC1/OC2/OC3
+     * otherwise). Memory overclocking implies uncore overclocking on
+     * this platform (Table VII has no memory-only config).
+     */
+    const hw::CpuConfig &configFor(const Recommendation &rec) const;
+
+    /** Convenience: analyze an application end to end. */
+    const hw::CpuConfig &configForApp(const workload::AppProfile &app) const;
+
+  private:
+    double threshold;
+};
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_BOTTLENECK_HH

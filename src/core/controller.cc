@@ -1,0 +1,147 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace imsim {
+namespace core {
+
+OverclockController::OverclockController(
+    hw::CpuModel &cpu_model, const thermal::CoolingSystem &cooling_system,
+    reliability::WearTracker &wear_tracker,
+    reliability::ErrorRateWatchdog &error_watchdog,
+    power::RaplCapper &power_budget, ControllerPolicy policy)
+    : cpu(cpu_model), cooling(cooling_system), tracker(wear_tracker),
+      watchdog(error_watchdog), budget(power_budget), pol(policy)
+{
+    util::fatalIf(policy.minMarginMv < 0.0,
+                  "OverclockController: negative margin requirement");
+    util::fatalIf(policy.lifetimeTarget <= 0.0,
+                  "OverclockController: lifetime target must be positive");
+}
+
+reliability::StressCondition
+OverclockController::stressAt(GHz f, double activity) const
+{
+    // Evaluate the operating point's voltage and junction temperature.
+    hw::DomainClocks clocks = cpu.clocks();
+    clocks.core = f;
+    hw::CpuModel probe = cpu; // Copy: do not mutate the live part.
+    probe.setClocks(clocks);
+    const auto breakdown = probe.power(cooling, activity);
+
+    reliability::StressCondition cond;
+    cond.voltage = probe.coreVoltage();
+    cond.tjMax = breakdown.tj;
+    cond.tMin = std::min(pol.cycleFloor, breakdown.tj);
+    cond.freqRatio = f / cpu.curve().nominalFrequency();
+    cond.dutyCycle = std::clamp(activity, 0.0, 1.0);
+    return cond;
+}
+
+OverclockDecision
+OverclockController::request(GHz target, double duration_h, double activity,
+                             Seconds now_s) const
+{
+    util::fatalIf(target <= 0.0,
+                  "OverclockController::request: bad target frequency");
+    util::fatalIf(duration_h < 0.0,
+                  "OverclockController::request: negative duration");
+    OverclockDecision decision;
+    const GHz nominal = cpu.curve().nominalFrequency();
+
+    // 0. Hard boundary.
+    if (target > cpu.governor().overclockBoundary()) {
+        decision.reason = "target beyond the non-operating boundary";
+        decision.grantedCore = nominal;
+        return decision;
+    }
+
+    // 1. Stability: the watchdog must be quiet, and the operating point
+    // must retain the minimum voltage margin (the +50 mV offset of the
+    // OC configs exists exactly for this).
+    if (watchdog.tripped(now_s)) {
+        decision.reason = "correctable-error watchdog tripped; backing off";
+        decision.grantedCore = nominal;
+        return decision;
+    }
+    {
+        hw::CpuModel probe = cpu;
+        hw::DomainClocks clocks = cpu.clocks();
+        clocks.core = target;
+        probe.setClocks(clocks);
+        if (probe.voltageMarginMv() < pol.minMarginMv) {
+            decision.reason = "insufficient voltage margin at target";
+            decision.grantedCore = nominal;
+            return decision;
+        }
+    }
+
+    // 2. Power: trim the target into the package power budget.
+    GHz granted = target;
+    {
+        const auto power_at = [&](GHz f) {
+            hw::CpuModel probe = cpu;
+            hw::DomainClocks clocks = cpu.clocks();
+            clocks.core = f;
+            probe.setClocks(clocks);
+            return probe.power(cooling, activity).total +
+                   pol.powerHeadroom;
+        };
+        granted = budget.clamp(target, power_at);
+        granted = cpu.governor().snapToBin(granted);
+        if (granted < nominal) {
+            decision.reason = "power budget leaves no overclock headroom";
+            decision.grantedCore = nominal;
+            return decision;
+        }
+    }
+
+    // 3. Lifetime: the episode must be affordable within the wear
+    // budget; otherwise reduce until it is.
+    while (granted > nominal &&
+           !tracker.canAfford(stressAt(granted, activity),
+                              duration_h / units::kHoursPerYear)) {
+        granted = cpu.governor().snapToBin(granted - 0.1);
+    }
+    if (granted <= nominal) {
+        decision.reason = "lifetime budget exhausted";
+        decision.grantedCore = nominal;
+        return decision;
+    }
+
+    decision.approved = true;
+    decision.grantedCore = granted;
+    decision.grantedRatio = granted / nominal;
+    if (granted < target) {
+        decision.reason = "granted " + util::fmt(granted, 1) +
+                          " GHz (trimmed from " + util::fmt(target, 1) +
+                          " GHz)";
+    } else {
+        decision.reason = "granted";
+    }
+    return decision;
+}
+
+GHz
+OverclockController::greenBandCeiling() const
+{
+    // Junction temperatures at the two anchor ratios under this cooling.
+    const auto tj_at = [&](double ratio) {
+        hw::CpuModel probe = cpu;
+        hw::DomainClocks clocks = cpu.clocks();
+        clocks.core = cpu.curve().nominalFrequency() * ratio;
+        probe.setClocks(clocks);
+        if (ratio > 1.0)
+            probe.setVoltageOffset(50.0);
+        return probe.power(cooling, 1.0).tj;
+    };
+    const double ratio = lifetimeModel.maxFrequencyRatioForLifetime(
+        tj_at(1.0), tj_at(1.23), pol.cycleFloor, pol.lifetimeTarget);
+    return cpu.governor().snapToBin(cpu.curve().nominalFrequency() * ratio);
+}
+
+} // namespace core
+} // namespace imsim

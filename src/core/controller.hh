@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The overclock controller: the safety gate every overclocking request
+ * passes through. It enforces the three risk budgets Sec. IV quantifies:
+ *
+ *  - lifetime: the requested episode must be affordable within the
+ *    processor's wear budget (WearTracker credit);
+ *  - stability: the operating point must retain a minimum voltage margin
+ *    and the correctable-error watchdog must not be tripped;
+ *  - power: the server's post-overclock power must fit the (possibly
+ *    oversubscribed) power budget, or the request is trimmed.
+ */
+
+#ifndef IMSIM_CORE_CONTROLLER_HH
+#define IMSIM_CORE_CONTROLLER_HH
+
+#include <string>
+
+#include "hw/cpu.hh"
+#include "power/capping.hh"
+#include "reliability/lifetime.hh"
+#include "reliability/stability.hh"
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace core {
+
+/** Outcome of an overclock request. */
+struct OverclockDecision
+{
+    bool approved = false;
+    GHz grantedCore = 0.0;   ///< Core clock actually granted [GHz].
+    double grantedRatio = 1.0; ///< granted / all-core turbo.
+    std::string reason;      ///< Human-readable explanation.
+};
+
+/** Controller policy knobs. */
+struct ControllerPolicy
+{
+    double minMarginMv = 30.0;   ///< Minimum stability margin [mV].
+    Watts powerHeadroom = 0.0;   ///< Extra power the budget must keep.
+    Years lifetimeTarget = 5.0;  ///< Fleet design life.
+    Celsius cycleFloor = 35.0;   ///< Thermal-cycle low temperature [C].
+};
+
+/**
+ * Overclock controller for one server/CPU.
+ */
+class OverclockController
+{
+  public:
+    /**
+     * @param cpu       The CPU being controlled (state is inspected and,
+     *                  on approval, updated by the caller).
+     * @param cooling   Cooling system the CPU sits in.
+     * @param tracker   Wear-out accounting for this part.
+     * @param watchdog  Correctable-error watchdog.
+     * @param budget    Power budget for this server's circuit.
+     * @param policy    Controller policy.
+     */
+    OverclockController(hw::CpuModel &cpu,
+                        const thermal::CoolingSystem &cooling,
+                        reliability::WearTracker &tracker,
+                        reliability::ErrorRateWatchdog &watchdog,
+                        power::RaplCapper &budget,
+                        ControllerPolicy policy = {});
+
+    /**
+     * Request to run the core domain at @p target for @p duration hours
+     * with @p activity load.
+     *
+     * The controller may grant a lower frequency than requested (power
+     * trim or lifetime cap) or deny (stability). On approval the caller
+     * is expected to apply grantedCore and, afterwards, accrue the wear.
+     *
+     * @param now_s Current time [s], for the watchdog.
+     */
+    OverclockDecision request(GHz target, double duration_h,
+                              double activity, Seconds now_s) const;
+
+    /**
+     * Highest core frequency the lifetime budget alone sustains
+     * indefinitely (the "green band" ceiling of Fig. 5(b)).
+     */
+    GHz greenBandCeiling() const;
+
+    /** @return the policy. */
+    const ControllerPolicy &policy() const { return pol; }
+
+  private:
+    /** Build the stress condition for running at @p f with @p activity. */
+    reliability::StressCondition stressAt(GHz f, double activity) const;
+
+    hw::CpuModel &cpu;
+    const thermal::CoolingSystem &cooling;
+    reliability::WearTracker &tracker;
+    reliability::ErrorRateWatchdog &watchdog;
+    power::RaplCapper &budget;
+    ControllerPolicy pol;
+    reliability::LifetimeModel lifetimeModel;
+};
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_CONTROLLER_HH

@@ -1,0 +1,58 @@
+#include "core/credit.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace core {
+
+CreditScheduler::CreditScheduler(reliability::WearTracker &wear_tracker,
+                                 CreditPolicy policy)
+    : tracker(wear_tracker), pol(policy)
+{
+    util::fatalIf(pol.greenRatio < 1.0 || pol.redRatio < pol.greenRatio,
+                  "CreditScheduler: need 1 <= green <= red ratio");
+    util::fatalIf(pol.redBandReserve < 0.0 || pol.safetyReserve < 0.0,
+                  "CreditScheduler: negative reserves");
+}
+
+CreditDecision
+CreditScheduler::decide(const reliability::StressCondition &,
+                        const reliability::StressCondition &green,
+                        const reliability::StressCondition &red,
+                        bool demand, Years duration) const
+{
+    util::fatalIf(duration <= 0.0, "CreditScheduler: bad duration");
+    CreditDecision decision;
+    if (!demand)
+        return decision; // Bank credit while nobody wants the speed.
+
+    const double credit = tracker.credit();
+
+    // Red-band escalation: only from a healthy credit balance, and only
+    // when the balance stays above the safety floor afterwards.
+    if (credit >= pol.redBandReserve &&
+        tracker.canAfford(red, duration)) {
+        // canAfford already nets the episode against the banked credit;
+        // additionally require the post-episode balance to respect the
+        // safety reserve.
+        reliability::WearTracker probe = tracker;
+        probe.accrue(red, duration);
+        if (probe.credit() >= pol.safetyReserve) {
+            decision.overclock = true;
+            decision.redBand = true;
+            decision.frequencyRatio = pol.redRatio;
+            return decision;
+        }
+    }
+
+    // Green band: grant while the budget affords it.
+    if (tracker.canAfford(green, duration)) {
+        decision.overclock = true;
+        decision.frequencyRatio = pol.greenRatio;
+        return decision;
+    }
+    return decision;
+}
+
+} // namespace core
+} // namespace imsim

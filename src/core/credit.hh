@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Wear-credit overclocking scheduler.
+ *
+ * Sec. IV ("Lifetime"): the vendor model assumes worst-case utilization,
+ * so "moderately-utilized servers will accumulate lifetime credit. Such
+ * servers can be overclocked beyond the 23% frequency boost for added
+ * performance, but the extent and duration of this additional
+ * overclocking has to be balanced against the impact on lifetime. To
+ * this end, we are working with component manufacturers to provide
+ * wear-out counters". This scheduler implements that balance: it reads
+ * the wear-out counter (WearTracker), grants overclock episodes only
+ * when the budget affords them, and escalates into the red band (beyond
+ * the green-band ratio) only while surplus credit exists.
+ */
+
+#ifndef IMSIM_CORE_CREDIT_HH
+#define IMSIM_CORE_CREDIT_HH
+
+#include "reliability/lifetime.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace core {
+
+/** One scheduling decision. */
+struct CreditDecision
+{
+    bool overclock = false;    ///< Run the episode overclocked at all.
+    bool redBand = false;      ///< Escalate beyond the green band.
+    double frequencyRatio = 1.0; ///< Granted f / all-core turbo.
+};
+
+/** Scheduler policy knobs. */
+struct CreditPolicy
+{
+    double greenRatio = 1.23;   ///< Green-band frequency ratio.
+    double redRatio = 1.30;     ///< Red-band escalation ratio.
+    /** Credit (fraction of total life) that must be banked before the
+     *  scheduler escalates into the red band. */
+    double redBandReserve = 0.02;
+    /** Keep this much credit untouched as a safety floor. */
+    double safetyReserve = 0.005;
+};
+
+/**
+ * Wear-credit scheduler for one processor.
+ */
+class CreditScheduler
+{
+  public:
+    /**
+     * @param tracker  The processor's wear-out counter.
+     * @param policy   Scheduler knobs.
+     */
+    CreditScheduler(reliability::WearTracker &tracker,
+                    CreditPolicy policy = {});
+
+    /**
+     * Decide one upcoming episode.
+     *
+     * @param nominal   Stress if the episode runs at nominal frequency.
+     * @param green     Stress if it runs at the green-band ratio.
+     * @param red       Stress if it runs at the red-band ratio.
+     * @param demand    Whether the tenant wants the speed at all.
+     * @param duration  Episode length [years].
+     */
+    CreditDecision decide(const reliability::StressCondition &nominal,
+                          const reliability::StressCondition &green,
+                          const reliability::StressCondition &red,
+                          bool demand, Years duration) const;
+
+    /**
+     * Record the episode's outcome into the wear counter: call with the
+     * stress actually applied.
+     */
+    void
+    commit(const reliability::StressCondition &applied, Years duration)
+    {
+        tracker.accrue(applied, duration);
+    }
+
+    /** @return the policy. */
+    const CreditPolicy &policy() const { return pol; }
+
+  private:
+    reliability::WearTracker &tracker;
+    CreditPolicy pol;
+};
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_CREDIT_HH

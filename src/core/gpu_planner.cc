@@ -1,0 +1,60 @@
+#include "core/gpu_planner.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace core {
+
+GpuPlanner::GpuPlanner(double memory_sensitivity_threshold)
+    : memThreshold(memory_sensitivity_threshold)
+{
+    util::fatalIf(memory_sensitivity_threshold <= 0.0 ||
+                      memory_sensitivity_threshold >= 1.0,
+                  "GpuPlanner: threshold must be in (0,1)");
+}
+
+double
+GpuPlanner::speedup(const workload::VggModel &model,
+                    const std::string &config_name) const
+{
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig(config_name));
+    return 1.0 / trainingModel.relativeTime(model, gpu);
+}
+
+GpuOverclockPlan
+GpuPlanner::plan(const workload::VggModel &model) const
+{
+    GpuOverclockPlan out;
+    out.modelName = model.name;
+
+    // SM overclocking (OCG1) is free within the stock power limit, so
+    // it is always part of the plan; the memory overclock (OCG2, and
+    // OCG3's further step) only pays when the model is memory-hungry.
+    const char *choice;
+    if (model.memWork >= 1.5 * memThreshold)
+        choice = "OCG3";
+    else if (model.memWork >= memThreshold)
+        choice = "OCG2";
+    else
+        choice = "OCG1";
+    out.config = &hw::gpuConfig(choice);
+
+    hw::GpuModel base;
+    hw::GpuModel chosen;
+    chosen.applyConfig(*out.config);
+    out.expectedSpeedup = 1.0 / trainingModel.relativeTime(model, chosen);
+    out.extraPower = trainingModel.trainingPower(model, chosen) -
+                     trainingModel.trainingPower(model, base);
+    // OCG1 costs essentially no extra board power (same limit, shifted
+    // efficiency point); floor the denominator at one watt so its
+    // near-free uplift reports a high, finite efficiency.
+    out.powerEfficiency = (out.expectedSpeedup - 1.0) * 100.0 /
+                          std::max(out.extraPower, 1.0);
+    return out;
+}
+
+} // namespace core
+} // namespace imsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GPU overclocking planner: the "which component to overclock" question
+ * (Sec. IV "Performance") applied to the GPU's two domains. Fig. 11's
+ * lesson is the input: SM-bound training (the batch-optimised VGG16B)
+ * wastes the OCG2/OCG3 memory overclock's power, while memory-hungry
+ * models need it. The planner picks the cheapest Table VIII
+ * configuration whose domains match the model's bottleneck split and
+ * reports the expected gain and power cost.
+ */
+
+#ifndef IMSIM_CORE_GPU_PLANNER_HH
+#define IMSIM_CORE_GPU_PLANNER_HH
+
+#include <string>
+
+#include "hw/gpu.hh"
+#include "workload/gpu_training.hh"
+
+namespace imsim {
+namespace core {
+
+/** Plan for one GPU training workload. */
+struct GpuOverclockPlan
+{
+    std::string modelName;       ///< Workload (VGG variant).
+    const hw::GpuConfig *config; ///< Recommended Table VIII config.
+    double expectedSpeedup;      ///< 1 / relative training time.
+    Watts extraPower;            ///< Board power above the Base config.
+    double powerEfficiency;      ///< Speedup percent per extra watt.
+};
+
+/**
+ * GPU bottleneck-aware configuration planner.
+ */
+class GpuPlanner
+{
+  public:
+    /**
+     * @param memory_sensitivity_threshold Minimum memory-work fraction
+     *        for the memory overclock (OCG2/OCG3) to pay for itself.
+     */
+    explicit GpuPlanner(double memory_sensitivity_threshold = 0.20);
+
+    /** Plan the configuration for one training workload. */
+    GpuOverclockPlan plan(const workload::VggModel &model) const;
+
+    /**
+     * Expected speedup of @p model under @p config_name relative to the
+     * Base configuration.
+     */
+    double speedup(const workload::VggModel &model,
+                   const std::string &config_name) const;
+
+  private:
+    double memThreshold;
+    workload::GpuTrainingModel trainingModel;
+};
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_GPU_PLANNER_HH

@@ -1,0 +1,51 @@
+#include "core/sku.hh"
+
+#include "core/bottleneck.hh"
+#include "core/usecases.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace core {
+
+SkuEconomics
+priceHighPerfSku(const workload::AppProfile &app, int vm_vcores,
+                 Watts extra_power_w, double wear_per_hour,
+                 const SkuCostInputs &costs)
+{
+    util::fatalIf(vm_vcores <= 0, "priceHighPerfSku: need vcores");
+    util::fatalIf(extra_power_w < 0.0,
+                  "priceHighPerfSku: negative extra power");
+    util::fatalIf(wear_per_hour < 0.0,
+                  "priceHighPerfSku: negative wear rate");
+    util::fatalIf(costs.vcoresPerServer <= 0,
+                  "priceHighPerfSku: bad server vcore count");
+
+    SkuEconomics out;
+    out.appClass = app.name;
+    const HighPerfVmPlan plan = planHighPerfVm(app);
+    out.configName = plan.config->name;
+    out.speedup = plan.expectedSpeedup;
+    out.extraPowerW = extra_power_w;
+
+    // The VM owns its vcore share of the server's extra power and wear.
+    const double share = static_cast<double>(vm_vcores) /
+                         static_cast<double>(costs.vcoresPerServer);
+    out.extraEnergyCostPerVmHour = extra_power_w / 1000.0 * costs.pue *
+                                   costs.energyPricePerKwh * share;
+    out.wearCostPerVmHour =
+        wear_per_hour * costs.serverReplacementCost * share;
+
+    const double base_vm_price =
+        costs.basePricePerVcoreHour * vm_vcores;
+    out.breakEvenPremium =
+        (out.extraEnergyCostPerVmHour + out.wearCostPerVmHour) /
+        base_vm_price;
+    // Performance-proportional pricing: customers pay for delivered
+    // speed, so the justifiable premium equals the speedup minus one.
+    out.valuePremium = out.speedup - 1.0;
+    out.sellable = out.valuePremium >= out.breakEvenPremium;
+    return out;
+}
+
+} // namespace core
+} // namespace imsim

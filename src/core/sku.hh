@@ -1,0 +1,70 @@
+/**
+ * @file
+ * High-performance VM SKU economics (Sec. V "High-performance VMs",
+ * Fig. 5(c)): given the expected speedup on a workload class, the extra
+ * power and wear the overclock costs, and the provider's cost structure,
+ * what price premium makes the SKU break even — and does the green band
+ * make it sellable at all?
+ */
+
+#ifndef IMSIM_CORE_SKU_HH
+#define IMSIM_CORE_SKU_HH
+
+#include <string>
+
+#include "util/units.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace core {
+
+/** Cost inputs for the SKU pricing. */
+struct SkuCostInputs
+{
+    /** Baseline VM price [$ per vcore-hour]. */
+    double basePricePerVcoreHour = 0.05;
+    /** Electricity price [$ per kWh]. */
+    double energyPricePerKwh = 0.08;
+    /** Facility average PUE applied to the energy bill. */
+    double pue = 1.05;
+    /** Replacement cost of one server, amortised per wear-fraction. */
+    double serverReplacementCost = 12000.0;
+    /** vCores per server (to apportion per-VM shares). */
+    int vcoresPerServer = 56;
+};
+
+/** Economics of one high-performance SKU. */
+struct SkuEconomics
+{
+    std::string appClass;        ///< Workload class it targets.
+    std::string configName;      ///< Overclock configuration used.
+    double speedup;              ///< Customer-visible speedup.
+    double extraPowerW;          ///< Additional server power [W].
+    double extraEnergyCostPerVmHour;  ///< [$ per VM-hour].
+    double wearCostPerVmHour;    ///< Lifetime consumption cost [$/VM-h].
+    double breakEvenPremium;     ///< Fractional price uplift to break even.
+    double valuePremium;         ///< Premium justified by the speedup
+                                 ///< (perf-proportional pricing).
+    bool sellable;               ///< valuePremium >= breakEvenPremium.
+};
+
+/**
+ * Price a high-performance SKU for @p app.
+ *
+ * @param app               Target workload class (drives config choice
+ *                          and speedup via the bottleneck analyzer).
+ * @param vm_vcores         vCores of the SKU.
+ * @param extra_power_w     Additional server power when overclocked [W].
+ * @param wear_per_hour     Extra lifetime fraction consumed per
+ *                          overclocked hour (from the lifetime model).
+ * @param costs             Cost inputs.
+ */
+SkuEconomics priceHighPerfSku(const workload::AppProfile &app,
+                              int vm_vcores, Watts extra_power_w,
+                              double wear_per_hour,
+                              const SkuCostInputs &costs = {});
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_SKU_HH

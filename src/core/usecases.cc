@@ -1,0 +1,73 @@
+#include "core/usecases.hh"
+
+#include "util/logging.hh"
+#include "workload/perf.hh"
+
+namespace imsim {
+namespace core {
+
+namespace {
+
+hw::DomainClocks
+clocksOf(const hw::CpuConfig &config)
+{
+    return hw::DomainClocks{config.core, config.llc, config.memory};
+}
+
+} // namespace
+
+HighPerfVmPlan
+planHighPerfVm(const workload::AppProfile &app, double green_band_ratio)
+{
+    util::fatalIf(green_band_ratio < 1.0,
+                  "planHighPerfVm: green band ratio below nominal");
+    const BottleneckAnalyzer analyzer;
+    HighPerfVmPlan plan;
+    plan.appName = app.name;
+    plan.config = &analyzer.configForApp(app);
+    const double rel =
+        workload::relativeMetric(app, clocksOf(*plan.config));
+    plan.expectedSpeedup =
+        workload::lowerIsBetter(app.metric) ? 1.0 / rel : rel;
+    plan.inGreenBand =
+        plan.config->core <=
+        workload::referenceClocks().core * green_band_ratio + 1e-9;
+    return plan;
+}
+
+OversubscriptionPlan
+planOversubscription(const workload::AppProfile &app, int vcores, int pcores)
+{
+    util::fatalIf(vcores <= 0 || pcores <= 0,
+                  "planOversubscription: need positive core counts");
+    OversubscriptionPlan plan;
+    plan.oversubRatio =
+        static_cast<double>(vcores) / static_cast<double>(pcores);
+    plan.config = &hw::cpuConfig("B2");
+    plan.compensatedSpeedup = 1.0;
+    plan.feasible = plan.oversubRatio <= 1.0;
+    if (plan.feasible)
+        return plan;
+
+    // Walk the overclock configs cheapest-first and take the first whose
+    // speedup on this workload covers the oversubscription.
+    for (const char *name : {"OC1", "OC2", "OC3"}) {
+        const hw::CpuConfig &config = hw::cpuConfig(name);
+        const double gain =
+            workload::speedup(app.work, clocksOf(config));
+        if (gain >= plan.oversubRatio) {
+            plan.config = &config;
+            plan.compensatedSpeedup = gain;
+            plan.feasible = true;
+            return plan;
+        }
+        // Remember the best effort even if insufficient.
+        plan.config = &config;
+        plan.compensatedSpeedup = gain;
+    }
+    plan.feasible = false;
+    return plan;
+}
+
+} // namespace core
+} // namespace imsim

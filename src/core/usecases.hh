@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Use-case planners (Sec. V): thin orchestration layers that apply the
+ * overclocking control plane to the five datacenter scenarios the paper
+ * proposes — high-performance VMs, dense packing via oversubscription,
+ * buffer reduction, capacity-crisis mitigation, and (in the autoscale
+ * module) auto-scaling.
+ */
+
+#ifndef IMSIM_CORE_USECASES_HH
+#define IMSIM_CORE_USECASES_HH
+
+#include <string>
+
+#include "core/bottleneck.hh"
+#include "hw/configs.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace core {
+
+/** High-performance VM offering (Fig. 5(c)). */
+struct HighPerfVmPlan
+{
+    std::string appName;
+    const hw::CpuConfig *config; ///< Recommended Table VII config.
+    double expectedSpeedup;      ///< On the app's metric of interest.
+    bool inGreenBand;            ///< No lifetime impact expected.
+};
+
+/**
+ * Plan a high-performance VM offering for @p app: choose the bottleneck-
+ * matched overclock config and compute the expected gain.
+ *
+ * @param green_band_ratio Frequency ratio boundary of the green band
+ *        (from OverclockController::greenBandCeiling over nominal).
+ */
+HighPerfVmPlan planHighPerfVm(const workload::AppProfile &app,
+                              double green_band_ratio = 1.23);
+
+/** Oversubscription compensation plan (Fig. 5(d), Sec. VI-C). */
+struct OversubscriptionPlan
+{
+    double oversubRatio;       ///< vcores / pcores requested.
+    const hw::CpuConfig *config; ///< Config that compensates it.
+    double compensatedSpeedup; ///< Speedup the config delivers.
+    bool feasible;             ///< Speedup covers the oversubscription.
+};
+
+/**
+ * Find the cheapest overclock configuration whose core-domain speedup
+ * covers an oversubscription of @p vcores on @p pcores for workload mix
+ * dominated by @p app.
+ */
+OversubscriptionPlan planOversubscription(const workload::AppProfile &app,
+                                          int vcores, int pcores);
+
+} // namespace core
+} // namespace imsim
+
+#endif // IMSIM_CORE_USECASES_HH

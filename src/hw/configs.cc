@@ -1,0 +1,59 @@
+#include "hw/configs.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace hw {
+
+const std::vector<CpuConfig> &
+cpuConfigCatalog()
+{
+    // Table VII. B1 runs at base clock with turbo disabled; B2 is the
+    // production default (all-core turbo); B3/B4 overclock uncore/memory
+    // only; OC1-OC3 overclock the core to 4.1 GHz with a +50 mV offset
+    // and progressively the uncore and memory.
+    static const std::vector<CpuConfig> catalog{
+        {"B1", 3.1, 0.0, false, 2.4, 2.4},
+        {"B2", 3.4, 0.0, true, 2.4, 2.4},
+        {"B3", 3.4, 0.0, true, 2.8, 2.4},
+        {"B4", 3.4, 0.0, true, 2.8, 3.0},
+        {"OC1", 4.1, 50.0, false, 2.4, 2.4},
+        {"OC2", 4.1, 50.0, false, 2.8, 2.4},
+        {"OC3", 4.1, 50.0, false, 2.8, 3.0},
+    };
+    return catalog;
+}
+
+const CpuConfig &
+cpuConfig(const std::string &name)
+{
+    for (const auto &config : cpuConfigCatalog())
+        if (config.name == name)
+            return config;
+    util::fatal("unknown CPU configuration: " + name);
+}
+
+const std::vector<GpuConfig> &
+gpuConfigCatalog()
+{
+    // Table VIII.
+    static const std::vector<GpuConfig> catalog{
+        {"Base", 250.0, 1.35, 1.950, 6.8, 0.0},
+        {"OCG1", 250.0, 1.55, 2.085, 6.8, 0.0},
+        {"OCG2", 300.0, 1.55, 2.085, 8.1, 100.0},
+        {"OCG3", 300.0, 1.55, 2.085, 8.3, 100.0},
+    };
+    return catalog;
+}
+
+const GpuConfig &
+gpuConfig(const std::string &name)
+{
+    for (const auto &config : gpuConfigCatalog())
+        if (config.name == name)
+            return config;
+    util::fatal("unknown GPU configuration: " + name);
+}
+
+} // namespace hw
+} // namespace imsim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Frequency-configuration catalogs: the CPU configurations of Table VII
+ * (B1-B4, OC1-OC3 on the Xeon W-3175X) and the GPU configurations of
+ * Table VIII (Base, OCG1-OCG3 on the RTX 2080 Ti).
+ */
+
+#ifndef IMSIM_HW_CONFIGS_HH
+#define IMSIM_HW_CONFIGS_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace hw {
+
+/** One row of Table VII: a CPU frequency configuration. */
+struct CpuConfig
+{
+    std::string name;       ///< "B1".."B4", "OC1".."OC3".
+    GHz core;               ///< Core clock [GHz].
+    double voltageOffsetMv; ///< Extra voltage offset [mV].
+    bool turboEnabled;      ///< Turbo Boost enabled (N/A when overclocked).
+    GHz llc;                ///< Uncore / last-level-cache clock [GHz].
+    GHz memory;             ///< System memory clock [GHz].
+
+    /** @return whether this is an overclocked configuration (OC*). */
+    bool isOverclock() const { return name.rfind("OC", 0) == 0; }
+};
+
+/** @return all Table VII rows, in table order. */
+const std::vector<CpuConfig> &cpuConfigCatalog();
+
+/** Look up a CPU configuration by name; FatalError when unknown. */
+const CpuConfig &cpuConfig(const std::string &name);
+
+/** One row of Table VIII: a GPU frequency configuration. */
+struct GpuConfig
+{
+    std::string name;       ///< "Base", "OCG1".."OCG3".
+    Watts powerLimit;       ///< Board power limit [W].
+    GHz base;               ///< Base clock [GHz].
+    GHz turbo;              ///< Turbo clock [GHz].
+    GHz memory;             ///< Memory clock [GHz].
+    double voltageOffsetMv; ///< Extra voltage offset [mV].
+
+    /** @return whether this is an overclocked configuration (OCG*). */
+    bool isOverclock() const { return name.rfind("OCG", 0) == 0; }
+};
+
+/** @return all Table VIII rows, in table order. */
+const std::vector<GpuConfig> &gpuConfigCatalog();
+
+/** Look up a GPU configuration by name; FatalError when unknown. */
+const GpuConfig &gpuConfig(const std::string &name);
+
+} // namespace hw
+} // namespace imsim
+
+#endif // IMSIM_HW_CONFIGS_HH

@@ -1,0 +1,80 @@
+#include "hw/counters.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace hw {
+
+double
+CounterSample::scalableFraction(const CounterSample &earlier,
+                                double fallback) const
+{
+    const double da = aperf - earlier.aperf;
+    const double dp = pperf - earlier.pperf;
+    util::fatalIf(da < -1e-12 || dp < -1e-12,
+                  "CounterSample: counters went backwards");
+    if (da <= 1e-12)
+        return fallback;
+    return std::clamp(dp / da, 0.0, 1.0);
+}
+
+double
+CounterSample::utilization(const CounterSample &earlier, GHz core_freq,
+                           GHz tsc_freq) const
+{
+    util::fatalIf(core_freq <= 0.0 || tsc_freq <= 0.0,
+                  "CounterSample::utilization: non-positive frequency");
+    const double da = aperf - earlier.aperf;
+    const double dtsc = tsc - earlier.tsc;
+    if (dtsc <= 1e-12)
+        return 0.0;
+    // Busy wall-clock fraction: active cycles divided by the cycles the
+    // core would have retired had it been active the whole interval.
+    const double wall_seconds = dtsc / tsc_freq;
+    const double busy_seconds = da / core_freq;
+    return std::clamp(busy_seconds / wall_seconds, 0.0, 1.0);
+}
+
+CounterBlock::CounterBlock(GHz tsc_freq) : tscFreq(tsc_freq)
+{
+    util::fatalIf(tsc_freq <= 0.0, "CounterBlock: TSC frequency must be > 0");
+}
+
+void
+CounterBlock::advance(Seconds dt, GHz core_freq, double busy_fraction,
+                      double stall_fraction)
+{
+    util::fatalIf(dt < 0.0, "CounterBlock::advance: negative dt");
+    util::fatalIf(core_freq <= 0.0,
+                  "CounterBlock::advance: frequency must be positive");
+    util::fatalIf(busy_fraction < 0.0 || busy_fraction > 1.0,
+                  "CounterBlock::advance: busy fraction out of [0,1]");
+    util::fatalIf(stall_fraction < 0.0 || stall_fraction > 1.0,
+                  "CounterBlock::advance: stall fraction out of [0,1]");
+    const double active_gigacycles = dt * core_freq * busy_fraction;
+    current.aperf += active_gigacycles;
+    current.pperf += active_gigacycles * (1.0 - stall_fraction);
+    current.tsc += dt * tscFreq;
+}
+
+void
+CounterBlock::reset()
+{
+    current = CounterSample{};
+}
+
+double
+predictedUtilization(double util, double p_over_a, GHz f0, GHz f1)
+{
+    util::fatalIf(util < 0.0, "predictedUtilization: negative utilization");
+    util::fatalIf(p_over_a < 0.0 || p_over_a > 1.0,
+                  "predictedUtilization: P/A out of [0,1]");
+    util::fatalIf(f0 <= 0.0 || f1 <= 0.0,
+                  "predictedUtilization: non-positive frequency");
+    return util * (p_over_a * f0 / f1 + (1.0 - p_over_a));
+}
+
+} // namespace hw
+} // namespace imsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Hardware-counter emulation: the architecture-independent Aperf/Pperf
+ * pair the auto-scaler's utilization model (Eq. 1, from Mubeen's workload
+ * frequency scaling law [51]) consumes.
+ *
+ * Aperf counts cycles while the core is active; Pperf counts active cycles
+ * that are *productive*, i.e. not stalled on some dependency such as a
+ * memory access. The ratio dPperf/dAperf is the frequency-scalable
+ * fraction of the work.
+ */
+
+#ifndef IMSIM_HW_COUNTERS_HH
+#define IMSIM_HW_COUNTERS_HH
+
+#include <cstdint>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace hw {
+
+/** A sample of the counter block at one instant. */
+struct CounterSample
+{
+    double aperf = 0.0; ///< Active cycles (x1e9, i.e. gigacycles).
+    double pperf = 0.0; ///< Productive active cycles (gigacycles).
+    double tsc = 0.0;   ///< Wall-clock reference cycles (gigacycles).
+
+    /**
+     * Frequency-scalable fraction between @p earlier and this sample:
+     * dPperf/dAperf. Returns @p fallback when no active cycles elapsed.
+     */
+    double scalableFraction(const CounterSample &earlier,
+                            double fallback = 1.0) const;
+
+    /** Core utilization between @p earlier and this sample: dAperf/dTsc
+     *  normalised by the frequency ratio f/f_tsc. For the emulation the
+     *  caller usually tracks utilization directly; this derives it from
+     *  the counters the way production telemetry would. */
+    double utilization(const CounterSample &earlier, GHz core_freq,
+                       GHz tsc_freq) const;
+};
+
+/**
+ * Per-core (or per-VM aggregate) counter block, advanced by the hypervisor
+ * scheduler as simulated work executes.
+ */
+class CounterBlock
+{
+  public:
+    /** @param tsc_freq Invariant TSC frequency [GHz]. */
+    explicit CounterBlock(GHz tsc_freq = 2.4);
+
+    /**
+     * Advance the counters by @p dt seconds of wall-clock time.
+     *
+     * @param core_freq     Current core frequency [GHz].
+     * @param busy_fraction Fraction of @p dt the core was active [0,1].
+     * @param stall_fraction Fraction of *active* cycles stalled on
+     *                       non-core-clock resources [0,1].
+     */
+    void advance(Seconds dt, GHz core_freq, double busy_fraction,
+                 double stall_fraction);
+
+    /** @return a snapshot of the current counter values. */
+    CounterSample sample() const { return current; }
+
+    /** Reset all counters to zero. */
+    void reset();
+
+  private:
+    CounterSample current;
+    GHz tscFreq;
+};
+
+/**
+ * Eq. 1 of the paper: predicted utilization after changing the core clock
+ * from @p f0 to @p f1, given current utilization @p util and the measured
+ * scalable fraction @p p_over_a = dPperf/dAperf.
+ *
+ * Util' = Util * (P/A * F0/F1 + (1 - P/A)).
+ */
+double predictedUtilization(double util, double p_over_a, GHz f0, GHz f1);
+
+} // namespace hw
+} // namespace imsim
+
+#endif // IMSIM_HW_COUNTERS_HH

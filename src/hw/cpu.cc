@@ -1,0 +1,175 @@
+#include "hw/cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace hw {
+
+namespace {
+
+/** Leakage reference temperature [C] and exponential scale [C]. */
+constexpr Celsius kLeakRefTj = 90.0;
+constexpr Celsius kLeakTheta = 80.0;
+
+/** Uncore V-f anchor: 0.95 V at 2.4 GHz, 0.1 V/GHz slope. */
+constexpr Volts kUncoreVNominal = 0.95;
+constexpr GHz kUncoreFNominal = 2.4;
+constexpr double kUncoreSlope = 0.10;
+
+/** Memory-domain nominal clock [GHz]. */
+constexpr GHz kMemFNominal = 2.4;
+
+} // namespace
+
+CpuModel::CpuModel(std::string name, TurboGovernor governor,
+                   power::VfCurve curve, Watts core_dyn, Watts uncore_dyn,
+                   Watts mem_io_dyn, Watts leak_ref, bool unlocked)
+    : partName(std::move(name)), turbo(governor), vf(curve),
+      coreDyn(core_dyn), uncoreDyn(uncore_dyn), memIoDyn(mem_io_dyn),
+      leakRef(leak_ref), isUnlocked(unlocked)
+{
+    util::fatalIf(core_dyn <= 0.0, "CpuModel: core power must be positive");
+    util::fatalIf(uncore_dyn < 0.0 || mem_io_dyn < 0.0 || leak_ref < 0.0,
+                  "CpuModel: negative power term");
+    domains.core = turbo.baseFrequency();
+}
+
+void
+CpuModel::applyConfig(const CpuConfig &config)
+{
+    util::fatalIf(config.isOverclock() && !isUnlocked,
+                  "CpuModel::applyConfig: '" + config.name +
+                      "' requires an unlocked part, but " + partName +
+                      " is locked");
+    util::fatalIf(config.core > turbo.overclockBoundary(),
+                  "CpuModel::applyConfig: core clock beyond the "
+                  "non-operating boundary");
+    domains.core = config.core;
+    domains.llc = config.llc;
+    domains.memory = config.memory;
+    voltageOffsetMv = config.voltageOffsetMv;
+    currentConfig = config.name;
+}
+
+void
+CpuModel::setClocks(const DomainClocks &clocks)
+{
+    util::fatalIf(clocks.core <= 0.0 || clocks.llc <= 0.0 ||
+                      clocks.memory <= 0.0,
+                  "CpuModel::setClocks: non-positive clock");
+    util::fatalIf(clocks.core > turbo.overclockBoundary(),
+                  "CpuModel::setClocks: core clock beyond the "
+                  "non-operating boundary");
+    const bool overclocked = clocks.core > turbo.turboCeiling(turbo.cores());
+    util::fatalIf(overclocked && !isUnlocked,
+                  "CpuModel::setClocks: overclocking a locked part");
+    domains = clocks;
+    currentConfig = "custom";
+}
+
+void
+CpuModel::setVoltageOffset(double mv)
+{
+    util::fatalIf(mv < -200.0 || mv > 300.0,
+                  "CpuModel::setVoltageOffset: offset out of sane range");
+    voltageOffsetMv = mv;
+}
+
+Volts
+CpuModel::coreVoltage() const
+{
+    return vf.voltageFor(domains.core) + voltageOffsetMv * 1e-3;
+}
+
+double
+CpuModel::voltageMarginMv() const
+{
+    return vf.margin(domains.core, coreVoltage()) * 1e3;
+}
+
+Volts
+CpuModel::uncoreVoltage(GHz fu) const
+{
+    return kUncoreVNominal + kUncoreSlope * (fu - kUncoreFNominal);
+}
+
+CpuPowerBreakdown
+CpuModel::power(const thermal::CoolingSystem &cooling, double activity) const
+{
+    util::fatalIf(activity < 0.0 || activity > 1.0,
+                  "CpuModel::power: activity out of [0,1]");
+    CpuPowerBreakdown out{};
+
+    const Volts vc = coreVoltage();
+    const double vc_ratio = vc / vf.nominalVoltage();
+    const double fc_ratio = domains.core / vf.nominalFrequency();
+    out.core = coreDyn * activity * vc_ratio * vc_ratio * vc_ratio *
+               fc_ratio;
+
+    // The uncore never fully idles while any core is active; floor its
+    // activity at 30 %.
+    const double uncore_act = std::max(activity, 0.3);
+    const Volts vu = uncoreVoltage(domains.llc);
+    const double vu_ratio = vu / kUncoreVNominal;
+    const double fu_ratio = domains.llc / kUncoreFNominal;
+    out.uncore = uncoreDyn * uncore_act * vu_ratio * vu_ratio * vu_ratio *
+                 fu_ratio;
+
+    // Memory controller/PHY power scales with the memory clock.
+    out.memoryIo = memIoDyn * std::max(activity, 0.3) *
+                   (domains.memory / kMemFNominal);
+
+    // Leakage closes the power/temperature fixed point.
+    const Watts dyn = out.core + out.uncore + out.memoryIo;
+    Watts total = dyn + leakRef;
+    for (int iter = 0; iter < 60; ++iter) {
+        const Celsius tj = cooling.junctionTemperature(total);
+        const Watts leak =
+            leakRef * std::exp((tj - kLeakRefTj) / kLeakTheta);
+        const Watts next = dyn + leak;
+        if (std::abs(next - total) < 1e-6) {
+            total = next;
+            break;
+        }
+        total = next;
+    }
+    out.total = total;
+    out.tj = cooling.junctionTemperature(total);
+    out.leakage = total - dyn;
+    return out;
+}
+
+CpuModel
+CpuModel::xeonW3175x()
+{
+    // 255 W TDP, 28 cores, unlocked: 175 W core + 30 W uncore + 12 W
+    // memory IO dynamic at the B2 anchor, 55 W leakage at 90 C.
+    return CpuModel("Xeon W-3175X", TurboGovernor::xeonW3175x(),
+                    power::VfCurve::xeonW3175x(), 175.0, 30.0, 12.0, 55.0,
+                    true);
+}
+
+CpuModel
+CpuModel::skylake8180()
+{
+    // Locked server part: 205 W TDP, 28 cores, all-core turbo 2.6-2.7.
+    // Dynamic split (114 + 26 + 10 = 150 W at the anchor) matches the
+    // air-calibrated socket model.
+    return CpuModel("Xeon Platinum 8180", TurboGovernor::skylake8180(),
+                    power::VfCurve::xeonServer(2.6), 114.0, 26.0, 10.0, 55.0,
+                    false);
+}
+
+CpuModel
+CpuModel::skylake8168()
+{
+    return CpuModel("Xeon Platinum 8168", TurboGovernor::skylake8168(),
+                    power::VfCurve::xeonServer(3.1), 114.0, 26.0, 10.0, 55.0,
+                    false);
+}
+
+} // namespace hw
+} // namespace imsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * CPU package model with independent core / uncore(LLC) / memory clock
+ * domains — the knobs Table VII turns. Combines the per-domain dynamic
+ * power terms with temperature-dependent leakage against a cooling system
+ * and exposes the stability margin of the current operating point.
+ */
+
+#ifndef IMSIM_HW_CPU_HH
+#define IMSIM_HW_CPU_HH
+
+#include <string>
+
+#include "hw/configs.hh"
+#include "hw/turbo.hh"
+#include "power/vf_curve.hh"
+#include "reliability/stability.hh"
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace hw {
+
+/** Clock settings of all three domains. */
+struct DomainClocks
+{
+    GHz core = 3.4;
+    GHz llc = 2.4;
+    GHz memory = 2.4;
+};
+
+/** Package power breakdown at one evaluation. */
+struct CpuPowerBreakdown
+{
+    Watts core;     ///< Core-domain dynamic power [W].
+    Watts uncore;   ///< Uncore/LLC dynamic power [W].
+    Watts memoryIo; ///< Memory-controller and PHY power [W].
+    Watts leakage;  ///< Temperature-dependent leakage [W].
+    Watts total;    ///< Package power [W].
+    Celsius tj;     ///< Junction temperature [C].
+};
+
+/**
+ * One CPU package.
+ */
+class CpuModel
+{
+  public:
+    /**
+     * @param name          Part name.
+     * @param governor      Turbo/domain governor for the part.
+     * @param curve         Core-domain V-f curve.
+     * @param core_dyn      Core dynamic power at the curve anchor [W].
+     * @param uncore_dyn    Uncore dynamic power at 2.4 GHz [W].
+     * @param mem_io_dyn    Memory controller power at 2.4 GHz [W].
+     * @param leak_ref      Leakage at 90 C [W].
+     * @param unlocked      Whether overclocked configs may be applied.
+     */
+    CpuModel(std::string name, TurboGovernor governor, power::VfCurve curve,
+             Watts core_dyn, Watts uncore_dyn, Watts mem_io_dyn,
+             Watts leak_ref, bool unlocked);
+
+    /** @return the part name. */
+    const std::string &name() const { return partName; }
+
+    /**
+     * Apply a Table VII configuration. Overclocked configurations on a
+     * locked part raise FatalError (the large-tank blades are locked;
+     * Sec. III).
+     */
+    void applyConfig(const CpuConfig &config);
+
+    /** Set clocks directly (the auto-scaler's scale-up/down path). */
+    void setClocks(const DomainClocks &clocks);
+
+    /** Set the extra voltage offset [mV]. */
+    void setVoltageOffset(double mv);
+
+    /** @return the current domain clocks. */
+    const DomainClocks &clocks() const { return domains; }
+
+    /** @return the name of the applied config ("custom" after setClocks). */
+    const std::string &configName() const { return currentConfig; }
+
+    /** @return core supply voltage at the current operating point [V]. */
+    Volts coreVoltage() const;
+
+    /**
+     * Voltage margin of the current operating point [mV]; the input to
+     * the stability model.
+     */
+    double voltageMarginMv() const;
+
+    /**
+     * Package power/thermal evaluation.
+     *
+     * @param cooling  Cooling system.
+     * @param activity Core-domain activity factor [0,1].
+     */
+    CpuPowerBreakdown power(const thermal::CoolingSystem &cooling,
+                            double activity = 1.0) const;
+
+    /** @return the turbo governor. */
+    const TurboGovernor &governor() const { return turbo; }
+
+    /** @return mutable governor (to raise TDP for overclocking). */
+    TurboGovernor &governor() { return turbo; }
+
+    /** @return the V-f curve. */
+    const power::VfCurve &curve() const { return vf; }
+
+    /** @return whether the part is unlocked for overclocking. */
+    bool unlocked() const { return isUnlocked; }
+
+    /** The overclockable Xeon W-3175X of small tank #1. */
+    static CpuModel xeonW3175x();
+
+    /** The locked Skylake 8180 of the large tank. */
+    static CpuModel skylake8180();
+
+    /** The locked Skylake 8168 of the large tank. */
+    static CpuModel skylake8168();
+
+  private:
+    std::string partName;
+    TurboGovernor turbo;
+    power::VfCurve vf;
+    Watts coreDyn;
+    Watts uncoreDyn;
+    Watts memIoDyn;
+    Watts leakRef;
+    bool isUnlocked;
+    DomainClocks domains;
+    double voltageOffsetMv = 0.0;
+    std::string currentConfig = "B2";
+
+    /** Uncore supply voltage for an uncore clock. */
+    Volts uncoreVoltage(GHz fu) const;
+};
+
+} // namespace hw
+} // namespace imsim
+
+#endif // IMSIM_HW_CPU_HH

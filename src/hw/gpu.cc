@@ -1,0 +1,87 @@
+#include "hw/gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace hw {
+
+namespace {
+
+/** Fixed board overhead (fans removed in immersion, VRM, etc.) [W]. */
+constexpr Watts kBoardOverhead = 25.0;
+
+/** Memory power at the baseline 6.8 GHz clock [W]. */
+constexpr Watts kMemPowerNominal = 45.0;
+constexpr GHz kMemClockNominal = 6.8;
+
+/** Core power at the baseline turbo clock, activity 1 [W]. */
+constexpr Watts kCorePowerNominal = 180.0;
+
+/** Nominal core voltage [V] and effective voltage sensitivity. */
+constexpr Volts kCoreVNominal = 1.00;
+
+} // namespace
+
+GpuModel::GpuModel(std::string name, GpuConfig base_cfg)
+    : partName(std::move(name)), baseline(base_cfg), current(base_cfg)
+{}
+
+void
+GpuModel::applyConfig(const GpuConfig &config)
+{
+    util::fatalIf(config.turbo < config.base,
+                  "GpuModel::applyConfig: turbo below base clock");
+    current = config;
+}
+
+Watts
+GpuModel::corePowerAt(GHz f, double activity) const
+{
+    const Volts v = kCoreVNominal + current.voltageOffsetMv * 1e-3;
+    const double v_ratio = v / kCoreVNominal;
+    // Normalised by the *configured* turbo clock: an overclocked config
+    // reaches its higher clock at the rated core power (the offset shifts
+    // the efficiency point); the voltage offset costs quadratically.
+    // Calibrated to the paper's +19 % P99 board power base -> OCG3.
+    return kCorePowerNominal * activity * v_ratio * v_ratio *
+           (f / current.turbo);
+}
+
+GHz
+GpuModel::sustainedCoreClock(double activity) const
+{
+    util::fatalIf(activity < 0.0 || activity > 1.0,
+                  "GpuModel: activity out of [0,1]");
+    const Watts mem =
+        kMemPowerNominal * (current.memory / kMemClockNominal);
+    const Watts core_budget =
+        current.powerLimit - mem - kBoardOverhead;
+    util::fatalIf(core_budget <= 0.0,
+                  "GpuModel: power limit below memory + board floor");
+    if (corePowerAt(current.turbo, activity) <= core_budget)
+        return current.turbo;
+    // Clip the clock to fit the budget; power is linear in f here.
+    const double scale =
+        core_budget / corePowerAt(current.turbo, activity);
+    return std::max(current.base, current.turbo * scale);
+}
+
+GpuPowerBreakdown
+GpuModel::power(double activity) const
+{
+    GpuPowerBreakdown out{};
+    const GHz f = sustainedCoreClock(activity);
+    out.core = corePowerAt(f, activity);
+    out.memory = kMemPowerNominal * (current.memory / kMemClockNominal) *
+                 std::max(activity, 0.3);
+    out.board = kBoardOverhead;
+    out.total = out.core + out.memory + out.board;
+    out.powerLimited = f < current.turbo - 1e-9;
+    return out;
+}
+
+} // namespace hw
+} // namespace imsim

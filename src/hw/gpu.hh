@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GPU model with the Table VIII overclocking knobs (RTX 2080 Ti class):
+ * board power limit, base/turbo core clock, memory clock, and voltage
+ * offset. Drives the Fig. 11 GPU-training experiments.
+ */
+
+#ifndef IMSIM_HW_GPU_HH
+#define IMSIM_HW_GPU_HH
+
+#include <string>
+
+#include "hw/configs.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace hw {
+
+/** GPU board power breakdown. */
+struct GpuPowerBreakdown
+{
+    Watts core;    ///< SM core power [W].
+    Watts memory;  ///< GDDR memory power [W].
+    Watts board;   ///< Fixed board overhead [W].
+    Watts total;   ///< Total board power [W].
+    bool powerLimited; ///< Whether the board power limit clipped the core.
+};
+
+/**
+ * One GPU board.
+ */
+class GpuModel
+{
+  public:
+    /**
+     * @param name       Part name.
+     * @param base_cfg   Baseline configuration (Table VIII "Base").
+     */
+    explicit GpuModel(std::string name = "RTX 2080 Ti",
+                      GpuConfig base_cfg = gpuConfig("Base"));
+
+    /** Apply a Table VIII configuration. */
+    void applyConfig(const GpuConfig &config);
+
+    /** @return the applied configuration. */
+    const GpuConfig &config() const { return current; }
+
+    /** @return the part name. */
+    const std::string &name() const { return partName; }
+
+    /**
+     * Sustained core clock under load: the turbo clock, clipped by the
+     * board power limit when the (voltage-scaled) core power would
+     * exceed it.
+     */
+    GHz sustainedCoreClock(double activity = 1.0) const;
+
+    /** @return effective memory clock [GHz]. */
+    GHz memoryClock() const { return current.memory; }
+
+    /** Board power at @p activity. */
+    GpuPowerBreakdown power(double activity = 1.0) const;
+
+  private:
+    std::string partName;
+    GpuConfig baseline;
+    GpuConfig current;
+
+    /** Core power at clock @p f and the current voltage offset. */
+    Watts corePowerAt(GHz f, double activity) const;
+};
+
+} // namespace hw
+} // namespace imsim
+
+#endif // IMSIM_HW_GPU_HH

@@ -1,0 +1,158 @@
+#include "hw/turbo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace hw {
+
+std::string
+domainName(FrequencyDomain domain)
+{
+    switch (domain) {
+      case FrequencyDomain::Guaranteed:
+        return "guaranteed";
+      case FrequencyDomain::Turbo:
+        return "turbo";
+      case FrequencyDomain::Overclocking:
+        return "overclocking";
+      case FrequencyDomain::NonOperating:
+        return "non-operating";
+    }
+    util::panic("domainName: unhandled domain");
+}
+
+TurboGovernor::TurboGovernor(int cores, GHz f_min, GHz f_base,
+                             GHz f_turbo_single, GHz f_turbo_all,
+                             GHz f_oc_max, Watts tdp_watts, Celsius tj_limit,
+                             GHz bin)
+    : coreCount(cores), fMin(f_min), fBase(f_base),
+      fTurboSingle(f_turbo_single), fTurboAll(f_turbo_all), fOcMax(f_oc_max),
+      tdpLimit(tdp_watts), tjLimit(tj_limit), binSize(bin)
+{
+    util::fatalIf(cores <= 0, "TurboGovernor: core count must be positive");
+    util::fatalIf(!(f_min <= f_base && f_base <= f_turbo_all &&
+                    f_turbo_all <= f_turbo_single &&
+                    f_turbo_single <= f_oc_max),
+                  "TurboGovernor: frequencies must be ordered "
+                  "min <= base <= all-core turbo <= 1-core turbo <= ocMax");
+    util::fatalIf(tdp_watts <= 0.0, "TurboGovernor: TDP must be positive");
+    util::fatalIf(bin <= 0.0, "TurboGovernor: bin must be positive");
+}
+
+GHz
+TurboGovernor::turboCeiling(int active_cores) const
+{
+    util::fatalIf(active_cores < 1 || active_cores > coreCount,
+                  "TurboGovernor::turboCeiling: active cores out of range");
+    if (coreCount == 1)
+        return fTurboSingle;
+    // Linear droop from the single-core ceiling to the all-core ceiling.
+    const double frac = static_cast<double>(active_cores - 1) /
+                        static_cast<double>(coreCount - 1);
+    const GHz ceiling = fTurboSingle - frac * (fTurboSingle - fTurboAll);
+    return snapToBin(ceiling);
+}
+
+FrequencyDomain
+TurboGovernor::classify(GHz f, int active_cores) const
+{
+    util::fatalIf(f <= 0.0, "TurboGovernor::classify: frequency must be > 0");
+    if (f > fOcMax)
+        return FrequencyDomain::NonOperating;
+    if (f > turboCeiling(active_cores))
+        return FrequencyDomain::Overclocking;
+    if (f > fBase)
+        return FrequencyDomain::Turbo;
+    return FrequencyDomain::Guaranteed;
+}
+
+GHz
+TurboGovernor::effectiveFrequency(const power::SocketPowerModel &socket,
+                                  const thermal::CoolingSystem &cooling,
+                                  int active_cores, double activity) const
+{
+    const GHz table_ceiling = turboCeiling(active_cores);
+
+    // Scale activity by the fraction of cores that are busy: the package
+    // power model's activity factor covers the whole socket.
+    const double package_activity =
+        activity * static_cast<double>(active_cores) /
+        static_cast<double>(coreCount);
+
+    const GHz power_ceiling = socket.maxFrequencyAtPowerLimit(
+        tdpLimit, cooling, std::clamp(package_activity, 0.05, 1.0));
+
+    // Junction-temperature throttle: the highest frequency whose steady
+    // Tj stays under the limit.
+    GHz thermal_ceiling = fOcMax;
+    {
+        const auto tj_at = [&](GHz f) {
+            const power::OperatingPoint op{
+                f, socket.curve().voltageFor(f),
+                std::clamp(package_activity, 0.05, 1.0)};
+            return socket.solve(op, cooling).tj;
+        };
+        if (tj_at(fOcMax) > tjLimit) {
+            GHz lo = fMin;
+            GHz hi = fOcMax;
+            if (tj_at(lo) > tjLimit) {
+                thermal_ceiling = lo;
+            } else {
+                for (int iter = 0; iter < 50; ++iter) {
+                    const GHz mid = 0.5 * (lo + hi);
+                    if (tj_at(mid) <= tjLimit)
+                        lo = mid;
+                    else
+                        hi = mid;
+                }
+                thermal_ceiling = lo;
+            }
+        }
+    }
+
+    const GHz f = std::min({table_ceiling, power_ceiling, thermal_ceiling});
+    return std::max(fMin, snapToBin(f));
+}
+
+void
+TurboGovernor::setTdp(Watts watts)
+{
+    util::fatalIf(watts <= 0.0, "TurboGovernor::setTdp: TDP must be > 0");
+    tdpLimit = watts;
+}
+
+GHz
+TurboGovernor::snapToBin(GHz f) const
+{
+    return std::floor(f / binSize + 1e-9) * binSize;
+}
+
+TurboGovernor
+TurboGovernor::skylake8168()
+{
+    // 24 cores, 2.7 GHz base, 3.7 GHz single-core turbo, 205 W TDP. The
+    // all-core turbo table ceiling (3.3 GHz) exceeds what the TDP allows;
+    // the governor lands at 3.1 GHz in air and 3.2 GHz in 2PIC.
+    return TurboGovernor(24, 1.2, 2.7, 3.7, 3.3, 4.3, 205.0);
+}
+
+TurboGovernor
+TurboGovernor::skylake8180()
+{
+    // 28 cores, 2.5 GHz base, 3.8 GHz single-core turbo, 205 W TDP.
+    return TurboGovernor(28, 1.2, 2.5, 3.8, 3.2, 4.2, 205.0);
+}
+
+TurboGovernor
+TurboGovernor::xeonW3175x()
+{
+    // 28 cores, unlocked, 255 W TDP; 3.1 GHz base (Table VII B1), 3.4 GHz
+    // all-core turbo (B2), 4.5 GHz single-core table, 5.1 GHz boundary.
+    return TurboGovernor(28, 1.2, 3.1, 4.5, 3.4, 5.1, 255.0);
+}
+
+} // namespace hw
+} // namespace imsim

@@ -1,0 +1,112 @@
+#include "power/capping.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace power {
+
+RaplCapper::RaplCapper(Watts power_limit, GHz f_min)
+    : limit(power_limit), fMin(f_min)
+{
+    util::fatalIf(power_limit <= 0.0, "RaplCapper: limit must be positive");
+    util::fatalIf(f_min <= 0.0, "RaplCapper: frequency floor must be > 0");
+}
+
+void
+RaplCapper::setPowerLimit(Watts watts)
+{
+    util::fatalIf(watts <= 0.0, "RaplCapper: limit must be positive");
+    limit = watts;
+}
+
+PowerBudget::PowerBudget(Watts capacity, double oversubscription)
+    : cap(capacity), oversub(oversubscription)
+{
+    util::fatalIf(capacity <= 0.0, "PowerBudget: capacity must be positive");
+    util::fatalIf(oversubscription < 1.0,
+                  "PowerBudget: oversubscription ratio must be >= 1");
+}
+
+bool
+PowerBudget::breached(const std::vector<PowerConsumer> &consumers) const
+{
+    Watts total = 0.0;
+    for (const auto &c : consumers)
+        total += c.demand;
+    return total > cap;
+}
+
+std::vector<CapAllocation>
+PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
+{
+    Watts demand_total = 0.0;
+    Watts minimum_total = 0.0;
+    for (const auto &c : consumers) {
+        util::fatalIf(c.demand < 0.0 || c.minimum < 0.0,
+                      "PowerBudget::allocate: negative power");
+        util::fatalIf(c.minimum > c.demand,
+                      "PowerBudget::allocate: minimum exceeds demand");
+        demand_total += c.demand;
+        minimum_total += c.minimum;
+    }
+
+    std::vector<CapAllocation> out;
+    out.reserve(consumers.size());
+
+    if (demand_total <= cap) {
+        for (const auto &c : consumers)
+            out.push_back({c.name, c.demand, false});
+        return out;
+    }
+
+    util::fatalIf(minimum_total > cap,
+                  "PowerBudget::allocate: even fully capped demand breaches "
+                  "circuit capacity (brownout)");
+
+    // Shed demand lowest-priority-first. Group consumers by priority; all
+    // classes above the marginal class keep their demand, classes below
+    // drop to their minimum, and the marginal class is scaled uniformly
+    // between minimum and demand.
+    std::map<int, std::vector<std::size_t>> by_prio;
+    for (std::size_t i = 0; i < consumers.size(); ++i)
+        by_prio[consumers[i].priority].push_back(i);
+
+    std::vector<Watts> granted(consumers.size());
+    for (std::size_t i = 0; i < consumers.size(); ++i)
+        granted[i] = consumers[i].minimum;
+    Watts committed = minimum_total;
+
+    // Restore demand to the highest-priority classes first.
+    for (auto it = by_prio.rbegin(); it != by_prio.rend(); ++it) {
+        Watts class_extra = 0.0;
+        for (std::size_t i : it->second)
+            class_extra += consumers[i].demand - consumers[i].minimum;
+        const Watts room = cap - committed;
+        if (class_extra <= room) {
+            for (std::size_t i : it->second)
+                granted[i] = consumers[i].demand;
+            committed += class_extra;
+        } else {
+            const double frac = class_extra > 0.0 ? room / class_extra : 0.0;
+            for (std::size_t i : it->second) {
+                granted[i] = consumers[i].minimum +
+                             frac * (consumers[i].demand -
+                                     consumers[i].minimum);
+            }
+            committed = cap;
+            break;
+        }
+    }
+
+    for (std::size_t i = 0; i < consumers.size(); ++i) {
+        out.push_back({consumers[i].name, granted[i],
+                       granted[i] + 1e-9 < consumers[i].demand});
+    }
+    return out;
+}
+
+} // namespace power
+} // namespace imsim

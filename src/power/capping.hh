@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Power capping: a RAPL-style per-socket capper and a datacenter power
+ * hierarchy with oversubscription and priority-aware capping.
+ *
+ * Sec. IV ("Power consumption") warns that overclocking in oversubscribed
+ * datacenters increases the chance of hitting delivery limits and
+ * triggering capping mechanisms that rely on frequency reduction — which
+ * can negate overclocking gains. The hierarchy here reproduces that
+ * interaction: budgets at the (feed -> rack -> server) levels, capping
+ * applied lowest-priority-first when breached (the workload-priority-based
+ * schemes of [38], [62], [70]).
+ */
+
+#ifndef IMSIM_POWER_CAPPING_HH
+#define IMSIM_POWER_CAPPING_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace power {
+
+/**
+ * RAPL-style power capper for one socket: clamps requested frequency so
+ * that estimated package power stays under the running average limit.
+ */
+class RaplCapper
+{
+  public:
+    /**
+     * @param power_limit Package power limit [W].
+     * @param f_min       Lowest frequency the capper may force [GHz].
+     */
+    RaplCapper(Watts power_limit, GHz f_min = 1.0);
+
+    /**
+     * Clamp a requested frequency.
+     *
+     * @param requested  Frequency the governor wants [GHz].
+     * @param power_at   Callable: package power at a given frequency [W].
+     * @return the highest frequency <= requested whose power fits the cap.
+     */
+    template <typename PowerFn>
+    GHz
+    clamp(GHz requested, PowerFn &&power_at) const
+    {
+        if (power_at(requested) <= limit)
+            return requested;
+        GHz lo = fMin;
+        GHz hi = requested;
+        if (power_at(lo) > limit)
+            return lo; // Even the floor breaches; deliver the floor.
+        for (int iter = 0; iter < 50; ++iter) {
+            const GHz mid = 0.5 * (lo + hi);
+            if (power_at(mid) <= limit)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** @return the configured power limit [W]. */
+    Watts powerLimit() const { return limit; }
+
+    /** Change the power limit (e.g. to enable overclocking). */
+    void setPowerLimit(Watts watts);
+
+  private:
+    Watts limit;
+    GHz fMin;
+};
+
+/** A power consumer inside the hierarchy. */
+struct PowerConsumer
+{
+    std::string name;
+    Watts demand;      ///< Uncapped power demand [W].
+    Watts minimum;     ///< Power floor when fully capped [W].
+    int priority;      ///< Higher value = more critical, capped last.
+};
+
+/** Per-consumer allocation after capping. */
+struct CapAllocation
+{
+    std::string name;
+    Watts granted;     ///< Power the consumer may draw [W].
+    bool capped;       ///< Whether it received less than its demand.
+};
+
+/**
+ * One level of the datacenter power-delivery hierarchy (e.g. a rack PDU or
+ * row feed) with an oversubscribed budget.
+ */
+class PowerBudget
+{
+  public:
+    /**
+     * @param capacity         Physical circuit capacity [W].
+     * @param oversubscription Provisioned demand / capacity ratio >= 1;
+     *                         e.g. 1.2 means 20 % oversubscribed.
+     */
+    explicit PowerBudget(Watts capacity, double oversubscription = 1.0);
+
+    /** @return circuit capacity [W]. */
+    Watts capacity() const { return cap; }
+
+    /** @return demand providers are allowed to provision [W]. */
+    Watts provisionable() const { return cap * oversub; }
+
+    /**
+     * Allocate power across consumers, priority-aware:
+     * if total demand fits the capacity everyone gets their demand;
+     * otherwise lower-priority consumers are reduced toward their
+     * minimum first (uniform scaling within a priority class), then the
+     * next priority class, and so on.
+     */
+    std::vector<CapAllocation>
+    allocate(const std::vector<PowerConsumer> &consumers) const;
+
+    /** @return true when @p consumers' total demand breaches capacity. */
+    bool breached(const std::vector<PowerConsumer> &consumers) const;
+
+  private:
+    Watts cap;
+    double oversub;
+};
+
+} // namespace power
+} // namespace imsim
+
+#endif // IMSIM_POWER_CAPPING_HH

@@ -1,0 +1,76 @@
+#include "power/dvfs.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace power {
+
+DvfsModel::DvfsModel(VfCurve vf_curve, GHz bin, Seconds pll_relock,
+                     double vr_slew, double step_energy_j)
+    : curve(vf_curve), binSize(bin), pllRelock(pll_relock), vrSlew(vr_slew),
+      stepEnergyJ(step_energy_j)
+{
+    util::fatalIf(bin <= 0.0, "DvfsModel: bin must be positive");
+    util::fatalIf(pll_relock < 0.0, "DvfsModel: negative relock time");
+    util::fatalIf(vr_slew <= 0.0, "DvfsModel: slew rate must be positive");
+    util::fatalIf(step_energy_j < 0.0, "DvfsModel: negative step energy");
+}
+
+DvfsTransition
+DvfsModel::transition(GHz from, GHz to) const
+{
+    util::fatalIf(from <= 0.0 || to <= 0.0,
+                  "DvfsModel::transition: non-positive frequency");
+    DvfsTransition out{};
+    out.from = from;
+    out.to = to;
+    out.steps = static_cast<int>(
+        std::ceil(std::abs(to - from) / binSize - 1e-9));
+    if (out.steps == 0) {
+        out.latency = 0.0;
+        out.energyJ = 0.0;
+        return out;
+    }
+
+    const Volts v_from = curve.voltageFor(from);
+    const Volts v_to = curve.voltageFor(to);
+    const Seconds relock = pllRelock * out.steps;
+    if (to > from) {
+        // Voltage must arrive before the clock: ramp then relock.
+        const Seconds ramp = (v_to - v_from) / vrSlew;
+        out.latency = ramp + relock;
+    } else {
+        // Clock drops immediately; voltage relaxes off-path.
+        out.latency = relock;
+    }
+    out.energyJ = stepEnergyJ * out.steps;
+    return out;
+}
+
+double
+DvfsModel::dutyCycleOverhead(Seconds period, double change_prob,
+                             GHz typical_step) const
+{
+    util::fatalIf(period <= 0.0, "dutyCycleOverhead: period must be > 0");
+    util::fatalIf(change_prob < 0.0 || change_prob > 1.0,
+                  "dutyCycleOverhead: probability out of [0,1]");
+    const DvfsTransition up = transition(3.4, 3.4 + typical_step);
+    return change_prob * up.latency / period;
+}
+
+double
+DvfsModel::scaleOutToScaleUpRatio(Seconds scale_out_latency, GHz f_lo,
+                                  GHz f_hi) const
+{
+    util::fatalIf(scale_out_latency <= 0.0,
+                  "scaleOutToScaleUpRatio: latency must be positive");
+    const DvfsTransition up = transition(f_lo, f_hi);
+    util::panicIf(up.latency <= 0.0,
+                  "scaleOutToScaleUpRatio: degenerate transition");
+    return scale_out_latency / up.latency;
+}
+
+} // namespace power
+} // namespace imsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DVFS transition modelling.
+ *
+ * Sec. V's auto-scaling argument rests on the asymmetry the paper states
+ * explicitly: "changing frequencies only takes tens of microseconds
+ * [43], which is much faster than scaling out" (tens of seconds to
+ * minutes). This module models the transition itself: per-step latency
+ * (PLL relock plus voltage-ramp time when stepping up through the
+ * regulator's slew rate), transition energy, and a small governor that
+ * sequences multi-bin changes.
+ */
+
+#ifndef IMSIM_POWER_DVFS_HH
+#define IMSIM_POWER_DVFS_HH
+
+#include <vector>
+
+#include "power/vf_curve.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace power {
+
+/** One frequency transition's cost. */
+struct DvfsTransition
+{
+    GHz from;
+    GHz to;
+    Seconds latency;   ///< Wall-clock time the change takes [s].
+    double energyJ;    ///< Extra energy spent during the ramp [J].
+    int steps;         ///< Frequency bins traversed.
+};
+
+/**
+ * DVFS transition model for one voltage/frequency domain.
+ */
+class DvfsModel
+{
+  public:
+    /**
+     * @param curve          The domain's V-f curve (voltage targets).
+     * @param bin            Frequency bin granularity [GHz].
+     * @param pll_relock     PLL relock time per frequency step [s].
+     * @param vr_slew        Voltage-regulator slew rate [V/s].
+     * @param step_energy_j  Fixed energy overhead per step [J].
+     */
+    explicit DvfsModel(VfCurve curve, GHz bin = 0.1,
+                       Seconds pll_relock = 5e-6,
+                       double vr_slew = 5e-3 / 1e-6,
+                       double step_energy_j = 2e-3);
+
+    /**
+     * Cost of moving the domain from @p from to @p to.
+     *
+     * Up-transitions ramp voltage first, then frequency (latency is the
+     * sum); down-transitions drop frequency first and then relax the
+     * voltage off the critical path, so only the PLL relocks are paid.
+     */
+    DvfsTransition transition(GHz from, GHz to) const;
+
+    /**
+     * Amortized overhead of an auto-scaler that re-evaluates frequency
+     * every @p period seconds and changes it with probability
+     * @p change_prob: fraction of time lost to transitions.
+     */
+    double dutyCycleOverhead(Seconds period, double change_prob,
+                             GHz typical_step = 0.7) const;
+
+    /** @return the frequency bin granularity. */
+    GHz bin() const { return binSize; }
+
+    /**
+     * The headline comparison of Sec. V: ratio between the VM scale-out
+     * latency and a full-range scale-up transition. With the paper's
+     * numbers this is about six orders of magnitude.
+     */
+    double scaleOutToScaleUpRatio(Seconds scale_out_latency,
+                                  GHz f_lo, GHz f_hi) const;
+
+  private:
+    VfCurve curve;
+    GHz binSize;
+    Seconds pllRelock;
+    double vrSlew;
+    double stepEnergyJ;
+};
+
+} // namespace power
+} // namespace imsim
+
+#endif // IMSIM_POWER_DVFS_HH

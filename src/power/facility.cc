@@ -1,0 +1,57 @@
+#include "power/facility.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace power {
+
+Facility::Facility(thermal::CoolingTech tech)
+    : techSpec(thermal::coolingTechSpec(tech))
+{}
+
+Watts
+Facility::facilityPowerPeak(Watts it_power) const
+{
+    util::fatalIf(it_power < 0.0, "Facility: negative IT power");
+    return it_power * techSpec.peakPue;
+}
+
+Watts
+Facility::facilityPowerAverage(Watts it_power) const
+{
+    util::fatalIf(it_power < 0.0, "Facility: negative IT power");
+    return it_power * techSpec.avgPue;
+}
+
+Watts
+Facility::overheadPeak(Watts it_power) const
+{
+    return facilityPowerPeak(it_power) - it_power;
+}
+
+ImmersionSavings
+immersionSavings(Watts server_power, Watts fan_power,
+                 Watts static_per_socket, int sockets,
+                 thermal::CoolingTech air)
+{
+    util::fatalIf(server_power <= 0.0,
+                  "immersionSavings: server power must be positive");
+    const Facility air_facility(air);
+    const Facility immersion(thermal::CoolingTech::Immersion2P);
+
+    ImmersionSavings s{};
+    s.staticPerSocket = static_per_socket;
+    s.staticTotal = static_per_socket * sockets;
+    s.fans = fan_power;
+    // The paper computes the PUE saving on the full air facility power:
+    // 700 W * 1.20 * (1.20 - 1.03)/1.20 ~= 700 * 1.20 * 14 % = 118 W.
+    const double pue_air = air_facility.spec().peakPue;
+    const double pue_2pic = immersion.spec().peakPue;
+    const double reduction = (pue_air - pue_2pic) / pue_air;
+    s.pueOverhead = server_power * pue_air * reduction;
+    s.total = s.staticTotal + s.fans + s.pueOverhead;
+    return s;
+}
+
+} // namespace power
+} // namespace imsim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Facility-level power accounting: PUE, and the per-server power savings
+ * decomposition the paper derives in Sec. IV ("Power consumption"):
+ * 2 x 11 W static, 42 W of fans, and 118 W of PUE overhead — about 182 W
+ * per 700 W server when moving from evaporative air cooling to 2PIC.
+ */
+
+#ifndef IMSIM_POWER_FACILITY_HH
+#define IMSIM_POWER_FACILITY_HH
+
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace power {
+
+/** Per-server savings from moving a server from air cooling to 2PIC. */
+struct ImmersionSavings
+{
+    Watts staticPerSocket;  ///< Leakage saving per socket [W].
+    Watts staticTotal;      ///< Leakage saving, all sockets [W].
+    Watts fans;             ///< Fan power removed [W].
+    Watts pueOverhead;      ///< Facility overhead saved via lower PUE [W].
+    Watts total;            ///< Sum of the above [W].
+};
+
+/** Facility power accounting for one cooling technology. */
+class Facility
+{
+  public:
+    /** @param tech Cooling technology of the facility. */
+    explicit Facility(thermal::CoolingTech tech);
+
+    /** Facility power for @p it_power of IT load at peak PUE [W]. */
+    Watts facilityPowerPeak(Watts it_power) const;
+
+    /** Facility power for @p it_power of IT load at average PUE [W]. */
+    Watts facilityPowerAverage(Watts it_power) const;
+
+    /** Cooling + distribution overhead at peak PUE [W]. */
+    Watts overheadPeak(Watts it_power) const;
+
+    /** @return the technology spec (Table I row). */
+    const thermal::CoolingTechSpec &spec() const { return techSpec; }
+
+  private:
+    thermal::CoolingTechSpec techSpec;
+};
+
+/**
+ * Decompose the per-server power savings of switching @p server_power of
+ * air-cooled IT (at air peak PUE) to 2PIC, as in Sec. IV.
+ *
+ * @param server_power      Rated server power under air [W].
+ * @param fan_power         Fan power inside that server [W].
+ * @param static_per_socket Leakage saved per socket from cooler junctions.
+ * @param sockets           Socket count.
+ * @param air               Air technology to compare against.
+ */
+ImmersionSavings immersionSavings(Watts server_power, Watts fan_power,
+                                  Watts static_per_socket, int sockets,
+                                  thermal::CoolingTech air =
+                                      thermal::CoolingTech::DirectEvaporative);
+
+} // namespace power
+} // namespace imsim
+
+#endif // IMSIM_POWER_FACILITY_HH

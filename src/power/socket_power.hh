@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CPU socket power model: activity-dependent dynamic power plus
+ * temperature-dependent leakage, with the coupled power<->temperature
+ * fixed point solved against a cooling system.
+ *
+ * Calibration (Sec. IV "Power consumption" and "Lifetime"):
+ *  - A 205 W TDP socket in FC-3284 (Tj about 66 C) spends about 41 W on
+ *    leakage and 164 W on dynamic power at full activity.
+ *  - Raising 0.90 V -> 0.98 V and frequency by 23 % raises package power
+ *    205 W -> 305 W, which an effective cubic voltage dependence of the
+ *    dynamic term reproduces.
+ *  - Lowering the junction 17-22 C saves about 11 W of leakage per socket
+ *    (Table III discussion), reproduced by an exponential leakage term
+ *    with temperature scale theta = 80 C.
+ */
+
+#ifndef IMSIM_POWER_SOCKET_POWER_HH
+#define IMSIM_POWER_SOCKET_POWER_HH
+
+#include "power/vf_curve.hh"
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace power {
+
+/** One operating point of a socket. */
+struct OperatingPoint
+{
+    GHz frequency;   ///< Core clock [GHz].
+    Volts voltage;   ///< Supply voltage [V].
+    double activity; ///< Activity factor in [0, 1] (1 = fully loaded).
+};
+
+/** Result of the coupled power/temperature solve. */
+struct PowerSolution
+{
+    Watts total;     ///< Package power [W].
+    Watts dynamic;   ///< Dynamic component [W].
+    Watts leakage;   ///< Leakage component [W].
+    Celsius tj;      ///< Junction temperature [C].
+    bool converged;  ///< Fixed point converged (always true in practice).
+};
+
+/**
+ * Power model for one CPU socket.
+ */
+class SocketPowerModel
+{
+  public:
+    /**
+     * @param curve        Voltage-frequency curve of the part.
+     * @param dyn_nominal  Dynamic power at the curve's anchor point with
+     *                     activity 1 [W].
+     * @param leak_ref     Leakage at the reference junction temperature [W].
+     * @param leak_ref_tj  Reference junction temperature [C].
+     * @param leak_theta   Exponential temperature scale of leakage [C].
+     */
+    SocketPowerModel(const VfCurve &curve, Watts dyn_nominal,
+                     Watts leak_ref = 55.0, Celsius leak_ref_tj = 90.0,
+                     Celsius leak_theta = 80.0);
+
+    /** Dynamic power at an operating point (no temperature dependence). */
+    Watts dynamicPower(const OperatingPoint &op) const;
+
+    /** Leakage power at junction temperature @p tj. */
+    Watts leakagePower(Celsius tj) const;
+
+    /**
+     * Solve the coupled power/temperature fixed point for a socket at
+     * operating point @p op cooled by @p cooling.
+     */
+    PowerSolution solve(const OperatingPoint &op,
+                        const thermal::CoolingSystem &cooling) const;
+
+    /**
+     * Maximum frequency sustainable within a package power limit
+     * @p power_limit under @p cooling, with the voltage following the
+     * V-f curve. This is what the turbo governor evaluates; the extra
+     * frequency bin 2PIC buys in Table III comes from its lower leakage.
+     *
+     * @param activity Activity factor of the load.
+     */
+    GHz maxFrequencyAtPowerLimit(Watts power_limit,
+                                 const thermal::CoolingSystem &cooling,
+                                 double activity = 1.0) const;
+
+    /** @return the part's V-f curve. */
+    const VfCurve &curve() const { return vf; }
+
+    /**
+     * The paper's 205 W TDP server Skylake socket (8168/8180 class) with
+     * the given all-core turbo.
+     */
+    static SocketPowerModel skylakeServer(GHz all_core_turbo);
+
+    /** The overclockable Xeon W-3175X (255 W TDP, 28 cores). */
+    static SocketPowerModel xeonW3175x();
+
+  private:
+    VfCurve vf;
+    Watts dynNominal;
+    Watts leakRef;
+    Celsius leakRefTj;
+    Celsius leakTheta;
+};
+
+} // namespace power
+} // namespace imsim
+
+#endif // IMSIM_POWER_SOCKET_POWER_HH

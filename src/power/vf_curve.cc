@@ -1,0 +1,48 @@
+#include "power/vf_curve.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace power {
+
+VfCurve::VfCurve(GHz f_nominal, Volts v_nominal, double dv_df, Volts v_min)
+    : fNominal(f_nominal), vNominal(v_nominal), slope(dv_df), vMin(v_min)
+{
+    util::fatalIf(f_nominal <= 0.0, "VfCurve: nominal frequency must be > 0");
+    util::fatalIf(v_nominal <= 0.0, "VfCurve: nominal voltage must be > 0");
+    util::fatalIf(dv_df <= 0.0, "VfCurve: slope must be > 0");
+    util::fatalIf(v_min > v_nominal, "VfCurve: floor above nominal voltage");
+}
+
+Volts
+VfCurve::voltageFor(GHz f) const
+{
+    util::fatalIf(f <= 0.0, "VfCurve::voltageFor: frequency must be > 0");
+    return std::max(vMin, vNominal + slope * (f - fNominal));
+}
+
+GHz
+VfCurve::frequencyFor(Volts v) const
+{
+    util::fatalIf(v <= 0.0, "VfCurve::frequencyFor: voltage must be > 0");
+    return fNominal + (v - vNominal) / slope;
+}
+
+VfCurve
+VfCurve::xeonW3175x()
+{
+    // 0.90 V @ 3.4 GHz all-core turbo (config B2); 0.98 V buys +23 %
+    // frequency (Sec. IV) => slope = 0.08 V / (0.23 * 3.4 GHz).
+    return VfCurve(3.4, 0.90, 0.08 / (0.23 * 3.4));
+}
+
+VfCurve
+VfCurve::xeonServer(GHz all_core_turbo)
+{
+    return VfCurve(all_core_turbo, 0.90, 0.08 / (0.23 * all_core_turbo));
+}
+
+} // namespace power
+} // namespace imsim

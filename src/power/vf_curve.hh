@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Voltage-frequency curves.
+ *
+ * Encodes the experimental curve the paper obtained from the overclockable
+ * Xeon W-3175X (Sec. IV "Lifetime"): raising package power from 205 W to
+ * 305 W requires raising the voltage from 0.90 V to 0.98 V and yields 23 %
+ * higher frequency than all-core turbo. The curve is linearised around the
+ * all-core-turbo operating point, which matches that data over the studied
+ * range.
+ */
+
+#ifndef IMSIM_POWER_VF_CURVE_HH
+#define IMSIM_POWER_VF_CURVE_HH
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace power {
+
+/**
+ * Linearised voltage-frequency curve with a voltage floor.
+ *
+ * voltageFor(f) = max(vMin, vNominal + slope * (f - fNominal)).
+ */
+class VfCurve
+{
+  public:
+    /**
+     * @param f_nominal  All-core-turbo frequency anchor [GHz].
+     * @param v_nominal  Voltage at the anchor [V].
+     * @param slope      dV/df [V/GHz] (> 0).
+     * @param v_min      Voltage floor at low frequency [V].
+     */
+    VfCurve(GHz f_nominal, Volts v_nominal, double slope, Volts v_min = 0.70);
+
+    /** Minimum stable voltage required to run at frequency @p f. */
+    Volts voltageFor(GHz f) const;
+
+    /** Maximum stable frequency at voltage @p v (inverse of voltageFor). */
+    GHz frequencyFor(Volts v) const;
+
+    /** @return the anchor frequency [GHz]. */
+    GHz nominalFrequency() const { return fNominal; }
+
+    /** @return the anchor voltage [V]. */
+    Volts nominalVoltage() const { return vNominal; }
+
+    /**
+     * Voltage margin at an operating point: how far the supplied voltage
+     * @p v exceeds the required voltage for @p f. Negative margins are
+     * unstable (Sec. IV "Computational stability").
+     */
+    Volts margin(GHz f, Volts v) const { return v - voltageFor(f); }
+
+    /**
+     * The Xeon W-3175X curve used throughout the paper: 0.90 V at 3.4 GHz
+     * all-core turbo; +23 % frequency at 0.98 V.
+     */
+    static VfCurve xeonW3175x();
+
+    /**
+     * Curve for the locked server Skylakes (8168/8180), anchored at their
+     * all-core turbo with the same slope as the overclockable part.
+     */
+    static VfCurve xeonServer(GHz all_core_turbo);
+
+  private:
+    GHz fNominal;
+    Volts vNominal;
+    double slope;
+    Volts vMin;
+};
+
+} // namespace power
+} // namespace imsim
+
+#endif // IMSIM_POWER_VF_CURVE_HH

@@ -1,0 +1,137 @@
+#include "reliability/calibration.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reliability/lifetime.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace reliability {
+
+Years
+lifetimeWith(const ModelConstants &c, const StressCondition &cond)
+{
+    util::fatalIf(cond.tMin > cond.tjMax,
+                  "lifetimeWith: cycle minimum above Tj max");
+    // Gate oxide with the parameterised quadratic (clamped at its
+    // vertex, as in the shipped model).
+    const double vertex = -c.oxideTempA / (2.0 * c.oxideTempC);
+    const double dt = std::max(cond.tjMax - constants::kTjRef, vertex);
+    const double ox =
+        c.oxideA *
+        std::exp(c.oxideGamma * (cond.voltage - constants::kVRef)) *
+        std::exp(c.oxideTempA * dt + c.oxideTempC * dt * dt);
+
+    const double j =
+        (cond.voltage / constants::kVRef) * cond.freqRatio;
+    const Kelvin t = units::toKelvin(cond.tjMax);
+    const Kelvin tref = units::toKelvin(constants::kTjRef);
+    const double em =
+        c.emA * std::pow(j, constants::kEmN) *
+        std::exp(c.emEa / units::kBoltzmannEv * (1.0 / tref - 1.0 / t));
+
+    const double swing = cond.swing();
+    const double tc =
+        swing > 0.0
+            ? c.tcA * std::pow(swing / constants::kSwingRef, c.tcQ)
+            : 0.0;
+
+    const double total = ox + em + tc;
+    util::panicIf(total <= 0.0, "lifetimeWith: non-positive rate");
+    return 1.0 / total;
+}
+
+std::vector<LifetimeAnchor>
+tableVAnchors()
+{
+    std::size_t count = 0;
+    const auto *scenarios = tableVScenarios(count);
+    std::vector<LifetimeAnchor> anchors;
+    anchors.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        LifetimeAnchor anchor;
+        anchor.condition = scenarios[i].condition;
+        anchor.lowerBound = false;
+        anchor.upperBound = false;
+        // Table V's published values per row.
+        const bool air = std::string(scenarios[i].cooling) ==
+                         "Air cooling";
+        if (!scenarios[i].overclocked && air) {
+            anchor.target = 5.0;
+        } else if (scenarios[i].overclocked && air) {
+            anchor.target = 1.0;
+            anchor.upperBound = true; // "< 1 year".
+        } else if (!scenarios[i].overclocked) {
+            anchor.target = 10.0;
+            anchor.lowerBound = true; // "> 10 years".
+        } else if (std::string(scenarios[i].cooling) == "FC-3284") {
+            anchor.target = 4.0;
+        } else {
+            anchor.target = 5.0; // HFE-7000 overclocked.
+        }
+        anchors.push_back(anchor);
+    }
+    return anchors;
+}
+
+double
+calibrationLoss(const ModelConstants &c,
+                const std::vector<LifetimeAnchor> &anchors)
+{
+    util::fatalIf(anchors.empty(), "calibrationLoss: no anchors");
+    double loss = 0.0;
+    for (const auto &anchor : anchors) {
+        const Years life = lifetimeWith(c, anchor.condition);
+        const double err = std::log(life / anchor.target);
+        if (anchor.lowerBound && err >= 0.0)
+            continue;
+        if (anchor.upperBound && err <= 0.0)
+            continue;
+        loss += err * err;
+    }
+    return loss;
+}
+
+ModelConstants
+fitConstants(const ModelConstants &initial,
+             const std::vector<LifetimeAnchor> &anchors, int rounds)
+{
+    util::fatalIf(rounds <= 0, "fitConstants: rounds must be positive");
+    ModelConstants best = initial;
+    double best_loss = calibrationLoss(best, anchors);
+
+    // The tunable coordinates (exponents tcQ/emN held at physics-book
+    // values; the vendor fits magnitudes and accelerations).
+    const auto coordinates = {
+        &ModelConstants::oxideA, &ModelConstants::oxideGamma,
+        &ModelConstants::oxideTempA, &ModelConstants::oxideTempC,
+        &ModelConstants::emA, &ModelConstants::emEa,
+        &ModelConstants::tcA,
+    };
+
+    double step = 0.10; // Multiplicative perturbation.
+    for (int round = 0; round < rounds; ++round) {
+        bool improved = false;
+        for (auto member : coordinates) {
+            for (double direction : {1.0 + step, 1.0 / (1.0 + step)}) {
+                ModelConstants trial = best;
+                trial.*member *= direction;
+                const double loss = calibrationLoss(trial, anchors);
+                if (loss < best_loss - 1e-15) {
+                    best = trial;
+                    best_loss = loss;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            step *= 0.5;
+        if (step < 1e-4)
+            break;
+    }
+    return best;
+}
+
+} // namespace reliability
+} // namespace imsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lifetime-model calibration: a runtime-parameterised variant of the
+ * composite model and a coordinate-descent fitter against the Table V
+ * anchors.
+ *
+ * The paper's vendor "validated the model through accelerated testing"
+ * (Sec. IV). This module reproduces the calibration workflow: given the
+ * observed lifetime anchors (point targets like "5 years" and one-sided
+ * targets like "> 10 years"), fit the mechanism constants. The tests use
+ * it to verify the shipped constants are (near) a fixed point of the
+ * fit, i.e. that the hard-coded numbers are reproducible from the data
+ * rather than folklore.
+ */
+
+#ifndef IMSIM_RELIABILITY_CALIBRATION_HH
+#define IMSIM_RELIABILITY_CALIBRATION_HH
+
+#include <vector>
+
+#include "reliability/mechanisms.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace reliability {
+
+/** Runtime-adjustable copy of the mechanism constants. */
+struct ModelConstants
+{
+    double oxideA = constants::kOxideA;
+    double oxideGamma = constants::kOxideGamma;
+    double oxideTempA = constants::kOxideTempA;
+    double oxideTempC = constants::kOxideTempC;
+    double emA = constants::kEmA;
+    double emEa = constants::kEmEa;
+    double tcA = constants::kTcA;
+    double tcQ = constants::kTcQ;
+};
+
+/** Composite lifetime evaluated with explicit constants [years]. */
+Years lifetimeWith(const ModelConstants &c, const StressCondition &cond);
+
+/** One calibration target. */
+struct LifetimeAnchor
+{
+    StressCondition condition;
+    Years target;      ///< Target lifetime [years].
+    bool lowerBound;   ///< true: ">= target" (no penalty above it).
+    bool upperBound;   ///< true: "<= target" (no penalty below it).
+};
+
+/** @return the six Table V rows as calibration anchors. */
+std::vector<LifetimeAnchor> tableVAnchors();
+
+/**
+ * Sum of squared log-space errors of @p c against @p anchors (one-sided
+ * anchors contribute zero inside their feasible half-line).
+ */
+double calibrationLoss(const ModelConstants &c,
+                       const std::vector<LifetimeAnchor> &anchors);
+
+/**
+ * Fit the constants by cyclic coordinate descent with shrinking
+ * multiplicative steps.
+ *
+ * @param initial  Starting constants.
+ * @param anchors  Calibration targets.
+ * @param rounds   Descent rounds.
+ * @return the fitted constants.
+ */
+ModelConstants fitConstants(const ModelConstants &initial,
+                            const std::vector<LifetimeAnchor> &anchors,
+                            int rounds = 60);
+
+} // namespace reliability
+} // namespace imsim
+
+#endif // IMSIM_RELIABILITY_CALIBRATION_HH

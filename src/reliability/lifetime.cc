@@ -1,0 +1,136 @@
+#include "reliability/lifetime.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace reliability {
+
+RateBreakdown
+LifetimeModel::failureRate(const StressCondition &cond) const
+{
+    util::fatalIf(cond.tMin > cond.tjMax,
+                  "failureRate: cycle minimum above Tj max");
+    RateBreakdown out{};
+    out.gateOxide = gateOxideRate(cond.voltage, cond.tjMax);
+    out.electromigration =
+        electromigrationRate(cond.voltage, cond.tjMax, cond.freqRatio);
+    out.thermalCycling = thermalCyclingRate(cond.swing());
+    out.total = out.gateOxide + out.electromigration + out.thermalCycling;
+    return out;
+}
+
+Years
+LifetimeModel::lifetime(const StressCondition &cond) const
+{
+    const RateBreakdown rates = failureRate(cond);
+    util::panicIf(rates.total <= 0.0, "lifetime: non-positive failure rate");
+    return 1.0 / rates.total;
+}
+
+double
+LifetimeModel::wearFraction(const StressCondition &cond, Years duration) const
+{
+    util::fatalIf(duration < 0.0, "wearFraction: negative duration");
+    util::fatalIf(cond.dutyCycle < 0.0 || cond.dutyCycle > 1.0,
+                  "wearFraction: duty cycle out of [0,1]");
+    const RateBreakdown rates = failureRate(cond);
+    const double duty =
+        std::max(cond.dutyCycle, LifetimeModel::kIdleWearFloor);
+    const double active_rate =
+        (rates.gateOxide + rates.electromigration) * duty;
+    return (active_rate + rates.thermalCycling) * duration;
+}
+
+double
+LifetimeModel::maxFrequencyRatioForLifetime(Celsius tj_nominal, Celsius tj_oc,
+                                            Celsius t_min,
+                                            Years target) const
+{
+    util::fatalIf(target <= 0.0, "maxFrequencyRatioForLifetime: bad target");
+    const auto condition_at = [&](double ratio) {
+        StressCondition cond;
+        // Voltage and junction temperature track the frequency ratio
+        // linearly between the (1.0, 0.90 V, tj_nominal) and
+        // (1.23, 0.98 V, tj_oc) anchors of the paper's measured curve.
+        const double t = (ratio - 1.0) / 0.23;
+        cond.voltage = 0.90 + t * 0.08;
+        cond.tjMax = tj_nominal + t * (tj_oc - tj_nominal);
+        cond.tMin = t_min;
+        cond.freqRatio = ratio;
+        return cond;
+    };
+
+    if (lifetime(condition_at(1.0)) < target)
+        return 1.0; // Even nominal misses the target; do not overclock.
+
+    double lo = 1.0;
+    double hi = 1.5; // Beyond +50 % nothing survives; ample bracket.
+    if (lifetime(condition_at(hi)) >= target)
+        return hi;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (lifetime(condition_at(mid)) >= target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+WearTracker::WearTracker(const LifetimeModel &lifetime_model,
+                         Years design_life)
+    : model(lifetime_model), designYears(design_life)
+{
+    util::fatalIf(design_life <= 0.0,
+                  "WearTracker: design life must be positive");
+}
+
+void
+WearTracker::accrue(const StressCondition &cond, Years duration)
+{
+    consumedFrac += model.wearFraction(cond, duration);
+    serviceYears += duration;
+}
+
+double
+WearTracker::credit() const
+{
+    // The design budget spends 1/designYears of life per year; credit is
+    // the unspent fraction.
+    return serviceYears / designYears - consumedFrac;
+}
+
+bool
+WearTracker::canAfford(const StressCondition &cond, Years duration) const
+{
+    const double projected =
+        consumedFrac + model.wearFraction(cond, duration);
+    const Years at_age = serviceYears + duration;
+    // Affordable when, after the proposed episode, consumed wear does not
+    // exceed the design budget for the processor's age.
+    return projected <= at_age / designYears + 1e-12;
+}
+
+const LifetimeScenario *
+tableVScenarios(std::size_t &count)
+{
+    // Operating points from Table V. The paper reports DTj ranges whose
+    // low end is the cooling medium temperature (air: 20 C ambient cycle
+    // floor; FC-3284: 50 C; HFE-7000: 35 C).
+    static const LifetimeScenario scenarios[] = {
+        {"Air cooling", false, {0.90, 85.0, 20.0, 1.00, 1.0}},
+        {"Air cooling", true, {0.98, 101.0, 20.0, 1.23, 1.0}},
+        {"FC-3284", false, {0.90, 66.0, 50.0, 1.00, 1.0}},
+        {"FC-3284", true, {0.98, 74.0, 50.0, 1.23, 1.0}},
+        {"HFE-7000", false, {0.90, 51.0, 35.0, 1.00, 1.0}},
+        {"HFE-7000", true, {0.98, 60.0, 35.0, 1.23, 1.0}},
+    };
+    count = sizeof(scenarios) / sizeof(scenarios[0]);
+    return scenarios;
+}
+
+} // namespace reliability
+} // namespace imsim

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Composite lifetime model and wear-out accounting.
+ *
+ * Stands in for the paper's proprietary 5 nm composite processor model
+ * (Sec. IV "Lifetime"): three competing failure mechanisms whose rates
+ * add, with constants calibrated so the model reproduces the six Table V
+ * anchors (air / FC-3284 / HFE-7000, each nominal and overclocked).
+ *
+ * The WearTracker implements the paper's "lifetime credit" idea: the model
+ * assumes worst-case utilization, so moderately utilized servers accrue
+ * credit that can be spent on overclocking beyond the +23 % boost.
+ */
+
+#ifndef IMSIM_RELIABILITY_LIFETIME_HH
+#define IMSIM_RELIABILITY_LIFETIME_HH
+
+#include <cstddef>
+
+#include "reliability/mechanisms.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace reliability {
+
+/** Per-mechanism breakdown of a failure-rate evaluation. */
+struct RateBreakdown
+{
+    double gateOxide;        ///< [1/years]
+    double electromigration; ///< [1/years]
+    double thermalCycling;   ///< [1/years]
+    double total;            ///< Sum [1/years].
+};
+
+/**
+ * Composite (competing-risk) lifetime model.
+ */
+class LifetimeModel
+{
+  public:
+    LifetimeModel() = default;
+
+    /** Failure rate under @p cond, per mechanism [1/years]. */
+    RateBreakdown failureRate(const StressCondition &cond) const;
+
+    /** Projected lifetime under constant stress @p cond [years]. */
+    Years lifetime(const StressCondition &cond) const;
+
+    /**
+     * Wear accumulated by @p duration of operation under @p cond, as a
+     * fraction of total life (1.0 = end of life). Voltage/current driven
+     * mechanisms scale with the duty cycle (with an idle floor, since the
+     * supply stays up when idle); thermal cycling does not, as it is
+     * driven by load transitions rather than load level.
+     */
+    double wearFraction(const StressCondition &cond, Years duration) const;
+
+    /**
+     * Highest frequency ratio (f / all-core turbo) sustainable under
+     * cooling conditions (@p tj_at(ratio), @p t_min) without dropping the
+     * projected lifetime below @p target. Voltage follows from the ratio
+     * via linear interpolation between the 0.90 V and 0.98 V anchors.
+     *
+     * Used by the control plane to size the "green band" of Fig. 5(b).
+     *
+     * @param tj_nominal  Junction temperature at ratio 1.0 [C].
+     * @param tj_oc       Junction temperature at ratio 1.23 [C]; Tj for
+     *                    other ratios is interpolated/extrapolated.
+     * @param t_min       Cycle low temperature [C].
+     * @param target      Required lifetime [years].
+     */
+    double maxFrequencyRatioForLifetime(Celsius tj_nominal, Celsius tj_oc,
+                                        Celsius t_min, Years target) const;
+
+    /** Idle floor for duty-cycle scaling of voltage-driven wear. */
+    static constexpr double kIdleWearFloor = 0.3;
+};
+
+/**
+ * Tracks consumed lifetime ("wear-out counters") for one processor, the
+ * counters the paper says it is working with component manufacturers to
+ * expose.
+ */
+class WearTracker
+{
+  public:
+    /**
+     * @param model        The lifetime model to integrate.
+     * @param design_life  Target service life [years], 5 for Azure fleet.
+     */
+    explicit WearTracker(const LifetimeModel &model, Years design_life = 5.0);
+
+    /** Record @p duration years under stress @p cond. */
+    void accrue(const StressCondition &cond, Years duration);
+
+    /** @return consumed life fraction in [0, +inf); 1.0 = worn out. */
+    double consumed() const { return consumedFrac; }
+
+    /** @return years of service so far. */
+    Years age() const { return serviceYears; }
+
+    /**
+     * Lifetime credit: the wear the design budget allowed so far minus
+     * the wear actually consumed (positive = headroom to overclock).
+     */
+    double credit() const;
+
+    /**
+     * @return whether spending @p duration years under @p cond keeps the
+     * processor within its design budget at end of life.
+     */
+    bool canAfford(const StressCondition &cond, Years duration) const;
+
+    /** @return the design service life [years]. */
+    Years designLife() const { return designYears; }
+
+  private:
+    LifetimeModel model; ///< Stateless; held by value.
+    Years designYears;
+    double consumedFrac = 0.0;
+    Years serviceYears = 0.0;
+};
+
+/** A named row of Table V (cooling x overclocking). */
+struct LifetimeScenario
+{
+    const char *cooling;  ///< "Air cooling", "FC-3284", "HFE-7000".
+    bool overclocked;
+    StressCondition condition;
+};
+
+/** @return the six Table V scenarios with the paper's operating points. */
+const LifetimeScenario *tableVScenarios(std::size_t &count);
+
+} // namespace reliability
+} // namespace imsim
+
+#endif // IMSIM_RELIABILITY_LIFETIME_HH

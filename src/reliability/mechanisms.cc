@@ -1,0 +1,52 @@
+#include "reliability/mechanisms.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace reliability {
+
+using namespace constants;
+
+double
+gateOxideRate(Volts voltage, Celsius tj)
+{
+    util::fatalIf(voltage <= 0.0, "gateOxideRate: voltage must be positive");
+    // Quadratic exponent in dT has its vertex at dT* = -a/(2c); below the
+    // vertex, colder silicon no longer slows voltage-driven breakdown, so
+    // clamp there.
+    const double vertex = -kOxideTempA / (2.0 * kOxideTempC);
+    const double dt = std::max(tj - kTjRef, vertex);
+    const double temp_term = kOxideTempA * dt + kOxideTempC * dt * dt;
+    const double volt_term = kOxideGamma * (voltage - kVRef);
+    return kOxideA * std::exp(volt_term) * std::exp(temp_term);
+}
+
+double
+electromigrationRate(Volts voltage, Celsius tj, double freq_ratio)
+{
+    util::fatalIf(voltage <= 0.0,
+                  "electromigrationRate: voltage must be positive");
+    util::fatalIf(freq_ratio <= 0.0,
+                  "electromigrationRate: frequency ratio must be positive");
+    const double j = (voltage / kVRef) * freq_ratio;
+    const Kelvin t = units::toKelvin(tj);
+    const Kelvin tref = units::toKelvin(kTjRef);
+    const double arrhenius =
+        std::exp(kEmEa / units::kBoltzmannEv * (1.0 / tref - 1.0 / t));
+    return kEmA * std::pow(j, kEmN) * arrhenius;
+}
+
+double
+thermalCyclingRate(Celsius swing)
+{
+    util::fatalIf(swing < 0.0, "thermalCyclingRate: negative swing");
+    if (swing == 0.0)
+        return 0.0;
+    return kTcA * std::pow(swing / kSwingRef, kTcQ);
+}
+
+} // namespace reliability
+} // namespace imsim

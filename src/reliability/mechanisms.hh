@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The three lifetime-degradation mechanisms of Table IV, each exposed as a
+ * failure-rate contribution [1/years] as a function of its operational
+ * parameters:
+ *
+ *  - Gate-oxide breakdown: depends on junction temperature and voltage
+ *    (non-Arrhenius temperature acceleration, per the paper's refs [19],
+ *    [69]).
+ *  - Electromigration: depends on junction temperature and current density
+ *    (Black's law).
+ *  - Thermal cycling: depends on the temperature swing (Coffin-Manson).
+ *
+ * The constants are calibrated so the composite model (lifetime.hh)
+ * reproduces the six Table V anchors; see the per-constant notes.
+ */
+
+#ifndef IMSIM_RELIABILITY_MECHANISMS_HH
+#define IMSIM_RELIABILITY_MECHANISMS_HH
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace reliability {
+
+/** Operating stress applied to a processor. */
+struct StressCondition
+{
+    Volts voltage = 0.90;      ///< Supply voltage [V].
+    Celsius tjMax = 85.0;      ///< Peak junction temperature [C].
+    Celsius tMin = 20.0;       ///< Cycle low temperature [C].
+    double freqRatio = 1.0;    ///< f / all-core-turbo (current density).
+    double dutyCycle = 1.0;    ///< Fraction of time under this stress.
+
+    /** @return the thermal-cycle amplitude DTj [C]. */
+    Celsius
+    swing() const
+    {
+        return tjMax - tMin;
+    }
+};
+
+/**
+ * Gate-oxide breakdown failure rate [1/years].
+ *
+ * lambda = A * exp(gamma * (V - Vref)) * exp(a*dT + c*dT^2), with
+ * dT = Tj - 85 C, clamped at the low-temperature vertex of the quadratic
+ * (the voltage-driven breakdown floor). The quadratic term models the
+ * stronger-than-Arrhenius acceleration observed at high temperature.
+ */
+double gateOxideRate(Volts voltage, Celsius tj);
+
+/**
+ * Electromigration failure rate [1/years] via Black's law:
+ * lambda = A * J^2 * exp(Ea/k * (1/Tref - 1/Tj)), with the current density
+ * ratio J = (V/Vref) * freq_ratio.
+ */
+double electromigrationRate(Volts voltage, Celsius tj, double freq_ratio);
+
+/**
+ * Thermal-cycling failure rate [1/years] via Coffin-Manson:
+ * lambda = A * (DTj / DTref)^q.
+ */
+double thermalCyclingRate(Celsius swing);
+
+/** Calibration constants, exposed for tests and documentation. */
+namespace constants {
+
+/** Reference voltage: the air-cooled nominal operating point [V]. */
+inline constexpr double kVRef = 0.90;
+/** Reference junction temperature: air-cooled nominal [C]. */
+inline constexpr double kTjRef = 85.0;
+/** Reference thermal swing: air-cooled nominal 20-85 C [C]. */
+inline constexpr double kSwingRef = 65.0;
+
+/** Gate oxide: base rate at the reference point [1/years]. */
+inline constexpr double kOxideA = 0.17;
+/** Gate oxide: voltage acceleration [1/V] (a 0.08 V step costs 2.1x). */
+inline constexpr double kOxideGamma = 9.2737;
+/** Gate oxide: linear temperature coefficient [1/C]. */
+inline constexpr double kOxideTempA = 0.04698;
+/** Gate oxide: quadratic (non-Arrhenius) temperature coefficient [1/C^2]. */
+inline constexpr double kOxideTempC = 0.000863;
+
+/** Electromigration: base rate at the reference point [1/years]. */
+inline constexpr double kEmA = 0.01;
+/** Electromigration: activation energy [eV]. */
+inline constexpr double kEmEa = 0.9;
+/** Electromigration: current-density exponent. */
+inline constexpr double kEmN = 2.0;
+
+/** Thermal cycling: base rate at the reference swing [1/years]. */
+inline constexpr double kTcA = 0.02;
+/** Thermal cycling: Coffin-Manson exponent. */
+inline constexpr double kTcQ = 2.5;
+
+} // namespace constants
+} // namespace reliability
+} // namespace imsim
+
+#endif // IMSIM_RELIABILITY_MECHANISMS_HH

@@ -1,0 +1,123 @@
+#include "reliability/stability.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace reliability {
+
+namespace {
+
+/** Exponential margin scale of correctable errors [mV]. */
+constexpr double kErrorMarginScale = 10.0;
+
+/** Crash-rate parameters: rate = exp(-(margin + offset)/scale) [1/h]. */
+constexpr double kCrashMarginOffset = 10.0;
+constexpr double kCrashMarginScale = 4.0;
+
+/** Fraction of margin-induced flips that escape ECC. */
+constexpr double kSilentFraction = 1e-4;
+
+} // namespace
+
+StabilityModel::StabilityModel(double quality_factor) : quality(quality_factor)
+{
+    util::fatalIf(quality_factor < 0.0,
+                  "StabilityModel: quality factor must be non-negative");
+}
+
+double
+StabilityModel::correctableErrorRate(double margin_mv) const
+{
+    // quality is the rate at zero margin; each kErrorMarginScale mV of
+    // margin buys e-fold fewer errors. Calibration: tank #2 at the paper's
+    // +50 mV offset logged 56 errors in ~6 months (4383 h):
+    // 1.9/h * exp(-50/10) * 4383 h ~= 56.
+    return quality * std::exp(-margin_mv / kErrorMarginScale);
+}
+
+double
+StabilityModel::crashRate(double margin_mv) const
+{
+    return std::exp(-(margin_mv + kCrashMarginOffset) / kCrashMarginScale);
+}
+
+double
+StabilityModel::silentErrorRate(double margin_mv) const
+{
+    return kSilentFraction * correctableErrorRate(margin_mv);
+}
+
+std::int64_t
+StabilityModel::sampleErrors(util::Rng &rng, double hours,
+                             double margin_mv) const
+{
+    util::fatalIf(hours < 0.0, "sampleErrors: negative duration");
+    const double mean = correctableErrorRate(margin_mv) * hours;
+    // Poisson sampling becomes expensive and unnecessary for very large
+    // means; use a normal approximation there.
+    if (mean > 1e6) {
+        const double draw = rng.normal(mean, std::sqrt(mean));
+        return static_cast<std::int64_t>(std::max(0.0, draw));
+    }
+    return rng.poisson(mean);
+}
+
+bool
+StabilityModel::sampleCrash(util::Rng &rng, double hours,
+                            double margin_mv) const
+{
+    util::fatalIf(hours < 0.0, "sampleCrash: negative duration");
+    const double p = 1.0 - std::exp(-crashRate(margin_mv) * hours);
+    return rng.bernoulli(p);
+}
+
+ErrorRateWatchdog::ErrorRateWatchdog(Seconds window_s,
+                                     double trip_errors_per_h)
+    : windowLen(window_s), tripThreshold(trip_errors_per_h)
+{
+    util::fatalIf(window_s <= 0.0, "ErrorRateWatchdog: window must be > 0");
+    util::fatalIf(trip_errors_per_h <= 0.0,
+                  "ErrorRateWatchdog: threshold must be > 0");
+}
+
+void
+ErrorRateWatchdog::record(Seconds t, std::int64_t cumulative_errors)
+{
+    util::fatalIf(!history.empty() && t < history.back().first,
+                  "ErrorRateWatchdog::record: time went backwards");
+    util::fatalIf(!history.empty() &&
+                      cumulative_errors < history.back().second,
+                  "ErrorRateWatchdog::record: counter went backwards");
+    history.emplace_back(t, cumulative_errors);
+}
+
+double
+ErrorRateWatchdog::ratePerHour(Seconds now) const
+{
+    if (history.size() < 2)
+        return 0.0;
+    const Seconds start = now - windowLen;
+    // Find the earliest sample inside (or straddling) the window.
+    std::size_t first = 0;
+    while (first + 1 < history.size() && history[first + 1].first <= start)
+        ++first;
+    const auto &[t0, c0] = history[first];
+    const auto &[t1, c1] = history.back();
+    if (t1 <= t0)
+        return 0.0;
+    const double errors = static_cast<double>(c1 - c0);
+    const double hours = (t1 - t0) / units::kSecondsPerHour;
+    return errors / hours;
+}
+
+bool
+ErrorRateWatchdog::tripped(Seconds now) const
+{
+    return ratePerHour(now) > tripThreshold;
+}
+
+} // namespace reliability
+} // namespace imsim

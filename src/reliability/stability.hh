@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Computational-stability model (Sec. IV "Computational stability").
+ *
+ * Excessive overclocking induces bitflips (correctable by ECC, or silent)
+ * and ungraceful crashes when voltage/frequency are pushed too far. The
+ * model expresses both as rates driven by the *voltage margin* at the
+ * operating point: the supplied voltage minus the V-f curve's required
+ * voltage. Calibration reproduces the paper's 6-month campaign: ~zero
+ * correctable errors on small tank #1, 56 CPU cache errors on small tank
+ * #2, no silent errors, and crashes only under excessive settings.
+ */
+
+#ifndef IMSIM_RELIABILITY_STABILITY_HH
+#define IMSIM_RELIABILITY_STABILITY_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace reliability {
+
+/**
+ * Margin-driven error/crash rate model for one part.
+ */
+class StabilityModel
+{
+  public:
+    /**
+     * @param quality  Part quality factor: base correctable-error rate at
+     *                 zero margin [errors/hour]. Tank #1's chip ~0.02,
+     *                 tank #2's chip ~1.9 (calibrated to the paper's
+     *                 six-month counts at the +50 mV offset).
+     */
+    explicit StabilityModel(double quality = 1.9);
+
+    /**
+     * Correctable-error rate at the given voltage margin.
+     * @param margin_mv Voltage margin [mV] (can be negative).
+     * @return errors per hour.
+     */
+    double correctableErrorRate(double margin_mv) const;
+
+    /**
+     * Crash rate at the given voltage margin; negligible above ~+20 mV,
+     * near-certain within the hour below 0 mV.
+     * @return crashes per hour.
+     */
+    double crashRate(double margin_mv) const;
+
+    /**
+     * Silent-error (undetected bitflip) rate: ECC catches almost all
+     * margin-induced flips, so this is a small fraction of the
+     * correctable rate.
+     */
+    double silentErrorRate(double margin_mv) const;
+
+    /** Sample correctable-error count for @p hours at @p margin_mv. */
+    std::int64_t sampleErrors(util::Rng &rng, double hours,
+                              double margin_mv) const;
+
+    /** Sample whether the machine crashes within @p hours. */
+    bool sampleCrash(util::Rng &rng, double hours, double margin_mv) const;
+
+    /** Part on small tank #1 (saw no errors in 6 months). */
+    static StabilityModel tank1Part() { return StabilityModel(0.02); }
+
+    /** Part on small tank #2 (saw 56 cache errors in 6 months). */
+    static StabilityModel tank2Part() { return StabilityModel(1.9); }
+
+  private:
+    double quality;
+};
+
+/**
+ * Watchdog over the correctable-error counter, as the paper proposes:
+ * "overclocking ... can be accomplished, for example, by monitoring the
+ * rate of change in correctable errors". Trips when the error rate over
+ * the trailing window exceeds a threshold, signalling the control plane
+ * to back off frequency.
+ */
+class ErrorRateWatchdog
+{
+  public:
+    /**
+     * @param window_s          Trailing window [s].
+     * @param trip_errors_per_h Error-rate threshold [errors/hour].
+     */
+    explicit ErrorRateWatchdog(Seconds window_s = 3600.0,
+                               double trip_errors_per_h = 10.0);
+
+    /** Record the cumulative correctable-error counter at time @p t. */
+    void record(Seconds t, std::int64_t cumulative_errors);
+
+    /** @return trailing-window error rate [errors/hour]. */
+    double ratePerHour(Seconds now) const;
+
+    /** @return whether the watchdog recommends backing off. */
+    bool tripped(Seconds now) const;
+
+  private:
+    Seconds windowLen;
+    double tripThreshold;
+    std::deque<std::pair<Seconds, std::int64_t>> history;
+};
+
+} // namespace reliability
+} // namespace imsim
+
+#endif // IMSIM_RELIABILITY_STABILITY_HH

@@ -1,0 +1,95 @@
+#include "sim/simulation.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace sim {
+
+EventId
+Simulation::push(Seconds t, EventFn fn, Seconds period)
+{
+    util::fatalIf(t < clock, "Simulation: cannot schedule in the past");
+    const EventId id = nextId++;
+    queue.push(Event{t, id, std::move(fn), period});
+    return id;
+}
+
+EventId
+Simulation::at(Seconds t, EventFn fn)
+{
+    return push(t, std::move(fn), 0.0);
+}
+
+EventId
+Simulation::after(Seconds delay, EventFn fn)
+{
+    util::fatalIf(delay < 0.0, "Simulation::after: negative delay");
+    return push(clock + delay, std::move(fn), 0.0);
+}
+
+EventId
+Simulation::every(Seconds period, EventFn fn)
+{
+    util::fatalIf(period <= 0.0, "Simulation::every: period must be > 0");
+    return push(clock + period, std::move(fn), period);
+}
+
+void
+Simulation::cancel(EventId id)
+{
+    cancelled.push_back(id);
+}
+
+bool
+Simulation::isCancelled(EventId id) const
+{
+    return std::find(cancelled.begin(), cancelled.end(), id) !=
+           cancelled.end();
+}
+
+void
+Simulation::runUntil(Seconds horizon)
+{
+    stopping = false;
+    while (!queue.empty() && !stopping) {
+        const Event &top = queue.top();
+        if (top.time > horizon)
+            break;
+        Event ev = top;
+        queue.pop();
+        if (isCancelled(ev.id))
+            continue;
+        clock = ev.time;
+        ++executed;
+        if (ev.period > 0.0) {
+            // Re-arm the periodic event under the *same* id so that a
+            // single cancel() kills all future firings.
+            queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
+        }
+        ev.fn();
+    }
+    if (clock < horizon)
+        clock = horizon;
+}
+
+void
+Simulation::run()
+{
+    stopping = false;
+    while (!queue.empty() && !stopping) {
+        Event ev = queue.top();
+        queue.pop();
+        if (isCancelled(ev.id))
+            continue;
+        clock = ev.time;
+        ++executed;
+        if (ev.period > 0.0)
+            queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
+        ev.fn();
+    }
+}
+
+} // namespace sim
+} // namespace imsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The queueing experiments (Figs. 12, 13, 15, 16; Table XI) run on this
+ * kernel: a virtual clock, an event queue ordered by (time, sequence), and
+ * helpers for periodic tasks (the auto-scaler's 3 s decision loop, telemetry
+ * sampling) and one-shot delayed actions (the 60 s VM scale-out latency).
+ */
+
+#ifndef IMSIM_SIM_SIMULATION_HH
+#define IMSIM_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace sim {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Discrete-event simulation engine.
+ *
+ * Events scheduled for the same timestamp fire in scheduling order, which
+ * keeps runs deterministic. Cancellation is lazy: cancelled events stay in
+ * the queue but are skipped when popped.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** @return the current virtual time [s]. */
+    Seconds now() const { return clock; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p t (>= now).
+     * @return a handle usable with cancel().
+     */
+    EventId at(Seconds t, EventFn fn);
+
+    /** Schedule @p fn to run @p delay seconds from now (delay >= 0). */
+    EventId after(Seconds delay, EventFn fn);
+
+    /**
+     * Schedule @p fn every @p period seconds, first firing at
+     * now + @p period. Runs until cancelled or the simulation stops.
+     * @return a handle usable with cancel() (cancels future firings).
+     */
+    EventId every(Seconds period, EventFn fn);
+
+    /** Cancel a pending (or periodic) event; unknown ids are ignored. */
+    void cancel(EventId id);
+
+    /**
+     * Run until the event queue is exhausted or the clock passes @p horizon.
+     * Events scheduled exactly at the horizon still fire.
+     */
+    void runUntil(Seconds horizon);
+
+    /** Run until the queue is empty. */
+    void run();
+
+    /** Stop the current runUntil()/run() after the in-flight event. */
+    void stop() { stopping = true; }
+
+    /** @return number of events executed so far. */
+    std::uint64_t eventsExecuted() const { return executed; }
+
+    /** @return number of events currently pending (including cancelled). */
+    std::size_t pendingEvents() const { return queue.size(); }
+
+  private:
+    struct Event
+    {
+        Seconds time;
+        EventId id;
+        EventFn fn;
+        Seconds period;  ///< 0 for one-shot events.
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (time != other.time)
+                return time > other.time;
+            return id > other.id;
+        }
+    };
+
+    EventId push(Seconds t, EventFn fn, Seconds period);
+    bool isCancelled(EventId id) const;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+    std::vector<EventId> cancelled;
+    Seconds clock = 0.0;
+    EventId nextId = 1;
+    std::uint64_t executed = 0;
+    bool stopping = false;
+};
+
+} // namespace sim
+} // namespace imsim
+
+#endif // IMSIM_SIM_SIMULATION_HH

@@ -1,0 +1,121 @@
+#include "tco/tco.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace tco {
+
+std::string
+scenarioName(Scenario scenario)
+{
+    switch (scenario) {
+      case Scenario::AirCooled:
+        return "Air-cooled";
+      case Scenario::NonOverclockable2Pic:
+        return "Non-overclockable 2PIC";
+      case Scenario::Overclockable2Pic:
+        return "Overclockable 2PIC";
+    }
+    util::panic("scenarioName: unhandled scenario");
+}
+
+TcoModel::TcoModel(TcoInputs inputs) : in(inputs)
+{
+    const double total = in.serverFraction + in.networkFraction +
+                         in.constructionFraction + in.energyFraction +
+                         in.operationsFraction + in.designTaxesFraction;
+    util::fatalIf(std::abs(total - 1.0) > 1e-6,
+                  "TcoModel: baseline cost fractions must sum to 1");
+    util::fatalIf(in.airPue <= 1.0 || in.immersionPue <= 1.0,
+                  "TcoModel: PUEs must exceed 1");
+    util::fatalIf(in.immersionPue >= in.airPue,
+                  "TcoModel: immersion PUE must beat air PUE");
+}
+
+TcoResult
+TcoModel::evaluate(Scenario scenario) const
+{
+    TcoResult out;
+    out.scenario = scenario;
+
+    if (scenario == Scenario::AirCooled) {
+        out.coreRatio = 1.0;
+        out.rows = {{"Servers", 0.0},          {"Network", 0.0},
+                    {"DC construction", 0.0},  {"Energy", 0.0},
+                    {"Operations", 0.0},       {"Design, taxes, fees", 0.0},
+                    {"Immersion", 0.0}};
+        out.costPerCoreDelta = 0.0;
+        return out;
+    }
+
+    // The same facility power envelope feeds more IT under the lower
+    // PUE, so the fleet (and core count) grows by airPue/immersionPue.
+    const double r = in.airPue / in.immersionPue;
+    out.coreRatio = r;
+
+    // Servers: per-core server cost tracks the unit cost (core count per
+    // server is unchanged). Overclockable fleets add power-delivery
+    // upgrades that negate the unit-cost saving (Sec. IV "TCO").
+    double servers =
+        in.serverFraction * (in.serverUnitCostRatio - 1.0);
+    if (scenario == Scenario::Overclockable2Pic)
+        servers += in.powerDeliveryUpgradeFraction;
+
+    // Network: total network cost scales superlinearly with the server
+    // count (additional aggregation tiers), so per-core cost rises.
+    const double network =
+        in.networkFraction *
+        (std::pow(r, in.networkScaleExponent) / r - 1.0);
+
+    // Construction, operations, design/taxes: fixed per facility, so the
+    // extra cores dilute them.
+    const double dilution = 1.0 / r - 1.0;
+    const double construction = in.constructionFraction * dilution;
+    const double operations = in.operationsFraction * dilution;
+    const double design_taxes = in.designTaxesFraction * dilution;
+
+    // Energy: per-core energy cost scales with (server power) x
+    // (average PUE). Immersion removes fans and leakage; overclocking
+    // adds its duty-weighted average power back, which lands the energy
+    // bill at the air-cooled baseline (Table VI's blank Energy cell).
+    Watts server_power = in.serverPowerAir - in.immersionServerSavings;
+    if (scenario == Scenario::Overclockable2Pic)
+        server_power += in.overclockExtraPower * in.overclockAverageDuty;
+    const double energy =
+        in.energyFraction * ((server_power / in.serverPowerAir) *
+                                 (in.immersionPueAvg / in.airPueAvg) -
+                             1.0);
+
+    // Immersion: tanks and fluid.
+    const double immersion = in.immersionCostFraction;
+
+    out.rows = {{"Servers", servers},
+                {"Network", network},
+                {"DC construction", construction},
+                {"Energy", energy},
+                {"Operations", operations},
+                {"Design, taxes, fees", design_taxes},
+                {"Immersion", immersion}};
+    out.costPerCoreDelta = 0.0;
+    for (const auto &row : out.rows)
+        out.costPerCoreDelta += row.deltaOfBaselineTotal;
+    return out;
+}
+
+double
+TcoModel::costPerVcoreRelative(Scenario scenario, double oversub,
+                               double effectiveness) const
+{
+    util::fatalIf(oversub < 0.0, "costPerVcoreRelative: negative oversub");
+    util::fatalIf(effectiveness < 0.0 || effectiveness > 1.0,
+                  "costPerVcoreRelative: effectiveness out of [0,1]");
+    const TcoResult result = evaluate(scenario);
+    const double cost_per_core = 1.0 + result.costPerCoreDelta;
+    const double sellable_vcores = 1.0 + oversub * effectiveness;
+    return cost_per_core / sellable_vcores;
+}
+
+} // namespace tco
+} // namespace imsim

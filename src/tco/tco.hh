@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Total-cost-of-ownership model (Sec. IV "TCO", Table VI; Sec. VI-C).
+ *
+ * The model reproduces the paper's accounting structure: a fixed-power
+ * datacenter whose categories (servers, network, construction, energy,
+ * operations, design/taxes/fees, immersion) are compared per *physical
+ * core* against a direct-evaporative air-cooled baseline. 2PIC's lower
+ * PUE reclaims facility power for ~16 % more servers, diluting the fixed
+ * costs per core; immersion adds tank/fluid cost; overclockability adds
+ * power-delivery upgrades and energy.
+ *
+ * Each Table VI row is the change in that category's per-core cost,
+ * expressed as a percentage of the baseline's *total* per-core cost, so
+ * the rows sum to the bottom-line delta — exactly how the paper's table
+ * adds up (-1+1-2-2-2-2+1 = -7).
+ */
+
+#ifndef IMSIM_TCO_TCO_HH
+#define IMSIM_TCO_TCO_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace tco {
+
+/** Datacenter scenario being costed. */
+enum class Scenario
+{
+    AirCooled,           ///< Direct-evaporative baseline.
+    NonOverclockable2Pic,///< 2PIC, stock server operating points.
+    Overclockable2Pic,   ///< 2PIC with +200 W/server overclock headroom.
+};
+
+/** @return a printable scenario name. */
+std::string scenarioName(Scenario scenario);
+
+/** One Table VI row: a cost category's per-core delta. */
+struct CategoryDelta
+{
+    std::string category;
+    double deltaOfBaselineTotal; ///< e.g. -0.02 = "-2 %".
+};
+
+/** Cost-model inputs; defaults calibrated to the paper's structure. */
+struct TcoInputs
+{
+    /** Baseline cost structure (fractions of total TCO; sum to 1).
+     *  Follows the warehouse-scale cost splits of the paper's refs
+     *  [12], [17], [37]. */
+    double serverFraction = 0.37;
+    double networkFraction = 0.08;
+    double constructionFraction = 0.14;
+    double energyFraction = 0.135;
+    double operationsFraction = 0.14;
+    double designTaxesFraction = 0.135;
+
+    /** Facility PUEs (Table I peak values). */
+    double airPue = 1.20;
+    double immersionPue = 1.03;
+    /** Average-PUE ratio used for the energy bill. */
+    double airPueAvg = 1.12;
+    double immersionPueAvg = 1.05;
+
+    /** Server power and the immersion savings (Sec. IV). */
+    Watts serverPowerAir = 700.0;
+    Watts immersionServerSavings = 64.0; ///< Fans 42 W + 2 x 11 W static.
+    Watts overclockExtraPower = 200.0;   ///< Peak +100 W per socket.
+    /** Fraction of time the fleet actually overclocks: the peak +200 W
+     *  sizes the power-delivery upgrade, but the energy bill sees the
+     *  duty-weighted average. */
+    double overclockAverageDuty = 0.55;
+
+    /** Server-unit cost change under immersion (fans, sheet metal). */
+    double serverUnitCostRatio = 0.973;
+    /** Network cost scale exponent in server count (> 1: more
+     *  aggregation tiers at larger scale). */
+    double networkScaleExponent = 1.77;
+    /** Tank + fluid cost per core as a fraction of baseline total/core. */
+    double immersionCostFraction = 0.01;
+    /** Power-delivery upgrade (overclockable) per core, same basis. */
+    double powerDeliveryUpgradeFraction = 0.01;
+};
+
+/** Result for one scenario. */
+struct TcoResult
+{
+    Scenario scenario;
+    double coreRatio;     ///< Physical cores vs the air baseline.
+    std::vector<CategoryDelta> rows; ///< Table VI rows.
+    double costPerCoreDelta; ///< Bottom line (sum of rows).
+};
+
+/**
+ * The TCO model.
+ */
+class TcoModel
+{
+  public:
+    explicit TcoModel(TcoInputs inputs = {});
+
+    /** Evaluate one scenario against the air-cooled baseline. */
+    TcoResult evaluate(Scenario scenario) const;
+
+    /**
+     * Cost per *virtual* core with CPU oversubscription (Sec. VI-C),
+     * relative to the air-cooled baseline at 1:1 vcore:pcore.
+     *
+     * @param scenario       Datacenter scenario.
+     * @param oversub        Oversubscription ratio - 1 (0.10 = 10 %).
+     * @param effectiveness  Fraction of the oversold cores that are
+     *                       actually sellable: 1.0 when overclocking
+     *                       compensates the interference, lower when it
+     *                       cannot (non-overclockable fleets).
+     * @return relative cost per vcore (1.0 = baseline).
+     */
+    double costPerVcoreRelative(Scenario scenario, double oversub,
+                                double effectiveness = 1.0) const;
+
+    /** @return the inputs. */
+    const TcoInputs &inputs() const { return in; }
+
+  private:
+    TcoInputs in;
+};
+
+} // namespace tco
+} // namespace imsim
+
+#endif // IMSIM_TCO_TCO_HH

@@ -1,0 +1,117 @@
+#include "thermal/cooling.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+const std::vector<CoolingTechSpec> &
+coolingTechCatalog()
+{
+    // Table I: average PUE, peak PUE, server fan overhead, max cooling.
+    static const std::vector<CoolingTechSpec> catalog{
+        {CoolingTech::Chiller, "Chillers", 1.70, 2.00, 0.05, 700.0},
+        {CoolingTech::WaterSide, "Water-side", 1.19, 1.25, 0.06, 700.0},
+        {CoolingTech::DirectEvaporative, "Direct evaporative", 1.12, 1.20,
+         0.06, 700.0},
+        {CoolingTech::CpuColdPlate, "CPU cold plates", 1.08, 1.13, 0.03,
+         2000.0},
+        {CoolingTech::Immersion1P, "1PIC", 1.05, 1.07, 0.00, 2000.0},
+        {CoolingTech::Immersion2P, "2PIC", 1.02, 1.03, 0.00, 4000.0},
+    };
+    return catalog;
+}
+
+const CoolingTechSpec &
+coolingTechSpec(CoolingTech tech)
+{
+    for (const auto &spec : coolingTechCatalog())
+        if (spec.tech == tech)
+            return spec;
+    util::panic("coolingTechSpec: unknown technology");
+}
+
+bool
+CoolingSystem::supports(Watts server_power) const
+{
+    util::fatalIf(server_power < 0.0, "CoolingSystem: negative power");
+    return server_power <= spec().maxServerCooling;
+}
+
+Celsius
+CoolingSystem::junctionTemperature(Watts component_power) const
+{
+    util::fatalIf(component_power < 0.0,
+                  "junctionTemperature: negative power");
+    return referenceTemperature(component_power) +
+           thermalResistance() * component_power;
+}
+
+AirCooling::AirCooling(CoolingTech tech_class, Celsius inlet_temp,
+                       CelsiusPerWatt rth_ja, Celsius preheat_delta)
+    : techClass(tech_class), inlet(inlet_temp), rth(rth_ja),
+      preheat(preheat_delta)
+{
+    util::fatalIf(tech_class == CoolingTech::Immersion1P ||
+                      tech_class == CoolingTech::Immersion2P ||
+                      tech_class == CoolingTech::CpuColdPlate,
+                  "AirCooling: technology class must be an air technology");
+    util::fatalIf(rth_ja <= 0.0, "AirCooling: resistance must be positive");
+}
+
+std::string
+AirCooling::name() const
+{
+    return "Air (" + coolingTechSpec(techClass).name + ")";
+}
+
+Celsius
+AirCooling::referenceTemperature(Watts component_power) const
+{
+    util::fatalIf(component_power < 0.0,
+                  "AirCooling: negative component power");
+    // The local ambient at the CPU is the inlet air heated by upstream
+    // components; the pre-heat is approximately load-independent at the
+    // fixed 110 CFM airflow of the paper's thermal chamber.
+    return inlet + preheat;
+}
+
+TwoPhaseImmersionCooling::TwoPhaseImmersionCooling(
+    const DielectricFluid &fluid, BoilingInterface boil_interface)
+    : tankFluid(fluid), interface(boil_interface)
+{}
+
+std::string
+TwoPhaseImmersionCooling::name() const
+{
+    return "2PIC (" + tankFluid.name + ")";
+}
+
+Celsius
+TwoPhaseImmersionCooling::referenceTemperature(Watts) const
+{
+    // While boiling, the fluid pins the reference at its saturation
+    // temperature regardless of load (Fig. 1).
+    return tankFluid.boilingPoint;
+}
+
+CelsiusPerWatt
+TwoPhaseImmersionCooling::thermalResistance() const
+{
+    return interface.thermalResistance();
+}
+
+bool
+TwoPhaseImmersionCooling::supports(Watts server_power) const
+{
+    util::fatalIf(server_power < 0.0, "2PIC: negative power");
+    // Per-CPU critical-heat-flux guard: assume a ~7 cm^2 die/IHS wetted
+    // area per 350 W of package power as the limiting surface.
+    const double ihs_area_cm2 = 20.0;
+    return server_power <= spec().maxServerCooling &&
+           interface.sustainsNucleateBoiling(
+               std::min(server_power, 400.0), ihs_area_cm2);
+}
+
+} // namespace thermal
+} // namespace imsim

@@ -1,0 +1,70 @@
+#include "thermal/environment.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+EnvironmentModel::EnvironmentModel(EnvironmentParams params) : cfg(params)
+{
+    util::fatalIf(cfg.gridCarbonKgPerKwh < 0.0,
+                  "EnvironmentModel: negative carbon intensity");
+    util::fatalIf(cfg.renewableFraction < 0.0 ||
+                      cfg.renewableFraction > 1.0,
+                  "EnvironmentModel: renewable fraction out of [0,1]");
+    util::fatalIf(cfg.vaporTrapEfficiency < 0.0 ||
+                      cfg.vaporTrapEfficiency > 1.0,
+                  "EnvironmentModel: trap efficiency out of [0,1]");
+}
+
+double
+EnvironmentModel::waterUsageEffectiveness(CoolingTech tech)
+{
+    // Liters per IT kWh. Direct evaporative cooling consumes the most;
+    // chillers reject through cooling towers; the paper projects 2PIC
+    // (dry cooler + evaporative assist on hot days) at par with
+    // evaporative facilities.
+    switch (tech) {
+      case CoolingTech::Chiller:
+        return 1.2;
+      case CoolingTech::WaterSide:
+        return 1.5;
+      case CoolingTech::DirectEvaporative:
+        return 1.8;
+      case CoolingTech::CpuColdPlate:
+        return 1.0;
+      case CoolingTech::Immersion1P:
+        return 1.7;
+      case CoolingTech::Immersion2P:
+        return 1.8; // Paper: "WUE will be at par with evaporative".
+    }
+    util::panic("waterUsageEffectiveness: unhandled technology");
+}
+
+EnvironmentalFootprint
+EnvironmentModel::footprint(CoolingTech tech, Watts avg_server_power,
+                            double vapor_loss_g_per_year) const
+{
+    util::fatalIf(avg_server_power < 0.0,
+                  "EnvironmentModel: negative power");
+    util::fatalIf(vapor_loss_g_per_year < 0.0,
+                  "EnvironmentModel: negative vapor loss");
+    const CoolingTechSpec &spec = coolingTechSpec(tech);
+
+    EnvironmentalFootprint out{};
+    const double it_kwh =
+        avg_server_power / 1000.0 * units::kHoursPerYear;
+    out.energyKwh = it_kwh * spec.avgPue;
+    out.co2EnergyKg = out.energyKwh * cfg.gridCarbonKgPerKwh *
+                      (1.0 - cfg.renewableFraction);
+    out.wue = waterUsageEffectiveness(tech);
+    out.waterLiters = it_kwh * out.wue;
+    out.vaporLossKg = vapor_loss_g_per_year / 1000.0 *
+                      (1.0 - cfg.vaporTrapEfficiency);
+    out.co2VaporKg = out.vaporLossKg * cfg.fluidGwp;
+    out.co2TotalKg = out.co2EnergyKg + out.co2VaporKg;
+    return out;
+}
+
+} // namespace thermal
+} // namespace imsim

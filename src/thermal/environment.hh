@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Environmental accounting (Sec. IV "Environmental impact"): Water Usage
+ * Effectiveness (WUE), carbon intensity of the (partly renewable) energy
+ * mix, and the global-warming-potential cost of fluid vapor losses with
+ * and without the tank/facility vapor traps the paper describes.
+ */
+
+#ifndef IMSIM_THERMAL_ENVIRONMENT_HH
+#define IMSIM_THERMAL_ENVIRONMENT_HH
+
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace thermal {
+
+/** Environmental model parameters. */
+struct EnvironmentParams
+{
+    /** Grid carbon intensity [kg CO2e per kWh]. */
+    double gridCarbonKgPerKwh = 0.35;
+    /** Fraction of energy from renewables (zero-carbon). */
+    double renewableFraction = 0.7;
+    /** Fluid global warming potential [kg CO2e per kg of vapor lost]. */
+    double fluidGwp = 5000.0;
+    /** Fraction of vapor the mechanical/chemical traps recover. */
+    double vaporTrapEfficiency = 0.95;
+};
+
+/** Annual environmental footprint of one server. */
+struct EnvironmentalFootprint
+{
+    double energyKwh;       ///< Facility energy per year.
+    double co2EnergyKg;     ///< CO2e from energy.
+    double waterLiters;     ///< Water evaporated per year.
+    double wue;             ///< Liters per IT kWh.
+    double vaporLossKg;     ///< Fluid lost to the atmosphere per year.
+    double co2VaporKg;      ///< CO2e from fluid loss.
+    double co2TotalKg;      ///< Total CO2e per year.
+};
+
+/**
+ * Environmental accounting for one cooling technology.
+ */
+class EnvironmentModel
+{
+  public:
+    explicit EnvironmentModel(EnvironmentParams params = {});
+
+    /**
+     * Annual footprint of a server drawing @p avg_server_power under
+     * @p tech.
+     *
+     * Water: evaporative technologies consume roughly 1.8 L per IT kWh
+     * (direct evaporation); chiller/water-side less; immersion rejects
+     * heat through a dry cooler but the paper projects WUE "at par with
+     * evaporative-cooled datacenters" once the condenser loop's
+     * evaporative assist is counted — we use that projection.
+     *
+     * @param vapor_loss_g_per_year Untrapped tank vapor loss [g/year]
+     *        (immersion only; see ImmersionTank::vaporLossGrams).
+     */
+    EnvironmentalFootprint footprint(CoolingTech tech,
+                                     Watts avg_server_power,
+                                     double vapor_loss_g_per_year = 0.0)
+        const;
+
+    /** @return the parameters. */
+    const EnvironmentParams &params() const { return cfg; }
+
+    /** Liters of water per IT kWh for a technology (WUE). */
+    static double waterUsageEffectiveness(CoolingTech tech);
+
+  private:
+    EnvironmentParams cfg;
+};
+
+} // namespace thermal
+} // namespace imsim
+
+#endif // IMSIM_THERMAL_ENVIRONMENT_HH

@@ -1,0 +1,56 @@
+#include "thermal/junction.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+ThermalNode::ThermalNode(CelsiusPerWatt resistance, double capacitance,
+                         Celsius initial)
+    : rth(resistance), cap(capacitance), temp(initial), minTemp(initial),
+      maxTemp(initial)
+{
+    util::fatalIf(resistance <= 0.0, "ThermalNode: resistance must be > 0");
+    util::fatalIf(capacitance <= 0.0, "ThermalNode: capacitance must be > 0");
+}
+
+void
+ThermalNode::step(Seconds dt, Watts power, Celsius ref)
+{
+    util::fatalIf(dt < 0.0, "ThermalNode::step: negative dt");
+    const Celsius target = steadyState(power, ref);
+    const double decay = std::exp(-dt / timeConstant());
+    temp = target + (temp - target) * decay;
+    minTemp = std::min(minTemp, temp);
+    maxTemp = std::max(maxTemp, temp);
+}
+
+Celsius
+ThermalNode::steadyState(Watts power, Celsius ref) const
+{
+    return ref + rth * power;
+}
+
+void
+ThermalNode::resetExtremes()
+{
+    minTemp = temp;
+    maxTemp = temp;
+}
+
+JunctionReport
+junctionReport(const CoolingSystem &cooling, Watts power)
+{
+    JunctionReport report;
+    report.power = power;
+    report.reference = cooling.referenceTemperature(power);
+    report.resistance = cooling.thermalResistance();
+    report.tjMax = cooling.junctionTemperature(power);
+    return report;
+}
+
+} // namespace thermal
+} // namespace imsim

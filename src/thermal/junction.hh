@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Junction temperature models: the steady-state resistance model behind
+ * Table III and a first-order thermal RC for transients (the temperature
+ * swing component DTj of the lifetime model, Table V).
+ */
+
+#ifndef IMSIM_THERMAL_JUNCTION_HH
+#define IMSIM_THERMAL_JUNCTION_HH
+
+#include "thermal/cooling.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace thermal {
+
+/**
+ * First-order thermal RC node.
+ *
+ * dT/dt = (P - (T - Tref)/R) / C. Used to track the junction temperature
+ * of a component whose power varies over time, which drives both thermal
+ * throttling and the thermal-cycling term of the lifetime model.
+ */
+class ThermalNode
+{
+  public:
+    /**
+     * @param resistance   Junction-to-coolant resistance [C/W].
+     * @param capacitance  Lumped thermal capacitance [J/C].
+     * @param initial      Initial temperature [C].
+     */
+    ThermalNode(CelsiusPerWatt resistance, double capacitance,
+                Celsius initial);
+
+    /**
+     * Advance the node by @p dt seconds with constant power @p power and
+     * coolant reference @p ref. Uses the exact exponential solution of the
+     * linear ODE, so large steps remain stable.
+     */
+    void step(Seconds dt, Watts power, Celsius ref);
+
+    /** @return current junction temperature [C]. */
+    Celsius temperature() const { return temp; }
+
+    /** Steady-state temperature for constant power and reference. */
+    Celsius steadyState(Watts power, Celsius ref) const;
+
+    /** @return thermal time constant R*C [s]. */
+    Seconds timeConstant() const { return rth * cap; }
+
+    /** Reset the node to a given temperature. */
+    void reset(Celsius t) { temp = t; }
+
+    /** @return minimum temperature seen since construction/resetExtremes. */
+    Celsius minSeen() const { return minTemp; }
+
+    /** @return maximum temperature seen since construction/resetExtremes. */
+    Celsius maxSeen() const { return maxTemp; }
+
+    /** Restart min/max tracking from the current temperature. */
+    void resetExtremes();
+
+  private:
+    CelsiusPerWatt rth;
+    double cap;
+    Celsius temp;
+    Celsius minTemp;
+    Celsius maxTemp;
+};
+
+/**
+ * Observed junction statistics for one (processor, cooling) configuration;
+ * the quantities Table III reports.
+ */
+struct JunctionReport
+{
+    Celsius tjMax;              ///< Observed max junction temperature.
+    Watts power;                ///< Package power at that point.
+    CelsiusPerWatt resistance;  ///< Effective thermal resistance.
+    Celsius reference;          ///< Coolant reference temperature.
+};
+
+/**
+ * Compute the steady-state junction report for a component dissipating
+ * @p power under @p cooling.
+ */
+JunctionReport junctionReport(const CoolingSystem &cooling, Watts power);
+
+} // namespace thermal
+} // namespace imsim
+
+#endif // IMSIM_THERMAL_JUNCTION_HH

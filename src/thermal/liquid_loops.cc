@@ -1,0 +1,85 @@
+#include "thermal/liquid_loops.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+ColdPlateCooling::ColdPlateCooling(Celsius supply_temp,
+                                   CelsiusPerWatt plate_rth,
+                                   double flow_lpm)
+    : supply(supply_temp), rth(plate_rth), flowLpm(flow_lpm)
+{
+    util::fatalIf(plate_rth <= 0.0,
+                  "ColdPlateCooling: resistance must be positive");
+    util::fatalIf(flow_lpm <= 0.0,
+                  "ColdPlateCooling: flow must be positive");
+}
+
+std::string
+ColdPlateCooling::name() const
+{
+    return "CPU cold plate";
+}
+
+Celsius
+ColdPlateCooling::referenceTemperature(Watts component_power) const
+{
+    util::fatalIf(component_power < 0.0,
+                  "ColdPlateCooling: negative power");
+    // Caloric rise of the water across the plate:
+    // dT = P / (m_dot * cp), water cp ~4186 J/(kg C), 1 L/min ~ 1/60 kg/s.
+    const double mdot = flowLpm / 60.0;
+    const double rise = component_power / (mdot * 4186.0);
+    // The component sees roughly the mean of inlet and outlet.
+    return supply + 0.5 * rise;
+}
+
+SinglePhaseImmersionCooling::SinglePhaseImmersionCooling(
+    Celsius inlet_temp, CelsiusPerWatt rth_jl, Watts tank_load,
+    double pump_flow_kgs)
+    : inlet(inlet_temp), rth(rth_jl), tankLoad(tank_load),
+      pumpFlowKgs(pump_flow_kgs)
+{
+    util::fatalIf(rth_jl <= 0.0,
+                  "SinglePhaseImmersionCooling: resistance must be > 0");
+    util::fatalIf(tank_load < 0.0,
+                  "SinglePhaseImmersionCooling: negative tank load");
+    util::fatalIf(pump_flow_kgs <= 0.0,
+                  "SinglePhaseImmersionCooling: flow must be positive");
+}
+
+std::string
+SinglePhaseImmersionCooling::name() const
+{
+    return "1PIC (pumped dielectric)";
+}
+
+Celsius
+SinglePhaseImmersionCooling::bulkTemperature() const
+{
+    // Mean liquid temperature: inlet plus half the loop's caloric rise
+    // at the current tank load.
+    const double rise = tankLoad / (pumpFlowKgs * kCp);
+    return inlet + 0.5 * rise;
+}
+
+Celsius
+SinglePhaseImmersionCooling::referenceTemperature(Watts component_power)
+    const
+{
+    util::fatalIf(component_power < 0.0,
+                  "SinglePhaseImmersionCooling: negative power");
+    return bulkTemperature();
+}
+
+void
+SinglePhaseImmersionCooling::setTankLoad(Watts watts)
+{
+    util::fatalIf(watts < 0.0,
+                  "SinglePhaseImmersionCooling: negative tank load");
+    tankLoad = watts;
+}
+
+} // namespace thermal
+} // namespace imsim

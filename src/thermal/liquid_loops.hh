@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The remaining Table I liquid technologies as usable cooling systems:
+ * CPU cold plates (pumped liquid through per-component plates; Sec. II
+ * notes their engineering overhead but strong thermals) and single-phase
+ * immersion (1PIC: pumped dielectric liquid, no phase change — the
+ * Alibaba deployment [74]).
+ *
+ * Both complete the CoolingSystem family so every Table I row can feed
+ * the junction/power/lifetime models; the paper's conclusions "apply to
+ * 1PIC and cold plates as well" (Sec. II).
+ */
+
+#ifndef IMSIM_THERMAL_LIQUID_LOOPS_HH
+#define IMSIM_THERMAL_LIQUID_LOOPS_HH
+
+#include "thermal/cooling.hh"
+
+namespace imsim {
+namespace thermal {
+
+/**
+ * CPU cold plate: facility water through a microchannel plate mounted on
+ * the package. Reference temperature is the loop supply plus the
+ * coolant's caloric rise; resistance is the plate's junction-to-liquid
+ * path. Non-plated components still see air.
+ */
+class ColdPlateCooling : public CoolingSystem
+{
+  public:
+    /**
+     * @param supply_temp   Loop supply temperature [C].
+     * @param plate_rth     Junction-to-liquid resistance [C/W].
+     * @param flow_lpm      Loop flow per plate [liters/minute].
+     */
+    explicit ColdPlateCooling(Celsius supply_temp = 30.0,
+                              CelsiusPerWatt plate_rth = 0.045,
+                              double flow_lpm = 1.5);
+
+    std::string name() const override;
+    CoolingTech tech() const override { return CoolingTech::CpuColdPlate; }
+    Celsius referenceTemperature(Watts component_power) const override;
+    CelsiusPerWatt thermalResistance() const override { return rth; }
+
+  private:
+    Celsius supply;
+    CelsiusPerWatt rth;
+    double flowLpm;
+};
+
+/**
+ * Single-phase immersion (1PIC): the tank liquid absorbs heat and is
+ * pumped through a heat exchanger. Unlike 2PIC's boiling-pinned
+ * reference, the bulk liquid temperature rises with the tank load, so
+ * the reference is load-dependent.
+ */
+class SinglePhaseImmersionCooling : public CoolingSystem
+{
+  public:
+    /**
+     * @param inlet_temp    Liquid temperature entering the tank [C].
+     * @param rth           Junction-to-liquid resistance [C/W] (no
+     *                      boiling enhancement; forced convection).
+     * @param tank_load     Total tank heat load [W] (sets the bulk rise).
+     * @param pump_flow_kgs Pumped mass flow [kg/s].
+     */
+    explicit SinglePhaseImmersionCooling(Celsius inlet_temp = 35.0,
+                                         CelsiusPerWatt rth = 0.14,
+                                         Watts tank_load = 10000.0,
+                                         double pump_flow_kgs = 2.0);
+
+    std::string name() const override;
+    CoolingTech tech() const override { return CoolingTech::Immersion1P; }
+    Celsius referenceTemperature(Watts component_power) const override;
+    CelsiusPerWatt thermalResistance() const override { return rth; }
+
+    /** Bulk liquid temperature at the current tank load [C]. */
+    Celsius bulkTemperature() const;
+
+    /** Update the total tank heat load [W]. */
+    void setTankLoad(Watts watts);
+
+  private:
+    Celsius inlet;
+    CelsiusPerWatt rth;
+    Watts tankLoad;
+    double pumpFlowKgs;
+
+    /** Specific heat of the dielectric liquid [J/(kg C)]. */
+    static constexpr double kCp = 1100.0;
+};
+
+} // namespace thermal
+} // namespace imsim
+
+#endif // IMSIM_THERMAL_LIQUID_LOOPS_HH

@@ -1,0 +1,230 @@
+#include "thermal/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+ThermalNetwork::NodeId
+ThermalNetwork::addNode(std::string name, double capacitance,
+                        Celsius initial)
+{
+    util::fatalIf(capacitance <= 0.0,
+                  "ThermalNetwork::addNode: capacitance must be positive");
+    nodes.push_back(Node{std::move(name), capacitance, initial, 0.0,
+                         initial, initial});
+    return nodes.size() - 1;
+}
+
+ThermalNetwork::NodeId
+ThermalNetwork::addAmbient(std::string name, Celsius temperature)
+{
+    nodes.push_back(Node{std::move(name), 0.0, temperature, 0.0,
+                         temperature, temperature});
+    return nodes.size() - 1;
+}
+
+void
+ThermalNetwork::checkNode(NodeId node) const
+{
+    util::fatalIf(node >= nodes.size(), "ThermalNetwork: bad node id");
+}
+
+void
+ThermalNetwork::couple(NodeId a, NodeId b, CelsiusPerWatt resistance)
+{
+    checkNode(a);
+    checkNode(b);
+    util::fatalIf(a == b, "ThermalNetwork::couple: self-coupling");
+    util::fatalIf(resistance <= 0.0,
+                  "ThermalNetwork::couple: resistance must be positive");
+    edges.push_back(Edge{a, b, 1.0 / resistance});
+}
+
+void
+ThermalNetwork::inject(NodeId node, Watts power)
+{
+    checkNode(node);
+    util::fatalIf(power < 0.0, "ThermalNetwork::inject: negative power");
+    nodes[node].injected = power;
+}
+
+Watts
+ThermalNetwork::netInflow(NodeId node) const
+{
+    Watts flow = nodes[node].injected;
+    for (const auto &edge : edges) {
+        if (edge.a == node)
+            flow += edge.conductance *
+                    (nodes[edge.b].temp - nodes[edge.a].temp);
+        else if (edge.b == node)
+            flow += edge.conductance *
+                    (nodes[edge.a].temp - nodes[edge.b].temp);
+    }
+    return flow;
+}
+
+void
+ThermalNetwork::step(Seconds dt)
+{
+    util::fatalIf(dt < 0.0, "ThermalNetwork::step: negative dt");
+    if (dt == 0.0 || nodes.empty())
+        return;
+
+    // Stability bound for explicit Euler: dt_sub < C_i / G_i for every
+    // capacitive node (G_i = total conductance attached). Use half that.
+    double min_tau = 1e30;
+    for (NodeId i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].capacitance <= 0.0)
+            continue;
+        double conductance = 0.0;
+        for (const auto &edge : edges)
+            if (edge.a == i || edge.b == i)
+                conductance += edge.conductance;
+        if (conductance > 0.0)
+            min_tau = std::min(min_tau, nodes[i].capacitance / conductance);
+    }
+    const Seconds max_sub = min_tau < 1e30 ? 0.5 * min_tau : dt;
+    const auto substeps =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                       std::ceil(dt / max_sub)));
+    const Seconds sub_dt = dt / static_cast<double>(substeps);
+
+    std::vector<Celsius> next(nodes.size());
+    for (std::uint64_t s = 0; s < substeps; ++s) {
+        for (NodeId i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].capacitance <= 0.0) {
+                next[i] = nodes[i].temp; // Ambient: fixed.
+            } else {
+                next[i] = nodes[i].temp +
+                          sub_dt * netInflow(i) / nodes[i].capacitance;
+            }
+        }
+        for (NodeId i = 0; i < nodes.size(); ++i) {
+            nodes[i].temp = next[i];
+            nodes[i].minTemp = std::min(nodes[i].minTemp, next[i]);
+            nodes[i].maxTemp = std::max(nodes[i].maxTemp, next[i]);
+        }
+    }
+}
+
+void
+ThermalNetwork::settle()
+{
+    // Gauss-Seidel: each capacitive node relaxes to the
+    // conductance-weighted mean of its neighbours plus injection.
+    for (int iter = 0; iter < 20000; ++iter) {
+        double worst = 0.0;
+        for (NodeId i = 0; i < nodes.size(); ++i) {
+            if (nodes[i].capacitance <= 0.0)
+                continue;
+            double conductance = 0.0;
+            double weighted = nodes[i].injected;
+            for (const auto &edge : edges) {
+                if (edge.a == i) {
+                    conductance += edge.conductance;
+                    weighted += edge.conductance * nodes[edge.b].temp;
+                } else if (edge.b == i) {
+                    conductance += edge.conductance;
+                    weighted += edge.conductance * nodes[edge.a].temp;
+                }
+            }
+            if (conductance <= 0.0)
+                continue;
+            const Celsius target = weighted / conductance;
+            worst = std::max(worst, std::abs(target - nodes[i].temp));
+            nodes[i].temp = target;
+        }
+        if (worst < 1e-9)
+            break;
+    }
+    for (auto &node : nodes) {
+        node.minTemp = std::min(node.minTemp, node.temp);
+        node.maxTemp = std::max(node.maxTemp, node.temp);
+    }
+}
+
+Celsius
+ThermalNetwork::temperature(NodeId node) const
+{
+    checkNode(node);
+    return nodes[node].temp;
+}
+
+const std::string &
+ThermalNetwork::name(NodeId node) const
+{
+    checkNode(node);
+    return nodes[node].label;
+}
+
+Celsius
+ThermalNetwork::minSeen(NodeId node) const
+{
+    checkNode(node);
+    return nodes[node].minTemp;
+}
+
+Celsius
+ThermalNetwork::maxSeen(NodeId node) const
+{
+    checkNode(node);
+    return nodes[node].maxTemp;
+}
+
+void
+ThermalNetwork::resetExtremes()
+{
+    for (auto &node : nodes) {
+        node.minTemp = node.temp;
+        node.maxTemp = node.temp;
+    }
+}
+
+ImmersedCpuNetwork
+makeImmersedCpuNetwork(const DielectricFluid &fluid,
+                       BoilingInterface interface, double fluid_mass_kg,
+                       CelsiusPerWatt condenser_resistance,
+                       Celsius coolant_temp, Watts background_load_w)
+{
+    util::fatalIf(fluid_mass_kg <= 0.0,
+                  "makeImmersedCpuNetwork: fluid mass must be positive");
+    if (background_load_w < 0.0) {
+        // Default: the rest of the tank dissipates enough that the
+        // shared fluid sits right at its saturation temperature with
+        // the modelled CPU near idle.
+        background_load_w = std::max(
+            0.0, (fluid.boilingPoint - coolant_temp) /
+                     condenser_resistance - 200.0);
+    }
+    ImmersedCpuNetwork out;
+    // Die: tiny capacitance (silicon + package), fast response.
+    out.die = out.network.addNode("die", 20.0, fluid.boilingPoint);
+    // Integrated heat spreader / boiler plate.
+    out.spreader =
+        out.network.addNode("spreader", 150.0, fluid.boilingPoint);
+    // Tank fluid: ~1100 J/(kg C) specific heat for fluorinated fluids.
+    out.fluid = out.network.addNode("fluid", fluid_mass_kg * 1100.0,
+                                    fluid.boilingPoint);
+    out.coolant = out.network.addAmbient("coolant", coolant_temp);
+
+    // The other servers' heat keeps the fluid at temperature.
+    out.network.inject(out.fluid, background_load_w);
+
+    // Junction-to-case resistance inside the package.
+    out.network.couple(out.die, out.spreader, 0.02);
+    // Boiling interface: the Table III resistances minus the package
+    // share already counted above.
+    const CelsiusPerWatt boil =
+        std::max(0.01, interface.thermalResistance() - 0.02);
+    out.network.couple(out.spreader, out.fluid, boil);
+    // Condenser loop.
+    out.network.couple(out.fluid, out.coolant, condenser_resistance);
+    return out;
+}
+
+} // namespace thermal
+} // namespace imsim

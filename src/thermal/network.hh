@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Lumped thermal RC network: multiple capacitive nodes joined by thermal
+ * resistances, with fixed-temperature ambient nodes and per-node heat
+ * injection. Generalises the single ThermalNode to the real heat path of
+ * an immersed server — die -> heat spreader -> BEC/boiling film ->
+ * tank fluid -> condenser -> facility coolant — so transients (load
+ * bursts, condenser failures) and the thermal-cycling amplitudes feeding
+ * the lifetime model can be simulated rather than assumed.
+ */
+
+#ifndef IMSIM_THERMAL_NETWORK_HH
+#define IMSIM_THERMAL_NETWORK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/fluid.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace thermal {
+
+/**
+ * General lumped-parameter thermal network.
+ */
+class ThermalNetwork
+{
+  public:
+    /** Handle to a node. */
+    using NodeId = std::size_t;
+
+    ThermalNetwork() = default;
+
+    /**
+     * Add a capacitive node.
+     *
+     * @param name        Label for reports.
+     * @param capacitance Thermal capacitance [J/C] (> 0).
+     * @param initial     Initial temperature [C].
+     */
+    NodeId addNode(std::string name, double capacitance, Celsius initial);
+
+    /**
+     * Add an ambient (fixed-temperature) node, e.g. the facility coolant
+     * loop or the boiling-pinned fluid interface.
+     */
+    NodeId addAmbient(std::string name, Celsius temperature);
+
+    /** Connect two nodes with a thermal resistance [C/W] (> 0). */
+    void couple(NodeId a, NodeId b, CelsiusPerWatt resistance);
+
+    /** Set the heat injected into a node [W] (ambient nodes reject it). */
+    void inject(NodeId node, Watts power);
+
+    /**
+     * Advance the network by @p dt seconds (explicit integration with
+     * automatic sub-stepping for stability).
+     */
+    void step(Seconds dt);
+
+    /** Relax the network to its steady state (Gauss-Seidel). */
+    void settle();
+
+    /** @return current temperature of @p node [C]. */
+    Celsius temperature(NodeId node) const;
+
+    /** @return node label. */
+    const std::string &name(NodeId node) const;
+
+    /** @return number of nodes (capacitive + ambient). */
+    std::size_t size() const { return nodes.size(); }
+
+    /** @return min/max temperature seen by @p node since construction
+     *  or the last resetExtremes(). */
+    Celsius minSeen(NodeId node) const;
+    Celsius maxSeen(NodeId node) const;
+
+    /** Restart extreme tracking from current temperatures. */
+    void resetExtremes();
+
+  private:
+    struct Node
+    {
+        std::string label;
+        double capacitance; ///< 0 marks an ambient node.
+        Celsius temp;
+        Watts injected = 0.0;
+        Celsius minTemp;
+        Celsius maxTemp;
+    };
+
+    struct Edge
+    {
+        NodeId a;
+        NodeId b;
+        double conductance; ///< [W/C].
+    };
+
+    void checkNode(NodeId node) const;
+    /** Net heat flowing into @p node at current temperatures [W]. */
+    Watts netInflow(NodeId node) const;
+
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+};
+
+/** Handles into the canned immersed-CPU network. */
+struct ImmersedCpuNetwork
+{
+    ThermalNetwork network;
+    ThermalNetwork::NodeId die;
+    ThermalNetwork::NodeId spreader;
+    ThermalNetwork::NodeId fluid;
+    ThermalNetwork::NodeId coolant;
+};
+
+/**
+ * Build the heat path of one immersed CPU: a low-capacitance die coupled
+ * through the package to the heat spreader, the spreader boiling into
+ * the (large-capacitance) tank fluid through the BEC interface, and the
+ * fluid condensing against the facility coolant loop.
+ *
+ * @param fluid       Tank fluid (sets the fluid node's initial/target
+ *                    temperature at its boiling point).
+ * @param interface   BEC boiling interface (spreader->fluid resistance).
+ * @param fluid_mass_kg Tank fluid inventory [kg] (sets its capacitance).
+ * @param condenser_resistance Fluid->coolant loop resistance [C/W].
+ * @param coolant_temp Facility coolant temperature [C].
+ * @param background_load_w Heat from the tank's other servers [W];
+ *        sized so the shared fluid sits at its saturation temperature
+ *        (one CPU alone would leave a large tank subcooled).
+ */
+ImmersedCpuNetwork
+makeImmersedCpuNetwork(const DielectricFluid &fluid,
+                       BoilingInterface interface = {},
+                       double fluid_mass_kg = 100.0,
+                       CelsiusPerWatt condenser_resistance = 0.004,
+                       Celsius coolant_temp = 28.0,
+                       Watts background_load_w = -1.0);
+
+} // namespace thermal
+} // namespace imsim
+
+#endif // IMSIM_THERMAL_NETWORK_HH

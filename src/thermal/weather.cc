@@ -1,0 +1,64 @@
+#include "thermal/weather.hh"
+
+#include <cmath>
+
+#include "thermal/fluid.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace thermal {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+} // namespace
+
+WeatherModel::WeatherModel(SiteClimate site, Celsius approach)
+    : climate(site), appr(approach)
+{
+    util::fatalIf(approach <= 0.0,
+                  "WeatherModel: approach must be positive");
+    util::fatalIf(site.seasonalAmplitude < 0.0 ||
+                      site.diurnalAmplitude < 0.0 ||
+                      site.weatherNoise < 0.0,
+                  "WeatherModel: negative amplitude");
+}
+
+Celsius
+WeatherModel::ambient(Seconds t) const
+{
+    util::fatalIf(t < 0.0, "WeatherModel: negative time");
+    // Season peaks mid-year (day ~200); day peaks mid-afternoon.
+    const double year_frac = std::fmod(t, kSecondsPerYear) /
+                             kSecondsPerYear;
+    const double day_frac = std::fmod(t, kSecondsPerDay) / kSecondsPerDay;
+    return climate.annualMean +
+           climate.seasonalAmplitude *
+               std::sin(2.0 * kPi * (year_frac - 0.3)) +
+           climate.diurnalAmplitude *
+               std::sin(2.0 * kPi * (day_frac - 0.375));
+}
+
+Celsius
+WeatherModel::ambient(Seconds t, util::Rng &rng) const
+{
+    return ambient(t) + rng.normal(0.0, climate.weatherNoise);
+}
+
+Celsius
+WeatherModel::annualPeakAmbient() const
+{
+    return climate.annualMean + climate.seasonalAmplitude +
+           climate.diurnalAmplitude;
+}
+
+Celsius
+WeatherModel::subcoolingMargin(const DielectricFluid &fluid,
+                               Seconds t) const
+{
+    return fluid.boilingPoint - coolantSupply(t);
+}
+
+} // namespace thermal
+} // namespace imsim

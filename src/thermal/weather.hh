@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Weather model for the heat-rejection loop.
+ *
+ * The 2PIC tank's condenser ultimately rejects heat through a dry cooler
+ * against outdoor air (Sec. II), so the coolant-loop temperature — and
+ * through it the fluid subcooling margin and junction temperatures —
+ * follows the weather. This model produces seasonal + diurnal ambient
+ * temperatures and the resulting dry-cooler supply temperature, letting
+ * experiments ask: does the overclocking budget survive a heat wave?
+ */
+
+#ifndef IMSIM_THERMAL_WEATHER_HH
+#define IMSIM_THERMAL_WEATHER_HH
+
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace thermal {
+
+/** Climate parameters of a datacenter site. */
+struct SiteClimate
+{
+    Celsius annualMean = 15.0;      ///< Mean outdoor temperature.
+    Celsius seasonalAmplitude = 10.0; ///< Summer/winter half-swing.
+    Celsius diurnalAmplitude = 5.0; ///< Day/night half-swing.
+    double weatherNoise = 1.5;      ///< Random day-to-day deviation [C].
+};
+
+/**
+ * Weather-driven heat-rejection loop.
+ */
+class WeatherModel
+{
+  public:
+    /**
+     * @param climate   Site climate.
+     * @param approach  Dry-cooler approach temperature: coolant supply
+     *                  sits this far above the ambient [C].
+     */
+    explicit WeatherModel(SiteClimate climate = {}, Celsius approach = 8.0);
+
+    /**
+     * Outdoor temperature at @p t seconds into the year (deterministic
+     * seasonal + diurnal components).
+     */
+    Celsius ambient(Seconds t) const;
+
+    /** Ambient with day-to-day noise drawn from @p rng. */
+    Celsius ambient(Seconds t, util::Rng &rng) const;
+
+    /** Coolant supply temperature at @p t [C]. */
+    Celsius coolantSupply(Seconds t) const { return ambient(t) + appr; }
+
+    /** Hottest deterministic ambient of the year [C]. */
+    Celsius annualPeakAmbient() const;
+
+    /**
+     * Fluid subcooling margin for a tank at @p t: how far the coolant
+     * supply sits below the fluid's boiling point. A non-positive margin
+     * means the condenser can no longer condense — the overclocking
+     * budget (indeed the tank) fails.
+     */
+    Celsius subcoolingMargin(const struct DielectricFluid &fluid,
+                             Seconds t) const;
+
+    /** @return the configured approach temperature. */
+    Celsius approach() const { return appr; }
+
+  private:
+    SiteClimate climate;
+    Celsius appr;
+};
+
+} // namespace thermal
+} // namespace imsim
+
+#endif // IMSIM_THERMAL_WEATHER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench and example binaries:
+ * boolean switches ("--csv"), and "--key value" / "--key=value" options
+ * with typed accessors.
+ */
+
+#ifndef IMSIM_UTIL_CLI_HH
+#define IMSIM_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace imsim {
+namespace util {
+
+/**
+ * Parsed command line.
+ */
+class Cli
+{
+  public:
+    /** Parse argv; unknown flags are kept (benches print them back). */
+    Cli(int argc, const char *const *argv);
+
+    /** @return whether @p flag (e.g. "--csv") appeared. */
+    bool has(const std::string &flag) const;
+
+    /** @return string value of "--key value|--key=value" or fallback. */
+    std::string get(const std::string &flag,
+                    const std::string &fallback = "") const;
+
+    /** @return integer value of the flag or fallback; FatalError when
+     *  present but non-numeric. */
+    std::int64_t getInt(const std::string &flag,
+                        std::int64_t fallback) const;
+
+    /** @return double value of the flag or fallback; FatalError when
+     *  present but non-numeric. */
+    double getDouble(const std::string &flag, double fallback) const;
+
+    /** @return the program name (argv[0]). */
+    const std::string &program() const { return programName; }
+
+    /** @return positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return args; }
+
+  private:
+    std::string programName;
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> args;
+};
+
+} // namespace util
+} // namespace imsim
+
+#endif // IMSIM_UTIL_CLI_HH

@@ -1,0 +1,50 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace imsim {
+namespace util {
+
+namespace {
+bool verboseFlag = false;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+} // namespace util
+} // namespace imsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the ImmerSim library.
+ *
+ * Follows the gem5 split between user errors and internal invariant
+ * violations:
+ *  - fatal()  -> the condition is the caller's fault (bad configuration,
+ *                out-of-range parameter); throws imsim::FatalError so that
+ *                library users and tests can recover.
+ *  - panic()  -> the condition indicates a bug inside the library; throws
+ *                imsim::PanicError carrying the broken invariant.
+ *  - warn() / inform() -> non-fatal notices on stderr/stdout.
+ */
+
+#ifndef IMSIM_UTIL_LOGGING_HH
+#define IMSIM_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace imsim {
+
+/** Base class for all errors raised by the library. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Raised when the *caller* supplied an invalid configuration or argument. */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+/** Raised when an internal invariant of the library is violated (a bug). */
+class PanicError : public Error
+{
+  public:
+    explicit PanicError(const std::string &what_arg) : Error(what_arg) {}
+};
+
+namespace util {
+
+/** Global verbosity switch for inform(); warnings always print. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() currently prints. */
+bool verbose();
+
+/** Print an informational message (suppressed unless verbose). */
+void inform(const std::string &msg);
+
+/** Print a warning to stderr. Never stops execution. */
+void warn(const std::string &msg);
+
+/** Report a user error: throws FatalError with the given message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report a library bug: throws PanicError with the given message. */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Check a caller-supplied precondition.
+ *
+ * @param ok   Condition that must hold.
+ * @param msg  Message for the FatalError raised when it does not.
+ */
+inline void
+fatalIf(bool bad, const std::string &msg)
+{
+    if (bad)
+        fatal(msg);
+}
+
+/**
+ * Check an internal invariant.
+ *
+ * @param ok   Condition that must hold.
+ * @param msg  Message for the PanicError raised when it does not.
+ */
+inline void
+panicIf(bool bad, const std::string &msg)
+{
+    if (bad)
+        panic(msg);
+}
+
+} // namespace util
+} // namespace imsim
+
+#endif // IMSIM_UTIL_LOGGING_HH

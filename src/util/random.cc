@@ -1,0 +1,53 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+namespace imsim {
+namespace util {
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    fatalIf(mean <= 0.0, "Rng::lognormalMeanCv: mean must be positive");
+    fatalIf(cv <= 0.0, "Rng::lognormalMeanCv: cv must be positive");
+    // For lognormal with parameters (mu, sigma):
+    //   E[X]  = exp(mu + sigma^2/2)
+    //   CV^2  = exp(sigma^2) - 1
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine);
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    fatalIf(xm <= 0.0, "Rng::pareto: xm must be positive");
+    fatalIf(alpha <= 0.0, "Rng::pareto: alpha must be positive");
+    double u = uniform();
+    // Guard against u == 0, which would produce infinity.
+    if (u < 1e-16)
+        u = 1e-16;
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    fatalIf(weights.empty(), "Rng::discrete: empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        fatalIf(w < 0.0, "Rng::discrete: negative weight");
+        total += w;
+    }
+    fatalIf(total <= 0.0, "Rng::discrete: weights sum to zero");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace util
+} // namespace imsim

@@ -1,0 +1,204 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace util {
+
+void
+OnlineStats::add(double x)
+{
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+    minv = std::min(minv, x);
+    maxv = std::max(maxv, x);
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.mu - mu;
+    const double nt = na + nb;
+    mu += delta * nb / nt;
+    m2 += other.m2 + delta * delta * na * nb / nt;
+    n += other.n;
+    minv = std::min(minv, other.minv);
+    maxv = std::max(maxv, other.maxv);
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+PercentileEstimator::add(double x)
+{
+    samples.push_back(x);
+    sorted = false;
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0, "percentile: p out of [0,100]");
+    if (samples.empty())
+        return 0.0;
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo_idx = static_cast<std::size_t>(rank);
+    const std::size_t hi_idx = std::min(lo_idx + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo_idx);
+    return samples[lo_idx] * (1.0 - frac) + samples[hi_idx] * frac;
+}
+
+double
+PercentileEstimator::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : samples)
+        s += x;
+    return s / static_cast<double>(samples.size());
+}
+
+void
+PercentileEstimator::reset()
+{
+    samples.clear();
+    sorted = true;
+}
+
+SlidingTimeWindow::SlidingTimeWindow(Seconds window_s) : windowLen(window_s)
+{
+    fatalIf(window_s <= 0.0, "SlidingTimeWindow: window must be positive");
+}
+
+void
+SlidingTimeWindow::record(Seconds t, double value)
+{
+    fatalIf(!segments.empty() && t < segments.back().first,
+            "SlidingTimeWindow::record: time went backwards");
+    segments.emplace_back(t, value);
+}
+
+double
+SlidingTimeWindow::average(Seconds now) const
+{
+    return average(now, windowLen);
+}
+
+double
+SlidingTimeWindow::average(Seconds now, Seconds sub_window) const
+{
+    fatalIf(sub_window <= 0.0 || sub_window > windowLen + 1e-9,
+            "SlidingTimeWindow::average: sub-window out of range");
+    if (segments.empty())
+        return 0.0;
+
+    const Seconds start = now - sub_window;
+
+    // Evict segments that ended before the *retained* window started (not
+    // the queried sub-window, which may be shorter). A segment ends where
+    // the next one begins, so keep the last segment that straddles the
+    // retention boundary.
+    const Seconds retain_start = now - windowLen;
+    while (segments.size() > 1 && segments[1].first <= retain_start)
+        segments.pop_front();
+
+    double weighted = 0.0;
+    double span = 0.0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        const Seconds seg_start = std::max(segments[i].first, start);
+        const Seconds seg_end =
+            (i + 1 < segments.size()) ? segments[i + 1].first : now;
+        if (seg_end <= seg_start)
+            continue;
+        weighted += segments[i].second * (seg_end - seg_start);
+        span += seg_end - seg_start;
+    }
+    if (span <= 0.0)
+        return segments.back().second;
+    return weighted / span;
+}
+
+double
+SlidingTimeWindow::latest() const
+{
+    return segments.empty() ? 0.0 : segments.back().second;
+}
+
+void
+SlidingTimeWindow::reset()
+{
+    segments.clear();
+}
+
+Histogram::Histogram(double lo_edge, double hi_edge, std::size_t nbins)
+    : lo(lo_edge), hi(hi_edge), counts(nbins, 0)
+{
+    fatalIf(nbins == 0, "Histogram: need at least one bin");
+    fatalIf(hi_edge <= lo_edge, "Histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo) / (hi - lo);
+    auto idx = static_cast<long>(frac * static_cast<double>(counts.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+    ++totalCount;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "Histogram::binCount: bin out of range");
+    return counts[i];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "Histogram::binCenter: bin out of range");
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+} // namespace util
+} // namespace imsim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Online statistics used throughout the simulator: running moments,
+ * percentile estimation over stored samples, time-weighted sliding-window
+ * averages (the auto-scaler's 30 s and 3 min utilization windows), and a
+ * simple fixed-bin histogram.
+ */
+
+#ifndef IMSIM_UTIL_STATS_HH
+#define IMSIM_UTIL_STATS_HH
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace util {
+
+/**
+ * Running mean/variance/min/max over a stream of samples (Welford update).
+ */
+class OnlineStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** @return number of samples added. */
+    std::size_t count() const { return n; }
+
+    /** @return arithmetic mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** @return population variance (0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** @return standard deviation. */
+    double stddev() const;
+
+    /** @return minimum sample (+inf when empty). */
+    double min() const { return minv; }
+
+    /** @return maximum sample (-inf when empty). */
+    double max() const { return maxv; }
+
+    /** @return sum of all samples. */
+    double sum() const { return mu * static_cast<double>(n); }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double minv = std::numeric_limits<double>::infinity();
+    double maxv = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Percentile estimator that stores all samples and sorts on demand.
+ *
+ * Exact (not sketch-based); the experiments in this repository collect at
+ * most a few million latency samples, for which exact quantiles are cheap
+ * and reproducible.
+ */
+class PercentileEstimator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return number of samples. */
+    std::size_t count() const { return samples.size(); }
+
+    /**
+     * @param p Quantile in [0, 100].
+     * @return the p-th percentile via linear interpolation; 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Convenience accessors for the metrics the paper reports. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** @return arithmetic mean of the samples; 0 when empty. */
+    double mean() const;
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+};
+
+/**
+ * Time-weighted sliding-window average.
+ *
+ * Samples are (timestamp, value) pairs; the average weights each value by
+ * the duration it was current, over the trailing window. This is how the
+ * auto-scaler computes "average CPU utilization over the last 30 seconds /
+ * 3 minutes" from a piecewise-constant telemetry signal.
+ */
+class SlidingTimeWindow
+{
+  public:
+    /** @param window_s Length of the trailing window in seconds (> 0). */
+    explicit SlidingTimeWindow(Seconds window_s);
+
+    /** Record that the signal took value @p value starting at time @p t. */
+    void record(Seconds t, double value);
+
+    /**
+     * @param now Current simulation time (>= last record time).
+     * @return time-weighted mean of the signal over [now - window, now];
+     *         0 when no sample has ever been recorded.
+     */
+    double average(Seconds now) const;
+
+    /**
+     * Time-weighted mean over a shorter trailing sub-window
+     * [now - sub_window, now]; @p sub_window must not exceed the window
+     * this instance retains.
+     */
+    double average(Seconds now, Seconds sub_window) const;
+
+    /** @return the window length. */
+    Seconds window() const { return windowLen; }
+
+    /** @return the most recent raw value recorded (0 when empty). */
+    double latest() const;
+
+    /** Forget all history. */
+    void reset();
+
+  private:
+    Seconds windowLen;
+    /** (start time, value) of each piecewise-constant segment. */
+    mutable std::deque<std::pair<Seconds, double>> segments;
+};
+
+/** Fixed-width-bin histogram over [lo, hi); out-of-range clamps to ends. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    Left edge of the first bin.
+     * @param hi    Right edge of the last bin (> lo).
+     * @param nbins Number of bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t nbins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** @return count in bin @p i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** @return center value of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** @return number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** @return total samples added. */
+    std::size_t total() const { return totalCount; }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+} // namespace util
+} // namespace imsim
+
+#endif // IMSIM_UTIL_STATS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit aliases, conversions, and physical constants.
+ *
+ * The library standardises on:
+ *  - power in watts,
+ *  - temperature in degrees Celsius (kelvin only inside Arrhenius math),
+ *  - frequency in gigahertz,
+ *  - voltage in volts,
+ *  - time in seconds (simulation) or years (lifetime).
+ *
+ * Plain double aliases keep the arithmetic natural; the names make intent
+ * explicit at API boundaries.
+ */
+
+#ifndef IMSIM_UTIL_UNITS_HH
+#define IMSIM_UTIL_UNITS_HH
+
+namespace imsim {
+
+/** Electrical power [W]. */
+using Watts = double;
+/** Temperature [degrees Celsius]. */
+using Celsius = double;
+/** Absolute temperature [K]. */
+using Kelvin = double;
+/** Clock frequency [GHz]. */
+using GHz = double;
+/** Supply voltage [V]. */
+using Volts = double;
+/** Simulated wall-clock time [s]. */
+using Seconds = double;
+/** Component lifetime [years]. */
+using Years = double;
+/** Memory bandwidth [GB/s]. */
+using GBps = double;
+/** Thermal resistance [degrees Celsius per watt]. */
+using CelsiusPerWatt = double;
+/** Monetary cost, normalised units. */
+using Cost = double;
+
+namespace units {
+
+/** Boltzmann constant [eV/K], for Arrhenius terms. */
+inline constexpr double kBoltzmannEv = 8.617333262e-5;
+
+/** Offset between Celsius and Kelvin scales. */
+inline constexpr double kCelsiusToKelvin = 273.15;
+
+/** Hours in a (Julian) year, for lifetime <-> rate conversions. */
+inline constexpr double kHoursPerYear = 8766.0;
+
+/** Seconds in an hour. */
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/** Convert degrees Celsius to kelvin. */
+constexpr Kelvin
+toKelvin(Celsius c)
+{
+    return c + kCelsiusToKelvin;
+}
+
+/** Convert kelvin to degrees Celsius. */
+constexpr Celsius
+toCelsius(Kelvin k)
+{
+    return k - kCelsiusToKelvin;
+}
+
+/** Convert seconds to hours. */
+constexpr double
+secondsToHours(Seconds s)
+{
+    return s / kSecondsPerHour;
+}
+
+/** Convert years to hours. */
+constexpr double
+yearsToHours(Years y)
+{
+    return y * kHoursPerYear;
+}
+
+} // namespace units
+} // namespace imsim
+
+#endif // IMSIM_UTIL_UNITS_HH

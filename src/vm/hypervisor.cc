@@ -1,0 +1,304 @@
+#include "vm/hypervisor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "workload/perf.hh"
+#include "workload/stream.hh"
+
+namespace imsim {
+namespace vm {
+
+HypervisorSim::HypervisorSim(int pcores_in, hw::DomainClocks clocks_in,
+                             util::Rng rng_in, Seconds step)
+    : pcoreCount(pcores_in), clocks(clocks_in), rng(rng_in), dt(step)
+{
+    util::fatalIf(pcores_in <= 0, "HypervisorSim: need at least one pcore");
+    util::fatalIf(step <= 0.0, "HypervisorSim: step must be positive");
+    // Sustainable host bandwidth at the configured clocks, pro-rated to
+    // the pcores the VMs may use (a 28-core socket's bandwidth serves
+    // its whole package).
+    const workload::StreamModel stream;
+    hostBw = stream.bandwidth(workload::StreamKernel::Triad, clocks) *
+             std::min(1.0, static_cast<double>(pcores_in) / 28.0 + 0.3);
+}
+
+namespace {
+
+/**
+ * Split @p profile's CPU-clocked work into per-domain relative-time
+ * components at @p clocks, normalised to exclude the IO fraction (which
+ * the scheduler models separately as non-runnable time).
+ */
+void
+cpuRelativeComponents(const workload::AppProfile &profile,
+                      const hw::DomainClocks &clocks, double &rel_core,
+                      double &rel_llc, double &rel_mem)
+{
+    const workload::WorkVector &w = profile.work;
+    const double cpu_frac = w.core + w.llc + w.mem;
+    if (cpu_frac <= 0.0) {
+        rel_core = 1.0;
+        rel_llc = 0.0;
+        rel_mem = 0.0;
+        return;
+    }
+    const hw::DomainClocks ref = workload::referenceClocks();
+    rel_core = w.core * (ref.core / clocks.core) / cpu_frac;
+    rel_llc = w.llc * (ref.llc / clocks.llc) / cpu_frac;
+    rel_mem = w.mem * (ref.memory / clocks.memory) / cpu_frac;
+}
+
+} // namespace
+
+std::size_t
+HypervisorSim::addLatencyVm(const workload::AppProfile &profile,
+                            double arrival_qps)
+{
+    util::fatalIf(arrival_qps < 0.0, "addLatencyVm: negative arrival rate");
+    util::fatalIf(profile.serviceMean <= 0.0,
+                  "addLatencyVm: profile has no service-time model");
+    VmState vm;
+    vm.profile = profile;
+    vm.isLatency = true;
+    vm.arrivalQps = arrival_qps;
+    cpuRelativeComponents(profile, clocks, vm.relCore, vm.relLlc,
+                          vm.relMem);
+    const double cpu_frac = profile.work.core + profile.work.llc +
+                            profile.work.mem;
+    vm.bwPerVcore = cpu_frac > 0.0
+                        ? profile.work.mem / cpu_frac * kPerCoreBandwidth
+                        : 0.0;
+    vms.push_back(std::move(vm));
+    return vms.size() - 1;
+}
+
+std::size_t
+HypervisorSim::addBatchVm(const workload::AppProfile &profile)
+{
+    VmState vm;
+    vm.profile = profile;
+    vm.isLatency = false;
+    cpuRelativeComponents(profile, clocks, vm.relCore, vm.relLlc,
+                          vm.relMem);
+    const double cpu_frac = profile.work.core + profile.work.llc +
+                            profile.work.mem;
+    vm.bwPerVcore = cpu_frac > 0.0
+                        ? profile.work.mem / cpu_frac * kPerCoreBandwidth
+                        : 0.0;
+    vm.vcores.resize(static_cast<std::size_t>(profile.cores));
+    for (auto &vcore : vm.vcores) {
+        vcore.busy = true;
+        vcore.remainingWork = rng.exponential(kBatchBurstWork);
+    }
+    vms.push_back(std::move(vm));
+    return vms.size() - 1;
+}
+
+double
+HypervisorSim::runnableVcores(const VmState &vm) const
+{
+    if (vm.isLatency)
+        return static_cast<double>(vm.inService.size());
+    double busy = 0.0;
+    for (const auto &vcore : vm.vcores)
+        if (vcore.busy)
+            busy += 1.0;
+    return busy;
+}
+
+void
+HypervisorSim::step()
+{
+    // 1. Arrivals into latency VMs.
+    for (auto &vm : vms) {
+        if (!vm.isLatency || vm.arrivalQps <= 0.0)
+            continue;
+        const std::int64_t n = rng.poisson(vm.arrivalQps * dt);
+        for (std::int64_t i = 0; i < n; ++i) {
+            LatencyRequest req;
+            req.arrival = now;
+            req.remaining = rng.lognormalMeanCv(vm.profile.serviceMean,
+                                                vm.profile.serviceCv);
+            if (static_cast<int>(vm.inService.size()) < vm.profile.cores)
+                vm.inService.push_back(req);
+            else
+                vm.queue.push_back(req);
+        }
+    }
+
+    // 2. Generalized processor sharing across runnable vcores, plus the
+    // shared memory-bandwidth constraint.
+    double runnable = 0.0;
+    double bw_demand = 0.0;
+    for (const auto &vm : vms) {
+        const double busy = runnableVcores(vm);
+        runnable += busy;
+        bw_demand += busy * vm.bwPerVcore;
+    }
+    const double share =
+        runnable > static_cast<double>(pcoreCount)
+            ? static_cast<double>(pcoreCount) / runnable
+            : 1.0;
+    // Busy vcores only stream at the scheduler share they receive.
+    bw_demand *= share;
+    const double bw_factor =
+        bw_demand > hostBw ? hostBw / bw_demand : 1.0;
+    bwFactorIntegral += bw_factor * dt;
+
+    const double busy_pcores =
+        std::min(runnable, static_cast<double>(pcoreCount));
+    hostBusyIntegral += busy_pcores * dt;
+    hostActivitySamples.add(busy_pcores / static_cast<double>(pcoreCount));
+
+    // 3. Advance work. Memory-bound time stretches when the host's
+    // bandwidth saturates.
+    for (auto &vm : vms) {
+        const double rel_time =
+            vm.relCore + vm.relLlc + vm.relMem / bw_factor;
+        const double progress = dt * share / rel_time;
+        vm.busyIntegral += runnableVcores(vm) * dt;
+
+        if (vm.isLatency) {
+            for (std::size_t i = 0; i < vm.inService.size();) {
+                vm.inService[i].remaining -= progress;
+                if (vm.inService[i].remaining <= 0.0) {
+                    vm.latencies.add(now + dt - vm.inService[i].arrival);
+                    ++vm.completedRequests;
+                    vm.inService.erase(vm.inService.begin() +
+                                       static_cast<long>(i));
+                } else {
+                    ++i;
+                }
+            }
+            while (!vm.queue.empty() &&
+                   static_cast<int>(vm.inService.size()) <
+                       vm.profile.cores) {
+                vm.inService.push_back(vm.queue.front());
+                vm.queue.pop_front();
+            }
+        } else {
+            const double io_frac = vm.profile.work.io;
+            const double io_mean =
+                io_frac > 0.0
+                    ? kBatchBurstWork * io_frac / (1.0 - io_frac)
+                    : 0.0;
+            for (auto &vcore : vm.vcores) {
+                if (vcore.busy) {
+                    vcore.remainingWork -= progress;
+                    if (vcore.remainingWork <= 0.0) {
+                        ++vm.completedCycles;
+                        if (io_mean > 0.0) {
+                            vcore.busy = false;
+                            vcore.ioRemaining = rng.exponential(io_mean);
+                        } else {
+                            vcore.remainingWork =
+                                rng.exponential(kBatchBurstWork);
+                        }
+                    }
+                } else {
+                    vcore.ioRemaining -= dt;
+                    if (vcore.ioRemaining <= 0.0) {
+                        vcore.busy = true;
+                        vcore.remainingWork =
+                            rng.exponential(kBatchBurstWork);
+                    }
+                }
+            }
+        }
+    }
+
+    now += dt;
+}
+
+void
+HypervisorSim::run(Seconds duration)
+{
+    util::fatalIf(duration < 0.0, "HypervisorSim::run: negative duration");
+    const auto steps = static_cast<std::uint64_t>(std::llround(duration / dt));
+    for (std::uint64_t i = 0; i < steps; ++i)
+        step();
+}
+
+void
+HypervisorSim::resetStats()
+{
+    statsStart = now;
+    hostBusyIntegral = 0.0;
+    hostActivitySamples.reset();
+    for (auto &vm : vms) {
+        vm.latencies.reset();
+        vm.completedRequests = 0;
+        vm.completedCycles = 0;
+        vm.busyIntegral = 0.0;
+    }
+}
+
+std::vector<VmResult>
+HypervisorSim::results() const
+{
+    const Seconds elapsed = now - statsStart;
+    std::vector<VmResult> out;
+    out.reserve(vms.size());
+    for (const auto &vm : vms) {
+        VmResult res;
+        res.name = vm.profile.name;
+        res.appName = vm.profile.name;
+        res.metric = vm.profile.metric;
+        if (vm.isLatency) {
+            res.p95Latency = vm.latencies.p95();
+            res.p99Latency = vm.latencies.p99();
+            res.meanLatency = vm.latencies.mean();
+            res.completed = vm.completedRequests;
+        } else {
+            res.throughput =
+                elapsed > 0.0
+                    ? static_cast<double>(vm.completedCycles) / elapsed
+                    : 0.0;
+            res.completed = vm.completedCycles;
+        }
+        res.busyFraction =
+            elapsed > 0.0
+                ? vm.busyIntegral /
+                      (elapsed * static_cast<double>(vm.profile.cores))
+                : 0.0;
+        out.push_back(res);
+    }
+    return out;
+}
+
+int
+HypervisorSim::totalVcores() const
+{
+    int total = 0;
+    for (const auto &vm : vms)
+        total += vm.profile.cores;
+    return total;
+}
+
+double
+HypervisorSim::hostActivity() const
+{
+    const Seconds elapsed = now - statsStart;
+    if (elapsed <= 0.0)
+        return 0.0;
+    return hostBusyIntegral / (elapsed * static_cast<double>(pcoreCount));
+}
+
+double
+HypervisorSim::hostActivityP99() const
+{
+    return hostActivitySamples.percentile(99.0);
+}
+
+double
+HypervisorSim::meanBandwidthFactor() const
+{
+    if (now <= 0.0)
+        return 1.0;
+    return bwFactorIntegral / now;
+}
+
+} // namespace vm
+} // namespace imsim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Hypervisor CPU scheduler simulation for core oversubscription.
+ *
+ * Models one host whose pcores are time-shared across VM vcores with
+ * generalized processor sharing: when the runnable vcores exceed the
+ * pcores, every runnable vcore runs at speed pcores/runnable. This is the
+ * interference mechanism behind the Fig. 12 and Fig. 13 experiments, where
+ * overclocking (Table VII OC3) compensates for the slowdown that
+ * oversubscription induces.
+ *
+ * Two VM behaviours are modelled:
+ *  - latency VMs serve an open Poisson request stream on their vcores
+ *    (per-request sojourn times are collected);
+ *  - batch VMs cycle each vcore through CPU bursts and IO waits and
+ *    report completed-cycle throughput.
+ *
+ * The simulator advances in fixed steps (default 1 ms), which resolves
+ * request service times of a few milliseconds while keeping the
+ * processor-sharing arithmetic simple and robust.
+ */
+
+#ifndef IMSIM_VM_HYPERVISOR_HH
+#define IMSIM_VM_HYPERVISOR_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace vm {
+
+/** Result metrics of one VM after a hypervisor simulation. */
+struct VmResult
+{
+    std::string name;          ///< VM name.
+    std::string appName;       ///< Application it ran.
+    workload::Metric metric;   ///< Its metric of interest.
+    double p95Latency = 0.0;   ///< [s], latency VMs only.
+    double p99Latency = 0.0;   ///< [s], latency VMs only.
+    double meanLatency = 0.0;  ///< [s], latency VMs only.
+    double throughput = 0.0;   ///< Cycles/s, batch VMs only.
+    std::uint64_t completed = 0; ///< Requests or cycles completed.
+    double busyFraction = 0.0; ///< Average vcore busy fraction.
+};
+
+/**
+ * Fixed-step processor-sharing hypervisor for one host.
+ *
+ * Besides time-sharing pcores, the host's memory bandwidth is a shared
+ * resource: when the busy vcores' aggregate demand (each app's
+ * memory-work fraction times a per-core streaming rate) exceeds the
+ * host's sustainable bandwidth at the configured memory clock, every
+ * VM's memory-bound work slows proportionally — the second interference
+ * channel that memory overclocking (OC3) relieves.
+ */
+class HypervisorSim
+{
+  public:
+    /**
+     * @param pcores   Physical cores available to VMs.
+     * @param clocks   Domain clocks the host runs at (B2, OC3, ...).
+     * @param rng      Random stream.
+     * @param step     Simulation step [s].
+     */
+    HypervisorSim(int pcores, hw::DomainClocks clocks, util::Rng rng,
+                  Seconds step = 1e-3);
+
+    /**
+     * Add a latency-sensitive VM running @p profile.
+     *
+     * @param arrival_qps Poisson request rate into this VM.
+     * @return VM index.
+     */
+    std::size_t addLatencyVm(const workload::AppProfile &profile,
+                             double arrival_qps);
+
+    /**
+     * Add a batch VM running @p profile (every vcore alternates CPU
+     * bursts with IO waits in the profile's proportions).
+     * @return VM index.
+     */
+    std::size_t addBatchVm(const workload::AppProfile &profile);
+
+    /** Run the simulation for @p duration seconds. */
+    void run(Seconds duration);
+
+    /** Discard statistics collected so far (warmup). */
+    void resetStats();
+
+    /** @return per-VM results. */
+    std::vector<VmResult> results() const;
+
+    /** @return total vcores across VMs. */
+    int totalVcores() const;
+
+    /** @return pcore count. */
+    int pcores() const { return pcoreCount; }
+
+    /** @return time-average host CPU activity (busy pcores / pcores). */
+    double hostActivity() const;
+
+    /** @return peak (P99 over steps) host activity. */
+    double hostActivityP99() const;
+
+    /** @return time-average memory-bandwidth contention factor in
+     *  (0, 1]; 1 means the memory system never saturated. */
+    double meanBandwidthFactor() const;
+
+    /** @return the host's sustainable memory bandwidth [GB/s] at the
+     *  configured clocks. */
+    GBps hostBandwidth() const { return hostBw; }
+
+  private:
+    struct LatencyRequest
+    {
+        Seconds arrival;
+        double remaining; ///< Remaining demand [B2-seconds].
+    };
+
+    struct VcoreState
+    {
+        bool busy = false;       ///< Batch vcore in a CPU burst.
+        double remainingWork = 0;///< Burst work left [B2-seconds].
+        Seconds ioRemaining = 0; ///< IO wait left [s].
+    };
+
+    struct VmState
+    {
+        workload::AppProfile profile;
+        bool isLatency;
+        double arrivalQps = 0.0;
+        double relCore = 1.0;   ///< Core component of relative time.
+        double relLlc = 0.0;    ///< Uncore component.
+        double relMem = 0.0;    ///< Memory component (bandwidth-scaled).
+        double bwPerVcore = 0.0;///< Bandwidth demand per busy vcore.
+        // Latency state.
+        std::vector<LatencyRequest> inService;
+        std::deque<LatencyRequest> queue;
+        util::PercentileEstimator latencies;
+        std::uint64_t completedRequests = 0;
+        // Batch state.
+        std::vector<VcoreState> vcores;
+        std::uint64_t completedCycles = 0;
+        // Accounting.
+        double busyIntegral = 0.0;
+    };
+
+    void step();
+    double runnableVcores(const VmState &vm) const;
+
+    int pcoreCount;
+    hw::DomainClocks clocks;
+    util::Rng rng;
+    Seconds dt;
+    Seconds now = 0.0;
+    Seconds statsStart = 0.0;
+    std::vector<VmState> vms;
+    util::PercentileEstimator hostActivitySamples;
+    double hostBusyIntegral = 0.0;
+    GBps hostBw = 100.0;
+    double bwFactorIntegral = 0.0;
+
+    /** Mean CPU-burst work of a batch vcore [B2-seconds]. */
+    static constexpr double kBatchBurstWork = 0.2;
+
+    /** Streaming rate of a fully memory-bound vcore [GB/s]. */
+    static constexpr double kPerCoreBandwidth = 7.0;
+};
+
+} // namespace vm
+} // namespace imsim
+
+#endif // IMSIM_VM_HYPERVISOR_HH

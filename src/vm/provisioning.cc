@@ -1,0 +1,90 @@
+#include "vm/provisioning.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace imsim {
+namespace vm {
+
+namespace {
+
+void
+validatePhase(const ProvisioningPhase &phase, const char *name)
+{
+    util::fatalIf(phase.mean <= 0.0,
+                  std::string("ProvisioningModel: ") + name +
+                      " mean must be positive");
+    util::fatalIf(phase.cv <= 0.0,
+                  std::string("ProvisioningModel: ") + name +
+                      " cv must be positive");
+    util::fatalIf(phase.floor < 0.0,
+                  std::string("ProvisioningModel: ") + name +
+                      " floor must be non-negative");
+}
+
+} // namespace
+
+ProvisioningModel::ProvisioningModel()
+    : ProvisioningModel({4.0, 0.8, 0.5},   // Placement.
+                        {18.0, 0.9, 4.0},  // Image fetch.
+                        {25.0, 0.4, 10.0}, // Guest boot.
+                        {13.0, 0.7, 2.0})  // App warmup. ~60 s total.
+{}
+
+ProvisioningModel::ProvisioningModel(ProvisioningPhase placement,
+                                     ProvisioningPhase image,
+                                     ProvisioningPhase boot,
+                                     ProvisioningPhase warmup)
+    : placementPhase(placement), imagePhase(image), bootPhase(boot),
+      warmupPhase(warmup)
+{
+    validatePhase(placement, "placement");
+    validatePhase(image, "image");
+    validatePhase(boot, "boot");
+    validatePhase(warmup, "warmup");
+}
+
+Seconds
+ProvisioningModel::drawPhase(util::Rng &rng, const ProvisioningPhase &p)
+{
+    return std::max(p.floor, rng.lognormalMeanCv(p.mean, p.cv));
+}
+
+ProvisioningSample
+ProvisioningModel::sample(util::Rng &rng) const
+{
+    ProvisioningSample out;
+    out.placement = drawPhase(rng, placementPhase);
+    out.imageFetch = drawPhase(rng, imagePhase);
+    out.guestBoot = drawPhase(rng, bootPhase);
+    out.appWarmup = drawPhase(rng, warmupPhase);
+    out.total =
+        out.placement + out.imageFetch + out.guestBoot + out.appWarmup;
+    return out;
+}
+
+Seconds
+ProvisioningModel::meanTotal() const
+{
+    // Floors truncate only the deep left tail; the phase means dominate.
+    return placementPhase.mean + imagePhase.mean + bootPhase.mean +
+           warmupPhase.mean;
+}
+
+Seconds
+ProvisioningModel::percentileTotal(util::Rng &rng, double p,
+                                   int samples) const
+{
+    util::fatalIf(samples <= 0,
+                  "ProvisioningModel: sample count must be positive");
+    util::PercentileEstimator estimator;
+    for (int i = 0; i < samples; ++i)
+        estimator.add(sample(rng).total);
+    return estimator.percentile(p);
+}
+
+} // namespace vm
+} // namespace imsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Virtual machine and host descriptions used by the packing, buffer, and
+ * oversubscription experiments.
+ */
+
+#ifndef IMSIM_VM_VM_HH
+#define IMSIM_VM_VM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace vm {
+
+/** Identifier of a VM. */
+using VmId = std::uint64_t;
+
+/** Resource demand of one VM (the bin-packing dimensions). */
+struct VmSpec
+{
+    VmId id = 0;
+    std::string name;     ///< Display name (often the application).
+    int vcores = 4;       ///< Virtual cores.
+    double memoryGb = 16; ///< Memory demand [GB].
+    std::string appName;  ///< Table IX application it runs ("" = none).
+    bool latencySensitive = false; ///< Packing priority class.
+};
+
+/** Host (server) capacity for packing. */
+struct HostSpec
+{
+    int pcores = 40;        ///< Physical cores (dual-socket Skylake).
+    double memoryGb = 512;  ///< Installed memory [GB].
+};
+
+} // namespace vm
+} // namespace imsim
+
+#endif // IMSIM_VM_VM_HH

@@ -1,0 +1,88 @@
+#include "workload/app.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace workload {
+
+std::string
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::P95Latency:
+        return "P95 Lat";
+      case Metric::P99Latency:
+        return "P99 Lat";
+      case Metric::Seconds:
+        return "Seconds";
+      case Metric::OpsPerSec:
+        return "OPS/S";
+      case Metric::MBps:
+        return "MB/S";
+    }
+    util::panic("metricName: unhandled metric");
+}
+
+bool
+lowerIsBetter(Metric metric)
+{
+    return metric == Metric::P95Latency || metric == Metric::P99Latency ||
+           metric == Metric::Seconds;
+}
+
+double
+WorkVector::scalableFraction()
+    const
+{
+    const double on_core = core + llc + mem;
+    if (on_core <= 0.0)
+        return 0.0;
+    return core / on_core;
+}
+
+const std::vector<AppProfile> &
+appCatalog()
+{
+    // Work vectors calibrated to the paper's Fig. 9 observations:
+    //  - SQL is memory-bound (memory overclocking helps significantly);
+    //  - Training is prefetch-friendly (faster cache/memory barely help);
+    //  - BI benefits only from core overclocking;
+    //  - Pmbench and DiskSpeed respond to cache overclocking (OC2);
+    //  - TeraSort and DiskSpeed are the exceptions where core
+    //    overclocking (OC1) is not the biggest win (IO-heavy).
+    static const std::vector<AppProfile> catalog{
+        {"SQL", 4, "BenchCraft standard OLTP", true, Metric::P95Latency,
+         {0.35, 0.15, 0.45, 0.05}, 0.45, 1.25, 4.0e-3, 1.4},
+        {"Training", 4, "TensorFlow model CPU training", true,
+         Metric::Seconds, {0.80, 0.07, 0.08, 0.05}, 0.60, 1.10},
+        {"Key-Value", 8, "Distributed key-value store", true,
+         Metric::P99Latency, {0.55, 0.20, 0.20, 0.05}, 0.50, 1.30,
+         1.5e-3, 1.2},
+        {"BI", 4, "Business intelligence", true, Metric::Seconds,
+         {0.85, 0.05, 0.05, 0.05}, 0.55, 1.15},
+        {"Client-Server", 4, "M/G/k queue application", true,
+         Metric::P95Latency, {0.75, 0.10, 0.10, 0.05}, 0.50, 1.30,
+         2.6e-3, 1.5},
+        {"Pmbench", 2, "Paging performance", false, Metric::Seconds,
+         {0.30, 0.40, 0.25, 0.05}, 0.35, 1.10},
+        {"DiskSpeed", 2, "Microsoft's Disk IO bench", false,
+         Metric::OpsPerSec, {0.20, 0.35, 0.15, 0.30}, 0.30, 1.20},
+        {"SPECJBB", 4, "SpecJbb 2000", false, Metric::OpsPerSec,
+         {0.60, 0.20, 0.15, 0.05}, 0.55, 1.20},
+        {"TeraSort", 4, "Hadoop TeraSort", false, Metric::Seconds,
+         {0.30, 0.15, 0.20, 0.35}, 0.40, 1.15},
+    };
+    return catalog;
+}
+
+const AppProfile &
+app(const std::string &name)
+{
+    for (const auto &profile : appCatalog())
+        if (profile.name == name)
+            return profile;
+    util::fatal("unknown application: " + name);
+}
+
+} // namespace workload
+} // namespace imsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Application catalog (Table IX) and the bottleneck work vectors that
+ * drive the performance model.
+ *
+ * Each application is characterised by how its execution time splits
+ * across four resources at the reference configuration (Table VII B2):
+ * core-clocked work, LLC/uncore-clocked work, memory-clocked work, and
+ * clock-invariant IO. The per-app vectors are calibrated so the Fig. 9
+ * qualitative results hold (see DESIGN.md section 4).
+ */
+
+#ifndef IMSIM_WORKLOAD_APP_HH
+#define IMSIM_WORKLOAD_APP_HH
+
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace workload {
+
+/** Metric of interest for an application (Table IX). */
+enum class Metric
+{
+    P95Latency, ///< 95th-percentile latency, lower is better.
+    P99Latency, ///< 99th-percentile latency, lower is better.
+    Seconds,    ///< Execution time, lower is better.
+    OpsPerSec,  ///< Throughput, higher is better.
+    MBps,       ///< Memory bandwidth, higher is better.
+};
+
+/** @return a printable name for a metric. */
+std::string metricName(Metric metric);
+
+/** @return whether lower values of @p metric are better. */
+bool lowerIsBetter(Metric metric);
+
+/**
+ * Fractional split of execution time across resources at the reference
+ * configuration. Fractions are non-negative and sum to 1.
+ */
+struct WorkVector
+{
+    double core = 1.0; ///< Scales with the core clock.
+    double llc = 0.0;  ///< Scales with the uncore/LLC clock.
+    double mem = 0.0;  ///< Scales with the memory clock.
+    double io = 0.0;   ///< Clock-invariant (disk, network, fixed waits).
+
+    /** @return the sum of the fractions (should be 1). */
+    double sum() const { return core + llc + mem + io; }
+
+    /**
+     * Frequency-scalable fraction dPperf/dAperf the Eq. 1 counters see:
+     * of the cycles the core is active, the fraction doing core-clocked
+     * work rather than stalled on uncore/memory. IO does not occupy the
+     * core at all.
+     */
+    double scalableFraction() const;
+};
+
+/** One row of Table IX. */
+struct AppProfile
+{
+    std::string name;     ///< Application name.
+    int cores;            ///< vCores the application needs.
+    std::string description;
+    bool inHouse;         ///< (I) in-house vs (P) public.
+    Metric metric;        ///< Metric of interest.
+    WorkVector work;      ///< Bottleneck decomposition at B2.
+    double activity;      ///< CPU package activity factor when running.
+    double burstiness;    ///< P99/average activity ratio (>= 1).
+
+    /**
+     * For latency-metric apps: open-loop service demand [s] at B2 and
+     * the service-time coefficient of variation ("General" service
+     * distribution).
+     */
+    Seconds serviceMean = 0.0;
+    double serviceCv = 1.0;
+};
+
+/** @return the Table IX catalog (CPU/memory apps; VGG is in gpu_training). */
+const std::vector<AppProfile> &appCatalog();
+
+/** Look up an application by name; FatalError when unknown. */
+const AppProfile &app(const std::string &name);
+
+} // namespace workload
+} // namespace imsim
+
+#endif // IMSIM_WORKLOAD_APP_HH

@@ -1,0 +1,73 @@
+#include "workload/gpu_training.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace workload {
+
+namespace {
+
+/** Reference (Base config) clocks for normalisation. */
+constexpr GHz kBaseTurbo = 1.950;
+constexpr GHz kBaseMem = 6.8;
+
+/** P99/average activity burst ratio during training. */
+constexpr double kBurst = 1.15;
+
+} // namespace
+
+const std::vector<VggModel> &
+vggCatalog()
+{
+    // SM/memory splits: deeper VGG variants are more compute-dense; the
+    // batch-optimised variants (suffix B) keep activations resident and
+    // are almost entirely SM-bound, so GPU-memory overclocking does not
+    // help them (Fig. 11 discussion of VGG16B).
+    static const std::vector<VggModel> catalog{
+        {"VGG11", 0.58, 0.37, 0.05, 0.72},
+        {"VGG13", 0.63, 0.32, 0.05, 0.74},
+        {"VGG16", 0.68, 0.27, 0.05, 0.75},
+        {"VGG19", 0.71, 0.24, 0.05, 0.76},
+        {"VGG13B", 0.80, 0.15, 0.05, 0.78},
+        {"VGG16B", 0.88, 0.07, 0.05, 0.80},
+    };
+    return catalog;
+}
+
+const VggModel &
+vggModel(const std::string &name)
+{
+    for (const auto &model : vggCatalog())
+        if (model.name == name)
+            return model;
+    util::fatal("unknown VGG model: " + name);
+}
+
+double
+GpuTrainingModel::relativeTime(const VggModel &model,
+                               const hw::GpuModel &gpu) const
+{
+    const GHz f_core = gpu.sustainedCoreClock(model.activity);
+    const GHz f_mem = gpu.memoryClock();
+    return model.smWork * (kBaseTurbo / f_core) +
+           model.memWork * (kBaseMem / f_mem) + model.fixedWork;
+}
+
+Watts
+GpuTrainingModel::trainingPower(const VggModel &model,
+                                const hw::GpuModel &gpu) const
+{
+    return gpu.power(model.activity).total;
+}
+
+Watts
+GpuTrainingModel::trainingPowerP99(const VggModel &model,
+                                   const hw::GpuModel &gpu) const
+{
+    return gpu.power(std::min(1.0, model.activity * kBurst)).total;
+}
+
+} // namespace workload
+} // namespace imsim

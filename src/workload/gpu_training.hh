@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GPU CNN-training model (Fig. 11): six VGG variants trained on a
+ * Table VIII-configured GPU, with per-model SM/memory bottleneck splits.
+ * The batch-optimised VGG16B is compute-dense, so memory overclocking
+ * (OCG2 -> OCG3) buys it little — the paper's headline observation.
+ */
+
+#ifndef IMSIM_WORKLOAD_GPU_TRAINING_HH
+#define IMSIM_WORKLOAD_GPU_TRAINING_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace workload {
+
+/** One CNN training workload (a VGG variant). */
+struct VggModel
+{
+    std::string name;  ///< e.g. "VGG16B" (B = batch-optimised).
+    double smWork;     ///< Fraction of step time on the SM clock.
+    double memWork;    ///< Fraction on the GPU memory clock.
+    double fixedWork;  ///< Clock-invariant fraction (host, launch).
+    double activity;   ///< GPU activity factor while training.
+};
+
+/** @return the six VGG variants evaluated in Fig. 11. */
+const std::vector<VggModel> &vggCatalog();
+
+/** Look up a VGG variant by name; FatalError when unknown. */
+const VggModel &vggModel(const std::string &name);
+
+/**
+ * Training-time model.
+ */
+class GpuTrainingModel
+{
+  public:
+    GpuTrainingModel() = default;
+
+    /**
+     * Execution time of one training run of @p model on @p gpu, relative
+     * to the same model on the Table VIII "Base" configuration.
+     */
+    double relativeTime(const VggModel &model, const hw::GpuModel &gpu) const;
+
+    /** Board power while training @p model on @p gpu [W]. */
+    Watts trainingPower(const VggModel &model, const hw::GpuModel &gpu) const;
+
+    /** P99 board power while training (burst factor on activity) [W]. */
+    Watts trainingPowerP99(const VggModel &model,
+                           const hw::GpuModel &gpu) const;
+};
+
+} // namespace workload
+} // namespace imsim
+
+#endif // IMSIM_WORKLOAD_GPU_TRAINING_HH

@@ -1,0 +1,54 @@
+#include "workload/perf.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace workload {
+
+hw::DomainClocks
+referenceClocks()
+{
+    return hw::DomainClocks{3.4, 2.4, 2.4};
+}
+
+double
+relativeTime(const WorkVector &w, const hw::DomainClocks &clocks,
+             const hw::DomainClocks &ref)
+{
+    util::fatalIf(clocks.core <= 0.0 || clocks.llc <= 0.0 ||
+                      clocks.memory <= 0.0,
+                  "relativeTime: non-positive clock");
+    util::fatalIf(w.core < 0.0 || w.llc < 0.0 || w.mem < 0.0 || w.io < 0.0,
+                  "relativeTime: negative work fraction");
+    return w.core * (ref.core / clocks.core) +
+           w.llc * (ref.llc / clocks.llc) +
+           w.mem * (ref.memory / clocks.memory) + w.io;
+}
+
+double
+speedup(const WorkVector &w, const hw::DomainClocks &clocks,
+        const hw::DomainClocks &ref)
+{
+    return 1.0 / relativeTime(w, clocks, ref);
+}
+
+double
+relativeMetric(const AppProfile &profile, const hw::DomainClocks &clocks,
+               const hw::DomainClocks &ref)
+{
+    const double rel_time = relativeTime(profile.work, clocks, ref);
+    return lowerIsBetter(profile.metric) ? rel_time : 1.0 / rel_time;
+}
+
+double
+serviceTimeScale(double kappa, GHz f0, GHz f)
+{
+    util::fatalIf(kappa < 0.0 || kappa > 1.0,
+                  "serviceTimeScale: kappa out of [0,1]");
+    util::fatalIf(f0 <= 0.0 || f <= 0.0,
+                  "serviceTimeScale: non-positive frequency");
+    return kappa * f0 / f + (1.0 - kappa);
+}
+
+} // namespace workload
+} // namespace imsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bottleneck performance model: maps a work vector and a set of domain
+ * clocks to relative execution time / speedup versus the reference
+ * configuration (Table VII B2). This is the model behind Fig. 9 and the
+ * service-time scaling used by the queueing experiments.
+ */
+
+#ifndef IMSIM_WORKLOAD_PERF_HH
+#define IMSIM_WORKLOAD_PERF_HH
+
+#include "hw/cpu.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace workload {
+
+/** Reference clocks: Table VII config B2 (production default). */
+hw::DomainClocks referenceClocks();
+
+/**
+ * Relative execution time of work @p w at clocks @p clocks versus the
+ * reference clocks: sum over components of fraction * (ref_f / f), with
+ * IO invariant. 1.0 at the reference; < 1 is faster.
+ */
+double relativeTime(const WorkVector &w, const hw::DomainClocks &clocks,
+                    const hw::DomainClocks &ref = referenceClocks());
+
+/** Speedup = 1 / relativeTime. */
+double speedup(const WorkVector &w, const hw::DomainClocks &clocks,
+               const hw::DomainClocks &ref = referenceClocks());
+
+/**
+ * Relative value of an application's *metric of interest*: for time/latency
+ * metrics this equals relativeTime; for throughput metrics it is the
+ * speedup. Normalised to 1.0 at the reference clocks.
+ */
+double relativeMetric(const AppProfile &profile,
+                      const hw::DomainClocks &clocks,
+                      const hw::DomainClocks &ref = referenceClocks());
+
+/**
+ * Service-time scale factor for a latency application running on a core
+ * at frequency @p f relative to reference frequency @p f0, given the
+ * frequency-scalable fraction @p kappa (= dPperf/dAperf):
+ * scale = kappa * f0/f + (1 - kappa).
+ *
+ * This is the service-time dual of Eq. 1's utilization model.
+ */
+double serviceTimeScale(double kappa, GHz f0, GHz f);
+
+} // namespace workload
+} // namespace imsim
+
+#endif // IMSIM_WORKLOAD_PERF_HH

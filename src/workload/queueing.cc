@@ -1,0 +1,296 @@
+#include "workload/queueing.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "workload/perf.hh"
+
+namespace imsim {
+namespace workload {
+
+QueueingCluster::QueueingCluster(sim::Simulation &simulation,
+                                 util::Rng rng_in, Params params)
+    : sim(simulation), rng(rng_in), cfg(params)
+{
+    util::fatalIf(cfg.serviceMean <= 0.0,
+                  "QueueingCluster: service mean must be positive");
+    util::fatalIf(cfg.threadsPerServer <= 0,
+                  "QueueingCluster: need at least one thread per server");
+    util::fatalIf(cfg.kappa < 0.0 || cfg.kappa > 1.0,
+                  "QueueingCluster: kappa out of [0,1]");
+}
+
+std::size_t
+QueueingCluster::addServer(GHz freq)
+{
+    util::fatalIf(freq <= 0.0, "QueueingCluster::addServer: bad frequency");
+    accountVmTime();
+    auto server = std::make_unique<Server>(cfg.utilWindow);
+    server->freq = freq;
+    server->threads = cfg.threadsPerServer;
+    server->createdAt = sim.now();
+    server->lastChange = sim.now();
+    server->lastCounterAdvance = sim.now();
+    server->utilWindow.record(sim.now(), 0.0);
+    servers.push_back(std::move(server));
+    const std::size_t id = servers.size() - 1;
+    maxActive = std::max(maxActive, activeServers());
+    // A new server can immediately absorb queued work.
+    while (!queue.empty() &&
+           servers[id]->busy < servers[id]->threads) {
+        Request req = queue.front();
+        queue.pop_front();
+        dispatch(id, req);
+    }
+    return id;
+}
+
+void
+QueueingCluster::removeServer()
+{
+    accountVmTime();
+    for (auto it = servers.rbegin(); it != servers.rend(); ++it) {
+        if ((*it)->active) {
+            (*it)->active = false;
+            return;
+        }
+    }
+    util::fatal("QueueingCluster::removeServer: no active server");
+}
+
+void
+QueueingCluster::setFrequency(std::size_t id, GHz freq)
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::setFrequency: bad server id");
+    util::fatalIf(freq <= 0.0,
+                  "QueueingCluster::setFrequency: bad frequency");
+    advanceCounters(*servers[id]);
+    servers[id]->freq = freq;
+}
+
+void
+QueueingCluster::setAllFrequencies(GHz freq)
+{
+    for (std::size_t id = 0; id < servers.size(); ++id)
+        if (servers[id]->active)
+            setFrequency(id, freq);
+}
+
+GHz
+QueueingCluster::frequency(std::size_t id) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::frequency: bad server id");
+    return servers[id]->freq;
+}
+
+void
+QueueingCluster::setArrivalRate(double qps)
+{
+    util::fatalIf(qps < 0.0, "QueueingCluster: negative arrival rate");
+    arrivalRate = qps;
+    if (arrivalPending) {
+        sim.cancel(arrivalEvent);
+        arrivalPending = false;
+    }
+    if (arrivalRate > 0.0)
+        scheduleNextArrival();
+}
+
+void
+QueueingCluster::scheduleNextArrival()
+{
+    const Seconds gap = rng.exponential(1.0 / arrivalRate);
+    arrivalEvent = sim.after(gap, [this] {
+        arrivalPending = false;
+        onArrival();
+    });
+    arrivalPending = true;
+}
+
+void
+QueueingCluster::onArrival()
+{
+    Request req;
+    req.arrival = sim.now();
+    req.demand = rng.lognormalMeanCv(cfg.serviceMean, cfg.serviceCv);
+
+    const int target = pickServer();
+    if (target >= 0)
+        dispatch(static_cast<std::size_t>(target), req);
+    else
+        queue.push_back(req);
+
+    if (arrivalRate > 0.0)
+        scheduleNextArrival();
+}
+
+int
+QueueingCluster::pickServer() const
+{
+    // Least-loaded active server with a free thread (the load balancer).
+    int best = -1;
+    double best_load = 2.0;
+    for (std::size_t id = 0; id < servers.size(); ++id) {
+        const Server &server = *servers[id];
+        if (!server.active || server.busy >= server.threads)
+            continue;
+        const double load =
+            static_cast<double>(server.busy) /
+            static_cast<double>(server.threads);
+        if (load < best_load) {
+            best_load = load;
+            best = static_cast<int>(id);
+        }
+    }
+    return best;
+}
+
+void
+QueueingCluster::dispatch(std::size_t id, Request req)
+{
+    Server &server = *servers[id];
+    util::panicIf(server.busy >= server.threads,
+                  "QueueingCluster::dispatch: server has no free thread");
+    recordBusyChange(server);
+    ++server.busy;
+    server.utilWindow.record(
+        sim.now(), static_cast<double>(server.busy) /
+                       static_cast<double>(server.threads));
+
+    const double scale =
+        serviceTimeScale(cfg.kappa, cfg.refFreq, server.freq);
+    const Seconds duration = req.demand * scale;
+    const Seconds arrival = req.arrival;
+    sim.after(duration, [this, id, arrival] {
+        latencyStats.add(sim.now() - arrival);
+        ++completedCount;
+        onCompletion(id);
+    });
+}
+
+void
+QueueingCluster::onCompletion(std::size_t id)
+{
+    Server &server = *servers[id];
+    recordBusyChange(server);
+    --server.busy;
+    util::panicIf(server.busy < 0,
+                  "QueueingCluster::onCompletion: negative busy count");
+    server.utilWindow.record(
+        sim.now(), static_cast<double>(server.busy) /
+                       static_cast<double>(server.threads));
+
+    if (server.active && !queue.empty()) {
+        Request req = queue.front();
+        queue.pop_front();
+        dispatch(id, req);
+    }
+}
+
+void
+QueueingCluster::recordBusyChange(Server &server)
+{
+    const Seconds dt = sim.now() - server.lastChange;
+    server.busyIntegral += dt * static_cast<double>(server.busy);
+    server.lastChange = sim.now();
+    advanceCounters(server);
+}
+
+void
+QueueingCluster::advanceCounters(Server &server)
+{
+    const Seconds dt = sim.now() - server.lastCounterAdvance;
+    if (dt <= 0.0)
+        return;
+    const double busy_frac =
+        static_cast<double>(server.busy) /
+        static_cast<double>(server.threads);
+    server.counters.advance(dt, server.freq, busy_frac, 1.0 - cfg.kappa);
+    server.lastCounterAdvance = sim.now();
+}
+
+double
+QueueingCluster::utilization(std::size_t id, Seconds window) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::utilization: bad server id");
+    return servers[id]->utilWindow.average(sim.now(), window);
+}
+
+double
+QueueingCluster::fleetUtilization(Seconds window) const
+{
+    double total = 0.0;
+    std::size_t active = 0;
+    for (std::size_t id = 0; id < servers.size(); ++id) {
+        if (!servers[id]->active)
+            continue;
+        total += utilization(id, window);
+        ++active;
+    }
+    return active ? total / static_cast<double>(active) : 0.0;
+}
+
+hw::CounterSample
+QueueingCluster::counters(std::size_t id)
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::counters: bad server id");
+    advanceCounters(*servers[id]);
+    return servers[id]->counters.sample();
+}
+
+std::size_t
+QueueingCluster::activeServers() const
+{
+    std::size_t count = 0;
+    for (const auto &server : servers)
+        if (server->active)
+            ++count;
+    return count;
+}
+
+bool
+QueueingCluster::isActive(std::size_t id) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::isActive: bad server id");
+    return servers[id]->active;
+}
+
+void
+QueueingCluster::accountVmTime()
+{
+    const Seconds dt = sim.now() - lastVmAccounting;
+    vmSecondsIntegral += dt * static_cast<double>(activeServers());
+    lastVmAccounting = sim.now();
+}
+
+double
+QueueingCluster::vmHours() const
+{
+    const Seconds dt = sim.now() - lastVmAccounting;
+    return (vmSecondsIntegral + dt * static_cast<double>(activeServers())) /
+           units::kSecondsPerHour;
+}
+
+double
+QueueingCluster::lifetimeBusyFraction(std::size_t id) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::lifetimeBusyFraction: bad server id");
+    const Server &server = *servers[id];
+    const Seconds lived = sim.now() - server.createdAt;
+    if (lived <= 0.0)
+        return 0.0;
+    const Seconds dt = sim.now() - server.lastChange;
+    const double busy_seconds =
+        server.busyIntegral + dt * static_cast<double>(server.busy);
+    return busy_seconds /
+           (lived * static_cast<double>(server.threads));
+}
+
+} // namespace workload
+} // namespace imsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * M/G/k queueing cluster on the discrete-event kernel: the Client-Server
+ * application of Table IX (Markovian arrivals, General service times, k
+ * server VMs) behind the Fig. 15/16 and Table XI auto-scaling experiments
+ * and the Fig. 12 latency sweeps.
+ *
+ * Each server VM has a fixed number of service threads (vcores) and a core
+ * frequency; a least-loaded dispatcher (the load balancer of Fig. 14)
+ * routes requests, and a global FIFO queue absorbs overload. Service times
+ * scale with the core clock through the frequency-scalable fraction kappa,
+ * the same quantity the Aperf/Pperf counters expose to Eq. 1.
+ */
+
+#ifndef IMSIM_WORKLOAD_QUEUEING_HH
+#define IMSIM_WORKLOAD_QUEUEING_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "hw/counters.hh"
+#include "sim/simulation.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace workload {
+
+/**
+ * Cluster of server VMs fed by an open-loop Poisson arrival stream.
+ */
+class QueueingCluster
+{
+  public:
+    /** Configuration of the cluster and its service process. */
+    struct Params
+    {
+        Seconds serviceMean = 3.3e-3;  ///< Mean service demand at refFreq.
+        double serviceCv = 1.5;        ///< Service-time CV ("General").
+        double kappa = 0.9;            ///< Frequency-scalable fraction.
+        GHz refFreq = 3.4;             ///< Frequency serviceMean refers to.
+        int threadsPerServer = 4;      ///< vCores per server VM.
+        Seconds utilWindow = 200.0;    ///< Utilization history retained.
+    };
+
+    /**
+     * @param simulation Event kernel driving the cluster.
+     * @param rng        Random stream (forked internally).
+     * @param params     Cluster parameters.
+     */
+    QueueingCluster(sim::Simulation &simulation, util::Rng rng,
+                    Params params);
+
+    /**
+     * Add one server VM running at @p freq.
+     * @return the server's index (stable; removed servers keep theirs).
+     */
+    std::size_t addServer(GHz freq);
+
+    /**
+     * Deactivate the most recently added active server (scale-in). Its
+     * in-flight requests drain; it accepts no new work.
+     */
+    void removeServer();
+
+    /** Set the core frequency of server @p id (scale-up/down). */
+    void setFrequency(std::size_t id, GHz freq);
+
+    /** Set the core frequency of every active server. */
+    void setAllFrequencies(GHz freq);
+
+    /** @return frequency of server @p id. */
+    GHz frequency(std::size_t id) const;
+
+    /** Set the arrival rate [requests/s]; 0 pauses arrivals. */
+    void setArrivalRate(double qps);
+
+    /** @return number of active servers. */
+    std::size_t activeServers() const;
+
+    /** @return total servers ever added (index bound). */
+    std::size_t serverCount() const { return servers.size(); }
+
+    /** @return whether server @p id is active. */
+    bool isActive(std::size_t id) const;
+
+    /**
+     * Per-server CPU utilization averaged over the trailing
+     * @p window seconds.
+     */
+    double utilization(std::size_t id, Seconds window) const;
+
+    /** Average utilization across active servers over @p window. */
+    double fleetUtilization(Seconds window) const;
+
+    /** Counter sample of server @p id (advances counters to now). */
+    hw::CounterSample counters(std::size_t id);
+
+    /** @return latency statistics of all completed requests [s]. */
+    const util::PercentileEstimator &latencies() const { return latencyStats; }
+
+    /** Reset collected latency statistics (e.g. after warmup). */
+    void resetLatencies() { latencyStats.reset(); }
+
+    /** @return completed request count. */
+    std::uint64_t completed() const { return completedCount; }
+
+    /** @return current global queue depth. */
+    std::size_t queueDepth() const { return queue.size(); }
+
+    /** @return integral of active servers over time [VM-hours]. */
+    double vmHours() const;
+
+    /** @return peak number of simultaneously active servers. */
+    std::size_t maxServers() const { return maxActive; }
+
+    /** @return time-average busy-thread fraction of server @p id since
+     *  creation (for power accounting). */
+    double lifetimeBusyFraction(std::size_t id) const;
+
+    /** @return the cluster parameters. */
+    const Params &params() const { return cfg; }
+
+  private:
+    struct Request
+    {
+        Seconds arrival;
+        Seconds demand; ///< Service demand at refFreq [s].
+    };
+
+    struct Server
+    {
+        GHz freq;
+        int threads;
+        int busy = 0;
+        bool active = true;
+        Seconds createdAt = 0.0;
+        Seconds busyIntegral = 0.0; ///< busy-thread-seconds accumulated.
+        Seconds lastChange = 0.0;
+        util::SlidingTimeWindow utilWindow;
+        hw::CounterBlock counters;
+        Seconds lastCounterAdvance = 0.0;
+
+        explicit Server(Seconds window) : utilWindow(window) {}
+    };
+
+    void scheduleNextArrival();
+    void onArrival();
+    void dispatch(std::size_t id, Request req);
+    void onCompletion(std::size_t id);
+    void recordBusyChange(Server &server);
+    void advanceCounters(Server &server);
+    int pickServer() const;
+
+    sim::Simulation &sim;
+    util::Rng rng;
+    Params cfg;
+    std::vector<std::unique_ptr<Server>> servers;
+    std::deque<Request> queue;
+    double arrivalRate = 0.0;
+    sim::EventId arrivalEvent = 0;
+    bool arrivalPending = false;
+    util::PercentileEstimator latencyStats;
+    std::uint64_t completedCount = 0;
+    double vmSecondsIntegral = 0.0;
+    Seconds lastVmAccounting = 0.0;
+    std::size_t maxActive = 0;
+
+    void accountVmTime();
+};
+
+} // namespace workload
+} // namespace imsim
+
+#endif // IMSIM_WORKLOAD_QUEUEING_HH

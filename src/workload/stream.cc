@@ -1,0 +1,98 @@
+#include "workload/stream.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace workload {
+
+namespace {
+
+// Stage coefficients of the harmonic bottleneck model, calibrated so
+// that, relative to B1 (3.1/2.4/2.4):
+//   B4 (3.4/2.8/3.0)  -> +17 %
+//   OC3 (4.1/2.8/3.0) -> +24 %
+// (Sec. VI-B "Memory overclocking for streaming applications").
+constexpr double kCoreStage = 0.9598;
+constexpr double kUncoreStage = 0.8447;
+constexpr double kMemStage = 0.8122;
+
+// B1 reference clocks.
+constexpr GHz kB1Core = 3.1;
+constexpr GHz kB1Llc = 2.4;
+constexpr GHz kB1Mem = 2.4;
+
+double
+inverseThroughput(const hw::DomainClocks &clocks)
+{
+    return kCoreStage / clocks.core + kUncoreStage / clocks.llc +
+           kMemStage / clocks.memory;
+}
+
+} // namespace
+
+std::string
+streamKernelName(StreamKernel kernel)
+{
+    switch (kernel) {
+      case StreamKernel::Copy:
+        return "Copy";
+      case StreamKernel::Scale:
+        return "Scale";
+      case StreamKernel::Add:
+        return "Add";
+      case StreamKernel::Triad:
+        return "Triad";
+    }
+    util::panic("streamKernelName: unhandled kernel");
+}
+
+const std::vector<StreamKernel> &
+streamKernels()
+{
+    static const std::vector<StreamKernel> kernels{
+        StreamKernel::Copy, StreamKernel::Scale, StreamKernel::Add,
+        StreamKernel::Triad};
+    return kernels;
+}
+
+GBps
+StreamModel::baseBandwidth(StreamKernel kernel)
+{
+    // Typical six-channel DDR4-2400 Skylake-W sustained numbers at B1;
+    // Add/Triad run slightly higher than Copy/Scale (two loads + one
+    // store amortise the write-allocate traffic better).
+    switch (kernel) {
+      case StreamKernel::Copy:
+        return 88.0;
+      case StreamKernel::Scale:
+        return 87.0;
+      case StreamKernel::Add:
+        return 96.0;
+      case StreamKernel::Triad:
+        return 98.0;
+    }
+    util::panic("StreamModel: unhandled kernel");
+}
+
+GBps
+StreamModel::bandwidth(StreamKernel kernel,
+                       const hw::DomainClocks &clocks) const
+{
+    util::fatalIf(clocks.core <= 0.0 || clocks.llc <= 0.0 ||
+                      clocks.memory <= 0.0,
+                  "StreamModel::bandwidth: non-positive clock");
+    const hw::DomainClocks b1{kB1Core, kB1Llc, kB1Mem};
+    return baseBandwidth(kernel) * inverseThroughput(b1) /
+           inverseThroughput(clocks);
+}
+
+double
+StreamModel::relativeToB1(StreamKernel kernel,
+                          const hw::DomainClocks &clocks) const
+{
+    const hw::DomainClocks b1{kB1Core, kB1Llc, kB1Mem};
+    return bandwidth(kernel, clocks) / bandwidth(kernel, b1);
+}
+
+} // namespace workload
+} // namespace imsim

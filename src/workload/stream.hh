@@ -1,0 +1,67 @@
+/**
+ * @file
+ * STREAM memory-bandwidth model (Fig. 10).
+ *
+ * Sustained bandwidth is modelled as a series-bottleneck (harmonic)
+ * composition of core-issue, uncore-transport and DRAM-transfer stages:
+ *   1/BW(f) = a/f_core + b/f_llc + c/f_mem     (normalised coefficients)
+ * with (a, b, c) calibrated so the paper's observations hold: B4 gains
+ * +17 % and OC3 +24 % over B1, and faster cores/uncore also lift peak
+ * bandwidth because "memory requests are served faster".
+ */
+
+#ifndef IMSIM_WORKLOAD_STREAM_HH
+#define IMSIM_WORKLOAD_STREAM_HH
+
+#include <string>
+#include <vector>
+
+#include "hw/cpu.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace workload {
+
+/** The four STREAM kernels. */
+enum class StreamKernel
+{
+    Copy,
+    Scale,
+    Add,
+    Triad,
+};
+
+/** @return a printable kernel name. */
+std::string streamKernelName(StreamKernel kernel);
+
+/** @return all four kernels in STREAM order. */
+const std::vector<StreamKernel> &streamKernels();
+
+/**
+ * STREAM bandwidth model for a six-channel DDR4 Skylake-W system.
+ */
+class StreamModel
+{
+  public:
+    StreamModel() = default;
+
+    /**
+     * Sustained bandwidth of @p kernel at the given domain clocks [GB/s].
+     */
+    GBps bandwidth(StreamKernel kernel, const hw::DomainClocks &clocks) const;
+
+    /**
+     * Bandwidth relative to the B1 configuration (Fig. 10's baseline).
+     */
+    double relativeToB1(StreamKernel kernel,
+                        const hw::DomainClocks &clocks) const;
+
+  private:
+    /** Per-kernel peak bandwidth at the B1 clocks [GB/s]. */
+    static GBps baseBandwidth(StreamKernel kernel);
+};
+
+} // namespace workload
+} // namespace imsim
+
+#endif // IMSIM_WORKLOAD_STREAM_HH

@@ -1,0 +1,113 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace workload {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kSecondsPerDay = 86400.0;
+} // namespace
+
+TraceGenerator::TraceGenerator(TraceParams params) : cfg(params)
+{
+    util::fatalIf(cfg.cores <= 0, "TraceGenerator: need cores");
+    util::fatalIf(cfg.meanUtil < 0.0 || cfg.meanUtil > 1.0,
+                  "TraceGenerator: mean utilization out of [0,1]");
+    util::fatalIf(cfg.sampleInterval <= 0.0,
+                  "TraceGenerator: sample interval must be positive");
+    util::fatalIf(cfg.noisePhi < 0.0 || cfg.noisePhi >= 1.0,
+                  "TraceGenerator: AR(1) phi out of [0,1)");
+}
+
+std::vector<TraceSample>
+TraceGenerator::generate(util::Rng &rng, double days) const
+{
+    util::fatalIf(days <= 0.0, "TraceGenerator: days must be positive");
+    const auto samples = static_cast<std::size_t>(
+        days * kSecondsPerDay / cfg.sampleInterval);
+    std::vector<TraceSample> out;
+    out.reserve(samples);
+
+    double noise = 0.0;
+    const double innovation =
+        cfg.noiseSigma * std::sqrt(1.0 - cfg.noisePhi * cfg.noisePhi);
+    for (std::size_t i = 0; i < samples; ++i) {
+        const Seconds t = static_cast<double>(i) * cfg.sampleInterval;
+        const double day_frac = std::fmod(t, kSecondsPerDay) /
+                                kSecondsPerDay;
+        const double day_index = t / kSecondsPerDay;
+        // Diurnal: trough ~04:00, peak ~16:00.
+        const double diurnal =
+            cfg.diurnalAmplitude *
+            std::sin(2.0 * kPi * (day_frac - 0.292));
+        // Weekly: days 5 and 6 of each week dip.
+        const bool weekend = std::fmod(day_index, 7.0) >= 5.0;
+        const double weekly = weekend ? -cfg.weekendDip : 0.0;
+
+        noise = cfg.noisePhi * noise + rng.normal(0.0, innovation);
+        double util = cfg.meanUtil + diurnal + weekly + noise;
+        if (rng.bernoulli(cfg.burstProb))
+            util += cfg.burstBoost;
+        util = std::clamp(util, 0.01, 1.0);
+
+        TraceSample sample;
+        sample.time = t;
+        sample.utilization = util;
+        sample.activeCores = std::clamp(
+            static_cast<int>(std::lround(util * cfg.cores)), 1, cfg.cores);
+        out.push_back(sample);
+    }
+    return out;
+}
+
+OpportunityReport
+analyzeOpportunity(const hw::TurboGovernor &governor,
+                   const power::SocketPowerModel &socket,
+                   const thermal::CoolingSystem &cooling,
+                   const std::vector<TraceSample> &trace)
+{
+    util::fatalIf(trace.empty(), "analyzeOpportunity: empty trace");
+    OpportunityReport report;
+    double freq_sum = 0.0;
+    for (const auto &sample : trace) {
+        // The *opportunity* is the frequency the package could sustain
+        // within its power budget at this instant's active-core count
+        // (each active core fully busy), independent of the turbo
+        // table — then classified against the Fig. 4 domains.
+        const double package_activity = std::clamp(
+            static_cast<double>(sample.activeCores) /
+                static_cast<double>(governor.cores()),
+            0.05, 1.0);
+        GHz f = socket.maxFrequencyAtPowerLimit(governor.tdp(), cooling,
+                                                package_activity);
+        f = std::min(f, governor.overclockBoundary());
+        f = governor.snapToBin(f);
+        freq_sum += f;
+        switch (governor.classify(f, sample.activeCores)) {
+          case hw::FrequencyDomain::Overclocking:
+          case hw::FrequencyDomain::NonOperating:
+            report.overclockShare += 1.0;
+            break;
+          case hw::FrequencyDomain::Turbo:
+            report.turboShare += 1.0;
+            break;
+          case hw::FrequencyDomain::Guaranteed:
+            report.guaranteedShare += 1.0;
+            break;
+        }
+    }
+    const double n = static_cast<double>(trace.size());
+    report.turboShare /= n;
+    report.overclockShare /= n;
+    report.guaranteedShare /= n;
+    report.meanSustainable = freq_sum / n;
+    return report;
+}
+
+} // namespace workload
+} // namespace imsim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the lifetime-model calibration fitter (the vendor's
+ * accelerated-testing workflow) and the GPU overclocking planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_planner.hh"
+#include "reliability/calibration.hh"
+#include "reliability/lifetime.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using reliability::ModelConstants;
+
+// --- Calibration fitter ---------------------------------------------------------
+
+TEST(Calibration, ParameterisedModelMatchesShippedModel)
+{
+    // With the default constants, lifetimeWith() must agree with the
+    // shipped LifetimeModel on every Table V scenario.
+    const ModelConstants defaults;
+    const reliability::LifetimeModel shipped;
+    std::size_t count = 0;
+    const auto *scenarios = reliability::tableVScenarios(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_NEAR(
+            reliability::lifetimeWith(defaults, scenarios[i].condition),
+            shipped.lifetime(scenarios[i].condition), 1e-9);
+    }
+}
+
+TEST(Calibration, ShippedConstantsAreNearAFixedPoint)
+{
+    // Re-fitting from the shipped constants should barely move the loss:
+    // the hard-coded numbers are reproducible from the Table V anchors.
+    const auto anchors = reliability::tableVAnchors();
+    const ModelConstants shipped;
+    const double before = reliability::calibrationLoss(shipped, anchors);
+    EXPECT_LT(before, 0.01); // Already an excellent fit.
+    const auto refit = reliability::fitConstants(shipped, anchors);
+    const double after = reliability::calibrationLoss(refit, anchors);
+    EXPECT_LE(after, before + 1e-12);
+    // The refit stays in the same neighbourhood.
+    EXPECT_NEAR(refit.oxideA / shipped.oxideA, 1.0, 0.25);
+    EXPECT_NEAR(refit.oxideGamma / shipped.oxideGamma, 1.0, 0.25);
+}
+
+TEST(Calibration, FitterRecoversFromPerturbedStart)
+{
+    // Start the fit from badly perturbed constants: it must return to a
+    // configuration that satisfies every anchor band.
+    const auto anchors = reliability::tableVAnchors();
+    ModelConstants start;
+    start.oxideA *= 2.0;
+    start.oxideGamma *= 0.6;
+    start.tcA *= 3.0;
+    const double bad = reliability::calibrationLoss(start, anchors);
+    EXPECT_GT(bad, 0.1);
+    const auto fitted = reliability::fitConstants(start, anchors, 120);
+    const double good = reliability::calibrationLoss(fitted, anchors);
+    EXPECT_LT(good, 0.02);
+
+    // The fitted model lands in the Table V bands.
+    std::size_t count = 0;
+    const auto *scenarios = reliability::tableVScenarios(count);
+    EXPECT_NEAR(
+        reliability::lifetimeWith(fitted, scenarios[0].condition), 5.0,
+        0.8);
+    EXPECT_LT(reliability::lifetimeWith(fitted, scenarios[1].condition),
+              1.3);
+    EXPECT_GT(reliability::lifetimeWith(fitted, scenarios[2].condition),
+              8.0);
+}
+
+TEST(Calibration, AnchorsEncodeTableV)
+{
+    const auto anchors = reliability::tableVAnchors();
+    ASSERT_EQ(anchors.size(), 6u);
+    EXPECT_DOUBLE_EQ(anchors[0].target, 5.0);  // Air nominal.
+    EXPECT_TRUE(anchors[1].upperBound);        // Air OC: < 1 year.
+    EXPECT_TRUE(anchors[2].lowerBound);        // FC nominal: > 10.
+    EXPECT_DOUBLE_EQ(anchors[3].target, 4.0);  // FC OC.
+    EXPECT_TRUE(anchors[4].lowerBound);        // HFE nominal: > 10.
+    EXPECT_DOUBLE_EQ(anchors[5].target, 5.0);  // HFE OC.
+}
+
+TEST(Calibration, OneSidedAnchorsHaveNoInteriorPenalty)
+{
+    const auto anchors = reliability::tableVAnchors();
+    // A model that is *better* than every one-sided bound and exact on
+    // point anchors has (near) zero loss: inflate only the FC-nominal
+    // lifetime further and confirm loss does not rise.
+    ModelConstants constants;
+    const double base = reliability::calibrationLoss(constants, anchors);
+    EXPECT_GE(base, 0.0);
+    EXPECT_THROW(reliability::calibrationLoss(constants, {}), FatalError);
+    EXPECT_THROW(
+        reliability::fitConstants(constants, anchors, 0), FatalError);
+}
+
+// --- GPU planner -----------------------------------------------------------------
+
+TEST(GpuPlanner, SmBoundModelAvoidsMemoryOverclock)
+{
+    // Fig. 11's VGG16B lesson: memory overclocking buys it nothing.
+    const core::GpuPlanner planner;
+    const auto plan = planner.plan(workload::vggModel("VGG16B"));
+    EXPECT_EQ(plan.config->name, "OCG1");
+    EXPECT_GT(plan.expectedSpeedup, 1.03);
+}
+
+TEST(GpuPlanner, MemoryHungryModelTakesTheFullOverclock)
+{
+    const core::GpuPlanner planner;
+    const auto plan = planner.plan(workload::vggModel("VGG11"));
+    EXPECT_EQ(plan.config->name, "OCG3");
+    EXPECT_GT(plan.expectedSpeedup, 1.08);
+    EXPECT_GT(plan.extraPower, 0.0);
+}
+
+TEST(GpuPlanner, PlannedConfigBeatsMismatchedChoicePerWatt)
+{
+    // For VGG16B, forcing OCG3 burns power for no extra speed: the
+    // planner's OCG1 has strictly better speedup-per-watt.
+    const core::GpuPlanner planner;
+    const auto &vgg16b = workload::vggModel("VGG16B");
+    const auto plan = planner.plan(vgg16b);
+
+    workload::GpuTrainingModel training;
+    hw::GpuModel base;
+    hw::GpuModel forced;
+    forced.applyConfig(hw::gpuConfig("OCG3"));
+    const double forced_speedup =
+        1.0 / training.relativeTime(vgg16b, forced);
+    const double forced_extra = training.trainingPower(vgg16b, forced) -
+                                training.trainingPower(vgg16b, base);
+    const double forced_efficiency =
+        (forced_speedup - 1.0) * 100.0 / forced_extra;
+    EXPECT_GT(plan.powerEfficiency, forced_efficiency);
+}
+
+TEST(GpuPlanner, SpeedupHelperMatchesTrainingModel)
+{
+    const core::GpuPlanner planner;
+    const auto &vgg16 = workload::vggModel("VGG16");
+    workload::GpuTrainingModel training;
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG2"));
+    EXPECT_NEAR(planner.speedup(vgg16, "OCG2"),
+                1.0 / training.relativeTime(vgg16, gpu), 1e-12);
+}
+
+TEST(GpuPlanner, ThresholdValidation)
+{
+    EXPECT_THROW(core::GpuPlanner(0.0), FatalError);
+    EXPECT_THROW(core::GpuPlanner(1.0), FatalError);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for the cluster substrate: multi-dimensional packing with
+ * oversubscription, failover-buffer strategies (Fig. 6), and the
+ * capacity-crisis planner (Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/buffers.hh"
+#include "cluster/capacity.hh"
+#include "cluster/packing.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace imsim {
+namespace {
+
+vm::VmSpec
+makeVm(int vcores, double memory_gb)
+{
+    vm::VmSpec spec;
+    spec.vcores = vcores;
+    spec.memoryGb = memory_gb;
+    return spec;
+}
+
+// --- Packing -----------------------------------------------------------------
+
+TEST(Packing, PlacesWithinCapacity)
+{
+    cluster::BinPacker packer({40, 512.0}, 2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(packer.place(makeVm(4, 16.0)).has_value());
+    const auto stats = packer.stats();
+    EXPECT_EQ(stats.hostsUsed, 1u);
+    EXPECT_EQ(stats.vcoresPlaced, 40);
+    EXPECT_DOUBLE_EQ(stats.density, 1.0);
+}
+
+TEST(Packing, RespectsCoreLimitWithoutOversubscription)
+{
+    cluster::BinPacker packer({40, 512.0}, 1);
+    for (int i = 0; i < 10; ++i)
+        packer.place(makeVm(4, 16.0));
+    EXPECT_FALSE(packer.place(makeVm(4, 16.0)).has_value());
+    EXPECT_EQ(packer.stats().failed, 1u);
+}
+
+TEST(Packing, OversubscriptionRaisesDensity)
+{
+    // Sec. VI-C: 10-20 % CPU oversubscription packs proportionally more
+    // VMs on the same hardware.
+    cluster::BinPacker packer({40, 512.0}, 1, 1.2);
+    int placed = 0;
+    while (packer.place(makeVm(4, 16.0)))
+        ++placed;
+    EXPECT_EQ(placed, 12); // 48 vcores on 40 pcores.
+    EXPECT_NEAR(packer.stats().density, 1.2, 1e-9);
+}
+
+TEST(Packing, MemoryDimensionBinds)
+{
+    cluster::BinPacker packer({40, 64.0}, 1, 2.0);
+    int placed = 0;
+    while (packer.place(makeVm(2, 16.0)))
+        ++placed;
+    EXPECT_EQ(placed, 4); // Memory runs out before (oversubscribed) cores.
+}
+
+TEST(Packing, BestFitPrefersFullerHosts)
+{
+    cluster::BinPacker packer({8, 512.0}, 3);
+    packer.place(makeVm(6, 16.0)); // Host 0: 6/8.
+    packer.place(makeVm(2, 16.0)); // Should top up host 0, not open one.
+    EXPECT_EQ(packer.stats().hostsUsed, 1u);
+}
+
+TEST(Packing, PlaceAllSortsLargestFirst)
+{
+    cluster::BinPacker packer({8, 512.0}, 2);
+    std::vector<vm::VmSpec> vms{makeVm(2, 8.0), makeVm(6, 8.0),
+                                makeVm(4, 8.0), makeVm(4, 8.0)};
+    EXPECT_EQ(packer.placeAll(vms), 4u);
+    // 6+2 on one host, 4+4 on the other: first-fit-increasing would fail.
+    EXPECT_EQ(packer.stats().hostsUsed, 2u);
+}
+
+TEST(Packing, EvictHostReturnsVms)
+{
+    cluster::BinPacker packer({40, 512.0}, 1);
+    const auto host = packer.place(makeVm(4, 16.0));
+    ASSERT_TRUE(host.has_value());
+    const auto evicted = packer.evictHost(*host);
+    EXPECT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(packer.hosts()[*host].vcoresUsed, 0);
+    EXPECT_EQ(packer.stats().hostsUsed, 0u);
+}
+
+TEST(Packing, InvalidConfigurationIsFatal)
+{
+    EXPECT_THROW(cluster::BinPacker({40, 512.0}, 0), FatalError);
+    EXPECT_THROW(cluster::BinPacker({40, 512.0}, 1, 0.5), FatalError);
+    cluster::BinPacker packer({40, 512.0}, 1);
+    EXPECT_THROW(packer.place(makeVm(0, 16.0)), FatalError);
+    EXPECT_THROW(packer.evictHost(5), FatalError);
+}
+
+// --- Failover buffers (Fig. 6) --------------------------------------------------
+
+TEST(Buffers, VirtualBufferSellsWholeFleet)
+{
+    cluster::BufferSimulator sim(100, 10, 0.1);
+    util::Rng rng(1);
+    const auto stat = sim.simulate(cluster::BufferStrategy::Static, rng,
+                                   24.0 * 30, 0.5, 24.0);
+    const auto virt = sim.simulate(cluster::BufferStrategy::Virtual, rng,
+                                   24.0 * 30, 0.5, 24.0);
+    EXPECT_EQ(stat.sellableServers, 90u);
+    EXPECT_EQ(virt.sellableServers, 100u);
+    // Fig. 6's point: the virtual buffer hosts ~11 % more VMs.
+    EXPECT_GT(virt.vmsHosted, stat.vmsHosted);
+    EXPECT_NEAR(static_cast<double>(virt.vmsHosted) / stat.vmsHosted,
+                100.0 / 90.0, 1e-9);
+}
+
+TEST(Buffers, BothStrategiesAbsorbTypicalFailures)
+{
+    cluster::BufferSimulator sim(200, 10, 0.1);
+    util::Rng rng(2);
+    const auto stat = sim.simulate(cluster::BufferStrategy::Static, rng,
+                                   24.0 * 365, 0.5, 24.0);
+    const auto virt = sim.simulate(cluster::BufferStrategy::Virtual, rng,
+                                   24.0 * 365, 0.5, 24.0);
+    EXPECT_GT(stat.failures, 20u);
+    EXPECT_EQ(stat.recovered, stat.failures);
+    EXPECT_EQ(virt.recovered, virt.failures);
+}
+
+TEST(Buffers, VirtualBufferSpendsOverclockHours)
+{
+    cluster::BufferSimulator sim(100, 10, 0.1);
+    util::Rng rng(3);
+    const auto stat = sim.simulate(cluster::BufferStrategy::Static, rng,
+                                   24.0 * 365, 1.0, 48.0);
+    const auto virt = sim.simulate(cluster::BufferStrategy::Virtual, rng,
+                                   24.0 * 365, 1.0, 48.0);
+    EXPECT_DOUBLE_EQ(stat.overclockHours, 0.0);
+    EXPECT_GT(virt.overclockHours, 0.0);
+}
+
+TEST(Buffers, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(cluster::BufferSimulator(0, 10, 0.1), FatalError);
+    EXPECT_THROW(cluster::BufferSimulator(10, 10, 0.0), FatalError);
+    EXPECT_THROW(cluster::BufferSimulator(10, 10, 1.0), FatalError);
+    cluster::BufferSimulator sim(10, 10, 0.1);
+    util::Rng rng(4);
+    EXPECT_THROW(
+        sim.simulate(cluster::BufferStrategy::Static, rng, -1.0),
+        FatalError);
+}
+
+// --- Capacity crisis (Fig. 7) ----------------------------------------------------
+
+TEST(Capacity, OverclockingBridgesTheGap)
+{
+    std::vector<double> demand;
+    std::vector<double> supply;
+    cluster::CapacityPlanner::makeCrisisScenario(
+        24, 1000.0, 0.03, 200.0, 4, 6, demand, supply);
+    cluster::CapacityPlanner planner(0.2);
+    const auto points = planner.evaluate(demand, supply);
+    const auto summary = planner.summarise(points);
+    EXPECT_GT(summary.peakGapVms, 0.0);
+    EXPECT_LT(summary.deniedVmPeriodsOverclock,
+              summary.deniedVmPeriodsNominal);
+    EXPECT_GT(summary.overclockedPeriods, 0.0);
+}
+
+TEST(Capacity, NoHeadroomMeansNoImprovement)
+{
+    std::vector<double> demand{100.0, 120.0};
+    std::vector<double> supply{100.0, 100.0};
+    cluster::CapacityPlanner planner(0.0);
+    const auto points = planner.evaluate(demand, supply);
+    EXPECT_DOUBLE_EQ(points[1].deniedNominal, points[1].deniedOverclock);
+}
+
+TEST(Capacity, ServedNeverExceedsDemand)
+{
+    std::vector<double> demand{50.0, 60.0, 70.0};
+    std::vector<double> supply{100.0, 100.0, 100.0};
+    cluster::CapacityPlanner planner(0.2);
+    const auto points = planner.evaluate(demand, supply);
+    for (const auto &point : points) {
+        EXPECT_DOUBLE_EQ(point.servedNominal, point.demandVms);
+        EXPECT_DOUBLE_EQ(point.servedOverclock, point.demandVms);
+        EXPECT_DOUBLE_EQ(point.deniedOverclock, 0.0);
+    }
+}
+
+TEST(Capacity, MismatchedSeriesIsFatal)
+{
+    cluster::CapacityPlanner planner(0.2);
+    std::vector<double> demand{1.0, 2.0};
+    std::vector<double> supply{1.0};
+    EXPECT_THROW(planner.evaluate(demand, supply), FatalError);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Cross-module consistency tests: independent models in the library must
+ * agree wherever they describe the same physical quantity — the V-f
+ * curve and the Table V operating points, the socket and CPU package
+ * power models, the config catalog and the governor's boundaries, the
+ * queueing cluster and the bottleneck performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "imsim.hh"
+
+namespace imsim {
+namespace {
+
+TEST(Consistency, TableVVoltagesLieOnTheVfCurve)
+{
+    // Table V's overclocked rows use 0.98 V at +23% frequency — exactly
+    // the W-3175X V-f curve's prediction.
+    const power::VfCurve curve = power::VfCurve::xeonW3175x();
+    std::size_t count = 0;
+    const auto *scenarios = reliability::tableVScenarios(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &cond = scenarios[i].condition;
+        const GHz f = curve.nominalFrequency() * cond.freqRatio;
+        EXPECT_NEAR(curve.voltageFor(f), cond.voltage, 1e-6)
+            << scenarios[i].cooling;
+    }
+}
+
+TEST(Consistency, CatalogConfigsFitTheGovernorBoundary)
+{
+    // Every Table VII configuration must be applicable to the unlocked
+    // part: within the non-operating boundary, positive clocks.
+    const auto governor = hw::TurboGovernor::xeonW3175x();
+    for (const auto &config : hw::cpuConfigCatalog()) {
+        EXPECT_LE(config.core, governor.overclockBoundary());
+        EXPECT_GT(config.llc, 0.0);
+        EXPECT_GT(config.memory, 0.0);
+        auto cpu = hw::CpuModel::xeonW3175x();
+        EXPECT_NO_THROW(cpu.applyConfig(config)) << config.name;
+    }
+}
+
+TEST(Consistency, Oc1IsTheGreenBandCeilingInHfe)
+{
+    // The lifetime model's green band and the paper's chosen OC1 clock
+    // coincide: the controller grants exactly 4.1 GHz in HFE-7000.
+    auto cpu = hw::CpuModel::xeonW3175x();
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    thermal::TwoPhaseImmersionCooling hfe(thermal::hfe7000());
+    reliability::LifetimeModel lifetime;
+    reliability::WearTracker tracker(lifetime, 5.0);
+    reliability::ErrorRateWatchdog watchdog;
+    power::RaplCapper budget(500.0);
+    core::OverclockController controller(cpu, hfe, tracker, watchdog,
+                                         budget);
+    EXPECT_NEAR(controller.greenBandCeiling(), hw::cpuConfig("OC1").core,
+                0.15);
+}
+
+TEST(Consistency, SocketAndCpuPackageModelsAgreeAtNominal)
+{
+    // The standalone socket model (Table III) and the domain-split CPU
+    // package model describe the same 8180 silicon: within a few watts
+    // at the nominal all-core point.
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    auto cpu = hw::CpuModel::skylake8180();
+    thermal::TwoPhaseImmersionCooling fc(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    const auto socket_sol = socket.solve({2.6, 0.90, 1.0}, fc);
+    const auto package = cpu.power(fc, 1.0);
+    EXPECT_NEAR(package.total, socket_sol.total, 8.0);
+    EXPECT_NEAR(package.tj, socket_sol.tj, 2.0);
+}
+
+TEST(Consistency, ServerBudgetUsesTheSameSocketModel)
+{
+    // ServerPowerModel's socket contribution equals two standalone
+    // socket solves.
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    thermal::AirCooling air(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.21);
+    const power::OperatingPoint op{2.6, 0.90, 1.0};
+    const auto breakdown = server.compute(op, air);
+    const auto single = server.socketModel().solve(op, air);
+    EXPECT_NEAR(breakdown.sockets, 2.0 * single.total, 1e-6);
+}
+
+TEST(Consistency, QueueingLatencyTracksBottleneckModel)
+{
+    // At light load (no queueing), the cluster's mean latency between
+    // two frequencies scales like the service-time model predicts.
+    auto run = [](GHz freq) {
+        sim::Simulation sim;
+        workload::QueueingCluster::Params params;
+        params.serviceMean = 2.6e-3;
+        params.kappa = 0.9;
+        workload::QueueingCluster cluster(sim, util::Rng(21), params);
+        cluster.addServer(freq);
+        cluster.setArrivalRate(100.0); // ~6.5% utilization: no queueing.
+        sim.runUntil(200.0);
+        return cluster.latencies().mean();
+    };
+    const double ratio = run(4.1) / run(3.4);
+    EXPECT_NEAR(ratio, workload::serviceTimeScale(0.9, 3.4, 4.1), 0.02);
+}
+
+TEST(Consistency, TrainingPowerMatchesGpuModel)
+{
+    // The GPU training model's power is exactly the GPU model's power at
+    // the VGG activity.
+    const auto &vgg = workload::vggModel("VGG16");
+    workload::GpuTrainingModel training;
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG2"));
+    EXPECT_DOUBLE_EQ(training.trainingPower(vgg, gpu),
+                     gpu.power(vgg.activity).total);
+}
+
+TEST(Consistency, TankCoolingEqualsStandaloneTwoPhaseSystem)
+{
+    // The tank's cooling-system view is interchangeable with a
+    // separately constructed TwoPhaseImmersionCooling.
+    auto tank = thermal::makeSmallTank1();
+    thermal::TwoPhaseImmersionCooling standalone(
+        thermal::hfe7000(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    for (Watts p : {100.0, 250.0, 400.0}) {
+        EXPECT_DOUBLE_EQ(tank.coolingSystem().junctionTemperature(p),
+                         standalone.junctionTemperature(p));
+    }
+}
+
+TEST(Consistency, ImmersionSavingsMatchTableICatalogNumbers)
+{
+    // The 182 W decomposition must be derivable purely from Table I's
+    // published PUEs — no hidden constants.
+    const auto &air = thermal::coolingTechSpec(
+        thermal::CoolingTech::DirectEvaporative);
+    const auto &two_phase =
+        thermal::coolingTechSpec(thermal::CoolingTech::Immersion2P);
+    const auto savings = power::immersionSavings(700.0, 42.0, 11.0, 2);
+    const double expected_pue_saving =
+        700.0 * air.peakPue * (air.peakPue - two_phase.peakPue) /
+        air.peakPue;
+    EXPECT_NEAR(savings.pueOverhead, expected_pue_saving, 1e-9);
+}
+
+TEST(Consistency, EnvironmentEnergyMatchesFacilityModel)
+{
+    // The environmental model's annual energy equals the facility
+    // model's average-PUE draw integrated over a year.
+    thermal::EnvironmentModel environment;
+    const auto footprint = environment.footprint(
+        thermal::CoolingTech::Immersion2P, 636.0);
+    power::Facility facility(thermal::CoolingTech::Immersion2P);
+    const double expected_kwh =
+        facility.facilityPowerAverage(636.0) / 1000.0 *
+        units::kHoursPerYear;
+    EXPECT_NEAR(footprint.energyKwh, expected_kwh, 1e-6);
+}
+
+TEST(Consistency, BottleneckPlannerAgreesWithPerfModelOrdering)
+{
+    // For every catalog app, the analyzer's config must deliver at least
+    // as much metric improvement as the baseline B2 (never recommend a
+    // regression).
+    const core::BottleneckAnalyzer analyzer;
+    for (const auto &app : workload::appCatalog()) {
+        const auto &config = analyzer.configForApp(app);
+        const double rel = workload::relativeMetric(
+            app, {config.core, config.llc, config.memory});
+        if (workload::lowerIsBetter(app.metric))
+            EXPECT_LE(rel, 1.0 + 1e-9) << app.name;
+        else
+            EXPECT_GE(rel, 1.0 - 1e-9) << app.name;
+    }
+}
+
+TEST(Consistency, HypervisorAndClusterAgreeOnServiceScaling)
+{
+    // The hypervisor's CPU-normalised components and the queueing
+    // cluster's kappa-based scaling express the same frequency law for a
+    // core-dominated app.
+    const auto &cs = workload::app("Client-Server");
+    const double kappa = cs.work.scalableFraction();
+    const hw::DomainClocks oc1{4.1, 2.4, 2.4};
+    const hw::DomainClocks ref = workload::referenceClocks();
+    const double rel_cpu =
+        (cs.work.core * (ref.core / oc1.core) +
+         cs.work.llc * (ref.llc / oc1.llc) +
+         cs.work.mem * (ref.memory / oc1.memory)) /
+        (cs.work.core + cs.work.llc + cs.work.mem);
+    EXPECT_NEAR(rel_cpu, workload::serviceTimeScale(kappa, 3.4, 4.1),
+                1e-9);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Property sweeps over the control plane and TCO models: the overclock
+ * controller's grants must be monotone in the obvious directions (more
+ * power budget never yields a lower grant; longer episodes never yield a
+ * higher one), the TCO deltas must respond correctly to their physical
+ * drivers, and the SKU economics must be monotone in costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/controller.hh"
+#include "core/sku.hh"
+#include "tco/tco.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+struct ControllerRig
+{
+    hw::CpuModel cpu = hw::CpuModel::xeonW3175x();
+    thermal::TwoPhaseImmersionCooling cooling{thermal::hfe7000()};
+    reliability::LifetimeModel lifetime;
+    reliability::WearTracker tracker{lifetime, 5.0};
+    reliability::ErrorRateWatchdog watchdog{3600.0, 10.0};
+    power::RaplCapper budget{450.0};
+
+    ControllerRig() { cpu.applyConfig(hw::cpuConfig("OC1")); }
+};
+
+class ControllerSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ControllerSweep, GrantMonotoneInPowerBudget)
+{
+    const double activity = GetParam();
+    GHz prev = 0.0;
+    for (Watts limit : {260.0, 300.0, 350.0, 400.0, 460.0}) {
+        ControllerRig rig;
+        rig.budget.setPowerLimit(limit);
+        core::OverclockController controller(rig.cpu, rig.cooling,
+                                             rig.tracker, rig.watchdog,
+                                             rig.budget);
+        const auto decision =
+            controller.request(4.1, 1.0, activity, 0.0);
+        EXPECT_GE(decision.grantedCore, prev - 1e-9)
+            << "limit=" << limit << " activity=" << activity;
+        prev = decision.grantedCore;
+    }
+}
+
+TEST_P(ControllerSweep, GrantNeverExceedsRequestOrBoundary)
+{
+    const double activity = GetParam();
+    ControllerRig rig;
+    core::OverclockController controller(rig.cpu, rig.cooling,
+                                         rig.tracker, rig.watchdog,
+                                         rig.budget);
+    for (GHz target : {3.6, 3.9, 4.1, 4.4}) {
+        const auto decision =
+            controller.request(target, 2.0, activity, 0.0);
+        EXPECT_LE(decision.grantedCore, target + 1e-9);
+        EXPECT_LE(decision.grantedCore,
+                  rig.cpu.governor().overclockBoundary() + 1e-9);
+        EXPECT_GE(decision.grantedCore, 3.4 - 1e-9);
+    }
+}
+
+TEST_P(ControllerSweep, LongerEpisodesNeverGrantMore)
+{
+    const double activity = GetParam();
+    // A part with only a little banked credit: long red-band episodes
+    // must be trimmed harder than short ones.
+    ControllerRig rig;
+    reliability::StressCondition cool{0.90, 51.0, 35.0, 1.0, 0.6};
+    rig.tracker.accrue(cool, 0.5);
+    core::OverclockController controller(rig.cpu, rig.cooling,
+                                         rig.tracker, rig.watchdog,
+                                         rig.budget);
+    GHz prev = 10.0;
+    for (double hours : {1.0, 24.0, 24.0 * 30, 24.0 * 365, 24.0 * 3650}) {
+        const auto decision =
+            controller.request(4.1, hours, activity, 0.0);
+        EXPECT_LE(decision.grantedCore, prev + 1e-9)
+            << "hours=" << hours;
+        prev = decision.grantedCore;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ActivitySweep, ControllerSweep,
+                         ::testing::Values(0.3, 0.6, 0.9));
+
+// --- TCO driver sensitivity -----------------------------------------------------
+
+class TcoDrivers
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(TcoDrivers, BetterPueAlwaysLowersCostPerCore)
+{
+    const auto [immersion_pue, tank_cost] = GetParam();
+    tco::TcoInputs inputs;
+    inputs.immersionPue = immersion_pue;
+    inputs.immersionCostFraction = tank_cost;
+    const tco::TcoModel model(inputs);
+    const double delta =
+        model.evaluate(tco::Scenario::NonOverclockable2Pic)
+            .costPerCoreDelta;
+
+    tco::TcoInputs worse = inputs;
+    worse.immersionPue = immersion_pue + 0.04;
+    const double worse_delta =
+        tco::TcoModel(worse)
+            .evaluate(tco::Scenario::NonOverclockable2Pic)
+            .costPerCoreDelta;
+    EXPECT_LT(delta, worse_delta);
+}
+
+TEST_P(TcoDrivers, TankCostPassesStraightThrough)
+{
+    const auto [immersion_pue, tank_cost] = GetParam();
+    tco::TcoInputs inputs;
+    inputs.immersionPue = immersion_pue;
+    inputs.immersionCostFraction = tank_cost;
+    tco::TcoInputs pricier = inputs;
+    pricier.immersionCostFraction = tank_cost + 0.01;
+    const double delta =
+        tco::TcoModel(inputs)
+            .evaluate(tco::Scenario::Overclockable2Pic)
+            .costPerCoreDelta;
+    const double pricier_delta =
+        tco::TcoModel(pricier)
+            .evaluate(tco::Scenario::Overclockable2Pic)
+            .costPerCoreDelta;
+    EXPECT_NEAR(pricier_delta - delta, 0.01, 1e-9);
+}
+
+TEST_P(TcoDrivers, MoreOversubscriptionNeverRaisesVcoreCost)
+{
+    const auto [immersion_pue, tank_cost] = GetParam();
+    tco::TcoInputs inputs;
+    inputs.immersionPue = immersion_pue;
+    inputs.immersionCostFraction = tank_cost;
+    const tco::TcoModel model(inputs);
+    double prev = 1e9;
+    for (double ratio : {0.0, 0.05, 0.10, 0.15}) {
+        const double rel = model.costPerVcoreRelative(
+            tco::Scenario::Overclockable2Pic, ratio);
+        EXPECT_LT(rel, prev);
+        prev = rel;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InputSweep, TcoDrivers,
+    ::testing::Combine(::testing::Values(1.03, 1.05, 1.08),
+                       ::testing::Values(0.005, 0.01, 0.02)));
+
+// --- SKU economics monotonicity ----------------------------------------------------
+
+class SkuSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SkuSweep, HigherEnergyPriceRaisesBreakEven)
+{
+    core::SkuCostInputs cheap;
+    cheap.energyPricePerKwh = 0.05;
+    core::SkuCostInputs dear;
+    dear.energyPricePerKwh = 0.20;
+    const auto &app = workload::app(GetParam());
+    const auto low = core::priceHighPerfSku(app, 4, 110.0, 2e-6, cheap);
+    const auto high = core::priceHighPerfSku(app, 4, 110.0, 2e-6, dear);
+    EXPECT_GT(high.breakEvenPremium, low.breakEvenPremium);
+    EXPECT_DOUBLE_EQ(high.valuePremium, low.valuePremium);
+}
+
+TEST_P(SkuSweep, MoreWearRaisesBreakEven)
+{
+    const auto &app = workload::app(GetParam());
+    const auto gentle = core::priceHighPerfSku(app, 4, 110.0, 1e-6);
+    const auto harsh = core::priceHighPerfSku(app, 4, 110.0, 1e-4);
+    EXPECT_GT(harsh.breakEvenPremium, gentle.breakEvenPremium);
+}
+
+INSTANTIATE_TEST_SUITE_P(AppSweep, SkuSweep,
+                         ::testing::Values("BI", "SQL", "SPECJBB",
+                                           "TeraSort"));
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the control plane: bottleneck analysis, the overclock
+ * controller's three risk gates (lifetime, stability, power), the green
+ * band, and the use-case planners.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bottleneck.hh"
+#include "core/controller.hh"
+#include "core/usecases.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using core::BottleneckAnalyzer;
+using core::OverclockController;
+
+// --- Bottleneck analysis ---------------------------------------------------
+
+TEST(Bottleneck, SignalsFromWorkVector)
+{
+    const auto signals = core::signalsFromWork({0.35, 0.15, 0.45, 0.05});
+    EXPECT_NEAR(signals.coreScalable, 0.35 / 0.95, 1e-9);
+    EXPECT_NEAR(signals.ioFraction, 0.05, 1e-12);
+}
+
+TEST(Bottleneck, BiGetsCoreOnlyOverclock)
+{
+    // Fig. 9's BI example: overclocking other components wastes power.
+    const BottleneckAnalyzer analyzer;
+    const auto &config = analyzer.configForApp(workload::app("BI"));
+    EXPECT_EQ(config.name, "OC1");
+}
+
+TEST(Bottleneck, SqlGetsMemoryOverclock)
+{
+    const BottleneckAnalyzer analyzer;
+    const auto &config = analyzer.configForApp(workload::app("SQL"));
+    EXPECT_EQ(config.name, "OC3");
+}
+
+TEST(Bottleneck, PmbenchGetsCacheOverclock)
+{
+    const BottleneckAnalyzer analyzer;
+    const auto &config = analyzer.configForApp(workload::app("Pmbench"));
+    // Pmbench is cache-pressure dominated with some memory pressure.
+    EXPECT_TRUE(config.name == "OC2" || config.name == "OC3");
+}
+
+TEST(Bottleneck, PureIoWorkloadGetsNoOverclock)
+{
+    const BottleneckAnalyzer analyzer;
+    const auto rec =
+        analyzer.recommend(core::signalsFromWork({0.05, 0.02, 0.03, 0.90}));
+    EXPECT_FALSE(rec.any());
+    EXPECT_EQ(analyzer.configFor(rec).name, "B2");
+}
+
+TEST(Bottleneck, ThresholdValidation)
+{
+    EXPECT_THROW(BottleneckAnalyzer(0.0), FatalError);
+    EXPECT_THROW(BottleneckAnalyzer(1.0), FatalError);
+}
+
+// --- Overclock controller ---------------------------------------------------
+
+struct ControllerRig
+{
+    hw::CpuModel cpu = hw::CpuModel::xeonW3175x();
+    thermal::TwoPhaseImmersionCooling cooling{thermal::hfe7000()};
+    reliability::LifetimeModel lifetime;
+    reliability::WearTracker tracker{lifetime, 5.0};
+    reliability::ErrorRateWatchdog watchdog{3600.0, 10.0};
+    power::RaplCapper budget{450.0};
+
+    ControllerRig() { cpu.applyConfig(hw::cpuConfig("OC1")); }
+
+    OverclockController
+    controller(core::ControllerPolicy policy = {})
+    {
+        return OverclockController(cpu, cooling, tracker, watchdog, budget,
+                                   policy);
+    }
+};
+
+TEST(Controller, GrantsGreenBandRequest)
+{
+    ControllerRig rig;
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 24.0, 0.6, 0.0);
+    EXPECT_TRUE(decision.approved) << decision.reason;
+    EXPECT_DOUBLE_EQ(decision.grantedCore, 4.1);
+    EXPECT_NEAR(decision.grantedRatio, 4.1 / 3.4, 1e-9);
+}
+
+TEST(Controller, DeniesBeyondBoundary)
+{
+    ControllerRig rig;
+    auto controller = rig.controller();
+    const auto decision = controller.request(5.5, 1.0, 0.5, 0.0);
+    EXPECT_FALSE(decision.approved);
+    EXPECT_DOUBLE_EQ(decision.grantedCore, 3.4);
+}
+
+TEST(Controller, DeniesWhenWatchdogTripped)
+{
+    ControllerRig rig;
+    rig.watchdog.record(0.0, 0);
+    rig.watchdog.record(1800.0, 500); // Error storm.
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 1.0, 0.5, 1800.0);
+    EXPECT_FALSE(decision.approved);
+    EXPECT_NE(decision.reason.find("watchdog"), std::string::npos);
+}
+
+TEST(Controller, DeniesWithoutVoltageMargin)
+{
+    ControllerRig rig;
+    rig.cpu.setVoltageOffset(0.0); // Strip the +50 mV stability offset.
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 1.0, 0.5, 0.0);
+    EXPECT_FALSE(decision.approved);
+    EXPECT_NE(decision.reason.find("margin"), std::string::npos);
+}
+
+TEST(Controller, TrimsToThePowerBudget)
+{
+    ControllerRig rig;
+    rig.budget.setPowerLimit(330.0); // Between B2 (~255 W) and OC1.
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 1.0, 1.0, 0.0);
+    EXPECT_TRUE(decision.approved) << decision.reason;
+    EXPECT_LT(decision.grantedCore, 4.1);
+    EXPECT_GT(decision.grantedCore, 3.4);
+}
+
+TEST(Controller, DeniesWhenBudgetLeavesNoHeadroom)
+{
+    ControllerRig rig;
+    rig.budget.setPowerLimit(200.0); // Below even B2's package power.
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 1.0, 1.0, 0.0);
+    EXPECT_FALSE(decision.approved);
+    EXPECT_NE(decision.reason.find("power"), std::string::npos);
+}
+
+TEST(Controller, LifetimeGateBlocksWornPart)
+{
+    ControllerRig rig;
+    // Burn the whole wear budget young: 2 years of air-style overclock.
+    reliability::StressCondition harsh{0.98, 101.0, 20.0, 1.23, 1.0};
+    rig.tracker.accrue(harsh, 2.0);
+    EXPECT_LT(rig.tracker.credit(), 0.0);
+    auto controller = rig.controller();
+    const auto decision = controller.request(4.1, 24.0 * 365.0, 1.0, 0.0);
+    EXPECT_FALSE(decision.approved);
+    EXPECT_NE(decision.reason.find("lifetime"), std::string::npos);
+}
+
+TEST(Controller, GreenBandCeilingNearPlus23Percent)
+{
+    // Fig. 5(b): in HFE-7000 the green band tops out around +23 %.
+    ControllerRig rig;
+    rig.cpu.applyConfig(hw::cpuConfig("B2"));
+    auto controller = rig.controller();
+    const GHz ceiling = controller.greenBandCeiling();
+    EXPECT_NEAR(ceiling / 3.4, 1.23, 0.09);
+}
+
+TEST(Controller, GreenBandShrinksWithWorseCooling)
+{
+    ControllerRig rig;
+    rig.cpu.applyConfig(hw::cpuConfig("B2"));
+    auto hfe_controller = rig.controller();
+    const GHz hfe_ceiling = hfe_controller.greenBandCeiling();
+
+    thermal::TwoPhaseImmersionCooling fc(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::CopperPlate});
+    OverclockController fc_controller(rig.cpu, fc, rig.tracker,
+                                      rig.watchdog, rig.budget);
+    EXPECT_LE(fc_controller.greenBandCeiling(), hfe_ceiling);
+}
+
+TEST(Controller, PolicyValidation)
+{
+    ControllerRig rig;
+    core::ControllerPolicy policy;
+    policy.minMarginMv = -1.0;
+    EXPECT_THROW(rig.controller(policy), FatalError);
+}
+
+// --- Use-case planners --------------------------------------------------------
+
+TEST(UseCases, HighPerfVmPlanForBi)
+{
+    const auto plan = core::planHighPerfVm(workload::app("BI"));
+    EXPECT_EQ(plan.config->name, "OC1");
+    EXPECT_GT(plan.expectedSpeedup, 1.10);
+    EXPECT_TRUE(plan.inGreenBand);
+}
+
+TEST(UseCases, HighPerfVmSpeedupMatchesMetricDirection)
+{
+    // Throughput apps report speedup > 1 too.
+    const auto plan = core::planHighPerfVm(workload::app("SPECJBB"));
+    EXPECT_GT(plan.expectedSpeedup, 1.0);
+}
+
+TEST(UseCases, OversubscriptionWithinCapacityNeedsNothing)
+{
+    const auto plan =
+        core::planOversubscription(workload::app("SQL"), 16, 16);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.config->name, "B2");
+}
+
+TEST(UseCases, ModestOversubscriptionIsCompensated)
+{
+    // 10 % oversubscription on a core-scalable app: OC1 suffices.
+    const auto plan =
+        core::planOversubscription(workload::app("SPECJBB"), 22, 20);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_GE(plan.compensatedSpeedup, 1.10);
+}
+
+TEST(UseCases, ExtremeOversubscriptionIsInfeasible)
+{
+    // 50 % oversubscription exceeds any config's speedup (max ~25 %).
+    const auto plan =
+        core::planOversubscription(workload::app("SQL"), 24, 16);
+    EXPECT_FALSE(plan.feasible);
+}
+
+TEST(UseCases, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(core::planOversubscription(workload::app("SQL"), 0, 16),
+                 FatalError);
+    EXPECT_THROW(core::planHighPerfVm(workload::app("SQL"), 0.5),
+                 FatalError);
+}
+
+} // namespace
+} // namespace imsim

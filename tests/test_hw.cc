@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the hw module: Table VII/VIII config catalogs, the
+ * turbo governor and Fig. 4 operating domains, the Table III one-bin
+ * turbo gain under 2PIC, the CPU package model, counters, and the GPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/configs.hh"
+#include "hw/counters.hh"
+#include "hw/cpu.hh"
+#include "hw/gpu.hh"
+#include "hw/turbo.hh"
+#include "thermal/cooling.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+// --- Config catalogs (Tables VII and VIII) --------------------------------
+
+TEST(CpuConfigs, TableViiRows)
+{
+    const auto &catalog = hw::cpuConfigCatalog();
+    ASSERT_EQ(catalog.size(), 7u);
+
+    const auto &b1 = hw::cpuConfig("B1");
+    EXPECT_DOUBLE_EQ(b1.core, 3.1);
+    EXPECT_FALSE(b1.turboEnabled);
+    EXPECT_DOUBLE_EQ(b1.llc, 2.4);
+    EXPECT_DOUBLE_EQ(b1.memory, 2.4);
+    EXPECT_FALSE(b1.isOverclock());
+
+    const auto &b4 = hw::cpuConfig("B4");
+    EXPECT_DOUBLE_EQ(b4.core, 3.4);
+    EXPECT_DOUBLE_EQ(b4.llc, 2.8);
+    EXPECT_DOUBLE_EQ(b4.memory, 3.0);
+
+    const auto &oc3 = hw::cpuConfig("OC3");
+    EXPECT_DOUBLE_EQ(oc3.core, 4.1);
+    EXPECT_DOUBLE_EQ(oc3.voltageOffsetMv, 50.0);
+    EXPECT_DOUBLE_EQ(oc3.llc, 2.8);
+    EXPECT_DOUBLE_EQ(oc3.memory, 3.0);
+    EXPECT_TRUE(oc3.isOverclock());
+}
+
+TEST(CpuConfigs, UnknownNameIsFatal)
+{
+    EXPECT_THROW(hw::cpuConfig("OC9"), FatalError);
+}
+
+TEST(GpuConfigs, TableViiiRows)
+{
+    const auto &catalog = hw::gpuConfigCatalog();
+    ASSERT_EQ(catalog.size(), 4u);
+    const auto &base = hw::gpuConfig("Base");
+    EXPECT_DOUBLE_EQ(base.powerLimit, 250.0);
+    EXPECT_DOUBLE_EQ(base.turbo, 1.950);
+    EXPECT_DOUBLE_EQ(base.memory, 6.8);
+    EXPECT_FALSE(base.isOverclock());
+
+    const auto &ocg3 = hw::gpuConfig("OCG3");
+    EXPECT_DOUBLE_EQ(ocg3.powerLimit, 300.0);
+    EXPECT_DOUBLE_EQ(ocg3.turbo, 2.085);
+    EXPECT_DOUBLE_EQ(ocg3.memory, 8.3);
+    EXPECT_DOUBLE_EQ(ocg3.voltageOffsetMv, 100.0);
+    EXPECT_TRUE(ocg3.isOverclock());
+}
+
+// --- Turbo governor and Fig. 4 domains ------------------------------------
+
+TEST(Turbo, CeilingDroopsWithActiveCores)
+{
+    const auto governor = hw::TurboGovernor::skylake8180();
+    EXPECT_DOUBLE_EQ(governor.turboCeiling(1), 3.8);
+    EXPECT_DOUBLE_EQ(governor.turboCeiling(28), 3.2);
+    GHz prev = 10.0;
+    for (int n = 1; n <= 28; ++n) {
+        EXPECT_LE(governor.turboCeiling(n), prev + 1e-9);
+        prev = governor.turboCeiling(n);
+    }
+}
+
+TEST(Turbo, Fig4DomainClassification)
+{
+    const auto governor = hw::TurboGovernor::skylake8180();
+    EXPECT_EQ(governor.classify(2.0, 28), hw::FrequencyDomain::Guaranteed);
+    EXPECT_EQ(governor.classify(2.5, 28), hw::FrequencyDomain::Guaranteed);
+    EXPECT_EQ(governor.classify(3.0, 28), hw::FrequencyDomain::Turbo);
+    EXPECT_EQ(governor.classify(3.5, 28),
+              hw::FrequencyDomain::Overclocking);
+    EXPECT_EQ(governor.classify(4.3, 28),
+              hw::FrequencyDomain::NonOperating);
+}
+
+TEST(Turbo, DomainDependsOnActiveCores)
+{
+    // 3.5 GHz is turbo with one core active but overclocking with all.
+    const auto governor = hw::TurboGovernor::skylake8180();
+    EXPECT_EQ(governor.classify(3.5, 1), hw::FrequencyDomain::Turbo);
+    EXPECT_EQ(governor.classify(3.5, 28),
+              hw::FrequencyDomain::Overclocking);
+}
+
+TEST(Turbo, DomainNamesArePrintable)
+{
+    EXPECT_EQ(hw::domainName(hw::FrequencyDomain::Guaranteed), "guaranteed");
+    EXPECT_EQ(hw::domainName(hw::FrequencyDomain::Overclocking),
+              "overclocking");
+}
+
+TEST(Turbo, TableIiiMaxTurbo8168)
+{
+    // Air 3.1 GHz vs 2PIC 3.2 GHz at the 205 W TDP (Table III).
+    const auto governor = hw::TurboGovernor::skylake8168();
+    const auto socket = power::SocketPowerModel::skylakeServer(3.1);
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling fc(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::CopperPlate});
+    EXPECT_NEAR(governor.effectiveFrequency(socket, air, 24), 3.1, 0.001);
+    EXPECT_NEAR(governor.effectiveFrequency(socket, fc, 24), 3.2, 0.001);
+}
+
+TEST(Turbo, TableIiiMaxTurbo8180)
+{
+    // Air 2.6 GHz vs 2PIC 2.7 GHz (Table III).
+    const auto governor = hw::TurboGovernor::skylake8180();
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    thermal::AirCooling air(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.21);
+    thermal::TwoPhaseImmersionCooling fc(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    EXPECT_NEAR(governor.effectiveFrequency(socket, air, 28), 2.6, 0.001);
+    EXPECT_NEAR(governor.effectiveFrequency(socket, fc, 28), 2.7, 0.001);
+}
+
+TEST(Turbo, FewActiveCoresReachTableCeiling)
+{
+    const auto governor = hw::TurboGovernor::skylake8168();
+    const auto socket = power::SocketPowerModel::skylakeServer(3.1);
+    thermal::AirCooling air;
+    // One active core is nowhere near the TDP: the table ceiling rules.
+    EXPECT_NEAR(governor.effectiveFrequency(socket, air, 1),
+                governor.turboCeiling(1), 0.001);
+}
+
+TEST(Turbo, RaisedTdpUnlocksHigherFrequency)
+{
+    auto governor = hw::TurboGovernor::skylake8168();
+    const auto socket = power::SocketPowerModel::skylakeServer(3.1);
+    thermal::TwoPhaseImmersionCooling fc(thermal::fc3284());
+    const GHz before = governor.effectiveFrequency(socket, fc, 24);
+    governor.setTdp(305.0);
+    const GHz after = governor.effectiveFrequency(socket, fc, 24);
+    EXPECT_GT(after, before);
+}
+
+TEST(Turbo, OrderingValidation)
+{
+    EXPECT_THROW(hw::TurboGovernor(4, 2.0, 1.0, 3.0, 2.5, 4.0, 100.0),
+                 FatalError);
+    EXPECT_THROW(hw::TurboGovernor(0, 1.0, 2.0, 3.0, 2.5, 4.0, 100.0),
+                 FatalError);
+}
+
+// --- CPU package model ------------------------------------------------------
+
+TEST(CpuModel, LockedPartRejectsOverclockConfigs)
+{
+    auto cpu = hw::CpuModel::skylake8180();
+    EXPECT_THROW(cpu.applyConfig(hw::cpuConfig("OC1")), FatalError);
+    EXPECT_NO_THROW(cpu.applyConfig(hw::cpuConfig("B2")));
+}
+
+TEST(CpuModel, UnlockedPartAcceptsOverclockConfigs)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    EXPECT_NO_THROW(cpu.applyConfig(hw::cpuConfig("OC3")));
+    EXPECT_DOUBLE_EQ(cpu.clocks().core, 4.1);
+    EXPECT_DOUBLE_EQ(cpu.clocks().llc, 2.8);
+    EXPECT_DOUBLE_EQ(cpu.clocks().memory, 3.0);
+    EXPECT_EQ(cpu.configName(), "OC3");
+}
+
+TEST(CpuModel, VoltageOffsetAddsMargin)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    cpu.applyConfig(hw::cpuConfig("OC1"));
+    // The +50 mV offset is entirely margin above the V-f curve.
+    EXPECT_NEAR(cpu.voltageMarginMv(), 50.0, 1e-6);
+    cpu.setVoltageOffset(0.0);
+    EXPECT_NEAR(cpu.voltageMarginMv(), 0.0, 1e-6);
+}
+
+TEST(CpuModel, PowerIncreasesWithEachDomainClock)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    thermal::TwoPhaseImmersionCooling hfe(thermal::hfe7000());
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    const Watts b2 = cpu.power(hfe, 1.0).total;
+    cpu.applyConfig(hw::cpuConfig("B3"));
+    const Watts b3 = cpu.power(hfe, 1.0).total;
+    cpu.applyConfig(hw::cpuConfig("B4"));
+    const Watts b4 = cpu.power(hfe, 1.0).total;
+    cpu.applyConfig(hw::cpuConfig("OC3"));
+    const Watts oc3 = cpu.power(hfe, 1.0).total;
+    EXPECT_LT(b2, b3);
+    EXPECT_LT(b3, b4);
+    EXPECT_LT(b4, oc3);
+}
+
+TEST(CpuModel, B2PackagePowerNearTdp)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    thermal::TwoPhaseImmersionCooling hfe(thermal::hfe7000());
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    const auto breakdown = cpu.power(hfe, 1.0);
+    // 255 W TDP part at all-core turbo, cooled in HFE-7000.
+    EXPECT_NEAR(breakdown.total, 255.0, 15.0);
+    EXPECT_GT(breakdown.leakage, 0.0);
+    EXPECT_NEAR(breakdown.total,
+                breakdown.core + breakdown.uncore + breakdown.memoryIo +
+                    breakdown.leakage,
+                1e-6);
+}
+
+TEST(CpuModel, ImmersionRunsCoolerThanAir)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling hfe(thermal::hfe7000());
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    EXPECT_LT(cpu.power(hfe, 1.0).tj, cpu.power(air, 1.0).tj);
+}
+
+TEST(CpuModel, SetClocksBeyondBoundaryIsFatal)
+{
+    auto cpu = hw::CpuModel::xeonW3175x();
+    hw::DomainClocks clocks{6.0, 2.4, 2.4};
+    EXPECT_THROW(cpu.setClocks(clocks), FatalError);
+}
+
+TEST(CpuModel, LockedPartRejectsCustomOverclock)
+{
+    auto cpu = hw::CpuModel::skylake8180();
+    hw::DomainClocks clocks{3.6, 2.4, 2.4};
+    EXPECT_THROW(cpu.setClocks(clocks), FatalError);
+}
+
+// --- Counters and Eq. 1 ------------------------------------------------------
+
+TEST(Counters, AdvanceAccumulates)
+{
+    hw::CounterBlock block(2.4);
+    block.advance(10.0, 3.4, 0.5, 0.2);
+    const auto sample = block.sample();
+    EXPECT_NEAR(sample.aperf, 10.0 * 3.4 * 0.5, 1e-9);
+    EXPECT_NEAR(sample.pperf, 10.0 * 3.4 * 0.5 * 0.8, 1e-9);
+    EXPECT_NEAR(sample.tsc, 24.0, 1e-9);
+}
+
+TEST(Counters, ScalableFractionRecoversKappa)
+{
+    hw::CounterBlock block;
+    const auto before = block.sample();
+    block.advance(30.0, 3.4, 0.6, 0.25);
+    const auto after = block.sample();
+    EXPECT_NEAR(after.scalableFraction(before), 0.75, 1e-9);
+}
+
+TEST(Counters, UtilizationFromCounters)
+{
+    hw::CounterBlock block(2.4);
+    const auto before = block.sample();
+    block.advance(10.0, 3.4, 0.5, 0.0);
+    const auto after = block.sample();
+    EXPECT_NEAR(after.utilization(before, 3.4, 2.4), 0.5, 1e-9);
+}
+
+TEST(Counters, NoElapsedCyclesFallsBack)
+{
+    hw::CounterBlock block;
+    const auto a = block.sample();
+    block.advance(10.0, 3.4, 0.0, 0.0); // Fully idle.
+    const auto b = block.sample();
+    EXPECT_DOUBLE_EQ(b.scalableFraction(a, 0.42), 0.42);
+}
+
+TEST(Eq1, CpuBoundScalesInversely)
+{
+    // Fully scalable work: doubling the frequency halves utilization.
+    EXPECT_NEAR(hw::predictedUtilization(0.6, 1.0, 2.0, 4.0), 0.3, 1e-12);
+}
+
+TEST(Eq1, MemoryBoundDoesNotScale)
+{
+    EXPECT_NEAR(hw::predictedUtilization(0.6, 0.0, 2.0, 4.0), 0.6, 1e-12);
+}
+
+TEST(Eq1, PaperFormula)
+{
+    // Util' = Util * (P/A * F0/F1 + (1 - P/A)).
+    const double util = 0.5;
+    const double pa = 0.7;
+    EXPECT_NEAR(hw::predictedUtilization(util, pa, 3.4, 4.1),
+                util * (pa * 3.4 / 4.1 + 0.3), 1e-12);
+}
+
+TEST(Eq1, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(hw::predictedUtilization(-0.1, 0.5, 1.0, 2.0), FatalError);
+    EXPECT_THROW(hw::predictedUtilization(0.5, 1.5, 1.0, 2.0), FatalError);
+    EXPECT_THROW(hw::predictedUtilization(0.5, 0.5, 0.0, 2.0), FatalError);
+}
+
+// --- GPU ----------------------------------------------------------------------
+
+TEST(Gpu, BaseSustainsItsTurbo)
+{
+    hw::GpuModel gpu;
+    EXPECT_NEAR(gpu.sustainedCoreClock(0.75), 1.950, 1e-9);
+}
+
+TEST(Gpu, Ocg1LiftsClockAtSamePowerLimit)
+{
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG1"));
+    EXPECT_NEAR(gpu.sustainedCoreClock(0.75), 2.085, 1e-9);
+    // Board power stays within the 250 W limit.
+    EXPECT_LE(gpu.power(0.75).total, 250.0 + 1e-6);
+}
+
+TEST(Gpu, PaperPowerCalibration)
+{
+    // Fig. 11: baseline runs drew ~193 W; the overclocked runs peaked at
+    // ~231 W (+19 %).
+    hw::GpuModel gpu;
+    const Watts base = gpu.power(0.75).total;
+    EXPECT_NEAR(base, 193.0, 8.0);
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    const Watts oc = gpu.power(0.75).total;
+    EXPECT_NEAR(oc / base, 1.19, 0.05);
+}
+
+TEST(Gpu, MemoryOverclockAddsPower)
+{
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG2"));
+    const Watts ocg2 = gpu.power(0.75).total;
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    const Watts ocg3 = gpu.power(0.75).total;
+    EXPECT_GT(ocg3, ocg2);
+}
+
+TEST(Gpu, PowerLimitClipsAtFullActivity)
+{
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG2"));
+    // At activity 1.0 the 100 mV offset pushes the core past its budget.
+    const auto breakdown = gpu.power(1.0);
+    EXPECT_LE(breakdown.total, 300.0 + 1e-6);
+}
+
+TEST(Gpu, InvalidActivityIsFatal)
+{
+    hw::GpuModel gpu;
+    EXPECT_THROW(gpu.sustainedCoreClock(1.5), FatalError);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Integration tests spanning modules: the full stack from tank to
+ * control plane, Eq. 1's closed loop against the queueing simulation,
+ * the oversubscription economics pipeline, and end-to-end determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "autoscale/experiment.hh"
+#include "cluster/packing.hh"
+#include "core/bottleneck.hh"
+#include "core/controller.hh"
+#include "core/usecases.hh"
+#include "hw/cpu.hh"
+#include "power/server_power.hh"
+#include "reliability/lifetime.hh"
+#include "tco/tco.hh"
+#include "thermal/tank.hh"
+#include "util/logging.hh"
+#include "vm/hypervisor.hh"
+#include "workload/perf.hh"
+#include "workload/queueing.hh"
+
+namespace imsim {
+namespace {
+
+TEST(Integration, TankToControllerPipeline)
+{
+    // Immerse the W-3175X in small tank #1, wire up the full control
+    // plane, and request the paper's headline overclock.
+    auto tank = thermal::makeSmallTank1();
+    auto cpu = hw::CpuModel::xeonW3175x();
+    cpu.applyConfig(hw::cpuConfig("OC1"));
+
+    const auto &cooling = tank.coolingSystem();
+    // Evaluate at the activity the workload actually runs at, so the
+    // wear accrual below matches the condition the controller approved.
+    const auto breakdown = cpu.power(cooling, 0.7);
+    tank.setHeatLoad(0, breakdown.total);
+    EXPECT_TRUE(tank.condenserKeepsUp());
+
+    reliability::LifetimeModel lifetime;
+    reliability::WearTracker tracker(lifetime, 5.0);
+    reliability::ErrorRateWatchdog watchdog;
+    power::RaplCapper budget(500.0);
+    core::OverclockController controller(cpu, cooling, tracker, watchdog,
+                                         budget);
+    const auto decision = controller.request(4.1, 24.0, 0.7, 0.0);
+    EXPECT_TRUE(decision.approved) << decision.reason;
+
+    // Accrue a day of the granted stress and confirm the part remains on
+    // its design budget.
+    reliability::StressCondition cond;
+    cond.voltage = cpu.coreVoltage();
+    cond.tjMax = breakdown.tj;
+    cond.tMin = 35.0;
+    cond.freqRatio = decision.grantedRatio;
+    cond.dutyCycle = 0.7;
+    tracker.accrue(cond, 1.0 / 365.0);
+    EXPECT_GE(tracker.credit(), -1e-6);
+}
+
+TEST(Integration, Eq1PredictionMatchesQueueingSimulation)
+{
+    // The validation loop of Fig. 15, condensed: measure utilization and
+    // P/A from the cluster's counters, predict the post-change
+    // utilization with Eq. 1, apply the change, and compare.
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 2.6e-3;
+    params.kappa = 0.85;
+    workload::QueueingCluster cluster(sim, util::Rng(31), params);
+    const std::size_t id = cluster.addServer(3.4);
+    cluster.setArrivalRate(900.0);
+    sim.runUntil(200.0);
+
+    const auto before = cluster.counters(id);
+    sim.runUntil(230.0);
+    const auto after = cluster.counters(id);
+    const double p_over_a = after.scalableFraction(before);
+    const double util0 = cluster.utilization(id, 30.0);
+
+    const double predicted =
+        hw::predictedUtilization(util0, p_over_a, 3.4, 4.1);
+    cluster.setFrequency(id, 4.1);
+    sim.runUntil(500.0);
+    const double observed = cluster.utilization(id, 60.0);
+    EXPECT_NEAR(observed, predicted, 0.035);
+}
+
+TEST(Integration, BottleneckPlanMatchesHypervisorOutcome)
+{
+    // The analyzer's recommended config should outperform a mismatched
+    // one on the actual oversubscribed simulation.
+    const auto &sql = workload::app("SQL");
+    const core::BottleneckAnalyzer analyzer;
+    const auto &recommended = analyzer.configForApp(sql); // OC3.
+    const auto &mismatched = hw::cpuConfig("OC1");
+
+    auto run = [&](const hw::CpuConfig &config) {
+        vm::HypervisorSim hyper(
+            12, {config.core, config.llc, config.memory}, util::Rng(32));
+        for (int i = 0; i < 4; ++i)
+            hyper.addLatencyVm(sql, 500.0);
+        hyper.run(20.0);
+        hyper.resetStats();
+        hyper.run(60.0);
+        double total = 0.0;
+        for (const auto &res : hyper.results())
+            total += res.p95Latency;
+        return total / 4.0;
+    };
+    EXPECT_LT(run(recommended), run(mismatched));
+}
+
+TEST(Integration, PackingDensityFeedsTco)
+{
+    // Sec. VI-C pipeline: overclocking compensates 10 % oversubscription,
+    // the packer realises the density, and the TCO model prices it.
+    const auto plan =
+        core::planOversubscription(workload::app("SPECJBB"), 44, 40);
+    ASSERT_TRUE(plan.feasible);
+
+    cluster::BinPacker packer({40, 512.0}, 10, plan.oversubRatio);
+    std::vector<vm::VmSpec> vms;
+    for (int i = 0; i < 110; ++i) {
+        vm::VmSpec spec;
+        spec.vcores = 4;
+        spec.memoryGb = 16.0;
+        vms.push_back(spec);
+    }
+    EXPECT_EQ(packer.placeAll(vms), 110u);
+    EXPECT_NEAR(packer.stats().density, 1.1, 1e-9);
+
+    tco::TcoModel tco_model;
+    const double rel = tco_model.costPerVcoreRelative(
+        tco::Scenario::Overclockable2Pic, packer.stats().density - 1.0);
+    EXPECT_NEAR(rel, 0.87, 0.02);
+}
+
+TEST(Integration, FullAutoScaleRunIsDeterministic)
+{
+    autoscale::ExperimentParams params;
+    params.seed = 77;
+    params.stepDuration = 120.0;
+    const auto a =
+        autoscale::runFullExperiment(autoscale::Policy::OcA, params);
+    const auto b =
+        autoscale::runFullExperiment(autoscale::Policy::OcA, params);
+    EXPECT_DOUBLE_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.maxVms, b.maxVms);
+    EXPECT_DOUBLE_EQ(a.vmHours, b.vmHours);
+    EXPECT_EQ(a.requests, b.requests);
+}
+
+TEST(Integration, GreenBandConsistentWithTableV)
+{
+    // The controller's green band in HFE-7000 should allow the OC1
+    // clock (the paper runs it for 6 months without lifetime alarm),
+    // while plain air cooling should not.
+    auto cpu = hw::CpuModel::xeonW3175x();
+    cpu.applyConfig(hw::cpuConfig("B2"));
+    reliability::LifetimeModel lifetime;
+    reliability::WearTracker tracker(lifetime, 5.0);
+    reliability::ErrorRateWatchdog watchdog;
+    power::RaplCapper budget(500.0);
+
+    thermal::TwoPhaseImmersionCooling hfe(thermal::hfe7000());
+    core::OverclockController immersed(cpu, hfe, tracker, watchdog, budget);
+    EXPECT_GE(immersed.greenBandCeiling(), 4.0);
+
+    thermal::AirCooling air;
+    core::OverclockController aired(cpu, air, tracker, watchdog, budget);
+    EXPECT_LT(aired.greenBandCeiling(), immersed.greenBandCeiling());
+}
+
+TEST(Integration, ServerPowerFeedsTankBudget)
+{
+    // 36 blades at full load fit the large tank's condenser; overclocked
+    // (+100 W/socket) they exceed it, forcing the operator to shed load
+    // (the power-management interplay of Sec. IV).
+    auto tank = thermal::makeLargeTank();
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    const auto &cooling = tank.coolingSystem();
+
+    const auto nominal = server.compute({2.6, 0.90, 1.0}, cooling);
+    for (std::size_t i = 0; i < tank.slots(); ++i)
+        tank.setHeatLoad(i, nominal.total);
+    EXPECT_TRUE(tank.condenserKeepsUp());
+
+    const auto oc = server.compute({2.6 * 1.23, 0.98, 1.0}, cooling);
+    for (std::size_t i = 0; i < tank.slots(); ++i)
+        tank.setHeatLoad(i, oc.total);
+    EXPECT_FALSE(tank.condenserKeepsUp());
+}
+
+} // namespace
+} // namespace imsim

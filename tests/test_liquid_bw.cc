@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the cold-plate / 1PIC cooling systems and the
+ * hypervisor's shared memory-bandwidth contention channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/liquid_loops.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "vm/hypervisor.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace {
+
+// --- Cold plates -----------------------------------------------------------
+
+TEST(ColdPlate, JunctionBetweenAirAnd2Pic)
+{
+    // Table I's ordering: cold plates cool better than air but not as
+    // well as 2PIC with BEC.
+    thermal::ColdPlateCooling plate;
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling two_phase(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    const Watts p = 204.0;
+    EXPECT_LT(plate.junctionTemperature(p), air.junctionTemperature(p));
+    // A cold 30 C water loop can even undercut FC-3284's 50 C boiling
+    // point; the loop supply temperature is the dominant knob.
+    EXPECT_LT(plate.junctionTemperature(p),
+              two_phase.junctionTemperature(p));
+    thermal::ColdPlateCooling warm_loop(45.0);
+    EXPECT_GT(warm_loop.junctionTemperature(p),
+              plate.junctionTemperature(p));
+}
+
+TEST(ColdPlate, CaloricRiseGrowsWithPower)
+{
+    thermal::ColdPlateCooling plate;
+    EXPECT_GT(plate.referenceTemperature(300.0),
+              plate.referenceTemperature(100.0));
+    EXPECT_DOUBLE_EQ(plate.referenceTemperature(0.0), 30.0);
+}
+
+TEST(ColdPlate, SupportsHighTdp)
+{
+    // Table I: 2 kW per server.
+    thermal::ColdPlateCooling plate;
+    EXPECT_TRUE(plate.supports(2000.0));
+    EXPECT_FALSE(plate.supports(2100.0));
+    EXPECT_EQ(plate.tech(), thermal::CoolingTech::CpuColdPlate);
+}
+
+// --- 1PIC ---------------------------------------------------------------------
+
+TEST(SinglePhase, BulkTemperatureTracksTankLoad)
+{
+    thermal::SinglePhaseImmersionCooling one_phase(35.0, 0.14, 10000.0,
+                                                   2.0);
+    const Celsius light = one_phase.bulkTemperature();
+    one_phase.setTankLoad(20000.0);
+    EXPECT_GT(one_phase.bulkTemperature(), light);
+}
+
+TEST(SinglePhase, LoadDependentUnlike2Pic)
+{
+    // 2PIC's reference is pinned by boiling; 1PIC's rises with load —
+    // the qualitative difference Sec. II describes.
+    thermal::SinglePhaseImmersionCooling one_phase;
+    thermal::TwoPhaseImmersionCooling two_phase(thermal::fc3284());
+    const Celsius ref_2p_low = two_phase.referenceTemperature(100.0);
+    const Celsius ref_2p_high = two_phase.referenceTemperature(400.0);
+    EXPECT_DOUBLE_EQ(ref_2p_low, ref_2p_high);
+
+    one_phase.setTankLoad(5000.0);
+    const Celsius low = one_phase.referenceTemperature(100.0);
+    one_phase.setTankLoad(25000.0);
+    const Celsius high = one_phase.referenceTemperature(100.0);
+    EXPECT_GT(high, low);
+}
+
+TEST(SinglePhase, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(thermal::SinglePhaseImmersionCooling(35.0, 0.0),
+                 FatalError);
+    thermal::SinglePhaseImmersionCooling one_phase;
+    EXPECT_THROW(one_phase.setTankLoad(-1.0), FatalError);
+}
+
+// --- Hypervisor bandwidth contention ----------------------------------------------
+
+TEST(Bandwidth, CpuBoundMixNeverSaturates)
+{
+    vm::HypervisorSim sim(16, {3.4, 2.4, 2.4}, util::Rng(1));
+    for (int i = 0; i < 4; ++i)
+        sim.addBatchVm(workload::app("BI")); // Almost no memory work.
+    sim.run(30.0);
+    EXPECT_NEAR(sim.meanBandwidthFactor(), 1.0, 1e-9);
+}
+
+TEST(Bandwidth, MemoryHeavyMixSaturatesAndSlowsDown)
+{
+    // Many memory-bound VMs exceed the host's streaming bandwidth.
+    workload::AppProfile hog = workload::app("SQL");
+    hog.work = {0.05, 0.05, 0.88, 0.02};
+    hog.cores = 8;
+
+    auto run = [&](int vm_count, double &bw_factor) {
+        vm::HypervisorSim sim(28, {3.4, 2.4, 2.4}, util::Rng(2));
+        for (int i = 0; i < vm_count; ++i)
+            sim.addBatchVm(hog);
+        sim.run(60.0);
+        bw_factor = sim.meanBandwidthFactor();
+        return sim.results()[0].throughput;
+    };
+    double factor_light = 1.0;
+    double factor_heavy = 1.0;
+    const double light = run(1, factor_light);
+    const double heavy = run(3, factor_heavy);
+    EXPECT_NEAR(factor_light, 1.0, 0.01);
+    EXPECT_LT(factor_heavy, 0.95);
+    // Per-VM throughput drops under contention even though pcores are
+    // plentiful (24 busy vcores on 28 pcores).
+    EXPECT_LT(heavy, light * 0.95);
+}
+
+TEST(Bandwidth, MemoryOverclockRelievesContention)
+{
+    // OC3's faster memory raises host bandwidth and shrinks the
+    // saturation penalty — the second thing Fig. 9's SQL row buys.
+    workload::AppProfile hog = workload::app("SQL");
+    hog.work = {0.05, 0.05, 0.88, 0.02};
+    hog.cores = 8;
+
+    auto run = [&](const hw::DomainClocks &clocks) {
+        vm::HypervisorSim sim(28, clocks, util::Rng(3));
+        for (int i = 0; i < 3; ++i)
+            sim.addBatchVm(hog);
+        sim.run(60.0);
+        return sim.results()[0].throughput;
+    };
+    const double b2 = run({3.4, 2.4, 2.4});
+    const double oc3 = run({4.1, 2.8, 3.0});
+    EXPECT_GT(oc3 / b2, 1.15);
+}
+
+TEST(Bandwidth, HostBandwidthMatchesStreamModel)
+{
+    vm::HypervisorSim b2(28, {3.4, 2.4, 2.4}, util::Rng(4));
+    vm::HypervisorSim oc3(28, {4.1, 2.8, 3.0}, util::Rng(4));
+    EXPECT_GT(oc3.hostBandwidth(), b2.hostBandwidth());
+    EXPECT_GT(b2.hostBandwidth(), 80.0);
+    EXPECT_LT(b2.hostBandwidth(), 120.0);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the thermal RC network (multi-node heat path, transient
+ * bursts, condenser failure, thermal-cycling amplitudes) and the
+ * high-performance VM SKU economics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sku.hh"
+#include "reliability/lifetime.hh"
+#include "thermal/network.hh"
+#include "util/logging.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace {
+
+using thermal::ThermalNetwork;
+
+TEST(ThermalNetwork, SteadyStateMatchesSeriesResistance)
+{
+    // Single node to ambient: T = Tamb + R * P.
+    ThermalNetwork net;
+    const auto node = net.addNode("part", 50.0, 25.0);
+    const auto ambient = net.addAmbient("ambient", 25.0);
+    net.couple(node, ambient, 0.1);
+    net.inject(node, 200.0);
+    net.settle();
+    EXPECT_NEAR(net.temperature(node), 25.0 + 0.1 * 200.0, 1e-6);
+}
+
+TEST(ThermalNetwork, ChainSumsResistances)
+{
+    ThermalNetwork net;
+    const auto a = net.addNode("a", 10.0, 20.0);
+    const auto b = net.addNode("b", 10.0, 20.0);
+    const auto ambient = net.addAmbient("amb", 20.0);
+    net.couple(a, b, 0.05);
+    net.couple(b, ambient, 0.15);
+    net.inject(a, 100.0);
+    net.settle();
+    EXPECT_NEAR(net.temperature(a), 20.0 + 0.20 * 100.0, 1e-6);
+    EXPECT_NEAR(net.temperature(b), 20.0 + 0.15 * 100.0, 1e-6);
+}
+
+TEST(ThermalNetwork, StepConvergesToSettle)
+{
+    ThermalNetwork net;
+    const auto node = net.addNode("part", 100.0, 20.0);
+    const auto ambient = net.addAmbient("amb", 20.0);
+    net.couple(node, ambient, 0.1);
+    net.inject(node, 150.0);
+    for (int i = 0; i < 600; ++i)
+        net.step(1.0); // 10 minutes, tau = 10 s.
+    EXPECT_NEAR(net.temperature(node), 35.0, 0.01);
+}
+
+TEST(ThermalNetwork, ImmersedCpuSteadyStateMatchesTableIii)
+{
+    // The canned network's die temperature at 204 W should land near
+    // the simple junction model's Table III values.
+    auto rig = thermal::makeImmersedCpuNetwork(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    rig.network.inject(rig.die, 204.0);
+    rig.network.settle();
+    // Fluid warms slightly above its boiling point against the
+    // condenser; die sits ~Rth * P above it.
+    EXPECT_NEAR(rig.network.temperature(rig.die), 67.0, 3.0);
+    EXPECT_GT(rig.network.temperature(rig.spreader),
+              rig.network.temperature(rig.fluid));
+}
+
+TEST(ThermalNetwork, FluidInertiaDampsBursts)
+{
+    // A 60-second full-power burst barely moves the tank fluid but
+    // swings the die — the narrow-cycling story of Table V.
+    auto rig = thermal::makeImmersedCpuNetwork(thermal::hfe7000());
+    rig.network.inject(rig.die, 60.0); // Idle-ish.
+    rig.network.settle();
+    rig.network.resetExtremes();
+    const Celsius fluid_before = rig.network.temperature(rig.fluid);
+
+    rig.network.inject(rig.die, 305.0); // Overclocked burst.
+    rig.network.step(60.0);
+    const Celsius die_swing = rig.network.maxSeen(rig.die) -
+                              rig.network.minSeen(rig.die);
+    const Celsius fluid_swing =
+        rig.network.temperature(rig.fluid) - fluid_before;
+    EXPECT_GT(die_swing, 5.0);
+    EXPECT_LT(fluid_swing, 1.0);
+}
+
+TEST(ThermalNetwork, CondenserFailureHeatsFluidSlowly)
+{
+    // Without the condenser, 700 W into 100 kg of fluid heats it about
+    // 0.38 C/min — the operator has minutes, not milliseconds.
+    ThermalNetwork net;
+    const auto fluid = net.addNode("fluid", 100.0 * 1100.0, 50.0);
+    net.inject(fluid, 700.0);
+    net.step(600.0);
+    EXPECT_NEAR(net.temperature(fluid),
+                50.0 + 700.0 * 600.0 / (100.0 * 1100.0), 0.01);
+}
+
+TEST(ThermalNetwork, CyclingAmplitudeFeedsLifetimeModel)
+{
+    // Duty-cycled load on the immersed die: the observed min/max feed a
+    // StressCondition whose lifetime lands in the immersion band.
+    auto rig = thermal::makeImmersedCpuNetwork(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    rig.network.inject(rig.die, 205.0);
+    rig.network.settle();
+    rig.network.resetExtremes();
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        rig.network.inject(rig.die, 205.0);
+        rig.network.step(30.0);
+        rig.network.inject(rig.die, 30.0);
+        rig.network.step(30.0);
+    }
+    reliability::StressCondition cond;
+    cond.voltage = 0.90;
+    cond.tjMax = rig.network.maxSeen(rig.die);
+    cond.tMin = rig.network.minSeen(rig.die);
+    cond.freqRatio = 1.0;
+    const reliability::LifetimeModel model;
+    EXPECT_GT(model.lifetime(cond), 8.0); // Immersion band.
+    EXPECT_LT(cond.swing(), 30.0);        // Narrow cycles.
+}
+
+TEST(ThermalNetwork, InvalidUsageIsFatal)
+{
+    ThermalNetwork net;
+    const auto a = net.addNode("a", 10.0, 20.0);
+    EXPECT_THROW(net.addNode("bad", 0.0, 20.0), FatalError);
+    EXPECT_THROW(net.couple(a, a, 0.1), FatalError);
+    EXPECT_THROW(net.couple(a, 99, 0.1), FatalError);
+    EXPECT_THROW(net.inject(a, -5.0), FatalError);
+    EXPECT_THROW(net.temperature(99), FatalError);
+    EXPECT_THROW(net.step(-1.0), FatalError);
+}
+
+// --- SKU economics ---------------------------------------------------------------
+
+TEST(Sku, CoreBoundSkuIsSellable)
+{
+    // BI-class VMs: ~17 % speedup from OC1 at ~90 W extra server power.
+    const auto econ = core::priceHighPerfSku(
+        workload::app("BI"), 4, 90.0, /*wear_per_hour=*/2.4e-6);
+    EXPECT_EQ(econ.configName, "OC1");
+    EXPECT_GT(econ.speedup, 1.10);
+    EXPECT_GT(econ.breakEvenPremium, 0.0);
+    EXPECT_LT(econ.breakEvenPremium, econ.valuePremium);
+    EXPECT_TRUE(econ.sellable);
+}
+
+TEST(Sku, WearDominatedSkuCanBeUnsellable)
+{
+    // Air-cooled-style wear (burning a 5-year part in <1 year) makes the
+    // premium uneconomical.
+    const double harsh_wear = 1.0 / (0.8 * units::kHoursPerYear);
+    const auto econ = core::priceHighPerfSku(workload::app("BI"), 4,
+                                             90.0, harsh_wear);
+    EXPECT_FALSE(econ.sellable);
+    EXPECT_GT(econ.wearCostPerVmHour, econ.extraEnergyCostPerVmHour);
+}
+
+TEST(Sku, EnergyCostScalesWithPower)
+{
+    const auto low = core::priceHighPerfSku(workload::app("SPECJBB"), 4,
+                                            50.0, 2.4e-6);
+    const auto high = core::priceHighPerfSku(workload::app("SPECJBB"), 4,
+                                             200.0, 2.4e-6);
+    EXPECT_NEAR(high.extraEnergyCostPerVmHour,
+                4.0 * low.extraEnergyCostPerVmHour, 1e-12);
+}
+
+TEST(Sku, InvalidInputsAreFatal)
+{
+    EXPECT_THROW(
+        core::priceHighPerfSku(workload::app("BI"), 0, 90.0, 1e-6),
+        FatalError);
+    EXPECT_THROW(
+        core::priceHighPerfSku(workload::app("BI"), 4, -1.0, 1e-6),
+        FatalError);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the power substrate: V-f curve anchors, the coupled
+ * socket power/temperature solve (Sec. IV's 205 W -> ~300 W overclock
+ * point and the ~11 W leakage saving), whole-server budget (Sec. III's
+ * 700 W blade), facility PUE accounting (the 182 W savings breakdown),
+ * and power capping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/capping.hh"
+#include "power/facility.hh"
+#include "power/server_power.hh"
+#include "power/socket_power.hh"
+#include "power/vf_curve.hh"
+#include "thermal/cooling.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using power::OperatingPoint;
+using power::SocketPowerModel;
+using power::VfCurve;
+
+TEST(VfCurve, PaperAnchors)
+{
+    const VfCurve curve = VfCurve::xeonW3175x();
+    EXPECT_DOUBLE_EQ(curve.voltageFor(3.4), 0.90);
+    // +23 % frequency requires 0.98 V (Sec. IV "Lifetime").
+    EXPECT_NEAR(curve.voltageFor(3.4 * 1.23), 0.98, 1e-9);
+    EXPECT_NEAR(curve.frequencyFor(0.98), 3.4 * 1.23, 1e-9);
+}
+
+TEST(VfCurve, FloorAtLowFrequency)
+{
+    const VfCurve curve = VfCurve::xeonW3175x();
+    EXPECT_DOUBLE_EQ(curve.voltageFor(0.8), 0.70);
+}
+
+TEST(VfCurve, MarginIsSignedDistanceFromCurve)
+{
+    const VfCurve curve = VfCurve::xeonW3175x();
+    EXPECT_NEAR(curve.margin(3.4, 0.95), 0.05, 1e-12);
+    EXPECT_LT(curve.margin(4.5, 0.90), 0.0);
+}
+
+TEST(VfCurve, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(VfCurve(0.0, 0.9, 0.1), FatalError);
+    EXPECT_THROW(VfCurve(3.4, 0.9, -0.1), FatalError);
+    const VfCurve curve = VfCurve::xeonW3175x();
+    EXPECT_THROW(curve.voltageFor(0.0), FatalError);
+}
+
+TEST(SocketPower, NominalPointMatchesTdp)
+{
+    // Table III: the server Skylake sustains its all-core turbo at
+    // ~204.4 W in air.
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    thermal::AirCooling air;
+    const auto sol = socket.solve({3.1, 0.90, 1.0}, air);
+    EXPECT_TRUE(sol.converged);
+    EXPECT_NEAR(sol.total, 204.4, 2.5);
+    EXPECT_NEAR(sol.tj, 92.0, 1.0);
+}
+
+TEST(SocketPower, OverclockPointAddsRoughly100W)
+{
+    // Sec. IV: 0.90 V -> 0.98 V and +23 % frequency lifts the package
+    // from ~205 W toward ~305 W (the paper assumes +100 W; the V^3*f
+    // model lands within ~10 %).
+    const auto socket = SocketPowerModel::skylakeServer(2.6);
+    thermal::TwoPhaseImmersionCooling fc(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::DirectIhs});
+    const auto nominal = socket.solve({2.6, 0.90, 1.0}, fc);
+    const auto oc = socket.solve({2.6 * 1.23, 0.98, 1.0}, fc);
+    EXPECT_NEAR(oc.total - nominal.total, 100.0, 12.0);
+    EXPECT_GT(oc.tj, nominal.tj);
+}
+
+TEST(SocketPower, LeakageSavingPerSocket)
+{
+    // Table III discussion: cooling the junction 17-22 C saves ~11 W of
+    // static power per socket.
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    const Watts saving =
+        socket.leakagePower(92.0) - socket.leakagePower(73.0);
+    EXPECT_NEAR(saving, 11.0, 1.5);
+}
+
+TEST(SocketPower, ImmersionReducesTotalAtSameOperatingPoint)
+{
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling fc(thermal::fc3284());
+    const OperatingPoint op{3.1, 0.90, 1.0};
+    EXPECT_LT(socket.solve(op, fc).total, socket.solve(op, air).total);
+}
+
+TEST(SocketPower, ActivityScalesDynamicOnly)
+{
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    const OperatingPoint busy{3.1, 0.90, 1.0};
+    const OperatingPoint half{3.1, 0.90, 0.5};
+    EXPECT_NEAR(socket.dynamicPower(half), socket.dynamicPower(busy) * 0.5,
+                1e-9);
+    thermal::AirCooling air;
+    // Leakage persists at idle.
+    const auto idle = socket.solve({3.1, 0.90, 0.0}, air);
+    EXPECT_GT(idle.total, 30.0);
+}
+
+TEST(SocketPower, MaxFrequencyReproducesTableIiiTurbo)
+{
+    thermal::AirCooling air8168;
+    thermal::TwoPhaseImmersionCooling fc_plate(
+        thermal::fc3284(),
+        {thermal::BoilingInterface::Coating::CopperPlate});
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    const GHz f_air = socket.maxFrequencyAtPowerLimit(205.0, air8168);
+    const GHz f_2pic = socket.maxFrequencyAtPowerLimit(205.0, fc_plate);
+    // The 2PIC leakage saving buys about one 100 MHz bin.
+    EXPECT_GT(f_2pic, f_air);
+    EXPECT_NEAR(f_2pic - f_air, 0.1, 0.08);
+}
+
+TEST(SocketPower, MaxFrequencyMonotonicInLimit)
+{
+    thermal::AirCooling air;
+    const auto socket = SocketPowerModel::skylakeServer(3.1);
+    GHz prev = 0.0;
+    for (Watts limit = 100.0; limit <= 400.0; limit += 50.0) {
+        const GHz f = socket.maxFrequencyAtPowerLimit(limit, air);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(ServerPower, OpenComputeBladeBudgetIs700WInAir)
+{
+    // Sec. III: 410 W CPUs + 120 W memory + 26 W motherboard + 30 W FPGA
+    // + 72 W storage + 42 W fans = 700 W.
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    thermal::AirCooling air(thermal::CoolingTech::DirectEvaporative, 35.0,
+                            0.21);
+    const auto breakdown = server.compute({2.6, 0.90, 1.0}, air);
+    EXPECT_NEAR(breakdown.sockets, 410.0, 10.0);
+    EXPECT_DOUBLE_EQ(breakdown.memory, 120.0);
+    EXPECT_DOUBLE_EQ(breakdown.fans, 42.0);
+    EXPECT_DOUBLE_EQ(breakdown.other, 26.0 + 30.0 + 72.0);
+    EXPECT_NEAR(breakdown.total, 700.0, 12.0);
+}
+
+TEST(ServerPower, ImmersionRemovesFans)
+{
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    thermal::TwoPhaseImmersionCooling fc(thermal::fc3284());
+    const auto breakdown = server.compute({2.6, 0.90, 1.0}, fc);
+    EXPECT_DOUBLE_EQ(breakdown.fans, 0.0);
+}
+
+TEST(ServerPower, MemoryPowerScalesWithClock)
+{
+    auto server = power::ServerPowerModel::openComputeBlade(2.6);
+    thermal::TwoPhaseImmersionCooling fc(thermal::fc3284());
+    const auto base = server.compute({2.6, 0.90, 1.0}, fc, 2.4);
+    const auto oc = server.compute({2.6, 0.90, 1.0}, fc, 3.0);
+    EXPECT_NEAR(oc.memory / base.memory, 3.0 / 2.4, 1e-9);
+}
+
+TEST(Facility, PueMultipliesItPower)
+{
+    power::Facility evaporative(thermal::CoolingTech::DirectEvaporative);
+    EXPECT_DOUBLE_EQ(evaporative.facilityPowerPeak(700.0), 840.0);
+    EXPECT_NEAR(evaporative.overheadPeak(700.0), 140.0, 1e-9);
+    power::Facility two_phase(thermal::CoolingTech::Immersion2P);
+    EXPECT_DOUBLE_EQ(two_phase.facilityPowerPeak(700.0), 721.0);
+}
+
+TEST(Facility, PaperSavingsDecomposition)
+{
+    // Sec. IV: 2 x 11 W static + 42 W fans + ~118 W PUE = ~182 W.
+    const auto savings = power::immersionSavings(700.0, 42.0, 11.0, 2);
+    EXPECT_DOUBLE_EQ(savings.staticTotal, 22.0);
+    EXPECT_DOUBLE_EQ(savings.fans, 42.0);
+    EXPECT_NEAR(savings.pueOverhead, 118.0, 2.0);
+    EXPECT_NEAR(savings.total, 182.0, 3.0);
+}
+
+TEST(RaplCapper, PassesWhenUnderLimit)
+{
+    power::RaplCapper capper(200.0);
+    const auto power_at = [](GHz f) { return 50.0 * f; };
+    EXPECT_DOUBLE_EQ(capper.clamp(3.0, power_at), 3.0);
+}
+
+TEST(RaplCapper, ClampsToLimit)
+{
+    power::RaplCapper capper(200.0);
+    const auto power_at = [](GHz f) { return 50.0 * f; };
+    EXPECT_NEAR(capper.clamp(6.0, power_at), 4.0, 0.01);
+}
+
+TEST(RaplCapper, FloorsAtMinimumFrequency)
+{
+    power::RaplCapper capper(10.0, 1.0);
+    const auto power_at = [](GHz f) { return 50.0 * f; };
+    EXPECT_DOUBLE_EQ(capper.clamp(6.0, power_at), 1.0);
+}
+
+TEST(RaplCapper, LimitCanBeRaisedForOverclocking)
+{
+    power::RaplCapper capper(205.0);
+    capper.setPowerLimit(305.0);
+    EXPECT_DOUBLE_EQ(capper.powerLimit(), 305.0);
+    EXPECT_THROW(capper.setPowerLimit(0.0), FatalError);
+}
+
+TEST(PowerBudget, NoCappingUnderCapacity)
+{
+    power::PowerBudget budget(1000.0, 1.2);
+    std::vector<power::PowerConsumer> consumers{
+        {"a", 400.0, 100.0, 1}, {"b", 500.0, 100.0, 2}};
+    EXPECT_FALSE(budget.breached(consumers));
+    const auto alloc = budget.allocate(consumers);
+    EXPECT_DOUBLE_EQ(alloc[0].granted, 400.0);
+    EXPECT_DOUBLE_EQ(alloc[1].granted, 500.0);
+    EXPECT_FALSE(alloc[0].capped);
+}
+
+TEST(PowerBudget, LowPriorityCappedFirst)
+{
+    power::PowerBudget budget(1000.0, 1.5);
+    std::vector<power::PowerConsumer> consumers{
+        {"batch", 600.0, 200.0, 1}, {"latency", 600.0, 200.0, 2}};
+    EXPECT_TRUE(budget.breached(consumers));
+    const auto alloc = budget.allocate(consumers);
+    // Latency keeps its demand; batch absorbs the whole cut.
+    EXPECT_DOUBLE_EQ(alloc[1].granted, 600.0);
+    EXPECT_FALSE(alloc[1].capped);
+    EXPECT_NEAR(alloc[0].granted, 400.0, 1e-9);
+    EXPECT_TRUE(alloc[0].capped);
+}
+
+TEST(PowerBudget, MarginalClassScaledUniformly)
+{
+    power::PowerBudget budget(900.0);
+    std::vector<power::PowerConsumer> consumers{
+        {"a", 400.0, 100.0, 1},
+        {"b", 400.0, 100.0, 1},
+        {"crit", 300.0, 100.0, 2}};
+    const auto alloc = budget.allocate(consumers);
+    EXPECT_DOUBLE_EQ(alloc[2].granted, 300.0);
+    // 600 W left for a+b whose demands total 800 W above 200 W minimums.
+    EXPECT_NEAR(alloc[0].granted, 300.0, 1e-6);
+    EXPECT_NEAR(alloc[0].granted, alloc[1].granted, 1e-9);
+}
+
+TEST(PowerBudget, BrownoutIsFatal)
+{
+    power::PowerBudget budget(100.0);
+    std::vector<power::PowerConsumer> consumers{{"a", 300.0, 200.0, 1}};
+    EXPECT_THROW(budget.allocate(consumers), FatalError);
+}
+
+TEST(PowerBudget, AllocationsNeverExceedCapacity)
+{
+    power::PowerBudget budget(1000.0, 1.4);
+    std::vector<power::PowerConsumer> consumers{
+        {"a", 500.0, 50.0, 1}, {"b", 500.0, 50.0, 2},
+        {"c", 400.0, 50.0, 3}};
+    const auto alloc = budget.allocate(consumers);
+    double total = 0.0;
+    for (const auto &grant : alloc)
+        total += grant.granted;
+    EXPECT_LE(total, 1000.0 + 1e-6);
+}
+
+TEST(PowerBudget, OversubscriptionRatioValidation)
+{
+    EXPECT_THROW(power::PowerBudget(1000.0, 0.9), FatalError);
+    power::PowerBudget budget(1000.0, 1.25);
+    EXPECT_DOUBLE_EQ(budget.provisionable(), 1250.0);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Property-based (parameterised) test sweeps over the model invariants:
+ * lifetime monotonicity across the stress grid, power monotonicity along
+ * the V-f curve, Eq. 1 algebraic identities, queueing conservation laws,
+ * and packing feasibility over random instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/packing.hh"
+#include "hw/counters.hh"
+#include "hw/cpu.hh"
+#include "power/socket_power.hh"
+#include "reliability/lifetime.hh"
+#include "sim/simulation.hh"
+#include "thermal/cooling.hh"
+#include "util/random.hh"
+#include "workload/perf.hh"
+#include "workload/queueing.hh"
+#include "workload/stream.hh"
+
+namespace imsim {
+namespace {
+
+// --- Lifetime monotonicity over the stress grid -------------------------------
+
+class LifetimeGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(LifetimeGrid, HotterIsNeverLonger)
+{
+    const auto [voltage, swing] = GetParam();
+    reliability::LifetimeModel model;
+    Years prev = 1e18;
+    for (Celsius tj = 50.0; tj <= 105.0; tj += 5.0) {
+        reliability::StressCondition cond;
+        cond.voltage = voltage;
+        cond.tjMax = tj;
+        cond.tMin = tj - swing;
+        cond.freqRatio = 1.0;
+        const Years life = model.lifetime(cond);
+        EXPECT_LE(life, prev + 1e-12)
+            << "V=" << voltage << " swing=" << swing << " Tj=" << tj;
+        prev = life;
+    }
+}
+
+TEST_P(LifetimeGrid, HigherVoltageIsNeverLonger)
+{
+    const auto [voltage, swing] = GetParam();
+    reliability::LifetimeModel model;
+    reliability::StressCondition lo;
+    lo.voltage = voltage;
+    lo.tjMax = 80.0;
+    lo.tMin = 80.0 - swing;
+    reliability::StressCondition hi = lo;
+    hi.voltage = voltage + 0.04;
+    EXPECT_GE(model.lifetime(lo), model.lifetime(hi));
+}
+
+TEST_P(LifetimeGrid, WearScalesLinearlyInTime)
+{
+    const auto [voltage, swing] = GetParam();
+    reliability::LifetimeModel model;
+    reliability::StressCondition cond;
+    cond.voltage = voltage;
+    cond.tjMax = 85.0;
+    cond.tMin = 85.0 - swing;
+    const double one = model.wearFraction(cond, 1.0);
+    const double three = model.wearFraction(cond, 3.0);
+    EXPECT_NEAR(three, 3.0 * one, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StressSweep, LifetimeGrid,
+    ::testing::Combine(::testing::Values(0.90, 0.94, 0.98, 1.02),
+                       ::testing::Values(10.0, 30.0, 50.0)));
+
+// --- Power monotonicity along the V-f curve ------------------------------------
+
+class PowerCurve : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PowerCurve, PackagePowerMonotonicInFrequency)
+{
+    const double activity = GetParam();
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    thermal::TwoPhaseImmersionCooling fc(thermal::fc3284());
+    Watts prev = 0.0;
+    for (GHz f = 1.0; f <= 3.4; f += 0.2) {
+        const power::OperatingPoint op{f, socket.curve().voltageFor(f),
+                                       activity};
+        const Watts total = socket.solve(op, fc).total;
+        EXPECT_GT(total, prev);
+        prev = total;
+    }
+}
+
+TEST_P(PowerCurve, JunctionTracksPower)
+{
+    const double activity = GetParam();
+    const auto socket = power::SocketPowerModel::skylakeServer(2.6);
+    thermal::AirCooling air;
+    Celsius prev = 0.0;
+    for (GHz f = 1.0; f <= 3.4; f += 0.4) {
+        const power::OperatingPoint op{f, socket.curve().voltageFor(f),
+                                       activity};
+        const Celsius tj = socket.solve(op, air).tj;
+        EXPECT_GT(tj, prev);
+        prev = tj;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ActivitySweep, PowerCurve,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+// --- Eq. 1 identities -------------------------------------------------------------
+
+class Eq1Identities
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(Eq1Identities, NoFrequencyChangeIsIdentity)
+{
+    const auto [util, kappa] = GetParam();
+    EXPECT_NEAR(hw::predictedUtilization(util, kappa, 3.7, 3.7), util,
+                1e-12);
+}
+
+TEST_P(Eq1Identities, RoundTripIsStable)
+{
+    // Predict up then back down: returns the original utilization.
+    const auto [util, kappa] = GetParam();
+    const double up = hw::predictedUtilization(util, kappa, 3.4, 4.1);
+    // The scalable fraction measured at the higher frequency changes:
+    // the scalable cycles shrank by f0/f1 while stalls stayed.
+    const double scal = kappa * 3.4 / 4.1;
+    const double kappa_up = scal / (scal + (1.0 - kappa));
+    const double back = hw::predictedUtilization(up, kappa_up, 4.1, 3.4);
+    EXPECT_NEAR(back, util, 1e-12);
+}
+
+TEST_P(Eq1Identities, HigherFrequencyNeverRaisesUtilization)
+{
+    const auto [util, kappa] = GetParam();
+    EXPECT_LE(hw::predictedUtilization(util, kappa, 3.4, 4.1),
+              util + 1e-12);
+}
+
+TEST_P(Eq1Identities, MatchesServiceTimeDual)
+{
+    // Eq. 1's utilization factor equals the service-time scale factor.
+    const auto [util, kappa] = GetParam();
+    const double factor =
+        hw::predictedUtilization(util, kappa, 3.4, 4.1) /
+        (util > 0.0 ? util : 1.0);
+    if (util > 0.0) {
+        EXPECT_NEAR(factor, workload::serviceTimeScale(kappa, 3.4, 4.1),
+                    1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UtilKappaSweep, Eq1Identities,
+    ::testing::Combine(::testing::Values(0.0, 0.2, 0.45, 0.7, 0.95),
+                       ::testing::Values(0.0, 0.3, 0.6, 0.9, 1.0)));
+
+// --- Performance model invariants ---------------------------------------------------
+
+class PerfInvariants : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(PerfInvariants, FasterClocksNeverHurt)
+{
+    const auto &app = workload::app(GetParam());
+    const hw::DomainClocks ref = workload::referenceClocks();
+    for (double step : {0.1, 0.4, 0.7}) {
+        hw::DomainClocks faster{ref.core + step, ref.llc + step,
+                                ref.memory + step};
+        EXPECT_LE(workload::relativeTime(app.work, faster), 1.0 + 1e-12);
+    }
+}
+
+TEST_P(PerfInvariants, IoFloorBoundsSpeedup)
+{
+    // No clock setting can squeeze out the IO fraction.
+    const auto &app = workload::app(GetParam());
+    const hw::DomainClocks extreme{8.0, 8.0, 8.0};
+    EXPECT_GE(workload::relativeTime(app.work, extreme),
+              app.work.io - 1e-12);
+}
+
+TEST_P(PerfInvariants, SpeedupIsReciprocalOfTime)
+{
+    const auto &app = workload::app(GetParam());
+    const hw::DomainClocks clocks{4.1, 2.8, 3.0};
+    EXPECT_NEAR(workload::speedup(app.work, clocks) *
+                    workload::relativeTime(app.work, clocks),
+                1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AppSweep, PerfInvariants,
+                         ::testing::Values("SQL", "Training", "Key-Value",
+                                           "BI", "Client-Server",
+                                           "Pmbench", "DiskSpeed",
+                                           "SPECJBB", "TeraSort"));
+
+// --- STREAM invariants ----------------------------------------------------------------
+
+class StreamInvariants
+    : public ::testing::TestWithParam<workload::StreamKernel>
+{
+};
+
+TEST_P(StreamInvariants, BandwidthMonotonicInEachDomain)
+{
+    workload::StreamModel model;
+    const hw::DomainClocks base{3.1, 2.4, 2.4};
+    const GBps reference = model.bandwidth(GetParam(), base);
+    EXPECT_GT(model.bandwidth(GetParam(), {3.5, 2.4, 2.4}), reference);
+    EXPECT_GT(model.bandwidth(GetParam(), {3.1, 2.8, 2.4}), reference);
+    EXPECT_GT(model.bandwidth(GetParam(), {3.1, 2.4, 3.0}), reference);
+}
+
+TEST_P(StreamInvariants, RelativeIsOneAtB1)
+{
+    workload::StreamModel model;
+    EXPECT_NEAR(model.relativeToB1(GetParam(), {3.1, 2.4, 2.4}), 1.0,
+                1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelSweep, StreamInvariants,
+                         ::testing::Values(workload::StreamKernel::Copy,
+                                           workload::StreamKernel::Scale,
+                                           workload::StreamKernel::Add,
+                                           workload::StreamKernel::Triad));
+
+// --- Queueing conservation over seeds ---------------------------------------------------
+
+class QueueingSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(QueueingSeeds, CompletionsPlusBacklogMatchArrivals)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 2.6e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(GetParam()), params);
+    cluster.addServer(3.4);
+    cluster.addServer(3.4);
+    cluster.setArrivalRate(1500.0);
+    sim.runUntil(60.0);
+    cluster.setArrivalRate(0.0);
+    sim.runUntil(180.0); // Drain.
+    EXPECT_EQ(cluster.queueDepth(), 0u);
+    // All latency samples are non-negative and finite.
+    EXPECT_GE(cluster.latencies().percentile(0.0), 0.0);
+    EXPECT_LT(cluster.latencies().percentile(100.0), 60.0);
+    EXPECT_GT(cluster.completed(), 60000u);
+}
+
+TEST_P(QueueingSeeds, UtilizationWithinPhysicalBounds)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 2.6e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(GetParam()), params);
+    cluster.addServer(3.4);
+    cluster.setArrivalRate(5000.0); // Saturating.
+    sim.runUntil(60.0);
+    const double util = cluster.fleetUtilization(30.0);
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, QueueingSeeds,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// --- Packing feasibility over random instances ---------------------------------------------
+
+class PackingSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PackingSeeds, NoHostEverExceedsItsCapacity)
+{
+    util::Rng rng(GetParam());
+    const double oversub = 1.0 + 0.05 * static_cast<double>(
+                                           rng.uniformInt(0, 4));
+    cluster::BinPacker packer({40, 256.0}, 20, oversub);
+    for (int i = 0; i < 300; ++i) {
+        vm::VmSpec spec;
+        spec.vcores = static_cast<int>(rng.uniformInt(1, 16));
+        spec.memoryGb = static_cast<double>(rng.uniformInt(2, 64));
+        packer.place(spec);
+    }
+    for (const auto &host : packer.hosts()) {
+        EXPECT_LE(host.vcoresUsed,
+                  static_cast<double>(host.spec.pcores) * oversub + 1e-9);
+        EXPECT_LE(host.memoryUsedGb, host.spec.memoryGb + 1e-9);
+        int vcores = 0;
+        for (const auto &vm_spec : host.vms)
+            vcores += vm_spec.vcores;
+        EXPECT_EQ(vcores, host.vcoresUsed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, PackingSeeds,
+                         ::testing::Values(3u, 17u, 2026u));
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the reliability substrate: the composite lifetime model
+ * pinned to the six Table V anchors, monotonicity of the mechanisms
+ * (Table IV dependencies), wear/credit accounting, and the stability
+ * model calibrated to the paper's 6-month error campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/lifetime.hh"
+#include "reliability/mechanisms.hh"
+#include "reliability/stability.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace imsim {
+namespace {
+
+using reliability::LifetimeModel;
+using reliability::StressCondition;
+
+const LifetimeModel &
+model()
+{
+    static const LifetimeModel m;
+    return m;
+}
+
+StressCondition
+scenario(const char *cooling, bool oc)
+{
+    std::size_t count = 0;
+    const auto *scenarios = reliability::tableVScenarios(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (std::string(scenarios[i].cooling) == cooling &&
+            scenarios[i].overclocked == oc)
+            return scenarios[i].condition;
+    }
+    util::fatal("unknown Table V scenario");
+}
+
+// --- Table V anchors -----------------------------------------------------
+
+TEST(TableV, AirNominalIsFiveYears)
+{
+    EXPECT_NEAR(model().lifetime(scenario("Air cooling", false)), 5.0, 0.3);
+}
+
+TEST(TableV, AirOverclockedUnderOneYear)
+{
+    EXPECT_LT(model().lifetime(scenario("Air cooling", true)), 1.0);
+}
+
+TEST(TableV, Fc3284NominalExceedsTenYears)
+{
+    EXPECT_GT(model().lifetime(scenario("FC-3284", false)), 10.0);
+}
+
+TEST(TableV, Fc3284OverclockedAboutFourYears)
+{
+    EXPECT_NEAR(model().lifetime(scenario("FC-3284", true)), 4.0, 0.5);
+}
+
+TEST(TableV, Hfe7000NominalExceedsTenYears)
+{
+    EXPECT_GT(model().lifetime(scenario("HFE-7000", false)), 10.0);
+}
+
+TEST(TableV, Hfe7000OverclockedMatchesAirBaseline)
+{
+    // The paper's headline: overclocking in HFE-7000 keeps the air-cooled
+    // baseline's 5-year lifetime.
+    const Years air = model().lifetime(scenario("Air cooling", false));
+    const Years hfe_oc = model().lifetime(scenario("HFE-7000", true));
+    EXPECT_NEAR(hfe_oc, air, 0.5);
+}
+
+TEST(TableV, ScenarioTableHasSixRows)
+{
+    std::size_t count = 0;
+    reliability::tableVScenarios(count);
+    EXPECT_EQ(count, 6u);
+}
+
+// --- Mechanism behaviour (Table IV dependencies) -------------------------
+
+TEST(Mechanisms, GateOxideAcceleratesWithVoltage)
+{
+    EXPECT_GT(reliability::gateOxideRate(0.98, 85.0),
+              reliability::gateOxideRate(0.90, 85.0));
+}
+
+TEST(Mechanisms, GateOxideAcceleratesWithTemperature)
+{
+    EXPECT_GT(reliability::gateOxideRate(0.90, 101.0),
+              reliability::gateOxideRate(0.90, 85.0));
+}
+
+TEST(Mechanisms, GateOxideSuperArrheniusAtHighTemperature)
+{
+    // The per-degree acceleration grows with temperature (the paper's
+    // non-Arrhenius reference [19]).
+    const double low = reliability::gateOxideRate(0.90, 70.0) /
+                       reliability::gateOxideRate(0.90, 60.0);
+    const double high = reliability::gateOxideRate(0.90, 100.0) /
+                        reliability::gateOxideRate(0.90, 90.0);
+    EXPECT_GT(high, low);
+}
+
+TEST(Mechanisms, GateOxideClampsBelowVertex)
+{
+    // Below the quadratic's vertex the rate stops improving: colder
+    // silicon no longer slows voltage-driven breakdown.
+    EXPECT_NEAR(reliability::gateOxideRate(0.90, 30.0),
+                reliability::gateOxideRate(0.90, 40.0), 1e-12);
+}
+
+TEST(Mechanisms, ElectromigrationFollowsBlacksLaw)
+{
+    // Quadratic in current density.
+    const double j1 = reliability::electromigrationRate(0.90, 85.0, 1.0);
+    const double j2 = reliability::electromigrationRate(0.90, 85.0, 2.0);
+    EXPECT_NEAR(j2 / j1, 4.0, 1e-9);
+    // Arrhenius in temperature.
+    EXPECT_GT(reliability::electromigrationRate(0.90, 100.0, 1.0), j1);
+}
+
+TEST(Mechanisms, ThermalCyclingDependsOnSwingOnly)
+{
+    const double small = reliability::thermalCyclingRate(15.0);
+    const double large = reliability::thermalCyclingRate(65.0);
+    EXPECT_GT(large, small);
+    EXPECT_DOUBLE_EQ(reliability::thermalCyclingRate(0.0), 0.0);
+    EXPECT_THROW(reliability::thermalCyclingRate(-1.0), FatalError);
+}
+
+TEST(Mechanisms, ImmersionNarrowSwingSuppressesCycling)
+{
+    // Air cycles 20-85 C; FC-3284 cycles 50-66 C. The Coffin-Manson term
+    // must be an order of magnitude smaller in immersion.
+    const double air = reliability::thermalCyclingRate(65.0);
+    const double immersion = reliability::thermalCyclingRate(16.0);
+    EXPECT_GT(air / immersion, 10.0);
+}
+
+TEST(LifetimeModel, BreakdownSumsToTotal)
+{
+    const auto rates = model().failureRate(scenario("Air cooling", false));
+    EXPECT_NEAR(rates.total,
+                rates.gateOxide + rates.electromigration +
+                    rates.thermalCycling,
+                1e-12);
+}
+
+TEST(LifetimeModel, LifetimeMonotonicInVoltage)
+{
+    StressCondition cond = scenario("FC-3284", false);
+    Years prev = 1e9;
+    for (Volts v = 0.90; v <= 1.05; v += 0.02) {
+        cond.voltage = v;
+        const Years life = model().lifetime(cond);
+        EXPECT_LT(life, prev);
+        prev = life;
+    }
+}
+
+TEST(LifetimeModel, InvalidConditionIsFatal)
+{
+    StressCondition cond;
+    cond.tMin = 90.0;
+    cond.tjMax = 80.0;
+    EXPECT_THROW(model().failureRate(cond), FatalError);
+}
+
+// --- Green-band sizing ----------------------------------------------------
+
+TEST(GreenBand, Hfe7000SustainsRoughly23Percent)
+{
+    // Fig. 5(b): in HFE-7000 the green band reaches ~23 % above nominal
+    // while preserving the 5-year design life (Tj anchors from Table V).
+    const double ratio = model().maxFrequencyRatioForLifetime(
+        51.0, 60.0, 35.0, 5.0);
+    EXPECT_NEAR(ratio, 1.23, 0.08);
+}
+
+TEST(GreenBand, AirCannotSustainOverclocking)
+{
+    const double ratio = model().maxFrequencyRatioForLifetime(
+        85.0, 101.0, 20.0, 5.0);
+    EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+TEST(GreenBand, RelaxedTargetAllowsRedBand)
+{
+    // Accepting a 4-year life (FC-3284 OC row) unlocks more frequency.
+    const double strict = model().maxFrequencyRatioForLifetime(
+        66.0, 74.0, 50.0, 10.0);
+    const double relaxed = model().maxFrequencyRatioForLifetime(
+        66.0, 74.0, 50.0, 4.0);
+    EXPECT_GT(relaxed, strict);
+}
+
+// --- Wear tracking ---------------------------------------------------------
+
+TEST(WearTracker, NominalAirConsumesDesignBudget)
+{
+    reliability::WearTracker tracker(model(), 5.0);
+    tracker.accrue(scenario("Air cooling", false), 5.0);
+    EXPECT_NEAR(tracker.consumed(), 1.0, 0.06);
+    EXPECT_NEAR(tracker.age(), 5.0, 1e-12);
+}
+
+TEST(WearTracker, ImmersionAccruesCredit)
+{
+    reliability::WearTracker tracker(model(), 5.0);
+    tracker.accrue(scenario("HFE-7000", false), 2.0);
+    // Two years in HFE-7000 nominal consume well under 2/5 of life.
+    EXPECT_GT(tracker.credit(), 0.1);
+}
+
+TEST(WearTracker, CreditCanBeSpentOnOverclocking)
+{
+    reliability::WearTracker tracker(model(), 5.0);
+    tracker.accrue(scenario("HFE-7000", false), 2.0);
+    // Afford a year of overclocking thanks to the accrued credit.
+    EXPECT_TRUE(tracker.canAfford(scenario("HFE-7000", true), 1.0));
+}
+
+TEST(WearTracker, AirOverclockingIsUnaffordable)
+{
+    reliability::WearTracker tracker(model(), 5.0);
+    EXPECT_FALSE(tracker.canAfford(scenario("Air cooling", true), 1.0));
+}
+
+TEST(WearTracker, ModerateUtilizationSlowsWear)
+{
+    StressCondition busy = scenario("HFE-7000", true);
+    StressCondition idle = busy;
+    idle.dutyCycle = 0.4;
+    EXPECT_LT(model().wearFraction(idle, 1.0),
+              model().wearFraction(busy, 1.0));
+}
+
+TEST(WearTracker, IdleFloorPreventsZeroWear)
+{
+    StressCondition cond = scenario("HFE-7000", false);
+    cond.dutyCycle = 0.0;
+    EXPECT_GT(model().wearFraction(cond, 1.0), 0.0);
+}
+
+// --- Stability -------------------------------------------------------------
+
+TEST(Stability, SixMonthCalibration)
+{
+    // Tank #2 logged 56 correctable errors in ~6 months at the +50 mV
+    // offset; tank #1 logged none.
+    const auto tank2 = reliability::StabilityModel::tank2Part();
+    const double hours = 0.5 * units::kHoursPerYear;
+    EXPECT_NEAR(tank2.correctableErrorRate(50.0) * hours, 56.0, 8.0);
+
+    const auto tank1 = reliability::StabilityModel::tank1Part();
+    EXPECT_LT(tank1.correctableErrorRate(50.0) * hours, 1.0);
+}
+
+TEST(Stability, ErrorsGrowAsMarginShrinks)
+{
+    const auto model_part = reliability::StabilityModel::tank2Part();
+    EXPECT_GT(model_part.correctableErrorRate(0.0),
+              model_part.correctableErrorRate(50.0));
+    EXPECT_GT(model_part.correctableErrorRate(-20.0),
+              model_part.correctableErrorRate(0.0));
+}
+
+TEST(Stability, CrashesOnlyWhenPushedTooFar)
+{
+    const auto part = reliability::StabilityModel::tank2Part();
+    // At the stock +50 mV offset a year of operation crashes with
+    // negligible probability...
+    EXPECT_LT(part.crashRate(50.0) * units::kHoursPerYear, 0.01);
+    // ...but past the curve (negative margin) the server dies within
+    // hours, matching the paper's "ungraceful crash" observation.
+    EXPECT_GT(part.crashRate(-10.0), 0.5);
+}
+
+TEST(Stability, SilentErrorsAreRareFractionOfCorrectable)
+{
+    const auto part = reliability::StabilityModel::tank2Part();
+    EXPECT_LT(part.silentErrorRate(20.0),
+              1e-3 * part.correctableErrorRate(20.0) + 1e-12);
+}
+
+TEST(Stability, SamplingMatchesRates)
+{
+    const auto part = reliability::StabilityModel::tank2Part();
+    util::Rng rng(13);
+    double total = 0.0;
+    const int trials = 400;
+    for (int i = 0; i < trials; ++i)
+        total += static_cast<double>(part.sampleErrors(rng, 1000.0, 30.0));
+    const double expected = part.correctableErrorRate(30.0) * 1000.0;
+    EXPECT_NEAR(total / trials, expected, expected * 0.2 + 0.05);
+}
+
+TEST(Watchdog, TripsOnErrorBurst)
+{
+    reliability::ErrorRateWatchdog watchdog(3600.0, 10.0);
+    watchdog.record(0.0, 0);
+    watchdog.record(1800.0, 2);
+    EXPECT_FALSE(watchdog.tripped(1800.0));
+    watchdog.record(3600.0, 50); // 48 errors in half an hour.
+    EXPECT_TRUE(watchdog.tripped(3600.0));
+}
+
+TEST(Watchdog, RateUsesTrailingWindow)
+{
+    reliability::ErrorRateWatchdog watchdog(3600.0, 10.0);
+    watchdog.record(0.0, 0);
+    watchdog.record(3600.0, 100); // Burst inside the first hour.
+    watchdog.record(7200.0, 100); // Quiet second hour.
+    watchdog.record(10800.0, 100);
+    EXPECT_NEAR(watchdog.ratePerHour(10800.0), 0.0, 1e-9);
+    EXPECT_FALSE(watchdog.tripped(10800.0));
+}
+
+TEST(Watchdog, BackwardCounterIsFatal)
+{
+    reliability::ErrorRateWatchdog watchdog;
+    watchdog.record(0.0, 10);
+    EXPECT_THROW(watchdog.record(10.0, 5), FatalError);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder)
+{
+    sim::Simulation sim;
+    std::vector<int> order;
+    sim.at(3.0, [&] { order.push_back(3); });
+    sim.at(1.0, [&] { order.push_back(1); });
+    sim.at(2.0, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulation, TiesFireInSchedulingOrder)
+{
+    sim::Simulation sim;
+    std::vector<int> order;
+    sim.at(1.0, [&] { order.push_back(1); });
+    sim.at(1.0, [&] { order.push_back(2); });
+    sim.at(1.0, [&] { order.push_back(3); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, ClockAdvancesToEventTime)
+{
+    sim::Simulation sim;
+    Seconds seen = -1.0;
+    sim.at(5.5, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(Simulation, AfterSchedulesRelativeToNow)
+{
+    sim::Simulation sim;
+    Seconds inner = -1.0;
+    sim.at(2.0, [&] {
+        sim.after(3.0, [&] { inner = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(inner, 5.0);
+}
+
+TEST(Simulation, SchedulingInThePastIsFatal)
+{
+    sim::Simulation sim;
+    bool threw = false;
+    sim.at(2.0, [&] {
+        try {
+            sim.at(1.0, [] {});
+        } catch (const FatalError &) {
+            threw = true;
+        }
+    });
+    sim.run();
+    EXPECT_TRUE(threw);
+}
+
+TEST(Simulation, NegativeDelayIsFatal)
+{
+    sim::Simulation sim;
+    EXPECT_THROW(sim.after(-1.0, [] {}), FatalError);
+    EXPECT_THROW(sim.every(0.0, [] {}), FatalError);
+}
+
+TEST(Simulation, PeriodicEventRepeats)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    sim.every(1.0, [&] { ++fires; });
+    sim.runUntil(10.5);
+    EXPECT_EQ(fires, 10);
+    EXPECT_DOUBLE_EQ(sim.now(), 10.5);
+}
+
+TEST(Simulation, CancelStopsPeriodicEvent)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    const sim::EventId id = sim.every(1.0, [&] { ++fires; });
+    sim.at(3.5, [&] { sim.cancel(id); });
+    sim.runUntil(10.0);
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulation, CancelOneShotBeforeFiring)
+{
+    sim::Simulation sim;
+    bool fired = false;
+    const sim::EventId id = sim.at(5.0, [&] { fired = true; });
+    sim.at(1.0, [&] { sim.cancel(id); });
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelUnknownIdIsIgnored)
+{
+    sim::Simulation sim;
+    EXPECT_NO_THROW(sim.cancel(9999));
+    sim.run();
+}
+
+TEST(Simulation, RunUntilLeavesFutureEventsPending)
+{
+    sim::Simulation sim;
+    bool fired = false;
+    sim.at(10.0, [&] { fired = true; });
+    sim.runUntil(5.0);
+    EXPECT_FALSE(fired);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    sim.runUntil(15.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, EventExactlyAtHorizonFires)
+{
+    sim::Simulation sim;
+    bool fired = false;
+    sim.at(5.0, [&] { fired = true; });
+    sim.runUntil(5.0);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, StopHaltsExecution)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    sim.every(1.0, [&] {
+        ++fires;
+        if (fires == 4)
+            sim.stop();
+    });
+    sim.runUntil(100.0);
+    EXPECT_EQ(fires, 4);
+}
+
+TEST(Simulation, EventsCanScheduleCascades)
+{
+    sim::Simulation sim;
+    int depth = 0;
+    std::function<void()> cascade = [&] {
+        if (++depth < 50)
+            sim.after(0.1, cascade);
+    };
+    sim.after(0.1, cascade);
+    sim.run();
+    EXPECT_EQ(depth, 50);
+    EXPECT_NEAR(sim.now(), 5.0, 1e-9);
+}
+
+TEST(Simulation, ManyEventsAreHandled)
+{
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i)
+        sim.at(static_cast<double>(i % 100), [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 10000);
+}
+
+} // namespace
+} // namespace imsim

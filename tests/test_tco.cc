@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the TCO model against Table VI and the Sec. VI-C
+ * oversubscription economics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tco/tco.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using tco::Scenario;
+using tco::TcoModel;
+
+double
+rowDelta(const tco::TcoResult &result, const std::string &category)
+{
+    for (const auto &row : result.rows)
+        if (row.category == category)
+            return row.deltaOfBaselineTotal;
+    util::fatal("missing category: " + category);
+}
+
+TEST(Tco, BaselineIsZeroEverywhere)
+{
+    TcoModel model;
+    const auto result = model.evaluate(Scenario::AirCooled);
+    EXPECT_DOUBLE_EQ(result.costPerCoreDelta, 0.0);
+    for (const auto &row : result.rows)
+        EXPECT_DOUBLE_EQ(row.deltaOfBaselineTotal, 0.0);
+}
+
+TEST(Tco, NonOverclockableSavesAboutSevenPercent)
+{
+    // Table VI bottom line: -7 % cost per physical core.
+    TcoModel model;
+    const auto result = model.evaluate(Scenario::NonOverclockable2Pic);
+    EXPECT_NEAR(result.costPerCoreDelta, -0.07, 0.015);
+}
+
+TEST(Tco, OverclockableSavesAboutFourPercent)
+{
+    // Table VI: -4 % for overclockable 2PIC.
+    TcoModel model;
+    const auto result = model.evaluate(Scenario::Overclockable2Pic);
+    EXPECT_NEAR(result.costPerCoreDelta, -0.04, 0.015);
+}
+
+TEST(Tco, RowsSumToBottomLine)
+{
+    TcoModel model;
+    for (auto scenario : {Scenario::NonOverclockable2Pic,
+                          Scenario::Overclockable2Pic}) {
+        const auto result = model.evaluate(scenario);
+        double sum = 0.0;
+        for (const auto &row : result.rows)
+            sum += row.deltaOfBaselineTotal;
+        EXPECT_NEAR(sum, result.costPerCoreDelta, 1e-12);
+    }
+}
+
+TEST(Tco, TableViRowSigns)
+{
+    TcoModel model;
+    const auto non_oc = model.evaluate(Scenario::NonOverclockable2Pic);
+    EXPECT_LT(rowDelta(non_oc, "Servers"), 0.0);
+    EXPECT_GT(rowDelta(non_oc, "Network"), 0.0);
+    EXPECT_LT(rowDelta(non_oc, "DC construction"), 0.0);
+    EXPECT_LT(rowDelta(non_oc, "Energy"), 0.0);
+    EXPECT_LT(rowDelta(non_oc, "Operations"), 0.0);
+    EXPECT_LT(rowDelta(non_oc, "Design, taxes, fees"), 0.0);
+    EXPECT_GT(rowDelta(non_oc, "Immersion"), 0.0);
+}
+
+TEST(Tco, TableViRowMagnitudes)
+{
+    // Table VI reports roughly: servers -1 %, network +1 %,
+    // construction -2 %, energy -2 %, operations -2 %, design -2 %,
+    // immersion +1 %.
+    TcoModel model;
+    const auto non_oc = model.evaluate(Scenario::NonOverclockable2Pic);
+    EXPECT_NEAR(rowDelta(non_oc, "Servers"), -0.01, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "Network"), 0.01, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "DC construction"), -0.02, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "Energy"), -0.02, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "Operations"), -0.02, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "Design, taxes, fees"), -0.02, 0.005);
+    EXPECT_NEAR(rowDelta(non_oc, "Immersion"), 0.01, 0.005);
+}
+
+TEST(Tco, OverclockingNegatesServerAndEnergySavings)
+{
+    // Table VI: the overclockable column's Servers and Energy rows go
+    // back to ~0 (power-delivery upgrades; +30 % server energy).
+    TcoModel model;
+    const auto oc = model.evaluate(Scenario::Overclockable2Pic);
+    EXPECT_NEAR(rowDelta(oc, "Servers"), 0.0, 0.005);
+    EXPECT_NEAR(rowDelta(oc, "Energy"), 0.0, 0.02);
+}
+
+TEST(Tco, PueReclaimGrowsTheFleet)
+{
+    TcoModel model;
+    const auto result = model.evaluate(Scenario::NonOverclockable2Pic);
+    EXPECT_NEAR(result.coreRatio, 1.20 / 1.03, 1e-9);
+}
+
+TEST(Tco, OversubscriptionReachesThirteenPercent)
+{
+    // Sec. VI-C: 10 % oversubscription with overclocking -> -13 % cost
+    // per virtual core versus air.
+    TcoModel model;
+    const double rel = model.costPerVcoreRelative(
+        Scenario::Overclockable2Pic, 0.10, 1.0);
+    EXPECT_NEAR(rel, 0.87, 0.015);
+}
+
+TEST(Tco, NonOverclockableOversubscriptionIsLessEffective)
+{
+    // Sec. VI-C: non-overclockable 2PIC gains ~10 % because it cannot
+    // compensate the interference (partial effectiveness).
+    TcoModel model;
+    const double rel = model.costPerVcoreRelative(
+        Scenario::NonOverclockable2Pic, 0.10, 0.35);
+    EXPECT_NEAR(rel, 0.90, 0.015);
+}
+
+TEST(Tco, NoOversubscriptionEqualsPerCoreCost)
+{
+    TcoModel model;
+    const auto result = model.evaluate(Scenario::Overclockable2Pic);
+    EXPECT_NEAR(model.costPerVcoreRelative(Scenario::Overclockable2Pic,
+                                           0.0),
+                1.0 + result.costPerCoreDelta, 1e-12);
+}
+
+TEST(Tco, InvalidInputsAreFatal)
+{
+    tco::TcoInputs inputs;
+    inputs.serverFraction = 0.9; // Fractions no longer sum to 1.
+    EXPECT_THROW(TcoModel{inputs}, FatalError);
+
+    TcoModel model;
+    EXPECT_THROW(
+        model.costPerVcoreRelative(Scenario::AirCooled, -0.1), FatalError);
+    EXPECT_THROW(
+        model.costPerVcoreRelative(Scenario::AirCooled, 0.1, 2.0),
+        FatalError);
+}
+
+TEST(Tco, ScenarioNames)
+{
+    EXPECT_EQ(tco::scenarioName(Scenario::AirCooled), "Air-cooled");
+    EXPECT_EQ(tco::scenarioName(Scenario::Overclockable2Pic),
+              "Overclockable 2PIC");
+}
+
+} // namespace
+} // namespace imsim

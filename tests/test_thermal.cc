@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Unit tests for the thermal substrate: fluid catalog (Table II), cooling
+ * technology catalog (Table I), junction temperatures (Table III), the
+ * thermal RC transient, and the immersion tank model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/cooling.hh"
+#include "thermal/fluid.hh"
+#include "thermal/junction.hh"
+#include "thermal/tank.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using thermal::BoilingInterface;
+
+TEST(Fluid, TableIIProperties)
+{
+    const auto &fc = thermal::fc3284();
+    EXPECT_DOUBLE_EQ(fc.boilingPoint, 50.0);
+    EXPECT_DOUBLE_EQ(fc.dielectricConstant, 1.86);
+    EXPECT_DOUBLE_EQ(fc.latentHeatJPerG, 105.0);
+    EXPECT_GE(fc.usefulLife, 30.0);
+
+    const auto &hfe = thermal::hfe7000();
+    EXPECT_DOUBLE_EQ(hfe.boilingPoint, 34.0);
+    EXPECT_DOUBLE_EQ(hfe.dielectricConstant, 7.4);
+    EXPECT_DOUBLE_EQ(hfe.latentHeatJPerG, 142.0);
+}
+
+TEST(Fluid, CatalogAndLookup)
+{
+    EXPECT_EQ(thermal::fluidCatalog().size(), 2u);
+    EXPECT_EQ(thermal::fluidByName("3M FC-3284").boilingPoint, 50.0);
+    EXPECT_THROW(thermal::fluidByName("water"), FatalError);
+}
+
+TEST(Fluid, VaporMassFlowFollowsLatentHeat)
+{
+    // 105 W through FC-3284 boils 1 g/s.
+    EXPECT_NEAR(thermal::fc3284().vaporMassFlow(105.0), 1.0, 1e-12);
+    EXPECT_NEAR(thermal::hfe7000().vaporMassFlow(142.0), 1.0, 1e-12);
+    EXPECT_THROW(thermal::fc3284().vaporMassFlow(-1.0), FatalError);
+}
+
+TEST(Boiling, BecHalvesResistance)
+{
+    BoilingInterface coated{BoilingInterface::Coating::DirectIhs};
+    BoilingInterface bare{BoilingInterface::Coating::None};
+    EXPECT_DOUBLE_EQ(bare.thermalResistance(),
+                     2.0 * coated.thermalResistance());
+}
+
+TEST(Boiling, TableIiiResistances)
+{
+    BoilingInterface ihs{BoilingInterface::Coating::DirectIhs};
+    BoilingInterface plate{BoilingInterface::Coating::CopperPlate};
+    EXPECT_DOUBLE_EQ(ihs.thermalResistance(), 0.08);
+    EXPECT_DOUBLE_EQ(plate.thermalResistance(), 0.12);
+}
+
+TEST(Boiling, CriticalHeatFluxGuard)
+{
+    BoilingInterface bare{BoilingInterface::Coating::None};
+    // 10 W/cm^2 threshold for uncoated surfaces (Sec. II).
+    EXPECT_TRUE(bare.sustainsNucleateBoiling(100.0, 10.0));
+    EXPECT_FALSE(bare.sustainsNucleateBoiling(101.0, 10.0));
+    BoilingInterface coated{BoilingInterface::Coating::DirectIhs};
+    EXPECT_TRUE(coated.sustainsNucleateBoiling(200.0, 10.0));
+    EXPECT_THROW(coated.sustainsNucleateBoiling(10.0, 0.0), FatalError);
+}
+
+TEST(CoolingCatalog, TableIRows)
+{
+    const auto &catalog = thermal::coolingTechCatalog();
+    ASSERT_EQ(catalog.size(), 6u);
+    const auto &chiller = thermal::coolingTechSpec(thermal::CoolingTech::Chiller);
+    EXPECT_DOUBLE_EQ(chiller.avgPue, 1.70);
+    EXPECT_DOUBLE_EQ(chiller.peakPue, 2.00);
+    EXPECT_DOUBLE_EQ(chiller.fanOverheadFraction, 0.05);
+    EXPECT_DOUBLE_EQ(chiller.maxServerCooling, 700.0);
+
+    const auto &two_phase =
+        thermal::coolingTechSpec(thermal::CoolingTech::Immersion2P);
+    EXPECT_DOUBLE_EQ(two_phase.avgPue, 1.02);
+    EXPECT_DOUBLE_EQ(two_phase.peakPue, 1.03);
+    EXPECT_DOUBLE_EQ(two_phase.fanOverheadFraction, 0.0);
+    EXPECT_GE(two_phase.maxServerCooling, 4000.0);
+}
+
+TEST(CoolingCatalog, PueImprovesDownTheTable)
+{
+    const auto &catalog = thermal::coolingTechCatalog();
+    for (std::size_t i = 1; i < catalog.size(); ++i) {
+        EXPECT_LE(catalog[i].avgPue, catalog[i - 1].avgPue);
+        EXPECT_LE(catalog[i].peakPue, catalog[i - 1].peakPue);
+    }
+}
+
+TEST(AirCooling, TableIiiJunctionTemperature)
+{
+    // 35 C chamber, 0.22 C/W, ~12 C case pre-heat: 204.4 W -> ~92 C
+    // (Table III, Skylake 8168).
+    thermal::AirCooling air;
+    EXPECT_NEAR(air.junctionTemperature(204.4), 92.0, 1.0);
+    // 8180 blade with 0.21 C/W lands at ~90 C.
+    thermal::AirCooling air8180(thermal::CoolingTech::DirectEvaporative,
+                                35.0, 0.21);
+    EXPECT_NEAR(air8180.junctionTemperature(204.5), 90.0, 1.0);
+}
+
+TEST(AirCooling, SupportsUpTo700W)
+{
+    thermal::AirCooling air;
+    EXPECT_TRUE(air.supports(700.0));
+    EXPECT_FALSE(air.supports(701.0));
+}
+
+TEST(AirCooling, ImmersionTechClassRejected)
+{
+    EXPECT_THROW(thermal::AirCooling(thermal::CoolingTech::Immersion2P),
+                 FatalError);
+}
+
+TEST(Immersion, TableIiiJunctionTemperatures)
+{
+    // FC-3284 with BEC on a copper plate: 50 + 0.12 * 204.5 ~= 75 C.
+    thermal::TwoPhaseImmersionCooling plate(
+        thermal::fc3284(), {BoilingInterface::Coating::CopperPlate});
+    EXPECT_NEAR(plate.junctionTemperature(204.5), 75.0, 1.0);
+
+    // FC-3284 with BEC on the IHS: 50 + 0.08 * 204.4 ~= 66-68 C.
+    thermal::TwoPhaseImmersionCooling ihs(
+        thermal::fc3284(), {BoilingInterface::Coating::DirectIhs});
+    EXPECT_NEAR(ihs.junctionTemperature(204.4), 67.0, 1.5);
+}
+
+TEST(Immersion, ReferenceIsBoilingPointRegardlessOfLoad)
+{
+    thermal::TwoPhaseImmersionCooling cooling(thermal::hfe7000());
+    EXPECT_DOUBLE_EQ(cooling.referenceTemperature(0.0), 34.0);
+    EXPECT_DOUBLE_EQ(cooling.referenceTemperature(1000.0), 34.0);
+}
+
+TEST(Immersion, CoolsFarBeyondAir)
+{
+    thermal::TwoPhaseImmersionCooling cooling(thermal::fc3284());
+    EXPECT_TRUE(cooling.supports(2000.0));
+    thermal::AirCooling air;
+    EXPECT_FALSE(air.supports(2000.0));
+}
+
+TEST(Immersion, ImmersionRunsCoolerThanAirAtEveryLoad)
+{
+    thermal::AirCooling air;
+    thermal::TwoPhaseImmersionCooling immersion(thermal::fc3284());
+    for (Watts p = 50.0; p <= 400.0; p += 50.0)
+        EXPECT_LT(immersion.junctionTemperature(p),
+                  air.junctionTemperature(p));
+}
+
+TEST(ThermalNode, ConvergesToSteadyState)
+{
+    thermal::ThermalNode node(0.1, 100.0, 30.0);
+    for (int i = 0; i < 1000; ++i)
+        node.step(1.0, 200.0, 50.0);
+    EXPECT_NEAR(node.temperature(), 70.0, 0.01);
+    EXPECT_DOUBLE_EQ(node.steadyState(200.0, 50.0), 70.0);
+}
+
+TEST(ThermalNode, ExponentialApproachIsExact)
+{
+    thermal::ThermalNode node(0.1, 100.0, 30.0);
+    // tau = 10 s; after one tau the gap closes by 1 - 1/e.
+    node.step(10.0, 200.0, 50.0);
+    const double expected = 70.0 + (30.0 - 70.0) * std::exp(-1.0);
+    EXPECT_NEAR(node.temperature(), expected, 1e-9);
+    EXPECT_DOUBLE_EQ(node.timeConstant(), 10.0);
+}
+
+TEST(ThermalNode, LargeStepIsStable)
+{
+    thermal::ThermalNode node(0.1, 100.0, 30.0);
+    node.step(1e6, 200.0, 50.0);
+    EXPECT_NEAR(node.temperature(), 70.0, 1e-6);
+}
+
+TEST(ThermalNode, TracksExtremes)
+{
+    thermal::ThermalNode node(0.1, 10.0, 40.0);
+    for (int i = 0; i < 100; ++i)
+        node.step(1.0, 300.0, 50.0); // Heats toward 80.
+    for (int i = 0; i < 100; ++i)
+        node.step(1.0, 0.0, 50.0); // Cools toward 50.
+    EXPECT_NEAR(node.maxSeen(), 80.0, 0.5);
+    EXPECT_GE(node.minSeen() + 1e-9, 40.0);
+    node.resetExtremes();
+    EXPECT_DOUBLE_EQ(node.minSeen(), node.maxSeen());
+}
+
+TEST(Tank, PrototypesMatchPaper)
+{
+    auto tank1 = thermal::makeSmallTank1();
+    EXPECT_EQ(tank1.slots(), 2u);
+    EXPECT_EQ(tank1.coolingSystem().fluid().name, "3M HFE-7000");
+
+    auto tank2 = thermal::makeSmallTank2();
+    EXPECT_EQ(tank2.coolingSystem().fluid().name, "3M FC-3284");
+
+    auto large = thermal::makeLargeTank();
+    EXPECT_EQ(large.slots(), 36u);
+    EXPECT_GE(large.condenserCapacity(), 36 * 700.0);
+}
+
+TEST(Tank, HeatAccountingAndHeadroom)
+{
+    auto tank = thermal::makeLargeTank();
+    for (std::size_t i = 0; i < tank.slots(); ++i)
+        tank.setHeatLoad(i, 700.0);
+    EXPECT_DOUBLE_EQ(tank.totalHeat(), 36 * 700.0);
+    EXPECT_TRUE(tank.condenserKeepsUp());
+    EXPECT_DOUBLE_EQ(tank.headroom(), 0.0);
+    tank.setHeatLoad(0, 900.0);
+    EXPECT_FALSE(tank.condenserKeepsUp());
+}
+
+TEST(Tank, FluidStaysAtBoilingPoint)
+{
+    auto tank = thermal::makeSmallTank1();
+    tank.setHeatLoad(0, 400.0);
+    EXPECT_DOUBLE_EQ(tank.fluidTemperature(), 34.0);
+}
+
+TEST(Tank, ServiceEventsLoseVapor)
+{
+    auto tank = thermal::makeSmallTank2();
+    EXPECT_DOUBLE_EQ(tank.vaporLossGrams(), 0.0);
+    tank.recordServiceEvent();
+    tank.recordServiceEvent();
+    EXPECT_GT(tank.vaporLossGrams(), 0.0);
+}
+
+TEST(Tank, InvalidSlotIsFatal)
+{
+    auto tank = thermal::makeSmallTank1();
+    EXPECT_THROW(tank.setHeatLoad(2, 100.0), FatalError);
+    EXPECT_THROW(tank.heatLoad(99), FatalError);
+    EXPECT_THROW(tank.setHeatLoad(0, -5.0), FatalError);
+}
+
+TEST(JunctionReport, MatchesCoolingSystem)
+{
+    thermal::AirCooling air;
+    const auto report = thermal::junctionReport(air, 204.4);
+    EXPECT_DOUBLE_EQ(report.power, 204.4);
+    EXPECT_DOUBLE_EQ(report.resistance, 0.22);
+    EXPECT_NEAR(report.tjMax, 92.0, 1.0);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the util module: logging/error split, RNG determinism
+ * and distribution moments, online statistics, percentile estimation,
+ * sliding windows, histograms, and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace imsim {
+namespace {
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(util::fatal("bad config"), FatalError);
+    EXPECT_THROW(util::fatal("bad config"), Error);
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(util::panic("broken invariant"), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenConditionHolds)
+{
+    EXPECT_NO_THROW(util::fatalIf(false, "fine"));
+    EXPECT_THROW(util::fatalIf(true, "not fine"), FatalError);
+}
+
+TEST(Logging, ErrorMessageIsPreserved)
+{
+    try {
+        util::fatal("the message");
+        FAIL() << "expected throw";
+    } catch (const FatalError &error) {
+        EXPECT_NE(std::string(error.what()).find("the message"),
+                  std::string::npos);
+    }
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    util::Rng a(7);
+    util::Rng b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    util::Rng a(7);
+    util::Rng b(8);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    util::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    util::Rng rng(2);
+    util::OnlineStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.exponential(3.0));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMeanCvMatchesParameters)
+{
+    util::Rng rng(3);
+    util::OnlineStats stats;
+    for (int i = 0; i < 300000; ++i)
+        stats.add(rng.lognormalMeanCv(2.0, 1.5));
+    EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+    EXPECT_NEAR(stats.stddev() / stats.mean(), 1.5, 0.08);
+}
+
+TEST(Rng, ParetoRespectsMinimum)
+{
+    util::Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.pareto(1.5, 2.5), 1.5);
+}
+
+TEST(Rng, PoissonMeanConverges)
+{
+    util::Rng rng(5);
+    util::OnlineStats stats;
+    for (int i = 0; i < 100000; ++i)
+        stats.add(static_cast<double>(rng.poisson(4.2)));
+    EXPECT_NEAR(stats.mean(), 4.2, 0.05);
+}
+
+TEST(Rng, DiscretePicksByWeight)
+{
+    util::Rng rng(6);
+    std::vector<double> weights{1.0, 3.0};
+    int second = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (rng.discrete(weights) == 1)
+            ++second;
+    EXPECT_NEAR(second / 100000.0, 0.75, 0.01);
+}
+
+TEST(Rng, InvalidParametersAreFatal)
+{
+    util::Rng rng(1);
+    EXPECT_THROW(rng.exponential(0.0), FatalError);
+    EXPECT_THROW(rng.uniform(5.0, 2.0), FatalError);
+    EXPECT_THROW(rng.bernoulli(1.5), FatalError);
+    EXPECT_THROW(rng.discrete({}), FatalError);
+    EXPECT_THROW(rng.lognormalMeanCv(-1.0, 1.0), FatalError);
+}
+
+TEST(Rng, ChildStreamsAreIndependent)
+{
+    util::Rng parent(9);
+    util::Rng c1 = parent.child();
+    util::Rng c2 = parent.child();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (c1.uniform() == c2.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(OnlineStats, MeanVarianceMinMax)
+{
+    util::OnlineStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesCombinedStream)
+{
+    util::Rng rng(11);
+    util::OnlineStats all;
+    util::OnlineStats a;
+    util::OnlineStats b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(1.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(OnlineStats, EmptyIsSafe)
+{
+    util::OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(PercentileEstimator, ExactQuantiles)
+{
+    util::PercentileEstimator est;
+    for (int i = 1; i <= 100; ++i)
+        est.add(static_cast<double>(i));
+    EXPECT_NEAR(est.p50(), 50.5, 0.01);
+    EXPECT_NEAR(est.p95(), 95.05, 0.01);
+    EXPECT_NEAR(est.p99(), 99.01, 0.01);
+    EXPECT_DOUBLE_EQ(est.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(est.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(est.mean(), 50.5);
+}
+
+TEST(PercentileEstimator, SingleSampleAndEmpty)
+{
+    util::PercentileEstimator est;
+    EXPECT_DOUBLE_EQ(est.p95(), 0.0);
+    est.add(3.5);
+    EXPECT_DOUBLE_EQ(est.p50(), 3.5);
+    EXPECT_DOUBLE_EQ(est.p99(), 3.5);
+}
+
+TEST(PercentileEstimator, InterleavedAddAndQuery)
+{
+    util::PercentileEstimator est;
+    est.add(1.0);
+    est.add(2.0);
+    EXPECT_DOUBLE_EQ(est.percentile(100.0), 2.0);
+    est.add(10.0); // Must re-sort after a post-query insertion.
+    EXPECT_DOUBLE_EQ(est.percentile(100.0), 10.0);
+}
+
+TEST(PercentileEstimator, OutOfRangeIsFatal)
+{
+    util::PercentileEstimator est;
+    est.add(1.0);
+    EXPECT_THROW(est.percentile(-1.0), FatalError);
+    EXPECT_THROW(est.percentile(101.0), FatalError);
+}
+
+TEST(SlidingTimeWindow, TimeWeightedAverage)
+{
+    util::SlidingTimeWindow window(10.0);
+    window.record(0.0, 0.0);
+    window.record(5.0, 1.0);
+    // Over [0, 10]: half at 0, half at 1.
+    EXPECT_NEAR(window.average(10.0), 0.5, 1e-9);
+}
+
+TEST(SlidingTimeWindow, OldSegmentsLeaveTheWindow)
+{
+    util::SlidingTimeWindow window(10.0);
+    window.record(0.0, 1.0);
+    window.record(20.0, 0.0);
+    // At t=35, the window [25, 35] only sees the 0 segment.
+    EXPECT_NEAR(window.average(35.0), 0.0, 1e-9);
+}
+
+TEST(SlidingTimeWindow, StraddlingSegmentCountsPartially)
+{
+    util::SlidingTimeWindow window(10.0);
+    window.record(0.0, 2.0);
+    window.record(12.0, 0.0);
+    // Window [5, 15]: 7 s at 2.0, 3 s at 0.0.
+    EXPECT_NEAR(window.average(15.0), 2.0 * 0.7, 1e-9);
+}
+
+TEST(SlidingTimeWindow, SubWindowAverage)
+{
+    util::SlidingTimeWindow window(180.0);
+    window.record(0.0, 0.0);
+    window.record(100.0, 1.0);
+    // 30 s sub-window at t=120: 10 s at 0, 20 s at 1.
+    EXPECT_NEAR(window.average(120.0, 30.0), 20.0 / 30.0, 1e-9);
+    // Full window at t=120: 100 s at 0, 20 s at 1.
+    EXPECT_NEAR(window.average(120.0), 20.0 / 120.0, 1e-9);
+}
+
+TEST(SlidingTimeWindow, ShortQueryDoesNotEvictLongHistory)
+{
+    util::SlidingTimeWindow window(180.0);
+    window.record(0.0, 1.0);
+    window.record(50.0, 0.0);
+    // Query the short window first...
+    EXPECT_NEAR(window.average(60.0, 5.0), 0.0, 1e-9);
+    // ...the long window must still see the early segment.
+    EXPECT_NEAR(window.average(60.0, 180.0), 50.0 / 60.0, 1e-9);
+}
+
+TEST(SlidingTimeWindow, BackwardsTimeIsFatal)
+{
+    util::SlidingTimeWindow window(10.0);
+    window.record(5.0, 1.0);
+    EXPECT_THROW(window.record(4.0, 1.0), FatalError);
+}
+
+TEST(SlidingTimeWindow, EmptyReturnsZero)
+{
+    util::SlidingTimeWindow window(10.0);
+    EXPECT_DOUBLE_EQ(window.average(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(window.latest(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    util::Histogram hist(0.0, 10.0, 10);
+    hist.add(0.5);
+    hist.add(9.5);
+    hist.add(-3.0);  // Clamps to first bin.
+    hist.add(42.0);  // Clamps to last bin.
+    EXPECT_EQ(hist.binCount(0), 2u);
+    EXPECT_EQ(hist.binCount(9), 2u);
+    EXPECT_EQ(hist.total(), 4u);
+    EXPECT_DOUBLE_EQ(hist.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(hist.binCenter(9), 9.5);
+}
+
+TEST(Histogram, InvalidConstructionIsFatal)
+{
+    EXPECT_THROW(util::Histogram(0.0, 0.0, 10), FatalError);
+    EXPECT_THROW(util::Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(TableWriter, AlignedOutputContainsCells)
+{
+    util::TableWriter table({"Config", "Value"});
+    table.addRow({"B2", "1.00"});
+    table.addRow({"OC3", "0.83"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Config"), std::string::npos);
+    EXPECT_NE(text.find("OC3"), std::string::npos);
+    EXPECT_NE(text.find("0.83"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableWriter, CsvOutput)
+{
+    util::TableWriter table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableWriter, ColumnMismatchIsFatal)
+{
+    util::TableWriter table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only one"}), FatalError);
+}
+
+TEST(TableFormat, FmtAndPercent)
+{
+    EXPECT_EQ(util::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(util::fmt(2.0, 0), "2");
+    EXPECT_EQ(util::fmtPercent(0.17, 1), "+17.0%");
+    EXPECT_EQ(util::fmtPercent(-0.07, 0), "-7%");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::toKelvin(0.0), 273.15);
+    EXPECT_DOUBLE_EQ(units::toCelsius(373.15), 100.0);
+    EXPECT_DOUBLE_EQ(units::secondsToHours(7200.0), 2.0);
+    EXPECT_DOUBLE_EQ(units::yearsToHours(1.0), 8766.0);
+}
+
+} // namespace
+} // namespace imsim

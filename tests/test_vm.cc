@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the hypervisor oversubscription simulator: processor-
+ * sharing behaviour, latency degradation under oversubscription, and
+ * overclocking's ability to compensate (the mechanisms behind Figs. 12
+ * and 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "vm/hypervisor.hh"
+#include "vm/vm.hh"
+#include "workload/app.hh"
+
+namespace imsim {
+namespace {
+
+hw::DomainClocks
+b2()
+{
+    return hw::DomainClocks{3.4, 2.4, 2.4};
+}
+
+hw::DomainClocks
+oc3()
+{
+    return hw::DomainClocks{4.1, 2.8, 3.0};
+}
+
+TEST(Hypervisor, VcoreAccounting)
+{
+    vm::HypervisorSim sim(16, b2(), util::Rng(1));
+    sim.addLatencyVm(workload::app("SQL"), 500.0);
+    sim.addBatchVm(workload::app("BI"));
+    EXPECT_EQ(sim.totalVcores(), 8);
+    EXPECT_EQ(sim.pcores(), 16);
+}
+
+TEST(Hypervisor, LatencyVmServesRequests)
+{
+    vm::HypervisorSim sim(8, b2(), util::Rng(2));
+    sim.addLatencyVm(workload::app("SQL"), 400.0);
+    sim.run(60.0);
+    const auto results = sim.results();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].completed, 20000u);
+    EXPECT_GT(results[0].p95Latency, 0.0);
+    EXPECT_GE(results[0].p99Latency, results[0].p95Latency);
+}
+
+TEST(Hypervisor, BatchVmMakesProgress)
+{
+    vm::HypervisorSim sim(8, b2(), util::Rng(3));
+    sim.addBatchVm(workload::app("BI"));
+    sim.run(60.0);
+    const auto results = sim.results();
+    EXPECT_GT(results[0].throughput, 1.0);
+    EXPECT_GT(results[0].busyFraction, 0.8); // BI has little IO.
+}
+
+TEST(Hypervisor, BatchIoFractionLowersBusyFraction)
+{
+    vm::HypervisorSim sim(16, b2(), util::Rng(4));
+    sim.addBatchVm(workload::app("BI"));       // io = 0.05
+    sim.addBatchVm(workload::app("TeraSort")); // io = 0.35
+    sim.run(120.0);
+    const auto results = sim.results();
+    EXPECT_GT(results[0].busyFraction, results[1].busyFraction);
+    EXPECT_NEAR(results[1].busyFraction, 0.65, 0.08);
+}
+
+TEST(Hypervisor, OversubscriptionDegradesLatency)
+{
+    // 4 SQL VMs x 4 vcores on 16 vs 8 pcores (Fig. 12's endpoints).
+    auto run = [](int pcores) {
+        vm::HypervisorSim sim(pcores, b2(), util::Rng(5));
+        for (int i = 0; i < 4; ++i)
+            sim.addLatencyVm(workload::app("SQL"), 520.0);
+        sim.run(20.0);
+        sim.resetStats();
+        sim.run(80.0);
+        double total = 0.0;
+        for (const auto &res : sim.results())
+            total += res.p95Latency;
+        return total / 4.0;
+    };
+    EXPECT_GT(run(8), 1.15 * run(16));
+}
+
+TEST(Hypervisor, OverclockingCompensatesOversubscription)
+{
+    // Fig. 12's crossover: OC3 with 12 pcores matches (or beats) B2 with
+    // 16 pcores, while B2 with 12 pcores is clearly worse — i.e. the
+    // provider frees 4 pcores at no latency cost.
+    auto run = [](int pcores, const hw::DomainClocks &clocks) {
+        vm::HypervisorSim sim(pcores, clocks, util::Rng(6));
+        for (int i = 0; i < 4; ++i)
+            sim.addLatencyVm(workload::app("SQL"), 520.0);
+        sim.run(20.0);
+        sim.resetStats();
+        sim.run(100.0);
+        double total = 0.0;
+        for (const auto &res : sim.results())
+            total += res.p95Latency;
+        return total / 4.0;
+    };
+    const double b2_16 = run(16, b2());
+    const double b2_12 = run(12, b2());
+    const double oc3_12 = run(12, oc3());
+    EXPECT_LE(oc3_12, b2_16 * 1.05);
+    EXPECT_LT(oc3_12, b2_12 * 0.95);
+}
+
+TEST(Hypervisor, BatchThroughputScalesWithShare)
+{
+    // Two identical batch VMs on half the cores they want run at about
+    // half speed each.
+    auto run = [](int pcores) {
+        vm::HypervisorSim sim(pcores, b2(), util::Rng(7));
+        sim.addBatchVm(workload::app("BI"));
+        sim.addBatchVm(workload::app("BI"));
+        sim.run(120.0);
+        return sim.results()[0].throughput;
+    };
+    const double full = run(8);
+    const double half = run(4);
+    EXPECT_NEAR(half / full, 0.5, 0.08);
+}
+
+TEST(Hypervisor, OverclockLiftsBatchThroughput)
+{
+    auto run = [](const hw::DomainClocks &clocks) {
+        vm::HypervisorSim sim(8, clocks, util::Rng(8));
+        sim.addBatchVm(workload::app("BI"));
+        sim.run(120.0);
+        return sim.results()[0].throughput;
+    };
+    // BI's CPU-normalised OC3 speedup is ~17 %.
+    EXPECT_NEAR(run(oc3()) / run(b2()), 1.18, 0.05);
+}
+
+TEST(Hypervisor, HostActivityReflectsLoad)
+{
+    vm::HypervisorSim sim(16, b2(), util::Rng(9));
+    sim.addBatchVm(workload::app("BI")); // 4 busy vcores of 16.
+    sim.run(60.0);
+    EXPECT_NEAR(sim.hostActivity(), 4.0 / 16.0, 0.03);
+    EXPECT_GE(sim.hostActivityP99(), sim.hostActivity() - 0.05);
+}
+
+TEST(Hypervisor, ResetStatsClearsHistory)
+{
+    vm::HypervisorSim sim(8, b2(), util::Rng(10));
+    sim.addLatencyVm(workload::app("SQL"), 300.0);
+    sim.run(30.0);
+    sim.resetStats();
+    const auto results = sim.results();
+    EXPECT_EQ(results[0].completed, 0u);
+}
+
+TEST(Hypervisor, MixedScenarioLatencySuffersMostUnderOversubscription)
+{
+    // Fig. 13: under B2 oversubscription, latency-sensitive apps degrade
+    // more than batch apps.
+    auto run = [](int pcores) {
+        vm::HypervisorSim sim(pcores, b2(), util::Rng(11));
+        sim.addLatencyVm(workload::app("SQL"), 520.0);
+        sim.addBatchVm(workload::app("BI"));
+        sim.addBatchVm(workload::app("SPECJBB"));
+        sim.addBatchVm(workload::app("TeraSort"));
+        sim.addBatchVm(workload::app("TeraSort"));
+        sim.run(20.0);
+        sim.resetStats();
+        sim.run(100.0);
+        return sim.results();
+    };
+    const auto full = run(20);
+    const auto oversub = run(16);
+    const double sql_degradation =
+        oversub[0].p95Latency / full[0].p95Latency;
+    const double bi_degradation = full[1].throughput / oversub[1].throughput;
+    EXPECT_GT(sql_degradation, 1.0);
+    EXPECT_GT(sql_degradation, bi_degradation);
+}
+
+TEST(Hypervisor, InvalidConfigurationIsFatal)
+{
+    EXPECT_THROW(vm::HypervisorSim(0, b2(), util::Rng(1)), FatalError);
+    vm::HypervisorSim sim(8, b2(), util::Rng(1));
+    EXPECT_THROW(sim.addLatencyVm(workload::app("SQL"), -1.0), FatalError);
+    EXPECT_THROW(sim.addLatencyVm(workload::app("BI"), 100.0), FatalError);
+    EXPECT_THROW(sim.run(-1.0), FatalError);
+}
+
+TEST(VmSpec, DefaultsAreSane)
+{
+    vm::VmSpec spec;
+    EXPECT_EQ(spec.vcores, 4);
+    EXPECT_GT(spec.memoryGb, 0.0);
+    vm::HostSpec host;
+    EXPECT_EQ(host.pcores, 40);
+}
+
+} // namespace
+} // namespace imsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the weather-driven heat-rejection model and the VM
+ * provisioning-latency model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/fluid.hh"
+#include "thermal/network.hh"
+#include "thermal/weather.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "vm/provisioning.hh"
+
+namespace imsim {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+// --- Weather model ---------------------------------------------------------------
+
+TEST(Weather, SeasonalAndDiurnalCycles)
+{
+    thermal::WeatherModel weather;
+    // Mid-summer afternoon beats mid-winter night by roughly the sum of
+    // both amplitudes (2 * (10 + 5)).
+    const Celsius summer_noon = weather.ambient(200.0 * kDay + 15.0 * 3600.0);
+    const Celsius winter_night = weather.ambient(20.0 * kDay + 3.0 * 3600.0);
+    EXPECT_GT(summer_noon - winter_night, 20.0);
+    EXPECT_LE(summer_noon, weather.annualPeakAmbient() + 1e-9);
+}
+
+TEST(Weather, AnnualMeanRecovered)
+{
+    thermal::WeatherModel weather;
+    util::OnlineStats stats;
+    for (int day = 0; day < 365; ++day)
+        for (int hour = 0; hour < 24; ++hour)
+            stats.add(weather.ambient(day * kDay + hour * 3600.0));
+    EXPECT_NEAR(stats.mean(), 15.0, 0.5);
+}
+
+TEST(Weather, CoolantTracksAmbientPlusApproach)
+{
+    thermal::WeatherModel weather({}, 8.0);
+    const Seconds t = 100.0 * kDay;
+    EXPECT_DOUBLE_EQ(weather.coolantSupply(t), weather.ambient(t) + 8.0);
+}
+
+TEST(Weather, SubcoolingMarginShrinksInSummer)
+{
+    // HFE-7000 boils at 34 C: a hot site's summer afternoons erode the
+    // condenser margin — the low-boiling-point fluid's operational risk.
+    thermal::SiteClimate hot;
+    hot.annualMean = 24.0;
+    hot.seasonalAmplitude = 10.0;
+    hot.diurnalAmplitude = 5.0;
+    thermal::WeatherModel weather(hot, 8.0);
+    const Celsius winter = weather.subcoolingMargin(
+        thermal::hfe7000(), 20.0 * kDay);
+    const Celsius summer = weather.subcoolingMargin(
+        thermal::hfe7000(), 200.0 * kDay + 15.0 * 3600.0);
+    EXPECT_GT(winter, summer);
+    EXPECT_LT(summer, 0.0); // Heat wave: condenser cannot condense.
+    // FC-3284's 50 C boiling point retains margin at the same site —
+    // why the production large tank uses it.
+    EXPECT_GT(weather.subcoolingMargin(thermal::fc3284(),
+                                       200.0 * kDay + 15.0 * 3600.0),
+              0.0);
+}
+
+TEST(Weather, JunctionFollowsSeasonThroughTheNetwork)
+{
+    // Couple the weather to the immersed-CPU network's coolant node:
+    // the die runs measurably hotter in summer.
+    // Fixed (sub-boiling) tank load so the fluid is free to follow the
+    // coolant rather than being pinned at saturation.
+    thermal::WeatherModel weather;
+    auto winter_rig = thermal::makeImmersedCpuNetwork(
+        thermal::fc3284(), {}, 100.0, 0.004,
+        weather.coolantSupply(20.0 * kDay), 2000.0);
+    auto summer_rig = thermal::makeImmersedCpuNetwork(
+        thermal::fc3284(), {}, 100.0, 0.004,
+        weather.coolantSupply(200.0 * kDay + 15.0 * 3600.0), 2000.0);
+    winter_rig.network.inject(winter_rig.die, 204.0);
+    summer_rig.network.inject(summer_rig.die, 204.0);
+    winter_rig.network.settle();
+    summer_rig.network.settle();
+    EXPECT_GT(summer_rig.network.temperature(summer_rig.die),
+              winter_rig.network.temperature(winter_rig.die));
+}
+
+TEST(Weather, NoiseIsZeroMean)
+{
+    thermal::WeatherModel weather;
+    util::Rng rng(5);
+    util::OnlineStats noise;
+    const Seconds t = 50.0 * kDay;
+    for (int i = 0; i < 20000; ++i)
+        noise.add(weather.ambient(t, rng) - weather.ambient(t));
+    EXPECT_NEAR(noise.mean(), 0.0, 0.05);
+    EXPECT_NEAR(noise.stddev(), 1.5, 0.1);
+}
+
+TEST(Weather, InvalidParametersAreFatal)
+{
+    EXPECT_THROW(thermal::WeatherModel({}, 0.0), FatalError);
+    thermal::SiteClimate bad;
+    bad.seasonalAmplitude = -1.0;
+    EXPECT_THROW(thermal::WeatherModel{bad}, FatalError);
+    thermal::WeatherModel weather;
+    EXPECT_THROW(weather.ambient(-1.0), FatalError);
+}
+
+// --- Provisioning model -------------------------------------------------------------
+
+TEST(Provisioning, DefaultMeansAboutSixtySeconds)
+{
+    // Matches the paper's emulated 60 s scale-out.
+    vm::ProvisioningModel model;
+    EXPECT_NEAR(model.meanTotal(), 60.0, 2.0);
+}
+
+TEST(Provisioning, SampleRespectsFloorsAndSumsPhases)
+{
+    vm::ProvisioningModel model;
+    util::Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const auto sample = model.sample(rng);
+        EXPECT_GE(sample.placement, 0.5);
+        EXPECT_GE(sample.imageFetch, 4.0);
+        EXPECT_GE(sample.guestBoot, 10.0);
+        EXPECT_GE(sample.appWarmup, 2.0);
+        EXPECT_NEAR(sample.total,
+                    sample.placement + sample.imageFetch +
+                        sample.guestBoot + sample.appWarmup,
+                    1e-9);
+    }
+}
+
+TEST(Provisioning, EmpiricalMeanMatchesAnalytic)
+{
+    vm::ProvisioningModel model;
+    util::Rng rng(2);
+    util::OnlineStats stats;
+    for (int i = 0; i < 30000; ++i)
+        stats.add(model.sample(rng).total);
+    EXPECT_NEAR(stats.mean(), model.meanTotal(), 2.0);
+}
+
+TEST(Provisioning, TailIsMuchSlowerThanMedian)
+{
+    // The long provisioning tail is exactly what the overclock bridge
+    // covers: P99 creation is far slower than the median.
+    vm::ProvisioningModel model;
+    util::Rng rng(3);
+    const Seconds p50 = model.percentileTotal(rng, 50.0);
+    const Seconds p99 = model.percentileTotal(rng, 99.0);
+    EXPECT_GT(p99, 1.5 * p50);
+}
+
+TEST(Provisioning, CustomPhasesAndValidation)
+{
+    vm::ProvisioningModel fast({1.0, 0.3, 0.2}, {2.0, 0.3, 0.5},
+                               {3.0, 0.3, 1.0}, {1.0, 0.3, 0.2});
+    EXPECT_NEAR(fast.meanTotal(), 7.0, 1e-9);
+    EXPECT_THROW(vm::ProvisioningModel({0.0, 0.3, 0.2}, {2.0, 0.3, 0.5},
+                                       {3.0, 0.3, 1.0}, {1.0, 0.3, 0.2}),
+                 FatalError);
+    util::Rng rng(4);
+    EXPECT_THROW(fast.percentileTotal(rng, 50.0, 0), FatalError);
+}
+
+} // namespace
+} // namespace imsim

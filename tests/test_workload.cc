@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the workload substrate: the Table IX catalog, the
+ * bottleneck performance model's Fig. 9 qualitative results, the STREAM
+ * model's Fig. 10 calibration, and the VGG GPU-training model's Fig. 11
+ * behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/configs.hh"
+#include "workload/app.hh"
+#include "workload/gpu_training.hh"
+#include "workload/perf.hh"
+#include "workload/stream.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+using workload::Metric;
+
+hw::DomainClocks
+clocksOf(const char *name)
+{
+    const auto &config = hw::cpuConfig(name);
+    return hw::DomainClocks{config.core, config.llc, config.memory};
+}
+
+double
+relMetric(const char *app_name, const char *config_name)
+{
+    return workload::relativeMetric(workload::app(app_name),
+                                    clocksOf(config_name));
+}
+
+// --- Catalog ----------------------------------------------------------------
+
+TEST(AppCatalog, TableIxRows)
+{
+    const auto &catalog = workload::appCatalog();
+    EXPECT_EQ(catalog.size(), 9u); // VGG and STREAM live in their models.
+
+    const auto &sql = workload::app("SQL");
+    EXPECT_EQ(sql.cores, 4);
+    EXPECT_EQ(sql.metric, Metric::P95Latency);
+    EXPECT_TRUE(sql.inHouse);
+
+    const auto &kv = workload::app("Key-Value");
+    EXPECT_EQ(kv.cores, 8);
+    EXPECT_EQ(kv.metric, Metric::P99Latency);
+
+    const auto &disk = workload::app("DiskSpeed");
+    EXPECT_EQ(disk.metric, Metric::OpsPerSec);
+    EXPECT_FALSE(disk.inHouse);
+
+    EXPECT_THROW(workload::app("Minecraft"), FatalError);
+}
+
+TEST(AppCatalog, WorkVectorsSumToOne)
+{
+    for (const auto &app : workload::appCatalog())
+        EXPECT_NEAR(app.work.sum(), 1.0, 1e-9) << app.name;
+}
+
+TEST(AppCatalog, MetricNamesAndDirection)
+{
+    EXPECT_EQ(workload::metricName(Metric::P95Latency), "P95 Lat");
+    EXPECT_EQ(workload::metricName(Metric::OpsPerSec), "OPS/S");
+    EXPECT_TRUE(workload::lowerIsBetter(Metric::Seconds));
+    EXPECT_FALSE(workload::lowerIsBetter(Metric::MBps));
+}
+
+TEST(AppCatalog, ScalableFractionMatchesWorkVector)
+{
+    const auto &bi = workload::app("BI");
+    // BI is core-dominated: kappa near 0.9.
+    EXPECT_GT(bi.work.scalableFraction(), 0.85);
+    const auto &sql = workload::app("SQL");
+    EXPECT_LT(sql.work.scalableFraction(), 0.45);
+}
+
+// --- Bottleneck performance model (Fig. 9) -----------------------------------
+
+TEST(PerfModel, ReferenceIsUnity)
+{
+    for (const auto &app : workload::appCatalog()) {
+        EXPECT_NEAR(workload::relativeMetric(app, workload::referenceClocks()),
+                    1.0, 1e-12)
+            << app.name;
+    }
+}
+
+TEST(PerfModel, B1IsSlowerThanB2)
+{
+    for (const auto &app : workload::appCatalog()) {
+        const double rel =
+            workload::relativeTime(app.work, clocksOf("B1"));
+        EXPECT_GT(rel, 1.0) << app.name;
+    }
+}
+
+TEST(PerfModel, OverclockingImprovesEveryApp)
+{
+    // Fig. 9: "In all configurations, overclocking improves the metric of
+    // interest, enhancing performance from 10 % to 25 %."
+    for (const auto &app : workload::appCatalog()) {
+        const double rel = workload::relativeTime(app.work, clocksOf("OC3"));
+        EXPECT_LT(rel, 0.95) << app.name;
+        EXPECT_GT(rel, 0.70) << app.name;
+    }
+}
+
+TEST(PerfModel, Oc3GainsAreTenToTwentyFivePercent)
+{
+    for (const auto &app : workload::appCatalog()) {
+        const double speedup =
+            workload::speedup(app.work, clocksOf("OC3"));
+        EXPECT_GE(speedup, 1.10) << app.name;
+        EXPECT_LE(speedup, 1.25) << app.name;
+    }
+}
+
+TEST(PerfModel, CoreOverclockBestExceptTeraSortAndDiskSpeed)
+{
+    // Fig. 9: "Core overclocking (OC1) provides the most benefit, with
+    // the exception of TeraSort and DiskSpeed." Compare OC1's gain to the
+    // best non-core single-domain config (B3/B4).
+    for (const auto &app : workload::appCatalog()) {
+        const double oc1 = workload::relativeTime(app.work, clocksOf("OC1"));
+        const double best_uncore = std::min(
+            workload::relativeTime(app.work, clocksOf("B3")),
+            workload::relativeTime(app.work, clocksOf("B4")));
+        if (app.name == "TeraSort" || app.name == "DiskSpeed" ||
+            app.name == "SQL" || app.name == "Pmbench") {
+            // IO/cache/memory-bound exceptions.
+            EXPECT_GT(oc1, best_uncore - 0.06) << app.name;
+        } else {
+            EXPECT_LT(oc1, best_uncore) << app.name;
+        }
+    }
+}
+
+TEST(PerfModel, MemoryOverclockingHelpsSqlSignificantly)
+{
+    // Fig. 9: "Memory overclocking ... significantly for memory-bound
+    // SQL": the OC2 -> OC3 step buys SQL much more than it buys BI.
+    const double sql_gain = relMetric("SQL", "OC2") - relMetric("SQL", "OC3");
+    const double bi_gain = relMetric("BI", "OC2") - relMetric("BI", "OC3");
+    EXPECT_GT(sql_gain, 4.0 * bi_gain);
+    EXPECT_GT(sql_gain, 0.05);
+}
+
+TEST(PerfModel, CacheOverclockingAcceleratesPmbench)
+{
+    // Fig. 9: "Cache overclocking (OC2) accelerates Pmbench and
+    // DiskSpeed."
+    EXPECT_LT(relMetric("Pmbench", "OC2"), relMetric("Pmbench", "OC1"));
+    // DiskSpeed's metric is OPS/s (higher is better).
+    EXPECT_GT(relMetric("DiskSpeed", "OC2"), relMetric("DiskSpeed", "OC1"));
+}
+
+TEST(PerfModel, TrainingIsPrefetchFriendly)
+{
+    // Fig. 9: faster cache or memory does not improve Training much.
+    const double oc1 = relMetric("Training", "OC1");
+    const double oc3 = relMetric("Training", "OC3");
+    EXPECT_LT(oc1 - oc3, 0.04);
+}
+
+TEST(PerfModel, BiOnlyBenefitsFromCore)
+{
+    // Fig. 9's BI example: OC1 improves substantially; overclocking other
+    // components adds little.
+    const double b2_to_oc1 = 1.0 - relMetric("BI", "OC1");
+    const double oc1_to_oc3 = relMetric("BI", "OC1") - relMetric("BI", "OC3");
+    EXPECT_GT(b2_to_oc1, 0.10);
+    EXPECT_LT(oc1_to_oc3, 0.03);
+}
+
+TEST(PerfModel, ThroughputMetricInvertsTime)
+{
+    const auto &jbb = workload::app("SPECJBB");
+    const double rel_time =
+        workload::relativeTime(jbb.work, clocksOf("OC1"));
+    const double rel_metric = workload::relativeMetric(jbb, clocksOf("OC1"));
+    EXPECT_NEAR(rel_metric, 1.0 / rel_time, 1e-12);
+    EXPECT_GT(rel_metric, 1.0);
+}
+
+TEST(PerfModel, ServiceTimeScaleMatchesEq1Form)
+{
+    // kappa-weighted inverse frequency scaling.
+    EXPECT_NEAR(workload::serviceTimeScale(1.0, 3.4, 4.1), 3.4 / 4.1,
+                1e-12);
+    EXPECT_NEAR(workload::serviceTimeScale(0.0, 3.4, 4.1), 1.0, 1e-12);
+    const double s = workload::serviceTimeScale(0.9, 3.4, 4.1);
+    EXPECT_NEAR(s, 0.9 * 3.4 / 4.1 + 0.1, 1e-12);
+    EXPECT_THROW(workload::serviceTimeScale(1.5, 3.4, 4.1), FatalError);
+}
+
+TEST(PerfModel, InvalidClocksAreFatal)
+{
+    const auto &sql = workload::app("SQL");
+    hw::DomainClocks bad{0.0, 2.4, 2.4};
+    EXPECT_THROW(workload::relativeTime(sql.work, bad), FatalError);
+}
+
+// --- STREAM (Fig. 10) ---------------------------------------------------------
+
+TEST(Stream, PaperCalibrationPoints)
+{
+    // Fig. 10: B4 achieves +17 % and OC3 +24 % over B1.
+    workload::StreamModel model;
+    for (auto kernel : workload::streamKernels()) {
+        EXPECT_NEAR(model.relativeToB1(kernel, clocksOf("B4")), 1.17, 0.01)
+            << workload::streamKernelName(kernel);
+        EXPECT_NEAR(model.relativeToB1(kernel, clocksOf("OC3")), 1.24, 0.01)
+            << workload::streamKernelName(kernel);
+    }
+}
+
+TEST(Stream, CoreFrequencyAloneHelps)
+{
+    // "Increasing core and cache frequencies also has a positive impact
+    // on the peak memory bandwidth."
+    workload::StreamModel model;
+    EXPECT_GT(model.relativeToB1(workload::StreamKernel::Triad,
+                                 clocksOf("OC1")),
+              1.05);
+}
+
+TEST(Stream, BandwidthsInSkylakeRange)
+{
+    workload::StreamModel model;
+    const hw::DomainClocks b1{3.1, 2.4, 2.4};
+    for (auto kernel : workload::streamKernels()) {
+        const GBps bw = model.bandwidth(kernel, b1);
+        EXPECT_GT(bw, 80.0);
+        EXPECT_LT(bw, 110.0);
+    }
+}
+
+TEST(Stream, AddAndTriadExceedCopyAndScale)
+{
+    workload::StreamModel model;
+    const hw::DomainClocks b1{3.1, 2.4, 2.4};
+    EXPECT_GT(model.bandwidth(workload::StreamKernel::Triad, b1),
+              model.bandwidth(workload::StreamKernel::Copy, b1));
+    EXPECT_GT(model.bandwidth(workload::StreamKernel::Add, b1),
+              model.bandwidth(workload::StreamKernel::Scale, b1));
+}
+
+TEST(Stream, FourKernels)
+{
+    EXPECT_EQ(workload::streamKernels().size(), 4u);
+    EXPECT_EQ(workload::streamKernelName(workload::StreamKernel::Copy),
+              "Copy");
+}
+
+// --- GPU training (Fig. 11) -----------------------------------------------------
+
+TEST(GpuTraining, SixVggVariants)
+{
+    EXPECT_EQ(workload::vggCatalog().size(), 6u);
+    EXPECT_NO_THROW(workload::vggModel("VGG16B"));
+    EXPECT_THROW(workload::vggModel("ResNet50"), FatalError);
+}
+
+TEST(GpuTraining, OverclockingReducesTimeUpTo15Percent)
+{
+    // Fig. 11: "execution time decreases by up to 15 %".
+    workload::GpuTrainingModel model;
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    for (const auto &vgg : workload::vggCatalog()) {
+        const double rel = model.relativeTime(vgg, gpu);
+        EXPECT_LT(rel, 1.0) << vgg.name;
+        EXPECT_GT(rel, 0.84) << vgg.name;
+    }
+}
+
+TEST(GpuTraining, Vgg16bIgnoresMemoryOverclock)
+{
+    // Fig. 11: OCG2 offers marginal improvement over OCG1 for VGG16B and
+    // OCG3 adds nothing beyond OCG2.
+    workload::GpuTrainingModel model;
+    const auto &vgg16b = workload::vggModel("VGG16B");
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG1"));
+    const double ocg1 = model.relativeTime(vgg16b, gpu);
+    gpu.applyConfig(hw::gpuConfig("OCG2"));
+    const double ocg2 = model.relativeTime(vgg16b, gpu);
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    const double ocg3 = model.relativeTime(vgg16b, gpu);
+    EXPECT_LT(ocg1 - ocg2, 0.02);
+    EXPECT_LT(ocg2 - ocg3, 0.005);
+}
+
+TEST(GpuTraining, MemoryBoundVariantsGainFromMemoryOverclock)
+{
+    workload::GpuTrainingModel model;
+    const auto &vgg11 = workload::vggModel("VGG11");
+    hw::GpuModel gpu;
+    gpu.applyConfig(hw::gpuConfig("OCG1"));
+    const double ocg1 = model.relativeTime(vgg11, gpu);
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    const double ocg3 = model.relativeTime(vgg11, gpu);
+    EXPECT_GT(ocg1 - ocg3, 0.04);
+}
+
+TEST(GpuTraining, PowerGrowsWithOverclocking)
+{
+    workload::GpuTrainingModel model;
+    const auto &vgg16 = workload::vggModel("VGG16");
+    hw::GpuModel gpu;
+    const Watts base = model.trainingPower(vgg16, gpu);
+    gpu.applyConfig(hw::gpuConfig("OCG3"));
+    const Watts oc = model.trainingPower(vgg16, gpu);
+    EXPECT_GT(oc, base);
+    EXPECT_GE(model.trainingPowerP99(vgg16, gpu), oc);
+}
+
+} // namespace
+} // namespace imsim
