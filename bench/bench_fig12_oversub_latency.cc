@@ -3,13 +3,20 @@
  * Regenerates Fig. 12: average P95 latency of four 4-vcore SQL VMs as
  * the assigned pcore count sweeps from 8 (50 % oversubscription) to 16
  * (none), under B2 and OC3, plus the Sec. VI-C power readings.
+ *
+ * The (pcores x config) grid fans across the experiment engine; each
+ * point's hypervisor simulation seeds its own Rng, so the table is
+ * identical for any --jobs value. "--report out.json" dumps the sweep
+ * as a structured artifact.
  */
 
 #include <iostream>
 
+#include "exp/sweep.hh"
 #include "hw/configs.hh"
 #include "hw/cpu.hh"
 #include "thermal/cooling.hh"
+#include "util/cli.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 #include "vm/hypervisor.hh"
@@ -53,24 +60,51 @@ serverPower(int active_pcores, const hw::CpuConfig &config, bool p99)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Flags: --jobs N (default hardware concurrency), --report FILE.
+    const util::Cli cli(argc, argv);
+    const std::vector<int> pcore_steps{8, 10, 12, 14, 16};
+    const std::vector<std::string> configs{"B2", "OC3"};
+
     util::printHeading(
         std::cout,
         "Fig. 12: average P95 latency of 4 x SQL (4 vcores each) vs "
         "assigned pcores");
-    const auto &b2 = hw::cpuConfig("B2");
-    const auto &oc3 = hw::cpuConfig("OC3");
-    const hw::DomainClocks b2_clocks{b2.core, b2.llc, b2.memory};
-    const hw::DomainClocks oc3_clocks{oc3.core, oc3.llc, oc3.memory};
 
-    const double base = averageP95(16, b2_clocks);
+    exp::SweepRunner runner({cli.jobs(), 12});
+    std::vector<exp::Params> grid;
+    for (int pcores : pcore_steps)
+        for (const auto &name : configs)
+            grid.push_back(exp::Params{
+                {"pcores", util::fmt(pcores, 0)}, {"config", name}});
+
+    const exp::RunReport report = runner.run(
+        "fig12_oversub_latency", grid,
+        [](const exp::Params &point, std::size_t, util::Rng &,
+           exp::MetricsRegistry &metrics) {
+            const int pcores = std::stoi(point[0].second);
+            const auto &config = hw::cpuConfig(point[1].second);
+            const hw::DomainClocks clocks{config.core, config.llc,
+                                          config.memory};
+            metrics.scalar("p95_ms", averageP95(pcores, clocks) * 1000.0);
+        });
+
+    const auto p95_ms = [&](int pcores, const std::string &config) {
+        for (const auto &record : report.records())
+            if (record.params[0].second == util::fmt(pcores, 0) &&
+                record.params[1].second == config)
+                return record.metrics.get("p95_ms") / 1000.0;
+        util::fatal("fig12: sweep point missing");
+    };
+
+    const double base = p95_ms(16, "B2");
     util::TableWriter table({"pcores", "Oversubscription", "B2 P95 [ms]",
                              "OC3 P95 [ms]", "B2 vs 16-pcore B2",
                              "OC3 vs 16-pcore B2"});
-    for (int pcores : {8, 10, 12, 14, 16}) {
-        const double b2_p95 = averageP95(pcores, b2_clocks);
-        const double oc3_p95 = averageP95(pcores, oc3_clocks);
+    for (int pcores : pcore_steps) {
+        const double b2_p95 = p95_ms(pcores, "B2");
+        const double oc3_p95 = p95_ms(pcores, "OC3");
         table.addRow(
             {util::fmt(pcores, 0),
              util::fmt((16.0 - pcores) / pcores * 100.0, 0) + "%",
@@ -84,8 +118,8 @@ main()
     // Crossover: the fewest pcores at which OC3 still matches the
     // 16-pcore B2 baseline.
     int crossover = 16;
-    for (int pcores : {8, 10, 12, 14, 16}) {
-        if (averageP95(pcores, oc3_clocks) <= base * 1.01) {
+    for (int pcores : pcore_steps) {
+        if (p95_ms(pcores, "OC3") <= base * 1.01) {
             crossover = pcores;
             break;
         }
@@ -100,6 +134,8 @@ main()
     util::printHeading(std::cout,
                        "Sec. VI-C power readings for the SQL sweep [W]");
     util::TableWriter power({"Config", "Active pcores", "Average", "P99"});
+    const auto &b2 = hw::cpuConfig("B2");
+    const auto &oc3 = hw::cpuConfig("OC3");
     for (int pcores : {12, 16}) {
         power.addRow({"B2", util::fmt(pcores, 0),
                       util::fmt(serverPower(pcores, b2, false), 0),
@@ -114,5 +150,7 @@ main()
     std::cout << "Paper: B2 120/130 W avg (126/140 P99) at 12/16 pcores;"
                  " OC3 160/173 W avg\n(169/180 P99) — a 29-33% increase"
                  " from the +20% core and uncore clocks.\n";
+
+    exp::maybeWriteReport(cli, report, std::cout);
     return 0;
 }

@@ -8,14 +8,21 @@
  * service times scaled by the bottleneck model; time/throughput rows
  * come from the bottleneck model directly. Power is the small-tank-#1
  * server (Xeon W-3175X in HFE-7000) at each application's activity.
+ *
+ * The (application x config) grid fans across the experiment engine
+ * (--jobs N); every queueing cell seeds its own simulation, so the
+ * table is identical for any worker count. --report FILE dumps the
+ * normalized metrics as JSON.
  */
 
 #include <iostream>
 
+#include "exp/sweep.hh"
 #include "hw/configs.hh"
 #include "hw/cpu.hh"
 #include "sim/simulation.hh"
 #include "thermal/cooling.hh"
+#include "util/cli.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 #include "workload/app.hh"
@@ -79,8 +86,10 @@ queueingMetric(const workload::AppProfile &app, const hw::CpuConfig &config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Flags: --jobs N (default hardware concurrency), --report FILE.
+    const util::Cli cli(argc, argv);
     util::printHeading(
         std::cout,
         "Fig. 9: normalized metric (B2 = 1.00; latency/time rows: lower "
@@ -93,20 +102,41 @@ main()
         header.push_back(name);
     util::TableWriter table(header);
 
-    for (const auto &app : workload::appCatalog()) {
+    const auto &apps = workload::appCatalog();
+    exp::SweepRunner runner({cli.jobs(), 9});
+    std::vector<exp::Params> grid;
+    for (const auto &app : apps)
+        for (const auto &name : configs)
+            grid.push_back(exp::Params{{"app", app.name},
+                                       {"config", name}});
+
+    // One sweep point per (app, config) cell, app-major like the grid.
+    const exp::RunReport report = runner.run(
+        "fig9_workloads", grid,
+        [&](const exp::Params &, std::size_t i, util::Rng &,
+            exp::MetricsRegistry &metrics) {
+            const auto &app = apps[i / configs.size()];
+            const auto &config =
+                hw::cpuConfig(configs[i % configs.size()]);
+            const bool latency =
+                app.metric == workload::Metric::P95Latency ||
+                app.metric == workload::Metric::P99Latency;
+            metrics.scalar("normalized",
+                           latency ? queueingMetric(app, config)
+                                   : workload::relativeMetric(
+                                         app, {config.core, config.llc,
+                                               config.memory}));
+        });
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const auto &app = apps[a];
         std::vector<std::string> row{app.name,
                                      workload::metricName(app.metric)};
-        const bool latency =
-            app.metric == workload::Metric::P95Latency ||
-            app.metric == workload::Metric::P99Latency;
-        for (const auto &name : configs) {
-            const auto &config = hw::cpuConfig(name);
-            const double value =
-                latency ? queueingMetric(app, config)
-                        : workload::relativeMetric(
-                              app, {config.core, config.llc,
-                                    config.memory});
-            row.push_back(util::fmt(value, 2));
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const auto &record =
+                report.records()[a * configs.size() + c];
+            row.push_back(
+                util::fmt(record.metrics.get("normalized"), 2));
         }
         table.addRow(row);
     }
@@ -143,5 +173,7 @@ main()
     std::cout << "Paper shape: OC1 raises P99 power noticeably; OC2 adds"
                  " only marginal power;\nOC3 (memory) raises power"
                  " substantially for every app.\n";
+
+    exp::maybeWriteReport(cli, report, std::cout);
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "autoscale/experiment.hh"
+#include "exp/sweep.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -22,7 +23,8 @@ int
 main(int argc, char **argv)
 {
     // Flags: --seed N (default 42), --step SECONDS (default 300),
-    // --skip-downramp (omit the down-ramp extension section).
+    // --skip-downramp (omit the down-ramp extension section),
+    // --jobs N (default hardware concurrency), --report FILE.
     const util::Cli cli(argc, argv);
     autoscale::ExperimentParams params;
     params.seed = static_cast<std::uint64_t>(cli.getInt("--seed", 42));
@@ -35,12 +37,20 @@ main(int argc, char **argv)
                  " 50/20% (3-min window), scale-up/down 40/20%\n(30-s"
                  " window), 8 frequency bins in [3.4, 4.1] GHz.\n\n";
 
-    const auto baseline =
-        autoscale::runFullExperiment(autoscale::Policy::Baseline, params);
-    const auto oce =
-        autoscale::runFullExperiment(autoscale::Policy::OcE, params);
-    const auto oca =
-        autoscale::runFullExperiment(autoscale::Policy::OcA, params);
+    // Four independent full runs (Baseline, OC-E, OC-A, plus the
+    // ablation's second OC-E run) fanned across the experiment engine;
+    // each seeds its own simulation from params.seed.
+    const exp::SweepRunner runner({cli.jobs(), params.seed});
+    const std::vector<autoscale::Policy> runs{
+        autoscale::Policy::Baseline, autoscale::Policy::OcE,
+        autoscale::Policy::OcA, autoscale::Policy::OcE};
+    const auto outcomes = runner.map<autoscale::AutoScaleOutcome>(
+        runs.size(), [&](std::size_t i, util::Rng &) {
+            return autoscale::runFullExperiment(runs[i], params);
+        });
+    const auto &baseline = outcomes[0];
+    const auto &oce = outcomes[1];
+    const auto &oca = outcomes[2];
 
     util::TableWriter table({"Config", "Norm P95 Lat", "Norm Avg Lat",
                              "Max VMs", "VM x hours", "Avg VM power",
@@ -109,8 +119,7 @@ main(int argc, char **argv)
     // Always-max is exactly OC-E with the scale-up threshold at 0 —
     // approximate it by comparing OC-A's average frequency/power against
     // pinning the fleet at 4.1 GHz whenever load exists.
-    auto oce_always = autoscale::runFullExperiment(autoscale::Policy::OcE,
-                                                   params);
+    const auto &oce_always = outcomes[3];
     util::TableWriter ablation({"Policy", "Avg freq", "Avg VM power",
                                 "Norm P95"});
     ablation.addRow({"OC-A (Eq. 1 selection)",
@@ -135,10 +144,16 @@ main(int argc, char **argv)
                                        200.0};
         util::TableWriter ramp({"Policy", "Final VMs", "Final freq",
                                 "Scale-ins", "VM x hours"});
-        for (auto policy : {autoscale::Policy::Baseline,
-                            autoscale::Policy::OcA}) {
-            const auto outcome = autoscale::runCustomExperiment(
-                policy, down, 5, params);
+        const std::vector<autoscale::Policy> ramp_runs{
+            autoscale::Policy::Baseline, autoscale::Policy::OcA};
+        const auto ramp_outcomes =
+            runner.map<autoscale::AutoScaleOutcome>(
+                ramp_runs.size(), [&](std::size_t i, util::Rng &) {
+                    return autoscale::runCustomExperiment(
+                        ramp_runs[i], down, 5, params);
+                });
+        for (const auto &outcome : ramp_outcomes) {
+            const auto policy = outcome.policy;
             const auto &last = outcome.trace.back();
             std::size_t scale_ins = 0;
             for (std::size_t i = 1; i < outcome.trace.size(); ++i)
@@ -155,5 +170,23 @@ main(int argc, char **argv)
                      " additionally relaxes its\nfrequency back to the"
                      " base clock before releasing capacity.\n";
     }
+
+    exp::RunReport report("table11_autoscaler");
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto &outcome = outcomes[i];
+        exp::RunRecord record;
+        record.params = {{"policy", autoscale::policyName(outcome.policy)}};
+        record.metrics.set("norm_p95",
+                           outcome.p95Latency / baseline.p95Latency);
+        record.metrics.set("norm_mean",
+                           outcome.meanLatency / baseline.meanLatency);
+        record.metrics.set("max_vms",
+                           static_cast<double>(outcome.maxVms));
+        record.metrics.set("vm_hours", outcome.vmHours);
+        record.metrics.set("avg_vm_power_w", outcome.avgPowerPerVm);
+        record.metrics.set("avg_freq_ghz", outcome.avgFrequency);
+        report.add(std::move(record));
+    }
+    exp::maybeWriteReport(cli, report, std::cout);
     return 0;
 }

@@ -5,24 +5,34 @@
  * its five-year life with the wear-credit scheduler — the operator's
  * view of "can we overclock this fleet, and for how long?"
  *
- * Run: ./build/examples/fleet_simulation
+ * The policy bake-off and a 16-replication Monte-Carlo confidence run
+ * fan across the experiment engine (--jobs N, default hardware
+ * concurrency); --report FILE writes the Monte-Carlo sweep as JSON.
+ * Replications draw their seeds via Rng::split, so the numbers are
+ * identical for any --jobs value.
+ *
+ * Run: ./build/examples/fleet_simulation [--jobs N] [--report out.json]
  */
 
 #include <iostream>
 
 #include "cluster/datacenter.hh"
 #include "core/credit.hh"
+#include "exp/sweep.hh"
 #include "reliability/lifetime.hh"
 #include "thermal/network.hh"
+#include "util/cli.hh"
 #include "util/random.hh"
 #include "util/table.hh"
 
 using namespace imsim;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // 1. Policy bake-off on a 40 kW feed.
+    const util::Cli cli(argc, argv);
+
+    // 1. Policy bake-off on a 40 kW feed, one policy per worker.
     std::cout << "== Two-week policy bake-off (40 kW feed, 30%"
                  " oversubscribed) ==\n";
     cluster::RackConfig batch;
@@ -35,15 +45,22 @@ main()
 
     util::TableWriter table({"Policy", "Speedup delivered",
                              "OC wasted", "Capping time"});
-    const std::pair<const char *, cluster::OverclockPolicy> policies[] = {
-        {"Never", cluster::OverclockPolicy::Never},
-        {"Always", cluster::OverclockPolicy::Always},
-        {"Power-aware", cluster::OverclockPolicy::PowerAware},
-    };
-    for (const auto &[name, policy] : policies) {
-        util::Rng rng(99);
-        const auto outcome = dc.run(policy, rng, 14.0);
-        table.addRow({name, util::fmt(outcome.speedupDelivered, 3),
+    const std::vector<std::pair<const char *, cluster::OverclockPolicy>>
+        policies{
+            {"Never", cluster::OverclockPolicy::Never},
+            {"Always", cluster::OverclockPolicy::Always},
+            {"Power-aware", cluster::OverclockPolicy::PowerAware},
+        };
+    exp::SweepRunner runner({cli.jobs(), 99});
+    const auto outcomes = runner.map<cluster::DatacenterOutcome>(
+        policies.size(), [&](std::size_t i, util::Rng &) {
+            util::Rng rng(99);
+            return dc.run(policies[i].second, rng, 14.0);
+        });
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        const auto &outcome = outcomes[i];
+        table.addRow({policies[i].first,
+                      util::fmt(outcome.speedupDelivered, 3),
                       util::fmt(outcome.cappedOverclockShare * 100.0, 1) +
                           "%",
                       util::fmt(outcome.cappingMinutesShare * 100.0, 1) +
@@ -51,7 +68,40 @@ main()
     }
     table.print(std::cout);
 
-    // 2. One server's five-year wear ledger under the credit scheduler.
+    // 2. How sensitive is the power-aware win to the diurnal draw?
+    //    16 Monte-Carlo replications, each seeded by Rng::split, fanned
+    //    across the pool.
+    std::cout << "\n== Power-aware policy: 16-seed Monte-Carlo"
+                 " confidence ==\n";
+    const std::size_t replications = 16;
+    std::vector<exp::Params> grid;
+    for (std::size_t r = 0; r < replications; ++r)
+        grid.push_back(exp::Params{
+            {"replication", util::fmt(static_cast<double>(r), 0)}});
+    const exp::RunReport report = runner.run(
+        "fleet_power_aware_mc", grid,
+        [&](const exp::Params &, std::size_t, util::Rng &rng,
+            exp::MetricsRegistry &metrics) {
+            const auto outcome =
+                dc.run(cluster::OverclockPolicy::PowerAware, rng, 14.0);
+            metrics.scalar("speedup", outcome.speedupDelivered);
+            metrics.scalar("capping_share", outcome.cappingMinutesShare);
+            metrics.scalar("oc_served_share", outcome.overclockShare);
+        });
+    util::OnlineStats speedup;
+    util::OnlineStats capping;
+    for (const auto &record : report.records()) {
+        speedup.add(record.metrics.get("speedup"));
+        capping.add(record.metrics.get("capping_share"));
+    }
+    std::cout << "Across " << replications << " diurnal draws: speedup "
+              << util::fmt(speedup.mean(), 3) << " +/- "
+              << util::fmt(speedup.stddev(), 3) << " (min "
+              << util::fmt(speedup.min(), 3) << ", max "
+              << util::fmt(speedup.max(), 3) << "), capping time "
+              << util::fmt(capping.mean() * 100.0, 1) << "%.\n";
+
+    // 3. One server's five-year wear ledger under the credit scheduler.
     std::cout << "\n== One server, five years, wear-credit scheduling ==\n";
     reliability::LifetimeModel model;
     reliability::WearTracker tracker(model, 5.0);
@@ -78,7 +128,7 @@ main()
               << util::fmtPercent(tracker.credit()) << ", overclocked "
               << util::fmt(oc_hours, 0) << " hours.\n";
 
-    // 3. Sanity-check the thermals of the overclocked operating point.
+    // 4. Sanity-check the thermals of the overclocked operating point.
     std::cout << "\n== Thermal check of the overclocked point ==\n";
     auto rig = thermal::makeImmersedCpuNetwork(thermal::hfe7000());
     rig.network.inject(rig.die, 305.0);
@@ -86,5 +136,7 @@ main()
     std::cout << "Die at 305 W in HFE-7000: "
               << util::fmt(rig.network.temperature(rig.die), 1)
               << " C (Table V's overclocked HFE point is ~60 C).\n";
+
+    exp::maybeWriteReport(cli, report, std::cout);
     return 0;
 }

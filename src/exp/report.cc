@@ -1,0 +1,396 @@
+#include "exp/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace imsim {
+namespace exp {
+
+void
+MetricSet::set(const std::string &name, double value)
+{
+    for (auto &entry : values) {
+        if (entry.first == name) {
+            entry.second = value;
+            return;
+        }
+    }
+    values.emplace_back(name, value);
+}
+
+bool
+MetricSet::has(const std::string &name) const
+{
+    for (const auto &entry : values)
+        if (entry.first == name)
+            return true;
+    return false;
+}
+
+double
+MetricSet::get(const std::string &name) const
+{
+    for (const auto &entry : values)
+        if (entry.first == name)
+            return entry.second;
+    util::fatal("MetricSet: no metric named '" + name + "'");
+}
+
+void
+MetricsRegistry::scalar(const std::string &name, double value)
+{
+    scalars.set(name, value);
+}
+
+void
+MetricsRegistry::sample(const std::string &name, double value)
+{
+    for (auto &dist : dists) {
+        if (dist.first == name) {
+            dist.second.add(value);
+            return;
+        }
+    }
+    dists.emplace_back(name, util::PercentileEstimator());
+    dists.back().second.add(value);
+}
+
+MetricSet
+MetricsRegistry::snapshot() const
+{
+    MetricSet out = scalars;
+    for (const auto &dist : dists) {
+        out.set(dist.first + ".mean", dist.second.mean());
+        out.set(dist.first + ".p50", dist.second.p50());
+        out.set(dist.first + ".p95", dist.second.p95());
+        out.set(dist.first + ".p99", dist.second.p99());
+    }
+    return out;
+}
+
+void
+RunReport::add(RunRecord record)
+{
+    points.push_back(std::move(record));
+}
+
+namespace {
+
+/** Union of names across records, in first-seen order. */
+template <typename Entries, typename GetName>
+void
+collectNames(std::vector<std::string> &out, const Entries &entries,
+             GetName get_name)
+{
+    for (const auto &entry : entries) {
+        const std::string &name = get_name(entry);
+        bool known = false;
+        for (const auto &existing : out)
+            if (existing == name) {
+                known = true;
+                break;
+            }
+        if (!known)
+            out.push_back(name);
+    }
+}
+
+std::string
+formatNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Minimal recursive-descent parser for the JSON subset toJson() emits
+ * (objects, arrays, strings, numbers, null). Not a general JSON
+ * library; FatalError on anything malformed.
+ */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : text(text) {}
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        util::fatalIf(pos >= text.size() || text[pos] != c,
+                      std::string("RunReport::fromJson: expected '") + c +
+                          "' at offset " + std::to_string(pos));
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                util::fatalIf(pos >= text.size(),
+                              "RunReport::fromJson: dangling escape");
+                const char esc = text[pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                    util::fatalIf(pos + 4 > text.size(),
+                                  "RunReport::fromJson: bad \\u escape");
+                    const unsigned code = static_cast<unsigned>(
+                        std::stoul(text.substr(pos, 4), nullptr, 16));
+                    util::fatalIf(code > 0x7f,
+                                  "RunReport::fromJson: non-ASCII \\u "
+                                  "escape unsupported");
+                    out += static_cast<char>(code);
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    util::fatal("RunReport::fromJson: unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return std::nan("");
+        }
+        std::size_t used = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(text.substr(pos), &used);
+        } catch (const std::exception &) {
+            util::fatal("RunReport::fromJson: expected a number at offset " +
+                        std::to_string(pos));
+        }
+        pos += used;
+        return value;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\n' ||
+                text[pos] == '\t' || text[pos] == '\r'))
+            ++pos;
+    }
+
+  private:
+    const std::string &text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+util::TableWriter
+RunReport::toTable() const
+{
+    std::vector<std::string> param_names;
+    std::vector<std::string> metric_names;
+    for (const auto &record : points) {
+        collectNames(param_names, record.params,
+                     [](const auto &e) -> const std::string & {
+                         return e.first;
+                     });
+        collectNames(metric_names, record.metrics.entries(),
+                     [](const auto &e) -> const std::string & {
+                         return e.first;
+                     });
+    }
+    std::vector<std::string> header = param_names;
+    header.insert(header.end(), metric_names.begin(), metric_names.end());
+    util::TableWriter table(header);
+    for (const auto &record : points) {
+        std::vector<std::string> row;
+        for (const auto &name : param_names) {
+            std::string cell;
+            for (const auto &param : record.params)
+                if (param.first == name)
+                    cell = param.second;
+            row.push_back(cell);
+        }
+        for (const auto &name : metric_names)
+            row.push_back(record.metrics.has(name)
+                              ? util::fmt(record.metrics.get(name), 4)
+                              : "");
+        table.addRow(row);
+    }
+    return table;
+}
+
+std::string
+RunReport::toJson() const
+{
+    std::string out = "{\n  \"name\": ";
+    appendEscaped(out, reportName);
+    out += ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &record = points[i];
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"params\": {";
+        for (std::size_t j = 0; j < record.params.size(); ++j) {
+            if (j)
+                out += ", ";
+            appendEscaped(out, record.params[j].first);
+            out += ": ";
+            appendEscaped(out, record.params[j].second);
+        }
+        out += "}, \"metrics\": {";
+        const auto &metrics = record.metrics.entries();
+        for (std::size_t j = 0; j < metrics.size(); ++j) {
+            if (j)
+                out += ", ";
+            appendEscaped(out, metrics[j].first);
+            out += ": ";
+            out += std::isfinite(metrics[j].second)
+                       ? formatNumber(metrics[j].second)
+                       : "null";
+        }
+        out += "}}";
+    }
+    out += points.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+RunReport
+RunReport::fromJson(const std::string &json)
+{
+    JsonCursor cur(json);
+    cur.expect('{');
+    util::fatalIf(cur.parseString() != "name",
+                  "RunReport::fromJson: expected \"name\" first");
+    cur.expect(':');
+    RunReport report(cur.parseString());
+    cur.expect(',');
+    util::fatalIf(cur.parseString() != "points",
+                  "RunReport::fromJson: expected \"points\"");
+    cur.expect(':');
+    cur.expect('[');
+    if (!cur.consume(']')) {
+        do {
+            cur.expect('{');
+            RunRecord record;
+            util::fatalIf(cur.parseString() != "params",
+                          "RunReport::fromJson: expected \"params\"");
+            cur.expect(':');
+            cur.expect('{');
+            if (!cur.consume('}')) {
+                do {
+                    std::string key = cur.parseString();
+                    cur.expect(':');
+                    record.params.emplace_back(std::move(key),
+                                               cur.parseString());
+                } while (cur.consume(','));
+                cur.expect('}');
+            }
+            cur.expect(',');
+            util::fatalIf(cur.parseString() != "metrics",
+                          "RunReport::fromJson: expected \"metrics\"");
+            cur.expect(':');
+            cur.expect('{');
+            if (!cur.consume('}')) {
+                do {
+                    std::string key = cur.parseString();
+                    cur.expect(':');
+                    record.metrics.set(key, cur.parseNumber());
+                } while (cur.consume(','));
+                cur.expect('}');
+            }
+            cur.expect('}');
+            report.add(std::move(record));
+        } while (cur.consume(','));
+        cur.expect(']');
+    }
+    cur.expect('}');
+    return report;
+}
+
+void
+RunReport::writeCsv(std::ostream &os) const
+{
+    toTable().printCsv(os);
+}
+
+void
+RunReport::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    util::fatalIf(!out, "RunReport: cannot open '" + path +
+                            "' for writing");
+    out << toJson();
+    util::fatalIf(!out, "RunReport: failed writing '" + path + "'");
+}
+
+void
+maybeWriteReport(const util::Cli &cli, const RunReport &report,
+                 std::ostream &os)
+{
+    const std::string path = cli.get("--report");
+    if (path.empty())
+        return;
+    report.writeJsonFile(path);
+    os << "[report] wrote " << report.records().size()
+       << " sweep points to " << path << "\n";
+}
+
+} // namespace exp
+} // namespace imsim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Structured results for the experiment engine: named per-point metrics
+ * (scalars and percentile summaries), aligned console tables, and
+ * machine-readable JSON/CSV artifacts for the bench binaries'
+ * "--report out.json" flag.
+ */
+
+#ifndef IMSIM_EXP_REPORT_HH
+#define IMSIM_EXP_REPORT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace imsim {
+namespace util {
+class Cli;
+class TableWriter;
+} // namespace util
+
+namespace exp {
+
+/** Ordered (name, value) labels identifying one sweep point. */
+using Params = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Ordered named scalar metrics for one sweep point.
+ *
+ * Insertion order is preserved so tables and JSON come out in the order
+ * the experiment recorded them.
+ */
+class MetricSet
+{
+  public:
+    /** Set (or overwrite) metric @p name. */
+    void set(const std::string &name, double value);
+
+    /** @return whether metric @p name was recorded. */
+    bool has(const std::string &name) const;
+
+    /** @return metric @p name; FatalError when absent. */
+    double get(const std::string &name) const;
+
+    /** @return metrics in insertion order. */
+    const std::vector<std::pair<std::string, double>> &
+    entries() const
+    {
+        return values;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> values;
+};
+
+/**
+ * Per-sweep-point metric collector handed to experiment bodies.
+ *
+ * Scalars are recorded directly; sample distributions accumulate into a
+ * named PercentileEstimator and flatten to <name>.mean/.p50/.p95/.p99
+ * in snapshot(). One registry belongs to one sweep point (one worker),
+ * so no synchronisation is needed.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Record scalar metric @p name. */
+    void scalar(const std::string &name, double value);
+
+    /** Add one sample to distribution @p name. */
+    void sample(const std::string &name, double value);
+
+    /** @return scalars plus flattened distribution summaries. */
+    MetricSet snapshot() const;
+
+  private:
+    MetricSet scalars;
+    std::vector<std::pair<std::string, util::PercentileEstimator>> dists;
+};
+
+/** One sweep point: identifying params plus its collected metrics. */
+struct RunRecord
+{
+    Params params;
+    MetricSet metrics;
+};
+
+/**
+ * Structured result of one experiment run (one record per sweep point).
+ *
+ * Deliberately omits worker count and wall-clock time from the payload:
+ * a report is bit-identical whether the sweep ran with --jobs 1 or N,
+ * which is how the determinism tests compare runs.
+ */
+class RunReport
+{
+  public:
+    explicit RunReport(std::string name = "") : reportName(std::move(name))
+    {}
+
+    /** @return the experiment name. */
+    const std::string &name() const { return reportName; }
+
+    /** Append one sweep-point record. */
+    void add(RunRecord record);
+
+    /** @return records in sweep order. */
+    const std::vector<RunRecord> &records() const { return points; }
+
+    /**
+     * @return an aligned table: one column per param, then one per
+     *         metric (union across records, first-seen order).
+     */
+    util::TableWriter toTable() const;
+
+    /** Serialise to JSON (round-trips through fromJson()). */
+    std::string toJson() const;
+
+    /** Parse a report previously produced by toJson(). */
+    static RunReport fromJson(const std::string &json);
+
+    /** Write the toTable() CSV rendering to @p os. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Write toJson() to file @p path; FatalError when unwritable. */
+    void writeJsonFile(const std::string &path) const;
+
+  private:
+    std::string reportName;
+    std::vector<RunRecord> points;
+};
+
+/**
+ * Honor the shared "--report out.json" flag: when present, write the
+ * report there and print a one-line confirmation to @p os.
+ */
+void maybeWriteReport(const util::Cli &cli, const RunReport &report,
+                      std::ostream &os);
+
+} // namespace exp
+} // namespace imsim
+
+#endif // IMSIM_EXP_REPORT_HH

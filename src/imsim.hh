@@ -14,9 +14,14 @@
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 #include "sim/simulation.hh"
+
+// Experiment engine (parallel sweeps + structured reports).
+#include "exp/report.hh"
+#include "exp/sweep.hh"
 
 // Physical substrates.
 #include "thermal/cooling.hh"

@@ -1,7 +1,5 @@
 #include "sim/simulation.hh"
 
-#include <algorithm>
-
 #include "util/logging.hh"
 
 namespace imsim {
@@ -13,6 +11,7 @@ Simulation::push(Seconds t, EventFn fn, Seconds period)
     util::fatalIf(t < clock, "Simulation: cannot schedule in the past");
     const EventId id = nextId++;
     queue.push(Event{t, id, std::move(fn), period});
+    live.insert(id);
     return id;
 }
 
@@ -39,14 +38,16 @@ Simulation::every(Seconds period, EventFn fn)
 void
 Simulation::cancel(EventId id)
 {
-    cancelled.push_back(id);
+    // Only ids with a queued, not-yet-cancelled event need a record;
+    // fired one-shots, unknown ids, and double cancels are no-ops.
+    if (live.erase(id) > 0)
+        cancelled.insert(id);
 }
 
 bool
 Simulation::isCancelled(EventId id) const
 {
-    return std::find(cancelled.begin(), cancelled.end(), id) !=
-           cancelled.end();
+    return cancelled.count(id) > 0;
 }
 
 void
@@ -59,14 +60,16 @@ Simulation::runUntil(Seconds horizon)
             break;
         Event ev = top;
         queue.pop();
-        if (isCancelled(ev.id))
+        if (cancelled.erase(ev.id) > 0)
             continue;
+        live.erase(ev.id);
         clock = ev.time;
         ++executed;
         if (ev.period > 0.0) {
             // Re-arm the periodic event under the *same* id so that a
             // single cancel() kills all future firings.
             queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
+            live.insert(ev.id);
         }
         ev.fn();
     }
@@ -81,12 +84,15 @@ Simulation::run()
     while (!queue.empty() && !stopping) {
         Event ev = queue.top();
         queue.pop();
-        if (isCancelled(ev.id))
+        if (cancelled.erase(ev.id) > 0)
             continue;
+        live.erase(ev.id);
         clock = ev.time;
         ++executed;
-        if (ev.period > 0.0)
+        if (ev.period > 0.0) {
             queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
+            live.insert(ev.id);
+        }
         ev.fn();
     }
 }

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/units.hh"
@@ -32,7 +33,8 @@ using EventId = std::uint64_t;
  *
  * Events scheduled for the same timestamp fire in scheduling order, which
  * keeps runs deterministic. Cancellation is lazy: cancelled events stay in
- * the queue but are skipped when popped.
+ * the queue but are skipped (and their cancellation record dropped) when
+ * popped, so both cancel() and the pop-side check are O(1).
  */
 class Simulation
 {
@@ -76,8 +78,8 @@ class Simulation
     /** @return number of events executed so far. */
     std::uint64_t eventsExecuted() const { return executed; }
 
-    /** @return number of events currently pending (including cancelled). */
-    std::size_t pendingEvents() const { return queue.size(); }
+    /** @return number of live (non-cancelled) events currently pending. */
+    std::size_t pendingEvents() const { return live.size(); }
 
   private:
     struct Event
@@ -100,7 +102,16 @@ class Simulation
     bool isCancelled(EventId id) const;
 
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
-    std::vector<EventId> cancelled;
+    /**
+     * Ids of queued events that were cancelled but not yet popped.
+     * Invariant: every member corresponds to exactly one queued event
+     * (each id has at most one queue entry at a time — periodic events
+     * re-arm only when popped), so queue.size() - cancelled.size() is
+     * the live pending count.
+     */
+    std::unordered_set<EventId> cancelled;
+    /** Ids currently in the queue and not cancelled. */
+    std::unordered_set<EventId> live;
     Seconds clock = 0.0;
     EventId nextId = 1;
     std::uint64_t executed = 0;

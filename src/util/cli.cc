@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace imsim {
 namespace util {
@@ -57,6 +58,15 @@ Cli::getInt(const std::string &flag, std::int64_t fallback) const
             "Cli: flag " + flag + " expects an integer, got '" +
                 it->second + "'");
     return value;
+}
+
+std::size_t
+Cli::jobs() const
+{
+    const std::int64_t n = getInt(
+        "--jobs", static_cast<std::int64_t>(ThreadPool::defaultWorkers()));
+    fatalIf(n < 1, "Cli: --jobs expects a positive worker count");
+    return static_cast<std::size_t>(n);
 }
 
 double

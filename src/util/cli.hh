@@ -8,6 +8,7 @@
 #ifndef IMSIM_UTIL_CLI_HH
 #define IMSIM_UTIL_CLI_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,6 +41,15 @@ class Cli
     /** @return double value of the flag or fallback; FatalError when
      *  present but non-numeric. */
     double getDouble(const std::string &flag, double fallback) const;
+
+    /**
+     * Shared "--jobs N" flag for the parallel benches/examples.
+     *
+     * @return N when "--jobs N" was given (FatalError when < 1);
+     *         otherwise the hardware concurrency. "--jobs 1" runs the
+     *         sweep serially on the calling thread.
+     */
+    std::size_t jobs() const;
 
     /** @return the program name (argv[0]). */
     const std::string &program() const { return programName; }

@@ -5,6 +5,24 @@
 namespace imsim {
 namespace util {
 
+std::uint64_t
+Rng::splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+Rng
+Rng::split(std::uint64_t stream_id) const
+{
+    // Two finalizer rounds decorrelate (seed, stream) pairs even for
+    // adjacent seeds and small consecutive stream ids.
+    return Rng(splitmix64(splitmix64(seedValue) ^
+                          splitmix64(stream_id + 0x632be59bd9b4e019ULL)));
+}
+
 double
 Rng::lognormalMeanCv(double mean, double cv)
 {

@@ -29,7 +29,9 @@ class Rng
 {
   public:
     /** Construct with an explicit seed (default fixed for reproducibility). */
-    explicit Rng(std::uint64_t seed = 0x1ce5eedULL) : engine(seed) {}
+    explicit Rng(std::uint64_t seed = 0x1ce5eedULL)
+        : engine(seed), seedValue(seed)
+    {}
 
     /** Uniform double in [0, 1). */
     double
@@ -109,8 +111,27 @@ class Rng
         return Rng(engine());
     }
 
+    /**
+     * Derive an independent, reproducible substream for @p stream_id.
+     *
+     * Unlike child(), split() depends only on the *construction seed*
+     * and the stream id — not on how many draws have been consumed —
+     * via SplitMix64 hashing. This is what makes parallel sweeps
+     * deterministic: worker k processing point i always seeds point i's
+     * simulation with split(i), so results are bit-identical whether
+     * the sweep runs on 1 thread or N.
+     */
+    Rng split(std::uint64_t stream_id) const;
+
+    /** @return the seed this generator was constructed with. */
+    std::uint64_t seed() const { return seedValue; }
+
+    /** SplitMix64 finalizer (public: also used as a stable hash). */
+    static std::uint64_t splitmix64(std::uint64_t x);
+
   private:
     std::mt19937_64 engine;
+    std::uint64_t seedValue;
 };
 
 } // namespace util

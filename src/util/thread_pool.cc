@@ -1,0 +1,68 @@
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace util {
+
+ThreadPool::ThreadPool(std::size_t workers_requested)
+{
+    const std::size_t n = workers_requested == 0 ? 1 : workers_requested;
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        shuttingDown = true;
+    }
+    wakeup.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        panicIf(shuttingDown, "ThreadPool: submit() after shutdown began");
+        tasks.push_back(std::move(task));
+    }
+    wakeup.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeup.wait(lock, [this]() {
+                return shuttingDown || !tasks.empty();
+            });
+            if (tasks.empty())
+                return; // Shutting down and drained.
+            task = std::move(tasks.front());
+            tasks.pop_front();
+        }
+        // packaged_task catches exceptions into the future; a raw throw
+        // here would mean a non-packaged task, which enqueue() never
+        // produces.
+        task();
+    }
+}
+
+} // namespace util
+} // namespace imsim

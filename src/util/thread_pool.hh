@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool used by the experiment engine (src/exp)
+ * to fan sweep points and Monte-Carlo replications across cores.
+ *
+ * The pool owns its worker threads for its whole lifetime: submit()
+ * enqueues a task and returns a std::future for its result; the
+ * destructor drains the queue and joins every worker (graceful
+ * shutdown — queued tasks still run).
+ */
+
+#ifndef IMSIM_UTIL_THREAD_POOL_HH
+#define IMSIM_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace imsim {
+namespace util {
+
+/**
+ * Fixed-size thread pool with a FIFO task queue.
+ *
+ * Thread-safe: submit() may be called from any thread, including from
+ * inside a running task. Tasks must not block on futures of tasks
+ * submitted to the *same* pool (classic self-deadlock); the experiment
+ * engine only ever submits leaf work, so this does not arise there.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p workers worker threads (0 is clamped to 1).
+     *
+     * @param workers Number of worker threads.
+     */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drain outstanding tasks and join all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** @return number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /**
+     * Enqueue @p fn for execution on a worker.
+     *
+     * @return a future carrying fn's result (or its exception).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * @return the usable hardware concurrency (>= 1 even when the
+     *         runtime cannot determine it).
+     */
+    static std::size_t defaultWorkers();
+
+  private:
+    /** Push a type-erased task and wake one worker. */
+    void enqueue(std::function<void()> task);
+
+    /** Worker loop: pop tasks until shutdown and the queue is empty. */
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable wakeup;
+    bool shuttingDown = false;
+};
+
+} // namespace util
+} // namespace imsim
+
+#endif // IMSIM_UTIL_THREAD_POOL_HH

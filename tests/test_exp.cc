@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the experiment engine: ThreadPool lifecycle and
+ * exception propagation, Rng::split stream independence, SweepRunner
+ * serial-vs-parallel determinism, RunReport JSON round-trip, and the
+ * shared --jobs flag. Registered under the `tsan` ctest label so the
+ * pool runs under IMSIM_SANITIZE=thread in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "exp/report.hh"
+#include "exp/sweep.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+namespace imsim {
+namespace {
+
+TEST(ThreadPool, StartSubmitShutdown)
+{
+    std::atomic<int> counter{0};
+    {
+        util::ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 100; ++i)
+            futures.push_back(pool.submit([&counter]() { ++counter; }));
+        for (auto &future : futures)
+            future.get();
+        EXPECT_EQ(counter.load(), 100);
+    }
+    // Destructor joined all workers; tasks submitted before shutdown ran.
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueuedTasksOnShutdown)
+{
+    std::atomic<int> counter{0};
+    {
+        util::ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter]() { ++counter; });
+        // No explicit wait: the destructor must drain the queue.
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ZeroWorkersClampsToOne)
+{
+    util::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, SubmitReturnsValueAndPropagatesExceptions)
+{
+    util::ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 21 * 2; });
+    EXPECT_EQ(ok.get(), 42);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultWorkersIsPositive)
+{
+    EXPECT_GE(util::ThreadPool::defaultWorkers(), 1u);
+}
+
+TEST(RngSplit, IndependentOfDrawState)
+{
+    util::Rng fresh(1234);
+    util::Rng drained(1234);
+    for (int i = 0; i < 1000; ++i)
+        drained.uniform();
+    // split() depends only on (seed, stream), not on consumed draws.
+    util::Rng a = fresh.split(7);
+    util::Rng b = drained.split(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngSplit, StreamsDifferFromEachOtherAndFromParent)
+{
+    util::Rng root(42);
+    util::Rng s0 = root.split(0);
+    util::Rng s1 = root.split(1);
+    util::Rng parent(42);
+    int equal01 = 0;
+    int equal0p = 0;
+    for (int i = 0; i < 64; ++i) {
+        const double x0 = s0.uniform();
+        const double x1 = s1.uniform();
+        const double xp = parent.uniform();
+        equal01 += x0 == x1;
+        equal0p += x0 == xp;
+    }
+    EXPECT_EQ(equal01, 0);
+    EXPECT_EQ(equal0p, 0);
+}
+
+TEST(RngSplit, SameStreamIdReproduces)
+{
+    util::Rng root(42);
+    util::Rng a = root.split(3);
+    util::Rng b = root.split(3);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngSplit, AdjacentSeedsDecorrelate)
+{
+    util::Rng a = util::Rng(100).split(0);
+    util::Rng b = util::Rng(101).split(0);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.uniform() == b.uniform();
+    EXPECT_EQ(equal, 0);
+}
+
+/** A toy Monte-Carlo body: mean of 100 exponential draws. */
+double
+expBody(std::size_t i, util::Rng &rng)
+{
+    double total = 0.0;
+    for (int k = 0; k < 100; ++k)
+        total += rng.exponential(1.0 + static_cast<double>(i));
+    return total / 100.0;
+}
+
+TEST(SweepRunner, SerialAndParallelResultsAreIdentical)
+{
+    const std::size_t n = 40;
+    exp::SweepRunner serial({1, 2021});
+    exp::SweepRunner parallel({8, 2021});
+    const auto a = serial.map<double>(n, expBody);
+    const auto b = parallel.map<double>(n, expBody);
+    ASSERT_EQ(a.size(), n);
+    ASSERT_EQ(b.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "point " << i;
+}
+
+TEST(SweepRunner, RunReportIsDeterministicAcrossJobCounts)
+{
+    const std::vector<exp::Params> grid{
+        {{"load", "low"}}, {{"load", "mid"}}, {{"load", "high"}}};
+    const auto body = [](const exp::Params &, std::size_t i,
+                         util::Rng &rng, exp::MetricsRegistry &metrics) {
+        for (int k = 0; k < 200; ++k)
+            metrics.sample("lat", rng.lognormalMeanCv(1.0 + i, 1.5));
+        metrics.scalar("index", static_cast<double>(i));
+    };
+    const auto serial =
+        exp::SweepRunner({1, 7}).run("toy", grid, body);
+    const auto parallel =
+        exp::SweepRunner({8, 7}).run("toy", grid, body);
+    EXPECT_EQ(serial.toJson(), parallel.toJson());
+}
+
+TEST(SweepRunner, ParallelForCoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(64);
+    exp::SweepRunner runner({4, 1});
+    runner.parallelFor(hits.size(),
+                       [&hits](std::size_t i, util::Rng &) { ++hits[i]; });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(SweepRunner, ExceptionsPropagateToCaller)
+{
+    exp::SweepRunner runner({4, 1});
+    EXPECT_THROW(
+        runner.parallelFor(8,
+                           [](std::size_t i, util::Rng &) {
+                               if (i == 5)
+                                   util::fatal("boom");
+                           }),
+        FatalError);
+}
+
+TEST(SweepRunner, ParamGridIsSecondKeyMajor)
+{
+    const auto grid = exp::paramGrid("a", {"1", "2"}, "b", {"x", "y"});
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_EQ(grid[0], (exp::Params{{"a", "1"}, {"b", "x"}}));
+    EXPECT_EQ(grid[1], (exp::Params{{"a", "1"}, {"b", "y"}}));
+    EXPECT_EQ(grid[3], (exp::Params{{"a", "2"}, {"b", "y"}}));
+}
+
+TEST(MetricsRegistry, SnapshotFlattensDistributions)
+{
+    exp::MetricsRegistry registry;
+    registry.scalar("power_w", 130.0);
+    for (int i = 1; i <= 100; ++i)
+        registry.sample("lat", static_cast<double>(i));
+    const exp::MetricSet snap = registry.snapshot();
+    EXPECT_DOUBLE_EQ(snap.get("power_w"), 130.0);
+    EXPECT_DOUBLE_EQ(snap.get("lat.mean"), 50.5);
+    EXPECT_NEAR(snap.get("lat.p95"), 95.0, 1.0);
+    EXPECT_NEAR(snap.get("lat.p99"), 99.0, 1.0);
+    EXPECT_THROW(snap.get("missing"), FatalError);
+}
+
+TEST(RunReport, JsonRoundTrip)
+{
+    exp::RunReport report("fig12 \"quoted\"\nname");
+    exp::RunRecord r1;
+    r1.params = {{"pcores", "8"}, {"config", "B2"}};
+    r1.metrics.set("p95_ms", 12.339999999999998);
+    r1.metrics.set("power_w", 130.0);
+    exp::RunRecord r2;
+    r2.params = {{"pcores", "16"}, {"config", "OC3"}};
+    r2.metrics.set("p95_ms", 7.25);
+    report.add(r1);
+    report.add(r2);
+
+    const std::string json = report.toJson();
+    const exp::RunReport parsed = exp::RunReport::fromJson(json);
+    EXPECT_EQ(parsed.name(), report.name());
+    ASSERT_EQ(parsed.records().size(), 2u);
+    EXPECT_EQ(parsed.records()[0].params, r1.params);
+    EXPECT_DOUBLE_EQ(parsed.records()[0].metrics.get("p95_ms"),
+                     12.339999999999998);
+    EXPECT_DOUBLE_EQ(parsed.records()[0].metrics.get("power_w"), 130.0);
+    EXPECT_EQ(parsed.records()[1].params, r2.params);
+    // Emit -> parse -> emit is a fixed point.
+    EXPECT_EQ(parsed.toJson(), json);
+}
+
+TEST(RunReport, EmptyAndNonFiniteRoundTrip)
+{
+    exp::RunReport empty("nothing");
+    EXPECT_EQ(exp::RunReport::fromJson(empty.toJson()).records().size(),
+              0u);
+
+    exp::RunReport report("inf");
+    exp::RunRecord record;
+    record.metrics.set("bad", std::nan(""));
+    report.add(record);
+    const auto parsed = exp::RunReport::fromJson(report.toJson());
+    EXPECT_TRUE(std::isnan(parsed.records()[0].metrics.get("bad")));
+}
+
+TEST(RunReport, FromJsonRejectsGarbage)
+{
+    EXPECT_THROW(exp::RunReport::fromJson("not json"), FatalError);
+    EXPECT_THROW(exp::RunReport::fromJson("{\"points\": []}"), FatalError);
+}
+
+TEST(RunReport, TableHasParamAndMetricColumns)
+{
+    exp::RunReport report("t");
+    exp::RunRecord record;
+    record.params = {{"config", "B2"}};
+    record.metrics.set("p95_ms", 12.0);
+    report.add(record);
+    std::ostringstream out;
+    report.toTable().printCsv(out);
+    EXPECT_NE(out.str().find("config"), std::string::npos);
+    EXPECT_NE(out.str().find("p95_ms"), std::string::npos);
+    EXPECT_NE(out.str().find("B2"), std::string::npos);
+}
+
+TEST(RunReport, WriteJsonFileRoundTrips)
+{
+    exp::RunReport report("file");
+    exp::RunRecord record;
+    record.params = {{"k", "v"}};
+    record.metrics.set("m", 1.5);
+    report.add(record);
+    const std::string path =
+        testing::TempDir() + "imsim_test_report.json";
+    report.writeJsonFile(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto parsed = exp::RunReport::fromJson(buffer.str());
+    EXPECT_EQ(parsed.records().size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.records()[0].metrics.get("m"), 1.5);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, JobsFlagDefaultsToHardwareConcurrency)
+{
+    const char *argv_default[] = {"bench"};
+    const util::Cli plain(1, argv_default);
+    EXPECT_EQ(plain.jobs(), util::ThreadPool::defaultWorkers());
+
+    const char *argv_jobs[] = {"bench", "--jobs", "3"};
+    const util::Cli with_jobs(3, argv_jobs);
+    EXPECT_EQ(with_jobs.jobs(), 3u);
+
+    const char *argv_bad[] = {"bench", "--jobs", "0"};
+    const util::Cli bad(3, argv_bad);
+    EXPECT_THROW(bad.jobs(), FatalError);
+}
+
+} // namespace
+} // namespace imsim

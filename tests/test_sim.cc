@@ -115,6 +115,47 @@ TEST(Simulation, CancelUnknownIdIsIgnored)
     sim.run();
 }
 
+TEST(Simulation, PendingEventsExcludesCancelled)
+{
+    sim::Simulation sim;
+    const auto id1 = sim.at(1.0, [] {});
+    sim.at(2.0, [] {});
+    const auto id3 = sim.at(3.0, [] {});
+    EXPECT_EQ(sim.pendingEvents(), 3u);
+    sim.cancel(id1);
+    sim.cancel(id3);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.cancel(id3); // Double cancel changes nothing.
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(sim.eventsExecuted(), 1u);
+}
+
+TEST(Simulation, CancelledPeriodicEventLeavesNoPendingResidue)
+{
+    sim::Simulation sim;
+    const auto id = sim.every(1.0, [] {});
+    sim.at(3.5, [&] { sim.cancel(id); });
+    sim.run();
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Simulation, ManyCancellationsStayCheap)
+{
+    // Regression guard for the old O(n^2) lazy-cancellation scan: 20k
+    // cancelled one-shots must pop in (amortised) constant time each.
+    sim::Simulation sim;
+    std::vector<sim::EventId> ids;
+    for (int i = 0; i < 20000; ++i)
+        ids.push_back(sim.at(1.0 + i * 1e-3, [] {}));
+    for (const auto id : ids)
+        sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
 TEST(Simulation, RunUntilLeavesFutureEventsPending)
 {
     sim::Simulation sim;
