@@ -14,6 +14,7 @@
 
 #include "autoscale/experiment.hh"
 #include "exp/sweep.hh"
+#include "obs/obs.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -24,7 +25,8 @@ main(int argc, char **argv)
 {
     // Flags: --seed N (default 42), --step SECONDS (default 300),
     // --skip-downramp (omit the down-ramp extension section),
-    // --jobs N (default hardware concurrency), --report FILE.
+    // --jobs N (default hardware concurrency), --report FILE,
+    // --trace FILE (Chrome trace JSON), --telemetry FILE (merged CSV).
     const util::Cli cli(argc, argv);
     autoscale::ExperimentParams params;
     params.seed = static_cast<std::uint64_t>(cli.getInt("--seed", 42));
@@ -44,9 +46,20 @@ main(int argc, char **argv)
     const std::vector<autoscale::Policy> runs{
         autoscale::Policy::Baseline, autoscale::Policy::OcE,
         autoscale::Policy::OcA, autoscale::Policy::OcE};
+    // With --trace/--telemetry each run fills its own ObsCapture slot
+    // (thread-compatible: one capture per point); the captures are
+    // merged in point order below, so the output is identical for any
+    // --jobs value.
+    const bool capture_obs =
+        obs::traceRequested(cli) || obs::telemetryRequested(cli);
+    std::vector<autoscale::ObsCapture> captures(
+        capture_obs ? runs.size() : 0);
     const auto outcomes = runner.map<autoscale::AutoScaleOutcome>(
         runs.size(), [&](std::size_t i, util::Rng &) {
-            return autoscale::runFullExperiment(runs[i], params);
+            autoscale::ExperimentParams point_params = params;
+            if (capture_obs)
+                point_params.obs = &captures[i];
+            return autoscale::runFullExperiment(runs[i], point_params);
         });
     const auto &baseline = outcomes[0];
     const auto &oce = outcomes[1];
@@ -188,5 +201,20 @@ main(int argc, char **argv)
         report.add(std::move(record));
     }
     exp::maybeWriteReport(cli, report, std::cout);
+
+    if (capture_obs) {
+        obs::EventTracer merged_trace;
+        obs::TelemetryMerger telemetry(captures.size());
+        for (std::size_t i = 0; i < captures.size(); ++i) {
+            const std::string label = autoscale::policyName(runs[i]) +
+                                      "#" + std::to_string(i);
+            merged_trace.nameTrack(static_cast<std::uint32_t>(i), label);
+            merged_trace.append(captures[i].tracer,
+                                static_cast<std::uint32_t>(i));
+            telemetry.add(i, label, captures[i].telemetry);
+        }
+        obs::maybeWriteTrace(cli, merged_trace, std::cout);
+        obs::maybeWriteTelemetry(cli, telemetry, std::cout);
+    }
     return 0;
 }

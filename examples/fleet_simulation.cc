@@ -12,6 +12,7 @@
  * identical for any --jobs value.
  *
  * Run: ./build/examples/fleet_simulation [--jobs N] [--report out.json]
+ *      [--telemetry out.csv]
  */
 
 #include <iostream>
@@ -19,6 +20,7 @@
 #include "cluster/datacenter.hh"
 #include "core/credit.hh"
 #include "exp/sweep.hh"
+#include "obs/obs.hh"
 #include "reliability/lifetime.hh"
 #include "thermal/network.hh"
 #include "util/cli.hh"
@@ -52,10 +54,18 @@ main(int argc, char **argv)
             {"Power-aware", cluster::OverclockPolicy::PowerAware},
         };
     exp::SweepRunner runner({cli.jobs(), 99});
+    // With --telemetry each policy run records its per-minute feed
+    // series into its own slot; merged in point order below, so the
+    // CSV is identical for any --jobs value.
+    const bool capture_obs = obs::telemetryRequested(cli);
+    std::vector<obs::TimeSeries> feed_series(
+        capture_obs ? policies.size() : 0);
     const auto outcomes = runner.map<cluster::DatacenterOutcome>(
         policies.size(), [&](std::size_t i, util::Rng &) {
             util::Rng rng(99);
-            return dc.run(policies[i].second, rng, 14.0);
+            return dc.run(policies[i].second, rng, 14.0,
+                          capture_obs ? &feed_series[i] : nullptr,
+                          nullptr);
         });
     for (std::size_t i = 0; i < policies.size(); ++i) {
         const auto &outcome = outcomes[i];
@@ -138,5 +148,12 @@ main(int argc, char **argv)
               << " C (Table V's overclocked HFE point is ~60 C).\n";
 
     exp::maybeWriteReport(cli, report, std::cout);
+
+    if (capture_obs) {
+        obs::TelemetryMerger telemetry(feed_series.size());
+        for (std::size_t i = 0; i < feed_series.size(); ++i)
+            telemetry.add(i, policies[i].first, feed_series[i]);
+        obs::maybeWriteTelemetry(cli, telemetry, std::cout);
+    }
     return 0;
 }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build the ThreadSanitizer configuration (warnings-as-errors) and run
+# the concurrency-sensitive tests (ctest label "tsan"): the experiment
+# engine's thread pool, parallel sweeps, and the observability layer's
+# per-point capture/merge path.
+#
+# Usage: scripts/tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DIMSIM_SANITIZE=thread \
+    -DIMSIM_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -38,6 +40,34 @@ AutoScaler::AutoScaler(sim::Simulation &simulation,
 }
 
 void
+AutoScaler::attachTelemetry(obs::MetricRegistry *registry,
+                            obs::EventTracer *tracer_in)
+{
+    util::fatalIf(running,
+                  "AutoScaler::attachTelemetry: call before start()");
+    tracer = tracer_in;
+    if (!registry)
+        return;
+    scaleOutMetric = &registry->counter("autoscaler.scale_outs");
+    scaleInMetric = &registry->counter("autoscaler.scale_ins");
+    freqChangeMetric = &registry->counter("autoscaler.freq_changes");
+    registry->registerGauge("autoscaler.vms", [this] {
+        return static_cast<double>(cluster.activeServers());
+    });
+    registry->registerGauge("autoscaler.frequency_ghz",
+                            [this] { return fleetFreq; });
+    registry->registerGauge("autoscaler.util30", [this] {
+        return cluster.fleetUtilization(cfg.shortWindow);
+    });
+    registry->registerGauge("autoscaler.util180", [this] {
+        return cluster.fleetUtilization(cfg.longWindow);
+    });
+    registry->registerGauge("autoscaler.queue_depth", [this] {
+        return static_cast<double>(cluster.queueDepth());
+    });
+}
+
+void
 AutoScaler::start()
 {
     util::fatalIf(running, "AutoScaler::start: already running");
@@ -63,6 +93,16 @@ AutoScaler::applyFrequency(GHz f)
     lastFreqChange = sim.now();
     fleetFreq = f;
     cluster.setAllFrequencies(f);
+    if (freqChangeMetric)
+        freqChangeMetric->inc();
+    if (tracer) {
+        tracer->instantAt("freq_change", "autoscale", sim.now(),
+                          {{"ghz", f}});
+    }
+    if (log.enabled(util::LogLevel::Debug)) {
+        log.debug("t=" + std::to_string(sim.now()) + " fleet frequency -> " +
+                  std::to_string(f) + " GHz");
+    }
 }
 
 double
@@ -101,6 +141,17 @@ AutoScaler::triggerScaleOut()
 {
     scaleOutPending = true;
     ++scaleOutCount;
+    if (scaleOutMetric)
+        scaleOutMetric->inc();
+    if (tracer) {
+        tracer->instantAt(
+            "scale_out", "autoscale", sim.now(),
+            {{"vms", static_cast<double>(cluster.activeServers())}});
+    }
+    if (log.enabled(util::LogLevel::Debug)) {
+        log.debug("t=" + std::to_string(sim.now()) + " scale-out from " +
+                  std::to_string(cluster.activeServers()) + " VMs");
+    }
     sim.after(cfg.scaleOutLatency, [this] {
         cluster.addServer(fleetFreq);
         scaleOutPending = false;
@@ -151,6 +202,19 @@ AutoScaler::decide()
         } else if (util_long < cfg.scaleInThreshold && vms > cfg.minVms) {
             cluster.removeServer();
             ++scaleInCount;
+            if (scaleInMetric)
+                scaleInMetric->inc();
+            if (tracer) {
+                tracer->instantAt(
+                    "scale_in", "autoscale", now,
+                    {{"vms",
+                      static_cast<double>(cluster.activeServers())}});
+            }
+            if (log.enabled(util::LogLevel::Debug)) {
+                log.debug("t=" + std::to_string(now) + " scale-in to " +
+                          std::to_string(cluster.activeServers()) +
+                          " VMs");
+            }
             if (cfg.policy == Policy::OcA &&
                 fleetFreq > cfg.baseFrequency + 1e-9) {
                 applyFrequency(cfg.baseFrequency);

@@ -28,10 +28,18 @@
 
 #include "autoscale/model.hh"
 #include "hw/counters.hh"
+#include "obs/log.hh"
 #include "sim/simulation.hh"
 #include "workload/queueing.hh"
 
 namespace imsim {
+
+namespace obs {
+class Counter;
+class EventTracer;
+class MetricRegistry;
+} // namespace obs
+
 namespace autoscale {
 
 /** Auto-scaler policy (Table XI rows). */
@@ -90,6 +98,21 @@ class AutoScaler
     AutoScaler(sim::Simulation &simulation,
                workload::QueueingCluster &cluster, AutoScalerConfig config);
 
+    /**
+     * Attach observability. Either pointer may be null.
+     *
+     * With a registry, registers counters `autoscaler.scale_outs`,
+     * `autoscaler.scale_ins`, `autoscaler.freq_changes` and gauges
+     * `autoscaler.vms`, `autoscaler.frequency_ghz`,
+     * `autoscaler.util30`, `autoscaler.util180`,
+     * `autoscaler.queue_depth` (polled from the cluster, so a
+     * TelemetrySampler sees live values). With a tracer, emits
+     * instant events for scale-out/in and frequency changes. Both
+     * must outlive the scaler. Call before start().
+     */
+    void attachTelemetry(obs::MetricRegistry *registry,
+                         obs::EventTracer *tracer);
+
     /** Arm the decision loop (first decision after one period). */
     void start();
 
@@ -139,6 +162,12 @@ class AutoScaler
     double freqIntegral = 0.0;
     Seconds lastFreqChange = 0.0;
     Seconds startTime = 0.0;
+
+    obs::Logger log{"autoscaler"};
+    obs::EventTracer *tracer = nullptr;
+    obs::Counter *scaleOutMetric = nullptr;
+    obs::Counter *scaleInMetric = nullptr;
+    obs::Counter *freqChangeMetric = nullptr;
 };
 
 } // namespace autoscale

@@ -1,6 +1,10 @@
 #include "autoscale/experiment.hh"
 
+#include <memory>
+#include <optional>
+
 #include "hw/cpu.hh"
+#include "obs/sampler.hh"
 #include "thermal/cooling.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -66,6 +70,26 @@ runSchedule(Policy policy, const ExperimentParams &params,
         cluster.addServer(cfg.baseFrequency);
 
     AutoScaler scaler(sim, cluster, cfg);
+
+    // Optional observability capture: enable the tracer on the
+    // virtual clock, attach the scaler's metrics, and arm the
+    // telemetry sampler before the run starts.
+    ObsCapture *capture = params.obs;
+    std::unique_ptr<obs::KernelTracer> kernel_tracer;
+    std::optional<obs::TelemetrySampler> sampler;
+    if (capture) {
+        if (!capture->tracer.enabled())
+            capture->tracer.enable([&sim] { return sim.now(); });
+        scaler.attachTelemetry(&capture->registry, &capture->tracer);
+        if (capture->traceKernel) {
+            kernel_tracer = std::make_unique<obs::KernelTracer>(
+                capture->tracer, sim);
+        }
+        sampler.emplace(sim, capture->registry, capture->telemetryPeriod);
+        sampler->mirrorToTracer(&capture->tracer);
+        sampler->start();
+    }
+
     scaler.start();
 
     // Program the load staircase.
@@ -89,6 +113,20 @@ runSchedule(Policy policy, const ExperimentParams &params,
         params.stepDuration * static_cast<double>(qps_levels.size());
     sim.runUntil(horizon);
     cluster.setArrivalRate(0.0);
+
+    if (capture) {
+        sampler->stop();
+        capture->telemetry = sampler->takeSeries();
+        kernel_tracer.reset();
+        capture->tracer.disable();
+        // The provider gauges capture the scaler and cluster, which die
+        // with this frame; freeze them to their final values so the
+        // capture stays safe to read (and merge) after the run.
+        for (const auto &entry : capture->registry.gauges()) {
+            if (entry.second->provided())
+                entry.second->set(entry.second->value());
+        }
+    }
 
     AutoScaleOutcome out;
     out.policy = policy;

@@ -15,10 +15,41 @@
 #include <vector>
 
 #include "autoscale/autoscaler.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
 #include "util/units.hh"
 
 namespace imsim {
 namespace autoscale {
+
+/**
+ * Observability capture for one experiment run. Point
+ * ExperimentParams::obs at one of these (one per run — the members
+ * are not synchronised) and the run fills it in:
+ *  - @ref registry holds the auto-scaler's counters and gauges;
+ *  - @ref telemetry holds the periodic gauge/counter samples
+ *    (period @ref telemetryPeriod, first sample at the scaler start);
+ *  - @ref tracer holds scale/frequency instants on the virtual
+ *    timeline, plus kernel events when @ref traceKernel is set.
+ *
+ * When the run returns, provider-backed gauges are frozen to their
+ * final values (the scaler they poll is gone), so the capture is safe
+ * to snapshot and merge afterwards.
+ *
+ * The capture adds sampling events to the simulation, so runs with a
+ * capture attached execute more kernel events than runs without —
+ * but the *model* trajectory (latencies, VM counts, power) is
+ * unchanged, and captures from replicated runs are deterministic.
+ */
+struct ObsCapture
+{
+    obs::MetricRegistry registry;
+    obs::TimeSeries telemetry;
+    obs::EventTracer tracer;
+    Seconds telemetryPeriod = 60.0; ///< Telemetry sampling period [s].
+    bool traceKernel = false;       ///< Also trace raw kernel events.
+};
 
 /** Outcome of one full auto-scaling run (a Table XI row). */
 struct AutoScaleOutcome
@@ -44,6 +75,7 @@ struct ExperimentParams
     double serviceCv = 1.5;         ///< General service distribution.
     int threadsPerVm = 4;           ///< Client-Server needs 4 cores.
     std::size_t maxVms = 6;         ///< Deployment size cap (paper: 6).
+    ObsCapture *obs = nullptr;      ///< Optional telemetry capture.
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -46,7 +48,33 @@ DatacenterOutcome
 DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
                         double days) const
 {
+    return run(policy, rng, days, nullptr, nullptr);
+}
+
+DatacenterOutcome
+DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
+                        obs::TimeSeries *telemetry,
+                        obs::MetricRegistry *metrics) const
+{
     util::fatalIf(days <= 0.0, "DatacenterPowerSim::run: bad horizon");
+
+    obs::Counter *minute_metric = nullptr;
+    obs::Counter *capping_metric = nullptr;
+    obs::Counter *capped_rack_metric = nullptr;
+    obs::HistogramMetric *feed_util_metric = nullptr;
+    if (metrics) {
+        minute_metric = &metrics->counter("datacenter.minutes");
+        capping_metric = &metrics->counter("datacenter.capping_minutes");
+        capped_rack_metric =
+            &metrics->counter("datacenter.capped_rack_minutes");
+        feed_util_metric =
+            &metrics->histogram("datacenter.feed_utilization");
+    }
+    if (telemetry) {
+        *telemetry = obs::TimeSeries();
+        telemetry->setColumns({"feed_draw_w", "feed_utilization", "capped",
+                               "oc_server_minutes"});
+    }
 
     // One utilization trace per rack (racks aggregate many servers, so
     // use a smoother trace than a single machine's).
@@ -128,9 +156,13 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
         const auto allocations = budget.allocate(consumers);
         Watts drawn = 0.0;
         bool any_capped = false;
+        double minute_oc = 0.0;
+        std::size_t capped_racks = 0;
         for (std::size_t r = 0; r < racks.size(); ++r) {
             drawn += allocations[r].granted;
             any_capped = any_capped || allocations[r].capped;
+            if (allocations[r].capped)
+                ++capped_racks;
 
             const auto &rack = racks[r];
             const double servers = static_cast<double>(rack.servers);
@@ -140,6 +172,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
                 policy != OverclockPolicy::Never && want_oc[r] > 0.0;
             if (overclocked) {
                 oc_minutes += wanted;
+                minute_oc += wanted;
                 if (allocations[r].capped) {
                     // Capping claws the frequency back: the overclock
                     // bought nothing this minute.
@@ -156,6 +189,21 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
         if (any_capped)
             capping_minutes += 1.0;
         out.energyMwh += drawn / 1e6 / 60.0;
+
+        const double feed_util = drawn / feedCapacity;
+        if (telemetry) {
+            telemetry->append(static_cast<double>(minute) * 60.0,
+                              {drawn, feed_util, any_capped ? 1.0 : 0.0,
+                               minute_oc});
+        }
+        if (metrics) {
+            minute_metric->inc();
+            if (any_capped)
+                capping_metric->inc();
+            capped_rack_metric->inc(
+                static_cast<std::uint64_t>(capped_racks));
+            feed_util_metric->observe(feed_util);
+        }
     }
 
     const double total_minutes = static_cast<double>(minutes);

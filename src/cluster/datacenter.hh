@@ -27,6 +27,12 @@
 #include "workload/trace.hh"
 
 namespace imsim {
+
+namespace obs {
+class MetricRegistry;
+class TimeSeries;
+} // namespace obs
+
 namespace cluster {
 
 /** When servers are allowed to overclock. */
@@ -88,6 +94,24 @@ class DatacenterPowerSim
      */
     DatacenterOutcome run(OverclockPolicy policy, util::Rng &rng,
                           double days) const;
+
+    /**
+     * As run(), also recording per-minute telemetry and counters.
+     *
+     * @param telemetry When non-null, receives one row per simulated
+     *                  minute with columns `feed_draw_w`,
+     *                  `feed_utilization`, `capped`,
+     *                  `oc_server_minutes` (fresh series; any prior
+     *                  contents are replaced).
+     * @param metrics   When non-null, gains counters
+     *                  `datacenter.minutes`,
+     *                  `datacenter.capping_minutes`,
+     *                  `datacenter.capped_rack_minutes` and histogram
+     *                  `datacenter.feed_utilization`.
+     */
+    DatacenterOutcome run(OverclockPolicy policy, util::Rng &rng,
+                          double days, obs::TimeSeries *telemetry,
+                          obs::MetricRegistry *metrics) const;
 
     /** @return total nominal peak power across racks [W]. */
     Watts fleetNominalPeak() const;

@@ -23,6 +23,9 @@
 #include "exp/report.hh"
 #include "exp/sweep.hh"
 
+// Observability (metrics, telemetry time-series, tracing, logging).
+#include "obs/obs.hh"
+
 // Physical substrates.
 #include "thermal/cooling.hh"
 #include "thermal/environment.hh"

@@ -1,0 +1,62 @@
+#include "obs/log.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace imsim {
+namespace obs {
+
+namespace {
+
+std::mutex sinkMutex;
+std::vector<Logger::Sink> sinks;
+
+/** Mirrors util::inform()/warn(): warnings to stderr, rest to stdout. */
+void
+consoleSink(util::LogLevel level, const std::string &logger,
+            const std::string &msg)
+{
+    std::FILE *stream = level >= util::LogLevel::Warn ? stderr : stdout;
+    if (logger.empty()) {
+        std::fprintf(stream, "%s: %s\n",
+                     util::logLevelName(level).c_str(), msg.c_str());
+    } else {
+        std::fprintf(stream, "%s: [%s] %s\n",
+                     util::logLevelName(level).c_str(), logger.c_str(),
+                     msg.c_str());
+    }
+}
+
+} // namespace
+
+void
+Logger::log(util::LogLevel level, const std::string &msg) const
+{
+    if (!util::logEnabled(level))
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (sinks.empty()) {
+        consoleSink(level, loggerName, msg);
+        return;
+    }
+    for (const auto &sink : sinks)
+        sink(level, loggerName, msg);
+}
+
+void
+Logger::addSink(Sink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    sinks.push_back(std::move(sink));
+}
+
+void
+Logger::clearSinks()
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    sinks.clear();
+}
+
+} // namespace obs
+} // namespace imsim

@@ -1,0 +1,47 @@
+#include "obs/obs.hh"
+
+#include <ostream>
+
+#include "util/cli.hh"
+
+namespace imsim {
+namespace obs {
+
+bool
+traceRequested(const util::Cli &cli)
+{
+    return !cli.traceFile().empty();
+}
+
+bool
+telemetryRequested(const util::Cli &cli)
+{
+    return !cli.telemetryFile().empty();
+}
+
+void
+maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
+                std::ostream &os)
+{
+    const std::string path = cli.traceFile();
+    if (path.empty())
+        return;
+    tracer.writeJsonFile(path);
+    os << "[trace] wrote " << tracer.size() << " events to " << path
+       << " (load in chrome://tracing or ui.perfetto.dev)\n";
+}
+
+void
+maybeWriteTelemetry(const util::Cli &cli, const TelemetryMerger &telemetry,
+                    std::ostream &os)
+{
+    const std::string path = cli.telemetryFile();
+    if (path.empty())
+        return;
+    telemetry.writeCsvFile(path);
+    os << "[telemetry] wrote " << telemetry.filledCount()
+       << " point series to " << path << "\n";
+}
+
+} // namespace obs
+} // namespace imsim

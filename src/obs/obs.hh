@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Umbrella header for the observability library (imsim_obs): metric
+ * registry, telemetry time-series + sampler, Chrome-trace event
+ * tracer, and the leveled structured Logger — plus the shared-flag
+ * glue (`--trace FILE`, `--telemetry FILE`) the bench and example
+ * binaries use, mirroring exp::maybeWriteReport.
+ */
+
+#ifndef IMSIM_OBS_OBS_HH
+#define IMSIM_OBS_OBS_HH
+
+#include <iosfwd>
+
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+
+namespace imsim {
+namespace util {
+class Cli;
+} // namespace util
+
+namespace obs {
+
+/** @return whether the Cli asked for a Chrome trace (`--trace FILE`). */
+bool traceRequested(const util::Cli &cli);
+
+/** @return whether the Cli asked for telemetry (`--telemetry FILE`). */
+bool telemetryRequested(const util::Cli &cli);
+
+/**
+ * Honor `--trace FILE`: when present, write @p tracer's Chrome-trace
+ * JSON there and print a one-line confirmation to @p os.
+ */
+void maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
+                     std::ostream &os);
+
+/**
+ * Honor `--telemetry FILE`: when present, write the merged per-point
+ * telemetry CSV there and print a one-line confirmation to @p os.
+ */
+void maybeWriteTelemetry(const util::Cli &cli,
+                         const TelemetryMerger &telemetry,
+                         std::ostream &os);
+
+} // namespace obs
+} // namespace imsim
+
+#endif // IMSIM_OBS_OBS_HH

@@ -1,0 +1,79 @@
+#include "obs/sampler.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace obs {
+
+TelemetrySampler::TelemetrySampler(sim::Simulation &sim_in,
+                                   MetricRegistry &registry_in,
+                                   Seconds period_in)
+    : sim(sim_in), registry(registry_in), samplePeriod(period_in)
+{
+    util::fatalIf(period_in <= 0.0,
+                  "TelemetrySampler: period must be > 0");
+}
+
+TelemetrySampler::~TelemetrySampler()
+{
+    stop();
+}
+
+void
+TelemetrySampler::start()
+{
+    util::fatalIf(running, "TelemetrySampler::start: already started");
+    if (samples.columns().empty()) {
+        std::vector<std::string> cols;
+        for (const auto &entry : registry.gauges())
+            cols.push_back(entry.first);
+        for (const auto &entry : registry.counters())
+            cols.push_back(entry.first);
+        samples.setColumns(std::move(cols));
+        gaugeCount = registry.gauges().size();
+        counterCount = registry.counters().size();
+    }
+    running = true;
+    sampleNow();
+    tick = sim.every(samplePeriod, [this] { sampleNow(); });
+}
+
+void
+TelemetrySampler::stop()
+{
+    if (!running)
+        return;
+    sim.cancel(tick);
+    running = false;
+}
+
+void
+TelemetrySampler::sampleNow()
+{
+    util::fatalIf(registry.gauges().size() != gaugeCount ||
+                      registry.counters().size() != counterCount,
+                  "TelemetrySampler: registry changed after start()");
+    const Seconds now = sim.now();
+    std::vector<double> row;
+    row.reserve(gaugeCount + counterCount);
+    for (const auto &entry : registry.gauges())
+        row.push_back(entry.second->value());
+    for (const auto &entry : registry.counters())
+        row.push_back(static_cast<double>(entry.second->value()));
+    if (tracer && tracer->enabled()) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            tracer->counterAt(samples.columns()[i], now, row[i]);
+    }
+    samples.append(now, std::move(row));
+}
+
+TimeSeries
+TelemetrySampler::takeSeries()
+{
+    TimeSeries out = std::move(samples);
+    samples = TimeSeries();
+    return out;
+}
+
+} // namespace obs
+} // namespace imsim

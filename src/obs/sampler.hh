@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TelemetrySampler: periodically samples a MetricRegistry's gauges and
+ * counters into a TimeSeries, driven by the simulation kernel's
+ * periodic events — the production-telemetry feed the paper's control
+ * loops (auto-scaler, overclocking manager, capping) consume.
+ */
+
+#ifndef IMSIM_OBS_SAMPLER_HH
+#define IMSIM_OBS_SAMPLER_HH
+
+#include <cstddef>
+
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "sim/simulation.hh"
+
+namespace imsim {
+namespace obs {
+
+/**
+ * Samples every gauge (polled) and counter of a registry into an
+ * in-memory TimeSeries on a fixed virtual-time period.
+ *
+ * Alignment contract: start() takes one sample at the current virtual
+ * time, then one every period via sim::Simulation::every(), i.e. at
+ * exactly start + k*period. Under runUntil(h) no sample is taken past
+ * h (the kernel does not fire events beyond the horizon).
+ *
+ * The sampled columns are frozen at start(): gauges first, then
+ * counters, in registration order. Registering further metrics after
+ * start() is a FatalError at the next sample.
+ */
+class TelemetrySampler
+{
+  public:
+    /**
+     * @param sim_in      Kernel that drives the sampling clock.
+     * @param registry_in Metrics to sample; must outlive the sampler.
+     * @param period_in   Sampling period [s] (> 0).
+     */
+    TelemetrySampler(sim::Simulation &sim_in, MetricRegistry &registry_in,
+                     Seconds period_in);
+
+    ~TelemetrySampler();
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /**
+     * Freeze the column set, take the first sample now, and arm the
+     * periodic sampling event. FatalError when already started.
+     */
+    void start();
+
+    /** Cancel the periodic sampling event (series is kept). */
+    void stop();
+
+    /** Take one sample at the current virtual time. */
+    void sampleNow();
+
+    /**
+     * Mirror every sample into @p tracer as counter events (one 'C'
+     * track per column), so gauges show up as counter tracks in
+     * Perfetto alongside the event trace. Optional; nullptr detaches.
+     */
+    void mirrorToTracer(EventTracer *tracer_in) { tracer = tracer_in; }
+
+    /** @return the sampling period [s]. */
+    Seconds period() const { return samplePeriod; }
+
+    /** @return the collected series. */
+    const TimeSeries &series() const { return samples; }
+
+    /** @return the collected series, moved out (sampler keeps none). */
+    TimeSeries takeSeries();
+
+  private:
+    sim::Simulation &sim;
+    MetricRegistry &registry;
+    Seconds samplePeriod;
+    TimeSeries samples;
+    EventTracer *tracer = nullptr;
+    sim::EventId tick = 0;
+    bool running = false;
+    std::size_t gaugeCount = 0;
+    std::size_t counterCount = 0;
+};
+
+} // namespace obs
+} // namespace imsim
+
+#endif // IMSIM_OBS_SAMPLER_HH

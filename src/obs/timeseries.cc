@@ -1,0 +1,149 @@
+#include "obs/timeseries.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace obs {
+
+namespace {
+
+/**
+ * Deterministic, near-lossless numeric rendering shared by the CSV and
+ * JSON writers (12 significant digits cover the simulator's physical
+ * ranges without the noise of full round-trip precision).
+ */
+std::string
+formatNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+} // namespace
+
+void
+TimeSeries::setColumns(std::vector<std::string> column_names)
+{
+    util::fatalIf(!data.empty(),
+                  "TimeSeries: cannot change columns after sampling");
+    cols = std::move(column_names);
+}
+
+void
+TimeSeries::append(Seconds t, std::vector<double> values)
+{
+    util::fatalIf(values.size() != cols.size(),
+                  "TimeSeries: row width does not match columns");
+    data.emplace_back(t, std::move(values));
+}
+
+void
+TimeSeries::writeCsv(std::ostream &os, const std::string &label_column,
+                     const std::string &label) const
+{
+    if (!label_column.empty())
+        os << label_column << ',';
+    os << 't';
+    for (const auto &col : cols)
+        os << ',' << col;
+    os << '\n';
+    for (const auto &sample : data) {
+        if (!label_column.empty())
+            os << label << ',';
+        os << formatNumber(sample.first);
+        for (double v : sample.second)
+            os << ',' << formatNumber(v);
+        os << '\n';
+    }
+}
+
+void
+TimeSeries::writeJson(std::ostream &os) const
+{
+    os << "{\"columns\": [\"t\"";
+    for (const auto &col : cols)
+        os << ", \"" << col << '"';
+    os << "], \"rows\": [";
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        os << (i ? ", [" : "[") << formatNumber(data[i].first);
+        for (double v : data[i].second)
+            os << ", " << formatNumber(v);
+        os << ']';
+    }
+    os << "]}";
+}
+
+TelemetryMerger::TelemetryMerger(std::size_t points)
+    : slots(points), filled(points, false)
+{}
+
+void
+TelemetryMerger::add(std::size_t index, const std::string &label,
+                     TimeSeries series)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    util::fatalIf(index >= slots.size(),
+                  "TelemetryMerger: point index out of range");
+    util::fatalIf(filled[index],
+                  "TelemetryMerger: point reported twice");
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        util::fatalIf(filled[i] &&
+                          slots[i].second.columns() != series.columns(),
+                      "TelemetryMerger: points disagree on columns");
+    }
+    slots[index] = {label, std::move(series)};
+    filled[index] = true;
+}
+
+std::size_t
+TelemetryMerger::filledCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t n = 0;
+    for (bool f : filled)
+        n += f ? 1 : 0;
+    return n;
+}
+
+void
+TelemetryMerger::writeCsv(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    bool header = false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (!filled[i])
+            continue;
+        if (!header) {
+            os << "point,t";
+            for (const auto &col : slots[i].second.columns())
+                os << ',' << col;
+            os << '\n';
+            header = true;
+        }
+        const auto &slot = slots[i];
+        for (std::size_t r = 0; r < slot.second.rows(); ++r) {
+            os << slot.first << ',' << formatNumber(slot.second.time(r));
+            for (double v : slot.second.row(r))
+                os << ',' << formatNumber(v);
+            os << '\n';
+        }
+    }
+}
+
+void
+TelemetryMerger::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    util::fatalIf(!out, "TelemetryMerger: cannot open '" + path +
+                            "' for writing");
+    writeCsv(out);
+    util::fatalIf(!out, "TelemetryMerger: failed writing '" + path + "'");
+}
+
+} // namespace obs
+} // namespace imsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * In-memory time-series storage for sampled telemetry, with CSV/JSON
+ * export, plus the TelemetryMerger that collects one series per sweep
+ * point under the experiment engine.
+ *
+ * Determinism contract: a TimeSeries' CSV rendering depends only on
+ * the samples appended to it; TelemetryMerger stores series by point
+ * index and writes them in index order, so the merged CSV is
+ * byte-identical whether the sweep ran with --jobs 1 or --jobs N.
+ */
+
+#ifndef IMSIM_OBS_TIMESERIES_HH
+#define IMSIM_OBS_TIMESERIES_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace imsim {
+namespace obs {
+
+/**
+ * A fixed-column time-series: a header of column names and rows of
+ * (virtual time, values) samples in append order.
+ */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    /** @param column_names Value column names (time is implicit). */
+    explicit TimeSeries(std::vector<std::string> column_names)
+        : cols(std::move(column_names))
+    {}
+
+    /** Set the value columns; only allowed while there are no rows. */
+    void setColumns(std::vector<std::string> column_names);
+
+    /** @return the value column names. */
+    const std::vector<std::string> &columns() const { return cols; }
+
+    /** Append one sample row; @p values must match the column count. */
+    void append(Seconds t, std::vector<double> values);
+
+    /** @return number of sample rows. */
+    std::size_t rows() const { return data.size(); }
+
+    /** @return whether no samples were recorded. */
+    bool empty() const { return data.empty(); }
+
+    /** @return timestamp of row @p i. */
+    Seconds time(std::size_t i) const { return data[i].first; }
+
+    /** @return values of row @p i (column order). */
+    const std::vector<double> &row(std::size_t i) const
+    {
+        return data[i].second;
+    }
+
+    /**
+     * Write as CSV: header `t,<columns...>`, one row per sample.
+     * When @p label_column is non-empty a leading column with the
+     * constant @p label is prepended (how merged per-point series
+     * stay distinguishable in one file).
+     */
+    void writeCsv(std::ostream &os, const std::string &label_column = "",
+                  const std::string &label = "") const;
+
+    /** Write as a JSON object {"columns": [...], "rows": [[t, ...]]}. */
+    void writeJson(std::ostream &os) const;
+
+    /** Drop all rows (columns stay). */
+    void clear() { data.clear(); }
+
+  private:
+    std::vector<std::string> cols;
+    std::vector<std::pair<Seconds, std::vector<double>>> data;
+};
+
+/**
+ * Collects one labelled TimeSeries per sweep point, thread-safely, and
+ * renders them merged in point order.
+ *
+ * Workers running under exp::SweepRunner call add() concurrently (a
+ * mutex guards the slots); the output order is fixed by the point
+ * index, never by completion order.
+ */
+class TelemetryMerger
+{
+  public:
+    /** @param points Number of sweep points that will report. */
+    explicit TelemetryMerger(std::size_t points);
+
+    /**
+     * Store point @p index's series under @p label (e.g. the policy
+     * name). Thread-safe; FatalError on out-of-range or duplicate
+     * indices, or when the columns disagree with other points.
+     */
+    void add(std::size_t index, const std::string &label,
+             TimeSeries series);
+
+    /** @return number of slots filled so far (thread-safe). */
+    std::size_t filledCount() const;
+
+    /**
+     * Write all filled series as one CSV with a leading "point"
+     * label column, in point order. Unfilled slots are skipped.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** writeCsv() to file @p path; FatalError when unwritable. */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<std::pair<std::string, TimeSeries>> slots;
+    std::vector<bool> filled;
+};
+
+} // namespace obs
+} // namespace imsim
+
+#endif // IMSIM_OBS_TIMESERIES_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -39,6 +40,15 @@ PowerBudget::breached(const std::vector<PowerConsumer> &consumers) const
     return total > cap;
 }
 
+void
+PowerBudget::attachMetrics(obs::MetricRegistry &registry,
+                           const std::string &prefix)
+{
+    allocationMetric = &registry.counter(prefix + ".allocations");
+    breachMetric = &registry.counter(prefix + ".breaches");
+    cappedMetric = &registry.counter(prefix + ".capped_consumers");
+}
+
 std::vector<CapAllocation>
 PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
 {
@@ -53,6 +63,9 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
         minimum_total += c.minimum;
     }
 
+    if (allocationMetric)
+        allocationMetric->inc();
+
     std::vector<CapAllocation> out;
     out.reserve(consumers.size());
 
@@ -61,6 +74,9 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
             out.push_back({c.name, c.demand, false});
         return out;
     }
+
+    if (breachMetric)
+        breachMetric->inc();
 
     util::fatalIf(minimum_total > cap,
                   "PowerBudget::allocate: even fully capped demand breaches "
@@ -102,8 +118,10 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
     }
 
     for (std::size_t i = 0; i < consumers.size(); ++i) {
-        out.push_back({consumers[i].name, granted[i],
-                       granted[i] + 1e-9 < consumers[i].demand});
+        const bool was_capped = granted[i] + 1e-9 < consumers[i].demand;
+        if (was_capped && cappedMetric)
+            cappedMetric->inc();
+        out.push_back({consumers[i].name, granted[i], was_capped});
     }
     return out;
 }

@@ -21,6 +21,12 @@
 #include "util/units.hh"
 
 namespace imsim {
+
+namespace obs {
+class Counter;
+class MetricRegistry;
+} // namespace obs
+
 namespace power {
 
 /**
@@ -124,9 +130,22 @@ class PowerBudget
     /** @return true when @p consumers' total demand breaches capacity. */
     bool breached(const std::vector<PowerConsumer> &consumers) const;
 
+    /**
+     * Publish this budget into @p registry under @p prefix: counters
+     * `<prefix>.allocations` (allocate() calls),
+     * `<prefix>.breaches` (allocations where demand exceeded
+     * capacity), `<prefix>.capped_consumers` (consumers granted less
+     * than their demand). The registry must outlive the budget.
+     */
+    void attachMetrics(obs::MetricRegistry &registry,
+                       const std::string &prefix = "feed");
+
   private:
     Watts cap;
     double oversub;
+    obs::Counter *allocationMetric = nullptr;
+    obs::Counter *breachMetric = nullptr;
+    obs::Counter *cappedMetric = nullptr;
 };
 
 } // namespace power

@@ -12,6 +12,8 @@ Simulation::push(Seconds t, EventFn fn, Seconds period)
     const EventId id = nextId++;
     queue.push(Event{t, id, std::move(fn), period});
     live.insert(id);
+    if (hooks)
+        hooks->onSchedule(id, t, period);
     return id;
 }
 
@@ -40,8 +42,11 @@ Simulation::cancel(EventId id)
 {
     // Only ids with a queued, not-yet-cancelled event need a record;
     // fired one-shots, unknown ids, and double cancels are no-ops.
-    if (live.erase(id) > 0)
+    if (live.erase(id) > 0) {
         cancelled.insert(id);
+        if (hooks)
+            hooks->onCancel(id);
+    }
 }
 
 bool
@@ -61,7 +66,7 @@ Simulation::runUntil(Seconds horizon)
         Event ev = top;
         queue.pop();
         if (cancelled.erase(ev.id) > 0)
-            continue;
+            continue; // Skipped cancellations never count as executed.
         live.erase(ev.id);
         clock = ev.time;
         ++executed;
@@ -70,8 +75,14 @@ Simulation::runUntil(Seconds horizon)
             // single cancel() kills all future firings.
             queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
             live.insert(ev.id);
+            if (hooks)
+                hooks->onSchedule(ev.id, clock + ev.period, ev.period);
         }
+        if (hooks)
+            hooks->onFire(ev.id, clock);
         ev.fn();
+        if (hooks)
+            hooks->onFireDone(ev.id, clock);
     }
     if (clock < horizon)
         clock = horizon;
@@ -85,15 +96,21 @@ Simulation::run()
         Event ev = queue.top();
         queue.pop();
         if (cancelled.erase(ev.id) > 0)
-            continue;
+            continue; // Skipped cancellations never count as executed.
         live.erase(ev.id);
         clock = ev.time;
         ++executed;
         if (ev.period > 0.0) {
             queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
             live.insert(ev.id);
+            if (hooks)
+                hooks->onSchedule(ev.id, clock + ev.period, ev.period);
         }
+        if (hooks)
+            hooks->onFire(ev.id, clock);
         ev.fn();
+        if (hooks)
+            hooks->onFireDone(ev.id, clock);
     }
 }
 

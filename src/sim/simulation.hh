@@ -29,6 +29,37 @@ using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
 /**
+ * Observer interface for the kernel's lifecycle: scheduling, firing,
+ * and cancellation. The default implementations do nothing, so
+ * observers override only what they need. obs::KernelTracer adapts
+ * this interface onto the Chrome-trace EventTracer.
+ *
+ * The kernel pays one branch per callback site when no observer is
+ * attached (`if (hooks)`), so disabled observability is effectively
+ * free; see bench_obs_overhead.
+ */
+class KernelHooks
+{
+  public:
+    virtual ~KernelHooks() = default;
+
+    /** An event was scheduled for @p t (period > 0 for periodic). */
+    virtual void onSchedule(EventId id, Seconds t, Seconds period)
+    {
+        (void)id; (void)t; (void)period;
+    }
+
+    /** A live queued event was cancelled. */
+    virtual void onCancel(EventId id) { (void)id; }
+
+    /** Event @p id is about to execute at virtual time @p t. */
+    virtual void onFire(EventId id, Seconds t) { (void)id; (void)t; }
+
+    /** Event @p id finished executing (clock still at @p t). */
+    virtual void onFireDone(EventId id, Seconds t) { (void)id; (void)t; }
+};
+
+/**
  * Discrete-event simulation engine.
  *
  * Events scheduled for the same timestamp fire in scheduling order, which
@@ -65,7 +96,13 @@ class Simulation
 
     /**
      * Run until the event queue is exhausted or the clock passes @p horizon.
-     * Events scheduled exactly at the horizon still fire.
+     *
+     * Horizon boundary: events scheduled exactly at the horizon still
+     * fire, *including* events that a horizon-time event schedules for
+     * the horizon itself (e.g. via after(0)) — the time==horizon
+     * cascade runs to completion before runUntil() returns. Events
+     * scheduled strictly past the horizon stay queued for a later
+     * runUntil()/run(). On return the clock is at least @p horizon.
      */
     void runUntil(Seconds horizon);
 
@@ -75,11 +112,25 @@ class Simulation
     /** Stop the current runUntil()/run() after the in-flight event. */
     void stop() { stopping = true; }
 
-    /** @return number of events executed so far. */
+    /**
+     * @return number of event callbacks actually executed so far.
+     * Cancelled events that are popped and skipped are excluded, by
+     * both run() and runUntil().
+     */
     std::uint64_t eventsExecuted() const { return executed; }
 
     /** @return number of live (non-cancelled) events currently pending. */
     std::size_t pendingEvents() const { return live.size(); }
+
+    /**
+     * Attach a lifecycle observer (nullptr detaches). The kernel does
+     * not own the observer; it must outlive the simulation or be
+     * detached first. At most one observer is attached at a time.
+     */
+    void setHooks(KernelHooks *h) { hooks = h; }
+
+    /** @return the attached lifecycle observer, or nullptr. */
+    KernelHooks *hooksAttached() const { return hooks; }
 
   private:
     struct Event
@@ -116,6 +167,7 @@ class Simulation
     EventId nextId = 1;
     std::uint64_t executed = 0;
     bool stopping = false;
+    KernelHooks *hooks = nullptr;
 };
 
 } // namespace sim

@@ -17,6 +17,12 @@
 #include "util/units.hh"
 
 namespace imsim {
+
+namespace obs {
+class Counter;
+class MetricRegistry;
+} // namespace obs
+
 namespace thermal {
 
 /**
@@ -85,6 +91,17 @@ class ImmersionTank
     /** @return cumulative vapor loss [g] across service events. */
     double vaporLossGrams() const { return vaporLoss; }
 
+    /**
+     * Publish this tank into @p registry under @p prefix: polled
+     * gauges `<prefix>.total_heat_w`, `<prefix>.headroom_w`,
+     * `<prefix>.fluid_temp_c`, `<prefix>.vapor_loss_g` and counter
+     * `<prefix>.service_events` (incremented by
+     * recordServiceEvent()). The registry must outlive the tank, and
+     * the tank must not move afterwards (the gauges capture `this`).
+     */
+    void attachMetrics(obs::MetricRegistry &registry,
+                       const std::string &prefix = "tank");
+
   private:
     std::string tankName;
     DielectricFluid fluid;
@@ -92,6 +109,7 @@ class ImmersionTank
     Watts condenserCap;
     TwoPhaseImmersionCooling cooling;
     double vaporLoss = 0.0;
+    obs::Counter *serviceEventMetric = nullptr;
 };
 
 /** Build the paper's small tank #1 (Xeon W-3175X in HFE-7000). */

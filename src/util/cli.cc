@@ -31,6 +31,12 @@ Cli::Cli(int argc, const char *const *argv)
             flags[token] = "";
         }
     }
+    // Shared observability flags: --log-level wins over --verbose when
+    // both are given.
+    if (has("--verbose"))
+        setVerbose(true);
+    if (has("--log-level"))
+        setLogLevel(parseLogLevel(get("--log-level")));
 }
 
 bool

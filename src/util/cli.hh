@@ -3,6 +3,12 @@
  * Minimal command-line flag parser for the bench and example binaries:
  * boolean switches ("--csv"), and "--key value" / "--key=value" options
  * with typed accessors.
+ *
+ * Shared observability flags: every binary that constructs a Cli gains
+ * `--verbose` and `--log-level trace|debug|info|warn|off` for free —
+ * the constructor applies them to the process-wide util::LogLevel
+ * threshold — plus the `--trace FILE` / `--telemetry FILE` accessors
+ * the obs-aware benches honour.
  */
 
 #ifndef IMSIM_UTIL_CLI_HH
@@ -23,7 +29,11 @@ namespace util {
 class Cli
 {
   public:
-    /** Parse argv; unknown flags are kept (benches print them back). */
+    /**
+     * Parse argv; unknown flags are kept (benches print them back).
+     * Applies `--verbose` / `--log-level LEVEL` to the process-wide
+     * logging threshold as a side effect (no flag leaves it untouched).
+     */
     Cli(int argc, const char *const *argv);
 
     /** @return whether @p flag (e.g. "--csv") appeared. */
@@ -50,6 +60,12 @@ class Cli
      *         sweep serially on the calling thread.
      */
     std::size_t jobs() const;
+
+    /** @return "--trace FILE" (Chrome-trace JSON output), "" if unset. */
+    std::string traceFile() const { return get("--trace"); }
+
+    /** @return "--telemetry FILE" (time-series CSV output), "" if unset. */
+    std::string telemetryFile() const { return get("--telemetry"); }
 
     /** @return the program name (argv[0]). */
     const std::string &program() const { return programName; }

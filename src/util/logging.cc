@@ -1,37 +1,83 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace imsim {
 namespace util {
 
 namespace {
-bool verboseFlag = false;
+/** Process-wide threshold; warnings print, inform() does not. */
+std::atomic<LogLevel> levelFlag{LogLevel::Warn};
 } // namespace
+
+std::string
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "trace";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Off: return "off";
+    }
+    panic("logLevelName: unhandled level");
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    for (LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                           LogLevel::Warn, LogLevel::Off}) {
+        if (name == logLevelName(level))
+            return level;
+    }
+    fatal("unknown log level '" + name +
+          "' (expected trace|debug|info|warn|off)");
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelFlag.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return levelFlag.load(std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return level >= logLevel() && level != LogLevel::Off;
+}
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    setLogLevel(verbose ? LogLevel::Info : LogLevel::Warn);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return logEnabled(LogLevel::Info);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (verboseFlag)
+    if (logEnabled(LogLevel::Info))
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logEnabled(LogLevel::Warn))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void

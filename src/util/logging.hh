@@ -10,6 +10,14 @@
  *  - panic()  -> the condition indicates a bug inside the library; throws
  *                imsim::PanicError carrying the broken invariant.
  *  - warn() / inform() -> non-fatal notices on stderr/stdout.
+ *
+ * Verbosity is a single process-wide LogLevel threshold shared with the
+ * structured obs::Logger front-end (src/obs/log.hh): a message prints
+ * when its level is at or above the threshold. inform() sits at Info,
+ * warn() at Warn; the historical setVerbose() switch maps onto the
+ * threshold (true -> Info, false -> Warn) so existing callers keep
+ * working while `--log-level`/`--verbose` (util::Cli) control the same
+ * state.
  */
 
 #ifndef IMSIM_UTIL_LOGGING_HH
@@ -46,16 +54,51 @@ class PanicError : public Error
 
 namespace util {
 
-/** Global verbosity switch for inform(); warnings always print. */
+/**
+ * Message severities, least to most severe. The process-wide threshold
+ * (setLogLevel) suppresses everything below it; Off silences even
+ * warnings.
+ */
+enum class LogLevel
+{
+    Trace,
+    Debug,
+    Info,
+    Warn,
+    Off,
+};
+
+/** @return a printable lower-case level name ("trace", ..., "off"). */
+std::string logLevelName(LogLevel level);
+
+/**
+ * Parse a level name as accepted by `--log-level`
+ * (trace|debug|info|warn|off, case-sensitive); FatalError otherwise.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Set the process-wide logging threshold (thread-safe). */
+void setLogLevel(LogLevel level);
+
+/** @return the current process-wide logging threshold. */
+LogLevel logLevel();
+
+/** @return whether messages at @p level currently print. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Legacy verbosity switch, routed through the LogLevel threshold:
+ * true -> Info (inform() prints), false -> Warn (the default).
+ */
 void setVerbose(bool verbose);
 
-/** @return whether inform() currently prints. */
+/** @return whether inform() currently prints (threshold <= Info). */
 bool verbose();
 
-/** Print an informational message (suppressed unless verbose). */
+/** Print an informational message (suppressed below Info level). */
 void inform(const std::string &msg);
 
-/** Print a warning to stderr. Never stops execution. */
+/** Print a warning to stderr (suppressed only by LogLevel::Off). */
 void warn(const std::string &msg);
 
 /** Report a user error: throws FatalError with the given message. */

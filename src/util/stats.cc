@@ -97,6 +97,14 @@ PercentileEstimator::mean() const
 }
 
 void
+PercentileEstimator::merge(const PercentileEstimator &other)
+{
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    sorted = samples.empty();
+}
+
+void
 PercentileEstimator::reset()
 {
     samples.clear();

@@ -93,6 +93,15 @@ class PercentileEstimator
     /** @return arithmetic mean of the samples; 0 when empty. */
     double mean() const;
 
+    /** Absorb all of @p other's samples into this estimator. */
+    void merge(const PercentileEstimator &other);
+
+    /**
+     * @return the stored samples. Order is unspecified (percentile()
+     * sorts lazily in place); treat as a multiset.
+     */
+    const std::vector<double> &data() const { return samples; }
+
     /** Drop all samples. */
     void reset();
 

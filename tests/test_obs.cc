@@ -1,0 +1,742 @@
+/**
+ * @file
+ * Tests for the observability layer: metric registry semantics, the
+ * telemetry sampler's clock alignment, Chrome-trace JSON emission
+ * (validated by parse-back), the leveled Logger, the disabled-path
+ * overhead contract, and serial-vs-parallel determinism of the merged
+ * per-point telemetry (run under `ctest -L tsan` with
+ * IMSIM_SANITIZE=thread to check the capture/merge path for races).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autoscale/experiment.hh"
+#include "exp/sweep.hh"
+#include "obs/obs.hh"
+#include "sim/simulation.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser for trace parse-back: validates syntax and counts
+// the records inside "traceEvents". Accepts exactly the subset the
+// tracer emits (objects, arrays, strings, numbers).
+// ---------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    /** Parse the whole document; EXPECT-fails on any syntax error. */
+    bool
+    parseDocument()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+    std::size_t arrayItems(const std::string &key) const
+    {
+        const auto it = arrayCounts.find(key);
+        return it == arrayCounts.end() ? 0 : it->second;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool
+    parseValue()
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray("");
+          case '"':
+            return parseString(nullptr);
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return parseNumber();
+        }
+    }
+
+    bool
+    literal(const std::string &word)
+    {
+        if (s.compare(pos, word.size(), word) != 0)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (s[pos] != '"')
+            return false;
+        ++pos;
+        std::string value;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+            }
+            value.push_back(s[pos]);
+            ++pos;
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // Closing quote.
+        if (out)
+            *out = value;
+        return true;
+    }
+
+    bool
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '-' || s[pos] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(s[pos])))
+                digits = true;
+            ++pos;
+        }
+        return digits && pos > start;
+    }
+
+    bool
+    parseArray(const std::string &key)
+    {
+        if (s[pos] != '[')
+            return false;
+        ++pos;
+        std::size_t items = 0;
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            arrayCounts[key] = 0;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            ++items;
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == ']') {
+                ++pos;
+                arrayCounts[key] = items;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parseObject()
+    {
+        if (s[pos] != '{')
+            return false;
+        ++pos;
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (pos < s.size() && s[pos] == '[') {
+                if (!parseArray(key))
+                    return false;
+            } else if (!parseValue()) {
+                return false;
+            }
+            skipWs();
+            if (pos >= s.size())
+                return false;
+            if (s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (s[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string s; // By value: callers pass temporaries.
+    std::size_t pos = 0;
+    std::map<std::string, std::size_t> arrayCounts;
+};
+
+// ---------------------------------------------------------------------
+// MetricRegistry semantics.
+// ---------------------------------------------------------------------
+
+TEST(MetricRegistry, FindOrCreateReturnsStableReferences)
+{
+    obs::MetricRegistry registry;
+    obs::Counter &a = registry.counter("events");
+    a.inc(3);
+    // Interleave creations: references must stay valid.
+    registry.counter("other");
+    registry.gauge("g");
+    registry.histogram("h");
+    obs::Counter &b = registry.counter("events");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(registry.size(), 4u);
+}
+
+TEST(MetricRegistry, GaugeProviderPollsLiveState)
+{
+    obs::MetricRegistry registry;
+    double model = 1.0;
+    registry.registerGauge("freq", [&model] { return model; });
+    EXPECT_DOUBLE_EQ(registry.gauge("freq").value(), 1.0);
+    model = 4.1;
+    EXPECT_DOUBLE_EQ(registry.gauge("freq").value(), 4.1);
+    // set() overrides and detaches the provider.
+    registry.gauge("freq").set(2.0);
+    model = 9.9;
+    EXPECT_DOUBLE_EQ(registry.gauge("freq").value(), 2.0);
+}
+
+TEST(MetricRegistry, SnapshotFlattensInRegistrationOrder)
+{
+    obs::MetricRegistry registry;
+    registry.counter("c1").inc(2);
+    registry.gauge("g1").set(5.0);
+    registry.histogram("h1").observe(1.0);
+    registry.histogram("h1").observe(3.0);
+    const auto snap = registry.snapshot();
+    ASSERT_EQ(snap.size(), 2u + 5u); // c1, g1, h1.{count,mean,p50,p95,p99}
+    EXPECT_EQ(snap[0].first, "c1");
+    EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+    EXPECT_EQ(snap[1].first, "g1");
+    EXPECT_DOUBLE_EQ(snap[1].second, 5.0);
+    EXPECT_EQ(snap[2].first, "h1.count");
+    EXPECT_DOUBLE_EQ(snap[2].second, 2.0);
+    EXPECT_EQ(snap[3].first, "h1.mean");
+    EXPECT_DOUBLE_EQ(snap[3].second, 2.0);
+}
+
+TEST(MetricRegistry, MergeSumsCountersAndUnionsHistograms)
+{
+    obs::MetricRegistry a;
+    a.counter("n").inc(2);
+    a.histogram("lat").observe(1.0);
+    a.gauge("last").set(1.0);
+
+    obs::MetricRegistry b;
+    b.counter("n").inc(5);
+    b.counter("only_b").inc(1);
+    b.histogram("lat").observe(3.0);
+    b.gauge("last").set(2.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("n").value(), 7u);
+    EXPECT_EQ(a.counter("only_b").value(), 1u);
+    EXPECT_EQ(a.histogram("lat").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.histogram("lat").mean(), 2.0);
+    EXPECT_DOUBLE_EQ(a.gauge("last").value(), 2.0); // Last merged wins.
+}
+
+// ---------------------------------------------------------------------
+// TimeSeries / TelemetryMerger.
+// ---------------------------------------------------------------------
+
+TEST(TimeSeries, CsvHasHeaderAndRows)
+{
+    obs::TimeSeries series({"a", "b"});
+    series.append(0.0, {1.0, 2.0});
+    series.append(60.0, {3.0, 4.0});
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    EXPECT_EQ(csv.str(), "t,a,b\n0,1,2\n60,3,4\n");
+}
+
+TEST(TimeSeries, AppendWithWrongWidthIsFatal)
+{
+    obs::TimeSeries series({"a", "b"});
+    EXPECT_THROW(series.append(0.0, {1.0}), FatalError);
+}
+
+TEST(TelemetryMerger, WritesPointsInIndexOrderRegardlessOfAddOrder)
+{
+    obs::TimeSeries first({"v"});
+    first.append(0.0, {1.0});
+    obs::TimeSeries second({"v"});
+    second.append(0.0, {2.0});
+
+    obs::TelemetryMerger merger(2);
+    merger.add(1, "later", second); // Completion order reversed.
+    merger.add(0, "earlier", first);
+    EXPECT_EQ(merger.filledCount(), 2u);
+
+    std::ostringstream csv;
+    merger.writeCsv(csv);
+    EXPECT_EQ(csv.str(), "point,t,v\nearlier,0,1\nlater,0,2\n");
+}
+
+TEST(TelemetryMerger, DuplicateIndexIsFatal)
+{
+    obs::TimeSeries series({"v"});
+    obs::TelemetryMerger merger(1);
+    merger.add(0, "p", series);
+    EXPECT_THROW(merger.add(0, "p", series), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySampler clock alignment.
+// ---------------------------------------------------------------------
+
+TEST(TelemetrySampler, SamplesAtStartAndEveryPeriodNeverPastHorizon)
+{
+    sim::Simulation sim;
+    obs::MetricRegistry registry;
+    registry.registerGauge("clock", [&sim] { return sim.now(); });
+
+    obs::TelemetrySampler sampler(sim, registry, 10.0);
+    sampler.start();
+    sim.runUntil(35.0);
+    sampler.stop();
+
+    const obs::TimeSeries &series = sampler.series();
+    ASSERT_EQ(series.rows(), 4u); // t = 0, 10, 20, 30; none past 35.
+    for (std::size_t i = 0; i < series.rows(); ++i) {
+        EXPECT_DOUBLE_EQ(series.time(i), 10.0 * static_cast<double>(i));
+        EXPECT_DOUBLE_EQ(series.row(i)[0], series.time(i));
+    }
+}
+
+TEST(TelemetrySampler, HorizonBoundarySampleFires)
+{
+    sim::Simulation sim;
+    obs::MetricRegistry registry;
+    registry.registerGauge("one", [] { return 1.0; });
+    obs::TelemetrySampler sampler(sim, registry, 10.0);
+    sampler.start();
+    sim.runUntil(20.0); // Samples at 0, 10, and exactly 20.
+    EXPECT_EQ(sampler.series().rows(), 3u);
+}
+
+TEST(TelemetrySampler, CountersAppearAfterGauges)
+{
+    sim::Simulation sim;
+    obs::MetricRegistry registry;
+    obs::Counter &events = registry.counter("events");
+    registry.registerGauge("g", [] { return 7.0; });
+    obs::TelemetrySampler sampler(sim, registry, 5.0);
+    sampler.start();
+    events.inc(2);
+    sim.runUntil(5.0);
+    const obs::TimeSeries &series = sampler.series();
+    ASSERT_EQ(series.columns().size(), 2u);
+    EXPECT_EQ(series.columns()[0], "g");
+    EXPECT_EQ(series.columns()[1], "events");
+    ASSERT_EQ(series.rows(), 2u);
+    EXPECT_DOUBLE_EQ(series.row(0)[1], 0.0);
+    EXPECT_DOUBLE_EQ(series.row(1)[1], 2.0);
+}
+
+// ---------------------------------------------------------------------
+// EventTracer: emission, JSON parse-back, append/merge.
+// ---------------------------------------------------------------------
+
+TEST(EventTracer, DisabledTracerCollectsNothing)
+{
+    obs::EventTracer tracer;
+    tracer.instant("a", "cat");
+    tracer.counter("v", 1.0);
+    tracer.complete("x", "cat", 0.0, 1.0);
+    EXPECT_EQ(tracer.size(), 0u);
+    {
+        obs::TraceScope scope(tracer, "scoped");
+    }
+    EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(EventTracer, JsonParsesBackWithAllEvents)
+{
+    obs::EventTracer tracer;
+    Seconds t = 1.5;
+    tracer.enable([&t] { return t; });
+    tracer.nameTrack(0, "point Baseline");
+    tracer.instant("scale_out", "autoscale");
+    tracer.counter("vms", 3.0);
+    tracer.complete("decide", "autoscale", 1.5, 1.75);
+    {
+        obs::TraceScope scope(tracer, "scoped", "test");
+        t = 2.0;
+    }
+    ASSERT_EQ(tracer.size(), 5u);
+
+    const std::string json = tracer.toJson();
+    JsonChecker checker(json);
+    EXPECT_TRUE(checker.parseDocument()) << json;
+    EXPECT_EQ(checker.arrayItems("traceEvents"), 5u);
+    // Spot-check the Chrome trace_event dialect.
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+    // Virtual-time stamps are microseconds: 1.5 s -> 1500000.
+    EXPECT_NE(json.find("1500000"), std::string::npos);
+}
+
+TEST(EventTracer, AppendRestampsTrackAndPreservesOrder)
+{
+    obs::EventTracer point;
+    Seconds t = 0.0;
+    point.enable([&t] { return t; });
+    point.instant("a", "cat");
+    t = 1.0;
+    point.instant("b", "cat");
+
+    obs::EventTracer merged; // Stays disabled; append still works.
+    merged.append(point, 7);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged.events()[0].name, "a");
+    EXPECT_EQ(merged.events()[0].tid, 7u);
+    EXPECT_EQ(merged.events()[1].tid, 7u);
+}
+
+TEST(KernelTracer, CapturesKernelEventsOnVirtualTimeline)
+{
+    sim::Simulation sim;
+    obs::EventTracer tracer;
+    {
+        obs::KernelTracer kernel_tracer(tracer, sim);
+        sim.at(1.0, [] {});
+        sim.at(2.0, [] {});
+        const auto doomed = sim.at(3.0, [] {});
+        sim.cancel(doomed);
+        sim.run();
+    }
+    EXPECT_EQ(sim.hooksAttached(), nullptr); // Detached on destruction.
+    ASSERT_GT(tracer.size(), 0u);
+    std::size_t fires = 0;
+    std::size_t cancels = 0;
+    for (const auto &ev : tracer.events()) {
+        if (ev.name == "fire")
+            ++fires;
+        if (ev.name == "cancel")
+            ++cancels;
+    }
+    EXPECT_EQ(fires, 2u); // The cancelled event never fires.
+    EXPECT_EQ(cancels, 1u);
+    JsonChecker checker(tracer.toJson());
+    EXPECT_TRUE(checker.parseDocument());
+}
+
+// ---------------------------------------------------------------------
+// Disabled-path overhead contract: attaching hooks with tracing off
+// must not change the kernel's observable behaviour.
+// ---------------------------------------------------------------------
+
+TEST(ObsOverhead, DisabledHooksCauseNoEventsExecutedDrift)
+{
+    const auto run_workload = [](sim::Simulation &sim) {
+        int fired = 0;
+        for (int i = 0; i < 500; ++i)
+            sim.at(static_cast<double>(i % 50), [&fired] { ++fired; });
+        const auto id = sim.every(7.0, [] {});
+        sim.runUntil(49.0);
+        sim.cancel(id);
+        return fired;
+    };
+
+    sim::Simulation bare;
+    const int bare_fired = run_workload(bare);
+
+    sim::Simulation hooked;
+    sim::KernelHooks null_hooks; // Default no-op callbacks.
+    hooked.setHooks(&null_hooks);
+    const int hooked_fired = run_workload(hooked);
+
+    EXPECT_EQ(bare_fired, hooked_fired);
+    EXPECT_EQ(bare.eventsExecuted(), hooked.eventsExecuted());
+    EXPECT_EQ(bare.pendingEvents(), hooked.pendingEvents());
+    EXPECT_DOUBLE_EQ(bare.now(), hooked.now());
+}
+
+TEST(ObsOverhead, ExperimentWithoutCaptureMatchesSeedBaseline)
+{
+    // The obs pointer defaults to null: the run must not differ from
+    // one where the obs layer does not exist at all.
+    autoscale::ExperimentParams params;
+    params.stepDuration = 30.0;
+    const auto a =
+        autoscale::runCustomExperiment(autoscale::Policy::OcA,
+                                       {1000.0, 2000.0}, 1, params);
+    const auto b =
+        autoscale::runCustomExperiment(autoscale::Policy::OcA,
+                                       {1000.0, 2000.0}, 1, params);
+    EXPECT_DOUBLE_EQ(a.p95Latency, b.p95Latency);
+    EXPECT_EQ(a.requests, b.requests);
+    EXPECT_EQ(a.trace.size(), b.trace.size());
+}
+
+// ---------------------------------------------------------------------
+// Logger.
+// ---------------------------------------------------------------------
+
+class LoggerTest : public testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        obs::Logger::clearSinks();
+        util::setLogLevel(util::LogLevel::Warn); // Process default.
+    }
+};
+
+TEST_F(LoggerTest, LevelThresholdGatesRecords)
+{
+    std::vector<std::string> seen;
+    obs::Logger::addSink([&seen](util::LogLevel, const std::string &,
+                                 const std::string &msg) {
+        seen.push_back(msg);
+    });
+    obs::Logger log("mod");
+
+    util::setLogLevel(util::LogLevel::Warn);
+    log.debug("hidden");
+    log.info("hidden too");
+    log.warn("shown");
+    util::setLogLevel(util::LogLevel::Debug);
+    log.debug("now visible");
+    log.trace("still hidden");
+    util::setLogLevel(util::LogLevel::Off);
+    log.warn("muted");
+
+    EXPECT_EQ(seen, (std::vector<std::string>{"shown", "now visible"}));
+}
+
+TEST_F(LoggerTest, SinkReceivesLoggerNameAndLevel)
+{
+    util::LogLevel got_level = util::LogLevel::Off;
+    std::string got_logger;
+    obs::Logger::addSink([&](util::LogLevel level, const std::string &name,
+                             const std::string &) {
+        got_level = level;
+        got_logger = name;
+    });
+    obs::Logger("autoscaler").warn("msg");
+    EXPECT_EQ(got_level, util::LogLevel::Warn);
+    EXPECT_EQ(got_logger, "autoscaler");
+}
+
+TEST_F(LoggerTest, SetVerboseRoutesThroughSharedThreshold)
+{
+    util::setVerbose(true);
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Info));
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Debug));
+    obs::Logger log;
+    EXPECT_TRUE(log.enabled(util::LogLevel::Info));
+
+    util::setVerbose(false);
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Info));
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Warn));
+}
+
+TEST_F(LoggerTest, CliFlagsSetTheSharedThreshold)
+{
+    const char *argv[] = {"bench", "--log-level", "debug"};
+    const util::Cli cli(3, argv);
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Debug));
+    EXPECT_FALSE(util::logEnabled(util::LogLevel::Trace));
+
+    const char *argv_verbose[] = {"bench", "--verbose"};
+    util::setLogLevel(util::LogLevel::Warn);
+    const util::Cli verbose(2, argv_verbose);
+    EXPECT_TRUE(util::logEnabled(util::LogLevel::Info));
+}
+
+TEST_F(LoggerTest, ParseLogLevelRejectsUnknownNames)
+{
+    EXPECT_EQ(util::parseLogLevel("info"), util::LogLevel::Info);
+    EXPECT_EQ(util::parseLogLevel("warn"), util::LogLevel::Warn);
+    EXPECT_THROW(util::parseLogLevel("loud"), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: per-point capture under the experiment engine, merged in
+// point order — byte-identical serial vs parallel (the bench path).
+// ---------------------------------------------------------------------
+
+struct MergedObs
+{
+    std::string telemetryCsv;
+    std::string traceJson;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+MergedObs
+runSweepWithCapture(std::size_t jobs)
+{
+    autoscale::ExperimentParams params;
+    params.stepDuration = 30.0;
+    const std::vector<autoscale::Policy> points{
+        autoscale::Policy::Baseline, autoscale::Policy::OcE,
+        autoscale::Policy::OcA,      autoscale::Policy::Baseline,
+        autoscale::Policy::OcA,      autoscale::Policy::OcE,
+        autoscale::Policy::OcA,      autoscale::Policy::Baseline};
+
+    std::vector<autoscale::ObsCapture> captures(points.size());
+    for (auto &capture : captures)
+        capture.telemetryPeriod = 10.0;
+
+    const exp::SweepRunner runner({jobs, 42});
+    runner.map<int>(points.size(), [&](std::size_t i, util::Rng &) {
+        autoscale::ExperimentParams point_params = params;
+        point_params.obs = &captures[i];
+        autoscale::runCustomExperiment(points[i], {1000.0, 2500.0}, 1,
+                                       point_params);
+        return 0;
+    });
+
+    obs::EventTracer merged_trace;
+    obs::TelemetryMerger telemetry(captures.size());
+    obs::MetricRegistry merged_metrics;
+    for (std::size_t i = 0; i < captures.size(); ++i) {
+        const std::string label =
+            autoscale::policyName(points[i]) + "#" + std::to_string(i);
+        merged_trace.nameTrack(static_cast<std::uint32_t>(i), label);
+        merged_trace.append(captures[i].tracer,
+                            static_cast<std::uint32_t>(i));
+        telemetry.add(i, label, captures[i].telemetry);
+        merged_metrics.merge(captures[i].registry);
+    }
+
+    MergedObs out;
+    std::ostringstream csv;
+    telemetry.writeCsv(csv);
+    out.telemetryCsv = csv.str();
+    out.traceJson = merged_trace.toJson();
+    out.metrics = merged_metrics.snapshot();
+    return out;
+}
+
+TEST(ObsDeterminism, MergedTelemetryIsByteIdenticalSerialVsParallel)
+{
+    const MergedObs serial = runSweepWithCapture(1);
+    const MergedObs parallel = runSweepWithCapture(8);
+
+    EXPECT_FALSE(serial.telemetryCsv.empty());
+    EXPECT_EQ(serial.telemetryCsv, parallel.telemetryCsv);
+    EXPECT_EQ(serial.traceJson, parallel.traceJson);
+    ASSERT_EQ(serial.metrics.size(), parallel.metrics.size());
+    for (std::size_t i = 0; i < serial.metrics.size(); ++i) {
+        EXPECT_EQ(serial.metrics[i].first, parallel.metrics[i].first);
+        EXPECT_DOUBLE_EQ(serial.metrics[i].second,
+                         parallel.metrics[i].second) << serial.metrics[i].first;
+    }
+
+    // The capture actually observed the run.
+    JsonChecker checker(serial.traceJson);
+    EXPECT_TRUE(checker.parseDocument());
+    EXPECT_GT(checker.arrayItems("traceEvents"), 8u);
+    EXPECT_NE(serial.telemetryCsv.find("autoscaler.vms"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// CLI glue (--trace / --telemetry).
+// ---------------------------------------------------------------------
+
+TEST(ObsCli, MaybeWriteTraceHonorsFlag)
+{
+    const std::string path = testing::TempDir() + "imsim_test_trace.json";
+    const char *argv[] = {"bench", "--trace", path.c_str()};
+    const util::Cli cli(3, argv);
+    EXPECT_TRUE(obs::traceRequested(cli));
+
+    obs::EventTracer tracer;
+    Seconds t = 0.0;
+    tracer.enable([&t] { return t; });
+    tracer.instant("e", "cat");
+
+    std::ostringstream note;
+    obs::maybeWriteTrace(cli, tracer, note);
+    EXPECT_NE(note.str().find(path), std::string::npos);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    JsonChecker checker(buffer.str());
+    EXPECT_TRUE(checker.parseDocument());
+    EXPECT_EQ(checker.arrayItems("traceEvents"), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ObsCli, NoFlagsWriteNothing)
+{
+    const char *argv[] = {"bench"};
+    const util::Cli cli(1, argv);
+    EXPECT_FALSE(obs::traceRequested(cli));
+    EXPECT_FALSE(obs::telemetryRequested(cli));
+    obs::EventTracer tracer;
+    obs::TelemetryMerger merger(0);
+    std::ostringstream os;
+    obs::maybeWriteTrace(cli, tracer, os);
+    obs::maybeWriteTelemetry(cli, merger, os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+} // namespace
+} // namespace imsim

@@ -214,5 +214,60 @@ TEST(Simulation, ManyEventsAreHandled)
     EXPECT_EQ(fired, 10000);
 }
 
+// The documented horizon-boundary contract: an event scheduled exactly
+// at the horizon fires, including events that a horizon-time event
+// itself schedules for the horizon; strictly-later events stay queued.
+TEST(Simulation, HorizonTimeEventCascadesAtTheHorizon)
+{
+    sim::Simulation sim;
+    std::vector<int> order;
+    sim.at(5.0, [&] {
+        order.push_back(1);
+        sim.at(5.0, [&] {
+            order.push_back(2);
+            // Zero-delay from a horizon-time event: still at 5.0.
+            sim.after(0.0, [&] { order.push_back(3); });
+        });
+        // Strictly past the horizon: must not fire yet.
+        sim.after(0.5, [&] { order.push_back(99); });
+    });
+    sim.runUntil(5.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+
+    sim.runUntil(6.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 99}));
+}
+
+// eventsExecuted() counts fired callbacks only: cancelled events the
+// loop pops and skips are excluded, under run() ...
+TEST(Simulation, EventsExecutedExcludesCancelledUnderRun)
+{
+    sim::Simulation sim;
+    int fired = 0;
+    const auto cancelled = sim.at(1.0, [&] { ++fired; });
+    sim.at(2.0, [&] { ++fired; });
+    sim.cancel(cancelled);
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.eventsExecuted(), 1u);
+}
+
+// ... and under runUntil(), even when the cancelled event sits exactly
+// at the horizon.
+TEST(Simulation, EventsExecutedExcludesCancelledUnderRunUntil)
+{
+    sim::Simulation sim;
+    int fired = 0;
+    sim.at(1.0, [&] { ++fired; });
+    const auto at_horizon = sim.at(5.0, [&] { ++fired; });
+    sim.cancel(at_horizon);
+    sim.runUntil(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.eventsExecuted(), 1u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
 } // namespace
 } // namespace imsim
