@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Hot-path performance harness: times the three loops the fleet-scale
+ * experiments live in — kernel event dispatch, M/G/k request service,
+ * and the datacenter power minute loop — and emits a machine-readable
+ * `BENCH_hotpaths.json` so every PR can diff throughput against the
+ * previous baseline (see scripts/bench.sh and DESIGN.md §"Performance
+ * & hot paths").
+ *
+ * The binary also instruments global operator new with an allocation
+ * counter: each benchmark reports steady-state heap allocations per
+ * operation, which pins the allocation contract (kernel events and
+ * datacenter minutes must be allocation-free after warm-up).
+ *
+ * Flags:
+ *   --smoke       tiny iteration counts (the `ctest -L perf` target);
+ *   --scale X     multiply the default iteration counts by X;
+ *   --out FILE    JSON destination (default: BENCH_hotpaths.json).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cluster/datacenter.hh"
+#include "sim/simulation.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workload/queueing.hh"
+
+namespace {
+
+/// Heap allocations observed process-wide since start-up.
+std::atomic<std::uint64_t> allocCalls{0};
+
+std::uint64_t
+allocsSoFar()
+{
+    return allocCalls.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    allocCalls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace imsim;
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedSeconds(Clock::time_point begin, Clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** One benchmark's result row (the JSON schema, one object per row). */
+struct BenchResult
+{
+    std::string name;       ///< Stable benchmark identifier.
+    std::string unit;       ///< What one operation is.
+    std::uint64_t iterations = 0;
+    double nsPerOp = 0.0;
+    double opsPerSec = 0.0;
+    double allocsPerOp = 0.0; ///< Steady-state heap allocations / op.
+};
+
+BenchResult
+makeResult(const std::string &name, const std::string &unit,
+           std::uint64_t iterations, double wall_s, std::uint64_t allocs)
+{
+    BenchResult r;
+    r.name = name;
+    r.unit = unit;
+    r.iterations = iterations;
+    const double ops = static_cast<double>(iterations);
+    r.nsPerOp = iterations > 0 ? wall_s * 1e9 / ops : 0.0;
+    r.opsPerSec = wall_s > 0.0 ? ops / wall_s : 0.0;
+    r.allocsPerOp =
+        iterations > 0 ? static_cast<double>(allocs) / ops : 0.0;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// Kernel: periodic re-arm dispatch.
+// ---------------------------------------------------------------------
+
+BenchResult
+benchKernelPeriodic(std::uint64_t target_events)
+{
+    sim::Simulation sim;
+    std::uint64_t fired = 0;
+    constexpr int kStreams = 64;
+    for (int i = 0; i < kStreams; ++i)
+        sim.every(0.5 + 0.01 * static_cast<double>(i),
+                  [&fired] { ++fired; });
+
+    // Warm-up: the queue, slab, and bookkeeping reach steady size.
+    sim.runUntil(500.0);
+
+    const std::uint64_t executed0 = sim.eventsExecuted();
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    Seconds horizon = sim.now();
+    while (sim.eventsExecuted() - executed0 < target_events) {
+        horizon += 1000.0;
+        sim.runUntil(horizon);
+    }
+    const auto t1 = Clock::now();
+    const std::uint64_t events = sim.eventsExecuted() - executed0;
+    util::fatalIf(fired == 0, "bench: periodic events never fired");
+    return makeResult("kernel_periodic_events", "event", events,
+                      elapsedSeconds(t0, t1), allocsSoFar() - allocs0);
+}
+
+// ---------------------------------------------------------------------
+// Kernel: one-shot schedule/fire churn.
+// ---------------------------------------------------------------------
+
+struct ChainCtx
+{
+    sim::Simulation *sim;
+    Seconds dt;
+    std::uint64_t fired = 0;
+};
+
+// Each step schedules its successor through a one-pointer closure so
+// the callback fits std::function's small-buffer storage: the bench
+// measures the kernel's own allocations, not the closure's.
+void
+chainStep(ChainCtx *ctx)
+{
+    ++ctx->fired;
+    ctx->sim->after(ctx->dt, [ctx] { chainStep(ctx); });
+}
+
+BenchResult
+benchKernelOneShot(std::uint64_t target_events)
+{
+    sim::Simulation sim;
+    constexpr int kChains = 32;
+    std::vector<ChainCtx> chains(kChains);
+    for (int i = 0; i < kChains; ++i) {
+        chains[i].sim = &sim;
+        chains[i].dt = 1e-3 + 1e-5 * static_cast<double>(i);
+        ChainCtx *ctx = &chains[i];
+        sim.after(chains[i].dt, [ctx] { chainStep(ctx); });
+    }
+
+    sim.runUntil(1.0); // Warm-up.
+
+    const std::uint64_t executed0 = sim.eventsExecuted();
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    Seconds horizon = sim.now();
+    while (sim.eventsExecuted() - executed0 < target_events) {
+        horizon += 5.0;
+        sim.runUntil(horizon);
+    }
+    const auto t1 = Clock::now();
+    const std::uint64_t events = sim.eventsExecuted() - executed0;
+    return makeResult("kernel_oneshot_events", "event", events,
+                      elapsedSeconds(t0, t1), allocsSoFar() - allocs0);
+}
+
+// ---------------------------------------------------------------------
+// M/G/k queueing cluster request throughput.
+// ---------------------------------------------------------------------
+
+BenchResult
+benchQueueing(std::uint64_t target_requests)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    workload::QueueingCluster cluster(sim, util::Rng(1234), params);
+    constexpr int kServers = 8;
+    for (int i = 0; i < kServers; ++i)
+        cluster.addServer(params.refFreq);
+    // ~70% utilization: kServers * threads / serviceMean * 0.7.
+    const double capacity = static_cast<double>(kServers) *
+                            static_cast<double>(params.threadsPerServer) /
+                            params.serviceMean;
+    cluster.setArrivalRate(0.7 * capacity);
+
+    sim.runUntil(5.0); // Warm-up past the empty-system transient.
+    cluster.resetLatencies();
+
+    const std::uint64_t completed0 = cluster.completed();
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    Seconds horizon = sim.now();
+    while (cluster.completed() - completed0 < target_requests) {
+        horizon += 5.0;
+        sim.runUntil(horizon);
+        // Keep the latency reservoir from dominating memory at large
+        // iteration counts; throughput is unaffected.
+        cluster.resetLatencies();
+    }
+    const auto t1 = Clock::now();
+    const std::uint64_t requests = cluster.completed() - completed0;
+    return makeResult("queueing_requests", "request", requests,
+                      elapsedSeconds(t0, t1), allocsSoFar() - allocs0);
+}
+
+// ---------------------------------------------------------------------
+// Datacenter power minute loop.
+// ---------------------------------------------------------------------
+
+cluster::DatacenterPowerSim
+makeDatacenter()
+{
+    cluster::RackConfig batch;
+    batch.priority = 1;
+    cluster::RackConfig latency;
+    latency.priority = 2;
+    latency.overclockDemand = 0.7;
+    std::vector<cluster::RackConfig> racks;
+    constexpr int kRacks = 24;
+    for (int i = 0; i < kRacks; ++i)
+        racks.push_back(i % 3 == 2 ? latency : batch);
+    // ~30% oversubscribed against the fleet's 403 kW nominal peak.
+    return cluster::DatacenterPowerSim(racks, 320000.0, 1.3, 1.2);
+}
+
+BenchResult
+benchDatacenter(double days)
+{
+    const auto dc = makeDatacenter();
+
+    // The minute loop's allocation count is isolated by differencing
+    // two runs of different lengths: setup (trace generation, scratch
+    // sizing) costs the same fixed number of allocations in both, so
+    // the delta is attributable to the extra simulated minutes alone.
+    util::Rng rng_short(2021);
+    const std::uint64_t allocs_short0 = allocsSoFar();
+    dc.run(cluster::OverclockPolicy::PowerAware, rng_short, days);
+    const std::uint64_t allocs_short = allocsSoFar() - allocs_short0;
+
+    util::Rng rng_long(2021);
+    const std::uint64_t allocs_long0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    dc.run(cluster::OverclockPolicy::PowerAware, rng_long, 2.0 * days);
+    const auto t1 = Clock::now();
+    const std::uint64_t allocs_long = allocsSoFar() - allocs_long0;
+
+    const auto minutes =
+        static_cast<std::uint64_t>(2.0 * days * units::kMinutesPerDay);
+    const auto extra_minutes =
+        static_cast<std::uint64_t>(days * units::kMinutesPerDay);
+    const std::uint64_t loop_allocs =
+        allocs_long > allocs_short ? allocs_long - allocs_short : 0;
+    auto r = makeResult("datacenter_minutes", "minute", minutes,
+                        elapsedSeconds(t0, t1), 0);
+    r.allocsPerOp = static_cast<double>(loop_allocs) /
+                    static_cast<double>(extra_minutes);
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// JSON report.
+// ---------------------------------------------------------------------
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+writeReport(const std::vector<BenchResult> &results,
+            const std::string &path)
+{
+    std::string out;
+    out += "{\n  \"schema\": \"imsim.bench.hot_paths/1\",\n";
+    out += "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        out += "    {\"name\": \"" + r.name + "\", ";
+        out += "\"unit\": \"" + r.unit + "\", ";
+        out += "\"iterations\": " + std::to_string(r.iterations) + ", ";
+        out += "\"ns_per_op\": " + jsonNumber(r.nsPerOp) + ", ";
+        out += "\"ops_per_sec\": " + jsonNumber(r.opsPerSec) + ", ";
+        out += "\"allocs_per_op\": " + jsonNumber(r.allocsPerOp) + "}";
+        out += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+
+    std::ofstream file(path);
+    util::fatalIf(!file, "bench_hot_paths: cannot write " + path);
+    file << out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv);
+    const bool smoke = cli.has("--smoke");
+    const double scale = cli.getDouble("--scale", smoke ? 0.002 : 1.0);
+    const std::string out_path = cli.get("--out", "BENCH_hotpaths.json");
+
+    const auto scaled = [scale](double n) {
+        const double v = n * scale;
+        return static_cast<std::uint64_t>(v < 1.0 ? 1.0 : v);
+    };
+
+    std::vector<BenchResult> results;
+    results.push_back(benchKernelPeriodic(scaled(4e6)));
+    results.push_back(benchKernelOneShot(scaled(4e6)));
+    results.push_back(benchQueueing(scaled(1e6)));
+    results.push_back(
+        benchDatacenter(std::max(0.05, 30.0 * scale)));
+
+    std::cout << "Hot-path throughput (allocs/op counts steady-state"
+                 " heap allocations):\n";
+    for (const auto &r : results) {
+        std::cout << "  " << r.name << ": "
+                  << jsonNumber(r.opsPerSec) << " " << r.unit << "s/s ("
+                  << jsonNumber(r.nsPerOp) << " ns/" << r.unit << ", "
+                  << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
+                  << ")\n";
+    }
+    writeReport(results, out_path);
+    std::cout << "Wrote " << out_path << "\n";
+    return 0;
+}

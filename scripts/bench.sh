@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the Release configuration and run the hot-path perf-regression
+# harness (bench/bench_hot_paths.cc), writing BENCH_hotpaths.json at
+# the repo root. Commit the refreshed JSON alongside performance-
+# sensitive changes so the next PR has a baseline to diff against; the
+# schema is documented in DESIGN.md ("Performance & hot paths").
+#
+# A fast smoke variant runs under plain ctest: `ctest -L perf`.
+#
+# Usage: scripts/bench.sh [build-dir] [extra bench flags...]
+#        (default build dir: build-bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+shift || true
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_hot_paths
+"$BUILD_DIR"/bench/bench_hot_paths --out BENCH_hotpaths.json "$@"

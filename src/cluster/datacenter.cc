@@ -99,11 +99,27 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
     double capped_oc_minutes = 0.0;
     double speedup_sum = 0.0;
 
+    // Everything the minute loop needs is built once up front — the
+    // budget, the consumer records (names, minimums, and priorities are
+    // constant; only demands change per minute), and the allocator's
+    // scratch buffers — so each simulated minute runs without heap
+    // allocation (bench_hot_paths pins this).
+    const power::PowerBudget budget(feedCapacity, oversub);
+    power::AllocScratch scratch;
+    std::vector<power::PowerConsumer> consumers;
+    consumers.reserve(racks.size());
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        const auto &rack = racks[r];
+        consumers.push_back(power::PowerConsumer{
+            "rack" + std::to_string(r), 0.0,
+            static_cast<double>(rack.servers) * rack.idlePower,
+            rack.priority});
+    }
+    std::vector<double> want_oc(racks.size(), 0.0);
+
     const std::size_t minutes = traces.front().size();
     for (std::size_t minute = 0; minute < minutes; ++minute) {
-        // Build the consumer list for this minute.
-        std::vector<power::PowerConsumer> consumers;
-        std::vector<double> want_oc(racks.size(), 0.0);
+        // Refresh the per-minute demands.
         Watts demand_total = 0.0;
         for (std::size_t r = 0; r < racks.size(); ++r) {
             const auto &rack = racks[r];
@@ -112,7 +128,6 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             Watts demand =
                 servers * (rack.idlePower +
                            util * (rack.nominalPeak - rack.idlePower));
-            const Watts minimum = servers * rack.idlePower;
 
             // Which share of the rack wants (and may get) an overclock?
             want_oc[r] = util * rack.overclockDemand;
@@ -132,9 +147,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             if (grant && want_oc[r] > 0.0) {
                 demand += servers * want_oc[r] * rack.overclockExtra;
             }
-            consumers.push_back(power::PowerConsumer{
-                "rack" + std::to_string(r), demand, minimum,
-                rack.priority});
+            consumers[r].demand = demand;
             demand_total += demand;
         }
 
@@ -152,16 +165,17 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             }
         }
 
-        const power::PowerBudget budget(feedCapacity, oversub);
-        const auto allocations = budget.allocate(consumers);
+        // Demands are structurally >= the idle-power minimums, so the
+        // per-consumer validation pass stays off this hot path.
+        budget.allocate(consumers, scratch, false);
         Watts drawn = 0.0;
         bool any_capped = false;
         double minute_oc = 0.0;
         std::size_t capped_racks = 0;
         for (std::size_t r = 0; r < racks.size(); ++r) {
-            drawn += allocations[r].granted;
-            any_capped = any_capped || allocations[r].capped;
-            if (allocations[r].capped)
+            drawn += scratch.granted[r];
+            any_capped = any_capped || scratch.capped[r] != 0;
+            if (scratch.capped[r] != 0)
                 ++capped_racks;
 
             const auto &rack = racks[r];
@@ -173,7 +187,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             if (overclocked) {
                 oc_minutes += wanted;
                 minute_oc += wanted;
-                if (allocations[r].capped) {
+                if (scratch.capped[r] != 0) {
                     // Capping claws the frequency back: the overclock
                     // bought nothing this minute.
                     capped_oc_minutes += wanted;

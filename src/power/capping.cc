@@ -1,7 +1,7 @@
 #include "power/capping.hh"
 
 #include <algorithm>
-#include <map>
+#include <numeric>
 
 #include "obs/metrics.hh"
 #include "util/logging.hh"
@@ -52,13 +52,36 @@ PowerBudget::attachMetrics(obs::MetricRegistry &registry,
 std::vector<CapAllocation>
 PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
 {
+    AllocScratch scratch;
+    allocate(consumers, scratch, true);
+    std::vector<CapAllocation> out;
+    out.reserve(consumers.size());
+    for (std::size_t i = 0; i < consumers.size(); ++i)
+        out.push_back({consumers[i].name, scratch.granted[i],
+                       scratch.capped[i] != 0});
+    return out;
+}
+
+void
+PowerBudget::allocate(const std::vector<PowerConsumer> &consumers,
+                      AllocScratch &scratch, bool validate) const
+{
+    const std::size_t n = consumers.size();
+
+    // Input validation hoisted out of the allocation loops: one pass,
+    // skippable by hot callers whose inputs hold by construction.
+    if (validate) {
+        for (const auto &c : consumers) {
+            util::fatalIf(c.demand < 0.0 || c.minimum < 0.0,
+                          "PowerBudget::allocate: negative power");
+            util::fatalIf(c.minimum > c.demand,
+                          "PowerBudget::allocate: minimum exceeds demand");
+        }
+    }
+
     Watts demand_total = 0.0;
     Watts minimum_total = 0.0;
     for (const auto &c : consumers) {
-        util::fatalIf(c.demand < 0.0 || c.minimum < 0.0,
-                      "PowerBudget::allocate: negative power");
-        util::fatalIf(c.minimum > c.demand,
-                      "PowerBudget::allocate: minimum exceeds demand");
         demand_total += c.demand;
         minimum_total += c.minimum;
     }
@@ -66,13 +89,15 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
     if (allocationMetric)
         allocationMetric->inc();
 
-    std::vector<CapAllocation> out;
-    out.reserve(consumers.size());
+    scratch.granted.resize(n);
+    scratch.capped.resize(n);
 
     if (demand_total <= cap) {
-        for (const auto &c : consumers)
-            out.push_back({c.name, c.demand, false});
-        return out;
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch.granted[i] = consumers[i].demand;
+            scratch.capped[i] = 0;
+        }
+        return;
     }
 
     if (breachMetric)
@@ -82,48 +107,62 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers) const
                   "PowerBudget::allocate: even fully capped demand breaches "
                   "circuit capacity (brownout)");
 
-    // Shed demand lowest-priority-first. Group consumers by priority; all
-    // classes above the marginal class keep their demand, classes below
-    // drop to their minimum, and the marginal class is scaled uniformly
-    // between minimum and demand.
-    std::map<int, std::vector<std::size_t>> by_prio;
-    for (std::size_t i = 0; i < consumers.size(); ++i)
-        by_prio[consumers[i].priority].push_back(i);
+    // Shed demand lowest-priority-first: order the index array by
+    // descending priority (ties by consumer index, so grants match the
+    // old priority-map walk bit for bit); all classes before the
+    // marginal class keep their demand, classes after drop to their
+    // minimum, and the marginal class is scaled uniformly between
+    // minimum and demand.
+    scratch.order.resize(n);
+    std::iota(scratch.order.begin(), scratch.order.end(), std::size_t{0});
+    std::sort(scratch.order.begin(), scratch.order.end(),
+              [&consumers](std::size_t a, std::size_t b) {
+                  if (consumers[a].priority != consumers[b].priority)
+                      return consumers[a].priority > consumers[b].priority;
+                  return a < b;
+              });
 
-    std::vector<Watts> granted(consumers.size());
-    for (std::size_t i = 0; i < consumers.size(); ++i)
-        granted[i] = consumers[i].minimum;
+    for (std::size_t i = 0; i < n; ++i)
+        scratch.granted[i] = consumers[i].minimum;
     Watts committed = minimum_total;
 
     // Restore demand to the highest-priority classes first.
-    for (auto it = by_prio.rbegin(); it != by_prio.rend(); ++it) {
+    std::size_t begin = 0;
+    while (begin < n) {
+        const int prio = consumers[scratch.order[begin]].priority;
+        std::size_t end = begin;
         Watts class_extra = 0.0;
-        for (std::size_t i : it->second)
-            class_extra += consumers[i].demand - consumers[i].minimum;
+        while (end < n && consumers[scratch.order[end]].priority == prio) {
+            const auto &c = consumers[scratch.order[end]];
+            class_extra += c.demand - c.minimum;
+            ++end;
+        }
         const Watts room = cap - committed;
         if (class_extra <= room) {
-            for (std::size_t i : it->second)
-                granted[i] = consumers[i].demand;
+            for (std::size_t j = begin; j < end; ++j)
+                scratch.granted[scratch.order[j]] =
+                    consumers[scratch.order[j]].demand;
             committed += class_extra;
         } else {
             const double frac = class_extra > 0.0 ? room / class_extra : 0.0;
-            for (std::size_t i : it->second) {
-                granted[i] = consumers[i].minimum +
-                             frac * (consumers[i].demand -
-                                     consumers[i].minimum);
+            for (std::size_t j = begin; j < end; ++j) {
+                const auto &c = consumers[scratch.order[j]];
+                scratch.granted[scratch.order[j]] =
+                    c.minimum + frac * (c.demand - c.minimum);
             }
             committed = cap;
             break;
         }
+        begin = end;
     }
 
-    for (std::size_t i = 0; i < consumers.size(); ++i) {
-        const bool was_capped = granted[i] + 1e-9 < consumers[i].demand;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool was_capped =
+            scratch.granted[i] + 1e-9 < consumers[i].demand;
         if (was_capped && cappedMetric)
             cappedMetric->inc();
-        out.push_back({consumers[i].name, granted[i], was_capped});
+        scratch.capped[i] = was_capped ? 1 : 0;
     }
-    return out;
 }
 
 } // namespace power

@@ -15,6 +15,7 @@
 #ifndef IMSIM_POWER_CAPPING_HH
 #define IMSIM_POWER_CAPPING_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,23 @@ struct CapAllocation
 };
 
 /**
+ * Caller-owned scratch buffers for the allocation hot path: results are
+ * written here (indexed like the consumer vector) and the internal
+ * priority ordering reuses the index array, so a warm scratch makes
+ * PowerBudget::allocate() allocation-free. Reuse one instance across
+ * calls (e.g. across simulated minutes).
+ */
+struct AllocScratch
+{
+    /** Power granted to consumer i [W]. */
+    std::vector<Watts> granted;
+    /** Whether consumer i received less than its demand (0/1). */
+    std::vector<std::uint8_t> capped;
+    /** Internal: consumer indices ordered by (priority desc, index). */
+    std::vector<std::size_t> order;
+};
+
+/**
  * One level of the datacenter power-delivery hierarchy (e.g. a rack PDU or
  * row feed) with an oversubscribed budget.
  */
@@ -126,6 +144,21 @@ class PowerBudget
      */
     std::vector<CapAllocation>
     allocate(const std::vector<PowerConsumer> &consumers) const;
+
+    /**
+     * Scratch-space overload of allocate(): identical grants (consumers
+     * referred to by index, not name), written into @p scratch's
+     * buffers. With a warm scratch the call performs no heap
+     * allocation, which is what the datacenter minute loop runs on.
+     *
+     * @param validate Check per-consumer invariants (non-negative
+     *        power, minimum <= demand) before allocating. Hot callers
+     *        whose inputs hold structurally pass false to keep the
+     *        checks off the per-minute path; the brownout fatal (total
+     *        minimum exceeding capacity) fires regardless.
+     */
+    void allocate(const std::vector<PowerConsumer> &consumers,
+                  AllocScratch &scratch, bool validate = true) const;
 
     /** @return true when @p consumers' total demand breaches capacity. */
     bool breached(const std::vector<PowerConsumer> &consumers) const;

@@ -1,17 +1,57 @@
 #include "sim/simulation.hh"
 
+#include <limits>
+#include <utility>
+
 #include "util/logging.hh"
 
 namespace imsim {
 namespace sim {
 
+std::uint32_t
+Simulation::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        const std::uint32_t index = freeHead;
+        freeHead = slots[index].nextFree;
+        slots[index].nextFree = kNoSlot;
+        return index;
+    }
+    util::fatalIf(slots.size() > kSlotMask,
+                  "Simulation: pending-event slab exhausted");
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+}
+
+void
+Simulation::freeSlot(std::uint32_t index)
+{
+    Slot &slot = slots[index];
+    slot.fn = nullptr; // Release the closure's resources now.
+    slot.period = 0.0;
+    slot.id = 0;
+    slot.state = SlotState::Free;
+    slot.nextFree = freeHead;
+    freeHead = index;
+}
+
 EventId
 Simulation::push(Seconds t, EventFn fn, Seconds period)
 {
     util::fatalIf(t < clock, "Simulation: cannot schedule in the past");
-    const EventId id = nextId++;
-    queue.push(Event{t, id, std::move(fn), period});
-    live.insert(id);
+    util::fatalIf(nextSeq >
+                      (std::numeric_limits<std::uint64_t>::max() >>
+                       kSlotBits),
+                  "Simulation: event sequence space exhausted");
+    const std::uint32_t index = allocSlot();
+    const EventId id = (nextSeq++ << kSlotBits) | index;
+    Slot &slot = slots[index];
+    slot.fn = std::move(fn);
+    slot.period = period;
+    slot.id = id;
+    slot.state = SlotState::Live;
+    queue.push(HeapEntry{t, id});
+    ++liveCount;
     if (hooks)
         hooks->onSchedule(id, t, period);
     return id;
@@ -40,50 +80,81 @@ Simulation::every(Seconds period, EventFn fn)
 void
 Simulation::cancel(EventId id)
 {
-    // Only ids with a queued, not-yet-cancelled event need a record;
-    // fired one-shots, unknown ids, and double cancels are no-ops.
-    if (live.erase(id) > 0) {
-        cancelled.insert(id);
-        if (hooks)
-            hooks->onCancel(id);
-    }
+    // Only live events need work: fired one-shots, unknown or stale
+    // (slot-reused) ids, and double cancels fail the id/state check
+    // below and are no-ops.
+    const std::uint32_t index = slotIndex(id);
+    if (index >= slots.size())
+        return;
+    Slot &slot = slots[index];
+    if (slot.id != id || slot.state != SlotState::Live)
+        return;
+    slot.state = SlotState::Cancelled;
+    --liveCount;
+    if (hooks)
+        hooks->onCancel(id);
 }
 
-bool
-Simulation::isCancelled(EventId id) const
+/**
+ * Shared stepping loop of run() and runUntil(): pop (time, id) records,
+ * reclaim cancelled slots, re-arm periodics, and fire callbacks.
+ *
+ * The callback is moved out of its slab slot for the duration of the
+ * call (and moved back for periodics): events it schedules may grow the
+ * slab vector, which would otherwise relocate the closure mid-execution.
+ * std::function moves never allocate, so the dispatch path stays
+ * allocation-free.
+ */
+void
+Simulation::drain(bool bounded, Seconds horizon)
 {
-    return cancelled.count(id) > 0;
+    while (!queue.empty() && !stopping) {
+        const HeapEntry top = queue.top();
+        if (bounded && top.time > horizon)
+            break;
+        queue.pop();
+        const std::uint32_t index = slotIndex(top.id);
+        Slot &slot = slots[index];
+        if (slot.state == SlotState::Cancelled) {
+            // Skipped cancellations never count as executed.
+            freeSlot(index);
+            continue;
+        }
+        clock = top.time;
+        ++executed;
+        EventFn fn = std::move(slot.fn);
+        const Seconds period = slot.period;
+        if (period > 0.0) {
+            // Re-arm the periodic event under the *same* id so that a
+            // single cancel() kills all future firings and the event
+            // keeps its tie-break rank; the slot stays Live.
+            queue.push(HeapEntry{clock + period, top.id});
+            if (hooks)
+                hooks->onSchedule(top.id, clock + period, period);
+        } else {
+            slot.state = SlotState::Running;
+            --liveCount;
+        }
+        if (hooks)
+            hooks->onFire(top.id, clock);
+        fn();
+        if (hooks)
+            hooks->onFireDone(top.id, clock);
+        // Re-index: fn() may have grown the slab.
+        Slot &after_fire = slots[index];
+        if (after_fire.state == SlotState::Running)
+            freeSlot(index);
+        else
+            after_fire.fn = std::move(fn); // Periodic (live or cancelled
+                                           // mid-fire): hand it back.
+    }
 }
 
 void
 Simulation::runUntil(Seconds horizon)
 {
     stopping = false;
-    while (!queue.empty() && !stopping) {
-        const Event &top = queue.top();
-        if (top.time > horizon)
-            break;
-        Event ev = top;
-        queue.pop();
-        if (cancelled.erase(ev.id) > 0)
-            continue; // Skipped cancellations never count as executed.
-        live.erase(ev.id);
-        clock = ev.time;
-        ++executed;
-        if (ev.period > 0.0) {
-            // Re-arm the periodic event under the *same* id so that a
-            // single cancel() kills all future firings.
-            queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
-            live.insert(ev.id);
-            if (hooks)
-                hooks->onSchedule(ev.id, clock + ev.period, ev.period);
-        }
-        if (hooks)
-            hooks->onFire(ev.id, clock);
-        ev.fn();
-        if (hooks)
-            hooks->onFireDone(ev.id, clock);
-    }
+    drain(true, horizon);
     if (clock < horizon)
         clock = horizon;
 }
@@ -92,26 +163,7 @@ void
 Simulation::run()
 {
     stopping = false;
-    while (!queue.empty() && !stopping) {
-        Event ev = queue.top();
-        queue.pop();
-        if (cancelled.erase(ev.id) > 0)
-            continue; // Skipped cancellations never count as executed.
-        live.erase(ev.id);
-        clock = ev.time;
-        ++executed;
-        if (ev.period > 0.0) {
-            queue.push(Event{clock + ev.period, ev.id, ev.fn, ev.period});
-            live.insert(ev.id);
-            if (hooks)
-                hooks->onSchedule(ev.id, clock + ev.period, ev.period);
-        }
-        if (hooks)
-            hooks->onFire(ev.id, clock);
-        ev.fn();
-        if (hooks)
-            hooks->onFireDone(ev.id, clock);
-    }
+    drain(false, 0.0);
 }
 
 } // namespace sim

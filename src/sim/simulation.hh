@@ -6,6 +6,13 @@
  * kernel: a virtual clock, an event queue ordered by (time, sequence), and
  * helpers for periodic tasks (the auto-scaler's 3 s decision loop, telemetry
  * sampling) and one-shot delayed actions (the 60 s VM scale-out latency).
+ *
+ * Allocation contract (see DESIGN.md "Performance & hot paths" and
+ * bench_hot_paths): callbacks live in a slab with a free list, the binary
+ * heap holds 16-byte POD (time, id) records, and per-slot state replaces
+ * the old cancellation hash sets — so steady-state event dispatch (pops,
+ * periodic re-arms, one-shot churn whose closures fit std::function's
+ * small-buffer storage) performs zero heap allocations.
  */
 
 #ifndef IMSIM_SIM_SIMULATION_HH
@@ -14,7 +21,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "util/units.hh"
@@ -25,7 +31,16 @@ namespace sim {
 /** Callback invoked when an event fires. */
 using EventFn = std::function<void()>;
 
-/** Opaque handle used to cancel a scheduled event. */
+/**
+ * Opaque handle used to cancel a scheduled event.
+ *
+ * Handles are unique for the lifetime of a Simulation: the kernel packs
+ * a monotonic schedule sequence into the high bits and the slab slot
+ * into the low bits, so a handle whose event already fired (or was
+ * cancelled) can never resurrect a later event that reuses the slot.
+ * Comparing two handles orders them by schedule time, which is what
+ * breaks ties between events scheduled for the same timestamp.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -63,9 +78,12 @@ class KernelHooks
  * Discrete-event simulation engine.
  *
  * Events scheduled for the same timestamp fire in scheduling order, which
- * keeps runs deterministic. Cancellation is lazy: cancelled events stay in
- * the queue but are skipped (and their cancellation record dropped) when
- * popped, so both cancel() and the pop-side check are O(1).
+ * keeps runs deterministic (periodic events keep their original position:
+ * a re-arm reuses the event's id, and with it its tie-break rank).
+ * Cancellation is lazy: a cancelled event's heap record stays queued but
+ * is skipped (and its slab slot reclaimed) when popped, so both cancel()
+ * and the pop-side check are O(1) — no hashing involved, cancel() flips
+ * the event's slab slot to Cancelled in place.
  */
 class Simulation
 {
@@ -120,7 +138,7 @@ class Simulation
     std::uint64_t eventsExecuted() const { return executed; }
 
     /** @return number of live (non-cancelled) events currently pending. */
-    std::size_t pendingEvents() const { return live.size(); }
+    std::size_t pendingEvents() const { return liveCount; }
 
     /**
      * Attach a lifecycle observer (nullptr detaches). The kernel does
@@ -133,15 +151,47 @@ class Simulation
     KernelHooks *hooksAttached() const { return hooks; }
 
   private:
-    struct Event
+    /**
+     * Low bits of an EventId addressing the slab slot; the remaining
+     * high bits carry the monotonic schedule sequence. 24 slot bits
+     * allow ~16.7M concurrently pending events and ~1.1e12 schedules
+     * per Simulation before the (fatal-checked) sequence space runs
+     * out.
+     */
+    static constexpr unsigned kSlotBits = 24;
+    static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+    enum class SlotState : std::uint8_t
+    {
+        Free,      ///< On the free list, no event attached.
+        Live,      ///< Queued (or currently re-armed periodic).
+        Cancelled, ///< Cancelled; heap record not yet popped.
+        Running,   ///< One-shot mid-execution; slot reclaimed after.
+    };
+
+    /** Slab cell owning one event's callback and bookkeeping. */
+    struct Slot
+    {
+        EventFn fn;
+        Seconds period = 0.0;    ///< 0 for one-shot events.
+        EventId id = 0;          ///< Current full handle; 0 when free.
+        std::uint32_t nextFree = kNoSlot; ///< Free-list link.
+        SlotState state = SlotState::Free;
+    };
+
+    /**
+     * POD heap record: the priority queue orders by (time, id), and
+     * because ids carry the schedule sequence in their high bits this
+     * reproduces the documented same-timestamp scheduling order.
+     */
+    struct HeapEntry
     {
         Seconds time;
         EventId id;
-        EventFn fn;
-        Seconds period;  ///< 0 for one-shot events.
 
         bool
-        operator>(const Event &other) const
+        operator>(const HeapEntry &other) const
         {
             if (time != other.time)
                 return time > other.time;
@@ -149,22 +199,23 @@ class Simulation
         }
     };
 
-    EventId push(Seconds t, EventFn fn, Seconds period);
-    bool isCancelled(EventId id) const;
+    static std::uint32_t slotIndex(EventId id)
+    {
+        return static_cast<std::uint32_t>(id) & kSlotMask;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
-    /**
-     * Ids of queued events that were cancelled but not yet popped.
-     * Invariant: every member corresponds to exactly one queued event
-     * (each id has at most one queue entry at a time — periodic events
-     * re-arm only when popped), so queue.size() - cancelled.size() is
-     * the live pending count.
-     */
-    std::unordered_set<EventId> cancelled;
-    /** Ids currently in the queue and not cancelled. */
-    std::unordered_set<EventId> live;
+    EventId push(Seconds t, EventFn fn, Seconds period);
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t index);
+    void drain(bool bounded, Seconds horizon);
+
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> queue;
+    std::vector<Slot> slots;
+    std::uint32_t freeHead = kNoSlot;
+    std::size_t liveCount = 0;
     Seconds clock = 0.0;
-    EventId nextId = 1;
+    std::uint64_t nextSeq = 1;
     std::uint64_t executed = 0;
     bool stopping = false;
     KernelHooks *hooks = nullptr;

@@ -121,6 +121,19 @@ fatalIf(bool bad, const std::string &msg)
 }
 
 /**
+ * Literal-message overload: the error string is only materialized when
+ * the check actually fails, so passing checks cost no heap allocation.
+ * Hot paths (the event kernel, the power minute loop) rely on this; the
+ * std::string overload above keeps serving composed messages.
+ */
+inline void
+fatalIf(bool bad, const char *msg)
+{
+    if (bad)
+        fatal(std::string(msg));
+}
+
+/**
  * Check an internal invariant.
  *
  * @param ok   Condition that must hold.
@@ -131,6 +144,14 @@ panicIf(bool bad, const std::string &msg)
 {
     if (bad)
         panic(msg);
+}
+
+/** Literal-message overload; see fatalIf(bool, const char*). */
+inline void
+panicIf(bool bad, const char *msg)
+{
+    if (bad)
+        panic(std::string(msg));
 }
 
 } // namespace util

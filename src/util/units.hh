@@ -53,6 +53,9 @@ inline constexpr double kHoursPerYear = 8766.0;
 /** Seconds in an hour. */
 inline constexpr double kSecondsPerHour = 3600.0;
 
+/** Minutes in a day, for the fixed-step datacenter power loop. */
+inline constexpr double kMinutesPerDay = 1440.0;
+
 /** Convert degrees Celsius to kelvin. */
 constexpr Kelvin
 toKelvin(Celsius c)

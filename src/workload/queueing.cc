@@ -162,12 +162,35 @@ QueueingCluster::dispatch(std::size_t id, Request req)
     const double scale =
         serviceTimeScale(cfg.kappa, cfg.refFreq, server.freq);
     const Seconds duration = req.demand * scale;
-    const Seconds arrival = req.arrival;
-    sim.after(duration, [this, id, arrival] {
-        latencyStats.add(sim.now() - arrival);
-        ++completedCount;
-        onCompletion(id);
-    });
+    const std::uint32_t slot = allocInFlight();
+    InFlight &rec = inFlight[slot];
+    rec.arrival = req.arrival;
+    rec.server = static_cast<std::uint32_t>(id);
+    sim.after(duration, [this, slot] { complete(slot); });
+}
+
+std::uint32_t
+QueueingCluster::allocInFlight()
+{
+    if (inFlightFree != kNoInFlight) {
+        const std::uint32_t slot = inFlightFree;
+        inFlightFree = inFlight[slot].nextFree;
+        inFlight[slot].nextFree = kNoInFlight;
+        return slot;
+    }
+    inFlight.emplace_back();
+    return static_cast<std::uint32_t>(inFlight.size() - 1);
+}
+
+void
+QueueingCluster::complete(std::uint32_t slot)
+{
+    const InFlight rec = inFlight[slot];
+    inFlight[slot].nextFree = inFlightFree;
+    inFlightFree = slot;
+    latencyStats.add(sim.now() - rec.arrival);
+    ++completedCount;
+    onCompletion(rec.server);
 }
 
 void

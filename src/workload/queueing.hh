@@ -146,19 +146,38 @@ class QueueingCluster
         explicit Server(Seconds window) : utilWindow(window) {}
     };
 
+    /**
+     * In-flight request record, pooled with a free list so the
+     * completion callback captures only (this, slot) — 16 bytes, which
+     * fits std::function's small-buffer storage. Dispatching a request
+     * therefore performs no heap allocation once the pool is warm.
+     */
+    struct InFlight
+    {
+        Seconds arrival = 0.0;
+        std::uint32_t server = 0;
+        std::uint32_t nextFree = kNoInFlight;
+    };
+
+    static constexpr std::uint32_t kNoInFlight = ~std::uint32_t{0};
+
     void scheduleNextArrival();
     void onArrival();
     void dispatch(std::size_t id, Request req);
+    void complete(std::uint32_t slot);
     void onCompletion(std::size_t id);
     void recordBusyChange(Server &server);
     void advanceCounters(Server &server);
     int pickServer() const;
+    std::uint32_t allocInFlight();
 
     sim::Simulation &sim;
     util::Rng rng;
     Params cfg;
     std::vector<std::unique_ptr<Server>> servers;
     std::deque<Request> queue;
+    std::vector<InFlight> inFlight;
+    std::uint32_t inFlightFree = kNoInFlight;
     double arrivalRate = 0.0;
     sim::EventId arrivalEvent = 0;
     bool arrivalPending = false;

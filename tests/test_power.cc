@@ -286,5 +286,127 @@ TEST(PowerBudget, OversubscriptionRatioValidation)
     EXPECT_DOUBLE_EQ(budget.provisionable(), 1250.0);
 }
 
+// ---------------------------------------------------------------------
+// allocate() edge cases at the marginal priority class, plus the
+// scratch-space overload's equivalence with the legacy interface.
+// ---------------------------------------------------------------------
+
+// Consumers tied at the marginal class's priority are scaled by one
+// common fraction, regardless of their position in the input vector.
+TEST(PowerBudget, TiedPrioritiesAtMarginalClassShareOneFraction)
+{
+    power::PowerBudget budget(1000.0, 1.5);
+    std::vector<power::PowerConsumer> consumers{
+        {"tied_a", 400.0, 100.0, 1},
+        {"crit", 300.0, 100.0, 2},
+        {"tied_b", 600.0, 100.0, 1}};
+    const auto alloc = budget.allocate(consumers);
+    // crit restores fully; 600 W remain for the tied class's minimums
+    // (200 W) plus a uniform share of its 800 W restorable extra.
+    EXPECT_DOUBLE_EQ(alloc[1].granted, 300.0);
+    EXPECT_FALSE(alloc[1].capped);
+    const double frac_a = (alloc[0].granted - 100.0) / 300.0;
+    const double frac_b = (alloc[2].granted - 100.0) / 500.0;
+    EXPECT_NEAR(frac_a, frac_b, 1e-12);
+    EXPECT_TRUE(alloc[0].capped);
+    EXPECT_TRUE(alloc[2].capped);
+    EXPECT_NEAR(alloc[0].granted + alloc[1].granted + alloc[2].granted,
+                1000.0, 1e-9);
+}
+
+// A class with zero restorable extra (demand == minimum) passes through
+// the restore walk without dividing by its zero extra.
+TEST(PowerBudget, ZeroRestorableExtraClassIsHandled)
+{
+    power::PowerBudget budget(700.0, 1.5);
+    std::vector<power::PowerConsumer> consumers{
+        {"flat", 200.0, 200.0, 3},  // demand == minimum: no extra.
+        {"mid", 350.0, 100.0, 2},
+        {"low", 400.0, 100.0, 1}};
+    const auto alloc = budget.allocate(consumers);
+    EXPECT_DOUBLE_EQ(alloc[0].granted, 200.0);
+    EXPECT_FALSE(alloc[0].capped);
+    EXPECT_DOUBLE_EQ(alloc[1].granted, 350.0);
+    EXPECT_FALSE(alloc[1].capped);
+    // 50 W of room left for low's 300 W extra above its 100 W minimum.
+    EXPECT_NEAR(alloc[2].granted, 150.0, 1e-9);
+    EXPECT_TRUE(alloc[2].capped);
+}
+
+// When a class's restorable extra equals the remaining room exactly,
+// it restores fully (the <= branch) and is not reported as capped.
+TEST(PowerBudget, ExactFitClassExtraEqualsRoom)
+{
+    power::PowerBudget budget(1000.0, 1.5);
+    std::vector<power::PowerConsumer> consumers{
+        {"low", 300.0, 100.0, 1},
+        {"exact", 500.0, 100.0, 2}, // extra 400 == room after crit.
+        {"crit", 400.0, 100.0, 3}};
+    const auto alloc = budget.allocate(consumers);
+    EXPECT_DOUBLE_EQ(alloc[2].granted, 400.0);
+    EXPECT_FALSE(alloc[2].capped);
+    // Exact fit restores fully through the <=-room branch: not capped.
+    EXPECT_DOUBLE_EQ(alloc[1].granted, 500.0);
+    EXPECT_FALSE(alloc[1].capped);
+    // Nothing left below the marginal class.
+    EXPECT_DOUBLE_EQ(alloc[0].granted, 100.0);
+    EXPECT_TRUE(alloc[0].capped);
+}
+
+// The scratch-space overload must return byte-identical grants to the
+// legacy interface, under capacity as well as through the capped walk.
+TEST(PowerBudget, ScratchOverloadMatchesLegacyByteForByte)
+{
+    const std::vector<std::vector<power::PowerConsumer>> scenarios{
+        // Uncapped.
+        {{"a", 300.0, 100.0, 1}, {"b", 200.0, 50.0, 2}},
+        // Capped with ties and an exact-minimum consumer.
+        {{"a", 400.0, 100.0, 1},
+         {"b", 600.0, 100.0, 1},
+         {"flat", 150.0, 150.0, 2},
+         {"crit", 300.0, 100.0, 3}},
+        // Single consumer forced to its minimum's class fraction.
+        {{"solo", 1500.0, 400.0, 1}},
+    };
+    power::PowerBudget budget(1000.0, 1.4);
+    power::AllocScratch scratch;
+    for (const auto &consumers : scenarios) {
+        const auto legacy = budget.allocate(consumers);
+        budget.allocate(consumers, scratch, true);
+        ASSERT_EQ(legacy.size(), consumers.size());
+        ASSERT_EQ(scratch.granted.size(), consumers.size());
+        for (std::size_t i = 0; i < consumers.size(); ++i) {
+            // Bitwise equality, not approximate: the overloads must
+            // run the same arithmetic in the same order.
+            EXPECT_EQ(legacy[i].granted, scratch.granted[i]);
+            EXPECT_EQ(legacy[i].capped, scratch.capped[i] != 0);
+            EXPECT_EQ(legacy[i].name, consumers[i].name);
+        }
+    }
+}
+
+// validate=false skips the per-consumer input checks (the hot-path
+// contract) but the brownout fatal stays armed.
+TEST(PowerBudget, ScratchOverloadKeepsBrownoutFatalWithoutValidation)
+{
+    power::PowerBudget budget(100.0);
+    std::vector<power::PowerConsumer> consumers{
+        {"a", 300.0, 200.0, 1}};
+    power::AllocScratch scratch;
+    EXPECT_THROW(budget.allocate(consumers, scratch, false), FatalError);
+    EXPECT_THROW(budget.allocate(consumers, scratch, true), FatalError);
+}
+
+// validate=true rejects malformed consumers in the scratch overload
+// just like the legacy interface does.
+TEST(PowerBudget, ScratchOverloadValidatesInputsWhenAsked)
+{
+    power::PowerBudget budget(1000.0);
+    std::vector<power::PowerConsumer> consumers{
+        {"bad", 100.0, 200.0, 1}}; // minimum > demand.
+    power::AllocScratch scratch;
+    EXPECT_THROW(budget.allocate(consumers, scratch, true), FatalError);
+}
+
 } // namespace
 } // namespace imsim

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/simulation.hh"
@@ -267,6 +268,161 @@ TEST(Simulation, EventsExecutedExcludesCancelledUnderRunUntil)
     EXPECT_EQ(fired, 1);
     EXPECT_EQ(sim.eventsExecuted(), 1u);
     EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Slab semantics: the kernel reuses callback slots through a free list,
+// which must never change the observable contract.
+// ---------------------------------------------------------------------
+
+// Cancelling a periodic event *between* firings (after it has been
+// popped and re-armed at least once) kills every future firing.
+TEST(Simulation, CancelReArmedPeriodicBetweenFirings)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    const auto id = sim.every(1.0, [&] { ++fires; });
+    sim.runUntil(2.5); // Fired at 1.0 and 2.0; re-armed for 3.0.
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.cancel(id);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    sim.runUntil(20.0);
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(sim.eventsExecuted(), 2u);
+}
+
+// A handle to a dead event must stay dead: even when the kernel reuses
+// the event's internal slot, cancelling the stale handle (repeatedly)
+// never touches the slot's new occupant.
+TEST(Simulation, IdReuseNeverResurrectsCancelledEvent)
+{
+    sim::Simulation sim;
+    std::vector<sim::EventId> stale;
+    for (int i = 0; i < 8; ++i)
+        stale.push_back(sim.at(1.0 + 0.1 * i, [] {}));
+    for (const auto id : stale)
+        sim.cancel(id);
+    sim.run(); // Reclaims all slots.
+    EXPECT_EQ(sim.eventsExecuted(), 0u);
+
+    // These reuse the freed slots.
+    int fired = 0;
+    std::vector<sim::EventId> fresh;
+    for (int i = 0; i < 8; ++i)
+        fresh.push_back(sim.at(2.0 + 0.1 * i, [&] { ++fired; }));
+    for (const auto id : stale) {
+        EXPECT_EQ(std::find(fresh.begin(), fresh.end(), id), fresh.end())
+            << "a recycled slot must hand out a fresh handle";
+    }
+    for (const auto id : stale)
+        sim.cancel(id); // Stale handles: must all be no-ops.
+    EXPECT_EQ(sim.pendingEvents(), 8u);
+    sim.run();
+    EXPECT_EQ(fired, 8);
+    EXPECT_EQ(sim.eventsExecuted(), 8u);
+}
+
+// A periodic event that cancels itself mid-firing stops after that
+// firing and leaves no pending residue.
+TEST(Simulation, PeriodicSelfCancelDuringFiringStopsFutureFirings)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    sim::EventId self = 0;
+    self = sim.every(1.0, [&] {
+        ++fires;
+        if (fires == 3)
+            sim.cancel(self);
+    });
+    sim.run();
+    EXPECT_EQ(fires, 3);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+// Cancelling a one-shot from inside its own callback is a no-op (the
+// event is no longer pending while it executes) and must not emit a
+// cancellation to observers.
+TEST(Simulation, OneShotSelfCancelDuringExecutionIsNoOp)
+{
+    struct CancelCounter : sim::KernelHooks
+    {
+        int cancels = 0;
+        void onCancel(sim::EventId) override { ++cancels; }
+    };
+
+    sim::Simulation sim;
+    CancelCounter hooks;
+    sim.setHooks(&hooks);
+    sim::EventId self = 0;
+    int fired = 0;
+    self = sim.at(1.0, [&] {
+        ++fired;
+        sim.cancel(self);
+    });
+    sim.run();
+    sim.setHooks(nullptr);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(hooks.cancels, 0);
+    EXPECT_EQ(sim.eventsExecuted(), 1u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+// The recorded-scenario regression: a mixed workload whose
+// eventsExecuted()/pendingEvents() trajectory was captured on the
+// pre-slab kernel. The refactor must reproduce it exactly.
+TEST(Simulation, CountsMatchRecordedScenario)
+{
+    sim::Simulation sim;
+    int fires = 0;
+    const auto heartbeat = sim.every(2.0, [&] { ++fires; });
+    const auto doomed_periodic = sim.every(3.0, [&] { ++fires; });
+    sim.at(1.0, [&] { ++fires; });
+    const auto doomed_oneshot = sim.at(4.0, [&] { ++fires; });
+    sim.cancel(doomed_oneshot);
+    EXPECT_EQ(sim.pendingEvents(), 3u);
+
+    // Recorded on the pre-refactor kernel: the one-shot at 1.0, the
+    // heartbeat at 2.0 and 4.0, the doomed periodic at 3.0 = 4
+    // executions by t=5.0 (the cancelled one-shot at 4.0 is skipped).
+    sim.runUntil(5.0);
+    EXPECT_EQ(fires, 4);
+    EXPECT_EQ(sim.eventsExecuted(), 4u);
+    EXPECT_EQ(sim.pendingEvents(), 2u);
+
+    sim.cancel(doomed_periodic);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+
+    // Heartbeat alone: 6.0, 8.0, 10.0 -> 7 total executions.
+    sim.runUntil(10.0);
+    EXPECT_EQ(fires, 7);
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.cancel(heartbeat);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+}
+
+// Handles order by schedule time even across slot reuse, which is what
+// keeps same-timestamp ties deterministic fleet-wide.
+TEST(Simulation, ReusedSlotsPreserveTieOrder)
+{
+    sim::Simulation sim;
+    // Churn the slab so later schedules land on recycled slots.
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 16; ++i)
+            sim.at(static_cast<double>(round) + 0.5, [] {});
+        sim.runUntil(static_cast<double>(round) + 0.75);
+    }
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        sim.at(100.0, [&order, i] { order.push_back(i); });
+    sim.run();
+    std::vector<int> expect(16);
+    for (int i = 0; i < 16; ++i)
+        expect[i] = i;
+    EXPECT_EQ(order, expect);
 }
 
 } // namespace
