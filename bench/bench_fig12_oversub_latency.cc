@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "exp/sweep.hh"
+#include "obs/obs.hh"
 #include "hw/configs.hh"
 #include "hw/cpu.hh"
 #include "thermal/cooling.hh"
@@ -62,24 +63,30 @@ serverPower(int active_pcores, const hw::CpuConfig &config, bool p99)
 int
 main(int argc, char **argv)
 {
-    // Flags: --jobs N (default hardware concurrency), --report FILE.
+    // Flags: --jobs N (default hardware concurrency), --report FILE,
+    // --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
     const std::vector<int> pcore_steps{8, 10, 12, 14, 16};
     const std::vector<std::string> configs{"B2", "OC3"};
+    obs::maybeEnableProfiler(cli);
+    const auto progress =
+        exp::progressFromCli(cli, "fig12_oversub_latency");
 
     util::printHeading(
         std::cout,
         "Fig. 12: average P95 latency of 4 x SQL (4 vcores each) vs "
         "assigned pcores");
 
-    exp::SweepRunner runner({cli.jobs(), 12});
+    exp::SweepRunner runner({cli.jobs(), 12, progress.get()});
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, runner.seed(), runner.jobs());
     std::vector<exp::Params> grid;
     for (int pcores : pcore_steps)
         for (const auto &name : configs)
             grid.push_back(exp::Params{
                 {"pcores", util::fmt(pcores, 0)}, {"config", name}});
 
-    const exp::RunReport report = runner.run(
+    exp::RunReport report = runner.run(
         "fig12_oversub_latency", grid,
         [](const exp::Params &point, std::size_t, util::Rng &,
            exp::MetricsRegistry &metrics) {
@@ -89,6 +96,7 @@ main(int argc, char **argv)
                                           config.memory};
             metrics.scalar("p95_ms", averageP95(pcores, clocks) * 1000.0);
         });
+    report.setMeta(manifest.entries());
 
     const auto p95_ms = [&](int pcores, const std::string &config) {
         for (const auto &record : report.records())
@@ -152,5 +160,6 @@ main(int argc, char **argv)
                  " from the +20% core and uncore clocks.\n";
 
     exp::maybeWriteReport(cli, report, std::cout);
+    obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;
 }

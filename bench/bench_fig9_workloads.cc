@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "exp/sweep.hh"
+#include "obs/obs.hh"
 #include "hw/configs.hh"
 #include "hw/cpu.hh"
 #include "sim/simulation.hh"
@@ -88,8 +89,11 @@ queueingMetric(const workload::AppProfile &app, const hw::CpuConfig &config)
 int
 main(int argc, char **argv)
 {
-    // Flags: --jobs N (default hardware concurrency), --report FILE.
+    // Flags: --jobs N (default hardware concurrency), --report FILE,
+    // --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
+    obs::maybeEnableProfiler(cli);
+    const auto progress = exp::progressFromCli(cli, "fig9_workloads");
     util::printHeading(
         std::cout,
         "Fig. 9: normalized metric (B2 = 1.00; latency/time rows: lower "
@@ -103,7 +107,9 @@ main(int argc, char **argv)
     util::TableWriter table(header);
 
     const auto &apps = workload::appCatalog();
-    exp::SweepRunner runner({cli.jobs(), 9});
+    exp::SweepRunner runner({cli.jobs(), 9, progress.get()});
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, runner.seed(), runner.jobs());
     std::vector<exp::Params> grid;
     for (const auto &app : apps)
         for (const auto &name : configs)
@@ -111,7 +117,7 @@ main(int argc, char **argv)
                                        {"config", name}});
 
     // One sweep point per (app, config) cell, app-major like the grid.
-    const exp::RunReport report = runner.run(
+    exp::RunReport report = runner.run(
         "fig9_workloads", grid,
         [&](const exp::Params &, std::size_t i, util::Rng &,
             exp::MetricsRegistry &metrics) {
@@ -174,6 +180,8 @@ main(int argc, char **argv)
                  " only marginal power;\nOC3 (memory) raises power"
                  " substantially for every app.\n";
 
+    report.setMeta(manifest.entries());
     exp::maybeWriteReport(cli, report, std::cout);
+    obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;
 }

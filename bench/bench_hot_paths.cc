@@ -13,9 +13,14 @@
  * datacenter minutes must be allocation-free after warm-up).
  *
  * Flags:
- *   --smoke       tiny iteration counts (the `ctest -L perf` target);
- *   --scale X     multiply the default iteration counts by X;
- *   --out FILE    JSON destination (default: BENCH_hotpaths.json).
+ *   --smoke           tiny iteration counts (the `ctest -L perf` target);
+ *   --scale X         multiply the default iteration counts by X;
+ *   --out FILE        JSON destination (default: BENCH_hotpaths.json);
+ *   --baseline FILE   compare this run against a previous JSON dump and
+ *                     exit non-zero when a hot path regressed;
+ *   --tolerance FRAC  allowed ns/op slowdown fraction in --baseline
+ *                     mode (default 0.30 — container timing is noisy;
+ *                     allocs/op is always compared tightly).
  */
 
 #include <atomic>
@@ -28,9 +33,13 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "cluster/datacenter.hh"
+#include "obs/manifest.hh"
 #include "sim/simulation.hh"
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "workload/queueing.hh"
@@ -314,10 +323,11 @@ jsonNumber(double v)
 
 void
 writeReport(const std::vector<BenchResult> &results,
-            const std::string &path)
+            const std::string &path, const std::string &meta_json)
 {
     std::string out;
     out += "{\n  \"schema\": \"imsim.bench.hot_paths/1\",\n";
+    out += "  \"meta\": " + meta_json + ",\n";
     out += "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
@@ -336,6 +346,79 @@ writeReport(const std::vector<BenchResult> &results,
     file << out;
 }
 
+// ---------------------------------------------------------------------
+// Baseline comparison (--baseline FILE): the CI/pre-commit gate.
+// ---------------------------------------------------------------------
+
+/**
+ * Compare @p results against the JSON dump at @p baseline_path.
+ * Timing regresses when ns/op exceeds the baseline by more than
+ * @p tolerance (fractional); the allocation contract regresses when
+ * allocs/op grows by more than 1.0 absolute (the de-allocation PRs'
+ * guarantee is structural, not statistical). The baseline's "meta"
+ * block is provenance only and never compared.
+ *
+ * @return the number of regressed benchmarks.
+ */
+int
+checkAgainstBaseline(const std::vector<BenchResult> &results,
+                     const std::string &baseline_path, double tolerance)
+{
+    std::ifstream in(baseline_path);
+    util::fatalIf(!in, "bench_hot_paths: cannot read baseline " +
+                           baseline_path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const util::Json doc = util::Json::parse(text.str());
+    util::fatalIf(!doc.isObject() || !doc.has("schema") ||
+                      doc.at("schema").str() != "imsim.bench.hot_paths/1",
+                  "bench_hot_paths: baseline is not an "
+                  "imsim.bench.hot_paths/1 document");
+
+    int regressions = 0;
+    for (const auto &r : results) {
+        const util::Json *base_row = nullptr;
+        for (const auto &row : doc.at("benchmarks").array()) {
+            if (row.at("name").str() == r.name) {
+                base_row = &row;
+                break;
+            }
+        }
+        if (!base_row) {
+            std::cout << "  [bench-check] " << r.name
+                      << ": no baseline row (new benchmark), skipped\n";
+            continue;
+        }
+        const double base_ns = base_row->at("ns_per_op").number();
+        const double base_allocs =
+            base_row->at("allocs_per_op").number();
+        const double ratio = base_ns > 0.0 ? r.nsPerOp / base_ns : 1.0;
+        bool bad = false;
+        if (ratio > 1.0 + tolerance) {
+            std::cout << "  [bench-check] REGRESSION " << r.name << ": "
+                      << jsonNumber(r.nsPerOp) << " ns/" << r.unit
+                      << " vs baseline " << jsonNumber(base_ns) << " (x"
+                      << jsonNumber(ratio) << ", tolerance x"
+                      << jsonNumber(1.0 + tolerance) << ")\n";
+            bad = true;
+        }
+        if (r.allocsPerOp > base_allocs + 1.0) {
+            std::cout << "  [bench-check] REGRESSION " << r.name << ": "
+                      << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
+                      << " vs baseline " << jsonNumber(base_allocs)
+                      << "\n";
+            bad = true;
+        }
+        if (!bad) {
+            std::cout << "  [bench-check] ok " << r.name << ": x"
+                      << jsonNumber(ratio) << " ns/op, "
+                      << jsonNumber(r.allocsPerOp) << " allocs/op\n";
+        }
+        regressions += bad ? 1 : 0;
+    }
+    return regressions;
+}
+
 } // namespace
 
 int
@@ -345,6 +428,8 @@ main(int argc, char **argv)
     const bool smoke = cli.has("--smoke");
     const double scale = cli.getDouble("--scale", smoke ? 0.002 : 1.0);
     const std::string out_path = cli.get("--out", "BENCH_hotpaths.json");
+    const std::string baseline_path = cli.get("--baseline");
+    const double tolerance = cli.getDouble("--tolerance", 0.30);
 
     const auto scaled = [scale](double n) {
         const double v = n * scale;
@@ -367,7 +452,22 @@ main(int argc, char **argv)
                   << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
                   << ")\n";
     }
-    writeReport(results, out_path);
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, 0, 1);
+    writeReport(results, out_path, manifest.toJsonObject());
     std::cout << "Wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        std::cout << "Comparing against " << baseline_path
+                  << " (tolerance x" << jsonNumber(1.0 + tolerance)
+                  << "):\n";
+        const int regressions =
+            checkAgainstBaseline(results, baseline_path, tolerance);
+        if (regressions > 0) {
+            std::cout << regressions << " hot path(s) regressed.\n";
+            return 1;
+        }
+        std::cout << "All hot paths within tolerance.\n";
+    }
     return 0;
 }

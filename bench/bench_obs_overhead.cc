@@ -9,12 +9,14 @@
  *  - BM_KernelLoopBare vs BM_KernelLoopHooksOff vs BM_KernelLoopTraced;
  *  - BM_TracerDisabled vs BM_TracerEnabled (per-emit cost);
  *  - BM_CounterInc / BM_GaugePoll (registry primitives);
- *  - BM_TraceScopeDisabled vs BM_TraceScopeEnabled.
+ *  - BM_TraceScopeDisabled vs BM_TraceScopeEnabled;
+ *  - BM_ProfScopeDisabled vs BM_ProfScopeEnabled (wall-clock profiler).
  */
 
 #include <benchmark/benchmark.h>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "sim/simulation.hh"
@@ -183,6 +185,40 @@ BM_TraceScopeEnabled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceScopeEnabled);
+
+/**
+ * Profiler scope with the global flag off: the cost every instrumented
+ * hot path (thermal step, power allocate, kernel minute loop) pays on
+ * ordinary runs. The contract is a single relaxed atomic load and
+ * branch — a few ns at most.
+ */
+void
+BM_ProfScopeDisabled(benchmark::State &state)
+{
+    obs::Profiler::setEnabled(false);
+    for (auto _ : state) {
+        obs::ProfScope scope("bench.disabled");
+        benchmark::DoNotOptimize(&scope);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeDisabled);
+
+/** Profiler scope with the flag on: two clock reads + tree walk. */
+void
+BM_ProfScopeEnabled(benchmark::State &state)
+{
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    for (auto _ : state) {
+        obs::ProfScope scope("bench.enabled");
+        benchmark::DoNotOptimize(&scope);
+    }
+    obs::Profiler::setEnabled(false);
+    obs::Profiler::reset();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeEnabled);
 
 } // namespace
 

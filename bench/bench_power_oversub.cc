@@ -12,6 +12,7 @@
 #include "cluster/datacenter.hh"
 #include "core/credit.hh"
 #include "exp/sweep.hh"
+#include "obs/obs.hh"
 #include "reliability/lifetime.hh"
 #include "util/cli.hh"
 #include "util/random.hh"
@@ -22,7 +23,8 @@ using namespace imsim;
 namespace {
 
 exp::RunReport
-powerOversubscription(const util::Cli &cli)
+powerOversubscription(const util::Cli &cli,
+                      const obs::RunManifest &manifest)
 {
     util::printHeading(
         std::cout,
@@ -55,11 +57,12 @@ powerOversubscription(const util::Cli &cli)
     // The three 14-day policy runs are independent; fan them across the
     // experiment engine. Each run keeps the bench's historical seed
     // (2021) so the table matches the serial output exactly.
-    exp::SweepRunner runner({cli.jobs(), 2021});
+    const auto progress = exp::progressFromCli(cli, "power_oversub");
+    exp::SweepRunner runner({cli.jobs(), 2021, progress.get()});
     std::vector<exp::Params> grid;
     for (const auto &row : rows)
         grid.push_back(exp::Params{{"policy", row.name}});
-    const exp::RunReport report = runner.run(
+    exp::RunReport report = runner.run(
         "power_oversub", grid,
         [&](const exp::Params &, std::size_t i, util::Rng &,
             exp::MetricsRegistry &metrics) {
@@ -73,6 +76,7 @@ powerOversubscription(const util::Cli &cli)
             metrics.scalar("speedup", outcome.speedupDelivered);
             metrics.scalar("energy_mwh", outcome.energyMwh);
         });
+    report.setMeta(manifest.entries());
     for (const auto &record : report.records()) {
         const auto &m = record.metrics;
         table.addRow(
@@ -146,10 +150,15 @@ creditLedger()
 int
 main(int argc, char **argv)
 {
-    // Flags: --jobs N (default hardware concurrency), --report FILE.
+    // Flags: --jobs N (default hardware concurrency), --report FILE,
+    // --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
-    const exp::RunReport report = powerOversubscription(cli);
+    obs::maybeEnableProfiler(cli);
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, 2021, cli.jobs());
+    const exp::RunReport report = powerOversubscription(cli, manifest);
     creditLedger();
     exp::maybeWriteReport(cli, report, std::cout);
+    obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;
 }

@@ -26,11 +26,16 @@ main(int argc, char **argv)
     // Flags: --seed N (default 42), --step SECONDS (default 300),
     // --skip-downramp (omit the down-ramp extension section),
     // --jobs N (default hardware concurrency), --report FILE,
-    // --trace FILE (Chrome trace JSON), --telemetry FILE (merged CSV).
+    // --trace FILE (Chrome trace JSON), --telemetry FILE (merged CSV),
+    // --progress [FILE] (stderr status line + optional JSONL
+    // heartbeat), --profile [FILE] (wall-clock scope table + optional
+    // mergeable JSON dump).
     const util::Cli cli(argc, argv);
     autoscale::ExperimentParams params;
     params.seed = static_cast<std::uint64_t>(cli.getInt("--seed", 42));
     params.stepDuration = cli.getDouble("--step", 300.0);
+    obs::maybeEnableProfiler(cli);
+    const auto progress = exp::progressFromCli(cli, "table11_autoscaler");
 
     util::printHeading(std::cout,
                        "Table XI: full auto-scaler experiment");
@@ -42,7 +47,10 @@ main(int argc, char **argv)
     // Four independent full runs (Baseline, OC-E, OC-A, plus the
     // ablation's second OC-E run) fanned across the experiment engine;
     // each seeds its own simulation from params.seed.
-    const exp::SweepRunner runner({cli.jobs(), params.seed});
+    const exp::SweepRunner runner({cli.jobs(), params.seed,
+                                   progress.get()});
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, params.seed, runner.jobs());
     const std::vector<autoscale::Policy> runs{
         autoscale::Policy::Baseline, autoscale::Policy::OcE,
         autoscale::Policy::OcA, autoscale::Policy::OcE};
@@ -61,6 +69,11 @@ main(int argc, char **argv)
                 point_params.obs = &captures[i];
             return autoscale::runFullExperiment(runs[i], point_params);
         });
+    // Timing of the headline sweep, before the down-ramp map reuses
+    // (and resets) the monitor.
+    exp::RunTiming sweep_timing;
+    if (progress)
+        sweep_timing = progress->runTiming();
     const auto &baseline = outcomes[0];
     const auto &oce = outcomes[1];
     const auto &oca = outcomes[2];
@@ -185,6 +198,9 @@ main(int argc, char **argv)
     }
 
     exp::RunReport report("table11_autoscaler");
+    report.setMeta(manifest.entries());
+    if (progress)
+        report.setTiming(sweep_timing);
     for (std::size_t i = 0; i < 3; ++i) {
         const auto &outcome = outcomes[i];
         exp::RunRecord record;
@@ -213,8 +229,9 @@ main(int argc, char **argv)
                                 static_cast<std::uint32_t>(i));
             telemetry.add(i, label, captures[i].telemetry);
         }
-        obs::maybeWriteTrace(cli, merged_trace, std::cout);
-        obs::maybeWriteTelemetry(cli, telemetry, std::cout);
+        obs::maybeWriteTrace(cli, merged_trace, manifest, std::cout);
+        obs::maybeWriteTelemetry(cli, telemetry, manifest, std::cout);
     }
+    obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;
 }

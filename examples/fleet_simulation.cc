@@ -33,6 +33,8 @@ int
 main(int argc, char **argv)
 {
     const util::Cli cli(argc, argv);
+    obs::maybeEnableProfiler(cli);
+    const auto progress = exp::progressFromCli(cli, "fleet_simulation");
 
     // 1. Policy bake-off on a 40 kW feed, one policy per worker.
     std::cout << "== Two-week policy bake-off (40 kW feed, 30%"
@@ -53,7 +55,9 @@ main(int argc, char **argv)
             {"Always", cluster::OverclockPolicy::Always},
             {"Power-aware", cluster::OverclockPolicy::PowerAware},
         };
-    exp::SweepRunner runner({cli.jobs(), 99});
+    exp::SweepRunner runner({cli.jobs(), 99, progress.get()});
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, runner.seed(), runner.jobs());
     // With --telemetry each policy run records its per-minute feed
     // series into its own slot; merged in point order below, so the
     // CSV is identical for any --jobs value.
@@ -88,7 +92,7 @@ main(int argc, char **argv)
     for (std::size_t r = 0; r < replications; ++r)
         grid.push_back(exp::Params{
             {"replication", util::fmt(static_cast<double>(r), 0)}});
-    const exp::RunReport report = runner.run(
+    exp::RunReport report = runner.run(
         "fleet_power_aware_mc", grid,
         [&](const exp::Params &, std::size_t, util::Rng &rng,
             exp::MetricsRegistry &metrics) {
@@ -147,13 +151,15 @@ main(int argc, char **argv)
               << util::fmt(rig.network.temperature(rig.die), 1)
               << " C (Table V's overclocked HFE point is ~60 C).\n";
 
+    report.setMeta(manifest.entries());
     exp::maybeWriteReport(cli, report, std::cout);
 
     if (capture_obs) {
         obs::TelemetryMerger telemetry(feed_series.size());
         for (std::size_t i = 0; i < feed_series.size(); ++i)
             telemetry.add(i, policies[i].first, feed_series[i]);
-        obs::maybeWriteTelemetry(cli, telemetry, std::cout);
+        obs::maybeWriteTelemetry(cli, telemetry, manifest, std::cout);
     }
+    obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;
 }

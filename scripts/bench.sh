@@ -5,16 +5,37 @@
 # sensitive changes so the next PR has a baseline to diff against; the
 # schema is documented in DESIGN.md ("Performance & hot paths").
 #
+# With --check the committed BENCH_hotpaths.json is treated as the
+# baseline instead of being overwritten: a fresh full-scale run is
+# compared against it (ns/op within a tolerance band, allocs/op
+# tightly) and the script exits non-zero on a regression. This is the
+# gate scripts/check.sh runs before a commit.
+#
 # A fast smoke variant runs under plain ctest: `ctest -L perf`.
 #
-# Usage: scripts/bench.sh [build-dir] [extra bench flags...]
+# Usage: scripts/bench.sh [--check] [build-dir] [extra bench flags...]
 #        (default build dir: build-bench)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+    CHECK=1
+    shift
+fi
 BUILD_DIR="${1:-build-bench}"
 shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_hot_paths
-"$BUILD_DIR"/bench/bench_hot_paths --out BENCH_hotpaths.json "$@"
+
+if [[ "$CHECK" == 1 ]]; then
+    # Container timing is noisy, so the ns/op band is generous (x1.5);
+    # the allocs/op contract is structural and always checked tightly.
+    "$BUILD_DIR"/bench/bench_hot_paths \
+        --out "$BUILD_DIR"/BENCH_hotpaths.fresh.json \
+        --baseline BENCH_hotpaths.json --tolerance 0.5 "$@"
+else
+    "$BUILD_DIR"/bench/bench_hot_paths --out BENCH_hotpaths.json "$@"
+fi

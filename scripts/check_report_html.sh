@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# End-to-end check of the unified HTML run report (registered as the
+# `report_html_check` ctest): run a small Table 11 sweep with the
+# observability flags on, merge its artifacts with tools/imsim_report,
+# and assert the page is complete and self-contained:
+#   - the configure-time git SHA (provenance) made it into the HTML;
+#   - inline SVG sparklines are present;
+#   - no external http(s) assets are referenced.
+#
+# Usage: scripts/check_report_html.sh BENCH_BIN REPORT_BIN GIT_SHA OUTDIR
+set -euo pipefail
+
+BENCH_BIN="$1"
+REPORT_BIN="$2"
+GIT_SHA="$3"
+OUTDIR="$4"
+
+mkdir -p "$OUTDIR"
+
+"$BENCH_BIN" --step 60 --skip-downramp --jobs 2 \
+    --report "$OUTDIR/run.json" \
+    --telemetry "$OUTDIR/run.csv" \
+    --profile "$OUTDIR/profile.json" \
+    --progress "$OUTDIR/progress.jsonl" >/dev/null 2>&1
+
+"$REPORT_BIN" --report "$OUTDIR/run.json" \
+    --telemetry "$OUTDIR/run.csv" \
+    --profile "$OUTDIR/profile.json" \
+    --out "$OUTDIR/report.html"
+
+HTML="$OUTDIR/report.html"
+
+if [[ "$GIT_SHA" != "unknown" ]] && ! grep -q "$GIT_SHA" "$HTML"; then
+    echo "FAIL: git SHA $GIT_SHA missing from $HTML" >&2
+    exit 1
+fi
+if ! grep -q "<svg" "$HTML"; then
+    echo "FAIL: no inline SVG sparklines in $HTML" >&2
+    exit 1
+fi
+if grep -qE '(src|href)="https?://' "$HTML"; then
+    echo "FAIL: external asset reference found in $HTML" >&2
+    exit 1
+fi
+echo "report_html_check: OK ($HTML)"

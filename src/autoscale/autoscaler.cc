@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -165,6 +166,7 @@ AutoScaler::triggerScaleOut()
 void
 AutoScaler::decide()
 {
+    obs::ProfScope prof("autoscale.decide");
     const Seconds now = sim.now();
     const double util_short =
         cluster.fleetUtilization(cfg.shortWindow);

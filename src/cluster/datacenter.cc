@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/timeseries.hh"
 #include "util/logging.hh"
 
@@ -56,6 +57,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
                         obs::TimeSeries *telemetry,
                         obs::MetricRegistry *metrics) const
 {
+    obs::ProfScope prof("datacenter.run");
     util::fatalIf(days <= 0.0, "DatacenterPowerSim::run: bad horizon");
 
     obs::Counter *minute_metric = nullptr;
@@ -119,6 +121,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
 
     const std::size_t minutes = traces.front().size();
     for (std::size_t minute = 0; minute < minutes; ++minute) {
+        obs::ProfScope minute_prof("datacenter.minute");
         // Refresh the per-minute demands.
         Watts demand_total = 0.0;
         for (std::size_t r = 0; r < racks.size(); ++r) {

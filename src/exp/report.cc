@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "util/cli.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -80,6 +81,19 @@ RunReport::add(RunRecord record)
     points.push_back(std::move(record));
 }
 
+void
+RunReport::setMeta(std::vector<std::pair<std::string, std::string>> meta)
+{
+    metaFields = std::move(meta);
+}
+
+void
+RunReport::setTiming(RunTiming timing)
+{
+    runTiming = std::move(timing);
+    timingSet = true;
+}
+
 namespace {
 
 /** Union of names across records, in first-seen order. */
@@ -112,132 +126,8 @@ formatNumber(double value)
 void
 appendEscaped(std::string &out, const std::string &s)
 {
-    out += '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
+    util::Json::appendEscaped(out, s);
 }
-
-/**
- * Minimal recursive-descent parser for the JSON subset toJson() emits
- * (objects, arrays, strings, numbers, null). Not a general JSON
- * library; FatalError on anything malformed.
- */
-class JsonCursor
-{
-  public:
-    explicit JsonCursor(const std::string &text) : text(text) {}
-
-    void
-    expect(char c)
-    {
-        skipWs();
-        util::fatalIf(pos >= text.size() || text[pos] != c,
-                      std::string("RunReport::fromJson: expected '") + c +
-                          "' at offset " + std::to_string(pos));
-        ++pos;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (pos < text.size() && text[pos] == c) {
-            ++pos;
-            return true;
-        }
-        return false;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < text.size() && text[pos] != '"') {
-            char c = text[pos++];
-            if (c == '\\') {
-                util::fatalIf(pos >= text.size(),
-                              "RunReport::fromJson: dangling escape");
-                const char esc = text[pos++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'u': {
-                    util::fatalIf(pos + 4 > text.size(),
-                                  "RunReport::fromJson: bad \\u escape");
-                    const unsigned code = static_cast<unsigned>(
-                        std::stoul(text.substr(pos, 4), nullptr, 16));
-                    util::fatalIf(code > 0x7f,
-                                  "RunReport::fromJson: non-ASCII \\u "
-                                  "escape unsupported");
-                    out += static_cast<char>(code);
-                    pos += 4;
-                    break;
-                  }
-                  default:
-                    util::fatal("RunReport::fromJson: unknown escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    double
-    parseNumber()
-    {
-        skipWs();
-        if (text.compare(pos, 4, "null") == 0) {
-            pos += 4;
-            return std::nan("");
-        }
-        std::size_t used = 0;
-        double value = 0.0;
-        try {
-            value = std::stod(text.substr(pos), &used);
-        } catch (const std::exception &) {
-            util::fatal("RunReport::fromJson: expected a number at offset " +
-                        std::to_string(pos));
-        }
-        pos += used;
-        return value;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos < text.size() &&
-               (text[pos] == ' ' || text[pos] == '\n' ||
-                text[pos] == '\t' || text[pos] == '\r'))
-            ++pos;
-    }
-
-  private:
-    const std::string &text;
-    std::size_t pos = 0;
-};
 
 } // namespace
 
@@ -282,6 +172,31 @@ RunReport::toJson() const
 {
     std::string out = "{\n  \"name\": ";
     appendEscaped(out, reportName);
+    if (hasMeta()) {
+        out += ",\n  \"meta\": {";
+        for (std::size_t i = 0; i < metaFields.size(); ++i) {
+            if (i)
+                out += ", ";
+            appendEscaped(out, metaFields[i].first);
+            out += ": ";
+            appendEscaped(out, metaFields[i].second);
+        }
+        out += "}";
+    }
+    if (hasTiming()) {
+        out += ",\n  \"timing\": {\"total_wall_ms\": ";
+        out += formatNumber(runTiming.totalWallMs);
+        out += ", \"points\": [";
+        for (std::size_t i = 0; i < runTiming.points.size(); ++i) {
+            const PointTiming &pt = runTiming.points[i];
+            out += i ? ",\n    {" : "\n    {";
+            out += "\"index\": " + std::to_string(pt.index);
+            out += ", \"queue_ms\": " + formatNumber(pt.queueMs);
+            out += ", \"wall_ms\": " + formatNumber(pt.wallMs);
+            out += ", \"worker\": " + std::to_string(pt.worker) + "}";
+        }
+        out += runTiming.points.empty() ? "]}" : "\n  ]}";
+    }
     out += ",\n  \"points\": [";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto &record = points[i];
@@ -314,53 +229,38 @@ RunReport::toJson() const
 RunReport
 RunReport::fromJson(const std::string &json)
 {
-    JsonCursor cur(json);
-    cur.expect('{');
-    util::fatalIf(cur.parseString() != "name",
-                  "RunReport::fromJson: expected \"name\" first");
-    cur.expect(':');
-    RunReport report(cur.parseString());
-    cur.expect(',');
-    util::fatalIf(cur.parseString() != "points",
-                  "RunReport::fromJson: expected \"points\"");
-    cur.expect(':');
-    cur.expect('[');
-    if (!cur.consume(']')) {
-        do {
-            cur.expect('{');
-            RunRecord record;
-            util::fatalIf(cur.parseString() != "params",
-                          "RunReport::fromJson: expected \"params\"");
-            cur.expect(':');
-            cur.expect('{');
-            if (!cur.consume('}')) {
-                do {
-                    std::string key = cur.parseString();
-                    cur.expect(':');
-                    record.params.emplace_back(std::move(key),
-                                               cur.parseString());
-                } while (cur.consume(','));
-                cur.expect('}');
-            }
-            cur.expect(',');
-            util::fatalIf(cur.parseString() != "metrics",
-                          "RunReport::fromJson: expected \"metrics\"");
-            cur.expect(':');
-            cur.expect('{');
-            if (!cur.consume('}')) {
-                do {
-                    std::string key = cur.parseString();
-                    cur.expect(':');
-                    record.metrics.set(key, cur.parseNumber());
-                } while (cur.consume(','));
-                cur.expect('}');
-            }
-            cur.expect('}');
-            report.add(std::move(record));
-        } while (cur.consume(','));
-        cur.expect(']');
+    const util::Json doc = util::Json::parse(json);
+    util::fatalIf(!doc.isObject(),
+                  "RunReport::fromJson: document is not an object");
+    RunReport report(doc.at("name").str());
+    if (const util::Json *meta = doc.find("meta")) {
+        std::vector<std::pair<std::string, std::string>> fields;
+        for (const auto &member : meta->object())
+            fields.emplace_back(member.first, member.second.str());
+        report.setMeta(std::move(fields));
     }
-    cur.expect('}');
+    if (const util::Json *timing = doc.find("timing")) {
+        RunTiming parsed;
+        parsed.totalWallMs = timing->at("total_wall_ms").number();
+        for (const auto &row : timing->at("points").array()) {
+            PointTiming pt;
+            pt.index =
+                static_cast<std::size_t>(row.at("index").number());
+            pt.queueMs = row.at("queue_ms").number();
+            pt.wallMs = row.at("wall_ms").number();
+            pt.worker = static_cast<int>(row.at("worker").number());
+            parsed.points.push_back(pt);
+        }
+        report.setTiming(std::move(parsed));
+    }
+    for (const auto &point : doc.at("points").array()) {
+        RunRecord record;
+        for (const auto &param : point.at("params").object())
+            record.params.emplace_back(param.first, param.second.str());
+        for (const auto &metric : point.at("metrics").object())
+            record.metrics.set(metric.first, metric.second.number());
+        report.add(std::move(record));
+    }
     return report;
 }
 

@@ -3,7 +3,9 @@
  * Structured results for the experiment engine: named per-point metrics
  * (scalars and percentile summaries), aligned console tables, and
  * machine-readable JSON/CSV artifacts for the bench binaries'
- * "--report out.json" flag.
+ * "--report out.json" flag. Reports optionally carry a provenance
+ * "meta" block (see obs::RunManifest) and a wall-clock "timing"
+ * section — both outside the deterministic result payload.
  */
 
 #ifndef IMSIM_EXP_REPORT_HH
@@ -90,11 +92,34 @@ struct RunRecord
 };
 
 /**
+ * Wall-clock timing of one sweep point, recorded by ProgressMonitor.
+ * Observability only: lives in the report's "timing" section, never in
+ * the result payload, because it legitimately varies run to run.
+ */
+struct PointTiming
+{
+    std::size_t index = 0; ///< Sweep point index.
+    double queueMs = 0.0;  ///< Submission-to-start queue wait.
+    double wallMs = 0.0;   ///< Point body wall time.
+    int worker = 0;        ///< Worker slot that ran the point.
+};
+
+/** Wall-clock timing of one whole sweep. */
+struct RunTiming
+{
+    double totalWallMs = 0.0;         ///< First submit to last finish.
+    std::vector<PointTiming> points;  ///< Per-point rows, index order.
+};
+
+/**
  * Structured result of one experiment run (one record per sweep point).
  *
- * Deliberately omits worker count and wall-clock time from the payload:
- * a report is bit-identical whether the sweep ran with --jobs 1 or N,
- * which is how the determinism tests compare runs.
+ * The *result payload* (name + points) deliberately omits worker count
+ * and wall-clock time: it is bit-identical whether the sweep ran with
+ * --jobs 1 or N, which is how the determinism tests compare runs. Run
+ * provenance and wall-clock timing live in the separate optional
+ * "meta" and "timing" sections, which are only emitted when set and
+ * are the only sections allowed to differ between job counts.
  */
 class RunReport
 {
@@ -110,6 +135,30 @@ class RunReport
 
     /** @return records in sweep order. */
     const std::vector<RunRecord> &records() const { return points; }
+
+    /**
+     * Attach run provenance, e.g. obs::RunManifest::entries(). Emitted
+     * as the JSON "meta" object (string values, given order).
+     */
+    void setMeta(std::vector<std::pair<std::string, std::string>> meta);
+
+    /** @return the provenance fields (empty when none attached). */
+    const std::vector<std::pair<std::string, std::string>> &meta() const
+    {
+        return metaFields;
+    }
+
+    /** @return whether provenance was attached. */
+    bool hasMeta() const { return !metaFields.empty(); }
+
+    /** Attach wall-clock timing (the JSON "timing" section). */
+    void setTiming(RunTiming timing);
+
+    /** @return the timing section (valid only when hasTiming()). */
+    const RunTiming &timing() const { return runTiming; }
+
+    /** @return whether a timing section was attached. */
+    bool hasTiming() const { return timingSet; }
 
     /**
      * @return an aligned table: one column per param, then one per
@@ -132,6 +181,9 @@ class RunReport
   private:
     std::string reportName;
     std::vector<RunRecord> points;
+    std::vector<std::pair<std::string, std::string>> metaFields;
+    RunTiming runTiming;
+    bool timingSet = false;
 };
 
 /**

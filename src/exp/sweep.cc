@@ -6,7 +6,7 @@ namespace exp {
 SweepRunner::SweepRunner(SweepOptions opts)
     : workerCount(opts.jobs == 0 ? util::ThreadPool::defaultWorkers()
                                  : opts.jobs),
-      rootSeed(opts.seed)
+      rootSeed(opts.seed), monitor(opts.progress)
 {}
 
 void
@@ -35,6 +35,8 @@ SweepRunner::run(const std::string &name, const std::vector<Params> &grid,
     RunReport report(name);
     for (auto &record : records)
         report.add(std::move(record));
+    if (monitor)
+        report.setTiming(monitor->runTiming());
     return report;
 }
 

@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "exp/progress.hh"
 #include "exp/report.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 #include "util/thread_pool.hh"
 
@@ -33,6 +35,30 @@ struct SweepOptions
 {
     std::size_t jobs = 0;    ///< Worker threads; 0 = hardware concurrency.
     std::uint64_t seed = 0x1ce5eedULL; ///< Root seed for Rng::split.
+    /** Optional observer (not owned); see progressFromCli. */
+    ProgressMonitor *progress = nullptr;
+};
+
+/**
+ * Raised when a sweep point's body throws: carries the *lowest* failed
+ * point index and the original message, composed identically whether
+ * the sweep ran serially or across a pool — so failure reports do not
+ * depend on --jobs.
+ */
+class SweepPointError : public FatalError
+{
+  public:
+    SweepPointError(std::size_t index, const std::string &what_arg)
+        : FatalError("SweepRunner: point " + std::to_string(index) +
+                     " failed: " + what_arg),
+          failedIndex(index)
+    {}
+
+    /** @return the failed sweep-point index. */
+    std::size_t index() const { return failedIndex; }
+
+  private:
+    std::size_t failedIndex;
 };
 
 /**
@@ -56,32 +82,77 @@ class SweepRunner
     /**
      * Run @p fn(i, rng) for every i in [0, n) and return the results
      * in index order. @p fn must not touch shared mutable state.
+     *
+     * Failure semantics: when a body throws, the call raises a
+     * SweepPointError for the lowest failed index, with the same
+     * message under --jobs 1 and --jobs N (the parallel path still
+     * joins every in-flight point before throwing).
+     *
+     * When options.progress is set, the monitor sees begin/queued/
+     * started/finished/end events; results are unaffected.
      */
     template <typename T>
     std::vector<T>
     map(std::size_t n,
         const std::function<T(std::size_t, util::Rng &)> &fn) const
     {
+        ProgressMonitor *mon = monitor;
+        if (mon)
+            mon->begin(n);
         std::vector<T> results;
         results.reserve(n);
         if (workerCount == 1 || n <= 1) {
             for (std::size_t i = 0; i < n; ++i) {
+                if (mon) {
+                    mon->pointQueued(i);
+                    mon->pointStarted(i);
+                }
                 util::Rng rng = substream(i);
-                results.push_back(fn(i, rng));
+                try {
+                    results.push_back(fn(i, rng));
+                } catch (const std::exception &e) {
+                    if (mon)
+                        mon->end();
+                    throw SweepPointError(i, e.what());
+                }
+                if (mon)
+                    mon->pointFinished(i);
             }
+            if (mon)
+                mon->end();
             return results;
         }
         util::ThreadPool pool(workerCount);
         std::vector<std::future<T>> futures;
         futures.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            futures.push_back(pool.submit([this, i, &fn]() {
+            if (mon)
+                mon->pointQueued(i);
+            futures.push_back(pool.submit([this, i, &fn, mon]() {
+                if (mon)
+                    mon->pointStarted(i);
                 util::Rng rng = substream(i);
-                return fn(i, rng);
+                T result = fn(i, rng);
+                if (mon)
+                    mon->pointFinished(i);
+                return result;
             }));
         }
-        for (auto &future : futures)
-            results.push_back(future.get());
+        // Collect in index order, so the exception that surfaces is the
+        // lowest failed index's — matching the serial path exactly.
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                results.push_back(futures[i].get());
+            } catch (const std::exception &e) {
+                for (std::size_t j = i + 1; j < n; ++j)
+                    futures[j].wait();
+                if (mon)
+                    mon->end();
+                throw SweepPointError(i, e.what());
+            }
+        }
+        if (mon)
+            mon->end();
         return results;
     }
 
@@ -94,7 +165,9 @@ class SweepRunner
      * Sweep a parameter grid and collect a structured report.
      *
      * @p fn fills one MetricsRegistry per point; the report holds one
-     * record per grid point, in grid order.
+     * record per grid point, in grid order. When a progress monitor is
+     * attached, its wall-clock timing snapshot is stored as the
+     * report's "timing" section (outside the result payload).
      */
     RunReport
     run(const std::string &name, const std::vector<Params> &grid,
@@ -111,6 +184,7 @@ class SweepRunner
   private:
     std::size_t workerCount;
     std::uint64_t rootSeed;
+    ProgressMonitor *monitor;
 };
 
 /**

@@ -1,0 +1,94 @@
+#include "obs/manifest.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+
+#include "obs/version.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+
+namespace imsim {
+namespace obs {
+
+namespace {
+
+/** Current wall clock as ISO 8601 UTC, e.g. "2026-08-05T14:03:22Z". */
+std::string
+wallClockIso()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                  utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
+                  utc.tm_hour, utc.tm_min, utc.tm_sec);
+    return buf;
+}
+
+} // namespace
+
+RunManifest
+RunManifest::capture(const util::Cli &cli, std::uint64_t seed,
+                     std::size_t jobs)
+{
+    RunManifest manifest;
+    manifest.set("git_sha", IMSIM_GIT_SHA);
+    manifest.set("git_dirty", IMSIM_GIT_DIRTY ? "true" : "false");
+    manifest.set("compiler", IMSIM_COMPILER);
+    manifest.set("build_type", IMSIM_BUILD_TYPE);
+    manifest.set("seed", std::to_string(seed));
+    manifest.set("jobs", std::to_string(jobs));
+    manifest.set("argv", cli.commandLine());
+    manifest.set("started_at", wallClockIso());
+    return manifest;
+}
+
+std::string
+RunManifest::get(const std::string &key) const
+{
+    for (const auto &field : fields)
+        if (field.first == key)
+            return field.second;
+    return "";
+}
+
+std::string
+RunManifest::toJsonObject() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ", ";
+        util::Json::appendEscaped(out, fields[i].first);
+        out += ": ";
+        util::Json::appendEscaped(out, fields[i].second);
+    }
+    out += "}";
+    return out;
+}
+
+void
+RunManifest::writeCsvComments(std::ostream &os) const
+{
+    for (const auto &field : fields)
+        os << "# " << field.first << ": " << field.second << '\n';
+}
+
+void
+RunManifest::set(const std::string &key, const std::string &value)
+{
+    for (auto &field : fields) {
+        if (field.first == key) {
+            field.second = value;
+            return;
+        }
+    }
+    fields.emplace_back(key, value);
+}
+
+} // namespace obs
+} // namespace imsim

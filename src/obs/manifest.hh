@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Run provenance: obs::RunManifest records which build produced an
+ * artifact (git SHA + dirty flag from the configure-time version
+ * header, compiler, build type) and how it was invoked (root seed,
+ * worker count, full argv, wall-clock start). Every machine-readable
+ * artifact a bench writes — RunReport JSON, merged telemetry CSV,
+ * Chrome traces, profiler dumps, BENCH_hotpaths.json — embeds the
+ * same manifest so a finished sweep can be traced back to the exact
+ * build and command that produced it.
+ *
+ * The manifest is ordered (key, value) string pairs, so embedding it
+ * is a one-liner for any format: a JSON object of strings, or
+ * `# key: value` comment lines atop a CSV.
+ */
+
+#ifndef IMSIM_OBS_MANIFEST_HH
+#define IMSIM_OBS_MANIFEST_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace imsim {
+namespace util {
+class Cli;
+} // namespace util
+
+namespace obs {
+
+/**
+ * Provenance record of one binary invocation.
+ *
+ * Keys (in order): git_sha, git_dirty, compiler, build_type, seed,
+ * jobs, argv, started_at (ISO 8601 UTC, wall clock). All values are
+ * strings; the wall-clock field is the only one that differs between
+ * two otherwise-identical runs.
+ */
+class RunManifest
+{
+  public:
+    /**
+     * Capture the manifest for this invocation: build constants from
+     * the generated version header, @p seed and @p jobs from the
+     * run's configuration, argv from @p cli, and the current wall
+     * clock.
+     */
+    static RunManifest capture(const util::Cli &cli, std::uint64_t seed,
+                               std::size_t jobs);
+
+    /** @return the ordered (key, value) fields. */
+    const std::vector<std::pair<std::string, std::string>> &
+    entries() const
+    {
+        return fields;
+    }
+
+    /** @return value of @p key, or "" when absent. */
+    std::string get(const std::string &key) const;
+
+    /** @return the fields as one JSON object, e.g. {"git_sha": ...}. */
+    std::string toJsonObject() const;
+
+    /** Write the fields as `# key: value` CSV comment lines. */
+    void writeCsvComments(std::ostream &os) const;
+
+    /** Append one (key, value) field (kept for tests/extensions). */
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+} // namespace obs
+} // namespace imsim
+
+#endif // IMSIM_OBS_MANIFEST_HH

@@ -1,8 +1,12 @@
 #include "obs/obs.hh"
 
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
 
 namespace imsim {
 namespace obs {
@@ -19,6 +23,21 @@ telemetryRequested(const util::Cli &cli)
     return !cli.telemetryFile().empty();
 }
 
+bool
+profileRequested(const util::Cli &cli)
+{
+    return cli.has("--profile");
+}
+
+void
+maybeEnableProfiler(const util::Cli &cli)
+{
+    if (!profileRequested(cli))
+        return;
+    Profiler::reset();
+    Profiler::setEnabled(true);
+}
+
 void
 maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
                 std::ostream &os)
@@ -27,6 +46,18 @@ maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
     if (path.empty())
         return;
     tracer.writeJsonFile(path);
+    os << "[trace] wrote " << tracer.size() << " events to " << path
+       << " (load in chrome://tracing or ui.perfetto.dev)\n";
+}
+
+void
+maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
+                const RunManifest &manifest, std::ostream &os)
+{
+    const std::string path = cli.traceFile();
+    if (path.empty())
+        return;
+    tracer.writeJsonFile(path, manifest.toJsonObject());
     os << "[trace] wrote " << tracer.size() << " events to " << path
        << " (load in chrome://tracing or ui.perfetto.dev)\n";
 }
@@ -41,6 +72,45 @@ maybeWriteTelemetry(const util::Cli &cli, const TelemetryMerger &telemetry,
     telemetry.writeCsvFile(path);
     os << "[telemetry] wrote " << telemetry.filledCount()
        << " point series to " << path << "\n";
+}
+
+void
+maybeWriteTelemetry(const util::Cli &cli, const TelemetryMerger &telemetry,
+                    const RunManifest &manifest, std::ostream &os)
+{
+    const std::string path = cli.telemetryFile();
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    util::fatalIf(!out, "maybeWriteTelemetry: cannot open '" + path +
+                            "' for writing");
+    manifest.writeCsvComments(out);
+    telemetry.writeCsv(out);
+    util::fatalIf(!out,
+                  "maybeWriteTelemetry: failed writing '" + path + "'");
+    os << "[telemetry] wrote " << telemetry.filledCount()
+       << " point series to " << path << "\n";
+}
+
+void
+maybeWriteProfile(const util::Cli &cli, const RunManifest &manifest,
+                  std::ostream &os)
+{
+    if (!profileRequested(cli))
+        return;
+    Profiler::setEnabled(false);
+    const ProfileReport report = Profiler::report();
+    os << "\n[profile] wall-clock scope times (" << report.entries().size()
+       << " scope paths):\n";
+    std::ostringstream table;
+    report.toTable().print(table);
+    os << table.str();
+    const std::string path = cli.profileFile();
+    if (!path.empty()) {
+        report.writeJsonFile(path, manifest.toJsonObject());
+        os << "[profile] wrote " << report.entries().size()
+           << " scope paths to " << path << "\n";
+    }
 }
 
 } // namespace obs

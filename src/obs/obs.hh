@@ -2,8 +2,9 @@
  * @file
  * Umbrella header for the observability library (imsim_obs): metric
  * registry, telemetry time-series + sampler, Chrome-trace event
- * tracer, and the leveled structured Logger — plus the shared-flag
- * glue (`--trace FILE`, `--telemetry FILE`) the bench and example
+ * tracer, run-provenance manifest, wall-clock profiler, and the
+ * leveled structured Logger — plus the shared-flag glue (`--trace
+ * FILE`, `--telemetry FILE`, `--profile FILE`) the bench and example
  * binaries use, mirroring exp::maybeWriteReport.
  */
 
@@ -13,7 +14,9 @@
 #include <iosfwd>
 
 #include "obs/log.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
@@ -31,20 +34,54 @@ bool traceRequested(const util::Cli &cli);
 /** @return whether the Cli asked for telemetry (`--telemetry FILE`). */
 bool telemetryRequested(const util::Cli &cli);
 
+/** @return whether the Cli asked for profiling (`--profile [FILE]`). */
+bool profileRequested(const util::Cli &cli);
+
+/**
+ * Honor `--profile [FILE]`: when present, reset the profiler's
+ * accumulated scopes and enable it. Call once at startup, before the
+ * instrumented work runs. No-op (profiler stays disabled, near-zero
+ * per-scope cost) when the flag is absent.
+ */
+void maybeEnableProfiler(const util::Cli &cli);
+
 /**
  * Honor `--trace FILE`: when present, write @p tracer's Chrome-trace
- * JSON there and print a one-line confirmation to @p os.
+ * JSON there and print a one-line confirmation to @p os. When a
+ * @p manifest is given its JSON is embedded as the trace's top-level
+ * "metadata" member.
  */
 void maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
                      std::ostream &os);
+void maybeWriteTrace(const util::Cli &cli, const EventTracer &tracer,
+                     const RunManifest &manifest, std::ostream &os);
 
 /**
  * Honor `--telemetry FILE`: when present, write the merged per-point
  * telemetry CSV there and print a one-line confirmation to @p os.
+ * When a @p manifest is given it is prepended as `# key: value`
+ * comment lines (skipped by the parse-back helpers).
  */
 void maybeWriteTelemetry(const util::Cli &cli,
                          const TelemetryMerger &telemetry,
                          std::ostream &os);
+void maybeWriteTelemetry(const util::Cli &cli,
+                         const TelemetryMerger &telemetry,
+                         const RunManifest &manifest, std::ostream &os);
+
+/**
+ * Honor `--profile [FILE]`: when the flag was given, collect the
+ * profiler's report, print its self-time table to @p os (stderr by
+ * convention — keeps stdout deterministic), and, when the flag names
+ * a file, also write the mergeable imsim.profile/1 JSON there with
+ * @p manifest embedded as "meta".
+ *
+ * Call only after worker threads have been joined (e.g. after
+ * SweepRunner::map returns): collection walks every registered
+ * thread's scope tree.
+ */
+void maybeWriteProfile(const util::Cli &cli, const RunManifest &manifest,
+                       std::ostream &os);
 
 } // namespace obs
 } // namespace imsim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Wall-clock profiler: RAII scoped timers aggregated by call path.
+ *
+ * Each thread owns a private tree of profile nodes keyed by the scope
+ * name literals; a ProfScope pushes onto the thread's current path on
+ * entry and accumulates elapsed steady-clock time on exit, so nested
+ * scopes (e.g. "datacenter.minute" -> "power.allocate") aggregate by
+ * their full path and self time is total minus children. report()
+ * merges the per-thread trees by path into one ProfileReport.
+ *
+ * Overhead contract: profiling is globally off by default; a ProfScope
+ * on the disabled profiler costs one relaxed atomic load and a branch
+ * (single-digit ns — see BM_ProfScopeDisabled in bench_obs_overhead),
+ * so instrumentation stays compiled into the thermal, power, queueing,
+ * datacenter, and autoscale hot paths permanently.
+ *
+ * Thread-safety: scopes only touch their own thread's tree, so
+ * concurrent sweep workers never contend. report()/reset() take the
+ * registry lock but must not run concurrently with *active* scopes on
+ * other threads — dump after the sweep has joined its workers (the
+ * bench flow), never mid-flight.
+ *
+ * Scope names must be string literals (the tree stores the pointers).
+ */
+
+#ifndef IMSIM_OBS_PROFILER_HH
+#define IMSIM_OBS_PROFILER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace imsim {
+namespace util {
+class TableWriter;
+} // namespace util
+
+namespace obs {
+
+/** One aggregated call path in a profile dump. */
+struct ProfileEntry
+{
+    std::string path;          ///< "/"-joined scope names, root first.
+    std::uint64_t count = 0;   ///< Times the scope was entered.
+    double totalMs = 0.0;      ///< Wall time inside the scope [ms].
+    double selfMs = 0.0;       ///< totalMs minus child-scope time [ms].
+};
+
+/**
+ * Aggregated profile: entries sorted by path, so two dumps of the
+ * same run are comparable line by line, and merge() is well-defined.
+ */
+class ProfileReport
+{
+  public:
+    /** @return aggregated entries, sorted by path. */
+    const std::vector<ProfileEntry> &entries() const { return rows; }
+
+    /** @return whether no scopes were recorded. */
+    bool empty() const { return rows.empty(); }
+
+    /** Sum @p other into this report, matching entries by path. */
+    void merge(const ProfileReport &other);
+
+    /**
+     * @return a table (path, count, total ms, self ms, self %),
+     *         sorted by self time descending.
+     */
+    util::TableWriter toTable() const;
+
+    /**
+     * Serialise as mergeable JSON (schema imsim.profile/1). When
+     * @p meta_json is non-empty it is embedded verbatim as the
+     * "meta" member (a RunManifest::toJsonObject() string).
+     */
+    std::string toJson(const std::string &meta_json = "") const;
+
+    /** Parse a dump written by toJson(); the meta block is skipped. */
+    static ProfileReport fromJson(const std::string &json);
+
+    /** Write toJson() to @p path; FatalError when unwritable. */
+    void writeJsonFile(const std::string &path,
+                       const std::string &meta_json = "") const;
+
+    /** Append one entry (normally only the profiler does this). */
+    void add(ProfileEntry entry);
+
+  private:
+    void sortByPath();
+
+    std::vector<ProfileEntry> rows;
+};
+
+/**
+ * Process-wide profiler switch and per-thread scope trees.
+ */
+class Profiler
+{
+  public:
+    /** @return whether scopes currently record (relaxed load). */
+    static bool
+    enabled()
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Turn recording on or off (existing data is kept). */
+    static void setEnabled(bool on);
+
+    /** Drop all recorded data from every thread (keeps the switch). */
+    static void reset();
+
+    /**
+     * Merge every thread's tree into one report. Call only while no
+     * scope is active on another thread (i.e. after joining workers).
+     */
+    static ProfileReport report();
+
+    /** One node of a thread's scope tree (implementation detail). */
+    struct Node
+    {
+        const char *name = nullptr;
+        int parent = -1;
+        std::uint64_t count = 0;
+        std::uint64_t totalNs = 0;
+        std::vector<int> children;
+    };
+
+    /** Per-thread scope tree; node 0 is the implicit root. */
+    struct ThreadLog
+    {
+        std::vector<Node> nodes;
+        int current = 0;
+        ThreadLog();
+    };
+
+  private:
+    friend class ProfScope;
+
+    /** @return the calling thread's log, registering it on first use. */
+    static ThreadLog &threadLog();
+
+    static std::atomic<bool> enabledFlag;
+};
+
+/**
+ * RAII scoped timer. On the disabled profiler, construction is one
+ * relaxed load + branch and destruction one branch.
+ *
+ * @code
+ *   void PowerBudget::allocate(...) {
+ *       obs::ProfScope prof("power.allocate");
+ *       ...
+ *   }
+ * @endcode
+ */
+class ProfScope
+{
+  public:
+    /** @param name Scope name; must be a string literal. */
+    explicit ProfScope(const char *name)
+    {
+        if (Profiler::enabled())
+            open(name);
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+    ~ProfScope()
+    {
+        if (log)
+            close();
+    }
+
+  private:
+    void open(const char *name);
+    void close();
+
+    Profiler::ThreadLog *log = nullptr;
+    int node = 0;
+    std::chrono::steady_clock::time_point begin;
+};
+
+} // namespace obs
+} // namespace imsim
+
+#endif // IMSIM_OBS_PROFILER_HH

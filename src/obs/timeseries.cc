@@ -1,9 +1,14 @@
 #include "obs/timeseries.hh"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -65,17 +70,114 @@ TimeSeries::writeCsv(std::ostream &os, const std::string &label_column,
 void
 TimeSeries::writeJson(std::ostream &os) const
 {
+    const auto cell = [](double v) {
+        return std::isfinite(v) ? formatNumber(v) : std::string("null");
+    };
     os << "{\"columns\": [\"t\"";
     for (const auto &col : cols)
         os << ", \"" << col << '"';
     os << "], \"rows\": [";
     for (std::size_t i = 0; i < data.size(); ++i) {
-        os << (i ? ", [" : "[") << formatNumber(data[i].first);
+        os << (i ? ", [" : "[") << cell(data[i].first);
         for (double v : data[i].second)
-            os << ", " << formatNumber(v);
+            os << ", " << cell(v);
         os << ']';
     }
     os << "]}";
+}
+
+namespace {
+
+/** Split one CSV line on commas (the writers never quote cells). */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            cells.push_back(line.substr(start));
+            return cells;
+        }
+        cells.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+double
+parseCell(const std::string &cell)
+{
+    char *end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    util::fatalIf(end == cell.c_str() || *end != '\0',
+                  "TimeSeries: non-numeric CSV cell '" + cell + "'");
+    return value;
+}
+
+/** @return the next non-comment, non-empty line; false at EOF. */
+bool
+nextDataLine(std::istream &is, std::string &line)
+{
+    while (std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty() || line[0] == '#')
+            continue;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TimeSeries
+TimeSeries::parseCsv(std::istream &is)
+{
+    std::string line;
+    util::fatalIf(!nextDataLine(is, line),
+                  "TimeSeries: CSV is missing its header line");
+    std::vector<std::string> header = splitCsvLine(line);
+    util::fatalIf(header.empty() || header[0] != "t",
+                  "TimeSeries: CSV header must start with 't'");
+    TimeSeries series(
+        std::vector<std::string>(header.begin() + 1, header.end()));
+    while (nextDataLine(is, line)) {
+        const std::vector<std::string> cells = splitCsvLine(line);
+        util::fatalIf(cells.size() != header.size(),
+                      "TimeSeries: ragged CSV row");
+        std::vector<double> values;
+        values.reserve(cells.size() - 1);
+        for (std::size_t i = 1; i < cells.size(); ++i)
+            values.push_back(parseCell(cells[i]));
+        series.append(parseCell(cells[0]), std::move(values));
+    }
+    return series;
+}
+
+TimeSeries
+TimeSeries::parseJson(const std::string &json)
+{
+    const util::Json doc = util::Json::parse(json);
+    util::fatalIf(!doc.isObject(), "TimeSeries: JSON is not an object");
+    const auto &columns = doc.at("columns").array();
+    util::fatalIf(columns.empty() || columns[0].str() != "t",
+                  "TimeSeries: JSON columns must start with 't'");
+    std::vector<std::string> names;
+    for (std::size_t i = 1; i < columns.size(); ++i)
+        names.push_back(columns[i].str());
+    TimeSeries series(std::move(names));
+    for (const auto &row : doc.at("rows").array()) {
+        const auto &cells = row.array();
+        util::fatalIf(cells.size() != columns.size(),
+                      "TimeSeries: ragged JSON row");
+        std::vector<double> values;
+        values.reserve(cells.size() - 1);
+        for (std::size_t i = 1; i < cells.size(); ++i)
+            values.push_back(cells[i].number());
+        series.append(cells[0].number(), std::move(values));
+    }
+    return series;
 }
 
 TelemetryMerger::TelemetryMerger(std::size_t points)
@@ -143,6 +245,36 @@ TelemetryMerger::writeCsvFile(const std::string &path) const
                             "' for writing");
     writeCsv(out);
     util::fatalIf(!out, "TelemetryMerger: failed writing '" + path + "'");
+}
+
+std::vector<LabelledSeries>
+parseTelemetryCsv(std::istream &is)
+{
+    std::string line;
+    std::vector<LabelledSeries> out;
+    if (!nextDataLine(is, line))
+        return out; // Nothing but comments: no points reported.
+    std::vector<std::string> header = splitCsvLine(line);
+    util::fatalIf(header.size() < 2 || header[0] != "point" ||
+                      header[1] != "t",
+                  "parseTelemetryCsv: header must start with 'point,t'");
+    const std::vector<std::string> columns(header.begin() + 2,
+                                           header.end());
+    while (nextDataLine(is, line)) {
+        const std::vector<std::string> cells = splitCsvLine(line);
+        util::fatalIf(cells.size() != header.size(),
+                      "parseTelemetryCsv: ragged row");
+        if (out.empty() || out.back().label != cells[0]) {
+            out.push_back({cells[0], TimeSeries(columns)});
+        }
+        std::vector<double> values;
+        values.reserve(cells.size() - 2);
+        for (std::size_t i = 2; i < cells.size(); ++i)
+            values.push_back(parseCell(cells[i]));
+        out.back().series.append(parseCell(cells[1]),
+                                 std::move(values));
+    }
+    return out;
 }
 
 } // namespace obs

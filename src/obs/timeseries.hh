@@ -72,8 +72,23 @@ class TimeSeries
     void writeCsv(std::ostream &os, const std::string &label_column = "",
                   const std::string &label = "") const;
 
-    /** Write as a JSON object {"columns": [...], "rows": [[t, ...]]}. */
+    /**
+     * Write as a JSON object {"columns": [...], "rows": [[t, ...]]}.
+     * Non-finite values are emitted as null (parseJson maps them back
+     * to NaN), keeping the document valid JSON.
+     */
     void writeJson(std::ostream &os) const;
+
+    /**
+     * Parse a plain `t,<columns...>` CSV as written by writeCsv()
+     * with no label column. Leading `# key: value` comment lines are
+     * skipped; "nan"/"inf" cells parse back to their doubles.
+     * FatalError on ragged rows or a missing header.
+     */
+    static TimeSeries parseCsv(std::istream &is);
+
+    /** Parse a writeJson() document (null values become NaN). */
+    static TimeSeries parseJson(const std::string &json);
 
     /** Drop all rows (columns stay). */
     void clear() { data.clear(); }
@@ -122,6 +137,21 @@ class TelemetryMerger
     std::vector<std::pair<std::string, TimeSeries>> slots;
     std::vector<bool> filled;
 };
+
+/** One labelled per-point series parsed back from a merged CSV. */
+struct LabelledSeries
+{
+    std::string label;
+    TimeSeries series;
+};
+
+/**
+ * Parse a TelemetryMerger::writeCsv() artifact: leading `# key: value`
+ * manifest comments are skipped, the `point,t,...` header names the
+ * columns, and consecutive rows sharing a label fold into one series
+ * per point, in file order. FatalError on malformed input.
+ */
+std::vector<LabelledSeries> parseTelemetryCsv(std::istream &is);
 
 } // namespace obs
 } // namespace imsim

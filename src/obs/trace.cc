@@ -146,7 +146,7 @@ EventTracer::append(const EventTracer &other, std::uint32_t tid_override)
 }
 
 std::string
-EventTracer::toJson() const
+EventTracer::toJson(const std::string &metadata_json) const
 {
     std::string out = "{\"traceEvents\": [";
     for (std::size_t i = 0; i < log.size(); ++i) {
@@ -191,23 +191,30 @@ EventTracer::toJson() const
         }
         out += "}";
     }
-    out += log.empty() ? "]}\n" : "\n]}\n";
+    out += log.empty() ? "]" : "\n]";
+    if (!metadata_json.empty()) {
+        out += ",\n\"metadata\": ";
+        out += metadata_json;
+    }
+    out += "}\n";
     return out;
 }
 
 void
-EventTracer::writeJson(std::ostream &os) const
+EventTracer::writeJson(std::ostream &os,
+                       const std::string &metadata_json) const
 {
-    os << toJson();
+    os << toJson(metadata_json);
 }
 
 void
-EventTracer::writeJsonFile(const std::string &path) const
+EventTracer::writeJsonFile(const std::string &path,
+                           const std::string &metadata_json) const
 {
     std::ofstream out(path);
     util::fatalIf(!out, "EventTracer: cannot open '" + path +
                             "' for writing");
-    writeJson(out);
+    writeJson(out, metadata_json);
     util::fatalIf(!out, "EventTracer: failed writing '" + path + "'");
 }
 

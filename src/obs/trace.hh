@@ -115,14 +115,22 @@ class EventTracer
      */
     void append(const EventTracer &other, std::uint32_t tid_override);
 
-    /** Render as Chrome trace JSON ({"traceEvents": [...]}). */
-    std::string toJson() const;
+    /**
+     * Render as Chrome trace JSON ({"traceEvents": [...]}). When
+     * @p metadata_json is non-empty it is embedded verbatim as the
+     * top-level "metadata" member (chrome://tracing shows it under
+     * Metadata) — pass a RunManifest::toJsonObject() string to stamp
+     * the trace with its run's provenance.
+     */
+    std::string toJson(const std::string &metadata_json = "") const;
 
     /** Write toJson() to @p os. */
-    void writeJson(std::ostream &os) const;
+    void writeJson(std::ostream &os,
+                   const std::string &metadata_json = "") const;
 
     /** Write toJson() to file @p path; FatalError when unwritable. */
-    void writeJsonFile(const std::string &path) const;
+    void writeJsonFile(const std::string &path,
+                       const std::string &metadata_json = "") const;
 
     /** Drop all collected events. */
     void clear() { log.clear(); }

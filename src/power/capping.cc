@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/metrics.hh"
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -66,6 +67,7 @@ void
 PowerBudget::allocate(const std::vector<PowerConsumer> &consumers,
                       AllocScratch &scratch, bool validate) const
 {
+    obs::ProfScope prof("power.allocate");
     const std::size_t n = consumers.size();
 
     // Input validation hoisted out of the allocation loops: one pass,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -70,6 +71,7 @@ ThermalNetwork::netInflow(NodeId node) const
 void
 ThermalNetwork::step(Seconds dt)
 {
+    obs::ProfScope prof("thermal.network.step");
     util::fatalIf(dt < 0.0, "ThermalNetwork::step: negative dt");
     if (dt == 0.0 || nodes.empty())
         return;

@@ -12,6 +12,11 @@ Cli::Cli(int argc, const char *const *argv)
 {
     fatalIf(argc < 1 || argv == nullptr, "Cli: empty argv");
     programName = argv[0];
+    argvLine = programName;
+    for (int i = 1; i < argc; ++i) {
+        argvLine += ' ';
+        argvLine += argv[i];
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string token = argv[i];
         if (token.rfind("--", 0) != 0) {

@@ -7,8 +7,9 @@
  * Shared observability flags: every binary that constructs a Cli gains
  * `--verbose` and `--log-level trace|debug|info|warn|off` for free —
  * the constructor applies them to the process-wide util::LogLevel
- * threshold — plus the `--trace FILE` / `--telemetry FILE` accessors
- * the obs-aware benches honour.
+ * threshold — plus the `--trace FILE` / `--telemetry FILE` /
+ * `--profile FILE` / `--progress [FILE]` accessors the obs-aware
+ * benches honour.
  */
 
 #ifndef IMSIM_UTIL_CLI_HH
@@ -67,14 +68,30 @@ class Cli
     /** @return "--telemetry FILE" (time-series CSV output), "" if unset. */
     std::string telemetryFile() const { return get("--telemetry"); }
 
+    /** @return "--profile FILE" (profiler JSON output), "" if unset. */
+    std::string profileFile() const { return get("--profile"); }
+
+    /** @return whether "--progress [FILE]" appeared at all. */
+    bool progressRequested() const { return has("--progress"); }
+
+    /** @return the "--progress FILE" heartbeat path, "" when absent. */
+    std::string progressFile() const { return get("--progress"); }
+
     /** @return the program name (argv[0]). */
     const std::string &program() const { return programName; }
 
     /** @return positional (non-flag) arguments in order. */
     const std::vector<std::string> &positional() const { return args; }
 
+    /**
+     * @return the full command line (argv[0] plus every token, space
+     *         separated) as received — what RunManifest records.
+     */
+    const std::string &commandLine() const { return argvLine; }
+
   private:
     std::string programName;
+    std::string argvLine;
     std::map<std::string, std::string> flags;
     std::vector<std::string> args;
 };

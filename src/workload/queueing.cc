@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 #include "workload/perf.hh"
 
@@ -112,6 +113,7 @@ QueueingCluster::scheduleNextArrival()
 void
 QueueingCluster::onArrival()
 {
+    obs::ProfScope prof("workload.queueing.arrival");
     Request req;
     req.arrival = sim.now();
     req.demand = rng.lognormalMeanCv(cfg.serviceMean, cfg.serviceCv);

@@ -295,6 +295,141 @@ TEST(RunReport, WriteJsonFileRoundTrips)
     std::remove(path.c_str());
 }
 
+TEST(SweepRunner, FirstFailureIsIdenticalAcrossJobCounts)
+{
+    // Two points fail; the surfaced error must name the lowest index
+    // with the same message whether the sweep ran serially or pooled.
+    const auto run = [](std::size_t jobs) -> std::string {
+        exp::SweepRunner runner({jobs, 1});
+        try {
+            runner.parallelFor(8, [](std::size_t i, util::Rng &) {
+                if (i == 3 || i == 6)
+                    throw std::runtime_error("boom at " +
+                                             std::to_string(i));
+            });
+        } catch (const exp::SweepPointError &e) {
+            return std::to_string(e.index()) + "|" + e.what();
+        }
+        return "no error";
+    };
+    const std::string serial = run(1);
+    EXPECT_NE(serial, "no error");
+    EXPECT_NE(serial.find("point 3 failed: boom at 3"),
+              std::string::npos);
+    EXPECT_EQ(serial, run(4));
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(SweepRunner, ResultPayloadIdenticalWithProgressAttached)
+{
+    // The monitor adds a "timing" section but must never leak into the
+    // deterministic payload (name + points).
+    const auto payload = [](std::size_t jobs) {
+        exp::ProgressMonitor monitor("payload_test");
+        exp::SweepRunner runner({jobs, 7, &monitor});
+        const exp::RunReport report = runner.run(
+            "progress_payload",
+            exp::paramGrid("a", {"1", "2"}, "b", {"x", "y"}),
+            [](const exp::Params &, std::size_t i, util::Rng &rng,
+               exp::MetricsRegistry &metrics) {
+                metrics.scalar("value",
+                               rng.uniform() + static_cast<double>(i));
+            });
+        EXPECT_TRUE(report.hasTiming());
+        EXPECT_EQ(report.timing().points.size(), 4u);
+        exp::RunReport clean(report.name());
+        for (const auto &record : report.records())
+            clean.add(record);
+        return clean.toJson();
+    };
+    EXPECT_EQ(payload(1), payload(4));
+}
+
+TEST(ProgressMonitor, TimingHeartbeatAndStatus)
+{
+    const std::string hb_path = "progress_test_heartbeat.jsonl";
+    std::ostringstream status;
+    exp::ProgressMonitor::Options opts;
+    opts.status = &status;
+    opts.statusIsTty = false;
+    opts.minStatusIntervalS = 0.0;
+    opts.heartbeatPath = hb_path;
+    exp::ProgressMonitor monitor("unit_sweep", opts);
+    monitor.begin(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+        monitor.pointQueued(i);
+        monitor.pointStarted(i);
+        monitor.pointFinished(i);
+    }
+    monitor.end();
+
+    const exp::RunTiming timing = monitor.runTiming();
+    ASSERT_EQ(timing.points.size(), 2u);
+    EXPECT_EQ(timing.points[0].index, 0u);
+    EXPECT_EQ(timing.points[1].index, 1u);
+    EXPECT_GE(timing.points[0].wallMs, 0.0);
+    EXPECT_GE(timing.totalWallMs, 0.0);
+    EXPECT_NE(status.str().find("unit_sweep"), std::string::npos);
+    EXPECT_NE(status.str().find("2/2"), std::string::npos);
+
+    std::ifstream in(hb_path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    in.close();
+    std::remove(hb_path.c_str());
+    ASSERT_EQ(lines.size(), 4u); // begin, 2 points, end.
+    EXPECT_NE(lines.front().find("\"event\": \"begin\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"event\": \"point\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"event\": \"end\""),
+              std::string::npos);
+}
+
+TEST(RunReport, MetaAndTimingRoundTrip)
+{
+    exp::RunReport report("timed");
+    exp::RunRecord record;
+    record.metrics.set("x", 1.0);
+    report.add(record);
+    report.setMeta({{"git_sha", "abcdef012345"}, {"seed", "42"}});
+    exp::RunTiming timing;
+    timing.totalWallMs = 12.5;
+    exp::PointTiming pt;
+    pt.index = 0;
+    pt.queueMs = 0.25;
+    pt.wallMs = 10.5;
+    pt.worker = 2;
+    timing.points.push_back(pt);
+    report.setTiming(timing);
+
+    const std::string json = report.toJson();
+    const exp::RunReport parsed = exp::RunReport::fromJson(json);
+    ASSERT_TRUE(parsed.hasMeta());
+    EXPECT_EQ(parsed.meta(), report.meta());
+    ASSERT_TRUE(parsed.hasTiming());
+    EXPECT_DOUBLE_EQ(parsed.timing().totalWallMs, 12.5);
+    ASSERT_EQ(parsed.timing().points.size(), 1u);
+    EXPECT_EQ(parsed.timing().points[0].index, 0u);
+    EXPECT_DOUBLE_EQ(parsed.timing().points[0].queueMs, 0.25);
+    EXPECT_DOUBLE_EQ(parsed.timing().points[0].wallMs, 10.5);
+    EXPECT_EQ(parsed.timing().points[0].worker, 2);
+    // Emit -> parse -> emit stays a fixed point with the new sections.
+    EXPECT_EQ(parsed.toJson(), json);
+}
+
+TEST(RunReport, MetaAndTimingAreAbsentUntilSet)
+{
+    exp::RunReport report("plain");
+    EXPECT_FALSE(report.hasMeta());
+    EXPECT_FALSE(report.hasTiming());
+    const std::string json = report.toJson();
+    EXPECT_EQ(json.find("\"meta\""), std::string::npos);
+    EXPECT_EQ(json.find("\"timing\""), std::string::npos);
+}
+
 TEST(Cli, JobsFlagDefaultsToHardwareConcurrency)
 {
     const char *argv_default[] = {"bench"};

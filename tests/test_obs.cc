@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -736,6 +739,287 @@ TEST(ObsCli, NoFlagsWriteNothing)
     obs::maybeWriteTrace(cli, tracer, os);
     obs::maybeWriteTelemetry(cli, merger, os);
     EXPECT_TRUE(os.str().empty());
+}
+
+// ---------------------------------------------------------------------
+// TimeSeries export edge cases: empty, single sample, non-finite
+// values, counter-track mirroring — each round-tripped through the CSV
+// and JSON writers and their parsers.
+// ---------------------------------------------------------------------
+
+TEST(TimeSeriesRoundTrip, EmptySeriesKeepsColumns)
+{
+    obs::TimeSeries series({"a", "b"});
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    EXPECT_EQ(csv.str(), "t,a,b\n");
+    std::istringstream csv_in(csv.str());
+    const obs::TimeSeries from_csv = obs::TimeSeries::parseCsv(csv_in);
+    EXPECT_EQ(from_csv.columns(), series.columns());
+    EXPECT_EQ(from_csv.rows(), 0u);
+
+    std::ostringstream json;
+    series.writeJson(json);
+    const obs::TimeSeries from_json =
+        obs::TimeSeries::parseJson(json.str());
+    EXPECT_EQ(from_json.columns(), series.columns());
+    EXPECT_EQ(from_json.rows(), 0u);
+}
+
+TEST(TimeSeriesRoundTrip, SingleSampleSurvivesBothFormats)
+{
+    obs::TimeSeries series({"v"});
+    series.append(1.5, {42.125});
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    std::istringstream csv_in(csv.str());
+    const obs::TimeSeries from_csv = obs::TimeSeries::parseCsv(csv_in);
+    ASSERT_EQ(from_csv.rows(), 1u);
+    EXPECT_DOUBLE_EQ(from_csv.time(0), 1.5);
+    EXPECT_DOUBLE_EQ(from_csv.row(0)[0], 42.125);
+
+    std::ostringstream json;
+    series.writeJson(json);
+    const obs::TimeSeries from_json =
+        obs::TimeSeries::parseJson(json.str());
+    ASSERT_EQ(from_json.rows(), 1u);
+    EXPECT_DOUBLE_EQ(from_json.row(0)[0], 42.125);
+}
+
+TEST(TimeSeriesRoundTrip, NonFiniteGaugeValues)
+{
+    obs::TimeSeries series({"g"});
+    series.append(0.0, {std::nan("")});
+    series.append(1.0, {std::numeric_limits<double>::infinity()});
+    series.append(2.0, {-std::numeric_limits<double>::infinity()});
+    series.append(3.0, {7.0});
+
+    // CSV spells non-finite values out ("nan"/"inf") and parses them
+    // back exactly.
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    std::istringstream csv_in(csv.str());
+    const obs::TimeSeries from_csv = obs::TimeSeries::parseCsv(csv_in);
+    ASSERT_EQ(from_csv.rows(), 4u);
+    EXPECT_TRUE(std::isnan(from_csv.row(0)[0]));
+    EXPECT_TRUE(std::isinf(from_csv.row(1)[0]));
+    EXPECT_GT(from_csv.row(1)[0], 0.0);
+    EXPECT_TRUE(std::isinf(from_csv.row(2)[0]));
+    EXPECT_LT(from_csv.row(2)[0], 0.0);
+    EXPECT_DOUBLE_EQ(from_csv.row(3)[0], 7.0);
+
+    // JSON has no non-finite literals: every such cell becomes null
+    // (keeping the document valid) and parses back as NaN.
+    std::ostringstream json;
+    series.writeJson(json);
+    EXPECT_NE(json.str().find("null"), std::string::npos);
+    const obs::TimeSeries from_json =
+        obs::TimeSeries::parseJson(json.str());
+    ASSERT_EQ(from_json.rows(), 4u);
+    EXPECT_TRUE(std::isnan(from_json.row(0)[0]));
+    EXPECT_TRUE(std::isnan(from_json.row(1)[0]));
+    EXPECT_TRUE(std::isnan(from_json.row(2)[0]));
+    EXPECT_DOUBLE_EQ(from_json.row(3)[0], 7.0);
+}
+
+TEST(TimeSeriesRoundTrip, CounterTrackMirroring)
+{
+    // A sampler series mirrors counters into value columns after the
+    // gauges; the cumulative track must survive both export formats.
+    sim::Simulation sim;
+    obs::MetricRegistry registry;
+    obs::Counter &events = registry.counter("events");
+    registry.registerGauge("g", [&sim] { return sim.now(); });
+    obs::TelemetrySampler sampler(sim, registry, 5.0);
+    sampler.start();
+    events.inc(2);
+    sim.at(4.0, [&events] { events.inc(3); });
+    sim.runUntil(10.0);
+    const obs::TimeSeries &series = sampler.series();
+    ASSERT_EQ(series.rows(), 3u); // t = 0, 5, 10.
+
+    std::ostringstream csv;
+    series.writeCsv(csv);
+    std::istringstream csv_in(csv.str());
+    const obs::TimeSeries from_csv = obs::TimeSeries::parseCsv(csv_in);
+    std::ostringstream json;
+    series.writeJson(json);
+    const obs::TimeSeries from_json =
+        obs::TimeSeries::parseJson(json.str());
+    for (const obs::TimeSeries *parsed : {&from_csv, &from_json}) {
+        ASSERT_EQ(parsed->columns(), series.columns());
+        ASSERT_EQ(parsed->rows(), 3u);
+        EXPECT_DOUBLE_EQ(parsed->row(0)[1], 0.0); // Counter at start.
+        EXPECT_DOUBLE_EQ(parsed->row(1)[1], 5.0); // 2 + 3 by t=5.
+        EXPECT_DOUBLE_EQ(parsed->row(2)[1], 5.0); // Still cumulative.
+    }
+}
+
+TEST(TimeSeriesRoundTrip, ParseCsvRejectsRaggedAndHeaderless)
+{
+    std::istringstream ragged("t,a\n0,1\n1\n");
+    EXPECT_THROW(obs::TimeSeries::parseCsv(ragged), FatalError);
+    std::istringstream headerless("x,a\n0,1\n");
+    EXPECT_THROW(obs::TimeSeries::parseCsv(headerless), FatalError);
+}
+
+TEST(TelemetryCsv, MergedFileParsesBackPerPoint)
+{
+    obs::TimeSeries first({"v", "w"});
+    first.append(0.0, {1.0, 2.0});
+    first.append(1.0, {3.0, 4.0});
+    obs::TimeSeries second({"v", "w"});
+    second.append(0.0, {5.0, 6.0});
+    obs::TelemetryMerger merger(2);
+    merger.add(0, "alpha", first);
+    merger.add(1, "beta", second);
+
+    std::ostringstream csv;
+    merger.writeCsv(csv);
+    std::istringstream in(csv.str());
+    const auto series = obs::parseTelemetryCsv(in);
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_EQ(series[0].label, "alpha");
+    EXPECT_EQ(series[1].label, "beta");
+    EXPECT_EQ(series[0].series.columns(),
+              (std::vector<std::string>{"v", "w"}));
+    ASSERT_EQ(series[0].series.rows(), 2u);
+    EXPECT_DOUBLE_EQ(series[0].series.row(1)[1], 4.0);
+    ASSERT_EQ(series[1].series.rows(), 1u);
+    EXPECT_DOUBLE_EQ(series[1].series.row(0)[0], 5.0);
+}
+
+TEST(TelemetryCsv, ManifestCommentsAreSkipped)
+{
+    std::istringstream in("# git_sha: abc\n# seed: 1\n"
+                          "point,t,v\np,0,9\n");
+    const auto series = obs::parseTelemetryCsv(in);
+    ASSERT_EQ(series.size(), 1u);
+    EXPECT_DOUBLE_EQ(series[0].series.row(0)[0], 9.0);
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock profiler: nesting, self time, merge, disabled contract.
+// ---------------------------------------------------------------------
+
+TEST(Profiler, DisabledScopesRecordNothing)
+{
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(false);
+    {
+        obs::ProfScope outer("test.disabled.outer");
+        obs::ProfScope inner("test.disabled.inner");
+    }
+    EXPECT_TRUE(obs::Profiler::report().empty());
+}
+
+TEST(Profiler, NestedScopesAggregateByPath)
+{
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    for (int i = 0; i < 3; ++i) {
+        obs::ProfScope outer("test.outer");
+        {
+            obs::ProfScope inner("test.inner");
+        }
+        {
+            obs::ProfScope inner("test.inner");
+        }
+    }
+    obs::Profiler::setEnabled(false);
+    const obs::ProfileReport report = obs::Profiler::report();
+    obs::Profiler::reset();
+
+    ASSERT_EQ(report.entries().size(), 2u); // Sorted by path.
+    const obs::ProfileEntry &outer = report.entries()[0];
+    const obs::ProfileEntry &inner = report.entries()[1];
+    EXPECT_EQ(outer.path, "test.outer");
+    EXPECT_EQ(inner.path, "test.outer/test.inner");
+    EXPECT_EQ(outer.count, 3u);
+    EXPECT_EQ(inner.count, 6u);
+    // Self time excludes children; the child has no children of its
+    // own, so its self time is its total.
+    EXPECT_LE(outer.selfMs, outer.totalMs);
+    EXPECT_DOUBLE_EQ(inner.selfMs, inner.totalMs);
+    EXPECT_GE(outer.totalMs, inner.totalMs);
+}
+
+TEST(Profiler, ReportJsonRoundTripsAndMerges)
+{
+    obs::ProfileReport a;
+    a.add({"x/y", 2, 3.0, 1.5});
+    a.add({"x", 1, 5.0, 2.0});
+    const std::string json = a.toJson("{\"git_sha\": \"abc\"}");
+    EXPECT_NE(json.find("imsim.profile/1"), std::string::npos);
+    EXPECT_NE(json.find("\"git_sha\": \"abc\""), std::string::npos);
+    const obs::ProfileReport parsed = obs::ProfileReport::fromJson(json);
+    ASSERT_EQ(parsed.entries().size(), 2u);
+    EXPECT_EQ(parsed.entries()[0].path, "x"); // Sorted by path.
+    EXPECT_EQ(parsed.entries()[1].count, 2u);
+    EXPECT_DOUBLE_EQ(parsed.entries()[1].selfMs, 1.5);
+
+    obs::ProfileReport b;
+    b.add({"x", 4, 1.0, 0.5});
+    b.add({"z", 1, 2.0, 2.0});
+    obs::ProfileReport merged = parsed;
+    merged.merge(b);
+    ASSERT_EQ(merged.entries().size(), 3u);
+    EXPECT_EQ(merged.entries()[0].path, "x");
+    EXPECT_EQ(merged.entries()[0].count, 5u);
+    EXPECT_DOUBLE_EQ(merged.entries()[0].totalMs, 6.0);
+    EXPECT_EQ(merged.entries()[2].path, "z");
+}
+
+TEST(Profiler, SweepWorkersProfileWithoutRacing)
+{
+    // Concurrent scopes on pool threads touch only their own trees;
+    // report() after the sweep joins merges them by path. Runs under
+    // the tsan label.
+    obs::Profiler::reset();
+    obs::Profiler::setEnabled(true);
+    exp::SweepRunner runner({4, 3});
+    runner.parallelFor(16, [](std::size_t, util::Rng &rng) {
+        obs::ProfScope scope("test.worker");
+        double sum = 0.0;
+        for (int i = 0; i < 100; ++i)
+            sum += rng.uniform();
+        if (sum < 0.0) // Defeat optimisation; never true.
+            std::abort();
+    });
+    obs::Profiler::setEnabled(false);
+    const obs::ProfileReport report = obs::Profiler::report();
+    obs::Profiler::reset();
+    std::uint64_t worker_count = 0;
+    for (const auto &entry : report.entries())
+        if (entry.path == "test.worker")
+            worker_count += entry.count;
+    EXPECT_EQ(worker_count, 16u);
+}
+
+// ---------------------------------------------------------------------
+// Run manifest provenance.
+// ---------------------------------------------------------------------
+
+TEST(RunManifest, CaptureStampsProvenanceFields)
+{
+    const char *argv[] = {"bench", "--jobs", "4"};
+    const util::Cli cli(3, argv);
+    const obs::RunManifest manifest =
+        obs::RunManifest::capture(cli, 1234, 4);
+    EXPECT_FALSE(manifest.get("git_sha").empty());
+    EXPECT_FALSE(manifest.get("compiler").empty());
+    EXPECT_EQ(manifest.get("seed"), "1234");
+    EXPECT_EQ(manifest.get("jobs"), "4");
+    EXPECT_NE(manifest.get("argv").find("--jobs 4"), std::string::npos);
+    EXPECT_NE(manifest.get("started_at").find("T"), std::string::npos);
+
+    const std::string json = manifest.toJsonObject();
+    EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": \"1234\""), std::string::npos);
+
+    std::ostringstream comments;
+    manifest.writeCsvComments(comments);
+    EXPECT_NE(comments.str().find("# seed: 1234\n"), std::string::npos);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -348,6 +349,63 @@ TEST(Units, Conversions)
     EXPECT_DOUBLE_EQ(units::toCelsius(373.15), 100.0);
     EXPECT_DOUBLE_EQ(units::secondsToHours(7200.0), 2.0);
     EXPECT_DOUBLE_EQ(units::yearsToHours(1.0), 8766.0);
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const util::Json doc = util::Json::parse(
+        "{\"name\": \"run\", \"n\": 3, \"neg\": -2.5e1, "
+        "\"ok\": true, \"off\": false, \"none\": null, "
+        "\"list\": [1, \"two\", {\"k\": 3}], "
+        "\"obj\": {\"a\": 1, \"b\": 2}}");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("name").str(), "run");
+    EXPECT_DOUBLE_EQ(doc.at("n").number(), 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("neg").number(), -25.0);
+    EXPECT_TRUE(doc.at("ok").boolean());
+    EXPECT_FALSE(doc.at("off").boolean());
+    EXPECT_TRUE(doc.at("none").isNull());
+    EXPECT_TRUE(std::isnan(doc.at("none").number()));
+    ASSERT_EQ(doc.at("list").size(), 3u);
+    EXPECT_EQ(doc.at("list").at(1).str(), "two");
+    EXPECT_DOUBLE_EQ(doc.at("list").at(2).at("k").number(), 3.0);
+    EXPECT_TRUE(doc.has("obj"));
+    EXPECT_FALSE(doc.has("missing"));
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_THROW(doc.at("missing"), FatalError);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    const util::Json doc = util::Json::parse(
+        "{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\"}");
+    EXPECT_EQ(doc.at("s").str(), "a\"b\\c\n\tA");
+
+    // appendEscaped emits a complete quoted JSON string literal.
+    std::string out;
+    util::Json::appendEscaped(out, "x\"y\\z\n");
+    EXPECT_EQ(out, "\"x\\\"y\\\\z\\n\"");
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(util::Json::parse("not json"), FatalError);
+    EXPECT_THROW(util::Json::parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(util::Json::parse("{\"a\": 1,}"), FatalError);
+    EXPECT_THROW(util::Json::parse("[1, 2"), FatalError);
+    EXPECT_THROW(util::Json::parse("{\"a\": 1} trailing"), FatalError);
+    EXPECT_THROW(util::Json::parse(""), FatalError);
+}
+
+TEST(Json, TypePredicatesAndMismatchesAreFatal)
+{
+    const util::Json doc = util::Json::parse("{\"n\": 1, \"s\": \"x\"}");
+    EXPECT_TRUE(doc.at("n").isNumber());
+    EXPECT_TRUE(doc.at("s").isString());
+    EXPECT_THROW(doc.at("n").str(), FatalError);
+    EXPECT_THROW(doc.at("s").number(), FatalError);
+    EXPECT_THROW(doc.at("s").array(), FatalError);
+    EXPECT_THROW(doc.at(0), FatalError); // Object, not array.
 }
 
 } // namespace

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * One-file HTML run report: merges the artifacts a bench run leaves
+ * behind — the RunReport JSON (--report), the merged telemetry CSV
+ * (--telemetry), the profiler dump (--profile) and a hot-path bench
+ * baseline (--bench) — into a single self-contained page with inline
+ * SVG sparklines. No external assets, scripts, or stylesheets: the
+ * file can be mailed around or archived next to the run.
+ *
+ * Usage:
+ *   imsim_report --report run.json [--telemetry run.csv]
+ *                [--profile prof.json] [--bench BENCH_hotpaths.json]
+ *                [--out report.html] [--title STRING]
+ *
+ * Only --report is required; every other section appears when its
+ * artifact is given. The provenance table at the top renders the
+ * report's "meta" block (see obs::RunManifest), so the page answers
+ * "which commit, which compiler, which seed produced these numbers?"
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/report.hh"
+#include "obs/profiler.hh"
+#include "obs/timeseries.hh"
+#include "util/cli.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace imsim;
+
+namespace {
+
+/** Read a whole file; FatalError when unreadable. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    util::fatalIf(!in, "imsim_report: cannot read " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Escape &, <, >, " for HTML text and attribute contexts. */
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '&': out += "&amp;"; break;
+        case '<': out += "&lt;"; break;
+        case '>': out += "&gt;"; break;
+        case '"': out += "&quot;"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Compact human-facing number: %.6g, non-finite spelled out. */
+std::string
+fmtNum(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", v);
+    return buffer;
+}
+
+/** One coordinate in an SVG points list. */
+std::string
+fmtCoord(double v)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.1f", v);
+    return buffer;
+}
+
+/**
+ * Inline SVG sparkline of (t, value) samples. Non-finite values break
+ * the polyline into segments rather than being interpolated over, so a
+ * NaN gap in a gauge is visible as a gap. Flat series draw a midline.
+ */
+std::string
+sparkline(const std::vector<double> &ts, const std::vector<double> &vs)
+{
+    const int w = 240;
+    const int h = 40;
+    const int pad = 2;
+    double lo = 0.0;
+    double hi = 0.0;
+    double t_lo = 0.0;
+    double t_hi = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (!std::isfinite(vs[i]))
+            continue;
+        if (!any) {
+            lo = hi = vs[i];
+            t_lo = t_hi = ts[i];
+            any = true;
+        } else {
+            lo = std::min(lo, vs[i]);
+            hi = std::max(hi, vs[i]);
+            t_lo = std::min(t_lo, ts[i]);
+            t_hi = std::max(t_hi, ts[i]);
+        }
+    }
+    if (!any)
+        return "<span class=\"muted\">no finite samples</span>";
+    const double t_span = t_hi > t_lo ? t_hi - t_lo : 1.0;
+    const double v_span = hi > lo ? hi - lo : 1.0;
+    std::string svg = "<svg class=\"spark\" width=\"" +
+                      std::to_string(w) + "\" height=\"" +
+                      std::to_string(h) + "\" viewBox=\"0 0 " +
+                      std::to_string(w) + " " + std::to_string(h) +
+                      "\">";
+    std::string points;
+    const auto flush = [&] {
+        if (points.empty())
+            return;
+        svg += "<polyline fill=\"none\" stroke=\"#2a6f97\" "
+               "stroke-width=\"1.5\" points=\"" +
+               points + "\"/>";
+        points.clear();
+    };
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        if (!std::isfinite(vs[i])) {
+            flush(); // NaN/inf sample: visible gap in the line.
+            continue;
+        }
+        const double x =
+            pad + (ts[i] - t_lo) / t_span * (w - 2.0 * pad);
+        const double y =
+            h - pad - (vs[i] - lo) / v_span * (h - 2.0 * pad);
+        if (!points.empty())
+            points += " ";
+        points += fmtCoord(x) + "," + fmtCoord(y);
+    }
+    flush();
+    svg += "</svg>";
+    return svg;
+}
+
+/** <tr> of <th> or <td> cells, already-escaped content. */
+std::string
+tableRow(const std::vector<std::string> &cells, bool header = false)
+{
+    const char *tag = header ? "th" : "td";
+    std::string row = "<tr>";
+    for (const auto &cell : cells)
+        row += std::string("<") + tag + ">" + cell + "</" + tag + ">";
+    row += "</tr>\n";
+    return row;
+}
+
+/** Provenance table from the report's meta block. */
+std::string
+manifestSection(const exp::RunReport &report)
+{
+    if (!report.hasMeta())
+        return "<p class=\"muted\">No provenance block in the report "
+               "(run the bench with a build that stamps "
+               "obs::RunManifest).</p>\n";
+    std::string html = "<table class=\"kv\">\n";
+    for (const auto &field : report.meta())
+        html += tableRow(
+            {htmlEscape(field.first), htmlEscape(field.second)});
+    html += "</table>\n";
+    return html;
+}
+
+/** Sweep results: one row per point, params then metric columns. */
+std::string
+resultsSection(const exp::RunReport &report)
+{
+    const auto &records = report.records();
+    if (records.empty())
+        return "<p class=\"muted\">Report has no sweep points.</p>\n";
+    std::vector<std::string> header;
+    for (const auto &param : records.front().params)
+        header.push_back(htmlEscape(param.first));
+    std::vector<std::string> metric_names;
+    for (const auto &record : records)
+        for (const auto &metric : record.metrics.entries())
+            if (std::find(metric_names.begin(), metric_names.end(),
+                          metric.first) == metric_names.end())
+                metric_names.push_back(metric.first);
+    for (const auto &name : metric_names)
+        header.push_back(htmlEscape(name));
+    std::string html = "<table>\n" + tableRow(header, true);
+    for (const auto &record : records) {
+        std::vector<std::string> row;
+        for (const auto &param : record.params)
+            row.push_back(htmlEscape(param.second));
+        for (const auto &name : metric_names)
+            row.push_back(record.metrics.has(name)
+                              ? fmtNum(record.metrics.get(name))
+                              : std::string("&mdash;"));
+        html += tableRow(row);
+    }
+    html += "</table>\n";
+    return html;
+}
+
+/** Per-point wall-clock bars from the report's timing section. */
+std::string
+timingSection(const exp::RunReport &report)
+{
+    const auto &timing = report.timing();
+    double max_ms = 0.0;
+    for (const auto &point : timing.points)
+        max_ms = std::max(max_ms, point.queueMs + point.wallMs);
+    std::string html = "<p>Total sweep wall time: <b>" +
+                       fmtNum(timing.totalWallMs) + " ms</b> across " +
+                       std::to_string(timing.points.size()) +
+                       " points.</p>\n";
+    html += "<table>\n" + tableRow({"point", "worker", "queue [ms]",
+                                    "wall [ms]", ""},
+                                   true);
+    for (const auto &point : timing.points) {
+        const double span = max_ms > 0.0 ? max_ms : 1.0;
+        const double queue_pct = point.queueMs / span * 100.0;
+        const double wall_pct = point.wallMs / span * 100.0;
+        const std::string bar =
+            "<div class=\"bar\"><div class=\"queue\" style=\"width:" +
+            fmtCoord(queue_pct) +
+            "%\"></div><div class=\"wall\" style=\"width:" +
+            fmtCoord(wall_pct) + "%\"></div></div>";
+        html += tableRow({std::to_string(point.index),
+                          std::to_string(point.worker),
+                          fmtNum(point.queueMs), fmtNum(point.wallMs),
+                          bar});
+    }
+    html += "</table>\n";
+    return html;
+}
+
+/** Sparkline grid: one row per (point label, telemetry column). */
+std::string
+telemetrySection(const std::vector<obs::LabelledSeries> &series)
+{
+    std::string html =
+        "<table>\n" +
+        tableRow({"point", "column", "min", "max", "last", "samples",
+                  "sparkline"},
+                 true);
+    for (const auto &labelled : series) {
+        const auto &ts = labelled.series;
+        std::vector<double> times(ts.rows());
+        for (std::size_t i = 0; i < ts.rows(); ++i)
+            times[i] = ts.time(i);
+        for (std::size_t c = 0; c < ts.columns().size(); ++c) {
+            std::vector<double> values(ts.rows());
+            double lo = std::nan("");
+            double hi = std::nan("");
+            double last = std::nan("");
+            for (std::size_t i = 0; i < ts.rows(); ++i) {
+                values[i] = ts.row(i)[c];
+                if (!std::isfinite(values[i]))
+                    continue;
+                lo = std::isnan(lo) ? values[i]
+                                    : std::min(lo, values[i]);
+                hi = std::isnan(hi) ? values[i]
+                                    : std::max(hi, values[i]);
+                last = values[i];
+            }
+            html += tableRow({htmlEscape(labelled.label),
+                              htmlEscape(ts.columns()[c]), fmtNum(lo),
+                              fmtNum(hi), fmtNum(last),
+                              std::to_string(ts.rows()),
+                              sparkline(times, values)});
+        }
+    }
+    html += "</table>\n";
+    return html;
+}
+
+/** Wall-clock profile table, heaviest self time first. */
+std::string
+profileSection(const obs::ProfileReport &profile)
+{
+    auto entries = profile.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const obs::ProfileEntry &a, const obs::ProfileEntry &b) {
+                  return a.selfMs > b.selfMs;
+              });
+    double total_self = 0.0;
+    for (const auto &entry : entries)
+        total_self += entry.selfMs;
+    std::string html =
+        "<table>\n" + tableRow({"scope path", "count", "total [ms]",
+                                "self [ms]", "self %"},
+                               true);
+    for (const auto &entry : entries) {
+        const double share =
+            total_self > 0.0 ? entry.selfMs / total_self * 100.0 : 0.0;
+        html += tableRow({htmlEscape(entry.path),
+                          std::to_string(entry.count),
+                          fmtNum(entry.totalMs), fmtNum(entry.selfMs),
+                          fmtNum(share)});
+    }
+    html += "</table>\n";
+    return html;
+}
+
+/** Hot-path bench table from a BENCH_hotpaths.json document. */
+std::string
+benchSection(const util::Json &doc)
+{
+    std::string html =
+        "<table>\n" + tableRow({"benchmark", "unit", "iterations",
+                                "ns/op", "ops/s", "allocs/op"},
+                               true);
+    for (const auto &row : doc.at("benchmarks").array()) {
+        html += tableRow(
+            {htmlEscape(row.at("name").str()),
+             htmlEscape(row.at("unit").str()),
+             fmtNum(row.at("iterations").number()),
+             fmtNum(row.at("ns_per_op").number()),
+             fmtNum(row.at("ops_per_sec").number()),
+             fmtNum(row.at("allocs_per_op").number())});
+    }
+    html += "</table>\n";
+    return html;
+}
+
+const char *kUsage =
+    "usage: imsim_report --report run.json [--telemetry run.csv]\n"
+    "                    [--profile prof.json] [--bench bench.json]\n"
+    "                    [--out report.html] [--title STRING]\n";
+
+const char *kStyle =
+    "body{font-family:system-ui,sans-serif;margin:2em auto;"
+    "max-width:72em;padding:0 1em;color:#1b1b1b}"
+    "h1{border-bottom:2px solid #2a6f97;padding-bottom:.2em}"
+    "h2{margin-top:1.6em;color:#2a6f97}"
+    "table{border-collapse:collapse;margin:.5em 0}"
+    "th,td{border:1px solid #ccc;padding:.25em .6em;text-align:left;"
+    "font-variant-numeric:tabular-nums}"
+    "th{background:#eef4f8}"
+    "table.kv td:first-child{font-weight:600;background:#f7f7f7}"
+    ".muted{color:#777}"
+    ".spark{vertical-align:middle;background:#fafcfe;"
+    "border:1px solid #e5e5e5}"
+    ".bar{display:flex;width:16em;height:.9em;background:#f0f0f0}"
+    ".bar .queue{background:#c9b458}"
+    ".bar .wall{background:#2a6f97}";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const util::Cli cli(argc, argv);
+    const std::string report_path = cli.get("--report");
+    if (report_path.empty()) {
+        std::cerr << kUsage;
+        return 2;
+    }
+    const std::string telemetry_path = cli.get("--telemetry");
+    const std::string profile_path = cli.get("--profile");
+    const std::string bench_path = cli.get("--bench");
+    const std::string out_path = cli.get("--out", "report.html");
+
+    const exp::RunReport report =
+        exp::RunReport::fromJson(slurp(report_path));
+    const std::string title =
+        cli.get("--title", report.name().empty() ? "ImmerSim run"
+                                                 : report.name());
+
+    std::string html = "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+                       "<meta charset=\"utf-8\">\n<title>" +
+                       htmlEscape(title) +
+                       "</title>\n<style>" + kStyle +
+                       "</style>\n</head>\n<body>\n";
+    html += "<h1>" + htmlEscape(title) + "</h1>\n";
+
+    html += "<h2>Provenance</h2>\n" + manifestSection(report);
+    html += "<h2>Results (" + std::to_string(report.records().size()) +
+            " sweep points)</h2>\n" + resultsSection(report);
+    if (report.hasTiming())
+        html += "<h2>Wall-clock timing</h2>\n" + timingSection(report);
+
+    if (!telemetry_path.empty()) {
+        std::ifstream in(telemetry_path);
+        util::fatalIf(!in,
+                      "imsim_report: cannot read " + telemetry_path);
+        const auto series = obs::parseTelemetryCsv(in);
+        html += "<h2>Telemetry (" + std::to_string(series.size()) +
+                " series)</h2>\n" + telemetrySection(series);
+    }
+    if (!profile_path.empty()) {
+        const auto profile =
+            obs::ProfileReport::fromJson(slurp(profile_path));
+        html += "<h2>Wall-clock profile</h2>\n" +
+                profileSection(profile);
+    }
+    if (!bench_path.empty()) {
+        const util::Json doc = util::Json::parse(slurp(bench_path));
+        html += "<h2>Hot-path benchmarks</h2>\n" + benchSection(doc);
+    }
+
+    html += "<p class=\"muted\">Generated by imsim_report from " +
+            htmlEscape(report_path) + ".</p>\n</body>\n</html>\n";
+
+    std::ofstream out(out_path);
+    util::fatalIf(!out, "imsim_report: cannot write " + out_path);
+    out << html;
+    out.close();
+    std::cout << "Wrote " << out_path << " (" << html.size()
+              << " bytes)\n";
+    return 0;
+}
