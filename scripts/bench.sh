@@ -28,7 +28,8 @@ BUILD_DIR="${1:-build-bench}"
 shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_hot_paths
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_hot_paths bench_fault_crisis
 
 if [[ "$CHECK" == 1 ]]; then
     # Container timing is noisy, so the ns/op band is generous (x1.5);
@@ -39,3 +40,9 @@ if [[ "$CHECK" == 1 ]]; then
 else
     "$BUILD_DIR"/bench/bench_hot_paths --out BENCH_hotpaths.json "$@"
 fi
+
+# Capacity-crisis smoke: a functional gate only (the sweep exercises the
+# fault injector end to end), deliberately outside the --check timing
+# band above — fault runs are scenario benchmarks, not hot-path timings.
+"$BUILD_DIR"/bench/bench_fault_crisis --smoke >/dev/null
+echo "bench_fault_crisis --smoke: ok"

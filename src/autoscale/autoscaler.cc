@@ -29,7 +29,7 @@ AutoScaler::AutoScaler(sim::Simulation &simulation,
                        AutoScalerConfig config)
     : sim(simulation), cluster(cluster_in), cfg(config),
       grid(config.baseFrequency, config.maxFrequency, config.frequencyBins),
-      fleetFreq(config.baseFrequency)
+      fleetFreq(config.baseFrequency), freqCeiling(config.maxFrequency)
 {
     util::fatalIf(cfg.decisionPeriod <= 0.0,
                   "AutoScaler: decision period must be positive");
@@ -88,8 +88,22 @@ AutoScaler::stop()
 }
 
 void
+AutoScaler::setFrequencyCeiling(GHz f)
+{
+    util::fatalIf(f < cfg.baseFrequency - 1e-9,
+                  "AutoScaler::setFrequencyCeiling: ceiling below base "
+                  "frequency");
+    freqCeiling = std::min(f, cfg.maxFrequency);
+    if (fleetFreq > freqCeiling + 1e-9)
+        applyFrequency(freqCeiling);
+}
+
+void
 AutoScaler::applyFrequency(GHz f)
 {
+    f = std::min(f, freqCeiling);
+    if (f == fleetFreq)
+        return;
     freqIntegral += fleetFreq * (sim.now() - lastFreqChange);
     lastFreqChange = sim.now();
     fleetFreq = f;
@@ -120,6 +134,17 @@ AutoScaler::averageFrequency() const
 double
 AutoScaler::measureScalableFraction()
 {
+    // Prune baselines of servers that left the fleet (scale-in, crash):
+    // a stale entry would make the first delta after a re-activation
+    // span the inactive gap, and churn would grow the map unboundedly.
+    for (auto it = lastCounters.begin(); it != lastCounters.end();) {
+        if (it->first >= cluster.serverCount() ||
+            !cluster.isActive(it->first)) {
+            it = lastCounters.erase(it);
+        } else {
+            ++it;
+        }
+    }
     double total = 0.0;
     std::size_t counted = 0;
     for (std::size_t id = 0; id < cluster.serverCount(); ++id) {
@@ -135,6 +160,12 @@ AutoScaler::measureScalableFraction()
     }
     // Before first deltas exist, assume fully scalable work.
     return counted ? total / static_cast<double>(counted) : 1.0;
+}
+
+void
+AutoScaler::invalidateServerCounters(std::size_t id)
+{
+    lastCounters.erase(id);
 }
 
 void

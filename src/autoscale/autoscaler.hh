@@ -140,12 +140,44 @@ class AutoScaler
      */
     double averageFrequency() const;
 
+    /**
+     * Fleet-average dPperf/dAperf since the previous measurement.
+     *
+     * Reads and advances the per-server counter deltas (the decision
+     * loop calls this every tick); entries belonging to servers that
+     * are no longer active are pruned, so the tracked set never grows
+     * past the live fleet. Returns 1.0 (fully scalable) before first
+     * deltas exist.
+     */
+    double measureScalableFraction();
+
+    /**
+     * Drop the stored counter baseline for server @p id. Called on
+     * scale-in, and by fault injection when a server crashes — a
+     * repaired server would otherwise have its first Aperf/Pperf delta
+     * span the dead gap and skew the scalable fraction.
+     */
+    void invalidateServerCounters(std::size_t id);
+
+    /** @return servers with a stored counter baseline (observability). */
+    std::size_t trackedCounterServers() const { return lastCounters.size(); }
+
+    /**
+     * Cap the frequency the scaler may run the fleet at (cooling
+     * degradation derates through this; see fault::FaultInjector). If
+     * the fleet currently runs above the new ceiling it is brought
+     * down immediately. Resetting to config().maxFrequency lifts the
+     * derate.
+     */
+    void setFrequencyCeiling(GHz f);
+
+    /** @return the active frequency ceiling [GHz]. */
+    GHz frequencyCeiling() const { return freqCeiling; }
+
   private:
     void decide();
     void triggerScaleOut();
     void applyFrequency(GHz f);
-    /** Fleet-average dPperf/dAperf since the previous decision. */
-    double measureScalableFraction();
 
     sim::Simulation &sim;
     workload::QueueingCluster &cluster;
@@ -155,6 +187,7 @@ class AutoScaler
     bool running = false;
     bool scaleOutPending = false;
     GHz fleetFreq;
+    GHz freqCeiling;
     std::vector<TracePoint> traceLog;
     std::size_t scaleOutCount = 0;
     std::size_t scaleInCount = 0;

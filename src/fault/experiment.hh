@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The capacity-crisis experiment: the paper's cost argument (Sec. VII)
+ * says overclocking headroom can stand in for spare servers. Here a
+ * steady fleet loses a fraction of its servers at once; Baseline must
+ * scale replacement VMs out (60 s each), while OC-E/OC-A overclock the
+ * survivors to cover the lost capacity immediately. The outcome
+ * compares tail latency during the crisis and the time to recover the
+ * pre-crisis operating point.
+ */
+
+#ifndef IMSIM_FAULT_EXPERIMENT_HH
+#define IMSIM_FAULT_EXPERIMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "autoscale/experiment.hh"
+#include "fault/injector.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace fault {
+
+/** Parameters of the capacity-crisis run. */
+struct CrisisParams
+{
+    std::uint64_t seed = 42;
+    std::size_t fleetSize = 10;    ///< Healthy fleet (also the VM cap).
+    /**
+     * Steady offered load. The default runs the healthy 10-VM fleet at
+     * ~88% utilization; losing 20% of the servers then overloads the
+     * base clock (13.5k QPS > 12.3k QPS capacity, the backlog grows
+     * until replacement VMs arrive) while full overclocking headroom
+     * keeps the survivors stable (14.5k QPS capacity at 4.1 GHz) —
+     * the paper's spare-capacity-as-headroom argument.
+     */
+    double qps = 13500.0;
+    Seconds warmup = 120.0;        ///< Latencies reset after warmup.
+    Seconds crisisStart = 600.0;   ///< Servers crash here.
+    double failFraction = 0.2;     ///< Fraction of the fleet crashed.
+    Seconds repairAfter = 300.0;   ///< Crash -> repair delay.
+    Seconds horizon = 1200.0;      ///< Total simulated time.
+    GHz maxFrequency = 4.1;        ///< Overclocking headroom (> 3.4).
+    Seconds slaP99 = 0.100;        ///< Crisis-window P99 SLA [s].
+    double kappa = 0.9;
+    Seconds serviceMean = 2.6e-3;  ///< At 3.4 GHz.
+    double serviceCv = 1.5;
+    int threadsPerVm = 4;
+    /** Optional extra degradation during the crisis window: */
+    double coolingDegradeLevel = 1.0; ///< Tank fluid level; 1 = none.
+    double powerDerateFraction = 1.0; ///< Feed capacity; 1 = none.
+    autoscale::ObsCapture *obs = nullptr; ///< Optional telemetry capture.
+};
+
+/** Outcome of one crisis run. */
+struct CrisisOutcome
+{
+    autoscale::Policy policy;
+    double healthyP99 = 0.0;     ///< P99 latency before the crisis [s].
+    double crisisP99 = 0.0;      ///< P99 latency during the crisis [s].
+    double recoverySeconds = -1.0; ///< Crash -> recovered; -1 = never.
+    bool slaMet = false;         ///< crisisP99 <= slaP99.
+    std::size_t serversCrashed = 0;
+    std::size_t scaleOuts = 0;   ///< Replacement VMs the scaler launched.
+    double avgFrequency = 0.0;   ///< Time-average fleet frequency [GHz].
+    std::uint64_t requests = 0;
+    std::uint64_t invariantChecks = 0;
+    std::uint64_t invariantViolations = 0;
+    std::uint64_t brownouts = 0; ///< Recoverable feed brownouts survived.
+    std::vector<InjectedFault> faults; ///< The injected fault timeline.
+};
+
+/**
+ * Run the capacity-crisis experiment for one policy. Deterministic for
+ * (policy, params): the fault schedule, victim choice, and workload all
+ * derive from params.seed.
+ */
+CrisisOutcome runCrisisExperiment(autoscale::Policy policy,
+                                  const CrisisParams &params = {});
+
+} // namespace fault
+} // namespace imsim
+
+#endif // IMSIM_FAULT_EXPERIMENT_HH

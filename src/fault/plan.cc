@@ -1,0 +1,62 @@
+#include "fault/plan.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::ServerCrash:
+        return "server_crash";
+      case FaultKind::ServerRepair:
+        return "server_repair";
+      case FaultKind::CoolingDegrade:
+        return "cooling_degrade";
+      case FaultKind::CoolingRestore:
+        return "cooling_restore";
+      case FaultKind::PowerDerate:
+        return "power_derate";
+      case FaultKind::PowerRestore:
+        return "power_restore";
+    }
+    util::panic("faultKindName: unhandled kind");
+}
+
+FaultPlan &
+FaultPlan::at(Seconds t, Fault fault)
+{
+    util::fatalIf(t < 0.0, "FaultPlan::at: negative time");
+    if (fault.kind == FaultKind::CoolingDegrade) {
+        util::fatalIf(fault.magnitude < 0.05 || fault.magnitude >= 1.0,
+                      "FaultPlan::at: cooling-degrade level out of "
+                      "[0.05, 1)");
+    }
+    if (fault.kind == FaultKind::PowerDerate) {
+        util::fatalIf(fault.magnitude <= 0.0 || fault.magnitude >= 1.0,
+                      "FaultPlan::at: power-derate fraction out of (0, 1)");
+    }
+    events.emplace_back(t, fault);
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::withCrashProcess(CrashProcess process_in)
+{
+    util::fatalIf(process_in.meanTimeBetweenCrashes <= 0.0,
+                  "FaultPlan: mean time between crashes must be positive");
+    util::fatalIf(process_in.meanRepair <= 0.0,
+                  "FaultPlan: mean repair time must be positive");
+    util::fatalIf(process_in.repairCv <= 0.0,
+                  "FaultPlan: repair CV must be positive");
+    util::fatalIf(process_in.maxConcurrentDown == 0,
+                  "FaultPlan: maxConcurrentDown must be >= 1");
+    process = process_in;
+    process.enabled = true;
+    return *this;
+}
+
+} // namespace fault
+} // namespace imsim

@@ -22,7 +22,9 @@ wallClockIso()
         std::chrono::system_clock::now());
     std::tm utc{};
     gmtime_r(&now, &utc);
-    char buf[32];
+    // Sized for GCC's worst-case %d estimate (-Wformat-truncation in
+    // the -Werror sanitizer builds), not the 21 bytes a real date needs.
+    char buf[96];
     std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
                   utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday,
                   utc.tm_hour, utc.tm_min, utc.tm_sec);

@@ -32,6 +32,19 @@ PowerBudget::PowerBudget(Watts capacity, double oversubscription)
                   "PowerBudget: oversubscription ratio must be >= 1");
 }
 
+void
+PowerBudget::setCapacity(Watts capacity)
+{
+    util::fatalIf(capacity <= 0.0, "PowerBudget: capacity must be positive");
+    cap = capacity;
+}
+
+void
+PowerBudget::setRecoverableBrownout(bool recoverable)
+{
+    recoverableBrownout = recoverable;
+}
+
 bool
 PowerBudget::breached(const std::vector<PowerConsumer> &consumers) const
 {
@@ -48,6 +61,7 @@ PowerBudget::attachMetrics(obs::MetricRegistry &registry,
     allocationMetric = &registry.counter(prefix + ".allocations");
     breachMetric = &registry.counter(prefix + ".breaches");
     cappedMetric = &registry.counter(prefix + ".capped_consumers");
+    brownoutMetric = &registry.counter(prefix + ".brownouts");
 }
 
 std::vector<CapAllocation>
@@ -105,9 +119,29 @@ PowerBudget::allocate(const std::vector<PowerConsumer> &consumers,
     if (breachMetric)
         breachMetric->inc();
 
-    util::fatalIf(minimum_total > cap,
-                  "PowerBudget::allocate: even fully capped demand breaches "
-                  "circuit capacity (brownout)");
+    if (minimum_total > cap) {
+        // Even fully capped demand breaches the circuit. With nominal
+        // capacity that is a sizing error and stays fatal; on a derated
+        // feed (fault injection) recoverable mode sheds below the
+        // floors instead, scaling every minimum uniformly so the draw
+        // exactly fits the derated circuit.
+        util::fatalIf(!recoverableBrownout,
+                      "PowerBudget::allocate: even fully capped demand "
+                      "breaches circuit capacity (brownout)");
+        ++brownoutCount;
+        if (brownoutMetric)
+            brownoutMetric->inc();
+        const double frac = cap / minimum_total;
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch.granted[i] = consumers[i].minimum * frac;
+            const bool was_capped =
+                scratch.granted[i] + 1e-9 < consumers[i].demand;
+            if (was_capped && cappedMetric)
+                cappedMetric->inc();
+            scratch.capped[i] = was_capped ? 1 : 0;
+        }
+        return;
+    }
 
     // Shed demand lowest-priority-first: order the index array by
     // descending priority (ties by consumer index, so grants match the

@@ -132,8 +132,29 @@ class PowerBudget
     /** @return circuit capacity [W]. */
     Watts capacity() const { return cap; }
 
+    /**
+     * Change the circuit capacity [W], e.g. a feed derate while a
+     * transformer or UPS leg is out (the power-feed fault). The
+     * oversubscription ratio is kept, so provisionable() shrinks with
+     * the cap; restore by setting the original capacity back.
+     */
+    void setCapacity(Watts capacity);
+
     /** @return demand providers are allowed to provision [W]. */
     Watts provisionable() const { return cap * oversub; }
+
+    /**
+     * Select how allocate() handles a brownout (total minima exceeding
+     * capacity). By default it is fatal — with nominal capacity that is
+     * a sizing error. Under fault injection a derated feed can make it
+     * happen legitimately, so recoverable mode instead scales every
+     * consumer's minimum uniformly by capacity / total-minimum and
+     * counts the event in brownouts().
+     */
+    void setRecoverableBrownout(bool recoverable);
+
+    /** @return brownout allocations survived in recoverable mode. */
+    std::uint64_t brownouts() const { return brownoutCount; }
 
     /**
      * Allocate power across consumers, priority-aware:
@@ -168,7 +189,8 @@ class PowerBudget
      * `<prefix>.allocations` (allocate() calls),
      * `<prefix>.breaches` (allocations where demand exceeded
      * capacity), `<prefix>.capped_consumers` (consumers granted less
-     * than their demand). The registry must outlive the budget.
+     * than their demand), `<prefix>.brownouts` (recoverable-mode
+     * brownout allocations). The registry must outlive the budget.
      */
     void attachMetrics(obs::MetricRegistry &registry,
                        const std::string &prefix = "feed");
@@ -176,9 +198,12 @@ class PowerBudget
   private:
     Watts cap;
     double oversub;
+    bool recoverableBrownout = false;
+    mutable std::uint64_t brownoutCount = 0;
     obs::Counter *allocationMetric = nullptr;
     obs::Counter *breachMetric = nullptr;
     obs::Counter *cappedMetric = nullptr;
+    obs::Counter *brownoutMetric = nullptr;
 };
 
 } // namespace power

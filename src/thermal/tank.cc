@@ -36,6 +36,16 @@ ImmersionTank::heatLoad(std::size_t slot) const
     return heatLoads[slot];
 }
 
+void
+ImmersionTank::setFluidLevel(double level)
+{
+    // Below ~5% the servers would no longer be submerged; treat that as a
+    // modelling error rather than a recoverable degradation.
+    util::fatalIf(level < 0.05 || level > 1.0,
+                  "ImmersionTank::setFluidLevel: level out of [0.05, 1]");
+    fluidLevelFrac = level;
+}
+
 Watts
 ImmersionTank::totalHeat() const
 {
@@ -73,6 +83,8 @@ ImmersionTank::attachMetrics(obs::MetricRegistry &registry,
                            [this] { return headroom(); });
     registry.registerGauge(prefix + ".fluid_temp_c",
                            [this] { return fluidTemperature(); });
+    registry.registerGauge(prefix + ".fluid_level",
+                           [this] { return fluidLevel(); });
     registry.registerGauge(prefix + ".vapor_loss_g",
                            [this] { return vaporLossGrams(); });
     serviceEventMetric = &registry.counter(prefix + ".service_events");

@@ -63,18 +63,42 @@ class ImmersionTank
     /** @return total heat currently dissipated into the tank [W]. */
     Watts totalHeat() const;
 
-    /** @return condenser capacity [W]. */
+    /** @return nominal condenser capacity [W] (full fluid level). */
     Watts condenserCapacity() const { return condenserCap; }
 
+    /**
+     * Set the fluid level as a fraction of the nominal fill in [0.05, 1].
+     * Fluid loss (leaks, un-trapped vapor escape — the cooling-degradation
+     * fault) lowers the liquid/vapor interface and with it the wetted
+     * condenser area, so rejection capacity scales with the level. 1.0
+     * restores nominal capacity.
+     */
+    void setFluidLevel(double level);
+
+    /** @return the current fluid level fraction (1.0 = nominal fill). */
+    double fluidLevel() const { return fluidLevelFrac; }
+
+    /** @return condenser capacity at the current fluid level [W]. */
+    Watts effectiveCondenserCapacity() const
+    {
+        return condenserCap * fluidLevelFrac;
+    }
+
     /** @return remaining condenser headroom [W] (can be negative). */
-    Watts headroom() const { return condenserCap - totalHeat(); }
+    Watts headroom() const
+    {
+        return effectiveCondenserCapacity() - totalHeat();
+    }
 
     /**
      * @return whether the condenser keeps up with the current load; when
      * it does not, tank pressure and fluid temperature would rise and the
      * operator must shed load.
      */
-    bool condenserKeepsUp() const { return totalHeat() <= condenserCap; }
+    bool condenserKeepsUp() const
+    {
+        return totalHeat() <= effectiveCondenserCapacity();
+    }
 
     /** @return the cooling-system view for immersed components. */
     const TwoPhaseImmersionCooling &coolingSystem() const { return cooling; }
@@ -94,7 +118,8 @@ class ImmersionTank
     /**
      * Publish this tank into @p registry under @p prefix: polled
      * gauges `<prefix>.total_heat_w`, `<prefix>.headroom_w`,
-     * `<prefix>.fluid_temp_c`, `<prefix>.vapor_loss_g` and counter
+     * `<prefix>.fluid_temp_c`, `<prefix>.fluid_level`,
+     * `<prefix>.vapor_loss_g` and counter
      * `<prefix>.service_events` (incremented by
      * recordServiceEvent()). The registry must outlive the tank, and
      * the tank must not move afterwards (the gauges capture `this`).
@@ -108,6 +133,7 @@ class ImmersionTank
     std::vector<Watts> heatLoads;
     Watts condenserCap;
     TwoPhaseImmersionCooling cooling;
+    double fluidLevelFrac = 1.0;
     double vaporLoss = 0.0;
     obs::Counter *serviceEventMetric = nullptr;
 };

@@ -66,23 +66,49 @@ PercentileEstimator::add(double x)
     sorted = false;
 }
 
-double
-PercentileEstimator::percentile(double p) const
+void
+PercentileEstimator::sort()
 {
-    fatalIf(p < 0.0 || p > 100.0, "percentile: p out of [0,100]");
-    if (samples.empty())
-        return 0.0;
     if (!sorted) {
         std::sort(samples.begin(), samples.end());
         sorted = true;
     }
-    if (samples.size() == 1)
-        return samples.front();
-    const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+}
+
+double
+PercentileEstimator::percentile(double p)
+{
+    sort();
+    return percentileSorted(samples, p);
+}
+
+double
+PercentileEstimator::percentile(double p) const
+{
+    if (sorted)
+        return percentileSorted(samples, p);
+    std::vector<double> copy(samples);
+    std::sort(copy.begin(), copy.end());
+    return percentileSorted(copy, p);
+}
+
+double
+PercentileEstimator::percentileSorted(
+    const std::vector<double> &sorted_samples, double p) const
+{
+    fatalIf(p < 0.0 || p > 100.0, "percentile: p out of [0,100]");
+    if (sorted_samples.empty())
+        return 0.0;
+    if (sorted_samples.size() == 1)
+        return sorted_samples.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_samples.size() - 1);
     const auto lo_idx = static_cast<std::size_t>(rank);
-    const std::size_t hi_idx = std::min(lo_idx + 1, samples.size() - 1);
+    const std::size_t hi_idx =
+        std::min(lo_idx + 1, sorted_samples.size() - 1);
     const double frac = rank - static_cast<double>(lo_idx);
-    return samples[lo_idx] * (1.0 - frac) + samples[hi_idx] * frac;
+    return sorted_samples[lo_idx] * (1.0 - frac) +
+           sorted_samples[hi_idx] * frac;
 }
 
 double
@@ -122,6 +148,16 @@ SlidingTimeWindow::record(Seconds t, double value)
     fatalIf(!segments.empty() && t < segments.back().first,
             "SlidingTimeWindow::record: time went backwards");
     segments.emplace_back(t, value);
+
+    // Evict segments that ended before the retained window started. A
+    // segment ends where the next one begins, so keep the last segment
+    // that straddles the retention boundary. Eviction lives here (the
+    // only mutating entry point) so that average() stays a pure read;
+    // queries always run at now >= t, where these segments contribute
+    // zero weight either way.
+    const Seconds retain_start = t - windowLen;
+    while (segments.size() > 1 && segments[1].first <= retain_start)
+        segments.pop_front();
 }
 
 double
@@ -139,14 +175,6 @@ SlidingTimeWindow::average(Seconds now, Seconds sub_window) const
         return 0.0;
 
     const Seconds start = now - sub_window;
-
-    // Evict segments that ended before the *retained* window started (not
-    // the queried sub-window, which may be shorter). A segment ends where
-    // the next one begins, so keep the last segment that straddles the
-    // retention boundary.
-    const Seconds retain_start = now - windowLen;
-    while (segments.size() > 1 && segments[1].first <= retain_start)
-        segments.pop_front();
 
     double weighted = 0.0;
     double span = 0.0;
@@ -186,6 +214,12 @@ Histogram::Histogram(double lo_edge, double hi_edge, std::size_t nbins)
 void
 Histogram::add(double x)
 {
+    // A NaN/Inf frac would make the float-to-long cast below undefined
+    // *before* the clamp can help; divert non-finite samples instead.
+    if (!std::isfinite(x)) {
+        ++droppedCount;
+        return;
+    }
     const double frac = (x - lo) / (hi - lo);
     auto idx = static_cast<long>(frac * static_cast<double>(counts.size()));
     idx = std::clamp<long>(idx, 0, static_cast<long>(counts.size()) - 1);

@@ -69,6 +69,15 @@ class OnlineStats
  * Exact (not sketch-based); the experiments in this repository collect at
  * most a few million latency samples, for which exact quantiles are cheap
  * and reproducible.
+ *
+ * Thread-safety contract: the const accessors never mutate the estimator
+ * (no `mutable` lazy sort), so concurrent reads through const references
+ * are race-free — the contract exp::SweepRunner relies on when sweep
+ * points share read-only snapshots. Sorting is an explicit non-const
+ * operation: the non-const percentile() overload (and sort()) orders the
+ * sample store in place and caches that fact; the const overload works
+ * on a sorted store directly and otherwise selects the order statistics
+ * from a local copy, producing bit-identical values either way.
  */
 class PercentileEstimator
 {
@@ -82,13 +91,28 @@ class PercentileEstimator
     /**
      * @param p Quantile in [0, 100].
      * @return the p-th percentile via linear interpolation; 0 when empty.
+     *
+     * Sorts the sample store in place (once; later calls reuse it).
+     */
+    double percentile(double p);
+
+    /**
+     * Non-mutating overload: reads a pre-sorted store directly, and
+     * otherwise computes the same value from a local copy without
+     * touching this object — safe for concurrent const readers.
      */
     double percentile(double p) const;
 
     /** Convenience accessors for the metrics the paper reports. */
+    double p50() { return percentile(50.0); }
+    double p95() { return percentile(95.0); }
+    double p99() { return percentile(99.0); }
     double p50() const { return percentile(50.0); }
     double p95() const { return percentile(95.0); }
     double p99() const { return percentile(99.0); }
+
+    /** Sort the sample store now (explicit form of the lazy sort). */
+    void sort();
 
     /** @return arithmetic mean of the samples; 0 when empty. */
     double mean() const;
@@ -97,8 +121,8 @@ class PercentileEstimator
     void merge(const PercentileEstimator &other);
 
     /**
-     * @return the stored samples. Order is unspecified (percentile()
-     * sorts lazily in place); treat as a multiset.
+     * @return the stored samples. Order is unspecified (the non-const
+     * percentile()/sort() order them in place); treat as a multiset.
      */
     const std::vector<double> &data() const { return samples; }
 
@@ -106,8 +130,11 @@ class PercentileEstimator
     void reset();
 
   private:
-    mutable std::vector<double> samples;
-    mutable bool sorted = true;
+    double percentileSorted(const std::vector<double> &sorted_samples,
+                            double p) const;
+
+    std::vector<double> samples;
+    bool sorted = true;
 };
 
 /**
@@ -117,6 +144,10 @@ class PercentileEstimator
  * the duration it was current, over the trailing window. This is how the
  * auto-scaler computes "average CPU utilization over the last 30 seconds /
  * 3 minutes" from a piecewise-constant telemetry signal.
+ *
+ * Segments that fell out of the retained window are evicted by record()
+ * (a non-const operation); average() is a pure read, so concurrent
+ * queries through const references are race-free.
  */
 class SlidingTimeWindow
 {
@@ -153,10 +184,15 @@ class SlidingTimeWindow
   private:
     Seconds windowLen;
     /** (start time, value) of each piecewise-constant segment. */
-    mutable std::deque<std::pair<Seconds, double>> segments;
+    std::deque<std::pair<Seconds, double>> segments;
 };
 
-/** Fixed-width-bin histogram over [lo, hi); out-of-range clamps to ends. */
+/**
+ * Fixed-width-bin histogram over [lo, hi); finite out-of-range samples
+ * clamp to the end bins. Non-finite samples (NaN, +/-Inf) are never
+ * binned — they count into dropped() instead, keeping the bin-index
+ * arithmetic free of undefined float-to-integer casts.
+ */
 class Histogram
 {
   public:
@@ -167,7 +203,7 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t nbins);
 
-    /** Add one sample. */
+    /** Add one sample (non-finite values go to the dropped counter). */
     void add(double x);
 
     /** @return count in bin @p i. */
@@ -179,14 +215,18 @@ class Histogram
     /** @return number of bins. */
     std::size_t bins() const { return counts.size(); }
 
-    /** @return total samples added. */
+    /** @return total samples binned (excludes dropped non-finite ones). */
     std::size_t total() const { return totalCount; }
+
+    /** @return non-finite samples rejected by add(). */
+    std::size_t dropped() const { return droppedCount; }
 
   private:
     double lo;
     double hi;
     std::vector<std::size_t> counts;
     std::size_t totalCount = 0;
+    std::size_t droppedCount = 0;
 };
 
 } // namespace util

@@ -46,17 +46,125 @@ QueueingCluster::addServer(GHz freq)
     return id;
 }
 
-void
+std::size_t
 QueueingCluster::removeServer()
 {
     accountVmTime();
-    for (auto it = servers.rbegin(); it != servers.rend(); ++it) {
-        if ((*it)->active) {
-            (*it)->active = false;
-            return;
+    for (std::size_t id = servers.size(); id-- > 0;) {
+        if (servers[id]->active) {
+            servers[id]->active = false;
+            return id;
         }
     }
     util::fatal("QueueingCluster::removeServer: no active server");
+}
+
+void
+QueueingCluster::crashServer(std::size_t id)
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::crashServer: bad server id");
+    Server &server = *servers[id];
+    util::fatalIf(!server.active,
+                  "QueueingCluster::crashServer: server not active");
+    accountVmTime();
+    // Advance the busy integral and counters up to the crash instant,
+    // then zero the thread state: the interrupted work is not lost, it
+    // goes back to the queue below.
+    recordBusyChange(server);
+    server.busy = 0;
+    server.active = false;
+    server.crashed = true;
+    server.utilWindow.record(sim.now(), 0.0);
+
+    // Cancel the in-flight completions and requeue their requests, in
+    // arrival order (slot index breaks ties), ahead of the queued
+    // backlog — they arrived before everything still waiting.
+    std::vector<std::pair<Seconds, Seconds>> interrupted; // (arrival, demand)
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(inFlight.size()); ++slot) {
+        InFlight &rec = inFlight[slot];
+        if (!rec.live || rec.server != id)
+            continue;
+        sim.cancel(rec.completion);
+        interrupted.emplace_back(rec.arrival, rec.demand);
+        rec.live = false;
+        rec.nextFree = inFlightFree;
+        inFlightFree = slot;
+    }
+    std::stable_sort(interrupted.begin(), interrupted.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    for (auto it = interrupted.rbegin(); it != interrupted.rend(); ++it)
+        queue.push_front(Request{it->first, it->second});
+
+    // Surviving servers with free threads absorb the displaced work.
+    drainQueue();
+}
+
+void
+QueueingCluster::repairServer(std::size_t id)
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::repairServer: bad server id");
+    Server &server = *servers[id];
+    util::fatalIf(!server.crashed,
+                  "QueueingCluster::repairServer: server not crashed");
+    accountVmTime();
+    server.crashed = false;
+    server.active = true;
+    server.busy = 0;
+    // Restart the piecewise-constant signals at the repair instant; the
+    // dead gap reads as zero utilization and contributes no counter
+    // cycles (callers invalidate their Aperf/Pperf deltas on crash).
+    server.lastChange = sim.now();
+    server.lastCounterAdvance = sim.now();
+    server.utilWindow.record(sim.now(), 0.0);
+    maxActive = std::max(maxActive, activeServers());
+    // A repaired server can immediately absorb queued work.
+    while (!queue.empty() && server.busy < server.threads) {
+        Request req = queue.front();
+        queue.pop_front();
+        dispatch(id, req);
+    }
+}
+
+bool
+QueueingCluster::isCrashed(std::size_t id) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::isCrashed: bad server id");
+    return servers[id]->crashed;
+}
+
+std::size_t
+QueueingCluster::crashedServers() const
+{
+    std::size_t count = 0;
+    for (const auto &server : servers)
+        if (server->crashed)
+            ++count;
+    return count;
+}
+
+int
+QueueingCluster::busyThreads(std::size_t id) const
+{
+    util::fatalIf(id >= servers.size(),
+                  "QueueingCluster::busyThreads: bad server id");
+    return servers[id]->busy;
+}
+
+void
+QueueingCluster::drainQueue()
+{
+    int target;
+    while (!queue.empty() && (target = pickServer()) >= 0) {
+        Request req = queue.front();
+        queue.pop_front();
+        dispatch(static_cast<std::size_t>(target), req);
+    }
 }
 
 void
@@ -167,8 +275,10 @@ QueueingCluster::dispatch(std::size_t id, Request req)
     const std::uint32_t slot = allocInFlight();
     InFlight &rec = inFlight[slot];
     rec.arrival = req.arrival;
+    rec.demand = req.demand;
     rec.server = static_cast<std::uint32_t>(id);
-    sim.after(duration, [this, slot] { complete(slot); });
+    rec.live = true;
+    rec.completion = sim.after(duration, [this, slot] { complete(slot); });
 }
 
 std::uint32_t
@@ -188,6 +298,7 @@ void
 QueueingCluster::complete(std::uint32_t slot)
 {
     const InFlight rec = inFlight[slot];
+    inFlight[slot].live = false;
     inFlight[slot].nextFree = inFlightFree;
     inFlightFree = slot;
     latencyStats.add(sim.now() - rec.arrival);

@@ -62,8 +62,39 @@ class QueueingCluster
     /**
      * Deactivate the most recently added active server (scale-in). Its
      * in-flight requests drain; it accepts no new work.
+     * @return the id of the server that was deactivated (so callers —
+     *         e.g. the auto-scaler's counter bookkeeping — can drop
+     *         per-server state for it).
      */
-    void removeServer();
+    std::size_t removeServer();
+
+    /**
+     * Fault-injection hook: kill server @p id instantly (must be
+     * active). Unlike removeServer(), its in-flight requests do not
+     * drain — their completions are cancelled and the requests are
+     * requeued (original arrival timestamps kept, so the crash penalty
+     * shows up in their latency) ahead of the already-queued backlog,
+     * then redistributed to surviving free threads. The server's
+     * utilization window records 0 from the crash instant on.
+     */
+    void crashServer(std::size_t id);
+
+    /**
+     * Fault-injection hook: bring a crashed server back (must be
+     * crashed). It rejoins with zero busy threads, its utilization
+     * window restarting from the repair instant (the dead gap reads as
+     * zero utilization), and immediately absorbs queued work.
+     */
+    void repairServer(std::size_t id);
+
+    /** @return whether server @p id is down due to crashServer(). */
+    bool isCrashed(std::size_t id) const;
+
+    /** @return number of servers currently down due to crashes. */
+    std::size_t crashedServers() const;
+
+    /** @return busy service threads of server @p id right now. */
+    int busyThreads(std::size_t id) const;
 
     /** Set the core frequency of server @p id (scale-up/down). */
     void setFrequency(std::size_t id, GHz freq);
@@ -136,6 +167,7 @@ class QueueingCluster
         int threads;
         int busy = 0;
         bool active = true;
+        bool crashed = false;
         Seconds createdAt = 0.0;
         Seconds busyIntegral = 0.0; ///< busy-thread-seconds accumulated.
         Seconds lastChange = 0.0;
@@ -151,12 +183,17 @@ class QueueingCluster
      * completion callback captures only (this, slot) — 16 bytes, which
      * fits std::function's small-buffer storage. Dispatching a request
      * therefore performs no heap allocation once the pool is warm.
+     * The record also keeps the request's demand and its completion
+     * event handle so crashServer() can cancel and requeue it.
      */
     struct InFlight
     {
         Seconds arrival = 0.0;
+        Seconds demand = 0.0; ///< Service demand at refFreq [s].
+        sim::EventId completion = 0;
         std::uint32_t server = 0;
         std::uint32_t nextFree = kNoInFlight;
+        bool live = false; ///< Slot holds a dispatched request.
     };
 
     static constexpr std::uint32_t kNoInFlight = ~std::uint32_t{0};
@@ -164,6 +201,7 @@ class QueueingCluster
     void scheduleNextArrival();
     void onArrival();
     void dispatch(std::size_t id, Request req);
+    void drainQueue();
     void complete(std::uint32_t slot);
     void onCompletion(std::size_t id);
     void recordBusyChange(Server &server);

@@ -253,6 +253,87 @@ TEST(AutoScaler, OcEOverclocksOnlyDuringScaleOut)
     EXPECT_DOUBLE_EQ(scaler.fleetFrequency(), 3.4);
 }
 
+TEST(AutoScaler, CounterBaselinesArePrunedWithTheFleet)
+{
+    // Regression: measureScalableFraction() kept a counter baseline per
+    // server id forever, so scaled-in or crashed servers leaked entries
+    // (and a later re-activated id reused a stale baseline).
+    sim::Simulation sim;
+    workload::QueueingCluster::Params cp;
+    cp.serviceMean = 2.6e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(31), cp);
+    for (int i = 0; i < 3; ++i)
+        cluster.addServer(3.4);
+    AutoScaler scaler(sim, cluster, {});
+    cluster.setArrivalRate(600.0);
+    sim.runUntil(10.0);
+
+    scaler.measureScalableFraction();
+    EXPECT_EQ(scaler.trackedCounterServers(), 3u);
+
+    cluster.crashServer(2);
+    scaler.invalidateServerCounters(2);
+    EXPECT_EQ(scaler.trackedCounterServers(), 2u);
+
+    // Scale-in without an explicit invalidation: the next measurement
+    // prunes the now-inactive id on its own.
+    cluster.removeServer();
+    scaler.measureScalableFraction();
+    EXPECT_EQ(scaler.trackedCounterServers(), 1u);
+    cluster.setArrivalRate(0.0);
+}
+
+TEST(AutoScaler, FrequencyCeilingCapsOcaScaleUp)
+{
+    // A cooling-derate ceiling keeps OC-A from overclocking past what
+    // the degraded tank can absorb, and lifting it restores the range.
+    sim::Simulation sim;
+    workload::QueueingCluster::Params cp;
+    cp.serviceMean = 2.6e-3;
+    cp.kappa = 0.9;
+    workload::QueueingCluster cluster(sim, util::Rng(32), cp);
+    cluster.addServer(3.4);
+    cluster.addServer(3.4);
+    AutoScalerConfig config;
+    config.policy = Policy::OcA;
+    config.maxVms = 2;
+    AutoScaler scaler(sim, cluster, config);
+    scaler.setFrequencyCeiling(3.7);
+    scaler.start();
+    cluster.setArrivalRate(4000.0); // Wants every bit of headroom.
+    sim.runUntil(300.0);
+    EXPECT_LE(scaler.fleetFrequency(), 3.7 + 1e-9);
+    for (const auto &point : scaler.trace())
+        EXPECT_LE(point.frequency, 3.7 + 1e-9);
+
+    scaler.setFrequencyCeiling(config.maxFrequency);
+    sim.runUntil(600.0);
+    EXPECT_GT(scaler.fleetFrequency(), 3.7);
+    cluster.setArrivalRate(0.0);
+}
+
+TEST(AutoScaler, LoweringTheCeilingDeratesTheFleetImmediately)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params cp;
+    cp.serviceMean = 2.6e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(33), cp);
+    cluster.addServer(3.4);
+    AutoScalerConfig config;
+    config.policy = Policy::OcA;
+    AutoScaler scaler(sim, cluster, config);
+    scaler.start();
+    cluster.setArrivalRate(2500.0);
+    sim.runUntil(120.0);
+    ASSERT_GT(scaler.fleetFrequency(), 3.6); // Overclocked by now.
+
+    scaler.setFrequencyCeiling(3.5);
+    // No decision tick needed: the clamp lands on the spot.
+    EXPECT_LE(scaler.fleetFrequency(), 3.5 + 1e-9);
+    EXPECT_DOUBLE_EQ(cluster.frequency(0), scaler.fleetFrequency());
+    cluster.setArrivalRate(0.0);
+}
+
 // --- Canned experiments ---------------------------------------------------------
 
 TEST(Experiment, ValidationKeepsUtilizationNearThreshold)

@@ -408,5 +408,79 @@ TEST(PowerBudget, ScratchOverloadValidatesInputsWhenAsked)
     EXPECT_THROW(budget.allocate(consumers, scratch, true), FatalError);
 }
 
+// The exact boundary where the floors just fit: minimum_total == cap is
+// the last point before a brownout, and every consumer must land
+// precisely on its minimum (no uniform-scaling rounding, no crash).
+TEST(PowerBudget, FloorsExactlyFillingCapacityAreGrantedVerbatim)
+{
+    power::PowerBudget budget(600.0);
+    const std::vector<power::PowerConsumer> consumers{
+        {"a", 500.0, 250.0, 1}, {"b", 400.0, 200.0, 0},
+        {"c", 300.0, 150.0, 2}};
+    power::AllocScratch scratch;
+    budget.allocate(consumers, scratch, true);
+    EXPECT_DOUBLE_EQ(scratch.granted[0], 250.0);
+    EXPECT_DOUBLE_EQ(scratch.granted[1], 200.0);
+    EXPECT_DOUBLE_EQ(scratch.granted[2], 150.0);
+    EXPECT_TRUE(scratch.capped[0]);
+    EXPECT_TRUE(scratch.capped[1]);
+    EXPECT_TRUE(scratch.capped[2]);
+    EXPECT_EQ(budget.brownouts(), 0u); // Fits: not a brownout.
+}
+
+TEST(PowerBudget, RecoverableBrownoutScalesFloorsUniformly)
+{
+    power::PowerBudget budget(1000.0);
+    budget.setRecoverableBrownout(true);
+    budget.setCapacity(300.0); // Derated below the 400 W floor total.
+
+    const std::vector<power::PowerConsumer> consumers{
+        {"a", 400.0, 300.0, 1}, {"b", 200.0, 100.0, 0}};
+    power::AllocScratch scratch;
+    budget.allocate(consumers, scratch, true);
+    EXPECT_EQ(budget.brownouts(), 1u);
+    // Every floor scaled by cap / minimum_total = 300/400.
+    EXPECT_DOUBLE_EQ(scratch.granted[0], 225.0);
+    EXPECT_DOUBLE_EQ(scratch.granted[1], 75.0);
+    EXPECT_TRUE(scratch.capped[0]);
+    EXPECT_TRUE(scratch.capped[1]);
+}
+
+// A derated feed that later recovers must re-converge to full grants —
+// the brownout path leaves no sticky state behind.
+TEST(PowerBudget, CapacityLoweredAndRestoredReconverges)
+{
+    power::PowerBudget budget(1000.0, 1.2);
+    budget.setRecoverableBrownout(true);
+    const std::vector<power::PowerConsumer> consumers{
+        {"a", 400.0, 300.0, 1}, {"b", 300.0, 200.0, 0}};
+    power::AllocScratch scratch;
+
+    budget.allocate(consumers, scratch, true);
+    EXPECT_DOUBLE_EQ(scratch.granted[0], 400.0);
+    EXPECT_DOUBLE_EQ(scratch.granted[1], 300.0);
+
+    budget.setCapacity(250.0); // Brownout: floors total 500 W.
+    EXPECT_DOUBLE_EQ(budget.provisionable(), 300.0); // Ratio is kept.
+    budget.allocate(consumers, scratch, true);
+    EXPECT_EQ(budget.brownouts(), 1u);
+    EXPECT_DOUBLE_EQ(scratch.granted[0] + scratch.granted[1], 250.0);
+
+    budget.setCapacity(600.0); // Partial recovery: floors fit, demand no.
+    budget.allocate(consumers, scratch, true);
+    EXPECT_EQ(budget.brownouts(), 1u);
+    EXPECT_DOUBLE_EQ(scratch.granted[0] + scratch.granted[1], 600.0);
+    EXPECT_GE(scratch.granted[0], 300.0);
+    EXPECT_GE(scratch.granted[1], 200.0);
+
+    budget.setCapacity(1000.0); // Full recovery: back to full demand.
+    budget.allocate(consumers, scratch, true);
+    EXPECT_EQ(budget.brownouts(), 1u);
+    EXPECT_DOUBLE_EQ(scratch.granted[0], 400.0);
+    EXPECT_DOUBLE_EQ(scratch.granted[1], 300.0);
+    EXPECT_FALSE(scratch.capped[0]);
+    EXPECT_FALSE(scratch.capped[1]);
+}
+
 } // namespace
 } // namespace imsim

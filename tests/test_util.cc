@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -304,6 +307,89 @@ TEST(Histogram, InvalidConstructionIsFatal)
 {
     EXPECT_THROW(util::Histogram(0.0, 0.0, 10), FatalError);
     EXPECT_THROW(util::Histogram(0.0, 1.0, 0), FatalError);
+}
+
+TEST(Histogram, NonFiniteSamplesAreDroppedNotBinned)
+{
+    // Regression: NaN used to fall through the bin-index arithmetic
+    // (UB on the float->size_t cast) and +/-inf landed in the edge
+    // bins, poisoning means. They now only bump dropped().
+    util::Histogram hist(0.0, 10.0, 10);
+    hist.add(5.0);
+    hist.add(std::numeric_limits<double>::quiet_NaN());
+    hist.add(std::numeric_limits<double>::infinity());
+    hist.add(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(hist.total(), 1u);
+    EXPECT_EQ(hist.dropped(), 3u);
+    EXPECT_EQ(hist.binCount(0), 0u);
+    EXPECT_EQ(hist.binCount(9), 0u);
+    EXPECT_EQ(hist.binCount(5), 1u);
+}
+
+// --- Const-read thread safety (regression; run under `ctest -L tsan`) ----
+
+TEST(PercentileEstimator, ConstPercentileMatchesAndDoesNotMutate)
+{
+    // Regression: percentile() const used to sort the mutable sample
+    // store — a data race under concurrent const readers. The const
+    // overload now copies; results must still match the mutating one.
+    util::PercentileEstimator est;
+    for (int i = 100; i >= 1; --i)
+        est.add(static_cast<double>(i));
+
+    const util::PercentileEstimator &view = est;
+    const double const_p99 = view.p99();
+    const double mut_p99 = est.p99();
+    EXPECT_DOUBLE_EQ(const_p99, mut_p99);
+    EXPECT_DOUBLE_EQ(view.p50(), est.p50());
+}
+
+TEST(PercentileEstimator, ConcurrentConstReadsAreRaceFree)
+{
+    util::PercentileEstimator est;
+    for (int i = 0; i < 10000; ++i)
+        est.add(static_cast<double>(i % 997));
+
+    const util::PercentileEstimator &view = est;
+    std::vector<std::thread> readers;
+    std::vector<double> results(4, 0.0);
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        readers.emplace_back([&view, &results, t] {
+            double acc = 0.0;
+            for (int i = 0; i < 50; ++i)
+                acc += view.p99() + view.percentile(50.0);
+            results[t] = acc;
+        });
+    }
+    for (auto &reader : readers)
+        reader.join();
+    for (std::size_t t = 1; t < results.size(); ++t)
+        EXPECT_DOUBLE_EQ(results[t], results[0]);
+}
+
+TEST(SlidingTimeWindow, ConcurrentConstAveragesAreRaceFree)
+{
+    // Regression: average() const used to evict expired segments from
+    // the mutable deque; eviction now happens in record() only, so
+    // concurrent const readers are safe.
+    util::SlidingTimeWindow window(10.0);
+    for (int i = 0; i < 200; ++i)
+        window.record(static_cast<double>(i) * 0.1, i % 7 ? 1.0 : 0.0);
+
+    std::vector<std::thread> readers;
+    std::vector<double> results(4, 0.0);
+    for (std::size_t t = 0; t < results.size(); ++t) {
+        readers.emplace_back([&window, &results, t] {
+            double acc = 0.0;
+            for (int i = 0; i < 200; ++i)
+                acc += window.average(20.0) + window.average(20.0, 5.0);
+            results[t] = acc;
+        });
+    }
+    for (auto &reader : readers)
+        reader.join();
+    for (std::size_t t = 1; t < results.size(); ++t)
+        EXPECT_DOUBLE_EQ(results[t], results[0]);
 }
 
 TEST(TableWriter, AlignedOutputContainsCells)
