@@ -36,8 +36,14 @@
 #include <sstream>
 
 #include "cluster/datacenter.hh"
+#include "fleet/kernels.hh"
 #include "obs/manifest.hh"
+#include "power/server_power.hh"
+#include "reliability/lifetime.hh"
 #include "sim/simulation.hh"
+#include "thermal/cooling.hh"
+#include "thermal/fluid.hh"
+#include "thermal/junction.hh"
 #include "util/cli.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -310,6 +316,155 @@ benchDatacenter(double days)
 }
 
 // ---------------------------------------------------------------------
+// Fleet batched physics step vs the equivalent per-object loop.
+// ---------------------------------------------------------------------
+
+/// Mixed-SKU table: the immersed Open Compute blade plus the same blade
+/// under air cooling, so the kernels' per-SKU hoisting is exercised.
+std::vector<fleet::SkuParams>
+makeFleetSkus()
+{
+    auto physics = cluster::PerServerPhysics::openComputeImmersed();
+    std::vector<fleet::SkuParams> skus = std::move(physics.skus);
+    const auto server = power::ServerPowerModel::openComputeBlade();
+    const thermal::AirCooling air;
+    skus.push_back(fleet::SkuParams::fromModels(
+        server.socketModel(), server.socketCount(),
+        /*constant_power=*/200.0, air, /*thermal_cap=*/400.0,
+        /*oc_ratio=*/1.23, /*t_min=*/air.referenceTemperature(0.0)));
+    return skus;
+}
+
+/// Shared fleet shape for both step benchmarks: alternate SKUs,
+/// utilization spread over [0.05, 0.95], every 7th server overclocked.
+void
+populateFleet(fleet::FleetState &state,
+              const std::vector<fleet::SkuParams> &skus,
+              std::size_t servers)
+{
+    state.reserve(servers);
+    for (std::size_t i = 0; i < servers; ++i) {
+        const std::uint32_t sku =
+            static_cast<std::uint32_t>(i % skus.size());
+        state.addServers(1, sku, skus[sku].coolantRef);
+        state.utilization[i] =
+            0.05 + 0.9 * static_cast<double>(i % 97) / 96.0;
+        state.freqLevel[i] =
+            i % 7 == 0 ? fleet::kOverclocked : fleet::kNominal;
+    }
+}
+
+/// Fleet size for the step benchmarks: large enough that per-server
+/// state no longer fits the fastest caches, the regime the SoA layout
+/// is built for (ROADMAP's 100k+-server target).
+constexpr std::size_t kFleetServers = 16384;
+
+BenchResult
+benchFleetStep(std::uint64_t target_server_minutes)
+{
+    const auto skus = makeFleetSkus();
+    constexpr std::size_t kServers = kFleetServers;
+    fleet::FleetState state;
+    populateFleet(state, skus, kServers);
+
+    // Warm-up: one step sizes the thermal decay scratch.
+    fleet::stepAll(state, skus, 60.0);
+
+    const std::uint64_t minutes =
+        std::max<std::uint64_t>(1, target_server_minutes / kServers);
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    for (std::uint64_t m = 0; m < minutes; ++m)
+        fleet::stepAll(state, skus, 60.0);
+    const auto t1 = Clock::now();
+    util::fatalIf(state.meanTj() <= 0.0, "bench: fleet step went cold");
+    return makeResult("fleet_step", "server_minute", minutes * kServers,
+                      elapsedSeconds(t0, t1), allocsSoFar() - allocs0);
+}
+
+/// One server of the per-object architecture the fleet kernels
+/// replace: every server owns its scalar model objects, the way
+/// DatacenterPowerSim would have had to hold them without FleetState.
+struct ScalarServer
+{
+    power::SocketPowerModel socket;
+    thermal::ThermalNode node;
+    reliability::WearTracker tracker;
+    const thermal::CoolingSystem *cooling;
+    GHz frequency;
+    double utilization;
+    Celsius tMin;
+};
+
+/// The loop fleet/kernels.cc replaces: an array of per-server objects
+/// stepped one at a time through the scalar APIs (SocketPowerModel +
+/// ThermalNode + WearTracker, with the virtual cooling-system
+/// reference lookup), same physics and fleet shape as benchFleetStep.
+BenchResult
+benchFleetStepObjects(std::uint64_t target_server_minutes)
+{
+    const auto skus = makeFleetSkus();
+    const auto server = power::ServerPowerModel::openComputeBlade();
+    const reliability::LifetimeModel lifetime;
+    const thermal::TwoPhaseImmersionCooling immersed(thermal::fc3284());
+    const thermal::AirCooling air;
+    const thermal::CoolingSystem *coolings[2] = {&immersed, &air};
+
+    constexpr std::size_t kServers = kFleetServers;
+    fleet::FleetState shape; // Reuse the fleet shape as plain config.
+    populateFleet(shape, skus, kServers);
+
+    std::vector<ScalarServer> servers;
+    servers.reserve(kServers);
+    for (std::size_t i = 0; i < kServers; ++i) {
+        const fleet::SkuParams &p = skus[shape.skuIndex[i]];
+        servers.push_back(ScalarServer{
+            server.socketModel(),
+            thermal::ThermalNode(p.rth, p.thermalCap, p.coolantRef),
+            reliability::WearTracker(lifetime, p.designLife),
+            coolings[shape.skuIndex[i]],
+            p.level[shape.freqLevel[i]].frequency,
+            shape.utilization[i],
+            p.tMin,
+        });
+    }
+
+    const std::uint64_t minutes =
+        std::max<std::uint64_t>(1, target_server_minutes / kServers);
+    const Years minute_years = fleet::secondsToYears(60.0);
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    for (std::uint64_t m = 0; m < minutes; ++m) {
+        for (std::size_t i = 0; i < kServers; ++i) {
+            ScalarServer &sv = servers[i];
+            const power::VfCurve &vf = sv.socket.curve();
+            const Volts volt = vf.voltageFor(sv.frequency);
+            const power::OperatingPoint op{sv.frequency, volt,
+                                           sv.utilization};
+            const Watts dyn = sv.socket.dynamicPower(op);
+            const Watts leak =
+                sv.socket.leakagePower(sv.node.temperature());
+            const Celsius ref =
+                sv.cooling->referenceTemperature(dyn + leak);
+            sv.node.step(60.0, dyn + leak, ref);
+            reliability::StressCondition cond;
+            cond.voltage = volt;
+            cond.tjMax = sv.node.temperature();
+            cond.tMin = sv.tMin;
+            cond.freqRatio = sv.frequency / vf.nominalFrequency();
+            cond.dutyCycle = sv.utilization;
+            sv.tracker.accrue(cond, minute_years);
+        }
+    }
+    const auto t1 = Clock::now();
+    util::fatalIf(servers.front().node.temperature() <= 0.0,
+                  "bench: object step went cold");
+    return makeResult("fleet_step_objects", "server_minute",
+                      minutes * kServers, elapsedSeconds(t0, t1),
+                      allocsSoFar() - allocs0);
+}
+
+// ---------------------------------------------------------------------
 // JSON report.
 // ---------------------------------------------------------------------
 
@@ -442,6 +597,8 @@ main(int argc, char **argv)
     results.push_back(benchQueueing(scaled(1e6)));
     results.push_back(
         benchDatacenter(std::max(0.05, 30.0 * scale)));
+    results.push_back(benchFleetStep(scaled(8e6)));
+    results.push_back(benchFleetStepObjects(scaled(8e6)));
 
     std::cout << "Hot-path throughput (allocs/op counts steady-state"
                  " heap allocations):\n";
@@ -451,6 +608,17 @@ main(int argc, char **argv)
                   << jsonNumber(r.nsPerOp) << " ns/" << r.unit << ", "
                   << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
                   << ")\n";
+    }
+    // The batched kernels' reason to exist: report the speedup over the
+    // per-object loop they replace (DESIGN.md asks for >= 2x).
+    if (results.size() >= 2) {
+        const auto &batched = results[results.size() - 2];
+        const auto &objects = results[results.size() - 1];
+        if (batched.nsPerOp > 0.0) {
+            std::cout << "  fleet_step speedup vs per-object loop: x"
+                      << jsonNumber(objects.nsPerOp / batched.nsPerOp)
+                      << "\n";
+        }
     }
     const obs::RunManifest manifest =
         obs::RunManifest::capture(cli, 0, 1);

@@ -38,6 +38,23 @@ if [[ "$CHECK" == 1 ]]; then
         --out "$BUILD_DIR"/BENCH_hotpaths.fresh.json \
         --baseline BENCH_hotpaths.json --tolerance 0.5 "$@"
 else
+    # A committed baseline must be reproducible: refuse to write one
+    # from a dirty tree (its manifest would record git_dirty=true and
+    # the numbers could include uncommitted code). Export
+    # IMSIM_BENCH_ALLOW_DIRTY=1 for local experiments.
+    if [[ -n "$(git status --porcelain 2>/dev/null)" ]]; then
+        if [[ "${IMSIM_BENCH_ALLOW_DIRTY:-0}" == 1 ]]; then
+            echo "WARNING: writing BENCH_hotpaths.json from a DIRTY" \
+                 "tree (IMSIM_BENCH_ALLOW_DIRTY=1); do not commit" \
+                 "this baseline." >&2
+        else
+            echo "ERROR: working tree is dirty; a committed baseline" \
+                 "must come from a clean tree. Commit/stash first, or" \
+                 "set IMSIM_BENCH_ALLOW_DIRTY=1 for a throwaway" \
+                 "local run." >&2
+            exit 1
+        fi
+    fi
     "$BUILD_DIR"/bench/bench_hot_paths --out BENCH_hotpaths.json "$@"
 fi
 

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fleet/kernels.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/timeseries.hh"
+#include "power/server_power.hh"
+#include "thermal/fluid.hh"
 #include "util/logging.hh"
 
 namespace imsim {
@@ -36,6 +39,49 @@ DatacenterPowerSim::DatacenterPowerSim(std::vector<RackConfig> rack_configs,
     }
 }
 
+PerServerPhysics
+PerServerPhysics::openComputeImmersed()
+{
+    const auto server = power::ServerPowerModel::openComputeBlade();
+    const thermal::TwoPhaseImmersionCooling cooling(thermal::fc3284());
+    // Constant (non-CPU) component power under this cooling system, at
+    // the nominal memory clock — the ServerPowerModel budget minus the
+    // sockets.
+    const auto breakdown = server.compute(
+        {server.socketModel().curve().nominalFrequency(),
+         server.socketModel().curve().nominalVoltage(), 1.0},
+        cooling);
+    const Watts constant_power =
+        breakdown.memory + breakdown.fans + breakdown.other;
+
+    PerServerPhysics physics;
+    physics.skus.push_back(fleet::SkuParams::fromModels(
+        server.socketModel(), server.socketCount(), constant_power,
+        cooling,
+        /*thermal_cap=*/400.0, /*oc_ratio=*/1.23,
+        /*t_min=*/cooling.referenceTemperature(0.0),
+        /*design_life=*/5.0));
+    return physics;
+}
+
+void
+DatacenterPowerSim::enablePerServerFidelity(PerServerPhysics server_physics)
+{
+    util::fatalIf(server_physics.skus.empty(),
+                  "enablePerServerFidelity: need at least one SKU");
+    util::fatalIf(!server_physics.rackSku.empty() &&
+                      server_physics.rackSku.size() != racks.size(),
+                  "enablePerServerFidelity: rackSku size != rack count");
+    for (const std::uint32_t s : server_physics.rackSku)
+        util::fatalIf(s >= server_physics.skus.size(),
+                      "enablePerServerFidelity: rack SKU out of range");
+    util::fatalIf(server_physics.utilSpread < 0.0 ||
+                      server_physics.utilSpread > 0.5,
+                  "enablePerServerFidelity: utilSpread out of [0, 0.5]");
+    physics = std::move(server_physics);
+    fidelityMode = FleetFidelity::PerServer;
+}
+
 Watts
 DatacenterPowerSim::fleetNominalPeak() const
 {
@@ -59,7 +105,42 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
 {
     obs::ProfScope prof("datacenter.run");
     util::fatalIf(days <= 0.0, "DatacenterPowerSim::run: bad horizon");
+    return fidelityMode == FleetFidelity::PerServer
+               ? runPerServer(policy, rng, days, telemetry, metrics)
+               : runRackAggregate(policy, rng, days, telemetry, metrics);
+}
 
+namespace {
+
+/**
+ * One smoothed diurnal utilization trace per rack (racks aggregate
+ * many servers, so the trace is smoother than a single machine's).
+ * Shared by both fidelity modes so they see the same rack-level load.
+ */
+std::vector<std::vector<workload::TraceSample>>
+generateRackTraces(std::size_t rack_count, util::Rng &rng, double days)
+{
+    workload::TraceParams trace_params;
+    trace_params.sampleInterval = 60.0;
+    trace_params.noiseSigma = 0.03;
+    trace_params.burstProb = 0.005;
+    std::vector<std::vector<workload::TraceSample>> traces;
+    traces.reserve(rack_count);
+    for (std::size_t r = 0; r < rack_count; ++r) {
+        workload::TraceGenerator gen(trace_params);
+        traces.push_back(gen.generate(rng, days));
+    }
+    return traces;
+}
+
+} // namespace
+
+DatacenterOutcome
+DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
+                                     double days,
+                                     obs::TimeSeries *telemetry,
+                                     obs::MetricRegistry *metrics) const
+{
     obs::Counter *minute_metric = nullptr;
     obs::Counter *capping_metric = nullptr;
     obs::Counter *capped_rack_metric = nullptr;
@@ -78,18 +159,7 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
                                "oc_server_minutes"});
     }
 
-    // One utilization trace per rack (racks aggregate many servers, so
-    // use a smoother trace than a single machine's).
-    workload::TraceParams trace_params;
-    trace_params.sampleInterval = 60.0;
-    trace_params.noiseSigma = 0.03;
-    trace_params.burstProb = 0.005;
-    std::vector<std::vector<workload::TraceSample>> traces;
-    traces.reserve(racks.size());
-    for (std::size_t r = 0; r < racks.size(); ++r) {
-        workload::TraceGenerator gen(trace_params);
-        traces.push_back(gen.generate(rng, days));
-    }
+    const auto traces = generateRackTraces(racks.size(), rng, days);
 
     DatacenterOutcome out;
     out.policy = policy;
@@ -103,9 +173,9 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
 
     // Everything the minute loop needs is built once up front — the
     // budget, the consumer records (names, minimums, and priorities are
-    // constant; only demands change per minute), and the allocator's
-    // scratch buffers — so each simulated minute runs without heap
-    // allocation (bench_hot_paths pins this).
+    // constant; only demands change per minute), the allocator's
+    // scratch buffers, and the fleet columns — so each simulated minute
+    // runs without heap allocation (bench_hot_paths pins this).
     const power::PowerBudget budget(feedCapacity, oversub);
     power::AllocScratch scratch;
     std::vector<power::PowerConsumer> consumers;
@@ -117,7 +187,13 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             static_cast<double>(rack.servers) * rack.idlePower,
             rack.priority});
     }
-    std::vector<double> want_oc(racks.size(), 0.0);
+    // In aggregate mode each fleet column entry is one rack: the
+    // utilization/overclock-share/capped columns carry the per-minute
+    // control state the original loop kept in ad-hoc locals, and
+    // totalPower mirrors the granted draw so attached telemetry reads
+    // one consistent layer.
+    fleet::FleetState state;
+    state.addServers(racks.size(), 0, 0.0);
 
     const std::size_t minutes = traces.front().size();
     for (std::size_t minute = 0; minute < minutes; ++minute) {
@@ -131,9 +207,10 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             Watts demand =
                 servers * (rack.idlePower +
                            util * (rack.nominalPeak - rack.idlePower));
+            state.utilization[r] = util;
 
             // Which share of the rack wants (and may get) an overclock?
-            want_oc[r] = util * rack.overclockDemand;
+            state.overclockShare[r] = util * rack.overclockDemand;
             bool grant = false;
             switch (policy) {
               case OverclockPolicy::Never:
@@ -147,8 +224,9 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
                 grant = true;
                 break;
             }
-            if (grant && want_oc[r] > 0.0) {
-                demand += servers * want_oc[r] * rack.overclockExtra;
+            if (grant && state.overclockShare[r] > 0.0) {
+                demand +=
+                    servers * state.overclockShare[r] * rack.overclockExtra;
             }
             consumers[r].demand = demand;
             demand_total += demand;
@@ -161,10 +239,12 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             for (std::size_t r = 0; r < racks.size(); ++r) {
                 const auto &rack = racks[r];
                 const Watts oc_part = static_cast<double>(rack.servers) *
-                                      want_oc[r] * rack.overclockExtra;
+                                      state.overclockShare[r] *
+                                      rack.overclockExtra;
                 consumers[r].demand -= oc_part;
                 demand_total -= oc_part;
-                want_oc[r] = -want_oc[r]; // Mark "wanted but withheld".
+                // Mark "wanted but withheld".
+                state.overclockShare[r] = -state.overclockShare[r];
             }
         }
 
@@ -180,13 +260,17 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
             any_capped = any_capped || scratch.capped[r] != 0;
             if (scratch.capped[r] != 0)
                 ++capped_racks;
+            state.capped[r] = scratch.capped[r];
+            state.totalPower[r] = scratch.granted[r];
 
             const auto &rack = racks[r];
             const double servers = static_cast<double>(rack.servers);
-            const double wanted = std::abs(want_oc[r]) * servers;
+            const double wanted =
+                std::abs(state.overclockShare[r]) * servers;
             want_minutes += wanted;
-            const bool overclocked =
-                policy != OverclockPolicy::Never && want_oc[r] > 0.0;
+            const bool overclocked = policy != OverclockPolicy::Never &&
+                                     state.overclockShare[r] > 0.0;
+            state.overclocked[r] = overclocked ? 1 : 0;
             if (overclocked) {
                 oc_minutes += wanted;
                 minute_oc += wanted;
@@ -232,6 +316,294 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng, double days,
         oc_minutes > 0.0 ? capped_oc_minutes / oc_minutes : 0.0;
     out.speedupDelivered =
         want_minutes > 0.0 ? speedup_sum / want_minutes : 1.0;
+    return out;
+}
+
+DatacenterOutcome
+DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
+                                 double days, obs::TimeSeries *telemetry,
+                                 obs::MetricRegistry *metrics) const
+{
+    const std::vector<fleet::SkuParams> &skus = physics.skus;
+
+    obs::Counter *minute_metric = nullptr;
+    obs::Counter *capping_metric = nullptr;
+    obs::Counter *capped_rack_metric = nullptr;
+    obs::HistogramMetric *feed_util_metric = nullptr;
+    obs::Counter *server_minute_metric = nullptr;
+    obs::Counter *capped_server_metric = nullptr;
+    obs::Counter *oc_server_metric = nullptr;
+    obs::Gauge *mean_tj_gauge = nullptr;
+    obs::Gauge *max_tj_gauge = nullptr;
+    obs::Gauge *mean_wear_gauge = nullptr;
+    obs::Gauge *mean_credit_gauge = nullptr;
+    if (metrics) {
+        minute_metric = &metrics->counter("datacenter.minutes");
+        capping_metric = &metrics->counter("datacenter.capping_minutes");
+        capped_rack_metric =
+            &metrics->counter("datacenter.capped_rack_minutes");
+        feed_util_metric =
+            &metrics->histogram("datacenter.feed_utilization");
+        // The fleet layer's own attachment points (per-server physics).
+        server_minute_metric = &metrics->counter("fleet.server_minutes");
+        capped_server_metric =
+            &metrics->counter("fleet.capped_server_minutes");
+        oc_server_metric = &metrics->counter("fleet.oc_server_minutes");
+        mean_tj_gauge = &metrics->gauge("fleet.mean_tj_c");
+        max_tj_gauge = &metrics->gauge("fleet.max_tj_c");
+        mean_wear_gauge = &metrics->gauge("fleet.mean_wear");
+        mean_credit_gauge = &metrics->gauge("fleet.mean_credit");
+    }
+    if (telemetry) {
+        *telemetry = obs::TimeSeries();
+        telemetry->setColumns({"feed_draw_w", "feed_utilization", "capped",
+                               "oc_server_minutes", "mean_tj_c",
+                               "max_tj_c", "mean_wear"});
+    }
+
+    const auto traces = generateRackTraces(racks.size(), rng, days);
+
+    // Build the fleet columns: rack r owns servers
+    // [rackBegin[r], rackBegin[r + 1]).
+    fleet::FleetState state;
+    std::vector<std::size_t> rackBegin(racks.size() + 1, 0);
+    {
+        std::size_t total = 0;
+        for (const auto &rack : racks)
+            total += rack.servers;
+        state.reserve(total);
+    }
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        const std::uint32_t sku =
+            physics.rackSku.empty() ? 0u : physics.rackSku[r];
+        rackBegin[r + 1] = rackBegin[r] + racks[r].servers;
+        state.addServers(racks[r].servers, sku, skus[sku].coolantRef);
+    }
+    const std::size_t n = state.size();
+
+    // Per-server static utilization offsets (drawn after the traces so
+    // the rack-level load stream matches the aggregate mode).
+    std::vector<double> offset(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        offset[i] = physics.utilSpread > 0.0
+                        ? rng.uniform(-physics.utilSpread,
+                                      physics.utilSpread)
+                        : 0.0;
+
+    // Deterministic overclock-demand ranks: the first
+    // ceil(share * servers) servers of a rack want the overclock when
+    // the wanting share is `share`, matching the aggregate model's
+    // expected fraction without extra RNG draws.
+    std::vector<double> ocRank(n, 0.0);
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        const double servers = static_cast<double>(racks[r].servers);
+        for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
+            ocRank[i] = (static_cast<double>(i - rackBegin[r]) + 0.5) /
+                        servers;
+    }
+
+    // The capping floors come from the physics: at zero utilization a
+    // server draws its constant components plus coolant-reference
+    // leakage, a guaranteed lower bound since Tj never falls below the
+    // coolant reference.
+    const power::PowerBudget budget(feedCapacity, oversub);
+    power::AllocScratch scratch;
+    std::vector<power::PowerConsumer> consumers;
+    consumers.reserve(racks.size());
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        const std::uint32_t sku =
+            physics.rackSku.empty() ? 0u : physics.rackSku[r];
+        const fleet::SkuParams &p = skus[sku];
+        const Watts idle_floor =
+            p.leakRef *
+                std::exp((p.coolantRef - p.leakRefTj) / p.leakTheta) *
+                p.sockets +
+            p.constantPower;
+        consumers.push_back(power::PowerConsumer{
+            "rack" + std::to_string(r), 0.0,
+            static_cast<double>(racks[r].servers) * idle_floor,
+            racks[r].priority});
+    }
+
+    DatacenterOutcome out;
+    out.policy = policy;
+    out.fleet.servers = n;
+
+    double feed_util_sum = 0.0;
+    double capping_minutes = 0.0;
+    double want_minutes = 0.0;
+    double oc_minutes = 0.0;
+    double capped_oc_minutes = 0.0;
+    double speedup_sum = 0.0;
+    double mean_tj_sum = 0.0;
+    double fleet_power_sum = 0.0;
+    Celsius peak_tj = 0.0;
+
+    const Seconds minute_dt = 60.0;
+    const Years minute_years = fleet::secondsToYears(minute_dt);
+    const std::size_t minutes = traces.front().size();
+    for (std::size_t minute = 0; minute < minutes; ++minute) {
+        obs::ProfScope minute_prof("datacenter.minute");
+
+        // Desired operating point per server.
+        for (std::size_t r = 0; r < racks.size(); ++r) {
+            const auto &rack = racks[r];
+            const double rack_util = traces[r][minute].utilization;
+            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
+                 ++i) {
+                const double u = std::clamp(rack_util + offset[i], 0.0,
+                                            1.0);
+                state.utilization[i] = u;
+                const bool wants =
+                    ocRank[i] < u * rack.overclockDemand;
+                const bool grant =
+                    wants && policy != OverclockPolicy::Never;
+                state.wantsOverclock[i] = wants ? 1 : 0;
+                state.overclockShare[i] = wants ? 1.0 : 0.0;
+                state.overclocked[i] = grant ? 1 : 0;
+                state.freqLevel[i] =
+                    grant ? fleet::kOverclocked : fleet::kNominal;
+                state.capped[i] = 0;
+            }
+        }
+
+        // Physics pass: per-server dynamic + leakage power at the
+        // desired points feeds the rack demands and the capping
+        // decision.
+        fleet::stepPower(state, skus);
+        Watts demand_total = 0.0;
+        for (std::size_t r = 0; r < racks.size(); ++r) {
+            Watts demand = 0.0;
+            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
+                demand += state.totalPower[i];
+            consumers[r].demand = demand;
+            demand_total += demand;
+        }
+
+        // Power-aware policy backs every overclock out when the fleet
+        // would breach the feed, before capping has to fire.
+        if (policy == OverclockPolicy::PowerAware &&
+            demand_total > feedCapacity && state.overclockedCount() > 0) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (state.overclocked[i] != 0) {
+                    state.overclocked[i] = 0;
+                    state.freqLevel[i] = fleet::kNominal;
+                }
+            }
+            fleet::stepPower(state, skus);
+            demand_total = 0.0;
+            for (std::size_t r = 0; r < racks.size(); ++r) {
+                Watts demand = 0.0;
+                for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
+                     ++i)
+                    demand += state.totalPower[i];
+                consumers[r].demand = demand;
+                demand_total += demand;
+            }
+        }
+
+        budget.allocate(consumers, scratch, false);
+
+        Watts drawn = 0.0;
+        bool any_capped = false;
+        double minute_oc = 0.0;
+        std::size_t capped_racks = 0;
+        std::size_t capped_servers = 0;
+        for (std::size_t r = 0; r < racks.size(); ++r) {
+            drawn += scratch.granted[r];
+            const bool rack_capped = scratch.capped[r] != 0;
+            any_capped = any_capped || rack_capped;
+            if (rack_capped)
+                ++capped_racks;
+
+            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
+                 ++i) {
+                if (state.wantsOverclock[i] != 0)
+                    want_minutes += 1.0;
+                if (rack_capped) {
+                    state.capped[i] = 1;
+                    ++capped_servers;
+                }
+                if (state.overclocked[i] != 0) {
+                    oc_minutes += 1.0;
+                    minute_oc += 1.0;
+                    if (rack_capped) {
+                        // Capping claws the frequency back: the
+                        // overclock bought nothing this minute.
+                        capped_oc_minutes += 1.0;
+                        speedup_sum += 1.0;
+                        state.freqLevel[i] = fleet::kNominal;
+                    } else {
+                        speedup_sum += ocSpeedup;
+                    }
+                } else if (state.wantsOverclock[i] != 0) {
+                    speedup_sum += 1.0;
+                }
+            }
+            if (rack_capped) {
+                // Re-evaluate the rack's power at the clawed-back
+                // frequencies so the thermal/wear steps see the capped
+                // operating point.
+                fleet::stepPower(state, skus, rackBegin[r],
+                                 rackBegin[r + 1]);
+            }
+        }
+
+        // Thermal and wear advance at the post-capping operating point.
+        fleet::stepThermal(state, skus, minute_dt);
+        fleet::stepWear(state, skus, minute_years);
+
+        feed_util_sum += drawn / feedCapacity;
+        if (any_capped)
+            capping_minutes += 1.0;
+        out.energyMwh += drawn / 1e6 / 60.0;
+
+        const double feed_util = drawn / feedCapacity;
+        const Celsius mean_tj = state.meanTj();
+        const Celsius max_tj = state.maxTj();
+        const double mean_wear = state.meanWearConsumed();
+        mean_tj_sum += mean_tj;
+        peak_tj = std::max(peak_tj, max_tj);
+        fleet_power_sum += state.fleetPower();
+
+        if (telemetry) {
+            telemetry->append(static_cast<double>(minute) * 60.0,
+                              {drawn, feed_util, any_capped ? 1.0 : 0.0,
+                               minute_oc, mean_tj, max_tj, mean_wear});
+        }
+        if (metrics) {
+            minute_metric->inc();
+            if (any_capped)
+                capping_metric->inc();
+            capped_rack_metric->inc(
+                static_cast<std::uint64_t>(capped_racks));
+            feed_util_metric->observe(feed_util);
+            server_minute_metric->inc(static_cast<std::uint64_t>(n));
+            capped_server_metric->inc(
+                static_cast<std::uint64_t>(capped_servers));
+            oc_server_metric->inc(static_cast<std::uint64_t>(minute_oc));
+            mean_tj_gauge->set(mean_tj);
+            max_tj_gauge->set(max_tj);
+            mean_wear_gauge->set(mean_wear);
+            mean_credit_gauge->set(state.meanWearCredit(skus));
+        }
+    }
+
+    const double total_minutes = static_cast<double>(minutes);
+    out.meanFeedUtilization = feed_util_sum / total_minutes;
+    out.cappingMinutesShare = capping_minutes / total_minutes;
+    out.overclockShare =
+        want_minutes > 0.0 ? oc_minutes / want_minutes : 0.0;
+    out.cappedOverclockShare =
+        oc_minutes > 0.0 ? capped_oc_minutes / oc_minutes : 0.0;
+    out.speedupDelivered =
+        want_minutes > 0.0 ? speedup_sum / want_minutes : 1.0;
+    out.fleet.meanTj = mean_tj_sum / total_minutes;
+    out.fleet.peakTj = peak_tj;
+    out.fleet.meanWearConsumed = state.meanWearConsumed();
+    out.fleet.meanWearCredit = state.meanWearCredit(skus);
+    out.fleet.meanServerPower =
+        fleet_power_sum / total_minutes / static_cast<double>(n);
     return out;
 }
 

@@ -19,8 +19,10 @@
 #define IMSIM_CLUSTER_DATACENTER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "fleet/state.hh"
 #include "power/capping.hh"
 #include "util/random.hh"
 #include "util/units.hh"
@@ -55,6 +57,49 @@ struct RackConfig
                                    ///< tenants want overclocking.
 };
 
+/** Fidelity of the per-minute physics. */
+enum class FleetFidelity
+{
+    RackAggregate, ///< Closed-form rack power (default; the original model).
+    PerServer,     ///< Per-server Tj/leakage/wear via the fleet kernels.
+};
+
+/**
+ * Configuration of the per-server fidelity mode: the SKU physics table
+ * (fleet::SkuParams lifted from the scalar models) and how racks map
+ * onto it.
+ */
+struct PerServerPhysics
+{
+    /** SKU table the fleet kernels run against (non-empty). */
+    std::vector<fleet::SkuParams> skus;
+    /** SKU index per rack; empty = every rack is SKU 0. */
+    std::vector<std::uint32_t> rackSku;
+    /**
+     * Half-width of the static per-server utilization offset around the
+     * rack trace (uniform in [-spread, +spread], drawn once per server
+     * from the run's RNG), so servers inside a rack de-correlate.
+     */
+    double utilSpread = 0.1;
+
+    /**
+     * The paper's large-tank fleet: Open Compute blades (2x Skylake)
+     * immersed in FC-3284, +23 % overclock point, 5-year design life.
+     */
+    static PerServerPhysics openComputeImmersed();
+};
+
+/** Per-server physics statistics of one run (per-server mode only). */
+struct FleetPhysicsStats
+{
+    std::size_t servers = 0;       ///< Fleet size.
+    Celsius meanTj = 0.0;          ///< Time-mean of the fleet-mean Tj.
+    Celsius peakTj = 0.0;          ///< Highest Tj any server reached.
+    double meanWearConsumed = 0.0; ///< End-of-run mean life fraction.
+    double meanWearCredit = 0.0;   ///< End-of-run mean lifetime credit.
+    Watts meanServerPower = 0.0;   ///< Time-mean per-server power.
+};
+
 /** Aggregate outcome of one simulated horizon. */
 struct DatacenterOutcome
 {
@@ -68,6 +113,7 @@ struct DatacenterOutcome
                                       ///< then capped (wasted).
     double speedupDelivered = 0.0;    ///< Mean delivered speedup across
                                       ///< overclock-demanding minutes.
+    FleetPhysicsStats fleet;          ///< Populated in per-server mode.
 };
 
 /**
@@ -113,14 +159,41 @@ class DatacenterPowerSim
                           double days, obs::TimeSeries *telemetry,
                           obs::MetricRegistry *metrics) const;
 
+    /**
+     * Switch the per-minute loop to per-server fidelity: every server
+     * gets its own utilization, junction temperature, leakage, and
+     * wear columns (fleet::FleetState), stepped by the batched fleet
+     * kernels, and rack demands fed into the capping allocator are the
+     * sums of the per-server physics. run() then also fills
+     * DatacenterOutcome::fleet, appends `mean_tj_c`, `max_tj_c`,
+     * `mean_wear` telemetry columns, and publishes `fleet.*` metrics.
+     *
+     * The default RackAggregate mode is untouched (bit-for-bit) by
+     * this switch existing; fidelity only changes runs after the call.
+     */
+    void enablePerServerFidelity(PerServerPhysics physics);
+
+    /** @return the active physics fidelity. */
+    FleetFidelity fidelity() const { return fidelityMode; }
+
     /** @return total nominal peak power across racks [W]. */
     Watts fleetNominalPeak() const;
 
   private:
+    DatacenterOutcome runRackAggregate(OverclockPolicy policy,
+                                       util::Rng &rng, double days,
+                                       obs::TimeSeries *telemetry,
+                                       obs::MetricRegistry *metrics) const;
+    DatacenterOutcome runPerServer(OverclockPolicy policy, util::Rng &rng,
+                                   double days, obs::TimeSeries *telemetry,
+                                   obs::MetricRegistry *metrics) const;
+
     std::vector<RackConfig> racks;
     Watts feedCapacity;
     double oversub;
     double ocSpeedup;
+    FleetFidelity fidelityMode = FleetFidelity::RackAggregate;
+    PerServerPhysics physics;
 };
 
 } // namespace cluster

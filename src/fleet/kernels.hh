@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Batched physics kernels over FleetState columns.
+ *
+ * Each kernel advances one physical quantity for every server in a
+ * contiguous loop, replacing N scalar-object calls:
+ *
+ *  - stepPower:   power::SocketPowerModel::dynamicPower +
+ *                 leakagePower + the power::ServerPowerModel
+ *                 aggregation (sockets + constant components);
+ *  - stepThermal: thermal::ThermalNode::step (exact exponential RC
+ *                 update against the SKU's coolant reference);
+ *  - stepWear:    reliability::LifetimeModel::wearFraction (gate
+ *                 oxide + electromigration + thermal cycling with the
+ *                 duty-cycle idle floor), accumulated WearTracker-style
+ *                 into wearConsumed/serviceYears.
+ *
+ * FP-identity contract (held by tests/test_fleet.cc): for identical
+ * inputs, a kernel step is bit-for-bit equal to stepping the scalar
+ * classes above one server at a time. The kernels win their speed from
+ * layout and hoisting, never from reordered arithmetic: per-(SKU,
+ * level) pure values (voltage ratios, voltage-driven wear factors, the
+ * RC decay factor) are computed once instead of per server, and the
+ * scalar paths' per-call argument validation runs once per kernel call.
+ *
+ * Steady-state calls are allocation-free: the only buffer (per-SKU
+ * thermal decay factors) lives in FleetState::thermalDecayScratch and
+ * stabilises after the first step.
+ */
+
+#ifndef IMSIM_FLEET_KERNELS_HH
+#define IMSIM_FLEET_KERNELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "fleet/state.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace fleet {
+
+/**
+ * Recompute dynamicPower/leakagePower/totalPower for servers
+ * [@p begin, @p end) from their frequency level, utilization, and
+ * current junction temperature (explicit power<->temperature coupling:
+ * leakage reads the Tj of the previous thermal step).
+ */
+void stepPower(FleetState &state, const std::vector<SkuParams> &skus,
+               std::size_t begin, std::size_t end);
+
+/** stepPower over the whole fleet. */
+inline void
+stepPower(FleetState &state, const std::vector<SkuParams> &skus)
+{
+    stepPower(state, skus, 0, state.size());
+}
+
+/**
+ * Advance every junction temperature by @p dt seconds holding each
+ * server's current socket power (dynamicPower + leakagePower)
+ * constant, with the SKU's coolant reference — the exact exponential
+ * ThermalNode::step update.
+ */
+void stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
+                 Seconds dt);
+
+/**
+ * Accrue @p duration years of wear on every server under its current
+ * stress (level voltage/frequency ratio, junction temperature, and
+ * utilization as the duty cycle; cycle floor at the SKU's tMin).
+ * Requires tj >= tMin for every server, as the scalar model does.
+ */
+void stepWear(FleetState &state, const std::vector<SkuParams> &skus,
+              Years duration);
+
+/**
+ * One fleet minute at full fidelity: power from the current operating
+ * points, thermal advance by @p dt, wear accrual for the same
+ * interval (dt converted to years).
+ */
+void stepAll(FleetState &state, const std::vector<SkuParams> &skus,
+             Seconds dt);
+
+/** @return @p dt seconds as years (the wear-accrual unit). */
+constexpr Years
+secondsToYears(Seconds dt)
+{
+    return dt / (units::kHoursPerYear * units::kSecondsPerHour);
+}
+
+} // namespace fleet
+} // namespace imsim
+
+#endif // IMSIM_FLEET_KERNELS_HH

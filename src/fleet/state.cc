@@ -1,0 +1,249 @@
+#include "fleet/state.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hh"
+#include "power/socket_power.hh"
+#include "reliability/mechanisms.hh"
+#include "thermal/cooling.hh"
+#include "thermal/tank.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace fleet {
+
+namespace {
+
+SkuLevelParams
+levelAt(const power::VfCurve &vf, GHz frequency)
+{
+    SkuLevelParams lv;
+    lv.frequency = frequency;
+    lv.voltage = vf.voltageFor(frequency);
+    // Same expressions SocketPowerModel::dynamicPower evaluates per
+    // call (voltage/frequency ratios against the curve anchor).
+    lv.vRatio = lv.voltage / vf.nominalVoltage();
+    lv.fRatio = frequency / vf.nominalFrequency();
+    // The curve anchor is the all-core turbo, so the electromigration
+    // frequency ratio coincides with fRatio.
+    lv.freqRatio = lv.fRatio;
+    // Voltage-driven factors of the wear mechanisms, hoisted exactly as
+    // reliability/mechanisms.cc computes them:
+    //   gateOxideRate:  kOxideA * exp(kOxideGamma * (V - kVRef)) * ...
+    //   electromigrationRate: kEmA * (j * j) * ...   (kEmN fixed at 2)
+    using namespace reliability::constants;
+    lv.oxideVoltFactor =
+        kOxideA * std::exp(kOxideGamma * (lv.voltage - kVRef));
+    const double j = (lv.voltage / kVRef) * lv.freqRatio;
+    static_assert(kEmN == 2.0, "emBase below assumes kEmN == 2");
+    lv.emBase = kEmA * (j * j);
+    return lv;
+}
+
+} // namespace
+
+SkuParams
+SkuParams::fromModels(const power::SocketPowerModel &socket, int sockets,
+                      Watts constant_power,
+                      const thermal::CoolingSystem &cooling,
+                      double thermal_cap, double oc_ratio, Celsius t_min,
+                      Years design_life)
+{
+    util::fatalIf(sockets <= 0, "SkuParams: need at least 1 socket");
+    util::fatalIf(thermal_cap <= 0.0,
+                  "SkuParams: thermal capacitance must be positive");
+    util::fatalIf(oc_ratio < 1.0, "SkuParams: overclock ratio below 1");
+    util::fatalIf(design_life <= 0.0,
+                  "SkuParams: design life must be positive");
+
+    const power::VfCurve &vf = socket.curve();
+    SkuParams p;
+    // Lift the socket coefficients verbatim so they cannot drift from
+    // power/socket_power.cc (the FP-identity contract forbids
+    // re-deriving them).
+    p.dynNominal = socket.dynamicNominal();
+    p.sockets = static_cast<double>(sockets);
+    p.leakRef = socket.leakageReference();
+    p.leakRefTj = socket.leakageReferenceTj();
+    p.leakTheta = socket.leakageTheta();
+    p.constantPower = constant_power;
+
+    p.rth = cooling.thermalResistance();
+    p.thermalCap = thermal_cap;
+    // Both cooling technologies expose a load-independent reference
+    // (air: inlet + pre-heat; 2PIC: the boiling point).
+    p.coolantRef = cooling.referenceTemperature(0.0);
+
+    p.tMin = t_min;
+    p.designLife = design_life;
+
+    p.level[kNominal] = levelAt(vf, vf.nominalFrequency());
+    p.level[kOverclocked] = levelAt(vf, vf.nominalFrequency() * oc_ratio);
+    return p;
+}
+
+void
+FleetState::reserve(std::size_t n)
+{
+    skuIndex.reserve(n);
+    freqLevel.reserve(n);
+    wantsOverclock.reserve(n);
+    overclocked.reserve(n);
+    capped.reserve(n);
+    utilization.reserve(n);
+    overclockShare.reserve(n);
+    dynamicPower.reserve(n);
+    leakagePower.reserve(n);
+    totalPower.reserve(n);
+    tj.reserve(n);
+    wearConsumed.reserve(n);
+    serviceYears.reserve(n);
+}
+
+void
+FleetState::addServers(std::size_t count, std::uint32_t sku, Celsius tj0)
+{
+    const std::size_t n = size() + count;
+    skuIndex.resize(n, sku);
+    freqLevel.resize(n, kNominal);
+    wantsOverclock.resize(n, 0);
+    overclocked.resize(n, 0);
+    capped.resize(n, 0);
+    utilization.resize(n, 0.0);
+    overclockShare.resize(n, 0.0);
+    dynamicPower.resize(n, 0.0);
+    leakagePower.resize(n, 0.0);
+    totalPower.resize(n, 0.0);
+    tj.resize(n, tj0);
+    wearConsumed.resize(n, 0.0);
+    serviceYears.resize(n, 0.0);
+}
+
+Watts
+FleetState::fleetPower() const
+{
+    Watts total = 0.0;
+    for (const double p : totalPower)
+        total += p;
+    return total;
+}
+
+Celsius
+FleetState::meanTj() const
+{
+    if (tj.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double t : tj)
+        sum += t;
+    return sum / static_cast<double>(tj.size());
+}
+
+Celsius
+FleetState::maxTj() const
+{
+    if (tj.empty())
+        return 0.0;
+    return *std::max_element(tj.begin(), tj.end());
+}
+
+double
+FleetState::meanWearConsumed() const
+{
+    if (wearConsumed.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double w : wearConsumed)
+        sum += w;
+    return sum / static_cast<double>(wearConsumed.size());
+}
+
+double
+FleetState::meanWearCredit(const std::vector<SkuParams> &skus) const
+{
+    if (empty())
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        // WearTracker::credit: budgeted life fraction minus consumed.
+        sum += serviceYears[i] / skus[skuIndex[i]].designLife -
+               wearConsumed[i];
+    }
+    return sum / static_cast<double>(size());
+}
+
+std::size_t
+FleetState::overclockedCount() const
+{
+    std::size_t n = 0;
+    for (const std::uint8_t f : overclocked)
+        n += f != 0 ? 1 : 0;
+    return n;
+}
+
+std::size_t
+FleetState::cappedCount() const
+{
+    std::size_t n = 0;
+    for (const std::uint8_t f : capped)
+        n += f != 0 ? 1 : 0;
+    return n;
+}
+
+void
+FleetState::attachMetrics(obs::MetricRegistry &registry,
+                          const std::string &prefix) const
+{
+    registry.registerGauge(prefix + ".servers", [this] {
+        return static_cast<double>(size());
+    });
+    registry.registerGauge(prefix + ".power_w",
+                           [this] { return fleetPower(); });
+    registry.registerGauge(prefix + ".mean_tj_c",
+                           [this] { return meanTj(); });
+    registry.registerGauge(prefix + ".max_tj_c",
+                           [this] { return maxTj(); });
+    registry.registerGauge(prefix + ".mean_wear",
+                           [this] { return meanWearConsumed(); });
+    registry.registerGauge(prefix + ".overclocked", [this] {
+        return static_cast<double>(overclockedCount());
+    });
+    registry.registerGauge(prefix + ".capped", [this] {
+        return static_cast<double>(cappedCount());
+    });
+}
+
+std::size_t
+FleetState::applyFrequencyCeiling(const std::vector<SkuParams> &skus,
+                                  GHz ceiling)
+{
+    util::fatalIf(ceiling <= 0.0,
+                  "applyFrequencyCeiling: ceiling must be positive");
+    std::size_t demoted = 0;
+    for (std::size_t i = 0; i < size(); ++i) {
+        const SkuParams &p = skus[skuIndex[i]];
+        while (freqLevel[i] > 0 &&
+               p.level[freqLevel[i]].frequency > ceiling) {
+            --freqLevel[i];
+            ++demoted;
+        }
+    }
+    return demoted;
+}
+
+std::size_t
+syncTankHeatLoads(const FleetState &state, std::size_t first_server,
+                  thermal::ImmersionTank &tank)
+{
+    util::fatalIf(first_server > state.size(),
+                  "syncTankHeatLoads: first server out of range");
+    const std::size_t n =
+        std::min(tank.slots(), state.size() - first_server);
+    for (std::size_t j = 0; j < n; ++j)
+        tank.setHeatLoad(j, state.totalPower[first_server + j]);
+    return n;
+}
+
+} // namespace fleet
+} // namespace imsim

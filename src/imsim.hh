@@ -68,6 +68,9 @@
 #include "vm/provisioning.hh"
 #include "vm/vm.hh"
 
+#include "fleet/kernels.hh"
+#include "fleet/state.hh"
+
 #include "cluster/buffers.hh"
 #include "cluster/capacity.hh"
 #include "cluster/datacenter.hh"

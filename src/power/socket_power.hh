@@ -89,6 +89,18 @@ class SocketPowerModel
     /** @return the part's V-f curve. */
     const VfCurve &curve() const { return vf; }
 
+    /** @return dynamic power at the curve anchor with activity 1 [W]. */
+    Watts dynamicNominal() const { return dynNominal; }
+
+    /** @return leakage at the reference junction temperature [W]. */
+    Watts leakageReference() const { return leakRef; }
+
+    /** @return the leakage reference junction temperature [C]. */
+    Celsius leakageReferenceTj() const { return leakRefTj; }
+
+    /** @return the exponential temperature scale of leakage [C]. */
+    Celsius leakageTheta() const { return leakTheta; }
+
     /**
      * The paper's 205 W TDP server Skylake socket (8168/8180 class) with
      * the given all-core turbo.

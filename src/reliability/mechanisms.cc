@@ -36,7 +36,11 @@ electromigrationRate(Volts voltage, Celsius tj, double freq_ratio)
     const Kelvin tref = units::toKelvin(kTjRef);
     const double arrhenius =
         std::exp(kEmEa / units::kBoltzmannEv * (1.0 / tref - 1.0 / t));
-    return kEmA * std::pow(j, kEmN) * arrhenius;
+    // Black's-law current-density exponent is fixed at 2, so j^kEmN is
+    // evaluated as j*j: exact algebra, and the fleet wear kernel on
+    // this hot path need not pay for generic pow.
+    static_assert(kEmN == 2.0, "j^kEmN below assumes kEmN == 2");
+    return kEmA * (j * j) * arrhenius;
 }
 
 double
@@ -45,7 +49,13 @@ thermalCyclingRate(Celsius swing)
     util::fatalIf(swing < 0.0, "thermalCyclingRate: negative swing");
     if (swing == 0.0)
         return 0.0;
-    return kTcA * std::pow(swing / kSwingRef, kTcQ);
+    // The Coffin-Manson exponent is fixed at 5/2, so r^kTcQ is
+    // evaluated as r*r*sqrt(r): exact algebra (to rounding), and sqrt
+    // is a hardware instruction where generic pow is a libm call — this
+    // sits on the per-server-minute wear path of the fleet kernels.
+    static_assert(kTcQ == 2.5, "r^kTcQ below assumes kTcQ == 2.5");
+    const double r = swing / kSwingRef;
+    return kTcA * (r * r * std::sqrt(r));
 }
 
 } // namespace reliability

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Fleet-layer tests: the scalar-vs-batched equivalence oracle that holds
+ * the FP-identity contract of fleet/kernels.hh (a batched step must be
+ * bit-for-bit equal to stepping the scalar ThermalNode /
+ * SocketPowerModel / WearTracker objects one server at a time), edge
+ * cases of the columnar state, and the DatacenterPowerSim run-overload
+ * regression (the non-telemetry overload must forward to the telemetry
+ * one and produce an identical outcome).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "cluster/datacenter.hh"
+#include "fleet/kernels.hh"
+#include "fleet/state.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "power/server_power.hh"
+#include "power/socket_power.hh"
+#include "reliability/lifetime.hh"
+#include "thermal/cooling.hh"
+#include "thermal/fluid.hh"
+#include "thermal/junction.hh"
+#include "util/random.hh"
+
+namespace imsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar reference: one server of per-object state, stepped through the
+// public scalar APIs exactly as a per-object fleet loop would.
+// ---------------------------------------------------------------------
+
+struct ScalarServer
+{
+    power::SocketPowerModel socket;
+    thermal::ThermalNode node;
+    reliability::WearTracker tracker;
+    const thermal::CoolingSystem *cooling;
+    GHz frequency;
+    double utilization;
+    Celsius tMin;
+};
+
+/// One scalar minute: SocketPowerModel -> ThermalNode -> WearTracker,
+/// the coupling order the batched stepAll mirrors (leakage reads the
+/// previous step's Tj, wear reads the new one).
+void
+stepScalar(ScalarServer &sv, Seconds dt)
+{
+    const power::VfCurve &vf = sv.socket.curve();
+    const Volts volt = vf.voltageFor(sv.frequency);
+    const power::OperatingPoint op{sv.frequency, volt, sv.utilization};
+    const Watts dyn = sv.socket.dynamicPower(op);
+    const Watts leak = sv.socket.leakagePower(sv.node.temperature());
+    const Celsius ref = sv.cooling->referenceTemperature(dyn + leak);
+    sv.node.step(dt, dyn + leak, ref);
+    reliability::StressCondition cond;
+    cond.voltage = volt;
+    cond.tjMax = sv.node.temperature();
+    cond.tMin = sv.tMin;
+    cond.freqRatio = sv.frequency / vf.nominalFrequency();
+    cond.dutyCycle = sv.utilization;
+    sv.tracker.accrue(cond, fleet::secondsToYears(dt));
+}
+
+// ---------------------------------------------------------------------
+// Fixtures: SKU tables and matched scalar/batched fleets.
+// ---------------------------------------------------------------------
+
+/// Mixed SKU table: the paper's immersed Open Compute blade (SKU 0)
+/// plus an air-cooled variant of the same blade (SKU 1).
+std::vector<fleet::SkuParams>
+mixedSkus()
+{
+    auto physics = cluster::PerServerPhysics::openComputeImmersed();
+    std::vector<fleet::SkuParams> skus = std::move(physics.skus);
+    const auto server = power::ServerPowerModel::openComputeBlade();
+    const thermal::AirCooling air;
+    skus.push_back(fleet::SkuParams::fromModels(
+        server.socketModel(), server.socketCount(),
+        /*constant_power=*/200.0, air, /*thermal_cap=*/400.0,
+        /*oc_ratio=*/1.23, /*t_min=*/air.referenceTemperature(0.0)));
+    return skus;
+}
+
+/// A scalar twin of fleet server @p i: same SKU coefficients, same
+/// initial temperature, same operating point.
+ScalarServer
+scalarTwin(const fleet::FleetState &state,
+           const std::vector<fleet::SkuParams> &skus, std::size_t i)
+{
+    static const auto server = power::ServerPowerModel::openComputeBlade();
+    static const reliability::LifetimeModel lifetime;
+    static const thermal::TwoPhaseImmersionCooling immersed(
+        thermal::fc3284());
+    static const thermal::AirCooling air;
+    static const thermal::CoolingSystem *coolings[2] = {&immersed, &air};
+
+    const fleet::SkuParams &p = skus[state.skuIndex[i]];
+    return ScalarServer{
+        server.socketModel(),
+        thermal::ThermalNode(p.rth, p.thermalCap, p.coolantRef),
+        reliability::WearTracker(lifetime, p.designLife),
+        coolings[state.skuIndex[i]],
+        p.level[state.freqLevel[i]].frequency,
+        state.utilization[i],
+        p.tMin,
+    };
+}
+
+/// Build a fleet of @p servers cycling over @p sku_count SKUs with a
+/// deterministic utilization spread and every 5th server overclocked.
+fleet::FleetState
+makeFleet(const std::vector<fleet::SkuParams> &skus, std::size_t servers,
+          std::size_t sku_count)
+{
+    fleet::FleetState state;
+    state.reserve(servers);
+    for (std::size_t i = 0; i < servers; ++i) {
+        const auto sku = static_cast<std::uint32_t>(i % sku_count);
+        state.addServers(1, sku, skus[sku].coolantRef);
+        state.utilization[i] =
+            0.03 + 0.94 * static_cast<double>(i % 13) / 12.0;
+        state.freqLevel[i] =
+            i % 5 == 0 ? fleet::kOverclocked : fleet::kNominal;
+    }
+    return state;
+}
+
+/// The oracle proper: run @p minutes batched steps against per-server
+/// scalar twins and demand bit equality on every physics column.
+void
+expectScalarBatchedIdentity(const std::vector<fleet::SkuParams> &skus,
+                            std::size_t servers, std::size_t sku_count,
+                            int minutes)
+{
+    fleet::FleetState state = makeFleet(skus, servers, sku_count);
+    std::vector<ScalarServer> twins;
+    twins.reserve(servers);
+    for (std::size_t i = 0; i < servers; ++i)
+        twins.push_back(scalarTwin(state, skus, i));
+
+    for (int m = 0; m < minutes; ++m) {
+        fleet::stepAll(state, skus, 60.0);
+        for (std::size_t i = 0; i < servers; ++i) {
+            ScalarServer &sv = twins[i];
+            stepScalar(sv, 60.0);
+            const fleet::SkuParams &p = skus[state.skuIndex[i]];
+            const power::VfCurve &vf = sv.socket.curve();
+            const Volts volt = vf.voltageFor(sv.frequency);
+            const power::OperatingPoint op{sv.frequency, volt,
+                                           sv.utilization};
+            // Bit-exact (EXPECT_EQ, not EXPECT_DOUBLE_EQ): the contract
+            // is identity, not closeness.
+            EXPECT_EQ(state.dynamicPower[i], sv.socket.dynamicPower(op))
+                << "server " << i << " minute " << m;
+            EXPECT_EQ(state.tj[i], sv.node.temperature())
+                << "server " << i << " minute " << m;
+            EXPECT_EQ(state.wearConsumed[i], sv.tracker.consumed())
+                << "server " << i << " minute " << m;
+            EXPECT_EQ(state.serviceYears[i], sv.tracker.age())
+                << "server " << i << " minute " << m;
+            EXPECT_EQ(state.totalPower[i],
+                      (state.dynamicPower[i] + state.leakagePower[i]) *
+                              p.sockets +
+                          p.constantPower)
+                << "server " << i << " minute " << m;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equivalence oracle.
+// ---------------------------------------------------------------------
+
+TEST(FleetEquivalence, UniformSkuBitExact)
+{
+    const auto skus = mixedSkus();
+    expectScalarBatchedIdentity(skus, 48, /*sku_count=*/1, /*minutes=*/8);
+}
+
+TEST(FleetEquivalence, MixedSkuBitExact)
+{
+    const auto skus = mixedSkus();
+    ASSERT_EQ(skus.size(), 2u);
+    expectScalarBatchedIdentity(skus, 64, /*sku_count=*/2, /*minutes=*/8);
+}
+
+TEST(FleetEquivalence, SingleServerFleet)
+{
+    const auto skus = mixedSkus();
+    expectScalarBatchedIdentity(skus, 1, /*sku_count=*/1, /*minutes=*/20);
+}
+
+TEST(FleetEquivalence, StepAllComposesFromKernels)
+{
+    const auto skus = mixedSkus();
+    fleet::FleetState a = makeFleet(skus, 32, 2);
+    fleet::FleetState b = makeFleet(skus, 32, 2);
+
+    for (int m = 0; m < 5; ++m) {
+        fleet::stepAll(a, skus, 60.0);
+        fleet::stepPower(b, skus);
+        fleet::stepThermal(b, skus, 60.0);
+        fleet::stepWear(b, skus, fleet::secondsToYears(60.0));
+    }
+    EXPECT_EQ(a.dynamicPower, b.dynamicPower);
+    EXPECT_EQ(a.leakagePower, b.leakagePower);
+    EXPECT_EQ(a.totalPower, b.totalPower);
+    EXPECT_EQ(a.tj, b.tj);
+    EXPECT_EQ(a.wearConsumed, b.wearConsumed);
+    EXPECT_EQ(a.serviceYears, b.serviceYears);
+}
+
+// ---------------------------------------------------------------------
+// Edge cases.
+// ---------------------------------------------------------------------
+
+TEST(FleetEdgeCases, ZeroUtilizationFleet)
+{
+    const auto skus = mixedSkus();
+    fleet::FleetState state = makeFleet(skus, 24, 2);
+    for (std::size_t i = 0; i < state.size(); ++i)
+        state.utilization[i] = 0.0;
+
+    for (int m = 0; m < 10; ++m)
+        fleet::stepAll(state, skus, 60.0);
+
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        const fleet::SkuParams &p = skus[state.skuIndex[i]];
+        EXPECT_EQ(state.dynamicPower[i], 0.0);
+        EXPECT_GT(state.leakagePower[i], 0.0);
+        // With no dynamic power the junction relaxes toward the
+        // leakage-only steady state, staying at or above the coolant.
+        EXPECT_GE(state.tj[i], p.coolantRef);
+        // Idle servers still wear: the supply stays up, so the duty
+        // floor applies and wear stays strictly positive and finite.
+        EXPECT_GT(state.wearConsumed[i], 0.0);
+        EXPECT_TRUE(std::isfinite(state.wearConsumed[i]));
+    }
+}
+
+TEST(FleetEdgeCases, WearAccumulationStaysFinite)
+{
+    // Years of minutes on a hot overclocked fleet: wear must grow
+    // monotonically without ever producing NaN/inf.
+    const auto skus = mixedSkus();
+    fleet::FleetState state = makeFleet(skus, 8, 2);
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        state.utilization[i] = 1.0;
+        state.freqLevel[i] = fleet::kOverclocked;
+    }
+
+    double prev_mean = 0.0;
+    for (int m = 0; m < 20000; ++m) {
+        fleet::stepAll(state, skus, 60.0);
+        if (m % 4000 == 0) {
+            const double mean = state.meanWearConsumed();
+            EXPECT_TRUE(std::isfinite(mean)) << "minute " << m;
+            EXPECT_GT(mean, prev_mean) << "minute " << m;
+            prev_mean = mean;
+        }
+    }
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(state.wearConsumed[i]));
+        EXPECT_TRUE(std::isfinite(state.tj[i]));
+        EXPECT_TRUE(std::isfinite(state.meanWearCredit(skus)));
+    }
+}
+
+TEST(FleetEdgeCases, AllCappedMinute)
+{
+    // Feed sized barely above the physics floor (idle leakage +
+    // constant power): every rack must be capped every minute, and the
+    // per-server loop must survive an entire horizon in that state.
+    auto physics = cluster::PerServerPhysics::openComputeImmersed();
+    const fleet::SkuParams &p = physics.skus[0];
+
+    std::vector<cluster::RackConfig> racks(2);
+    for (auto &r : racks) {
+        r.servers = 8;
+        r.overclockDemand = 0.5;
+    }
+    const double servers_total = 16.0;
+    const Watts floor_per_server =
+        p.leakRef * std::exp((p.coolantRef - p.leakRefTj) / p.leakTheta) *
+            p.sockets +
+        p.constantPower;
+    const Watts feed = 1.05 * servers_total * floor_per_server;
+
+    cluster::DatacenterPowerSim sim(racks, feed, /*oversubscription=*/1.2,
+                                    /*oc_speedup=*/1.2);
+    sim.enablePerServerFidelity(std::move(physics));
+
+    util::Rng rng(11);
+    const auto outcome =
+        sim.run(cluster::OverclockPolicy::Always, rng, 1.0);
+    EXPECT_DOUBLE_EQ(outcome.cappingMinutesShare, 1.0);
+    EXPECT_EQ(outcome.fleet.servers, 16u);
+    EXPECT_TRUE(std::isfinite(outcome.fleet.meanWearConsumed));
+    EXPECT_GT(outcome.fleet.meanTj, 0.0);
+    EXPECT_GT(outcome.energyMwh, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Run-overload regression: the 3-arg run() must forward to the
+// telemetry overload and produce an identical outcome.
+// ---------------------------------------------------------------------
+
+void
+expectOutcomesIdentical(const cluster::DatacenterOutcome &plain,
+                        const cluster::DatacenterOutcome &instrumented)
+{
+    EXPECT_EQ(plain.policy, instrumented.policy);
+    EXPECT_EQ(plain.energyMwh, instrumented.energyMwh);
+    EXPECT_EQ(plain.meanFeedUtilization,
+              instrumented.meanFeedUtilization);
+    EXPECT_EQ(plain.cappingMinutesShare,
+              instrumented.cappingMinutesShare);
+    EXPECT_EQ(plain.overclockShare, instrumented.overclockShare);
+    EXPECT_EQ(plain.cappedOverclockShare,
+              instrumented.cappedOverclockShare);
+    EXPECT_EQ(plain.speedupDelivered, instrumented.speedupDelivered);
+    EXPECT_EQ(plain.fleet.servers, instrumented.fleet.servers);
+    EXPECT_EQ(plain.fleet.meanTj, instrumented.fleet.meanTj);
+    EXPECT_EQ(plain.fleet.peakTj, instrumented.fleet.peakTj);
+    EXPECT_EQ(plain.fleet.meanWearConsumed,
+              instrumented.fleet.meanWearConsumed);
+    EXPECT_EQ(plain.fleet.meanWearCredit,
+              instrumented.fleet.meanWearCredit);
+    EXPECT_EQ(plain.fleet.meanServerPower,
+              instrumented.fleet.meanServerPower);
+}
+
+TEST(DatacenterRunOverloads, RackAggregateIdenticalWithTelemetry)
+{
+    std::vector<cluster::RackConfig> racks(3);
+    racks[2].priority = 2;
+    cluster::DatacenterPowerSim sim(racks, 40000.0, 1.3, 1.2);
+
+    // Identical seeds: telemetry attachment must not perturb the run.
+    util::Rng rng_plain(7);
+    util::Rng rng_inst(7);
+    const auto plain =
+        sim.run(cluster::OverclockPolicy::PowerAware, rng_plain, 2.0);
+    obs::TimeSeries telemetry;
+    obs::MetricRegistry metrics;
+    const auto instrumented =
+        sim.run(cluster::OverclockPolicy::PowerAware, rng_inst, 2.0,
+                &telemetry, &metrics);
+
+    expectOutcomesIdentical(plain, instrumented);
+    EXPECT_EQ(telemetry.rows(), static_cast<std::size_t>(2.0 * 24 * 60));
+}
+
+TEST(DatacenterRunOverloads, PerServerIdenticalWithTelemetry)
+{
+    std::vector<cluster::RackConfig> racks(2);
+    for (auto &r : racks)
+        r.servers = 12;
+    cluster::DatacenterPowerSim sim(racks, 18000.0, 1.2, 1.2);
+    sim.enablePerServerFidelity(
+        cluster::PerServerPhysics::openComputeImmersed());
+
+    util::Rng rng_plain(21);
+    util::Rng rng_inst(21);
+    const auto plain =
+        sim.run(cluster::OverclockPolicy::PowerAware, rng_plain, 1.0);
+    obs::TimeSeries telemetry;
+    obs::MetricRegistry metrics;
+    const auto instrumented =
+        sim.run(cluster::OverclockPolicy::PowerAware, rng_inst, 1.0,
+                &telemetry, &metrics);
+
+    expectOutcomesIdentical(plain, instrumented);
+    ASSERT_EQ(telemetry.columns().size(), 7u);
+    EXPECT_EQ(telemetry.columns()[4], "mean_tj_c");
+    EXPECT_EQ(telemetry.columns()[5], "max_tj_c");
+    EXPECT_EQ(telemetry.columns()[6], "mean_wear");
+}
+
+} // namespace
+} // namespace imsim
