@@ -24,8 +24,8 @@ main(int argc, char **argv)
 {
     // Flags: --seed N (default 42), --sla SECONDS (crisis P99 bound),
     // --smoke (small fleet, short horizon; CI), --jobs N, --report FILE,
-    // --trace FILE, --telemetry FILE, --progress [FILE], --profile
-    // [FILE].
+    // --trace FILE, --telemetry FILE, --watchdog FILE (incident
+    // timelines), --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
     obs::maybeEnableProfiler(cli);
     const auto progress = exp::progressFromCli(cli, "fault_crisis");
@@ -97,7 +97,7 @@ main(int argc, char **argv)
         sweep_timing = progress->runTiming();
 
     util::TableWriter table({"Policy", "Max freq", "Healthy P99",
-                             "Crisis P99", "SLA", "Recovery",
+                             "Crisis P99", "SLA", "Detect", "Recovery",
                              "Scale-outs", "Avg freq", "Violations"});
     for (std::size_t i = 0; i < points.size(); ++i) {
         const auto &out = outcomes[i];
@@ -107,6 +107,9 @@ main(int argc, char **argv)
              util::fmt(out.healthyP99 * 1e3, 1) + " ms",
              util::fmt(out.crisisP99 * 1e3, 1) + " ms",
              out.slaMet ? "met" : "MISSED",
+             out.detectSeconds >= 0.0
+                 ? util::fmt(out.detectSeconds, 0) + " s"
+                 : "—",
              out.recoverySeconds >= 0.0
                  ? util::fmt(out.recoverySeconds, 0) + " s"
                  : "never",
@@ -119,7 +122,11 @@ main(int argc, char **argv)
                  "replacement latency and\ndoes not improve with "
                  "headroom; the overclocking policies convert headroom\n"
                  "into immediate capacity, meeting at full headroom the "
-                 "SLA Baseline misses.\n";
+                 "SLA Baseline misses.\nDetect is the SLO watchdog's "
+                 "first page after the crash (trailing-window P99\nvs "
+                 "SLA, 1 s polls); \"—\" means the survivors absorbed "
+                 "the loss before the\nwatchdog ever saw a breach — "
+                 "headroom standing in for spare capacity.\n";
 
     exp::RunReport report("fault_crisis");
     report.setMeta(manifest.entries());
@@ -147,6 +154,12 @@ main(int argc, char **argv)
             static_cast<double>(out.invariantViolations));
         record.metrics.set("brownouts",
                            static_cast<double>(out.brownouts));
+        record.metrics.set("detect_s", out.detectSeconds);
+        record.metrics.set("alerts_raised",
+                           static_cast<double>(out.alertsRaised));
+        record.metrics.set(
+            "incidents",
+            static_cast<double>(out.incidents.incidents().size()));
         report.add(std::move(record));
     }
     exp::maybeWriteReport(cli, report, std::cout);
@@ -165,6 +178,18 @@ main(int argc, char **argv)
         }
         obs::maybeWriteTrace(cli, merged_trace, manifest, std::cout);
         obs::maybeWriteTelemetry(cli, telemetry, manifest, std::cout);
+    }
+    if (obs::incidentsRequested(cli)) {
+        std::vector<std::pair<std::string, const obs::IncidentLog *>>
+            incident_points;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            incident_points.emplace_back(
+                autoscale::policyName(points[i].policy) + "@" +
+                    util::fmt(points[i].maxFreq, 2),
+                &outcomes[i].incidents);
+        }
+        obs::maybeWriteIncidents(cli, incident_points, manifest,
+                                 std::cout);
     }
     obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;

@@ -10,16 +10,87 @@
  *  - BM_TracerDisabled vs BM_TracerEnabled (per-emit cost);
  *  - BM_CounterInc / BM_GaugePoll (registry primitives);
  *  - BM_TraceScopeDisabled vs BM_TraceScopeEnabled;
- *  - BM_ProfScopeDisabled vs BM_ProfScopeEnabled (wall-clock profiler).
+ *  - BM_ProfScopeDisabled vs BM_ProfScopeEnabled (wall-clock profiler);
+ *  - BM_FleetAggregatorObserve / ...Recorded: the per-tick columnar
+ *    fleet reduction, with per-server cost (ns_per_server) and the
+ *    allocation contract (allocs_per_op must be 0 in steady state —
+ *    recording appends one row per tick, the documented exception);
+ *  - BM_FleetSnapshot (cross-thread sample copy), BM_WatchdogEvaluate
+ *    (per-rule poll), BM_QuantileSketchAdd / BM_SketchMergedQuantile
+ *    (the sketch primitives the aggregates are made of).
+ *
+ * Like bench_hot_paths, the binary instruments global operator new so
+ * the fleet-aggregation cases can report allocs_per_op directly.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "obs/watchdog.hh"
 #include "sim/simulation.hh"
+#include "util/stats.hh"
+
+namespace {
+
+/// Heap allocations observed process-wide since start-up.
+std::atomic<std::uint64_t> allocCalls{0};
+
+std::uint64_t
+allocsSoFar()
+{
+    return allocCalls.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    allocCalls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace imsim;
 
@@ -219,6 +290,212 @@ BM_ProfScopeEnabled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfScopeEnabled);
+
+/**
+ * Synthetic fleet columns with a plausible mixed-SKU population:
+ * deterministic values (no RNG on the measured path) spanning each
+ * channel's sketch range.
+ */
+struct SyntheticFleet
+{
+    std::vector<std::uint32_t> sku;
+    std::vector<double> util;
+    std::vector<double> power;
+    std::vector<double> tj;
+    std::vector<double> wear;
+
+    explicit SyntheticFleet(std::size_t count, std::size_t skus)
+    {
+        sku.resize(count);
+        util.resize(count);
+        power.resize(count);
+        tj.resize(count);
+        wear.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            sku[i] = static_cast<std::uint32_t>(i % skus);
+            util[i] = static_cast<double>(i % 101) / 100.0;
+            power[i] = 180.0 + static_cast<double>(i % 241);
+            tj[i] = 45.0 + static_cast<double>(i % 56);
+            wear[i] = 1e-6 * static_cast<double>(i);
+        }
+    }
+
+    obs::FleetView view() const
+    {
+        obs::FleetView v;
+        v.count = sku.size();
+        v.sku = sku.data();
+        v.utilization = util.data();
+        v.totalPower = power.data();
+        v.tj = tj.data();
+        v.wearConsumed = wear.data();
+        return v;
+    }
+
+    /** Advance the columns between ticks (off the measured path). */
+    void mutate(std::size_t tick)
+    {
+        const std::size_t n = sku.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            util[i] = static_cast<double>((i + tick) % 101) / 100.0;
+            tj[i] = 45.0 + static_cast<double>((i + 7 * tick) % 56);
+            wear[i] += 1e-9;
+        }
+    }
+};
+
+/**
+ * The tentpole budget: one columnar fleet reduction per tick. Reported
+ * per-server (ns_per_server) because the contract is "a few ns per
+ * server-minute"; allocs_per_op must be 0 once the scratch is sized.
+ */
+void
+BM_FleetAggregatorObserve(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    SyntheticFleet fleet(count, 3);
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 3;
+    cfg.record = false;    // Pure reduction; recording measured below.
+    cfg.cumulative = true;
+    obs::FleetAggregator agg(cfg);
+    agg.observe(0.0, fleet.view(), 60.0); // Size the wear scratch.
+
+    std::size_t tick = 0;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        fleet.mutate(++tick);
+        state.ResumeTiming();
+        const std::uint64_t before = allocsSoFar();
+        agg.observe(static_cast<double>(tick) * 60.0, fleet.view(), 60.0);
+        allocs += allocsSoFar() - before;
+        benchmark::DoNotOptimize(agg.latest().fleetPower);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(count));
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(allocs),
+        benchmark::Counter::kAvgIterations);
+    state.counters["ns_per_server"] = benchmark::Counter(
+        static_cast<double>(count) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FleetAggregatorObserve)->Arg(1024)->Arg(16384);
+
+/** The same reduction with per-tick TimeSeries recording on. */
+void
+BM_FleetAggregatorObserveRecorded(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    SyntheticFleet fleet(count, 3);
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 3;
+    cfg.record = true;
+    obs::FleetAggregator agg(cfg);
+    agg.observe(0.0, fleet.view(), 60.0);
+
+    std::size_t tick = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        fleet.mutate(++tick);
+        state.ResumeTiming();
+        agg.observe(static_cast<double>(tick) * 60.0, fleet.view(), 60.0);
+        benchmark::DoNotOptimize(agg.series().rows());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(count));
+    state.counters["ns_per_server"] = benchmark::Counter(
+        static_cast<double>(count) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_FleetAggregatorObserveRecorded)->Arg(16384);
+
+/** Cross-thread snapshot of the published sample (lock + copy). */
+void
+BM_FleetSnapshot(benchmark::State &state)
+{
+    SyntheticFleet fleet(1024, 3);
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 3;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    agg.observe(0.0, fleet.view(), 60.0);
+    obs::FleetSample sample = agg.snapshot(); // Size the copy target.
+    for (auto _ : state) {
+        sample = agg.snapshot();
+        benchmark::DoNotOptimize(sample.units);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetSnapshot);
+
+/** Per-poll cost of the watchdog rule engine (nothing firing). */
+void
+BM_WatchdogEvaluate(benchmark::State &state)
+{
+    obs::Watchdog watchdog;
+    double signal = 0.5;
+    for (int i = 0; i < 5; ++i) {
+        obs::WatchdogRule rule;
+        rule.name = "rule" + std::to_string(i);
+        rule.signal = [&signal] { return signal; };
+        rule.fireThreshold = 1.0;
+        rule.clearThreshold = 0.8;
+        watchdog.addRule(rule);
+    }
+    Seconds t = 0.0;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        t += 1.0;
+        const std::uint64_t before = allocsSoFar();
+        watchdog.evaluate(t);
+        allocs += allocsSoFar() - before;
+        benchmark::DoNotOptimize(watchdog.firingCount());
+    }
+    state.SetItemsProcessed(state.iterations() * 5);
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(allocs),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_WatchdogEvaluate);
+
+/** The sketch insert every per-unit sample pays. */
+void
+BM_QuantileSketchAdd(benchmark::State &state)
+{
+    util::QuantileSketch sketch = util::QuantileSketch::linear(0.0, 150.0,
+                                                               128);
+    double x = 0.0;
+    for (auto _ : state) {
+        x += 0.1;
+        if (x > 150.0)
+            x = 0.0;
+        sketch.add(x);
+        benchmark::DoNotOptimize(sketch.count());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileSketchAdd);
+
+/** Quantile over 16 sketch parts without materializing a merge. */
+void
+BM_SketchMergedQuantile(benchmark::State &state)
+{
+    std::vector<util::QuantileSketch> parts;
+    for (int s = 0; s < 16; ++s) {
+        parts.push_back(util::QuantileSketch::linear(0.0, 150.0, 128));
+        for (int i = 0; i < 1000; ++i)
+            parts.back().add(static_cast<double>((i * (s + 3)) % 1500) /
+                             10.0);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            util::QuantileSketch::mergedQuantile(parts, 99.0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchMergedQuantile);
 
 } // namespace
 

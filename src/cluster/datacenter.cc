@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "fleet/kernels.hh"
+#include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
+#include "obs/watchdog.hh"
 #include "obs/profiler.hh"
 #include "obs/timeseries.hh"
 #include "power/server_power.hh"
@@ -96,6 +98,33 @@ DatacenterPowerSim::run(OverclockPolicy policy, util::Rng &rng,
                         double days) const
 {
     return run(policy, rng, days, nullptr, nullptr);
+}
+
+void
+DatacenterPowerSim::attachObservability(obs::FleetAggregator *aggregator,
+                                        obs::Watchdog *watchdog_in)
+{
+    fleetAggregator = aggregator;
+    watchdog = watchdog_in;
+}
+
+/**
+ * The per-minute observer hook shared by both fidelity loops: reduce
+ * the fleet columns and poll the watchdog rules. Pure reads — no
+ * model state, RNG stream, telemetry row, or metric is touched, so an
+ * attached observer can never change a run's outcome.
+ */
+void
+DatacenterPowerSim::observeMinute(std::size_t minute,
+                                  const fleet::FleetState &state) const
+{
+    if (!fleetAggregator && !watchdog)
+        return;
+    const Seconds now = static_cast<double>(minute) * 60.0;
+    if (fleetAggregator)
+        fleetAggregator->observe(now, fleet::fleetView(state), 60.0);
+    if (watchdog)
+        watchdog->evaluate(now);
 }
 
 DatacenterOutcome
@@ -305,6 +334,7 @@ DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
                 static_cast<std::uint64_t>(capped_racks));
             feed_util_metric->observe(feed_util);
         }
+        observeMinute(minute, state);
     }
 
     const double total_minutes = static_cast<double>(minutes);
@@ -587,6 +617,7 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
             mean_wear_gauge->set(mean_wear);
             mean_credit_gauge->set(state.meanWearCredit(skus));
         }
+        observeMinute(minute, state);
     }
 
     const double total_minutes = static_cast<double>(minutes);

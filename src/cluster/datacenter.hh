@@ -31,8 +31,10 @@
 namespace imsim {
 
 namespace obs {
+class FleetAggregator;
 class MetricRegistry;
 class TimeSeries;
+class Watchdog;
 } // namespace obs
 
 namespace cluster {
@@ -176,6 +178,22 @@ class DatacenterPowerSim
     /** @return the active physics fidelity. */
     FleetFidelity fidelity() const { return fidelityMode; }
 
+    /**
+     * Attach streaming observers to the minute loop: after each
+     * minute's physics, @p aggregator (when non-null) reduces the
+     * fleet columns (obs::FleetAggregator::observe with the minute's
+     * wall time and dt=60 s) and @p watchdog (when non-null) polls its
+     * rules. Works in both fidelity modes — in RackAggregate mode the
+     * aggregated "units" are racks and only the power/utilization
+     * channels carry signal (Tj and wear columns are not modelled).
+     *
+     * Observers are pure reads: attaching them never changes a run's
+     * outcome, telemetry, or RNG stream. Pass nullptrs to detach.
+     * Both pointers must outlive subsequent run() calls.
+     */
+    void attachObservability(obs::FleetAggregator *aggregator,
+                             obs::Watchdog *watchdog);
+
     /** @return total nominal peak power across racks [W]. */
     Watts fleetNominalPeak() const;
 
@@ -187,6 +205,8 @@ class DatacenterPowerSim
     DatacenterOutcome runPerServer(OverclockPolicy policy, util::Rng &rng,
                                    double days, obs::TimeSeries *telemetry,
                                    obs::MetricRegistry *metrics) const;
+    void observeMinute(std::size_t minute,
+                       const fleet::FleetState &state) const;
 
     std::vector<RackConfig> racks;
     Watts feedCapacity;
@@ -194,6 +214,8 @@ class DatacenterPowerSim
     double ocSpeedup;
     FleetFidelity fidelityMode = FleetFidelity::RackAggregate;
     PerServerPhysics physics;
+    obs::FleetAggregator *fleetAggregator = nullptr;
+    obs::Watchdog *watchdog = nullptr;
 };
 
 } // namespace cluster

@@ -170,7 +170,7 @@ RunReport::toTable() const
 std::string
 RunReport::toJson() const
 {
-    std::string out = "{\n  \"name\": ";
+    std::string out = "{\n  \"schema\": \"imsim.report/1\",\n  \"name\": ";
     appendEscaped(out, reportName);
     if (hasMeta()) {
         out += ",\n  \"meta\": {";
@@ -232,6 +232,15 @@ RunReport::fromJson(const std::string &json)
     const util::Json doc = util::Json::parse(json);
     util::fatalIf(!doc.isObject(),
                   "RunReport::fromJson: document is not an object");
+    // Reports written before the schema stamp have no "schema" member;
+    // accept those, but refuse anything stamped with a different (i.e.
+    // newer) schema rather than misparse it.
+    if (const util::Json *schema = doc.find("schema")) {
+        util::fatalIf(schema->str() != "imsim.report/1",
+                      "RunReport::fromJson: unsupported schema '" +
+                          schema->str() +
+                          "' (this build reads imsim.report/1)");
+    }
     RunReport report(doc.at("name").str());
     if (const util::Json *meta = doc.find("meta")) {
         std::vector<std::pair<std::string, std::string>> fields;

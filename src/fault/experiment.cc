@@ -7,6 +7,7 @@
 #include "fault/invariants.hh"
 #include "hw/cpu.hh"
 #include "obs/sampler.hh"
+#include "obs/watchdog.hh"
 #include "power/capping.hh"
 #include "thermal/cooling.hh"
 #include "thermal/tank.hh"
@@ -93,6 +94,48 @@ runCrisisExperiment(autoscale::Policy policy, const CrisisParams &params)
     injector.attachTank(tank, [](GHz f) { return perVmPower(f, 1.0); });
     injector.attachPowerBudget(feed);
 
+    // The SLO watchdog: the operator's pager for this run. It watches
+    // the *trailing-window* tail latency (not the whole-phase P99 the
+    // outcome reports), the tank fluid level, and feed brownouts; its
+    // first page after the crash instant is the run's detection
+    // latency. Pure observers — the trajectory is byte-identical with
+    // or without them.
+    cluster.enableTailTracking(params.tailWindow);
+    obs::IncidentLog incident_log;
+    obs::Watchdog watchdog;
+    {
+        obs::WatchdogRule sla;
+        sla.name = "sla_p99";
+        sla.kind = obs::AlertKind::TailLatency;
+        sla.signal = [&cluster] { return cluster.recentTailQuantile(99.0); };
+        sla.fireThreshold = params.slaP99;
+        sla.clearThreshold = 0.8 * params.slaP99;
+        watchdog.addRule(sla);
+
+        obs::WatchdogRule fluid;
+        fluid.name = "fluid_level";
+        fluid.kind = obs::AlertKind::FluidLevel;
+        fluid.signal = [&tank] { return tank.fluidLevel(); };
+        fluid.fireThreshold = 0.95;
+        fluid.clearThreshold = 0.99;
+        fluid.fireAbove = false;
+        watchdog.addRule(fluid);
+
+        obs::WatchdogRule brownout;
+        brownout.name = "feed_brownout";
+        brownout.kind = obs::AlertKind::Brownout;
+        brownout.signal = [&feed] {
+            return static_cast<double>(feed.brownouts());
+        };
+        brownout.fireThreshold = 1.0;
+        brownout.clearThreshold = 0.0; // Cumulative count: never clears.
+        watchdog.addRule(brownout);
+    }
+    watchdog.attachIncidentLog(&incident_log);
+    injector.attachIncidentLog(&incident_log);
+    sim.every(params.watchdogPeriod,
+              [&watchdog, &sim] { watchdog.evaluate(sim.now()); });
+
     InvariantChecker checker(sim);
     checker.watchCluster(cluster);
     checker.watchTank(tank);
@@ -106,6 +149,7 @@ runCrisisExperiment(autoscale::Policy policy, const CrisisParams &params)
         if (!capture->tracer.enabled())
             capture->tracer.enable([&sim] { return sim.now(); });
         scaler.attachTelemetry(&capture->registry, &capture->tracer);
+        watchdog.attachMetrics(capture->registry);
         injector.attachMetrics(capture->registry);
         injector.attachTracer(&capture->tracer);
         checker.attachMetrics(capture->registry);
@@ -213,10 +257,12 @@ runCrisisExperiment(autoscale::Policy policy, const CrisisParams &params)
 
     sim.runUntil(params.horizon);
     cluster.setArrivalRate(0.0);
+    incident_log.closeAll(params.horizon);
 
     if (capture) {
         sampler->stop();
         capture->telemetry = sampler->takeSeries();
+        incident_log.exportTrace(capture->tracer, params.horizon);
         capture->tracer.disable();
         // Freeze provider gauges: they capture objects dying with this
         // frame (see autoscale::runSchedule).
@@ -241,6 +287,11 @@ runCrisisExperiment(autoscale::Policy policy, const CrisisParams &params)
     out.invariantViolations =
         static_cast<std::uint64_t>(checker.violations().size());
     out.brownouts = feed.brownouts();
+    const Seconds first_page = watchdog.firstRaiseAfter(params.crisisStart);
+    out.detectSeconds =
+        first_page >= 0.0 ? first_page - params.crisisStart : -1.0;
+    out.alertsRaised = watchdog.raisedCount();
+    out.incidents = incident_log;
     out.faults = injector.timeline();
     return out;
 }

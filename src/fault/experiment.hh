@@ -17,6 +17,7 @@
 
 #include "autoscale/experiment.hh"
 #include "fault/injector.hh"
+#include "obs/incident.hh"
 #include "util/units.hh"
 
 namespace imsim {
@@ -43,6 +44,15 @@ struct CrisisParams
     Seconds horizon = 1200.0;      ///< Total simulated time.
     GHz maxFrequency = 4.1;        ///< Overclocking headroom (> 3.4).
     Seconds slaP99 = 0.100;        ///< Crisis-window P99 SLA [s].
+    /**
+     * SLO watchdog poll period. The watchdog watches a trailing
+     * tailWindow-seconds P99 (QueueingCluster::recentTailQuantile)
+     * against slaP99 plus the tank fluid level and feed brownouts;
+     * its first page after crisisStart is the run's crisis detection
+     * latency (CrisisOutcome::detectSeconds).
+     */
+    Seconds watchdogPeriod = 1.0;
+    Seconds tailWindow = 15.0;     ///< Trailing window the watchdog sees.
     double kappa = 0.9;
     Seconds serviceMean = 2.6e-3;  ///< At 3.4 GHz.
     double serviceCv = 1.5;
@@ -68,6 +78,16 @@ struct CrisisOutcome
     std::uint64_t invariantChecks = 0;
     std::uint64_t invariantViolations = 0;
     std::uint64_t brownouts = 0; ///< Recoverable feed brownouts survived.
+    /**
+     * Seconds from the crash instant to the watchdog's first page
+     * (any rule); -1 when it never fired. A policy with enough
+     * overclocking headroom legitimately never pages — the survivors
+     * absorb the lost capacity before the trailing-window P99
+     * breaches the SLA.
+     */
+    Seconds detectSeconds = -1.0;
+    std::size_t alertsRaised = 0;  ///< Watchdog raise events, whole run.
+    obs::IncidentLog incidents;    ///< Alert/fault-correlated timeline.
     std::vector<InjectedFault> faults; ///< The injected fault timeline.
 };
 

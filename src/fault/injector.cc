@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autoscale/autoscaler.hh"
+#include "obs/incident.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "power/capping.hh"
@@ -65,6 +66,12 @@ void
 FaultInjector::attachTracer(obs::EventTracer *tracer_in)
 {
     tracer = tracer_in;
+}
+
+void
+FaultInjector::attachIncidentLog(obs::IncidentLog *log)
+{
+    incidents = log;
 }
 
 void
@@ -244,6 +251,12 @@ void
 FaultInjector::record(FaultKind kind, std::size_t target, double magnitude)
 {
     injected.push_back(InjectedFault{sim.now(), kind, target, magnitude});
+    if (incidents) {
+        std::string label = faultKindName(kind);
+        if (target != kAnyServer)
+            label += "#" + std::to_string(target);
+        incidents->noteFault(sim.now(), label);
+    }
     if (tracer) {
         const double target_arg =
             target == kAnyServer ? -1.0 : static_cast<double>(target);

@@ -33,6 +33,7 @@ class AutoScaler;
 namespace obs {
 class Counter;
 class EventTracer;
+class IncidentLog;
 class MetricRegistry;
 } // namespace obs
 
@@ -117,6 +118,14 @@ class FaultInjector
     void attachTracer(obs::EventTracer *tracer);
 
     /**
+     * Note every injected fault on @p log's timeline (as
+     * `<kind>#<target>` labels), so watchdog incidents correlate with
+     * the faults that caused them. May be null to detach; must
+     * outlive the injector otherwise.
+     */
+    void attachIncidentLog(obs::IncidentLog *log);
+
+    /**
      * Arm @p plan: scripted faults are scheduled at their times and the
      * stochastic crash process (if enabled) starts ticking. May only be
      * called once.
@@ -152,6 +161,7 @@ class FaultInjector
     std::function<Watts(GHz)> perServerPowerAt;
     power::PowerBudget *budget = nullptr;
     Watts nominalFeedCapacity = 0.0;
+    obs::IncidentLog *incidents = nullptr;
 
     bool started = false;
     bool stopped = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "power/socket_power.hh"
 #include "reliability/mechanisms.hh"
@@ -243,6 +244,19 @@ syncTankHeatLoads(const FleetState &state, std::size_t first_server,
     for (std::size_t j = 0; j < n; ++j)
         tank.setHeatLoad(j, state.totalPower[first_server + j]);
     return n;
+}
+
+obs::FleetView
+fleetView(const FleetState &state)
+{
+    obs::FleetView view;
+    view.count = state.size();
+    view.sku = state.skuIndex.data();
+    view.utilization = state.utilization.data();
+    view.totalPower = state.totalPower.data();
+    view.tj = state.tj.data();
+    view.wearConsumed = state.wearConsumed.data();
+    return view;
 }
 
 } // namespace fleet

@@ -36,6 +36,7 @@ namespace imsim {
 
 namespace obs {
 class MetricRegistry;
+struct FleetView;
 } // namespace obs
 
 namespace power {
@@ -256,6 +257,15 @@ class FleetState
 std::size_t syncTankHeatLoads(const FleetState &state,
                               std::size_t first_server,
                               thermal::ImmersionTank &tank);
+
+/**
+ * Column-pointer view over @p state for obs::FleetAggregator::observe
+ * — the bridge between the columnar fleet layer and the observability
+ * library, which deliberately does not include fleet headers. The
+ * view borrows the columns: it is invalidated by anything that
+ * resizes the fleet.
+ */
+obs::FleetView fleetView(const FleetState &state);
 
 } // namespace fleet
 } // namespace imsim

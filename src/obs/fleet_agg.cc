@@ -1,0 +1,295 @@
+#include "obs/fleet_agg.hh"
+
+#include <limits>
+
+#include "obs/metrics.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+} // namespace
+
+const char *
+fleetChannelName(FleetChannel channel)
+{
+    switch (channel) {
+      case kChanTj:
+        return "tj";
+      case kChanPower:
+        return "power";
+      case kChanUtilization:
+        return "util";
+      case kChanWearRate:
+        return "wear_rate";
+      default:
+        return "unknown";
+    }
+}
+
+FleetAggregator::FleetAggregator() : FleetAggregator(Config{}) {}
+
+FleetAggregator::FleetAggregator(Config config) : cfg(config)
+{
+    util::fatalIf(cfg.skuCount == 0, "FleetAggregator: skuCount must be > 0");
+    util::fatalIf(cfg.sketchBins == 0,
+            "FleetAggregator: sketchBins must be > 0");
+
+    const std::size_t cells = cfg.skuCount * kFleetChannels;
+    accums.resize(cells);
+    sketches.reserve(cells);
+    overallSketches.reserve(kFleetChannels);
+    cumulativeSketches.reserve(kFleetChannels);
+    for (std::size_t sku = 0; sku < cfg.skuCount; ++sku) {
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+            double lo = 0.0;
+            double hi = 1.0;
+            switch (static_cast<FleetChannel>(ch)) {
+              case kChanTj:
+                lo = cfg.tjLo;
+                hi = cfg.tjHi;
+                break;
+              case kChanPower:
+                lo = cfg.powerLo;
+                hi = cfg.powerHi;
+                break;
+              case kChanUtilization:
+                lo = cfg.utilLo;
+                hi = cfg.utilHi;
+                break;
+              case kChanWearRate:
+                lo = cfg.wearRateLo;
+                hi = cfg.wearRateHi;
+                break;
+              default:
+                break;
+            }
+            util::QuantileSketch sketch =
+                util::QuantileSketch::linear(lo, hi, cfg.sketchBins);
+            if (sku == 0) {
+                overallSketches.push_back(sketch);
+                cumulativeSketches.push_back(sketch);
+            }
+            sketches.push_back(std::move(sketch));
+        }
+    }
+
+    current.perSku.resize(cells);
+    published.perSku.resize(cells);
+
+    if (cfg.record) {
+        std::vector<std::string> columns;
+        columns.push_back("fleet.units");
+        columns.push_back("fleet.power_w");
+        static const char *const kStatNames[] = {"min", "mean", "max",
+                                                 "p50", "p95", "p99"};
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+            const std::string base =
+                std::string("fleet.") +
+                fleetChannelName(static_cast<FleetChannel>(ch));
+            for (const char *stat : kStatNames)
+                columns.push_back(base + "." + stat);
+        }
+        recorded.setColumns(columns);
+        rowScratch.reserve(columns.size());
+    }
+}
+
+void
+FleetAggregator::observe(Seconds t, const FleetView &view, Seconds dt)
+{
+    const std::size_t n = view.count;
+
+    // Wear rate: finite-difference of the wear column against the
+    // previous tick, in consumed-life-per-year. The first tick (or a
+    // fleet resize) has no baseline and reports 0 for every unit.
+    const double dt_years =
+        dt > 0.0 ? dt / (units::kSecondsPerHour * units::kHoursPerYear)
+                 : 0.0;
+    const bool have_wear = view.wearConsumed != nullptr && n > 0;
+    if (have_wear) {
+        if (prevWear.size() != n) {
+            prevWear.assign(view.wearConsumed, view.wearConsumed + n);
+            wearRateScratch.assign(n, 0.0);
+        } else {
+            const double inv_years =
+                dt_years > 0.0 ? 1.0 / dt_years : 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                wearRateScratch[i] =
+                    (view.wearConsumed[i] - prevWear[i]) * inv_years;
+                prevWear[i] = view.wearConsumed[i];
+            }
+        }
+    }
+
+    // Reset per-tick scratch (geometry retained: allocation-free).
+    for (Accum &acc : accums)
+        acc = Accum{kInf, -kInf, 0.0, 0};
+    for (util::QuantileSketch &sketch : sketches)
+        sketch.reset();
+
+    // The single per-unit reduction pass.
+    const std::size_t sku_count = cfg.skuCount;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t sku = view.sku ? view.sku[i] : 0;
+        util::fatalIf(sku >= sku_count,
+                "FleetAggregator::observe: sku out of range");
+        const std::size_t base = sku * kFleetChannels;
+        const double values[kFleetChannels] = {
+            view.tj ? view.tj[i] : 0.0,
+            view.totalPower ? view.totalPower[i] : 0.0,
+            view.utilization ? view.utilization[i] : 0.0,
+            have_wear ? wearRateScratch[i] : 0.0,
+        };
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+            const double v = values[ch];
+            Accum &acc = accums[base + ch];
+            acc.min = v < acc.min ? v : acc.min;
+            acc.max = v > acc.max ? v : acc.max;
+            acc.sum += v;
+            ++acc.n;
+            sketches[base + ch].add(v);
+        }
+    }
+
+    reduceInto(current, t);
+    ++tickCount;
+
+    if (cfg.cumulative) {
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch)
+            cumulativeSketches[ch].merge(overallSketches[ch]);
+    }
+
+    if (cfg.record) {
+        rowScratch.clear();
+        rowScratch.push_back(static_cast<double>(current.units));
+        rowScratch.push_back(current.fleetPower);
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+            const ChannelStats &stats = current.overall[ch];
+            rowScratch.push_back(stats.min);
+            rowScratch.push_back(stats.mean);
+            rowScratch.push_back(stats.max);
+            rowScratch.push_back(stats.p50);
+            rowScratch.push_back(stats.p95);
+            rowScratch.push_back(stats.p99);
+        }
+        recorded.append(t, rowScratch);
+    }
+
+    // Publish for cross-thread snapshot() readers. The published
+    // sample's perSku vector keeps its size, so the assignment reuses
+    // its storage.
+    {
+        std::lock_guard<std::mutex> lock(publishMutex);
+        published.t = current.t;
+        published.units = current.units;
+        published.fleetPower = current.fleetPower;
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch)
+            published.overall[ch] = current.overall[ch];
+        published.perSku = current.perSku;
+    }
+}
+
+void
+FleetAggregator::finishChannel(ChannelStats &stats, const Accum &acc,
+                               const util::QuantileSketch &sketch)
+{
+    stats.count = acc.n;
+    if (acc.n == 0) {
+        stats.min = stats.mean = stats.max = 0.0;
+        stats.p50 = stats.p95 = stats.p99 = 0.0;
+        return;
+    }
+    stats.min = acc.min;
+    stats.max = acc.max;
+    stats.mean = acc.sum / static_cast<double>(acc.n);
+    stats.p50 = sketch.quantile(50.0);
+    stats.p95 = sketch.quantile(95.0);
+    stats.p99 = sketch.quantile(99.0);
+}
+
+void
+FleetAggregator::reduceInto(FleetSample &sample, Seconds t)
+{
+    sample.t = t;
+
+    for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+        // Overall = merge of the per-SKU accumulators and sketches
+        // (the mergeable-sketch property: no second pass over units).
+        Accum overall{kInf, -kInf, 0.0, 0};
+        util::QuantileSketch &sketch = overallSketches[ch];
+        sketch.reset();
+        for (std::size_t sku = 0; sku < cfg.skuCount; ++sku) {
+            const std::size_t cell = sku * kFleetChannels + ch;
+            const Accum &acc = accums[cell];
+            if (acc.n > 0) {
+                overall.min = std::min(overall.min, acc.min);
+                overall.max = std::max(overall.max, acc.max);
+                overall.sum += acc.sum;
+                overall.n += acc.n;
+            }
+            sketch.merge(sketches[cell]);
+            finishChannel(sample.perSku[cell], acc, sketches[cell]);
+        }
+        finishChannel(sample.overall[ch], overall, sketch);
+        if (ch == kChanPower) {
+            sample.units = overall.n;
+            sample.fleetPower = overall.sum;
+        }
+    }
+}
+
+FleetSample
+FleetAggregator::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(publishMutex);
+    return published;
+}
+
+TimeSeries
+FleetAggregator::takeSeries()
+{
+    TimeSeries out = std::move(recorded);
+    recorded = TimeSeries(out.columns());
+    return out;
+}
+
+const util::QuantileSketch &
+FleetAggregator::cumulative(FleetChannel channel) const
+{
+    util::fatalIf(channel >= kFleetChannels,
+            "FleetAggregator::cumulative: bad channel");
+    return cumulativeSketches[channel];
+}
+
+void
+FleetAggregator::attachMetrics(MetricRegistry &registry,
+                               const std::string &prefix)
+{
+    // Polled on the sim thread (TelemetrySampler), so latest() reads
+    // are safe without the publish lock.
+    registry.registerGauge(prefix + ".units", [this] {
+        return static_cast<double>(latest().units);
+    });
+    registry.registerGauge(prefix + ".power_w",
+                           [this] { return latest().fleetPower; });
+    registry.registerGauge(prefix + ".max_tj_c", [this] {
+        return latest().overall[kChanTj].max;
+    });
+    registry.registerGauge(prefix + ".p99_tj_c", [this] {
+        return latest().overall[kChanTj].p99;
+    });
+    registry.registerGauge(prefix + ".mean_util", [this] {
+        return latest().overall[kChanUtilization].mean;
+    });
+    registry.registerGauge(prefix + ".p99_wear_rate", [this] {
+        return latest().overall[kChanWearRate].p99;
+    });
+}
+
+} // namespace obs
+} // namespace imsim

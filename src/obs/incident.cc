@@ -1,0 +1,206 @@
+#include "obs/incident.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.hh"
+#include "util/logging.hh"
+
+namespace imsim {
+namespace obs {
+
+namespace {
+
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+/** Escape for a JSON string literal (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendFaultJson(std::ostream &os, const IncidentFault &fault)
+{
+    os << "{\"t_s\": " << jsonNumber(fault.t) << ", \"label\": \""
+       << jsonEscape(fault.label) << "\"}";
+}
+
+} // namespace
+
+std::size_t
+IncidentLog::open(Seconds t, AlertKind kind, const std::string &rule,
+                  double value, double threshold)
+{
+    Incident incident;
+    incident.id = records.size();
+    incident.kind = kind;
+    incident.rule = rule;
+    incident.openedAt = t;
+    incident.openValue = value;
+    incident.peakValue = value;
+    incident.threshold = threshold;
+    // Adopt faults from the trailing lead window: the cause usually
+    // precedes the alert that detects it.
+    for (const IncidentFault &fault : faultLog) {
+        if (fault.t >= t - lead && fault.t <= t)
+            incident.faults.push_back(fault);
+    }
+    records.push_back(std::move(incident));
+    return records.size() - 1;
+}
+
+void
+IncidentLog::observeValue(std::size_t id, double value)
+{
+    util::fatalIf(id >= records.size(),
+            "IncidentLog::observeValue: bad incident id");
+    Incident &incident = records[id];
+    const bool worse = incident.kind == AlertKind::FluidLevel
+                           ? value < incident.peakValue
+                           : value > incident.peakValue;
+    if (worse)
+        incident.peakValue = value;
+}
+
+void
+IncidentLog::close(std::size_t id, Seconds t)
+{
+    util::fatalIf(id >= records.size(), "IncidentLog::close: bad incident id");
+    util::fatalIf(!records[id].open(), "IncidentLog::close: already closed");
+    records[id].closedAt = t;
+}
+
+void
+IncidentLog::closeAll(Seconds t)
+{
+    for (Incident &incident : records) {
+        if (incident.open())
+            incident.closedAt = t;
+    }
+}
+
+void
+IncidentLog::noteFault(Seconds t, const std::string &label)
+{
+    faultLog.push_back(IncidentFault{t, label});
+    for (Incident &incident : records) {
+        if (incident.open())
+            incident.faults.push_back(faultLog.back());
+    }
+}
+
+std::size_t
+IncidentLog::openCount() const
+{
+    std::size_t n = 0;
+    for (const Incident &incident : records)
+        n += incident.open() ? 1 : 0;
+    return n;
+}
+
+void
+IncidentLog::exportTrace(EventTracer &tracer, Seconds horizon) const
+{
+    for (const Incident &incident : records) {
+        const Seconds end =
+            incident.open() ? horizon : incident.closedAt;
+        tracer.complete(incident.rule, "incident", incident.openedAt,
+                        end);
+    }
+}
+
+std::string
+IncidentLog::pointJson(const std::string &label) const
+{
+    std::ostringstream os;
+    os << "{\"label\": \"" << jsonEscape(label) << "\",\n"
+       << "     \"incidents\": [";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Incident &incident = records[i];
+        os << (i ? ",\n       " : "\n       ");
+        os << "{\"id\": " << incident.id << ", \"kind\": \""
+           << alertKindName(incident.kind) << "\", \"rule\": \""
+           << jsonEscape(incident.rule) << "\", \"opened_s\": "
+           << jsonNumber(incident.openedAt) << ", \"closed_s\": "
+           << jsonNumber(incident.closedAt) << ", \"open_value\": "
+           << jsonNumber(incident.openValue) << ", \"peak_value\": "
+           << jsonNumber(incident.peakValue) << ", \"threshold\": "
+           << jsonNumber(incident.threshold) << ", \"faults\": [";
+        for (std::size_t j = 0; j < incident.faults.size(); ++j) {
+            if (j)
+                os << ", ";
+            appendFaultJson(os, incident.faults[j]);
+        }
+        os << "]}";
+    }
+    os << (records.empty() ? "]" : "\n     ]") << ",\n     \"faults\": [";
+    for (std::size_t i = 0; i < faultLog.size(); ++i) {
+        if (i)
+            os << ", ";
+        appendFaultJson(os, faultLog[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+IncidentLog::mergedJson(
+    const std::vector<std::pair<std::string, const IncidentLog *>>
+        &points,
+    const std::string &meta_json)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"" << kIncidentSchema << "\",\n"
+       << "  \"meta\": " << (meta_json.empty() ? "{}" : meta_json)
+       << ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        os << points[i].second->pointJson(points[i].first);
+    }
+    os << (points.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+std::string
+IncidentLog::toJson(const std::string &label,
+                    const std::string &meta_json) const
+{
+    return mergedJson({{label, this}}, meta_json);
+}
+
+} // namespace obs
+} // namespace imsim

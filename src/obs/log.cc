@@ -12,6 +12,15 @@ namespace {
 std::mutex sinkMutex;
 std::vector<Logger::Sink> sinks;
 
+// Duplicate-suppression state (all guarded by sinkMutex).
+std::size_t dedupLimit = 0;   ///< 0 = suppression off.
+util::LogLevel lastLevel = util::LogLevel::Info;
+std::string lastLogger;
+std::string lastMsg;
+bool haveLast = false;
+std::size_t repeatCount = 0;     ///< Consecutive emissions of lastMsg.
+std::size_t suppressedCount = 0; ///< Swallowed repeats not yet reported.
+
 /** Mirrors util::inform()/warn(): warnings to stderr, rest to stdout. */
 void
 consoleSink(util::LogLevel level, const std::string &logger,
@@ -28,6 +37,31 @@ consoleSink(util::LogLevel level, const std::string &logger,
     }
 }
 
+/** Deliver one record to the sinks (caller holds sinkMutex). */
+void
+emitLocked(util::LogLevel level, const std::string &logger,
+           const std::string &msg)
+{
+    if (sinks.empty()) {
+        consoleSink(level, logger, msg);
+        return;
+    }
+    for (const auto &sink : sinks)
+        sink(level, logger, msg);
+}
+
+/** Report pending suppressed repeats (caller holds sinkMutex). */
+void
+flushDedupLocked()
+{
+    if (suppressedCount == 0)
+        return;
+    emitLocked(lastLevel, lastLogger,
+               "suppressed " + std::to_string(suppressedCount) +
+                   " duplicates of: " + lastMsg);
+    suppressedCount = 0;
+}
+
 } // namespace
 
 void
@@ -36,12 +70,24 @@ Logger::log(util::LogLevel level, const std::string &msg) const
     if (!util::logEnabled(level))
         return;
     std::lock_guard<std::mutex> lock(sinkMutex);
-    if (sinks.empty()) {
-        consoleSink(level, loggerName, msg);
-        return;
+    if (dedupLimit > 0) {
+        const bool same = haveLast && level == lastLevel &&
+                          loggerName == lastLogger && msg == lastMsg;
+        if (same) {
+            if (++repeatCount > dedupLimit) {
+                ++suppressedCount;
+                return;
+            }
+        } else {
+            flushDedupLocked();
+            lastLevel = level;
+            lastLogger = loggerName;
+            lastMsg = msg;
+            haveLast = true;
+            repeatCount = 1;
+        }
     }
-    for (const auto &sink : sinks)
-        sink(level, loggerName, msg);
+    emitLocked(level, loggerName, msg);
 }
 
 void
@@ -55,7 +101,30 @@ void
 Logger::clearSinks()
 {
     std::lock_guard<std::mutex> lock(sinkMutex);
+    // Flush while the registered sinks can still observe the summary.
+    flushDedupLocked();
     sinks.clear();
+}
+
+void
+Logger::setDedupLimit(std::size_t limit)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    flushDedupLocked();
+    dedupLimit = limit;
+    haveLast = false;
+    repeatCount = 0;
+}
+
+void
+Logger::flushDedup()
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    flushDedupLocked();
+    // Restart the run so the next repeat of the same message counts
+    // from a fresh window.
+    haveLast = false;
+    repeatCount = 0;
 }
 
 } // namespace obs

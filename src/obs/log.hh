@@ -18,6 +18,7 @@
 #ifndef IMSIM_OBS_LOG_HH
 #define IMSIM_OBS_LOG_HH
 
+#include <cstddef>
 #include <functional>
 #include <string>
 
@@ -89,6 +90,20 @@ class Logger
 
     /** Drop all registered sinks (console output resumes). */
     static void clearSinks();
+
+    /**
+     * Duplicate suppression for alert storms: once the same
+     * (level, logger, message) record has been emitted @p limit times
+     * in a row, further repeats are swallowed and counted instead of
+     * reaching the sinks. The count is surfaced as one
+     * "suppressed N duplicates of: <msg>" record when a different
+     * message arrives, flushDedup() is called, or suppression is
+     * reconfigured. @p limit = 0 (the default) disables suppression.
+     */
+    static void setDedupLimit(std::size_t limit);
+
+    /** Emit any pending suppressed-duplicates record now. */
+    static void flushDedup();
 
   private:
     std::string loggerName;

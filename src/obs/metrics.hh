@@ -14,9 +14,11 @@
 #ifndef IMSIM_OBS_METRICS_HH
 #define IMSIM_OBS_METRICS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,11 +89,27 @@ class Gauge
 class HistogramMetric
 {
   public:
-    /** Record one sample. */
-    void observe(double x) { reservoir.add(x); }
+    /**
+     * Record one sample. Non-finite values (NaN, +/-Inf) are diverted
+     * into dropped() instead of the reservoir — the util::Histogram
+     * guard applied here too, so a single bad sample cannot poison
+     * every percentile of a metric.
+     */
+    void
+    observe(double x)
+    {
+        if (!std::isfinite(x)) {
+            ++droppedSamples;
+            return;
+        }
+        reservoir.add(x);
+    }
 
     /** @return number of samples observed. */
     std::size_t count() const { return reservoir.count(); }
+
+    /** @return non-finite samples rejected by observe(). */
+    std::size_t dropped() const { return droppedSamples; }
 
     /** @return arithmetic mean; 0 when empty. */
     double mean() const { return reservoir.mean(); }
@@ -99,10 +117,11 @@ class HistogramMetric
     /** @return the p-th percentile (see PercentileEstimator). */
     double percentile(double p) const { return reservoir.percentile(p); }
 
-    /** Absorb another histogram's samples. */
+    /** Absorb another histogram's samples (and dropped count). */
     void merge(const HistogramMetric &other)
     {
         reservoir.merge(other.reservoir);
+        droppedSamples += other.droppedSamples;
     }
 
     /** @return the underlying reservoir. */
@@ -110,6 +129,7 @@ class HistogramMetric
 
   private:
     util::PercentileEstimator reservoir;
+    std::size_t droppedSamples = 0;
 };
 
 /**
@@ -186,6 +206,65 @@ class MetricRegistry
     std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gaugeList;
     std::vector<std::pair<std::string, std::unique_ptr<HistogramMetric>>>
         histogramList;
+};
+
+/**
+ * Thread-safe read side for an (unsynchronised) MetricRegistry.
+ *
+ * The registry contract forbids touching one from two threads; the
+ * mirror turns that into a safe-point protocol: the owning (sim)
+ * thread calls update() at points where no metric is mid-mutation,
+ * and any other thread reads the last published snapshot through
+ * values()/value(). A watchdog UI thread, a progress reporter, or the
+ * concurrency tests can then poll live metrics without racing the
+ * simulation.
+ */
+class RegistryMirror
+{
+  public:
+    /** Publish a fresh registry snapshot (owning thread only). */
+    void
+    update(const MetricRegistry &registry)
+    {
+        std::vector<std::pair<std::string, double>> fresh =
+            registry.snapshot();
+        std::lock_guard<std::mutex> lock(mutex);
+        latest.swap(fresh);
+        ++updateCount;
+    }
+
+    /** @return a copy of the last published snapshot (any thread). */
+    std::vector<std::pair<std::string, double>>
+    values() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return latest;
+    }
+
+    /** @return the last published value of @p name, or @p fallback. */
+    double
+    value(const std::string &name, double fallback = 0.0) const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        for (const auto &entry : latest) {
+            if (entry.first == name)
+                return entry.second;
+        }
+        return fallback;
+    }
+
+    /** @return number of update() publications so far (any thread). */
+    std::size_t
+    updates() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return updateCount;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    std::vector<std::pair<std::string, double>> latest;
+    std::size_t updateCount = 0;
 };
 
 } // namespace obs

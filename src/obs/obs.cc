@@ -69,7 +69,13 @@ maybeWriteTelemetry(const util::Cli &cli, const TelemetryMerger &telemetry,
     const std::string path = cli.telemetryFile();
     if (path.empty())
         return;
-    telemetry.writeCsvFile(path);
+    std::ofstream out(path);
+    util::fatalIf(!out, "maybeWriteTelemetry: cannot open '" + path +
+                            "' for writing");
+    out << "# schema: " << kTelemetrySchema << "\n";
+    telemetry.writeCsv(out);
+    util::fatalIf(!out,
+                  "maybeWriteTelemetry: failed writing '" + path + "'");
     os << "[telemetry] wrote " << telemetry.filledCount()
        << " point series to " << path << "\n";
 }
@@ -84,12 +90,41 @@ maybeWriteTelemetry(const util::Cli &cli, const TelemetryMerger &telemetry,
     std::ofstream out(path);
     util::fatalIf(!out, "maybeWriteTelemetry: cannot open '" + path +
                             "' for writing");
+    out << "# schema: " << kTelemetrySchema << "\n";
     manifest.writeCsvComments(out);
     telemetry.writeCsv(out);
     util::fatalIf(!out,
                   "maybeWriteTelemetry: failed writing '" + path + "'");
     os << "[telemetry] wrote " << telemetry.filledCount()
        << " point series to " << path << "\n";
+}
+
+bool
+incidentsRequested(const util::Cli &cli)
+{
+    return !cli.watchdogFile().empty();
+}
+
+void
+maybeWriteIncidents(
+    const util::Cli &cli,
+    const std::vector<std::pair<std::string, const IncidentLog *>> &points,
+    const RunManifest &manifest, std::ostream &os)
+{
+    const std::string path = cli.watchdogFile();
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    util::fatalIf(!out, "maybeWriteIncidents: cannot open '" + path +
+                            "' for writing");
+    out << IncidentLog::mergedJson(points, manifest.toJsonObject());
+    util::fatalIf(!out,
+                  "maybeWriteIncidents: failed writing '" + path + "'");
+    std::size_t incidents = 0;
+    for (const auto &point : points)
+        incidents += point.second->incidents().size();
+    os << "[watchdog] wrote " << incidents << " incidents ("
+       << points.size() << " points) to " << path << "\n";
 }
 
 void

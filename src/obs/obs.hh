@@ -13,6 +13,8 @@
 
 #include <iosfwd>
 
+#include "obs/fleet_agg.hh"
+#include "obs/incident.hh"
 #include "obs/log.hh"
 #include "obs/manifest.hh"
 #include "obs/metrics.hh"
@@ -20,6 +22,7 @@
 #include "obs/sampler.hh"
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
+#include "obs/watchdog.hh"
 
 namespace imsim {
 namespace util {
@@ -27,6 +30,13 @@ class Cli;
 } // namespace util
 
 namespace obs {
+
+/**
+ * The `schema` stamp merged telemetry CSVs carry as their first
+ * `# schema: ...` comment line — consumers (tools/imsim_report) use
+ * it to refuse newer artifacts with a message instead of a crash.
+ */
+inline constexpr const char *kTelemetrySchema = "imsim.telemetry/1";
 
 /** @return whether the Cli asked for a Chrome trace (`--trace FILE`). */
 bool traceRequested(const util::Cli &cli);
@@ -68,6 +78,21 @@ void maybeWriteTelemetry(const util::Cli &cli,
 void maybeWriteTelemetry(const util::Cli &cli,
                          const TelemetryMerger &telemetry,
                          const RunManifest &manifest, std::ostream &os);
+
+/** @return whether the Cli asked for incidents (`--watchdog FILE`). */
+bool incidentsRequested(const util::Cli &cli);
+
+/**
+ * Honor `--watchdog FILE`: when present, write the labelled incident
+ * logs as one `imsim.incidents/1` document (IncidentLog::mergedJson,
+ * @p manifest embedded as "meta") and print a one-line confirmation
+ * to @p os. Pass points in sweep-index order so the artifact is
+ * deterministic under any job count.
+ */
+void maybeWriteIncidents(
+    const util::Cli &cli,
+    const std::vector<std::pair<std::string, const IncidentLog *>> &points,
+    const RunManifest &manifest, std::ostream &os);
 
 /**
  * Honor `--profile [FILE]`: when the flag was given, collect the

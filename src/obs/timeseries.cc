@@ -73,7 +73,7 @@ TimeSeries::writeJson(std::ostream &os) const
     const auto cell = [](double v) {
         return std::isfinite(v) ? formatNumber(v) : std::string("null");
     };
-    os << "{\"columns\": [\"t\"";
+    os << "{\"schema\": \"imsim.timeseries/1\", \"columns\": [\"t\"";
     for (const auto &col : cols)
         os << ", \"" << col << '"';
     os << "], \"rows\": [";

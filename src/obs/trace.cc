@@ -148,7 +148,8 @@ EventTracer::append(const EventTracer &other, std::uint32_t tid_override)
 std::string
 EventTracer::toJson(const std::string &metadata_json) const
 {
-    std::string out = "{\"traceEvents\": [";
+    std::string out =
+        "{\"schema\": \"imsim.trace/1\",\n\"traceEvents\": [";
     for (std::size_t i = 0; i < log.size(); ++i) {
         const TraceEvent &ev = log[i];
         out += i ? ",\n  {" : "\n  {";

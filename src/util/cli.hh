@@ -71,6 +71,9 @@ class Cli
     /** @return "--profile FILE" (profiler JSON output), "" if unset. */
     std::string profileFile() const { return get("--profile"); }
 
+    /** @return "--watchdog FILE" (incident-timeline JSON), "" if unset. */
+    std::string watchdogFile() const { return get("--watchdog"); }
+
     /** @return whether "--progress [FILE]" appeared at all. */
     bool progressRequested() const { return has("--progress"); }
 

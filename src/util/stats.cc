@@ -242,5 +242,142 @@ Histogram::binCenter(std::size_t i) const
     return lo + (static_cast<double>(i) + 0.5) * width;
 }
 
+QuantileSketch::QuantileSketch(bool log_scale, double lo, double hi,
+                               std::size_t nbins)
+    : logScale(log_scale), counts(nbins, 0)
+{
+    fatalIf(nbins == 0, "QuantileSketch: need at least one bin");
+    fatalIf(hi <= lo, "QuantileSketch: hi must exceed lo");
+    fatalIf(log_scale && lo <= 0.0,
+            "QuantileSketch: log spacing needs lo > 0");
+    tLo = transform(lo);
+    tHi = transform(hi);
+    invWidth = static_cast<double>(nbins) / (tHi - tLo);
+}
+
+QuantileSketch
+QuantileSketch::linear(double lo, double hi, std::size_t bins)
+{
+    return QuantileSketch(false, lo, hi, bins);
+}
+
+QuantileSketch
+QuantileSketch::logarithmic(double lo, double hi, std::size_t bins)
+{
+    return QuantileSketch(true, lo, hi, bins);
+}
+
+void
+QuantileSketch::reset()
+{
+    std::fill(counts.begin(), counts.end(), std::uint64_t{0});
+    total = 0;
+    droppedCount = 0;
+}
+
+bool
+QuantileSketch::compatible(const QuantileSketch &other) const
+{
+    return logScale == other.logScale && tLo == other.tLo &&
+           tHi == other.tHi && counts.size() == other.counts.size();
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    fatalIf(!compatible(other),
+            "QuantileSketch::merge: incompatible bin geometry");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    droppedCount += other.droppedCount;
+}
+
+double
+QuantileSketch::binLower(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "QuantileSketch::binLower: out of range");
+    const double width = (tHi - tLo) / static_cast<double>(counts.size());
+    return untransform(tLo + static_cast<double>(i) * width);
+}
+
+double
+QuantileSketch::binUpper(std::size_t i) const
+{
+    fatalIf(i >= counts.size(), "QuantileSketch::binUpper: out of range");
+    const double width = (tHi - tLo) / static_cast<double>(counts.size());
+    return untransform(tLo + static_cast<double>(i + 1) * width);
+}
+
+namespace {
+
+/**
+ * Shared cumulative walk for quantile()/mergedQuantile(): find the bin
+ * where the cumulative count crosses the target rank and interpolate
+ * inside it in transform space. @p bin_count returns the count of bin
+ * i summed over whatever sketches participate.
+ */
+template <typename BinCountFn>
+double
+sketchQuantileWalk(const QuantileSketch &geometry, std::uint64_t total,
+                   double p, BinCountFn bin_count)
+{
+    fatalIf(p < 0.0 || p > 100.0, "QuantileSketch: p out of [0,100]");
+    if (total == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(total);
+    double cum = 0.0;
+    const std::size_t nbins = geometry.bins();
+    for (std::size_t i = 0; i < nbins; ++i) {
+        const double c = static_cast<double>(bin_count(i));
+        if (c > 0.0 && cum + c >= target) {
+            const double frac =
+                std::clamp((target - cum) / c, 0.0, 1.0);
+            const double lo = geometry.binLower(i);
+            const double hi = geometry.binUpper(i);
+            if (geometry.logSpaced()) {
+                // Interpolate in log space (equal-ratio bins).
+                return lo * std::pow(hi / lo, frac);
+            }
+            return lo + frac * (hi - lo);
+        }
+        cum += c;
+    }
+    return geometry.binUpper(nbins - 1);
+}
+
+} // namespace
+
+double
+QuantileSketch::quantile(double p) const
+{
+    if (counts.empty())
+        return 0.0;
+    return sketchQuantileWalk(*this, total, p,
+                              [this](std::size_t i) { return counts[i]; });
+}
+
+double
+QuantileSketch::mergedQuantile(const std::vector<QuantileSketch> &parts,
+                               double p)
+{
+    if (parts.empty() || parts.front().counts.empty())
+        return 0.0;
+    const QuantileSketch &geometry = parts.front();
+    std::uint64_t total = 0;
+    for (const QuantileSketch &part : parts) {
+        fatalIf(!geometry.compatible(part),
+                "QuantileSketch::mergedQuantile: incompatible geometry");
+        total += part.total;
+    }
+    return sketchQuantileWalk(
+        geometry, total, p, [&parts](std::size_t i) {
+            std::uint64_t c = 0;
+            for (const QuantileSketch &part : parts)
+                c += part.counts[i];
+            return c;
+        });
+}
+
 } // namespace util
 } // namespace imsim

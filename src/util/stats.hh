@@ -2,14 +2,18 @@
  * @file
  * Online statistics used throughout the simulator: running moments,
  * percentile estimation over stored samples, time-weighted sliding-window
- * averages (the auto-scaler's 30 s and 3 min utilization windows), and a
- * simple fixed-bin histogram.
+ * averages (the auto-scaler's 30 s and 3 min utilization windows), a
+ * simple fixed-bin histogram, and a mergeable fixed-bin quantile sketch
+ * for streaming percentiles at fleet scale.
  */
 
 #ifndef IMSIM_UTIL_STATS_HH
 #define IMSIM_UTIL_STATS_HH
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <vector>
@@ -227,6 +231,141 @@ class Histogram
     std::vector<std::size_t> counts;
     std::size_t totalCount = 0;
     std::size_t droppedCount = 0;
+};
+
+/**
+ * Mergeable fixed-bin quantile sketch.
+ *
+ * Unlike PercentileEstimator (which stores every sample — exact but
+ * O(samples) memory), a QuantileSketch holds a fixed array of bin
+ * counts over a configured value range: add() is O(1) and
+ * allocation-free, memory is O(bins) regardless of sample count, and
+ * two sketches with the same geometry merge by adding their counts —
+ * the property obs::FleetAggregator exploits to combine per-SKU
+ * distributions into a fleet-wide one without touching per-server
+ * data twice.
+ *
+ * Bins are either linearly spaced over [lo, hi] or logarithmically
+ * spaced (equal ratio per bin — the right shape for latencies spanning
+ * decades). Finite out-of-range samples clamp into the end bins;
+ * non-finite samples (NaN, +/-Inf) count into dropped() and are never
+ * binned, mirroring Histogram::add. quantile() walks the cumulative
+ * counts and interpolates linearly inside the selected bin, so the
+ * answer is deterministic and within one bin width (one bin *ratio*
+ * for log spacing) of the exact order statistic.
+ */
+class QuantileSketch
+{
+  public:
+    /** An empty, zero-bin sketch; add() drops everything. */
+    QuantileSketch() = default;
+
+    /** Linearly spaced bins over [lo, hi]; requires hi > lo, bins > 0. */
+    static QuantileSketch linear(double lo, double hi, std::size_t bins);
+
+    /**
+     * Logarithmically spaced bins over [lo, hi]; requires
+     * 0 < lo < hi, bins > 0. Finite samples <= 0 clamp to the first
+     * bin edge.
+     */
+    static QuantileSketch logarithmic(double lo, double hi,
+                                      std::size_t bins);
+
+    /**
+     * Add one sample (non-finite values go to dropped()). O(1) and
+     * allocation-free; defined inline because the fleet aggregator
+     * calls it once per unit per channel in its reduction pass.
+     */
+    void
+    add(double x)
+    {
+        if (!std::isfinite(x)) {
+            ++droppedCount;
+            return;
+        }
+        // Clamp in transform space: log10 of a non-positive sample is
+        // not finite, so pin those to the first edge before the cast.
+        const double u = (logScale && x <= 0.0) ? tLo : transform(x);
+        const double frac = (u - tLo) * invWidth;
+        auto idx = static_cast<long>(frac);
+        idx = std::clamp<long>(idx, 0,
+                               static_cast<long>(counts.size()) - 1);
+        ++counts[static_cast<std::size_t>(idx)];
+        ++total;
+    }
+
+    /** Zero all counts; geometry is retained. Allocation-free. */
+    void reset();
+
+    /**
+     * Add @p other's counts into this sketch. FatalError unless
+     * compatible() (identical geometry).
+     */
+    void merge(const QuantileSketch &other);
+
+    /** @return whether @p other has the same bin geometry. */
+    bool compatible(const QuantileSketch &other) const;
+
+    /**
+     * @param p Quantile in [0, 100].
+     * @return interpolated p-th percentile; 0 when empty.
+     */
+    double quantile(double p) const;
+
+    /**
+     * Quantile over the union of @p parts without materialising a
+     * merged sketch (O(bins * parts), allocation-free) — how the
+     * sliding tail-latency window polls p99 across its sub-window
+     * buckets. All parts must share one geometry; empty vector or
+     * all-empty parts return 0.
+     */
+    static double mergedQuantile(const std::vector<QuantileSketch> &parts,
+                                 double p);
+
+    /** @return samples binned so far (excludes dropped ones). */
+    std::uint64_t count() const { return total; }
+
+    /** @return non-finite samples rejected by add(). */
+    std::uint64_t dropped() const { return droppedCount; }
+
+    /** @return number of bins (0 for a default-constructed sketch). */
+    std::size_t bins() const { return counts.size(); }
+
+    /** @return count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return counts[i]; }
+
+    /** @return lower value edge of bin @p i. */
+    double binLower(std::size_t i) const;
+
+    /** @return upper value edge of bin @p i. */
+    double binUpper(std::size_t i) const;
+
+    /** @return whether bins are log-spaced. */
+    bool logSpaced() const { return logScale; }
+
+  private:
+    QuantileSketch(bool log_scale, double lo, double hi,
+                   std::size_t bins);
+
+    /** Map a value into transform space (log10 for log sketches). */
+    double transform(double x) const
+    {
+        return logScale ? std::log10(x) : x;
+    }
+
+    /** Map a transform-space coordinate back to value space. */
+    double untransform(double u) const
+    {
+        return logScale ? std::pow(10.0, u) : u;
+    }
+
+    bool logScale = false;
+    double tLo = 0.0;      ///< transform(lo)
+    double tHi = 0.0;      ///< transform(hi)
+    double invWidth = 0.0; ///< bins / (tHi - tLo)
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    std::uint64_t droppedCount = 0;
 };
 
 } // namespace util

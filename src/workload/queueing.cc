@@ -301,7 +301,10 @@ QueueingCluster::complete(std::uint32_t slot)
     inFlight[slot].live = false;
     inFlight[slot].nextFree = inFlightFree;
     inFlightFree = slot;
-    latencyStats.add(sim.now() - rec.arrival);
+    const Seconds latency = sim.now() - rec.arrival;
+    latencyStats.add(latency);
+    if (!tailBuckets.empty())
+        recordTailLatency(latency);
     ++completedCount;
     onCompletion(rec.server);
 }
@@ -426,6 +429,61 @@ QueueingCluster::lifetimeBusyFraction(std::size_t id) const
         server.busyIntegral + dt * static_cast<double>(server.busy);
     return busy_seconds /
            (lived * static_cast<double>(server.threads));
+}
+
+void
+QueueingCluster::enableTailTracking(Seconds window, std::size_t buckets)
+{
+    // 0.1 ms .. 100 s log-spaced: ~5.5% per-bin resolution across the
+    // six decades a crisis can stretch a latency distribution over.
+    enableTailTracking(window, buckets,
+                       util::QuantileSketch::logarithmic(1e-4, 100.0,
+                                                         256));
+}
+
+void
+QueueingCluster::enableTailTracking(Seconds window, std::size_t buckets,
+                                    const util::QuantileSketch &prototype)
+{
+    util::fatalIf(window <= 0.0,
+                  "enableTailTracking: window must be > 0");
+    util::fatalIf(buckets == 0,
+                  "enableTailTracking: need at least one bucket");
+    util::fatalIf(prototype.bins() == 0,
+                  "enableTailTracking: prototype sketch has no bins");
+    tailBuckets.assign(buckets, prototype);
+    for (util::QuantileSketch &bucket : tailBuckets)
+        bucket.reset();
+    tailBucketSpan = window / static_cast<double>(buckets);
+    tailBucketCur = 0;
+    tailBucketStart = sim.now();
+}
+
+void
+QueueingCluster::recordTailLatency(Seconds latency)
+{
+    const Seconds now = sim.now();
+    // Rotate the ring up to once around; a gap longer than the whole
+    // window has already staled every bucket, so just restart there.
+    std::size_t steps = 0;
+    while (now - tailBucketStart >= tailBucketSpan &&
+           steps < tailBuckets.size()) {
+        tailBucketCur = (tailBucketCur + 1) % tailBuckets.size();
+        tailBuckets[tailBucketCur].reset();
+        tailBucketStart += tailBucketSpan;
+        ++steps;
+    }
+    if (now - tailBucketStart >= tailBucketSpan)
+        tailBucketStart = now;
+    tailBuckets[tailBucketCur].add(latency);
+}
+
+double
+QueueingCluster::recentTailQuantile(double p) const
+{
+    if (tailBuckets.empty())
+        return 0.0;
+    return util::QuantileSketch::mergedQuantile(tailBuckets, p);
 }
 
 } // namespace workload

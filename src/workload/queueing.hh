@@ -135,6 +135,38 @@ class QueueingCluster
     /** Reset collected latency statistics (e.g. after warmup). */
     void resetLatencies() { latencyStats.reset(); }
 
+    /**
+     * Opt-in *windowed* tail-latency tracking for live SLO watchdogs:
+     * completions also feed a ring of @p buckets quantile sketches
+     * (util::QuantileSketch copies of @p prototype) rotated every
+     * window/buckets seconds, so recentTailQuantile() reflects only
+     * the trailing ~window seconds rather than the whole run. O(1)
+     * per completion, allocation-free after this call, and — when
+     * never enabled — completely free (one branch per completion), so
+     * existing runs stay byte-identical.
+     *
+     * The default prototype's log-spaced bins cover 0.1 ms .. 100 s
+     * at ~5% per-bin resolution.
+     */
+    void enableTailTracking(Seconds window, std::size_t buckets = 8);
+    void enableTailTracking(Seconds window, std::size_t buckets,
+                            const util::QuantileSketch &prototype);
+
+    /** @return whether enableTailTracking() was called. */
+    bool tailTrackingEnabled() const { return !tailBuckets.empty(); }
+
+    /**
+     * @param p Quantile in [0, 100].
+     * @return the p-th latency percentile [s] over the trailing
+     * window (sketch resolution; 0 when disabled or nothing
+     * completed recently). Pure read — safe to poll from a watchdog
+     * at any cadence. Buckets older than the window at the time of
+     * the last completion are included until displaced; with a
+     * 1 s-scale poll against the crisis bench's 15 s window the
+     * staleness is negligible.
+     */
+    double recentTailQuantile(double p) const;
+
     /** @return completed request count. */
     std::uint64_t completed() const { return completedCount; }
 
@@ -225,6 +257,13 @@ class QueueingCluster
     Seconds lastVmAccounting = 0.0;
     std::size_t maxActive = 0;
 
+    /// Windowed tail-latency ring (empty until enableTailTracking).
+    std::vector<util::QuantileSketch> tailBuckets;
+    Seconds tailBucketSpan = 0.0;
+    Seconds tailBucketStart = 0.0;
+    std::size_t tailBucketCur = 0;
+
+    void recordTailLatency(Seconds latency);
     void accountVmTime();
 };
 

@@ -542,6 +542,7 @@ class LoggerTest : public testing::Test
     void
     TearDown() override
     {
+        obs::Logger::setDedupLimit(0); // Flushes, then disables.
         obs::Logger::clearSinks();
         util::setLogLevel(util::LogLevel::Warn); // Process default.
     }
@@ -1020,6 +1021,157 @@ TEST(RunManifest, CaptureStampsProvenanceFields)
     std::ostringstream comments;
     manifest.writeCsvComments(comments);
     EXPECT_NE(comments.str().find("# seed: 1234\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Logger duplicate suppression (alert storms).
+// ---------------------------------------------------------------------
+
+TEST_F(LoggerTest, DedupSuppressesRepeatsAndReportsTheCount)
+{
+    std::vector<std::string> seen;
+    obs::Logger::addSink([&seen](util::LogLevel, const std::string &,
+                                 const std::string &msg) {
+        seen.push_back(msg);
+    });
+    obs::Logger::setDedupLimit(2);
+    obs::Logger log("storm");
+
+    for (int i = 0; i < 5; ++i)
+        log.warn("tank over temperature");
+    // First two pass; repeats 3..5 are swallowed until a different
+    // message flushes the summary ahead of itself.
+    log.warn("feed brownout");
+    EXPECT_EQ(seen,
+              (std::vector<std::string>{
+                  "tank over temperature", "tank over temperature",
+                  "suppressed 3 duplicates of: tank over temperature",
+                  "feed brownout"}));
+
+    // An explicit flush reports mid-storm and restarts the window.
+    seen.clear();
+    for (int i = 0; i < 4; ++i)
+        log.warn("tank over temperature");
+    obs::Logger::flushDedup();
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[2],
+              "suppressed 2 duplicates of: tank over temperature");
+    log.warn("tank over temperature"); // Fresh window: emitted again.
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST_F(LoggerTest, DedupDistinguishesLoggerAndLevel)
+{
+    std::vector<std::string> seen;
+    obs::Logger::addSink([&seen](util::LogLevel, const std::string &,
+                                 const std::string &msg) {
+        seen.push_back(msg);
+    });
+    obs::Logger::setDedupLimit(1);
+    obs::Logger a("tank");
+    obs::Logger b("feed");
+    a.warn("hot");
+    b.warn("hot"); // Different logger: a distinct record, not a repeat.
+    a.warn("hot");
+    EXPECT_EQ(seen,
+              (std::vector<std::string>{"hot", "hot", "hot"}));
+}
+
+// ---------------------------------------------------------------------
+// HistogramMetric non-finite guard (regression: a single NaN used to
+// be able to poison every percentile of a metric).
+// ---------------------------------------------------------------------
+
+TEST(HistogramMetric, NonFiniteSamplesAreDivertedNotRecorded)
+{
+    obs::HistogramMetric histogram;
+    for (int i = 1; i <= 100; ++i)
+        histogram.observe(static_cast<double>(i));
+    histogram.observe(std::numeric_limits<double>::quiet_NaN());
+    histogram.observe(std::numeric_limits<double>::infinity());
+    histogram.observe(-std::numeric_limits<double>::infinity());
+
+    EXPECT_EQ(histogram.count(), 100u);
+    EXPECT_EQ(histogram.dropped(), 3u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 50.5);
+    EXPECT_TRUE(std::isfinite(histogram.percentile(50.0)));
+    EXPECT_TRUE(std::isfinite(histogram.percentile(99.0)));
+
+    // merge() carries the dropped count along with the samples.
+    obs::HistogramMetric other;
+    other.observe(std::numeric_limits<double>::quiet_NaN());
+    other.observe(7.0);
+    histogram.merge(other);
+    EXPECT_EQ(histogram.count(), 101u);
+    EXPECT_EQ(histogram.dropped(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Schema stamps: every machine-readable export names its format so
+// consumers (tools/imsim_report) can refuse unknown versions with a
+// message instead of a crash.
+// ---------------------------------------------------------------------
+
+TEST(SchemaStamps, TimeSeriesJsonNamesItsSchema)
+{
+    obs::TimeSeries series({"a"});
+    series.append(0.0, {1.0});
+    std::ostringstream json;
+    series.writeJson(json);
+    EXPECT_NE(json.str().find("\"schema\": \"imsim.timeseries/1\""),
+              std::string::npos);
+    // And the stamp survives the round trip.
+    const obs::TimeSeries back = obs::TimeSeries::parseJson(json.str());
+    EXPECT_EQ(back.rows(), 1u);
+}
+
+TEST(SchemaStamps, TraceJsonNamesItsSchema)
+{
+    obs::EventTracer tracer;
+    Seconds t = 0.0;
+    tracer.enable([&t] { return t; });
+    tracer.instant("e", "cat");
+    EXPECT_NE(tracer.toJson().find("\"schema\": \"imsim.trace/1\""),
+              std::string::npos);
+}
+
+TEST(SchemaStamps, TelemetryCsvLeadsWithItsSchemaComment)
+{
+    const std::string path =
+        testing::TempDir() + "imsim_test_schema_telemetry.csv";
+    const char *argv[] = {"bench", "--telemetry", path.c_str()};
+    const util::Cli cli(3, argv);
+    obs::TelemetryMerger merger(1);
+    obs::TimeSeries series({"x"});
+    series.append(0.0, {1.0});
+    merger.add(0, "p0", series);
+    std::ostringstream note;
+    obs::maybeWriteTelemetry(cli, merger, note);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_EQ(first_line,
+              std::string("# schema: ") + obs::kTelemetrySchema);
+    std::remove(path.c_str());
+}
+
+TEST(SchemaStamps, RunReportRefusesForeignSchemas)
+{
+    exp::RunReport report("stamped");
+    const std::string json = report.toJson();
+    const std::string stamp = "\"schema\": \"imsim.report/1\"";
+    const auto at = json.find(stamp);
+    ASSERT_NE(at, std::string::npos);
+
+    // The round trip accepts its own stamp...
+    EXPECT_EQ(exp::RunReport::fromJson(json).name(), "stamped");
+    // ...and refuses a newer one with a FatalError (which the report
+    // tool catches to degrade gracefully).
+    std::string newer = json;
+    newer.replace(at, stamp.size(), "\"schema\": \"imsim.report/9\"");
+    EXPECT_THROW(exp::RunReport::fromJson(newer), FatalError);
 }
 
 } // namespace

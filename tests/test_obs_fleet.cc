@@ -1,0 +1,735 @@
+/**
+ * @file
+ * The fleet-observability stack: util::QuantileSketch (mergeable
+ * fixed-bin quantiles), obs::FleetAggregator (columnar per-tick
+ * reductions), obs::Watchdog (threshold + hysteresis + debounce rule
+ * engine), obs::IncidentLog (alert/fault-correlated timelines), the
+ * DatacenterPowerSim / QueueingCluster wiring, and the cross-thread
+ * reader protocol (FleetAggregator::snapshot, RegistryMirror) the
+ * tsan suite exercises.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/datacenter.hh"
+#include "fault/experiment.hh"
+#include "fleet/state.hh"
+#include "obs/obs.hh"
+#include "sim/simulation.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "workload/queueing.hh"
+
+using namespace imsim;
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// ---------------------------------------------------------------------
+// util::QuantileSketch.
+// ---------------------------------------------------------------------
+
+TEST(QuantileSketch, LinearQuantilesWithinBinResolution)
+{
+    auto sketch = util::QuantileSketch::linear(0.0, 100.0, 200);
+    for (int i = 0; i < 1000; ++i)
+        sketch.add(static_cast<double>(i) / 10.0); // Uniform 0..99.9.
+    EXPECT_EQ(sketch.count(), 1000u);
+    // Bin width 0.5: quantiles must land within one bin of exact.
+    EXPECT_NEAR(sketch.quantile(50.0), 50.0, 0.5);
+    EXPECT_NEAR(sketch.quantile(95.0), 95.0, 0.5);
+    EXPECT_NEAR(sketch.quantile(99.0), 99.0, 0.5);
+    EXPECT_NEAR(sketch.quantile(0.0), 0.0, 0.5);
+    EXPECT_NEAR(sketch.quantile(100.0), 100.0, 0.5);
+}
+
+TEST(QuantileSketch, FiniteOutOfRangeClampsNonFiniteDrops)
+{
+    auto sketch = util::QuantileSketch::linear(0.0, 10.0, 10);
+    sketch.add(-5.0);  // Clamps to the first bin.
+    sketch.add(50.0);  // Clamps to the last bin.
+    sketch.add(kNan);
+    sketch.add(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(sketch.count(), 2u);
+    EXPECT_EQ(sketch.dropped(), 2u);
+    EXPECT_GE(sketch.binCount(0), 1u);
+    EXPECT_GE(sketch.binCount(sketch.bins() - 1), 1u);
+}
+
+TEST(QuantileSketch, LogarithmicCoversDecades)
+{
+    auto sketch = util::QuantileSketch::logarithmic(1e-4, 100.0, 240);
+    sketch.add(1e-3);
+    sketch.add(1e-2);
+    sketch.add(1e-1);
+    sketch.add(1.0);
+    // Median of {1e-3, 1e-2, 1e-1, 1} sits between 1e-2 and 1e-1 in
+    // log space; 10% relative resolution is plenty at 40 bins/decade.
+    const double p50 = sketch.quantile(50.0);
+    EXPECT_GT(p50, 5e-3);
+    EXPECT_LT(p50, 2e-1);
+    // Zero / negative samples clamp into the lowest bin, not dropped.
+    sketch.add(0.0);
+    EXPECT_EQ(sketch.count(), 5u);
+    EXPECT_GE(sketch.binCount(0), 1u);
+}
+
+TEST(QuantileSketch, MergeMatchesUnion)
+{
+    auto a = util::QuantileSketch::linear(0.0, 100.0, 100);
+    auto b = util::QuantileSketch::linear(0.0, 100.0, 100);
+    auto joint = util::QuantileSketch::linear(0.0, 100.0, 100);
+    for (int i = 0; i < 500; ++i) {
+        const double lo = static_cast<double>(i % 50);
+        const double hi = 50.0 + static_cast<double>(i % 50);
+        a.add(lo);
+        b.add(hi);
+        joint.add(lo);
+        joint.add(hi);
+    }
+    ASSERT_TRUE(a.compatible(b));
+    a.merge(b);
+    EXPECT_EQ(a.count(), joint.count());
+    for (double p : {10.0, 50.0, 90.0, 99.0})
+        EXPECT_DOUBLE_EQ(a.quantile(p), joint.quantile(p)) << "p=" << p;
+}
+
+TEST(QuantileSketch, MergedQuantileAvoidsMaterializing)
+{
+    std::vector<util::QuantileSketch> parts;
+    auto joint = util::QuantileSketch::linear(0.0, 100.0, 100);
+    for (int s = 0; s < 4; ++s) {
+        parts.push_back(util::QuantileSketch::linear(0.0, 100.0, 100));
+        for (int i = 0; i < 100; ++i) {
+            const double v = static_cast<double>((s * 100 + i) % 97);
+            parts.back().add(v);
+            joint.add(v);
+        }
+    }
+    for (double p : {50.0, 95.0, 99.0}) {
+        EXPECT_DOUBLE_EQ(util::QuantileSketch::mergedQuantile(parts, p),
+                         joint.quantile(p))
+            << "p=" << p;
+    }
+    // Empty part list: defined zero, not a crash.
+    EXPECT_DOUBLE_EQ(util::QuantileSketch::mergedQuantile({}, 50.0), 0.0);
+}
+
+TEST(QuantileSketch, IncompatibleMergeIsFatal)
+{
+    auto a = util::QuantileSketch::linear(0.0, 100.0, 100);
+    auto b = util::QuantileSketch::linear(0.0, 100.0, 50);
+    auto c = util::QuantileSketch::logarithmic(1e-3, 100.0, 100);
+    EXPECT_FALSE(a.compatible(b));
+    EXPECT_FALSE(a.compatible(c));
+    EXPECT_THROW(a.merge(b), FatalError);
+    EXPECT_THROW(util::QuantileSketch::linear(5.0, 5.0, 10), FatalError);
+    EXPECT_THROW(util::QuantileSketch::logarithmic(0.0, 1.0, 10),
+                 FatalError);
+    EXPECT_THROW(a.quantile(101.0), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// obs::FleetAggregator.
+// ---------------------------------------------------------------------
+
+/** Hand-built two-SKU fleet with exactly known statistics. */
+struct TestColumns
+{
+    std::vector<std::uint32_t> sku{0, 0, 1, 1};
+    std::vector<double> util{0.2, 0.4, 0.6, 0.8};
+    std::vector<double> power{100.0, 200.0, 300.0, 400.0};
+    std::vector<double> tj{50.0, 60.0, 70.0, 80.0};
+    std::vector<double> wear{0.0, 0.0, 0.0, 0.0};
+
+    obs::FleetView view() const
+    {
+        obs::FleetView v;
+        v.count = sku.size();
+        v.sku = sku.data();
+        v.utilization = util.data();
+        v.totalPower = power.data();
+        v.tj = tj.data();
+        v.wearConsumed = wear.data();
+        return v;
+    }
+};
+
+TEST(FleetAggregator, ExactMomentsAndSketchPercentiles)
+{
+    TestColumns cols;
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 2;
+    obs::FleetAggregator agg(cfg);
+    agg.observe(60.0, cols.view(), 60.0);
+
+    const obs::FleetSample &sample = agg.latest();
+    EXPECT_EQ(sample.units, 4u);
+    EXPECT_DOUBLE_EQ(sample.fleetPower, 1000.0);
+
+    const auto &tj = sample.overall[obs::kChanTj];
+    EXPECT_DOUBLE_EQ(tj.min, 50.0);
+    EXPECT_DOUBLE_EQ(tj.max, 80.0);
+    EXPECT_DOUBLE_EQ(tj.mean, 65.0);
+    // 150 C over 128 bins: ~1.2 C bins.
+    EXPECT_NEAR(tj.p99, 80.0, 1.5);
+
+    // Per-SKU split: SKU 0 holds the cool pair, SKU 1 the hot pair.
+    const auto &sku0 = sample.perSku[0 * obs::kFleetChannels +
+                                     obs::kChanTj];
+    const auto &sku1 = sample.perSku[1 * obs::kFleetChannels +
+                                     obs::kChanTj];
+    EXPECT_EQ(sku0.count, 2u);
+    EXPECT_DOUBLE_EQ(sku0.mean, 55.0);
+    EXPECT_DOUBLE_EQ(sku0.max, 60.0);
+    EXPECT_EQ(sku1.count, 2u);
+    EXPECT_DOUBLE_EQ(sku1.mean, 75.0);
+    EXPECT_DOUBLE_EQ(sku1.min, 70.0);
+}
+
+TEST(FleetAggregator, WearRateIsPerYearFiniteDifference)
+{
+    TestColumns cols;
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 2;
+    obs::FleetAggregator agg(cfg);
+
+    agg.observe(0.0, cols.view(), 0.0); // First tick: rates read 0.
+    EXPECT_DOUBLE_EQ(agg.latest().overall[obs::kChanWearRate].max, 0.0);
+
+    // One hour consumes 1/8766 of life on every server: rate = 1/yr.
+    for (double &w : cols.wear)
+        w += 1.0 / 8766.0;
+    agg.observe(3600.0, cols.view(), 3600.0);
+    const auto &rate = agg.latest().overall[obs::kChanWearRate];
+    EXPECT_NEAR(rate.mean, 1.0, 1e-9);
+    EXPECT_NEAR(rate.min, 1.0, 1e-9);
+    EXPECT_NEAR(rate.max, 1.0, 1e-9);
+}
+
+TEST(FleetAggregator, RecordsSeriesAndCumulativeSketches)
+{
+    TestColumns cols;
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 2;
+    obs::FleetAggregator agg(cfg);
+    agg.observe(60.0, cols.view(), 60.0);
+    agg.observe(120.0, cols.view(), 60.0);
+
+    EXPECT_EQ(agg.ticks(), 2u);
+    const obs::TimeSeries &series = agg.series();
+    EXPECT_EQ(series.rows(), 2u);
+    // fleet.units + fleet.power_w + 6 stats x 4 channels.
+    EXPECT_EQ(series.columns().size(),
+              2u + 6u * static_cast<std::size_t>(obs::kFleetChannels));
+    EXPECT_EQ(series.columns().front(), "fleet.units");
+
+    // Cumulative sketch saw every unit of every tick.
+    EXPECT_EQ(agg.cumulative(obs::kChanTj).count(), 8u);
+
+    // Disabling recording/cumulative leaves both empty.
+    obs::FleetAggregator::Config off;
+    off.skuCount = 2;
+    off.record = false;
+    off.cumulative = false;
+    obs::FleetAggregator bare(off);
+    bare.observe(60.0, cols.view(), 60.0);
+    EXPECT_EQ(bare.series().rows(), 0u);
+    EXPECT_EQ(bare.cumulative(obs::kChanTj).count(), 0u);
+}
+
+TEST(FleetAggregator, NullColumnsReadAsZeroAndSkuBoundsAreFatal)
+{
+    obs::FleetAggregator agg; // Defaults: one SKU.
+    obs::FleetView view;
+    std::vector<double> power{10.0, 20.0};
+    view.count = 2;
+    view.totalPower = power.data(); // sku/util/tj/wear all null.
+    agg.observe(60.0, view, 60.0);
+    EXPECT_DOUBLE_EQ(agg.latest().fleetPower, 30.0);
+    EXPECT_DOUBLE_EQ(agg.latest().overall[obs::kChanTj].max, 0.0);
+
+    std::vector<std::uint32_t> bad_sku{0, 7}; // skuCount is 1.
+    view.sku = bad_sku.data();
+    EXPECT_THROW(agg.observe(120.0, view, 60.0), FatalError);
+}
+
+TEST(FleetAggregator, SnapshotMatchesLatestAndAttachMetricsPolls)
+{
+    TestColumns cols;
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 2;
+    obs::FleetAggregator agg(cfg);
+    obs::MetricRegistry registry;
+    agg.attachMetrics(registry, "fleet_agg");
+    agg.observe(60.0, cols.view(), 60.0);
+
+    const obs::FleetSample snap = agg.snapshot();
+    EXPECT_EQ(snap.units, agg.latest().units);
+    EXPECT_DOUBLE_EQ(snap.fleetPower, agg.latest().fleetPower);
+    EXPECT_DOUBLE_EQ(snap.overall[obs::kChanTj].p99,
+                     agg.latest().overall[obs::kChanTj].p99);
+
+    EXPECT_DOUBLE_EQ(registry.gauge("fleet_agg.units").value(), 4.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("fleet_agg.power_w").value(),
+                     1000.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("fleet_agg.max_tj_c").value(), 80.0);
+}
+
+// ---------------------------------------------------------------------
+// obs::Watchdog.
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, DebounceDelaysRaiseAndHysteresisDelaysClear)
+{
+    double signal = 0.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "tj";
+    rule.kind = obs::AlertKind::TjCeiling;
+    rule.signal = [&signal] { return signal; };
+    rule.fireThreshold = 100.0;
+    rule.clearThreshold = 90.0;
+    rule.debounce = 2.0;
+    const std::size_t idx = watchdog.addRule(rule);
+
+    signal = 105.0;
+    watchdog.evaluate(0.0); // Breach starts; debounce not yet elapsed.
+    watchdog.evaluate(1.0);
+    EXPECT_FALSE(watchdog.firing(idx));
+    watchdog.evaluate(2.0); // 2 s of persistent breach: page.
+    EXPECT_TRUE(watchdog.firing(idx));
+    EXPECT_EQ(watchdog.raisedCount(), 1u);
+
+    signal = 95.0; // Below fire but above clear: still firing.
+    watchdog.evaluate(3.0);
+    EXPECT_TRUE(watchdog.firing(idx));
+    signal = 85.0;
+    watchdog.evaluate(4.0);
+    EXPECT_FALSE(watchdog.firing(idx));
+    ASSERT_EQ(watchdog.alerts().size(), 2u);
+    EXPECT_TRUE(watchdog.alerts()[0].raised);
+    EXPECT_FALSE(watchdog.alerts()[1].raised);
+    EXPECT_DOUBLE_EQ(watchdog.firstRaiseAfter(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(
+        watchdog.firstRaiseAfter(0.0, obs::AlertKind::TjCeiling), 2.0);
+    EXPECT_DOUBLE_EQ(
+        watchdog.firstRaiseAfter(0.0, obs::AlertKind::Brownout), -1.0);
+}
+
+TEST(Watchdog, InterruptedBreachRestartsDebounce)
+{
+    double signal = 0.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "flappy";
+    rule.signal = [&signal] { return signal; };
+    rule.fireThreshold = 1.0;
+    rule.debounce = 3.0;
+    watchdog.addRule(rule);
+
+    signal = 2.0;
+    watchdog.evaluate(0.0);
+    watchdog.evaluate(1.0);
+    signal = 0.5; // Dip resets the debounce clock.
+    watchdog.evaluate(2.0);
+    signal = 2.0;
+    watchdog.evaluate(3.0);
+    watchdog.evaluate(5.0);
+    EXPECT_EQ(watchdog.raisedCount(), 0u);
+    watchdog.evaluate(6.0); // 3 s since the second onset at t=3.
+    EXPECT_EQ(watchdog.raisedCount(), 1u);
+}
+
+TEST(Watchdog, NonFiniteSampleChangesNoState)
+{
+    double signal = 5.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "nan";
+    rule.signal = [&signal] { return signal; };
+    rule.fireThreshold = 1.0;
+    const std::size_t idx = watchdog.addRule(rule);
+    watchdog.evaluate(0.0);
+    EXPECT_TRUE(watchdog.firing(idx));
+    signal = kNan; // Broken sensor: hold state, don't clear.
+    watchdog.evaluate(1.0);
+    EXPECT_TRUE(watchdog.firing(idx));
+    EXPECT_EQ(watchdog.alerts().size(), 1u);
+}
+
+TEST(Watchdog, FireBelowForFluidLevelStyleSignals)
+{
+    double level = 1.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "fluid";
+    rule.kind = obs::AlertKind::FluidLevel;
+    rule.signal = [&level] { return level; };
+    rule.fireThreshold = 0.9;
+    rule.clearThreshold = 0.95;
+    rule.fireAbove = false;
+    const std::size_t idx = watchdog.addRule(rule);
+    watchdog.evaluate(0.0);
+    EXPECT_FALSE(watchdog.firing(idx));
+    level = 0.8;
+    watchdog.evaluate(1.0);
+    EXPECT_TRUE(watchdog.firing(idx));
+    level = 0.92; // Above fire, below clear: hysteresis holds.
+    watchdog.evaluate(2.0);
+    EXPECT_TRUE(watchdog.firing(idx));
+    level = 0.99;
+    watchdog.evaluate(3.0);
+    EXPECT_FALSE(watchdog.firing(idx));
+}
+
+TEST(Watchdog, RuleValidationIsFatal)
+{
+    obs::Watchdog watchdog;
+    obs::WatchdogRule no_signal;
+    no_signal.name = "broken";
+    EXPECT_THROW(watchdog.addRule(no_signal), FatalError);
+
+    obs::WatchdogRule inverted;
+    inverted.name = "inverted";
+    inverted.signal = [] { return 0.0; };
+    inverted.fireThreshold = 1.0;
+    inverted.clearThreshold = 2.0; // Breach side of a fire-above rule.
+    EXPECT_THROW(watchdog.addRule(inverted), FatalError);
+}
+
+TEST(Watchdog, MetricsPreRegisterEveryAlertCounter)
+{
+    double signal = 0.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "sla";
+    rule.kind = obs::AlertKind::TailLatency;
+    rule.signal = [&signal] { return signal; };
+    rule.fireThreshold = 1.0;
+    rule.clearThreshold = 0.5;
+    watchdog.addRule(rule);
+
+    obs::MetricRegistry registry;
+    watchdog.attachMetrics(registry);
+    // All counters exist before any alert: a TelemetrySampler started
+    // now must never see the registry grow mid-run.
+    const std::size_t size_before = registry.size();
+    EXPECT_EQ(registry.counter("watchdog.raised").value(), 0u);
+    EXPECT_EQ(
+        registry.counter("watchdog.raised.tail_latency").value(), 0u);
+
+    signal = 2.0;
+    watchdog.evaluate(0.0);
+    signal = 0.1;
+    watchdog.evaluate(1.0);
+    EXPECT_EQ(registry.size(), size_before);
+    EXPECT_EQ(registry.counter("watchdog.raised").value(), 1u);
+    EXPECT_EQ(registry.counter("watchdog.cleared").value(), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("watchdog.firing").value(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// obs::IncidentLog.
+// ---------------------------------------------------------------------
+
+TEST(IncidentLog, CorrelatesFaultsAcrossTheLeadWindow)
+{
+    obs::IncidentLog log(60.0);
+    log.noteFault(100.0, "server_crash#3");
+    log.noteFault(10.0, "too_old");
+
+    // Opens at 150: adopts the crash at 100 (within 60 s) but not the
+    // fault at 10.
+    const std::size_t id =
+        log.open(150.0, obs::AlertKind::TailLatency, "sla_p99", 0.5,
+                 0.1);
+    ASSERT_EQ(log.incidents().size(), 1u);
+    ASSERT_EQ(log.incidents()[0].faults.size(), 1u);
+    EXPECT_EQ(log.incidents()[0].faults[0].label, "server_crash#3");
+
+    // A fault while open attaches too.
+    log.noteFault(170.0, "power_derate");
+    EXPECT_EQ(log.incidents()[0].faults.size(), 2u);
+
+    log.observeValue(id, 0.9);
+    log.observeValue(id, 0.7);
+    log.close(id, 200.0);
+    const obs::Incident &incident = log.incidents()[0];
+    EXPECT_FALSE(incident.open());
+    EXPECT_DOUBLE_EQ(incident.peakValue, 0.9);
+    EXPECT_DOUBLE_EQ(incident.duration(1000.0), 50.0);
+
+    // Closed incidents no longer adopt faults.
+    log.noteFault(210.0, "late");
+    EXPECT_EQ(log.incidents()[0].faults.size(), 2u);
+    EXPECT_EQ(log.faults().size(), 4u);
+}
+
+TEST(IncidentLog, FluidLevelPeakTracksTheMinimum)
+{
+    obs::IncidentLog log;
+    const std::size_t id =
+        log.open(0.0, obs::AlertKind::FluidLevel, "fluid", 0.9, 0.95);
+    log.observeValue(id, 0.7);
+    log.observeValue(id, 0.8);
+    EXPECT_DOUBLE_EQ(log.incidents()[0].peakValue, 0.7);
+}
+
+TEST(IncidentLog, CloseAllAndTraceExport)
+{
+    sim::Simulation sim;
+    obs::IncidentLog log;
+    log.open(10.0, obs::AlertKind::Brownout, "feed", 1.0, 1.0);
+    log.open(20.0, obs::AlertKind::TailLatency, "sla", 0.2, 0.1);
+    EXPECT_EQ(log.openCount(), 2u);
+    log.closeAll(100.0);
+    EXPECT_EQ(log.openCount(), 0u);
+
+    obs::EventTracer tracer;
+    tracer.enable([&sim] { return sim.now(); });
+    log.exportTrace(tracer, 100.0);
+    EXPECT_EQ(tracer.size(), 2u);
+}
+
+TEST(IncidentLog, JsonDocumentCarriesSchemaAndStructure)
+{
+    obs::IncidentLog log;
+    log.noteFault(5.0, "server_crash#1");
+    const std::size_t id =
+        log.open(10.0, obs::AlertKind::TailLatency, "sla_p99", 0.25,
+                 0.1);
+    log.close(id, 40.0);
+
+    const std::string doc = log.toJson("Baseline@3.55");
+    EXPECT_NE(doc.find("\"schema\": \"imsim.incidents/1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"label\": \"Baseline@3.55\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"kind\": \"tail_latency\""), std::string::npos);
+    EXPECT_NE(doc.find("server_crash#1"), std::string::npos);
+
+    // Multi-point merge keeps the given order.
+    obs::IncidentLog other;
+    const std::string merged = obs::IncidentLog::mergedJson(
+        {{"a", &log}, {"b", &other}}, "{\"seed\": \"42\"}");
+    EXPECT_NE(merged.find("\"meta\": {\"seed\": \"42\"}"),
+              std::string::npos);
+    EXPECT_LT(merged.find("\"label\": \"a\""),
+              merged.find("\"label\": \"b\""));
+}
+
+// ---------------------------------------------------------------------
+// QueueingCluster windowed tail tracking.
+// ---------------------------------------------------------------------
+
+TEST(TailTracking, RecentQuantileReflectsTrailingWindowOnly)
+{
+    sim::Simulation sim;
+    workload::QueueingCluster::Params params;
+    params.serviceMean = 1e-3;
+    workload::QueueingCluster cluster(sim, util::Rng(7), params);
+    cluster.addServer(3.4);
+    cluster.addServer(3.4);
+    EXPECT_FALSE(cluster.tailTrackingEnabled());
+    EXPECT_DOUBLE_EQ(cluster.recentTailQuantile(99.0), 0.0);
+
+    cluster.enableTailTracking(10.0, 5);
+    EXPECT_TRUE(cluster.tailTrackingEnabled());
+    cluster.setArrivalRate(500.0);
+    sim.runUntil(30.0);
+    const double p99 = cluster.recentTailQuantile(99.0);
+    const double p50 = cluster.recentTailQuantile(50.0);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_LT(p99, 1.0); // An uncongested ms-scale service time.
+
+    // A long idle gap displaces every bucket: the window forgets.
+    cluster.setArrivalRate(0.0);
+    sim.runUntil(100.0);
+    cluster.setArrivalRate(1.0);
+    sim.runUntil(140.0);
+    EXPECT_LT(cluster.recentTailQuantile(99.0), 1.0);
+
+    EXPECT_THROW(cluster.enableTailTracking(-1.0), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// DatacenterPowerSim wiring (both fidelity modes).
+// ---------------------------------------------------------------------
+
+std::vector<cluster::RackConfig>
+twoRacks()
+{
+    cluster::RackConfig rack;
+    rack.servers = 8;
+    return {rack, rack};
+}
+
+TEST(DatacenterObservability, RackAggregateModeFeedsRackUnits)
+{
+    cluster::DatacenterPowerSim dc(twoRacks(), 10000.0);
+    obs::FleetAggregator::Config cfg;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    obs::Watchdog watchdog;
+    double watched_power = 0.0;
+    obs::WatchdogRule rule;
+    rule.name = "fleet_power";
+    rule.signal = [&agg] { return agg.latest().fleetPower; };
+    rule.fireThreshold = 1.0; // Any nonzero fleet power pages.
+    watchdog.addRule(rule);
+    dc.attachObservability(&agg, &watchdog);
+
+    util::Rng rng(11);
+    dc.run(cluster::OverclockPolicy::Never, rng, 0.1);
+    EXPECT_EQ(agg.ticks(), 144u); // 0.1 days of minutes.
+    EXPECT_EQ(agg.latest().units, 2u); // Units are racks here.
+    EXPECT_GT(agg.latest().fleetPower, 0.0);
+    EXPECT_GE(watchdog.raisedCount(), 1u);
+    (void)watched_power;
+}
+
+TEST(DatacenterObservability, PerServerModeFillsAllChannels)
+{
+    cluster::DatacenterPowerSim dc(twoRacks(), 10000.0);
+    dc.enablePerServerFidelity(
+        cluster::PerServerPhysics::openComputeImmersed());
+    obs::FleetAggregator::Config cfg;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    dc.attachObservability(&agg, nullptr);
+
+    util::Rng rng(11);
+    dc.run(cluster::OverclockPolicy::Always, rng, 0.05);
+    EXPECT_EQ(agg.latest().units, 16u); // Units are servers here.
+    EXPECT_GT(agg.latest().overall[obs::kChanTj].max, 20.0);
+    EXPECT_GT(agg.latest().overall[obs::kChanPower].mean, 0.0);
+    EXPECT_GE(agg.cumulative(obs::kChanTj).count(), 16u);
+}
+
+TEST(DatacenterObservability, ObserversNeverChangeTheOutcome)
+{
+    const auto racks = twoRacks();
+    cluster::DatacenterPowerSim bare(racks, 10000.0);
+    cluster::DatacenterPowerSim watched(racks, 10000.0);
+    obs::FleetAggregator agg;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "power";
+    rule.signal = [&agg] { return agg.latest().fleetPower; };
+    rule.fireThreshold = 1.0;
+    watchdog.addRule(rule);
+    watched.attachObservability(&agg, &watchdog);
+
+    util::Rng rng_a(17);
+    util::Rng rng_b(17);
+    const auto out_a =
+        bare.run(cluster::OverclockPolicy::PowerAware, rng_a, 0.1);
+    const auto out_b =
+        watched.run(cluster::OverclockPolicy::PowerAware, rng_b, 0.1);
+    EXPECT_DOUBLE_EQ(out_a.energyMwh, out_b.energyMwh);
+    EXPECT_DOUBLE_EQ(out_a.meanFeedUtilization,
+                     out_b.meanFeedUtilization);
+    EXPECT_DOUBLE_EQ(out_a.speedupDelivered, out_b.speedupDelivered);
+}
+
+// ---------------------------------------------------------------------
+// Crisis experiment: detection latency and incident correlation.
+// ---------------------------------------------------------------------
+
+TEST(CrisisDetection, WatchdogPagesAndCorrelatesTheCrash)
+{
+    fault::CrisisParams params;
+    params.fleetSize = 5;
+    params.serviceMean = 1.04e-2;
+    params.qps = 1687.5;
+    params.warmup = 60.0;
+    params.crisisStart = 180.0;
+    params.repairAfter = 120.0;
+    params.horizon = 330.0;
+    params.slaP99 = 0.400;
+    params.maxFrequency = 3.55; // Too little headroom: must page.
+
+    const auto out =
+        fault::runCrisisExperiment(autoscale::Policy::Baseline, params);
+    EXPECT_GE(out.detectSeconds, 0.0);
+    EXPECT_LT(out.detectSeconds, 60.0); // Pages within the crisis.
+    EXPECT_GE(out.alertsRaised, 1u);
+    ASSERT_GE(out.incidents.incidents().size(), 1u);
+
+    // The SLA incident adopted the crash that caused it.
+    const obs::Incident &incident = out.incidents.incidents()[0];
+    EXPECT_EQ(incident.kind, obs::AlertKind::TailLatency);
+    bool crash_correlated = false;
+    for (const auto &fault : incident.faults)
+        crash_correlated |=
+            fault.label.find("server_crash") != std::string::npos;
+    EXPECT_TRUE(crash_correlated);
+    // End-of-run closeAll: nothing may stay open in the outcome.
+    EXPECT_EQ(out.incidents.openCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Cross-thread readers (the tsan half of this suite).
+// ---------------------------------------------------------------------
+
+TEST(ConcurrentReaders, SnapshotAndMirrorRaceTheObservingThread)
+{
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 2;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    obs::MetricRegistry registry;
+    obs::Counter &ticks = registry.counter("sim.ticks");
+    obs::RegistryMirror mirror;
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+
+    std::thread snapshot_reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const obs::FleetSample sample = agg.snapshot();
+            if (sample.units != 0) {
+                EXPECT_EQ(sample.units, 4u);
+            }
+            reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::thread mirror_reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const double v = mirror.value("sim.ticks", -1.0);
+            EXPECT_GE(v, -1.0);
+            reads.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    // The "sim thread": observe + publish at safe points.
+    TestColumns cols;
+    for (int tick = 0; tick < 2000; ++tick) {
+        cols.tj[tick % 4] = 50.0 + static_cast<double>(tick % 40);
+        agg.observe(static_cast<double>(tick) * 60.0, cols.view(),
+                    60.0);
+        ticks.inc();
+        mirror.update(registry);
+    }
+    stop.store(true, std::memory_order_release);
+    snapshot_reader.join();
+    mirror_reader.join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(agg.ticks(), 2000u);
+    EXPECT_EQ(mirror.value("sim.ticks"), 2000.0);
+    EXPECT_EQ(mirror.updates(), 2000u);
+}
+
+} // namespace

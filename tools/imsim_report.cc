@@ -9,6 +9,7 @@
  *
  * Usage:
  *   imsim_report --report run.json [--telemetry run.csv]
+ *                [--incidents incidents.json]
  *                [--profile prof.json] [--bench BENCH_hotpaths.json]
  *                [--out report.html] [--title STRING]
  *
@@ -16,6 +17,11 @@
  * artifact is given. The provenance table at the top renders the
  * report's "meta" block (see obs::RunManifest), so the page answers
  * "which commit, which compiler, which seed produced these numbers?"
+ *
+ * Artifacts degrade gracefully: a missing, unparseable, or
+ * newer-schema artifact renders as an explanatory paragraph in its
+ * section (and a warning on stderr), never a crash — a report page
+ * with one stale artifact is still a report page.
  */
 
 #include <algorithm>
@@ -28,6 +34,8 @@
 #include <vector>
 
 #include "exp/report.hh"
+#include "obs/incident.hh"
+#include "obs/obs.hh"
 #include "obs/profiler.hh"
 #include "obs/timeseries.hh"
 #include "util/cli.hh"
@@ -338,8 +346,188 @@ benchSection(const util::Json &doc)
     return html;
 }
 
+/** Band color per alert kind (matches obs::alertKindName strings). */
+const char *
+incidentColor(const std::string &kind)
+{
+    if (kind == "tail_latency")
+        return "#c1121f";
+    if (kind == "tj_ceiling")
+        return "#9d0208";
+    if (kind == "brownout")
+        return "#e09f3e";
+    if (kind == "fluid_level")
+        return "#2a6f97";
+    if (kind == "wear_rate")
+        return "#5f0f40";
+    return "#555555";
+}
+
+/**
+ * SVG timeline of one point's incidents: a horizontal band per
+ * incident (lane-stacked, colored by alert kind, open ends drawn to
+ * the horizon) over vertical tick marks for every noted fault.
+ */
+std::string
+incidentTimeline(const util::Json &point, double horizon)
+{
+    const int w = 700;
+    const int lane_h = 16;
+    const int axis_h = 18;
+    const auto &incidents = point.at("incidents").array();
+    const auto &faults = point.at("faults").array();
+    const int lanes = std::max<int>(1, static_cast<int>(incidents.size()));
+    const int h = lanes * lane_h + axis_h;
+    const double span = horizon > 0.0 ? horizon : 1.0;
+    const auto x_of = [&](double t) {
+        return std::clamp(t / span, 0.0, 1.0) * (w - 2.0) + 1.0;
+    };
+
+    std::string svg = "<svg class=\"timeline\" width=\"" +
+                      std::to_string(w) + "\" height=\"" +
+                      std::to_string(h) + "\" viewBox=\"0 0 " +
+                      std::to_string(w) + " " + std::to_string(h) +
+                      "\">";
+    // Fault ticks first, underneath the bands.
+    for (const auto &fault : faults) {
+        const std::string x = fmtCoord(x_of(fault.at("t_s").number()));
+        svg += "<line x1=\"" + x + "\" y1=\"0\" x2=\"" + x +
+               "\" y2=\"" + std::to_string(lanes * lane_h) +
+               "\" stroke=\"#999\" stroke-dasharray=\"2,2\">"
+               "<title>" +
+               htmlEscape(fault.at("label").str()) + " @ " +
+               fmtNum(fault.at("t_s").number()) + " s</title></line>";
+    }
+    int lane = 0;
+    for (const auto &incident : incidents) {
+        const double opened = incident.at("opened_s").number();
+        const double closed = incident.at("closed_s").number();
+        const double end = closed >= 0.0 ? closed : horizon;
+        const double x0 = x_of(opened);
+        const double x1 = std::max(x_of(end), x0 + 2.0); // Visible sliver.
+        const std::string kind = incident.at("kind").str();
+        svg += "<rect x=\"" + fmtCoord(x0) + "\" y=\"" +
+               std::to_string(lane * lane_h + 2) + "\" width=\"" +
+               fmtCoord(x1 - x0) + "\" height=\"" +
+               std::to_string(lane_h - 4) + "\" rx=\"2\" fill=\"" +
+               incidentColor(kind) + "\" fill-opacity=\"0.85\">"
+               "<title>" +
+               htmlEscape(incident.at("rule").str()) + " [" +
+               htmlEscape(kind) + "] " + fmtNum(opened) + " s → " +
+               (closed >= 0.0 ? fmtNum(closed) + " s"
+                              : std::string("open")) +
+               ", peak " + fmtNum(incident.at("peak_value").number()) +
+               " (threshold " +
+               fmtNum(incident.at("threshold").number()) +
+               ")</title></rect>";
+        ++lane;
+    }
+    // Time axis.
+    const int axis_y = lanes * lane_h + 4;
+    svg += "<line x1=\"1\" y1=\"" + std::to_string(axis_y) +
+           "\" x2=\"" + std::to_string(w - 1) + "\" y2=\"" +
+           std::to_string(axis_y) + "\" stroke=\"#888\"/>";
+    svg += "<text x=\"2\" y=\"" + std::to_string(axis_y + 12) +
+           "\" class=\"axis\">0 s</text>";
+    svg += "<text x=\"" + std::to_string(w - 2) + "\" y=\"" +
+           std::to_string(axis_y + 12) +
+           "\" class=\"axis\" text-anchor=\"end\">" + fmtNum(horizon) +
+           " s</text>";
+    svg += "</svg>";
+    return svg;
+}
+
+/**
+ * Incident timelines from an imsim.incidents/1 document: per point, a
+ * detail table of incidents over the SVG band chart.
+ */
+std::string
+incidentsSection(const util::Json &doc)
+{
+    const std::string schema =
+        doc.has("schema") ? doc.at("schema").str() : "(none)";
+    util::fatalIf(schema != obs::kIncidentSchema,
+                  "unsupported incident schema '" + schema +
+                      "' (this build reads " +
+                      std::string(obs::kIncidentSchema) + ")");
+    const auto &points = doc.at("points").array();
+
+    // One shared horizon so the per-point charts line up.
+    double horizon = 0.0;
+    for (const auto &point : points) {
+        for (const auto &incident : point.at("incidents").array()) {
+            horizon = std::max(horizon, incident.at("opened_s").number());
+            horizon = std::max(horizon, incident.at("closed_s").number());
+        }
+        for (const auto &fault : point.at("faults").array())
+            horizon = std::max(horizon, fault.at("t_s").number());
+    }
+
+    std::string html;
+    std::size_t total = 0;
+    for (const auto &point : points) {
+        const auto &incidents = point.at("incidents").array();
+        total += incidents.size();
+        html += "<h3>" + htmlEscape(point.at("label").str()) + " (" +
+                std::to_string(incidents.size()) + " incidents, " +
+                std::to_string(point.at("faults").array().size()) +
+                " faults)</h3>\n";
+        html += incidentTimeline(point, horizon);
+        if (incidents.empty())
+            continue;
+        html += "<table>\n" + tableRow({"rule", "kind", "opened [s]",
+                                        "closed [s]", "peak",
+                                        "threshold", "faults"},
+                                       true);
+        for (const auto &incident : incidents) {
+            const double closed = incident.at("closed_s").number();
+            std::string fault_list;
+            for (const auto &fault : incident.at("faults").array()) {
+                if (!fault_list.empty())
+                    fault_list += ", ";
+                fault_list += htmlEscape(fault.at("label").str());
+            }
+            html += tableRow(
+                {htmlEscape(incident.at("rule").str()),
+                 htmlEscape(incident.at("kind").str()),
+                 fmtNum(incident.at("opened_s").number()),
+                 closed >= 0.0 ? fmtNum(closed) : std::string("open"),
+                 fmtNum(incident.at("peak_value").number()),
+                 fmtNum(incident.at("threshold").number()),
+                 fault_list.empty() ? std::string("&mdash;")
+                                    : fault_list});
+        }
+        html += "</table>\n";
+    }
+    if (total == 0 && points.empty())
+        html += "<p class=\"muted\">Document has no points.</p>\n";
+    return html;
+}
+
+/**
+ * Run @p build and return its HTML; on FatalError (missing file, parse
+ * failure, schema mismatch) return a muted message paragraph instead
+ * and warn on stderr — stale artifacts degrade, they don't crash the
+ * report.
+ */
+template <typename Fn>
+std::string
+gracefulSection(const std::string &what, Fn &&build)
+{
+    try {
+        return build();
+    } catch (const Error &err) {
+        std::cerr << "imsim_report: warning: " << what
+                  << " section skipped: " << err.what() << "\n";
+        return "<p class=\"muted\">Could not render " +
+               htmlEscape(what) + ": " +
+               htmlEscape(err.what()) + "</p>\n";
+    }
+}
+
 const char *kUsage =
     "usage: imsim_report --report run.json [--telemetry run.csv]\n"
+    "                    [--incidents incidents.json]\n"
     "                    [--profile prof.json] [--bench bench.json]\n"
     "                    [--out report.html] [--title STRING]\n";
 
@@ -356,6 +544,9 @@ const char *kStyle =
     ".muted{color:#777}"
     ".spark{vertical-align:middle;background:#fafcfe;"
     "border:1px solid #e5e5e5}"
+    ".timeline{background:#fafcfe;border:1px solid #e5e5e5;"
+    "margin:.3em 0}"
+    ".axis{font-size:11px;fill:#777}"
     ".bar{display:flex;width:16em;height:.9em;background:#f0f0f0}"
     ".bar .queue{background:#c9b458}"
     ".bar .wall{background:#2a6f97}";
@@ -372,12 +563,21 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string telemetry_path = cli.get("--telemetry");
+    const std::string incidents_path = cli.get("--incidents");
     const std::string profile_path = cli.get("--profile");
     const std::string bench_path = cli.get("--bench");
     const std::string out_path = cli.get("--out", "report.html");
 
-    const exp::RunReport report =
-        exp::RunReport::fromJson(slurp(report_path));
+    // The report is the page's backbone: unreadable or wrong-schema
+    // means no page, but still a message rather than a crash.
+    exp::RunReport report;
+    try {
+        report = exp::RunReport::fromJson(slurp(report_path));
+    } catch (const FatalError &err) {
+        std::cerr << "imsim_report: cannot load " << report_path << ": "
+                  << err.what() << "\n";
+        return 1;
+    }
     const std::string title =
         cli.get("--title", report.name().empty() ? "ImmerSim run"
                                                  : report.name());
@@ -396,22 +596,53 @@ main(int argc, char **argv)
         html += "<h2>Wall-clock timing</h2>\n" + timingSection(report);
 
     if (!telemetry_path.empty()) {
-        std::ifstream in(telemetry_path);
-        util::fatalIf(!in,
-                      "imsim_report: cannot read " + telemetry_path);
-        const auto series = obs::parseTelemetryCsv(in);
-        html += "<h2>Telemetry (" + std::to_string(series.size()) +
-                " series)</h2>\n" + telemetrySection(series);
+        html += "<h2>Telemetry</h2>\n" +
+                gracefulSection("telemetry", [&] {
+                    const std::string text = slurp(telemetry_path);
+                    // First `# schema:` comment line, when present,
+                    // must name the schema this build reads; pre-schema
+                    // artifacts (no stamp) still parse.
+                    const std::string stamp = "# schema: ";
+                    if (text.compare(0, stamp.size(), stamp) == 0) {
+                        const std::size_t eol = text.find('\n');
+                        const std::string schema = text.substr(
+                            stamp.size(),
+                            eol - stamp.size());
+                        util::fatalIf(
+                            schema != obs::kTelemetrySchema,
+                            "unsupported telemetry schema '" + schema +
+                                "' (this build reads " +
+                                std::string(obs::kTelemetrySchema) +
+                                ")");
+                    }
+                    std::istringstream in(text);
+                    const auto series = obs::parseTelemetryCsv(in);
+                    return "<p>" + std::to_string(series.size()) +
+                           " series.</p>\n" + telemetrySection(series);
+                });
+    }
+    if (!incidents_path.empty()) {
+        html += "<h2>Incident timelines</h2>\n" +
+                gracefulSection("incidents", [&] {
+                    const util::Json doc =
+                        util::Json::parse(slurp(incidents_path));
+                    return incidentsSection(doc);
+                });
     }
     if (!profile_path.empty()) {
-        const auto profile =
-            obs::ProfileReport::fromJson(slurp(profile_path));
         html += "<h2>Wall-clock profile</h2>\n" +
-                profileSection(profile);
+                gracefulSection("profile", [&] {
+                    return profileSection(
+                        obs::ProfileReport::fromJson(
+                            slurp(profile_path)));
+                });
     }
     if (!bench_path.empty()) {
-        const util::Json doc = util::Json::parse(slurp(bench_path));
-        html += "<h2>Hot-path benchmarks</h2>\n" + benchSection(doc);
+        html += "<h2>Hot-path benchmarks</h2>\n" +
+                gracefulSection("benchmarks", [&] {
+                    return benchSection(
+                        util::Json::parse(slurp(bench_path)));
+                });
     }
 
     html += "<p class=\"muted\">Generated by imsim_report from " +
