@@ -20,7 +20,10 @@
  *                     exit non-zero when a hot path regressed;
  *   --tolerance FRAC  allowed ns/op slowdown fraction in --baseline
  *                     mode (default 0.30 — container timing is noisy;
- *                     allocs/op is always compared tightly).
+ *                     allocs/op is always compared tightly);
+ *   --sim-threads N   threads for the sharded benches (default 8;
+ *                     results are bit-identical for any value, only
+ *                     the wall-clock moves).
  */
 
 #include <atomic>
@@ -48,6 +51,7 @@
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/shard.hh"
 #include "workload/queueing.hh"
 
 namespace {
@@ -231,6 +235,11 @@ benchQueueing(std::uint64_t target_requests)
 {
     sim::Simulation sim;
     workload::QueueingCluster::Params params;
+    // Retain only as much utilization history as the warm-up below
+    // covers: the per-server sliding-window rings reach their steady
+    // footprint before timing starts instead of growing (and
+    // allocating) for the default 200 s of simulated time.
+    params.utilWindow = 5.0;
     workload::QueueingCluster cluster(sim, util::Rng(1234), params);
     constexpr int kServers = 8;
     for (int i = 0; i < kServers; ++i)
@@ -239,9 +248,21 @@ benchQueueing(std::uint64_t target_requests)
     const double capacity = static_cast<double>(kServers) *
                             static_cast<double>(params.threadsPerServer) /
                             params.serviceMean;
+    // Warm up HOTTER than the measured load (90% vs 70% utilization):
+    // every growable structure — the backlog ring, the per-server
+    // sliding-window rings, the latency reservoir — reaches a capacity
+    // ceiling comfortably above anything the steady 70% loop can
+    // occupy, so the timed window below performs zero allocations
+    // instead of catching the odd burst-driven ring doubling. The
+    // latency reservoir is additionally primed through one full 5 s
+    // horizon chunk (the measurement loop resets it every chunk, and
+    // reset() keeps capacity).
+    cluster.setArrivalRate(0.9 * capacity);
+    sim.runUntil(5.0); // Past the empty-system transient.
+    cluster.resetLatencies();
+    sim.runUntil(10.0); // One full reservoir chunk at the hot rate.
     cluster.setArrivalRate(0.7 * capacity);
-
-    sim.runUntil(5.0); // Warm-up past the empty-system transient.
+    sim.runUntil(15.0); // Drain back to the measured operating point.
     cluster.resetLatencies();
 
     const std::uint64_t completed0 = cluster.completed();
@@ -464,6 +485,93 @@ benchFleetStepObjects(std::uint64_t target_server_minutes)
                       allocsSoFar() - allocs0);
 }
 
+/// The sharded stepAll: the same arithmetic as benchFleetStep fanned
+/// over a fixed 8-shard plan on a util::ShardRunner. The plan never
+/// depends on the thread count, so the columns land bit-identical to
+/// the serial bench for any --sim-threads; the fork-join itself is
+/// allocation-free after warm-up (pool-resident shard job, no
+/// packaged_task), which allocs/op pins.
+BenchResult
+benchFleetStepParallel(std::uint64_t target_server_minutes,
+                       std::size_t threads)
+{
+    const auto skus = makeFleetSkus();
+    constexpr std::size_t kServers = kFleetServers;
+    fleet::FleetState state;
+    populateFleet(state, skus, kServers);
+
+    const util::ShardPlan plan = util::ShardPlan::even(kServers, 8);
+    util::ShardRunner runner(threads);
+
+    // Warm-up: sizes the thermal/wear scratch and spins the pool up.
+    fleet::stepAll(state, skus, 60.0, plan, runner);
+
+    const std::uint64_t minutes =
+        std::max<std::uint64_t>(1, target_server_minutes / kServers);
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    for (std::uint64_t m = 0; m < minutes; ++m)
+        fleet::stepAll(state, skus, 60.0, plan, runner);
+    const auto t1 = Clock::now();
+    util::fatalIf(state.meanTj() <= 0.0,
+                  "bench: parallel fleet step went cold");
+    return makeResult("fleet_step_parallel", "server_minute",
+                      minutes * kServers, elapsedSeconds(t0, t1),
+                      allocsSoFar() - allocs0);
+}
+
+/// ROADMAP's fleet-scale target: a 100k-server datacenter (2500 racks
+/// x 40) under per-server fidelity, minute loop sharded across
+/// --sim-threads. Alloc accounting uses the same two-run differencing
+/// as benchDatacenter, so the per-run ShardRunner/trace setup cancels
+/// and allocs/op is the minute loop alone.
+BenchResult
+benchDatacenterLarge(double days, std::size_t sim_threads)
+{
+    cluster::RackConfig batch;
+    batch.servers = 40;
+    batch.priority = 1;
+    cluster::RackConfig latency;
+    latency.servers = 40;
+    latency.priority = 2;
+    latency.overclockDemand = 0.7;
+    std::vector<cluster::RackConfig> racks;
+    constexpr int kRacks = 2500;
+    racks.reserve(kRacks);
+    for (int i = 0; i < kRacks; ++i)
+        racks.push_back(i % 3 == 2 ? latency : batch);
+    // ~350 W per server: tight enough that capping and the PowerAware
+    // backout fire, so the sharded minute loop runs every branch.
+    cluster::DatacenterPowerSim dc(racks, 3.5e7, 1.3, 1.2);
+    dc.enablePerServerFidelity(
+        cluster::PerServerPhysics::openComputeImmersed());
+    dc.setSimThreads(sim_threads);
+
+    util::Rng rng_short(2021);
+    const std::uint64_t allocs_short0 = allocsSoFar();
+    dc.run(cluster::OverclockPolicy::PowerAware, rng_short, days);
+    const std::uint64_t allocs_short = allocsSoFar() - allocs_short0;
+
+    util::Rng rng_long(2021);
+    const std::uint64_t allocs_long0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    dc.run(cluster::OverclockPolicy::PowerAware, rng_long, 2.0 * days);
+    const auto t1 = Clock::now();
+    const std::uint64_t allocs_long = allocsSoFar() - allocs_long0;
+
+    const auto minutes =
+        static_cast<std::uint64_t>(2.0 * days * units::kMinutesPerDay);
+    const auto extra_minutes =
+        static_cast<std::uint64_t>(days * units::kMinutesPerDay);
+    const std::uint64_t loop_allocs =
+        allocs_long > allocs_short ? allocs_long - allocs_short : 0;
+    auto r = makeResult("datacenter_minutes_large", "minute", minutes,
+                        elapsedSeconds(t0, t1), 0);
+    r.allocsPerOp = static_cast<double>(loop_allocs) /
+                    static_cast<double>(extra_minutes);
+    return r;
+}
+
 // ---------------------------------------------------------------------
 // JSON report.
 // ---------------------------------------------------------------------
@@ -509,15 +617,22 @@ writeReport(const std::vector<BenchResult> &results,
  * Compare @p results against the JSON dump at @p baseline_path.
  * Timing regresses when ns/op exceeds the baseline by more than
  * @p tolerance (fractional); the allocation contract regresses when
- * allocs/op grows by more than 1.0 absolute (the de-allocation PRs'
- * guarantee is structural, not statistical). The baseline's "meta"
- * block is provenance only and never compared.
+ * allocs/op grows by more than 0.125 absolute — tight enough to catch
+ * a fraction-of-an-alloc-per-op structural leak (the kind a container
+ * churning every few ops produces) while forgiving the odd one-off
+ * growth event amortized over a full run. The baseline's "meta" block
+ * is provenance only and never compared.
+ *
+ * Every regression prints the benchmark's name and its percent delta
+ * against the baseline, and @p failed collects "name (+pct)" summaries
+ * so the caller's exit message names the offenders.
  *
  * @return the number of regressed benchmarks.
  */
 int
 checkAgainstBaseline(const std::vector<BenchResult> &results,
-                     const std::string &baseline_path, double tolerance)
+                     const std::string &baseline_path, double tolerance,
+                     std::vector<std::string> &failed)
 {
     std::ifstream in(baseline_path);
     util::fatalIf(!in, "bench_hot_paths: cannot read baseline " +
@@ -548,20 +663,28 @@ checkAgainstBaseline(const std::vector<BenchResult> &results,
         const double base_allocs =
             base_row->at("allocs_per_op").number();
         const double ratio = base_ns > 0.0 ? r.nsPerOp / base_ns : 1.0;
+        const double pct = (ratio - 1.0) * 100.0;
         bool bad = false;
         if (ratio > 1.0 + tolerance) {
             std::cout << "  [bench-check] REGRESSION " << r.name << ": "
                       << jsonNumber(r.nsPerOp) << " ns/" << r.unit
-                      << " vs baseline " << jsonNumber(base_ns) << " (x"
-                      << jsonNumber(ratio) << ", tolerance x"
-                      << jsonNumber(1.0 + tolerance) << ")\n";
+                      << " vs baseline " << jsonNumber(base_ns) << " (+"
+                      << jsonNumber(pct) << "%, tolerance +"
+                      << jsonNumber(tolerance * 100.0) << "%)\n";
+            failed.push_back(r.name + " (+" + jsonNumber(pct) +
+                             "% ns/op)");
             bad = true;
         }
-        if (r.allocsPerOp > base_allocs + 1.0) {
+        if (r.allocsPerOp > base_allocs + 0.125) {
             std::cout << "  [bench-check] REGRESSION " << r.name << ": "
                       << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
                       << " vs baseline " << jsonNumber(base_allocs)
-                      << "\n";
+                      << " (+"
+                      << jsonNumber(r.allocsPerOp - base_allocs)
+                      << " allocs/op)\n";
+            failed.push_back(r.name + " (+" +
+                             jsonNumber(r.allocsPerOp - base_allocs) +
+                             " allocs/op)");
             bad = true;
         }
         if (!bad) {
@@ -585,6 +708,10 @@ main(int argc, char **argv)
     const std::string out_path = cli.get("--out", "BENCH_hotpaths.json");
     const std::string baseline_path = cli.get("--baseline");
     const double tolerance = cli.getDouble("--tolerance", 0.30);
+    // The sharded benches default to 8 threads (the acceptance shape),
+    // overridable for single-core containers and thread sweeps.
+    const std::size_t sim_threads =
+        cli.has("--sim-threads") ? cli.simThreads() : 8;
 
     const auto scaled = [scale](double n) {
         const double v = n * scale;
@@ -599,6 +726,9 @@ main(int argc, char **argv)
         benchDatacenter(std::max(0.05, 30.0 * scale)));
     results.push_back(benchFleetStep(scaled(8e6)));
     results.push_back(benchFleetStepObjects(scaled(8e6)));
+    results.push_back(benchFleetStepParallel(scaled(8e6), sim_threads));
+    results.push_back(benchDatacenterLarge(std::max(0.02, 0.25 * scale),
+                                           sim_threads));
 
     std::cout << "Hot-path throughput (allocs/op counts steady-state"
                  " heap allocations):\n";
@@ -609,16 +739,31 @@ main(int argc, char **argv)
                   << jsonNumber(r.allocsPerOp) << " allocs/" << r.unit
                   << ")\n";
     }
-    // The batched kernels' reason to exist: report the speedup over the
-    // per-object loop they replace (DESIGN.md asks for >= 2x).
-    if (results.size() >= 2) {
-        const auto &batched = results[results.size() - 2];
-        const auto &objects = results[results.size() - 1];
-        if (batched.nsPerOp > 0.0) {
-            std::cout << "  fleet_step speedup vs per-object loop: x"
-                      << jsonNumber(objects.nsPerOp / batched.nsPerOp)
-                      << "\n";
+    const auto findResult =
+        [&results](const char *name) -> const BenchResult * {
+        for (const auto &r : results) {
+            if (r.name == name)
+                return &r;
         }
+        return nullptr;
+    };
+    // The batched kernels' reason to exist: report the speedup over the
+    // per-object loop they replace (DESIGN.md asks for >= 2x), and the
+    // sharded step's scaling on top of it (>= 3x at 8 threads on
+    // multi-core hosts; bounded by the machine's cores).
+    const BenchResult *batched = findResult("fleet_step");
+    const BenchResult *objects = findResult("fleet_step_objects");
+    const BenchResult *parallel = findResult("fleet_step_parallel");
+    if (batched && objects && batched->nsPerOp > 0.0) {
+        std::cout << "  fleet_step speedup vs per-object loop: x"
+                  << jsonNumber(objects->nsPerOp / batched->nsPerOp)
+                  << "\n";
+    }
+    if (batched && parallel && parallel->nsPerOp > 0.0) {
+        std::cout << "  fleet_step_parallel speedup vs serial ("
+                  << sim_threads << " threads): x"
+                  << jsonNumber(batched->nsPerOp / parallel->nsPerOp)
+                  << "\n";
     }
     const obs::RunManifest manifest =
         obs::RunManifest::capture(cli, 0, 1);
@@ -629,10 +774,14 @@ main(int argc, char **argv)
         std::cout << "Comparing against " << baseline_path
                   << " (tolerance x" << jsonNumber(1.0 + tolerance)
                   << "):\n";
-        const int regressions =
-            checkAgainstBaseline(results, baseline_path, tolerance);
+        std::vector<std::string> failed;
+        const int regressions = checkAgainstBaseline(
+            results, baseline_path, tolerance, failed);
         if (regressions > 0) {
-            std::cout << regressions << " hot path(s) regressed.\n";
+            std::cout << regressions << " hot path(s) regressed:";
+            for (std::size_t i = 0; i < failed.size(); ++i)
+                std::cout << (i == 0 ? " " : ", ") << failed[i];
+            std::cout << "\n";
             return 1;
         }
         std::cout << "All hot paths within tolerance.\n";

@@ -53,6 +53,15 @@ allocsSoFar()
 
 } // namespace
 
+// These replacements route every global new through malloc, so free()
+// inside operator delete is the matching deallocator — but GCC cannot
+// see that when it inlines operator delete into a caller that
+// allocated via operator new, and flags a false-positive
+// -Wmismatched-new-delete (fatal under the -Werror sanitizer builds).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void *
 operator new(std::size_t size)
 {

@@ -40,6 +40,9 @@ powerOversubscription(const util::Cli &cli,
     latency.overclockDemand = 0.7;
     cluster::DatacenterPowerSim sim({batch, batch, latency}, 40000.0,
                                     1.3, 1.2);
+    // Intra-run sharding: bit-identical for any value (see
+    // DatacenterPowerSim::setSimThreads), so the table never moves.
+    sim.setSimThreads(cli.simThreads());
 
     util::TableWriter table({"Policy", "Feed util", "Capping time",
                              "OC demand served", "OC wasted (capped)",
@@ -150,8 +153,9 @@ creditLedger()
 int
 main(int argc, char **argv)
 {
-    // Flags: --jobs N (default hardware concurrency), --report FILE,
-    // --progress [FILE], --profile [FILE].
+    // Flags: --jobs N (default hardware concurrency), --sim-threads N
+    // (threads inside each run; results are bit-identical for any
+    // value), --report FILE, --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
     obs::maybeEnableProfiler(cli);
     const obs::RunManifest manifest =

@@ -46,6 +46,9 @@ main(int argc, char **argv)
     latency.overclockDemand = 0.7;
     cluster::DatacenterPowerSim dc({batch, batch, latency}, 40000.0, 1.3,
                                    1.2);
+    // --sim-threads N shards each run's minute loop; the tables and
+    // telemetry are bit-identical for any value (see setSimThreads).
+    dc.setSimThreads(cli.simThreads());
 
     util::TableWriter table({"Policy", "Speedup delivered",
                              "OC wasted", "Capping time"});

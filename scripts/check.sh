@@ -6,10 +6,12 @@
 #      plus the capacity-crisis smoke sweep);
 #   4. the fleet smoke (`ctest -L fleet`: the scalar-vs-batched
 #      equivalence oracle and fleet edge cases);
-#   5. the observability suite (`ctest -L obs`: sketches, fleet
+#   5. the intra-run parallelism gate (`ctest -L fleet-par`: sharded
+#      minute-loop outputs bit-identical to serial for any --sim-threads);
+#   6. the observability suite (`ctest -L obs`: sketches, fleet
 #      aggregator, watchdogs, incident timelines, crisis detection);
-#   6. the perf smoke benches (`ctest -L perf`);
-#   7. the hot-path regression check against the committed
+#   7. the perf smoke benches (`ctest -L perf`);
+#   8. the hot-path regression check against the committed
 #      BENCH_hotpaths.json (scripts/bench.sh --check).
 #
 # Stops at the first failing step. The tsan suites have their own
@@ -21,26 +23,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-echo "== [1/7] build ($BUILD_DIR) =="
+echo "== [1/8] build ($BUILD_DIR) =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "== [2/7] tier-1 tests =="
+echo "== [2/8] tier-1 tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== [3/7] fault-injection suite (ctest -L fault) =="
+echo "== [3/8] fault-injection suite (ctest -L fault) =="
 ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure
 
-echo "== [4/7] fleet smoke (ctest -L fleet) =="
+echo "== [4/8] fleet smoke (ctest -L fleet) =="
 ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 
-echo "== [5/7] observability suite (ctest -L obs) =="
+echo "== [5/8] intra-run parallelism gate (ctest -L fleet-par) =="
+ctest --test-dir "$BUILD_DIR" -L fleet-par --output-on-failure
+
+echo "== [6/8] observability suite (ctest -L obs) =="
 ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
-echo "== [6/7] perf smoke (ctest -L perf) =="
+echo "== [7/8] perf smoke (ctest -L perf) =="
 ctest --test-dir "$BUILD_DIR" -L perf --output-on-failure
 
-echo "== [7/7] hot-path regression check =="
+echo "== [8/8] hot-path regression check =="
 scripts/bench.sh --check
 
 echo "All checks passed."

@@ -113,16 +113,29 @@ DatacenterPowerSim::attachObservability(obs::FleetAggregator *aggregator,
  * the fleet columns and poll the watchdog rules. Pure reads — no
  * model state, RNG stream, telemetry row, or metric is touched, so an
  * attached observer can never change a run's outcome.
+ *
+ * When the minute loop runs sharded (@p plan / @p runner non-null),
+ * the aggregator's reduction fans over the same shards; its sharded
+ * path is bit-identical to the serial one, so attached observers see
+ * the same sample stream at every thread count. The watchdog poll
+ * stays serial (it reads the aggregator's already-reduced sample).
  */
 void
 DatacenterPowerSim::observeMinute(std::size_t minute,
-                                  const fleet::FleetState &state) const
+                                  const fleet::FleetState &state,
+                                  const util::ShardPlan *plan,
+                                  util::ShardRunner *runner) const
 {
     if (!fleetAggregator && !watchdog)
         return;
     const Seconds now = static_cast<double>(minute) * 60.0;
-    if (fleetAggregator)
-        fleetAggregator->observe(now, fleet::fleetView(state), 60.0);
+    if (fleetAggregator) {
+        if (plan && runner && runner->threads() > 1)
+            fleetAggregator->observe(now, fleet::fleetView(state), 60.0,
+                                     *plan, *runner);
+        else
+            fleetAggregator->observe(now, fleet::fleetView(state), 60.0);
+    }
     if (watchdog)
         watchdog->evaluate(now);
 }
@@ -160,6 +173,23 @@ generateRackTraces(std::size_t rack_count, util::Rng &rng, double days)
         traces.push_back(gen.generate(rng, days));
     }
     return traces;
+}
+
+/**
+ * Target shard size for the intra-run fan-out. The count of shards a
+ * fleet splits into is a pure function of its size — never of the
+ * thread count — so every --sim-threads value schedules the *same*
+ * shards and reproduces the same bits (see setSimThreads). ~2k units
+ * per shard keeps each shard's physics pass tens of microseconds,
+ * comfortably above the fork-join synchronisation cost, while still
+ * exposing 48+ shards at the roadmap's 100k-server scale.
+ */
+constexpr std::size_t kShardGrainUnits = 2048;
+
+std::size_t
+shardCountFor(std::size_t units)
+{
+    return units == 0 ? 1 : (units + kShardGrainUnits - 1) / kShardGrainUnits;
 }
 
 } // namespace
@@ -224,12 +254,25 @@ DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
     fleet::FleetState state;
     state.addServers(racks.size(), 0, 0.0);
 
+    // Intra-run sharding (setSimThreads): in aggregate mode the
+    // shardable units are racks. The demand refresh is elementwise per
+    // rack and the aggregator reduction shards bit-identically; the
+    // capping allocation and the accounting walk stay serial (they are
+    // FP-order-sensitive whole-fleet reductions). The plan's geometry
+    // depends only on the rack count, so every thread count computes
+    // identical results; threads == 1 never touches a pool.
+    util::ShardRunner runner(simThreadCount);
+    const bool sharded = runner.threads() > 1;
+    util::ShardPlan plan;
+    if (sharded)
+        plan = util::ShardPlan::even(racks.size(),
+                                     shardCountFor(racks.size()));
+
     const std::size_t minutes = traces.front().size();
     for (std::size_t minute = 0; minute < minutes; ++minute) {
         obs::ProfScope minute_prof("datacenter.minute");
-        // Refresh the per-minute demands.
-        Watts demand_total = 0.0;
-        for (std::size_t r = 0; r < racks.size(); ++r) {
+        // Refresh the per-minute demands (elementwise per rack).
+        const auto refreshRack = [&](std::size_t r) {
             const auto &rack = racks[r];
             const double util = traces[r][minute].utilization;
             const double servers = static_cast<double>(rack.servers);
@@ -258,8 +301,22 @@ DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
                     servers * state.overclockShare[r] * rack.overclockExtra;
             }
             consumers[r].demand = demand;
-            demand_total += demand;
+        };
+        if (sharded) {
+            runner.run(plan, [&](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r)
+                    refreshRack(r);
+            });
+        } else {
+            for (std::size_t r = 0; r < racks.size(); ++r)
+                refreshRack(r);
         }
+        // Fixed rack order: the same left-to-right sum as the serial
+        // loop, regardless of which thread refreshed which rack.
+        Watts demand_total = 0.0;
+        for (std::size_t r = 0; r < racks.size(); ++r)
+            demand_total += consumers[r].demand;
 
         // Power-aware policy backs the overclock out again when the
         // aggregate would breach the feed.
@@ -334,7 +391,8 @@ DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
                 static_cast<std::uint64_t>(capped_racks));
             feed_util_metric->observe(feed_util);
         }
-        observeMinute(minute, state);
+        observeMinute(minute, state, sharded ? &plan : nullptr,
+                      sharded ? &runner : nullptr);
     }
 
     const double total_minutes = static_cast<double>(minutes);
@@ -459,6 +517,28 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
     out.policy = policy;
     out.fleet.servers = n;
 
+    // Intra-run sharding (setSimThreads): the fleet splits into
+    // rack-aligned shards — every rack lies whole inside one shard, so
+    // a rack's demand sum is still one thread's left-to-right
+    // accumulation, bit-identical to the serial loop. The plan's
+    // geometry depends only on the rack layout, never the thread
+    // count; shardRack[s] is the first rack of shard s.
+    util::ShardRunner runner(simThreadCount);
+    const bool sharded = runner.threads() > 1;
+    util::ShardPlan plan;
+    std::vector<std::size_t> shardRack;
+    if (sharded) {
+        plan = util::ShardPlan::alignedTo(rackBegin, shardCountFor(n));
+        shardRack.reserve(plan.shards() + 1);
+        std::size_t r = 0;
+        for (std::size_t s = 0; s < plan.shards(); ++s) {
+            while (rackBegin[r] < plan.begin(s))
+                ++r;
+            shardRack.push_back(r);
+        }
+        shardRack.push_back(racks.size());
+    }
+
     double feed_util_sum = 0.0;
     double capping_minutes = 0.0;
     double want_minutes = 0.0;
@@ -475,8 +555,8 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
     for (std::size_t minute = 0; minute < minutes; ++minute) {
         obs::ProfScope minute_prof("datacenter.minute");
 
-        // Desired operating point per server.
-        for (std::size_t r = 0; r < racks.size(); ++r) {
+        // Desired operating point per server (elementwise per rack).
+        const auto setRackOperatingPoints = [&](std::size_t r) {
             const auto &rack = racks[r];
             const double rack_util = traces[r][minute].utilization;
             for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
@@ -495,41 +575,75 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
                     grant ? fleet::kOverclocked : fleet::kNominal;
                 state.capped[i] = 0;
             }
-        }
-
-        // Physics pass: per-server dynamic + leakage power at the
-        // desired points feeds the rack demands and the capping
-        // decision.
-        fleet::stepPower(state, skus);
-        Watts demand_total = 0.0;
-        for (std::size_t r = 0; r < racks.size(); ++r) {
+        };
+        // Left-to-right sum over one rack's servers — whole inside a
+        // single shard, so serial and sharded runs associate
+        // identically.
+        const auto sumRackDemand = [&](std::size_t r) {
             Watts demand = 0.0;
             for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
                 demand += state.totalPower[i];
             consumers[r].demand = demand;
-            demand_total += demand;
+        };
+
+        // Physics pass: per-server dynamic + leakage power at the
+        // desired points feeds the rack demands and the capping
+        // decision.
+        if (sharded) {
+            runner.run(plan, [&](std::size_t s, std::size_t begin,
+                                 std::size_t end) {
+                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                     ++r)
+                    setRackOperatingPoints(r);
+                fleet::stepPower(state, skus, begin, end);
+                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                     ++r)
+                    sumRackDemand(r);
+            });
+        } else {
+            for (std::size_t r = 0; r < racks.size(); ++r)
+                setRackOperatingPoints(r);
+            fleet::stepPower(state, skus);
+            for (std::size_t r = 0; r < racks.size(); ++r)
+                sumRackDemand(r);
         }
+        // Cross-rack total: serial, in fixed rack order (the barrier
+        // before this line is what makes the order deterministic).
+        Watts demand_total = 0.0;
+        for (std::size_t r = 0; r < racks.size(); ++r)
+            demand_total += consumers[r].demand;
 
         // Power-aware policy backs every overclock out when the fleet
         // would breach the feed, before capping has to fire.
         if (policy == OverclockPolicy::PowerAware &&
             demand_total > feedCapacity && state.overclockedCount() > 0) {
-            for (std::size_t i = 0; i < n; ++i) {
-                if (state.overclocked[i] != 0) {
-                    state.overclocked[i] = 0;
-                    state.freqLevel[i] = fleet::kNominal;
+            const auto clearOverclocks = [&](std::size_t begin,
+                                             std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    if (state.overclocked[i] != 0) {
+                        state.overclocked[i] = 0;
+                        state.freqLevel[i] = fleet::kNominal;
+                    }
                 }
+            };
+            if (sharded) {
+                runner.run(plan, [&](std::size_t s, std::size_t begin,
+                                     std::size_t end) {
+                    clearOverclocks(begin, end);
+                    fleet::stepPower(state, skus, begin, end);
+                    for (std::size_t r = shardRack[s];
+                         r < shardRack[s + 1]; ++r)
+                        sumRackDemand(r);
+                });
+            } else {
+                clearOverclocks(0, n);
+                fleet::stepPower(state, skus);
+                for (std::size_t r = 0; r < racks.size(); ++r)
+                    sumRackDemand(r);
             }
-            fleet::stepPower(state, skus);
             demand_total = 0.0;
-            for (std::size_t r = 0; r < racks.size(); ++r) {
-                Watts demand = 0.0;
-                for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
-                     ++i)
-                    demand += state.totalPower[i];
-                consumers[r].demand = demand;
-                demand_total += demand;
-            }
+            for (std::size_t r = 0; r < racks.size(); ++r)
+                demand_total += consumers[r].demand;
         }
 
         budget.allocate(consumers, scratch, false);
@@ -570,7 +684,7 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
                     speedup_sum += 1.0;
                 }
             }
-            if (rack_capped) {
+            if (rack_capped && !sharded) {
                 // Re-evaluate the rack's power at the clawed-back
                 // frequencies so the thermal/wear steps see the capped
                 // operating point.
@@ -580,8 +694,30 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
         }
 
         // Thermal and wear advance at the post-capping operating point.
-        fleet::stepThermal(state, skus, minute_dt);
-        fleet::stepWear(state, skus, minute_years);
+        if (sharded) {
+            // The capped-rack power re-evaluation is deferred into this
+            // fused phase: every rack's freqLevel is final once the
+            // accounting loop above finishes, stepPower is elementwise
+            // over exactly that input, and nothing between the inline
+            // call site and here reads the power columns — so deferring
+            // it is bit-identical to the serial interleaving.
+            fleet::prepareThermalStep(state, skus, minute_dt);
+            fleet::prepareWearStep(state);
+            runner.run(plan, [&](std::size_t s, std::size_t begin,
+                                 std::size_t end) {
+                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                     ++r) {
+                    if (scratch.capped[r] != 0)
+                        fleet::stepPower(state, skus, rackBegin[r],
+                                         rackBegin[r + 1]);
+                }
+                fleet::stepThermal(state, skus, minute_dt, begin, end);
+                fleet::stepWear(state, skus, minute_years, begin, end);
+            });
+        } else {
+            fleet::stepThermal(state, skus, minute_dt);
+            fleet::stepWear(state, skus, minute_years);
+        }
 
         feed_util_sum += drawn / feedCapacity;
         if (any_capped)
@@ -617,7 +753,8 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
             mean_wear_gauge->set(mean_wear);
             mean_credit_gauge->set(state.meanWearCredit(skus));
         }
-        observeMinute(minute, state);
+        observeMinute(minute, state, sharded ? &plan : nullptr,
+                      sharded ? &runner : nullptr);
     }
 
     const double total_minutes = static_cast<double>(minutes);

@@ -25,6 +25,7 @@
 #include "fleet/state.hh"
 #include "power/capping.hh"
 #include "util/random.hh"
+#include "util/shard.hh"
 #include "util/units.hh"
 #include "workload/trace.hh"
 
@@ -179,6 +180,33 @@ class DatacenterPowerSim
     FleetFidelity fidelity() const { return fidelityMode; }
 
     /**
+     * Use @p threads compute threads inside each run(): the per-minute
+     * fleet physics (and an attached FleetAggregator's reductions) are
+     * fanned over rack-aligned shards of the fleet columns, with a
+     * barrier at every minute tick before the serial accounting and
+     * capping allocation.
+     *
+     * Determinism contract (tests/test_fleet.cc holds it bit-exact):
+     * threads == 1 (the default) runs the original serial loop, and
+     * any thread count reproduces it bit-for-bit — shard geometry
+     * depends only on the rack layout (never on the thread count),
+     * shard bodies are elementwise, per-rack demand sums stay whole
+     * inside one shard, and every order-sensitive floating-point
+     * reduction runs serially in fixed rack/server order after the
+     * barrier. --sim-threads trades wall-clock only, never results.
+     *
+     * @param threads Compute threads per run, caller included
+     *                (0 is clamped to 1).
+     */
+    void setSimThreads(std::size_t threads)
+    {
+        simThreadCount = threads == 0 ? 1 : threads;
+    }
+
+    /** @return compute threads used inside each run(). */
+    std::size_t simThreads() const { return simThreadCount; }
+
+    /**
      * Attach streaming observers to the minute loop: after each
      * minute's physics, @p aggregator (when non-null) reduces the
      * fleet columns (obs::FleetAggregator::observe with the minute's
@@ -205,13 +233,15 @@ class DatacenterPowerSim
     DatacenterOutcome runPerServer(OverclockPolicy policy, util::Rng &rng,
                                    double days, obs::TimeSeries *telemetry,
                                    obs::MetricRegistry *metrics) const;
-    void observeMinute(std::size_t minute,
-                       const fleet::FleetState &state) const;
+    void observeMinute(std::size_t minute, const fleet::FleetState &state,
+                       const util::ShardPlan *plan,
+                       util::ShardRunner *runner) const;
 
     std::vector<RackConfig> racks;
     Watts feedCapacity;
     double oversub;
     double ocSpeedup;
+    std::size_t simThreadCount = 1;
     FleetFidelity fidelityMode = FleetFidelity::RackAggregate;
     PerServerPhysics physics;
     obs::FleetAggregator *fleetAggregator = nullptr;

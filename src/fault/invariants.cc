@@ -1,7 +1,9 @@
 #include "fault/invariants.hh"
 
+#include <cmath>
 #include <numeric>
 
+#include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "power/capping.hh"
@@ -75,6 +77,29 @@ InvariantChecker::watchJunction(std::function<Celsius()> tj, Celsius tj_max)
     util::fatalIf(!tj, "InvariantChecker::watchJunction: empty reader");
     addCheck("cpu.junction_below_max", [tj = std::move(tj), tj_max] {
         return tj() <= tj_max;
+    });
+}
+
+void
+InvariantChecker::watchFleetAggregator(
+    const obs::FleetAggregator &aggregator, Celsius tj_max)
+{
+    addCheck("fleet.junction_below_max", [&aggregator, tj_max] {
+        const obs::FleetSample sample = aggregator.snapshot();
+        return sample.units == 0 ||
+               sample.overall[obs::kChanTj].max <= tj_max;
+    });
+    addCheck("fleet.aggregates_finite", [&aggregator] {
+        const obs::FleetSample sample = aggregator.snapshot();
+        if (sample.units == 0)
+            return true;
+        if (!std::isfinite(sample.fleetPower))
+            return false;
+        for (int c = 0; c < obs::kFleetChannels; ++c) {
+            if (!std::isfinite(sample.overall[c].max))
+                return false;
+        }
+        return true;
     });
 }
 

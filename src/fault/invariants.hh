@@ -29,6 +29,7 @@ namespace imsim {
 namespace obs {
 class Counter;
 class EventTracer;
+class FleetAggregator;
 class MetricRegistry;
 } // namespace obs
 
@@ -86,6 +87,18 @@ class InvariantChecker
 
     /** Canned junction check: @p tj() stays at or below @p tj_max. */
     void watchJunction(std::function<Celsius()> tj, Celsius tj_max);
+
+    /**
+     * Canned fleet checks over @p aggregator's published sample: while
+     * the fleet is non-empty, its hottest junction stays at or below
+     * @p tj_max and the headline aggregates (fleet power, per-channel
+     * max) stay finite. Reads go through the aggregator's
+     * mutex-published snapshot() — the cross-thread safe point — so the
+     * checker stays valid while a sharded run (setSimThreads > 1) is
+     * publishing from inside its minute loop.
+     */
+    void watchFleetAggregator(const obs::FleetAggregator &aggregator,
+                              Celsius tj_max);
 
     /**
      * Publish counters `<prefix>.checks` (ticks x checks evaluated) and

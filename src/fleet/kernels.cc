@@ -38,8 +38,8 @@ stepPower(FleetState &state, const std::vector<SkuParams> &skus,
 }
 
 void
-stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
-            Seconds dt)
+prepareThermalStep(FleetState &state, const std::vector<SkuParams> &skus,
+                   Seconds dt)
 {
     util::fatalIf(dt < 0.0, "stepThermal: negative dt");
     util::fatalIf(skus.empty(), "stepThermal: no SKUs");
@@ -50,7 +50,19 @@ stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
     decay.resize(skus.size());
     for (std::size_t s = 0; s < skus.size(); ++s)
         decay[s] = std::exp(-dt / (skus[s].rth * skus[s].thermalCap));
-    for (std::size_t i = 0; i < state.size(); ++i) {
+}
+
+void
+stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
+            Seconds dt, std::size_t begin, std::size_t end)
+{
+    util::fatalIf(begin > end || end > state.size(),
+                  "stepThermal: bad server range");
+    util::fatalIf(state.thermalDecayScratch.size() != skus.size(),
+                  "stepThermal: prepareThermalStep() not run");
+    (void)dt; // Folded into the prepared decay factors.
+    const std::vector<double> &decay = state.thermalDecayScratch;
+    for (std::size_t i = begin; i < end; ++i) {
         const std::uint32_t s = state.skuIndex[i];
         const SkuParams &p = skus[s];
         // ThermalNode::step: target = steadyState(power, ref) =
@@ -63,32 +75,54 @@ stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
 }
 
 void
+stepThermal(FleetState &state, const std::vector<SkuParams> &skus,
+            Seconds dt)
+{
+    prepareThermalStep(state, skus, dt);
+    stepThermal(state, skus, dt, 0, state.size());
+}
+
+void
+prepareWearStep(FleetState &state)
+{
+    // Scratch sizing is the only allocating (and thus only
+    // non-thread-safe) part of stepWear; hoisted here so range calls
+    // can fan out over pre-sized columns.
+    const std::size_t n = state.size();
+    state.wearOxideScratch.resize(n);
+    state.wearArrheniusScratch.resize(n);
+}
+
+void
 stepWear(FleetState &state, const std::vector<SkuParams> &skus,
-         Years duration)
+         Years duration, std::size_t begin, std::size_t end)
 {
     util::fatalIf(duration < 0.0, "stepWear: negative duration");
     util::fatalIf(skus.empty(), "stepWear: no SKUs");
+    util::fatalIf(begin > end || end > state.size(),
+                  "stepWear: bad server range");
+    util::fatalIf(state.wearOxideScratch.size() != state.size() ||
+                      state.wearArrheniusScratch.size() != state.size(),
+                  "stepWear: prepareWearStep() not run");
     using namespace reliability::constants;
     // Loop-invariant pieces of the mechanism rates, written exactly as
     // reliability/mechanisms.cc computes them.
     const double vertex = -kOxideTempA / (2.0 * kOxideTempC);
     const double tref = units::toKelvin(kTjRef);
-    const std::size_t n = state.size();
     // The wear update is split into per-transcendental passes: a tight
     // loop around a single libm call pipelines far better than one fat
     // body serialising three of them (each server's arithmetic chain is
     // unchanged, so FP identity is unaffected — only the program order
-    // across servers moves). The intermediate factors land in scratch
-    // columns that stabilise after the first call.
+    // across servers moves, which is also why disjoint ranges of the
+    // same passes thread safely). The intermediate factors land in
+    // scratch columns that stabilise after the first call.
     std::vector<double> &oxide = state.wearOxideScratch;
     std::vector<double> &arrhenius = state.wearArrheniusScratch;
-    oxide.resize(n);
-    arrhenius.resize(n);
 
     // gateOxideRate's temperature factor: clamp at the quadratic's
     // low-temperature vertex, then exp(temp_term); the voltage factor
     // kOxideA * exp(volt_term) is hoisted into lv.oxideVoltFactor.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         const double dtj = std::max(state.tj[i] - kTjRef, vertex);
         const double temp_term = kOxideTempA * dtj + kOxideTempC * dtj * dtj;
         oxide[i] = std::exp(temp_term);
@@ -96,7 +130,7 @@ stepWear(FleetState &state, const std::vector<SkuParams> &skus,
 
     // electromigrationRate's Arrhenius factor; kEmA * (j * j) is
     // hoisted into lv.emBase.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         const double t = units::toKelvin(state.tj[i]);
         arrhenius[i] =
             std::exp(kEmEa / units::kBoltzmannEv * (1.0 / tref - 1.0 / t));
@@ -107,7 +141,7 @@ stepWear(FleetState &state, const std::vector<SkuParams> &skus,
     // accrue: LifetimeModel::wearFraction with dutyCycle = utilization
     // (voltage/current-driven wear scales with duty under an idle
     // floor; thermal cycling does not), accumulated WearTracker-style.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         const SkuParams &p = skus[state.skuIndex[i]];
         const SkuLevelParams &lv = p.level[state.freqLevel[i]];
         const double gate_oxide = lv.oxideVoltFactor * oxide[i];
@@ -128,11 +162,36 @@ stepWear(FleetState &state, const std::vector<SkuParams> &skus,
 }
 
 void
+stepWear(FleetState &state, const std::vector<SkuParams> &skus,
+         Years duration)
+{
+    prepareWearStep(state);
+    stepWear(state, skus, duration, 0, state.size());
+}
+
+void
 stepAll(FleetState &state, const std::vector<SkuParams> &skus, Seconds dt)
 {
     stepPower(state, skus);
     stepThermal(state, skus, dt);
     stepWear(state, skus, secondsToYears(dt));
+}
+
+void
+stepAll(FleetState &state, const std::vector<SkuParams> &skus, Seconds dt,
+        const util::ShardPlan &plan, util::ShardRunner &runner)
+{
+    util::fatalIf(plan.units() != state.size(),
+                  "stepAll: shard plan does not cover the fleet");
+    const Years duration = secondsToYears(dt);
+    prepareThermalStep(state, skus, dt);
+    prepareWearStep(state);
+    runner.run(plan,
+               [&](std::size_t, std::size_t begin, std::size_t end) {
+                   stepPower(state, skus, begin, end);
+                   stepThermal(state, skus, dt, begin, end);
+                   stepWear(state, skus, duration, begin, end);
+               });
 }
 
 } // namespace fleet

@@ -156,6 +156,134 @@ FleetAggregator::observe(Seconds t, const FleetView &view, Seconds dt)
         }
     }
 
+    finishTick(t);
+}
+
+void
+FleetAggregator::observe(Seconds t, const FleetView &view, Seconds dt,
+                         const util::ShardPlan &plan,
+                         util::ShardRunner &runner)
+{
+    const std::size_t n = view.count;
+    util::fatalIf(plan.units() != n,
+                  "FleetAggregator::observe: plan does not cover the view");
+
+    // (Re)build the shard-private sketch scratch when the plan shape
+    // changes; geometry clones of the per-SKU sketches. Stable plans
+    // (the minute loop's case) hit this once.
+    const std::size_t cells = cfg.skuCount * kFleetChannels;
+    const std::size_t shards = plan.shards();
+    if (shardSketches.size() != shards * cells) {
+        shardSketches.clear();
+        shardSketches.reserve(shards * cells);
+        for (std::size_t s = 0; s < shards; ++s)
+            for (std::size_t cell = 0; cell < cells; ++cell)
+                shardSketches.push_back(sketches[cell]);
+    }
+
+    // Wear-rate scratch sizing stays serial (it allocates on the first
+    // tick / fleet resize); the per-unit fills run inside the shards.
+    const double dt_years =
+        dt > 0.0 ? dt / (units::kSecondsPerHour * units::kHoursPerYear)
+                 : 0.0;
+    const bool have_wear = view.wearConsumed != nullptr && n > 0;
+    bool first_wear_tick = false;
+    if (have_wear && prevWear.size() != n) {
+        prevWear.resize(n);
+        wearRateScratch.resize(n);
+        first_wear_tick = true;
+    }
+    const double inv_years = dt_years > 0.0 ? 1.0 / dt_years : 0.0;
+
+    for (Accum &acc : accums)
+        acc = Accum{kInf, -kInf, 0.0, 0};
+    for (util::QuantileSketch &sketch : sketches)
+        sketch.reset();
+
+    // Validate the sku column on the caller's thread: a fatal inside
+    // the parallel body would unwind through a pool worker instead of
+    // reaching the caller.
+    const std::size_t sku_count = cfg.skuCount;
+    if (view.sku != nullptr) {
+        for (std::size_t i = 0; i < n; ++i)
+            util::fatalIf(view.sku[i] >= sku_count,
+                          "FleetAggregator::observe: sku out of range");
+    }
+
+    // Parallel phase: wear-rate fills (elementwise) and sketch fills
+    // (shard-private bins). Nothing here is FP-order-sensitive.
+    runner.run(plan, [&](std::size_t s, std::size_t begin,
+                         std::size_t end) {
+        if (have_wear) {
+            if (first_wear_tick) {
+                for (std::size_t i = begin; i < end; ++i) {
+                    wearRateScratch[i] = 0.0;
+                    prevWear[i] = view.wearConsumed[i];
+                }
+            } else {
+                for (std::size_t i = begin; i < end; ++i) {
+                    wearRateScratch[i] =
+                        (view.wearConsumed[i] - prevWear[i]) * inv_years;
+                    prevWear[i] = view.wearConsumed[i];
+                }
+            }
+        }
+        util::QuantileSketch *mine = &shardSketches[s * cells];
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            mine[cell].reset();
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t sku = view.sku ? view.sku[i] : 0;
+            const std::size_t base = sku * kFleetChannels;
+            const double values[kFleetChannels] = {
+                view.tj ? view.tj[i] : 0.0,
+                view.totalPower ? view.totalPower[i] : 0.0,
+                view.utilization ? view.utilization[i] : 0.0,
+                have_wear ? wearRateScratch[i] : 0.0,
+            };
+            for (std::size_t ch = 0; ch < kFleetChannels; ++ch)
+                mine[base + ch].add(values[ch]);
+        }
+    });
+
+    // Deterministic reduction. The min/max/sum accumulators are the
+    // FP-order-sensitive part, so they run serially in unit order —
+    // the exact loop (minus sketch fills) the serial observe() runs.
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t sku = view.sku ? view.sku[i] : 0;
+        const std::size_t base = sku * kFleetChannels;
+        const double values[kFleetChannels] = {
+            view.tj ? view.tj[i] : 0.0,
+            view.totalPower ? view.totalPower[i] : 0.0,
+            view.utilization ? view.utilization[i] : 0.0,
+            have_wear ? wearRateScratch[i] : 0.0,
+        };
+        for (std::size_t ch = 0; ch < kFleetChannels; ++ch) {
+            const double v = values[ch];
+            Accum &acc = accums[base + ch];
+            acc.min = v < acc.min ? v : acc.min;
+            acc.max = v > acc.max ? v : acc.max;
+            acc.sum += v;
+            ++acc.n;
+        }
+    }
+    // Shard sketches merge in ascending shard order; bin counts are
+    // integers, so the merged counts equal the serial fill exactly.
+    for (std::size_t s = 0; s < shards; ++s)
+        for (std::size_t cell = 0; cell < cells; ++cell)
+            sketches[cell].merge(shardSketches[s * cells + cell]);
+
+    finishTick(t);
+}
+
+/**
+ * Shared epilogue of both observe() paths: fold the per-(SKU, channel)
+ * accumulators and sketches into the current sample, advance the tick
+ * count, update the cumulative sketches, record the series row, and
+ * publish for cross-thread snapshot() readers.
+ */
+void
+FleetAggregator::finishTick(Seconds t)
+{
     reduceInto(current, t);
     ++tickCount;
 

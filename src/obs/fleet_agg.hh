@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/timeseries.hh"
+#include "util/shard.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -134,6 +135,24 @@ class FleetAggregator
      */
     void observe(Seconds t, const FleetView &view, Seconds dt);
 
+    /**
+     * Sharded observe: the sketch fills (the per-unit hot loop) fan
+     * out over @p runner's threads, one private sketch set per shard
+     * of @p plan, then reduce deterministically — per-shard sketches
+     * merge in ascending shard order (integer bin counts, exact under
+     * any grouping), and the order-sensitive floating-point min/max/sum
+     * accumulators run in a serial pass in unit order. The published
+     * sample, recorded series row, and cumulative sketches are
+     * bit-identical to the serial observe() for any plan and any
+     * thread count.
+     *
+     * @p plan must cover exactly view.count units. Steady-state calls
+     * are allocation-free once the per-shard scratch has been sized
+     * (re-sized only when the plan's shard count changes).
+     */
+    void observe(Seconds t, const FleetView &view, Seconds dt,
+                 const util::ShardPlan &plan, util::ShardRunner &runner);
+
     /** @return the last tick's sample (sim thread; no lock). */
     const FleetSample &latest() const { return current; }
 
@@ -179,6 +198,7 @@ class FleetAggregator
     };
 
     void reduceInto(FleetSample &sample, Seconds t);
+    void finishTick(Seconds t);
     static void finishChannel(ChannelStats &stats, const Accum &acc,
                               const util::QuantileSketch &sketch);
 
@@ -196,6 +216,11 @@ class FleetAggregator
     std::vector<double> prevWear;
     /** Per-unit wear-rate scratch for the sketch pass. */
     std::vector<double> wearRateScratch;
+    /**
+     * Shard-private sketch scratch for the sharded observe():
+     * [shard * (skuCount * channels) + cell]; sized to the plan.
+     */
+    std::vector<util::QuantileSketch> shardSketches;
 
     std::size_t tickCount = 0;
     TimeSeries recorded;

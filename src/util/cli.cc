@@ -80,6 +80,16 @@ Cli::jobs() const
     return static_cast<std::size_t>(n);
 }
 
+std::size_t
+Cli::simThreads() const
+{
+    const std::int64_t n = getInt("--sim-threads", 1);
+    fatalIf(n < 0, "Cli: --sim-threads expects a non-negative count");
+    if (n == 0)
+        return ThreadPool::defaultWorkers();
+    return static_cast<std::size_t>(n);
+}
+
 double
 Cli::getDouble(const std::string &flag, double fallback) const
 {

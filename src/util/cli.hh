@@ -62,6 +62,18 @@ class Cli
      */
     std::size_t jobs() const;
 
+    /**
+     * Shared "--sim-threads N" flag: compute threads for the intra-run
+     * sharded fleet physics (DatacenterPowerSim::setSimThreads).
+     *
+     * @return N when given (FatalError when negative; 0 means "use the
+     *         hardware concurrency"); defaults to 1 — the serial minute
+     *         loop. Any value reproduces N=1 bit-for-bit; this flag
+     *         only trades wall-clock, never results. Orthogonal to
+     *         --jobs (sweep points vs threads *inside* one run).
+     */
+    std::size_t simThreads() const;
+
     /** @return "--trace FILE" (Chrome-trace JSON output), "" if unset. */
     std::string traceFile() const { return get("--trace"); }
 

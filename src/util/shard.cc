@@ -1,0 +1,74 @@
+#include "util/shard.hh"
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace util {
+
+ShardPlan
+ShardPlan::even(std::size_t units, std::size_t shards)
+{
+    ShardPlan plan;
+    if (units == 0)
+        return plan;
+    const std::size_t n = std::min(units, shards == 0 ? 1 : shards);
+    plan.bounds.reserve(n + 1);
+    plan.bounds.push_back(0);
+    for (std::size_t s = 0; s < n; ++s) {
+        // units/n per shard, the first units%n shards one unit larger —
+        // exact integer arithmetic, no accumulation drift.
+        const std::size_t end = (units * (s + 1)) / n;
+        plan.bounds.push_back(end);
+    }
+    return plan;
+}
+
+ShardPlan
+ShardPlan::alignedTo(const std::vector<std::size_t> &group_begin,
+                     std::size_t shards)
+{
+    ShardPlan plan;
+    fatalIf(group_begin.size() < 2 || group_begin.front() != 0,
+            "ShardPlan::alignedTo: need offsets [0, ..., units]");
+    const std::size_t groups = group_begin.size() - 1;
+    const std::size_t units = group_begin.back();
+    if (units == 0)
+        return plan;
+    const std::size_t n =
+        std::min(groups, std::min(units, shards == 0 ? 1 : shards));
+    plan.bounds.reserve(n + 1);
+    plan.bounds.push_back(0);
+    // Greedy pack: shard s closes at the first group boundary at or
+    // past the even split point, never splitting a group. Deterministic
+    // in (group_begin, shards) alone.
+    std::size_t g = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+        const std::size_t target = (units * (s + 1)) / n;
+        const std::size_t groups_left = groups - g;
+        const std::size_t shards_left = n - s;
+        // Leave at least one group for each remaining shard.
+        std::size_t close = g + 1;
+        while (close < groups - (shards_left - 1) &&
+               group_begin[close] < target)
+            ++close;
+        fatalIf(groups_left < shards_left,
+                "ShardPlan::alignedTo: internal shard/group imbalance");
+        g = close;
+        plan.bounds.push_back(group_begin[g]);
+    }
+    // The loop's leave-one-group guard guarantees the final shard
+    // closes exactly at the last boundary.
+    fatalIf(plan.bounds.back() != units,
+            "ShardPlan::alignedTo: plan does not cover all units");
+    return plan;
+}
+
+ShardRunner::ShardRunner(std::size_t threads)
+    : threadCount(threads == 0 ? 1 : threads)
+{
+    if (threadCount > 1)
+        pool = std::make_unique<ThreadPool>(threadCount - 1);
+}
+
+} // namespace util
+} // namespace imsim

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Intra-run sharding primitives: a deterministic partition of a
+ * contiguous index range (ShardPlan) and a fork-join executor over it
+ * (ShardRunner, backed by util::ThreadPool::parallelFor).
+ *
+ * Determinism contract (the FP-identity oracle the fleet layer tests):
+ *
+ *  - A plan's geometry is a pure function of the population it
+ *    partitions (unit count, or group boundaries for aligned plans) —
+ *    never of the thread count. Threads only *schedule* shards.
+ *  - Shard bodies must write only their own [begin, end) slice of any
+ *    shared columns (elementwise kernels qualify trivially).
+ *  - Order-sensitive floating-point reductions are performed by the
+ *    caller after run() returns, walking shards (or units) in fixed
+ *    ascending order — never in completion order.
+ *
+ * Under those rules a sharded pass is bit-identical to the serial loop
+ * for ANY shard count and ANY thread count, which is why
+ * `--sim-threads 8` reproduces `--sim-threads 1` exactly.
+ */
+
+#ifndef IMSIM_UTIL_SHARD_HH
+#define IMSIM_UTIL_SHARD_HH
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace imsim {
+namespace util {
+
+/**
+ * A partition of [0, units) into contiguous, ordered, non-empty
+ * shards. Value type; cheap to copy and compare.
+ */
+class ShardPlan
+{
+  public:
+    /** An empty plan over zero units (0 shards). */
+    ShardPlan() = default;
+
+    /**
+     * Evenly split [0, units) into at most @p shards contiguous
+     * ranges (fewer when units < shards; sizes differ by at most 1).
+     * Deterministic: depends only on (units, shards).
+     */
+    static ShardPlan even(std::size_t units, std::size_t shards);
+
+    /**
+     * Split a grouped population on group boundaries: @p group_begin
+     * holds the first unit index of each group plus a final
+     * end-sentinel (the rack-offset convention: group g spans
+     * [group_begin[g], group_begin[g+1])). Groups are packed greedily
+     * toward units/shards per shard, and no group is ever split — the
+     * property that keeps per-group FP sums (e.g. per-rack power
+     * demand) bit-identical to the serial loop, because every group's
+     * sum is still accumulated left-to-right by exactly one thread.
+     */
+    static ShardPlan alignedTo(const std::vector<std::size_t> &group_begin,
+                               std::size_t shards);
+
+    /** @return number of shards (0 for an empty plan). */
+    std::size_t shards() const
+    {
+        return bounds.empty() ? 0 : bounds.size() - 1;
+    }
+
+    /** @return total units partitioned. */
+    std::size_t units() const { return bounds.empty() ? 0 : bounds.back(); }
+
+    /** @return first unit of shard @p s. */
+    std::size_t begin(std::size_t s) const { return bounds[s]; }
+
+    /** @return one-past-last unit of shard @p s. */
+    std::size_t end(std::size_t s) const { return bounds[s + 1]; }
+
+  private:
+    /** shards()+1 ascending unit offsets; bounds[0] == 0. */
+    std::vector<std::size_t> bounds;
+};
+
+/**
+ * Fork-join executor for shard plans.
+ *
+ * threads == 1 runs every shard inline on the calling thread (no pool,
+ * no synchronization — the serial path, bit-identical by construction).
+ * threads == T > 1 owns a ThreadPool of T-1 workers; run() executes the
+ * plan's shards on those workers plus the calling thread and returns
+ * only when every shard is done (the conservative barrier the minute
+ * loop places between physics phases).
+ *
+ * run() is allocation-free (ThreadPool::parallelFor path), so it is
+ * safe inside 0-allocs/op minute loops. Not reentrant.
+ */
+class ShardRunner
+{
+  public:
+    /**
+     * @param threads Total compute threads run() may use, including
+     *                the caller (0 is clamped to 1).
+     */
+    explicit ShardRunner(std::size_t threads);
+
+    ShardRunner(const ShardRunner &) = delete;
+    ShardRunner &operator=(const ShardRunner &) = delete;
+
+    /** @return total compute threads (caller included). */
+    std::size_t threads() const { return threadCount; }
+
+    /**
+     * Execute @p fn(shard, begin, end) for every shard of @p plan and
+     * return when all have completed. Shard-to-thread assignment is
+     * nondeterministic above 1 thread; results must not depend on it
+     * (see the file-level contract).
+     */
+    template <typename F> void run(const ShardPlan &plan, F &&fn)
+    {
+        const std::size_t n = plan.shards();
+        if (n == 0)
+            return;
+        if (!pool || n == 1) {
+            for (std::size_t s = 0; s < n; ++s)
+                fn(s, plan.begin(s), plan.end(s));
+            return;
+        }
+        auto body = [&plan, &fn](std::size_t s) {
+            fn(s, plan.begin(s), plan.end(s));
+        };
+        pool->forEachIndex(n, body);
+    }
+
+  private:
+    std::size_t threadCount;
+    std::unique_ptr<ThreadPool> pool; ///< threads-1 workers; null when 1.
+};
+
+} // namespace util
+} // namespace imsim
+
+#endif // IMSIM_UTIL_SHARD_HH

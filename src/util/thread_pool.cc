@@ -45,13 +45,29 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::workerLoop()
 {
+    std::uint64_t seen_epoch = 0;
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lock(mutex);
-            wakeup.wait(lock, [this]() {
-                return shuttingDown || !tasks.empty();
+            wakeup.wait(lock, [&]() {
+                return shuttingDown || !tasks.empty() ||
+                       (job.fn != nullptr && job.epoch != seen_epoch);
             });
+            if (job.fn != nullptr && job.epoch != seen_epoch) {
+                // A parallelFor() job is live and this worker has not
+                // joined it yet. `active` is bumped under the lock, so
+                // the coordinator cannot conclude the join while we
+                // are inside fn.
+                seen_epoch = job.epoch;
+                ++job.active;
+                lock.unlock();
+                drainShards();
+                lock.lock();
+                if (--job.active == 0)
+                    jobDone.notify_all();
+                continue;
+            }
             if (tasks.empty())
                 return; // Shutting down and drained.
             task = std::move(tasks.front());
@@ -61,6 +77,74 @@ ThreadPool::workerLoop()
         // here would mean a non-packaged task, which enqueue() never
         // produces.
         task();
+    }
+}
+
+void
+ThreadPool::drainShards()
+{
+    for (;;) {
+        const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.count)
+            return;
+        try {
+            job.fn(job.ctx, i);
+        } catch (...) {
+            // Never let an exception unwind through a worker (that
+            // would terminate the process): stash the first one for
+            // the coordinator and drag the cursor to the end so every
+            // participant drains out promptly.
+            std::lock_guard<std::mutex> lock(mutex);
+            if (!job.error)
+                job.error = std::current_exception();
+            job.next.store(job.count, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        void (*fn)(void *ctx, std::size_t i), void *ctx)
+{
+    panicIf(fn == nullptr, "ThreadPool: parallelFor with null fn");
+    if (count == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        panicIf(shuttingDown, "ThreadPool: parallelFor() after shutdown");
+        panicIf(job.fn != nullptr,
+                "ThreadPool: nested/concurrent parallelFor() on one pool");
+        job.fn = fn;
+        job.ctx = ctx;
+        job.count = count;
+        job.next.store(0, std::memory_order_relaxed);
+        ++job.epoch;
+    }
+    wakeup.notify_all();
+    // The caller is a full participant: on a pool with W workers,
+    // parallelFor runs on up to W+1 threads, and degenerates to a plain
+    // serial loop when every worker is busy with submitted tasks.
+    drainShards();
+    std::unique_lock<std::mutex> lock(mutex);
+    jobDone.wait(lock, [&]() {
+        return job.active == 0 &&
+               job.next.load(std::memory_order_relaxed) >= job.count;
+    });
+    // Workers that never woke for this epoch see fn == nullptr and skip
+    // it; the epoch guard keeps late wakers from re-joining a job that
+    // already completed.
+    job.fn = nullptr;
+    job.ctx = nullptr;
+    job.count = 0;
+    if (job.error) {
+        // A shard body threw (possibly on a worker). The join above
+        // already completed, so the pool is idle and reusable; surface
+        // the first failure on the calling thread.
+        std::exception_ptr error = job.error;
+        job.error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
     }
 }
 

@@ -1,19 +1,31 @@
 /**
  * @file
  * Fixed-size worker-thread pool used by the experiment engine (src/exp)
- * to fan sweep points and Monte-Carlo replications across cores.
+ * to fan sweep points and Monte-Carlo replications across cores, and by
+ * the intra-run fleet sharding (src/util/shard.hh) to fan per-minute
+ * physics shards across the same workers.
  *
  * The pool owns its worker threads for its whole lifetime: submit()
  * enqueues a task and returns a std::future for its result; the
  * destructor drains the queue and joins every worker (graceful
  * shutdown — queued tasks still run).
+ *
+ * parallelFor() is the second, allocation-free entry point: a
+ * fork-join over an index range where the calling thread participates
+ * and the call returns only when every index has been processed.
+ * submit() heap-allocates per task (packaged_task shared state), which
+ * is fine at sweep-point granularity but would violate the fleet hot
+ * path's 0 allocs/op contract at minute-tick granularity — hence the
+ * separate path.
  */
 
 #ifndef IMSIM_UTIL_THREAD_POOL_HH
 #define IMSIM_UTIL_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -71,6 +83,51 @@ class ThreadPool
     }
 
     /**
+     * Run @p fn(ctx, i) for every i in [0, count), fanned across the
+     * pool's workers plus the calling thread, and return once all
+     * indices have completed (a fork-join barrier).
+     *
+     * Indices are claimed with an atomic counter, so *which* thread
+     * runs a given index is nondeterministic — fn must only write
+     * state that is disjoint per index (or otherwise synchronized).
+     * Memory ordering: everything written by the caller before
+     * parallelFor() is visible inside fn, and everything fn writes is
+     * visible to the caller after parallelFor() returns.
+     *
+     * Allocation-free: the job descriptor lives inside the pool, so
+     * this path is safe for 0-allocs/op hot loops (unlike submit()).
+     *
+     * Not reentrant: one parallelFor at a time per pool, and it must
+     * not be called from inside a task or from inside fn on the same
+     * pool (panics on nesting). It may interleave with submit() —
+     * queued tasks and shard jobs are drained independently.
+     *
+     * Exception-safe: if fn throws (on any participating thread), no
+     * further indices are claimed, the join completes, and the first
+     * exception is rethrown on the calling thread. The pool stays
+     * usable afterwards. Indices already in flight when the throw
+     * happens still run to completion, so a throw means "some subset
+     * of [0, count) ran" — callers treating the throw as fatal (the
+     * fleet kernels' fatalIf diagnostics) are unaffected.
+     */
+    void parallelFor(std::size_t count, void (*fn)(void *ctx, std::size_t i),
+                     void *ctx);
+
+    /**
+     * Typed convenience wrapper over parallelFor(): invokes
+     * @p fn(std::size_t index) through a stateless trampoline, so the
+     * callable is borrowed by reference and never copied or allocated.
+     */
+    template <typename F> void forEachIndex(std::size_t count, F &&fn)
+    {
+        using Fn = std::remove_reference_t<F>;
+        parallelFor(
+            count,
+            [](void *ctx, std::size_t i) { (*static_cast<Fn *>(ctx))(i); },
+            const_cast<void *>(static_cast<const void *>(&fn)));
+    }
+
+    /**
      * @return the usable hardware concurrency (>= 1 even when the
      *         runtime cannot determine it).
      */
@@ -83,10 +140,31 @@ class ThreadPool
     /** Worker loop: pop tasks until shutdown and the queue is empty. */
     void workerLoop();
 
+    /** Claim and run shard indices until the current job is drained. */
+    void drainShards();
+
+    /**
+     * The active parallelFor() job. All fields except `next` are
+     * written under `mutex`; `next` is the atomic work-stealing
+     * cursor the participating threads bump lock-free.
+     */
+    struct ShardJob {
+        void (*fn)(void *, std::size_t) = nullptr; ///< null = no job.
+        void *ctx = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0}; ///< Next unclaimed index.
+        std::size_t active = 0;   ///< Workers currently inside fn.
+        std::uint64_t epoch = 0;  ///< Bumped per job so a worker joins
+                                  ///< each job at most once.
+        std::exception_ptr error; ///< First exception thrown by fn.
+    };
+
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> tasks;
     std::mutex mutex;
     std::condition_variable wakeup;
+    std::condition_variable jobDone;
+    ShardJob job;
     bool shuttingDown = false;
 };
 

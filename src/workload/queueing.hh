@@ -15,13 +15,13 @@
 #ifndef IMSIM_WORKLOAD_QUEUEING_HH
 #define IMSIM_WORKLOAD_QUEUEING_HH
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "hw/counters.hh"
 #include "sim/simulation.hh"
 #include "util/random.hh"
+#include "util/ring.hh"
 #include "util/stats.hh"
 #include "util/units.hh"
 
@@ -245,7 +245,9 @@ class QueueingCluster
     util::Rng rng;
     Params cfg;
     std::vector<std::unique_ptr<Server>> servers;
-    std::deque<Request> queue;
+    /// Global FIFO backlog; a RingDeque so steady-state overload churn
+    /// (push_back/pop_front cycles) never touches the allocator.
+    util::RingDeque<Request> queue;
     std::vector<InFlight> inFlight;
     std::uint32_t inFlightFree = kNoInFlight;
     double arrivalRate = 0.0;

@@ -13,6 +13,7 @@
 #include "fault/injector.hh"
 #include "fault/invariants.hh"
 #include "fault/plan.hh"
+#include "obs/fleet_agg.hh"
 #include "power/capping.hh"
 #include "sim/simulation.hh"
 #include "thermal/cooling.hh"
@@ -382,6 +383,39 @@ TEST(InvariantChecker, WatchClusterHoldsThroughCrashAndRepair)
 
     EXPECT_GT(checker.checksRun(), 0u);
     EXPECT_TRUE(checker.violations().empty());
+}
+
+TEST(InvariantChecker, WatchFleetAggregatorReadsThePublishedSample)
+{
+    sim::Simulation sim;
+    obs::FleetAggregator::Config cfg;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    InvariantChecker checker(sim);
+    checker.watchFleetAggregator(agg, /*tj_max=*/100.0);
+
+    // Empty fleet (no observe yet): both checks hold vacuously.
+    checker.evaluate();
+    EXPECT_TRUE(checker.violations().empty());
+
+    // A cool fleet holds; snapshot() is the mutex-published safe point,
+    // so the checks stay valid against a sharded publisher.
+    std::vector<double> tj = {60.0, 72.5, 80.0};
+    std::vector<double> power = {300.0, 420.0, 510.0};
+    obs::FleetView view;
+    view.count = tj.size();
+    view.tj = tj.data();
+    view.totalPower = power.data();
+    agg.observe(0.0, view, 60.0);
+    checker.evaluate();
+    EXPECT_TRUE(checker.violations().empty());
+
+    // Push one junction over the limit: exactly one check fires.
+    tj[1] = 112.0;
+    agg.observe(60.0, view, 60.0);
+    checker.evaluate();
+    ASSERT_EQ(checker.violations().size(), 1u);
+    EXPECT_EQ(checker.violations()[0].check, "fleet.junction_below_max");
 }
 
 // --- The capacity-crisis experiment --------------------------------------

@@ -11,13 +11,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 #include "cluster/datacenter.hh"
 #include "fleet/kernels.hh"
 #include "fleet/state.hh"
+#include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/timeseries.hh"
 #include "power/server_power.hh"
@@ -27,6 +30,7 @@
 #include "thermal/fluid.hh"
 #include "thermal/junction.hh"
 #include "util/random.hh"
+#include "util/shard.hh"
 
 namespace imsim {
 namespace {
@@ -383,6 +387,192 @@ TEST(DatacenterRunOverloads, PerServerIdenticalWithTelemetry)
     EXPECT_EQ(telemetry.columns()[4], "mean_tj_c");
     EXPECT_EQ(telemetry.columns()[5], "max_tj_c");
     EXPECT_EQ(telemetry.columns()[6], "mean_wear");
+}
+
+// ---------------------------------------------------------------------
+// Sharded determinism oracle: the intra-run parallelism contract of
+// DatacenterPowerSim::setSimThreads and the sharded fleet kernels —
+// threads == 1 is the serial loop, and ANY thread count (and any shard
+// plan) reproduces it bit-for-bit. EXPECT_EQ throughout: the contract
+// is identity, not closeness.
+// ---------------------------------------------------------------------
+
+void
+expectColumnsIdentical(const fleet::FleetState &a,
+                       const fleet::FleetState &b)
+{
+    EXPECT_EQ(a.dynamicPower, b.dynamicPower);
+    EXPECT_EQ(a.leakagePower, b.leakagePower);
+    EXPECT_EQ(a.totalPower, b.totalPower);
+    EXPECT_EQ(a.tj, b.tj);
+    EXPECT_EQ(a.wearConsumed, b.wearConsumed);
+    EXPECT_EQ(a.serviceYears, b.serviceYears);
+}
+
+TEST(ShardedDeterminism, StepAllMatchesSerialAcrossPlansAndThreads)
+{
+    const auto skus = mixedSkus();
+    const std::size_t n = 257; // Prime: every plan splits unevenly.
+    fleet::FleetState serial = makeFleet(skus, n, 2);
+    for (int m = 0; m < 6; ++m)
+        fleet::stepAll(serial, skus, 60.0);
+
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+        for (std::size_t threads : {1u, 2u, 7u, 8u}) {
+            fleet::FleetState state = makeFleet(skus, n, 2);
+            const util::ShardPlan plan = util::ShardPlan::even(n, shards);
+            util::ShardRunner runner(threads);
+            for (int m = 0; m < 6; ++m)
+                fleet::stepAll(state, skus, 60.0, plan, runner);
+            expectColumnsIdentical(serial, state);
+        }
+    }
+}
+
+TEST(ShardedDeterminism, StepAllMatchesSerialOnAlignedPlan)
+{
+    const auto skus = mixedSkus();
+    // Rack-aligned plan over uneven groups, the datacenter's geometry.
+    const std::vector<std::size_t> group_begin = {0, 9, 18, 40, 47, 61};
+    const std::size_t n = group_begin.back();
+    fleet::FleetState serial = makeFleet(skus, n, 2);
+    fleet::FleetState state = makeFleet(skus, n, 2);
+    const util::ShardPlan plan = util::ShardPlan::alignedTo(group_begin, 3);
+    util::ShardRunner runner(4);
+    for (int m = 0; m < 6; ++m) {
+        fleet::stepAll(serial, skus, 60.0);
+        fleet::stepAll(state, skus, 60.0, plan, runner);
+    }
+    expectColumnsIdentical(serial, state);
+}
+
+void
+expectSeriesIdentical(const obs::TimeSeries &a, const obs::TimeSeries &b)
+{
+    ASSERT_EQ(a.columns(), b.columns());
+    ASSERT_EQ(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        ASSERT_EQ(a.row(i), b.row(i)) << "row " << i;
+}
+
+struct ShardedRun
+{
+    cluster::DatacenterOutcome outcome;
+    obs::TimeSeries telemetry;
+    obs::TimeSeries aggSeries;
+};
+
+/// One PowerAware run at @p threads sim threads with telemetry and a
+/// FleetAggregator attached (so the sharded observe path is exercised
+/// alongside the sharded physics). 4800 servers in per-server mode so
+/// the grain-derived plan has several shards.
+ShardedRun
+runShardedDatacenter(std::size_t threads, bool per_server, bool mixed_sku)
+{
+    const std::size_t rack_count = per_server ? 120 : 96;
+    std::vector<cluster::RackConfig> racks(rack_count);
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        racks[r].servers = 40;
+        racks[r].priority = r % 3 == 0 ? 2 : 1;
+        racks[r].overclockDemand = 0.6;
+    }
+    // ~330 W per server: capping and the PowerAware backout both fire
+    // even over the short early-diurnal horizon, so every sharded
+    // branch runs.
+    cluster::DatacenterPowerSim sim(
+        racks, 330.0 * 40.0 * static_cast<double>(rack_count), 1.25, 1.2);
+    if (per_server) {
+        auto physics = cluster::PerServerPhysics::openComputeImmersed();
+        if (mixed_sku) {
+            physics.skus = mixedSkus();
+            physics.rackSku.resize(rack_count);
+            for (std::size_t r = 0; r < rack_count; ++r)
+                physics.rackSku[r] = static_cast<std::uint32_t>(r % 2);
+        }
+        sim.enablePerServerFidelity(std::move(physics));
+    }
+    sim.setSimThreads(threads);
+
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = mixed_sku ? 2 : 1;
+    obs::FleetAggregator agg(cfg);
+    sim.attachObservability(&agg, nullptr);
+
+    ShardedRun run;
+    util::Rng rng(31);
+    run.outcome = sim.run(cluster::OverclockPolicy::PowerAware, rng, 0.1,
+                          &run.telemetry, nullptr);
+    run.aggSeries = agg.takeSeries();
+    return run;
+}
+
+void
+expectShardedRunsIdentical(bool per_server, bool mixed_sku)
+{
+    const ShardedRun serial =
+        runShardedDatacenter(1, per_server, mixed_sku);
+    EXPECT_GT(serial.outcome.cappingMinutesShare, 0.0);
+    for (const std::size_t threads : {2u, 7u, 8u}) {
+        const ShardedRun sharded =
+            runShardedDatacenter(threads, per_server, mixed_sku);
+        expectOutcomesIdentical(serial.outcome, sharded.outcome);
+        expectSeriesIdentical(serial.telemetry, sharded.telemetry);
+        expectSeriesIdentical(serial.aggSeries, sharded.aggSeries);
+    }
+}
+
+TEST(ShardedDeterminism, DatacenterPerServerUniformSku)
+{
+    expectShardedRunsIdentical(/*per_server=*/true, /*mixed_sku=*/false);
+}
+
+TEST(ShardedDeterminism, DatacenterPerServerMixedSku)
+{
+    expectShardedRunsIdentical(/*per_server=*/true, /*mixed_sku=*/true);
+}
+
+TEST(ShardedDeterminism, DatacenterRackAggregate)
+{
+    expectShardedRunsIdentical(/*per_server=*/false, /*mixed_sku=*/false);
+}
+
+TEST(ShardedDeterminism, ConcurrentSnapshotDuringShardedRun)
+{
+    // The shard-race oracle scripts/tsan.sh holds under
+    // IMSIM_SANITIZE=thread: a sharded per-server run while an outside
+    // thread hammers the aggregator's mutex-published snapshot(). Any
+    // unsynchronised column access between shard workers, the minute
+    // loop, or the poller is a TSan report.
+    std::vector<cluster::RackConfig> racks(120);
+    for (auto &r : racks)
+        r.servers = 40;
+    cluster::DatacenterPowerSim sim(racks, 2.4e6, 1.25, 1.2);
+    sim.enablePerServerFidelity(
+        cluster::PerServerPhysics::openComputeImmersed());
+    sim.setSimThreads(4);
+    obs::FleetAggregator::Config cfg;
+    cfg.record = false;
+    obs::FleetAggregator agg(cfg);
+    sim.attachObservability(&agg, nullptr);
+
+    std::atomic<bool> stop{false};
+    std::size_t polled = 0;
+    std::thread poller([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const obs::FleetSample sample = agg.snapshot();
+            if (sample.units > 0) {
+                EXPECT_TRUE(std::isfinite(sample.fleetPower));
+                ++polled;
+            }
+        }
+    });
+    util::Rng rng(5);
+    const auto outcome =
+        sim.run(cluster::OverclockPolicy::Always, rng, 0.02);
+    stop.store(true, std::memory_order_relaxed);
+    poller.join();
+    EXPECT_EQ(outcome.fleet.servers, 4800u);
+    EXPECT_GT(agg.ticks(), 0u);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <thread>
@@ -283,6 +284,146 @@ TEST(FleetAggregator, SnapshotMatchesLatestAndAttachMetricsPolls)
     EXPECT_DOUBLE_EQ(registry.gauge("fleet_agg.power_w").value(),
                      1000.0);
     EXPECT_DOUBLE_EQ(registry.gauge("fleet_agg.max_tj_c").value(), 80.0);
+}
+
+// ---------------------------------------------------------------------
+// Sharded observe: bit-identical to the serial reduction for any shard
+// plan and any thread count (the intra-run parallelism contract).
+// ---------------------------------------------------------------------
+
+// EXPECT_EQ on doubles fails for NaN == NaN, but the identity contract
+// is about bit patterns (a NaN-propagating channel must produce the
+// same NaN either way), so compare representations.
+::testing::AssertionResult
+bitIdentical(double a, double b)
+{
+    if (std::memcmp(&a, &b, sizeof a) == 0)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " and " << b << " differ bitwise";
+}
+
+void
+expectChannelStatsIdentical(const obs::ChannelStats &a,
+                            const obs::ChannelStats &b)
+{
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_TRUE(bitIdentical(a.min, b.min));
+    EXPECT_TRUE(bitIdentical(a.mean, b.mean));
+    EXPECT_TRUE(bitIdentical(a.max, b.max));
+    EXPECT_TRUE(bitIdentical(a.p50, b.p50));
+    EXPECT_TRUE(bitIdentical(a.p95, b.p95));
+    EXPECT_TRUE(bitIdentical(a.p99, b.p99));
+}
+
+void
+expectSampleIdentical(const obs::FleetSample &a, const obs::FleetSample &b)
+{
+    EXPECT_EQ(a.t, b.t);
+    EXPECT_EQ(a.units, b.units);
+    EXPECT_TRUE(bitIdentical(a.fleetPower, b.fleetPower));
+    ASSERT_EQ(a.perSku.size(), b.perSku.size());
+    for (int c = 0; c < obs::kFleetChannels; ++c)
+        expectChannelStatsIdentical(a.overall[c], b.overall[c]);
+    for (std::size_t i = 0; i < a.perSku.size(); ++i)
+        expectChannelStatsIdentical(a.perSku[i], b.perSku[i]);
+}
+
+TEST(FleetAggregator, ShardedObserveIsBitIdenticalToSerial)
+{
+    // A 1000-unit, 3-SKU fleet with a wear column that advances every
+    // tick (so the finite-difference wear-rate path is exercised) and
+    // one NaN Tj (the drop path must count identically per shard).
+    constexpr std::size_t kUnits = 1000;
+    std::vector<std::uint32_t> sku(kUnits);
+    std::vector<double> util(kUnits), power(kUnits), tj(kUnits),
+        wear(kUnits);
+    for (std::size_t i = 0; i < kUnits; ++i) {
+        sku[i] = static_cast<std::uint32_t>(i % 3);
+        util[i] = static_cast<double>(i % 101) / 100.0;
+        power[i] = 150.0 + static_cast<double>(i % 487);
+        tj[i] = 35.0 + static_cast<double>(i % 67);
+        wear[i] = 0.0;
+    }
+    tj[kUnits / 2] = kNan;
+    obs::FleetView view;
+    view.count = kUnits;
+    view.sku = sku.data();
+    view.utilization = util.data();
+    view.totalPower = power.data();
+    view.tj = tj.data();
+    view.wearConsumed = wear.data();
+
+    obs::FleetAggregator::Config cfg;
+    cfg.skuCount = 3;
+    constexpr int kTicks = 4;
+
+    obs::FleetAggregator serial(cfg);
+    for (int t = 0; t < kTicks; ++t) {
+        serial.observe(60.0 * (t + 1), view, 60.0);
+        for (auto &w : wear)
+            w += 1e-5;
+    }
+
+    for (const std::size_t shards : {1u, 3u, 8u}) {
+        for (const std::size_t threads : {1u, 2u, 7u}) {
+            for (auto &w : wear)
+                w = 0.0;
+            obs::FleetAggregator sharded(cfg);
+            const util::ShardPlan plan =
+                util::ShardPlan::even(kUnits, shards);
+            util::ShardRunner runner(threads);
+            for (int t = 0; t < kTicks; ++t) {
+                sharded.observe(60.0 * (t + 1), view, 60.0, plan,
+                                runner);
+                for (auto &w : wear)
+                    w += 1e-5;
+            }
+            expectSampleIdentical(serial.latest(), sharded.latest());
+            expectSampleIdentical(serial.snapshot(), sharded.snapshot());
+            ASSERT_EQ(serial.series().rows(), sharded.series().rows());
+            for (std::size_t r = 0; r < serial.series().rows(); ++r) {
+                const auto &sr = serial.series().row(r);
+                const auto &pr = sharded.series().row(r);
+                ASSERT_EQ(sr.size(), pr.size());
+                for (std::size_t c = 0; c < sr.size(); ++c)
+                    EXPECT_TRUE(bitIdentical(sr[c], pr[c]))
+                        << "row " << r << " col " << c << " shards "
+                        << shards << " threads " << threads;
+            }
+            for (int c = 0; c < obs::kFleetChannels; ++c) {
+                const auto chan = static_cast<obs::FleetChannel>(c);
+                EXPECT_EQ(serial.cumulative(chan).count(),
+                          sharded.cumulative(chan).count());
+                for (double p : {50.0, 95.0, 99.0})
+                    EXPECT_TRUE(
+                        bitIdentical(serial.cumulative(chan).quantile(p),
+                                     sharded.cumulative(chan).quantile(p)));
+            }
+        }
+    }
+}
+
+TEST(FleetAggregator, ShardedObserveValidatesPlanAndSku)
+{
+    obs::FleetAggregator agg; // One SKU.
+    std::vector<double> power{10.0, 20.0, 30.0};
+    obs::FleetView view;
+    view.count = 3;
+    view.totalPower = power.data();
+    util::ShardRunner runner(2);
+
+    // Plan covering the wrong unit count is fatal.
+    const util::ShardPlan wrong = util::ShardPlan::even(5, 2);
+    EXPECT_THROW(agg.observe(60.0, view, 60.0, wrong, runner),
+                 FatalError);
+
+    // Out-of-range SKU is fatal from the sharded path too.
+    std::vector<std::uint32_t> bad_sku{0, 3, 0};
+    view.sku = bad_sku.data();
+    const util::ShardPlan plan = util::ShardPlan::even(3, 2);
+    EXPECT_THROW(agg.observe(60.0, view, 60.0, plan, runner),
+                 FatalError);
 }
 
 // ---------------------------------------------------------------------

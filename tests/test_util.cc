@@ -7,17 +7,24 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "util/ring.hh"
+#include "util/shard.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace imsim {
 namespace {
@@ -492,6 +499,187 @@ TEST(Json, TypePredicatesAndMismatchesAreFatal)
     EXPECT_THROW(doc.at("s").number(), FatalError);
     EXPECT_THROW(doc.at("s").array(), FatalError);
     EXPECT_THROW(doc.at(0), FatalError); // Object, not array.
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool::parallelFor — the allocation-free fork-join under the
+// intra-run fleet sharding.
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce)
+{
+    util::ThreadPool pool(3);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.forEachIndex(kCount, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForIsReusableAndHandlesEmptyRanges)
+{
+    util::ThreadPool pool(2);
+    std::atomic<std::size_t> total{0};
+    pool.forEachIndex(0, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 0u);
+    for (int round = 0; round < 50; ++round)
+        pool.forEachIndex(7, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 50u * 7u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTheShardExceptionOnTheCaller)
+{
+    util::ThreadPool pool(3);
+    constexpr std::size_t kCount = 64;
+    // Repeat so the throw lands on workers as well as the caller.
+    for (int round = 0; round < 20; ++round) {
+        try {
+            pool.forEachIndex(kCount, [&](std::size_t i) {
+                if (i == 13)
+                    util::fatal("shard body failed");
+            });
+            FAIL() << "expected FatalError";
+        } catch (const FatalError &err) {
+            EXPECT_STREQ(err.what(), "fatal: shard body failed");
+        }
+        // The pool must stay fully usable after a failed job.
+        std::atomic<std::size_t> ran{0};
+        pool.forEachIndex(kCount, [&](std::size_t) { ran.fetch_add(1); });
+        EXPECT_EQ(ran.load(), kCount);
+    }
+}
+
+TEST(ThreadPool, ParallelForStopsClaimingIndicesAfterAThrow)
+{
+    util::ThreadPool pool(1);
+    std::atomic<std::size_t> ran{0};
+    EXPECT_THROW(pool.forEachIndex(1000,
+                                   [&](std::size_t i) {
+                                       ran.fetch_add(1);
+                                       if (i == 0)
+                                           throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Indices already claimed may finish, but the cursor is dragged to
+    // the end on the first throw: nowhere near all 1000 run.
+    EXPECT_LT(ran.load(), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// ShardPlan — deterministic shard geometry for the fleet minute loop.
+// ---------------------------------------------------------------------
+
+TEST(ShardPlan, EvenSplitCoversTheRangeContiguously)
+{
+    const util::ShardPlan plan = util::ShardPlan::even(103, 4);
+    ASSERT_EQ(plan.shards(), 4u);
+    EXPECT_EQ(plan.begin(0), 0u);
+    EXPECT_EQ(plan.end(plan.shards() - 1), 103u);
+    std::size_t covered = 0;
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+        EXPECT_LE(plan.begin(s), plan.end(s));
+        if (s > 0) {
+            EXPECT_EQ(plan.begin(s), plan.end(s - 1));
+        }
+        covered += plan.end(s) - plan.begin(s);
+    }
+    EXPECT_EQ(covered, 103u);
+}
+
+TEST(ShardPlan, AlignedSplitOnlyCutsOnGroupBoundaries)
+{
+    const std::vector<std::size_t> group_begin{0, 10, 20, 35, 50, 90};
+    const util::ShardPlan plan = util::ShardPlan::alignedTo(group_begin, 3);
+    EXPECT_EQ(plan.begin(0), 0u);
+    EXPECT_EQ(plan.end(plan.shards() - 1), 90u);
+    for (std::size_t s = 0; s + 1 < plan.shards(); ++s) {
+        const std::size_t cut = plan.end(s);
+        bool on_boundary = false;
+        for (const std::size_t b : group_begin)
+            on_boundary = on_boundary || cut == b;
+        EXPECT_TRUE(on_boundary) << "cut at " << cut;
+    }
+}
+
+// ---------------------------------------------------------------------
+// RingDeque — the allocation-free FIFO under the queueing hot path.
+// ---------------------------------------------------------------------
+
+TEST(RingDeque, FifoOrderSurvivesWrapAround)
+{
+    util::RingDeque<int> ring;
+    int next_push = 0;
+    int next_pop = 0;
+    // Cycle far past the initial capacity so head/tail wrap many times.
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 5; ++i)
+            ring.push_back(next_push++);
+        for (int i = 0; i < 5; ++i) {
+            ASSERT_EQ(ring.front(), next_pop);
+            ring.pop_front();
+            ++next_pop;
+        }
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingDeque, GrowthPreservesOrderAndIndexing)
+{
+    util::RingDeque<int> ring;
+    // Offset the head so the grow path has to unwrap a split ring.
+    for (int i = 0; i < 6; ++i)
+        ring.push_back(-1);
+    for (int i = 0; i < 6; ++i)
+        ring.pop_front();
+    for (int i = 0; i < 100; ++i)
+        ring.push_back(i);
+    ASSERT_EQ(ring.size(), 100u);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring[i], static_cast<int>(i));
+    EXPECT_EQ(ring.front(), 0);
+    EXPECT_EQ(ring.back(), 99);
+}
+
+TEST(RingDeque, PushFrontRequeuesAheadOfTheBacklog)
+{
+    util::RingDeque<int> ring;
+    ring.push_back(2);
+    ring.push_back(3);
+    ring.push_front(1); // The requeue-ahead-of-backlog path.
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring[0], 1);
+    EXPECT_EQ(ring[1], 2);
+    EXPECT_EQ(ring[2], 3);
+    EXPECT_EQ(ring.front(), 1);
+}
+
+TEST(RingDeque, MoveOnlyPayloadsRelocateOnGrowth)
+{
+    util::RingDeque<std::unique_ptr<int>> ring;
+    for (int i = 0; i < 40; ++i)
+        ring.emplace_back(new int(i));
+    for (int i = 0; i < 40; ++i) {
+        ASSERT_NE(ring.front(), nullptr);
+        EXPECT_EQ(*ring.front(), i);
+        ring.pop_front();
+    }
+}
+
+TEST(RingDeque, EmptyAccessAndOutOfRangeAreFatal)
+{
+    util::RingDeque<int> ring;
+    EXPECT_THROW(ring.front(), FatalError);
+    EXPECT_THROW(ring.back(), FatalError);
+    EXPECT_THROW(ring.pop_front(), FatalError);
+    ring.push_back(1);
+    EXPECT_THROW(ring[1], FatalError);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.reserve(100); // Capacity-only; still empty.
+    EXPECT_TRUE(ring.empty());
+    EXPECT_THROW(ring[0], FatalError);
 }
 
 } // namespace
