@@ -10,6 +10,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "exp/sweep.hh"
 #include "fault/experiment.hh"
@@ -25,7 +26,8 @@ main(int argc, char **argv)
     // Flags: --seed N (default 42), --sla SECONDS (crisis P99 bound),
     // --smoke (small fleet, short horizon; CI), --jobs N, --report FILE,
     // --trace FILE, --telemetry FILE, --watchdog FILE (incident
-    // timelines), --progress [FILE], --profile [FILE].
+    // timelines), --blackbox FILE (flight-recorder dump; also armed as
+    // the post-mortem sink), --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
     obs::maybeEnableProfiler(cli);
     const auto progress = exp::progressFromCli(cli, "fault_crisis");
@@ -83,12 +85,35 @@ main(int argc, char **argv)
         obs::traceRequested(cli) || obs::telemetryRequested(cli);
     std::vector<autoscale::ObsCapture> captures(
         capture_obs ? points.size() : 0);
+
+    // One flight recorder per sweep point, ticked at the watchdog
+    // cadence (last 3600 polls at full resolution, then 10x and 60x
+    // bins). All are armed, and the --blackbox file doubles as the
+    // post-mortem sink: a watchdog page, invariant violation, or any
+    // fatal during the sweep dumps what every recorder saw so far; the
+    // explicit write below then persists the complete run.
+    std::vector<std::unique_ptr<obs::FlightRecorder>> recorders;
+    if (obs::blackboxRequested(cli)) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            recorders.push_back(std::make_unique<obs::FlightRecorder>(
+                obs::FlightRecorder::Config::forCadence(
+                    params.watchdogPeriod)));
+            recorders.back()->armPostMortem(
+                autoscale::policyName(points[i].policy) + "@" +
+                util::fmt(points[i].maxFreq, 2));
+        }
+        obs::FlightRecorder::setPostMortemSink(cli.blackboxFile(),
+                                               manifest.toJsonObject());
+    }
+
     const auto outcomes = runner.map<fault::CrisisOutcome>(
         points.size(), [&](std::size_t i, util::Rng &) {
             fault::CrisisParams point_params = params;
             point_params.maxFrequency = points[i].maxFreq;
             if (capture_obs)
                 point_params.obs = &captures[i];
+            if (!recorders.empty())
+                point_params.blackbox = recorders[i].get();
             return fault::runCrisisExperiment(points[i].policy,
                                               point_params);
         });
@@ -190,6 +215,19 @@ main(int argc, char **argv)
         }
         obs::maybeWriteIncidents(cli, incident_points, manifest,
                                  std::cout);
+    }
+    if (!recorders.empty()) {
+        std::vector<std::pair<std::string, const obs::FlightRecorder *>>
+            blackbox_points;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            blackbox_points.emplace_back(
+                autoscale::policyName(points[i].policy) + "@" +
+                    util::fmt(points[i].maxFreq, 2),
+                recorders[i].get());
+        }
+        obs::maybeWriteBlackbox(cli, blackbox_points, manifest,
+                                std::cout);
+        obs::FlightRecorder::clearPostMortemSink();
     }
     obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;

@@ -40,6 +40,7 @@
 
 #include "cluster/datacenter.hh"
 #include "fleet/kernels.hh"
+#include "obs/blackbox.hh"
 #include "obs/manifest.hh"
 #include "power/server_power.hh"
 #include "reliability/lifetime.hh"
@@ -572,6 +573,37 @@ benchDatacenterLarge(double days, std::size_t sim_threads)
     return r;
 }
 
+/// The black-box recorder's per-minute tick: poll eight scalar
+/// channels and fold the sample row into every retention tier. This
+/// is the whole steady-state cost a `--blackbox` run adds to the
+/// datacenter minute loop, so it must stay allocation-free after the
+/// first tick sizes the tier storage (allocs/op pins that contract;
+/// see bench_obs_overhead for the fleet-scale variant).
+BenchResult
+benchFlightRecorderTick(std::uint64_t target_ticks)
+{
+    obs::FlightRecorder recorder(obs::FlightRecorder::Config::forCadence(60.0));
+    std::vector<double> values(8, 0.0);
+    for (std::size_t c = 0; c < values.size(); ++c)
+        recorder.addChannel("chan" + std::to_string(c),
+                            [&values, c] { return values[c]; });
+    // First tick sizes the tier storage; keep it out of the window.
+    recorder.tick(0.0);
+
+    const std::uint64_t allocs0 = allocsSoFar();
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < target_ticks; ++i) {
+        for (std::size_t c = 0; c < values.size(); ++c)
+            values[c] = static_cast<double>(i + c);
+        recorder.tick(60.0 * static_cast<double>(i + 1));
+    }
+    const auto t1 = Clock::now();
+    util::fatalIf(recorder.ticks() != target_ticks + 1,
+                  "bench: flight recorder dropped ticks");
+    return makeResult("flight_recorder_tick", "tick", target_ticks,
+                      elapsedSeconds(t0, t1), allocsSoFar() - allocs0);
+}
+
 // ---------------------------------------------------------------------
 // JSON report.
 // ---------------------------------------------------------------------
@@ -729,6 +761,7 @@ main(int argc, char **argv)
     results.push_back(benchFleetStepParallel(scaled(8e6), sim_threads));
     results.push_back(benchDatacenterLarge(std::max(0.02, 0.25 * scale),
                                            sim_threads));
+    results.push_back(benchFlightRecorderTick(scaled(2e6)));
 
     std::cout << "Hot-path throughput (allocs/op counts steady-state"
                  " heap allocations):\n";

@@ -17,20 +17,31 @@
  *    recording appends one row per tick, the documented exception);
  *  - BM_FleetSnapshot (cross-thread sample copy), BM_WatchdogEvaluate
  *    (per-rule poll), BM_QuantileSketchAdd / BM_SketchMergedQuantile
- *    (the sketch primitives the aggregates are made of).
+ *    (the sketch primitives the aggregates are made of);
+ *  - BM_FlightRecorderTick (the black-box record tick behind a
+ *    16384-server fleet reduction), BM_FlightRecorderTickOnly (the
+ *    bare multi-tier fold), BM_FlightRecorderDump (serializing a full
+ *    recorder) — steady-state ticks must be 0 allocs/op.
  *
  * Like bench_hot_paths, the binary instruments global operator new so
  * the fleet-aggregation cases can report allocs_per_op directly.
+ * `--check` skips the timing runs and enforces the flight recorder's
+ * allocation contract directly (exit 1 on any steady-state alloc),
+ * which is how scripts/bench.sh gates it in CI.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <string>
 #include <vector>
 
+#include "obs/blackbox.hh"
 #include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
@@ -487,6 +498,101 @@ BM_QuantileSketchAdd(benchmark::State &state)
 }
 BENCHMARK(BM_QuantileSketchAdd);
 
+/**
+ * The flight-recorder tick behind a realistic fleet pipeline: a
+ * 16384-server columnar reduction publishes the sample, then the
+ * recorder folds its six fleet channels into three retention tiers.
+ * Only the recorder's tick is on the measured path; the contract is
+ * 0 allocs/op in steady state (all tier storage pre-sized).
+ */
+void
+BM_FlightRecorderTick(benchmark::State &state)
+{
+    const auto count = static_cast<std::size_t>(state.range(0));
+    SyntheticFleet fleet(count, 3);
+    obs::FleetAggregator::Config agg_cfg;
+    agg_cfg.skuCount = 3;
+    agg_cfg.record = false;
+    agg_cfg.cumulative = false;
+    obs::FleetBlackbox box(agg_cfg, obs::FlightRecorder::Config{},
+                           /*fire_power_w=*/1e12,
+                           /*clear_power_w=*/9e11);
+    // Warm up: size the wear scratch, seal the channels, size tiers.
+    box.aggregator.observe(0.0, fleet.view(), 60.0);
+    box.recorder.tick(0.0);
+
+    std::size_t tick = 0;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        fleet.mutate(++tick);
+        const Seconds t = static_cast<double>(tick) * 60.0;
+        box.aggregator.observe(t, fleet.view(), 60.0);
+        state.ResumeTiming();
+        const std::uint64_t before = allocsSoFar();
+        box.recorder.tick(t);
+        allocs += allocsSoFar() - before;
+        benchmark::DoNotOptimize(box.recorder.ticks());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(allocs),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FlightRecorderTick)->Arg(16384);
+
+/** The bare fold: eight scalar channels into three tiers, no fleet. */
+void
+BM_FlightRecorderTickOnly(benchmark::State &state)
+{
+    obs::FlightRecorder recorder;
+    std::vector<double> values(8, 0.0);
+    for (std::size_t c = 0; c < values.size(); ++c) {
+        recorder.addChannel("chan" + std::to_string(c),
+                            [&values, c] { return values[c]; });
+    }
+    recorder.tick(0.0);
+    std::size_t tick = 0;
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        ++tick;
+        for (std::size_t c = 0; c < values.size(); ++c)
+            values[c] = static_cast<double>((tick + c) % 97);
+        const std::uint64_t before = allocsSoFar();
+        recorder.tick(static_cast<double>(tick) * 60.0);
+        allocs += allocsSoFar() - before;
+        benchmark::DoNotOptimize(recorder.ticks());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(allocs),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FlightRecorderTickOnly);
+
+/** Serializing a recorder whose finest tier is full (the dump cost). */
+void
+BM_FlightRecorderDump(benchmark::State &state)
+{
+    obs::FlightRecorder recorder;
+    std::vector<double> values(8, 0.0);
+    for (std::size_t c = 0; c < values.size(); ++c) {
+        recorder.addChannel("chan" + std::to_string(c),
+                            [&values, c] { return values[c]; });
+    }
+    for (std::size_t tick = 0; tick <= 3600; ++tick) {
+        for (std::size_t c = 0; c < values.size(); ++c)
+            values[c] = static_cast<double>((tick + c) % 97);
+        recorder.tick(static_cast<double>(tick) * 60.0);
+    }
+    for (auto _ : state) {
+        const std::string doc = recorder.pointJson("bench");
+        benchmark::DoNotOptimize(doc.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderDump);
+
 /** Quantile over 16 sketch parts without materializing a merge. */
 void
 BM_SketchMergedQuantile(benchmark::State &state)
@@ -506,6 +612,93 @@ BM_SketchMergedQuantile(benchmark::State &state)
 }
 BENCHMARK(BM_SketchMergedQuantile);
 
+/**
+ * `--check`: enforce the flight recorder's allocation contract without
+ * the timing harness. A 16384-server fleet pipeline warms up long
+ * enough to size every tier and cross all three bin boundaries, then
+ * 1000 further record ticks must perform zero heap allocations. Also
+ * smoke-tests the dump path (non-empty, schema-stamped). Exit 0 on
+ * pass, 1 with a diagnostic on stderr otherwise.
+ */
+int
+runSteadyStateCheck()
+{
+    constexpr std::size_t kServers = 16384;
+    constexpr std::size_t kWarmupTicks = 200;
+    constexpr std::size_t kMeasuredTicks = 1000;
+
+    SyntheticFleet fleet(kServers, 3);
+    obs::FleetAggregator::Config agg_cfg;
+    agg_cfg.skuCount = 3;
+    agg_cfg.record = false;
+    agg_cfg.cumulative = false;
+    obs::FleetBlackbox box(agg_cfg, obs::FlightRecorder::Config{},
+                           /*fire_power_w=*/1e12,
+                           /*clear_power_w=*/9e11);
+
+    std::size_t tick = 0;
+    for (; tick < kWarmupTicks; ++tick) {
+        fleet.mutate(tick);
+        const Seconds t = static_cast<double>(tick) * 60.0;
+        box.aggregator.observe(t, fleet.view(), 60.0);
+        box.recorder.tick(t);
+    }
+
+    std::uint64_t tick_allocs = 0;
+    for (std::size_t i = 0; i < kMeasuredTicks; ++i, ++tick) {
+        fleet.mutate(tick);
+        const Seconds t = static_cast<double>(tick) * 60.0;
+        box.aggregator.observe(t, fleet.view(), 60.0);
+        const std::uint64_t before = allocsSoFar();
+        box.recorder.tick(t);
+        tick_allocs += allocsSoFar() - before;
+    }
+
+    int failures = 0;
+    if (tick_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: FlightRecorder::tick allocated %llu times "
+                     "over %zu steady-state ticks (contract: 0)\n",
+                     static_cast<unsigned long long>(tick_allocs),
+                     kMeasuredTicks);
+        ++failures;
+    }
+    const std::string doc = box.recorder.toJson("check");
+    if (doc.find(obs::kBlackboxSchema) == std::string::npos) {
+        std::fprintf(stderr, "FAIL: dump is missing the %s schema "
+                             "stamp\n",
+                     obs::kBlackboxSchema);
+        ++failures;
+    }
+    if (box.recorder.ticks() != kWarmupTicks + kMeasuredTicks) {
+        std::fprintf(stderr, "FAIL: recorder counted %zu ticks, "
+                             "expected %zu\n",
+                     box.recorder.ticks(),
+                     kWarmupTicks + kMeasuredTicks);
+        ++failures;
+    }
+    if (failures == 0) {
+        std::printf("bench_obs_overhead --check: flight recorder "
+                    "steady-state ticks allocation-free over %zu ticks "
+                    "(%zu servers); dump schema-stamped. PASS\n",
+                    kMeasuredTicks, kServers);
+    }
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0)
+            return runSteadyStateCheck();
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,7 @@
  */
 
 #include <iostream>
+#include <memory>
 
 #include "cluster/datacenter.hh"
 #include "core/credit.hh"
@@ -65,12 +66,41 @@ powerOversubscription(const util::Cli &cli,
     std::vector<exp::Params> grid;
     for (const auto &row : rows)
         grid.push_back(exp::Params{{"policy", row.name}});
+
+    // `--blackbox FILE`: per-point flight-recorder bundles ticked by
+    // the minute loop. Each point then runs a private sim instance
+    // (identically configured) so parallel jobs never share observer
+    // state; observers are pure reads, so the table and report are
+    // byte-identical to the unobserved shared-sim path.
+    std::vector<std::unique_ptr<obs::FleetBlackbox>> boxes;
+    if (obs::blackboxRequested(cli)) {
+        obs::FleetAggregator::Config agg_cfg;
+        agg_cfg.record = false;
+        agg_cfg.cumulative = false;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            boxes.push_back(std::make_unique<obs::FleetBlackbox>(
+                agg_cfg, obs::FlightRecorder::Config{},
+                /*fire_power_w=*/0.98 * 40000.0,
+                /*clear_power_w=*/0.95 * 40000.0));
+        }
+    }
+
     exp::RunReport report = runner.run(
         "power_oversub", grid,
         [&](const exp::Params &, std::size_t i, util::Rng &,
             exp::MetricsRegistry &metrics) {
             util::Rng rng(2021);
-            const auto outcome = sim.run(rows[i].policy, rng, 14.0);
+            const auto outcome = [&] {
+                if (boxes.empty())
+                    return sim.run(rows[i].policy, rng, 14.0);
+                cluster::DatacenterPowerSim local(
+                    {batch, batch, latency}, 40000.0, 1.3, 1.2);
+                local.setSimThreads(cli.simThreads());
+                local.attachObservability(&boxes[i]->aggregator,
+                                          &boxes[i]->watchdog,
+                                          &boxes[i]->recorder);
+                return local.run(rows[i].policy, rng, 14.0);
+            }();
             metrics.scalar("feed_util", outcome.meanFeedUtilization);
             metrics.scalar("capping_share", outcome.cappingMinutesShare);
             metrics.scalar("oc_served_share", outcome.overclockShare);
@@ -98,6 +128,15 @@ powerOversubscription(const util::Cli &cli,
                  " — the always-overclock row pays capping minutes for"
                  " speedup it then\nloses; the power-aware row overclocks"
                  " in the diurnal valleys instead.\n";
+    if (!boxes.empty()) {
+        std::vector<std::pair<std::string, const obs::FlightRecorder *>>
+            blackbox_points;
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            blackbox_points.emplace_back(rows[i].name,
+                                         &boxes[i]->recorder);
+        obs::maybeWriteBlackbox(cli, blackbox_points, manifest,
+                                std::cout);
+    }
     return report;
 }
 
@@ -155,7 +194,8 @@ main(int argc, char **argv)
 {
     // Flags: --jobs N (default hardware concurrency), --sim-threads N
     // (threads inside each run; results are bit-identical for any
-    // value), --report FILE, --progress [FILE], --profile [FILE].
+    // value), --report FILE, --blackbox FILE (per-policy flight
+    // recorders), --progress [FILE], --profile [FILE].
     const util::Cli cli(argc, argv);
     obs::maybeEnableProfiler(cli);
     const obs::RunManifest manifest =

@@ -12,10 +12,11 @@
  * identical for any --jobs value.
  *
  * Run: ./build/examples/fleet_simulation [--jobs N] [--report out.json]
- *      [--telemetry out.csv]
+ *      [--telemetry out.csv] [--blackbox out.json]
  */
 
 #include <iostream>
+#include <memory>
 
 #include "cluster/datacenter.hh"
 #include "core/credit.hh"
@@ -67,12 +68,39 @@ main(int argc, char **argv)
     const bool capture_obs = obs::telemetryRequested(cli);
     std::vector<obs::TimeSeries> feed_series(
         capture_obs ? policies.size() : 0);
+    // --blackbox FILE: a flight-recorder bundle per policy, ticked by
+    // the minute loop. Each point then runs its own identically
+    // configured sim so parallel jobs never share observer state;
+    // observers are pure reads, so the tables stay byte-identical.
+    std::vector<std::unique_ptr<obs::FleetBlackbox>> boxes;
+    if (obs::blackboxRequested(cli)) {
+        obs::FleetAggregator::Config agg_cfg;
+        agg_cfg.record = false;
+        agg_cfg.cumulative = false;
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            boxes.push_back(std::make_unique<obs::FleetBlackbox>(
+                agg_cfg, obs::FlightRecorder::Config{},
+                /*fire_power_w=*/0.98 * 40000.0,
+                /*clear_power_w=*/0.95 * 40000.0));
+        }
+    }
     const auto outcomes = runner.map<cluster::DatacenterOutcome>(
         policies.size(), [&](std::size_t i, util::Rng &) {
             util::Rng rng(99);
-            return dc.run(policies[i].second, rng, 14.0,
-                          capture_obs ? &feed_series[i] : nullptr,
-                          nullptr);
+            if (boxes.empty()) {
+                return dc.run(policies[i].second, rng, 14.0,
+                              capture_obs ? &feed_series[i] : nullptr,
+                              nullptr);
+            }
+            cluster::DatacenterPowerSim local({batch, batch, latency},
+                                              40000.0, 1.3, 1.2);
+            local.setSimThreads(cli.simThreads());
+            local.attachObservability(&boxes[i]->aggregator,
+                                      &boxes[i]->watchdog,
+                                      &boxes[i]->recorder);
+            return local.run(policies[i].second, rng, 14.0,
+                             capture_obs ? &feed_series[i] : nullptr,
+                             nullptr);
         });
     for (std::size_t i = 0; i < policies.size(); ++i) {
         const auto &outcome = outcomes[i];
@@ -162,6 +190,15 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < feed_series.size(); ++i)
             telemetry.add(i, policies[i].first, feed_series[i]);
         obs::maybeWriteTelemetry(cli, telemetry, manifest, std::cout);
+    }
+    if (!boxes.empty()) {
+        std::vector<std::pair<std::string, const obs::FlightRecorder *>>
+            blackbox_points;
+        for (std::size_t i = 0; i < policies.size(); ++i)
+            blackbox_points.emplace_back(policies[i].first,
+                                         &boxes[i]->recorder);
+        obs::maybeWriteBlackbox(cli, blackbox_points, manifest,
+                                std::cout);
     }
     obs::maybeWriteProfile(cli, manifest, std::cerr);
     return 0;

@@ -29,7 +29,7 @@ shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_hot_paths bench_fault_crisis
+    --target bench_hot_paths bench_fault_crisis bench_obs_overhead
 
 if [[ "$CHECK" == 1 ]]; then
     # Container timing is noisy, so the ns/op band is generous (x1.5);
@@ -63,3 +63,11 @@ fi
 # band above — fault runs are scenario benchmarks, not hot-path timings.
 "$BUILD_DIR"/bench/bench_fault_crisis --smoke >/dev/null
 echo "bench_fault_crisis --smoke: ok"
+
+# Flight-recorder steady-state contract: 1000 recorder ticks over a
+# 16384-server fleet bundle must perform zero heap allocations (see
+# bench/bench_obs_overhead.cc). A functional gate like the crisis
+# smoke above — the timing of these cases lives in the
+# flight_recorder_tick row of BENCH_hotpaths.json.
+"$BUILD_DIR"/bench/bench_obs_overhead --check
+echo "bench_obs_overhead --check: ok"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# End-to-end check of the black-box flight recorder (registered as the
+# `blackbox_report_check` ctest): run a small capacity-crisis sweep
+# with `--blackbox` on, then assert
+#   - the dump is a schema-stamped imsim.blackbox/1 document;
+#   - the dump payload is deterministic: byte-identical for --jobs 1
+#     and --jobs 4 once the manifest line (timestamp/argv) is dropped;
+#   - tools/imsim_report renders the dump as a Flight recorder section
+#     with inline SVG timelines;
+#   - a newer-schema dump degrades to the muted fallback paragraph
+#     instead of failing the whole page.
+#
+# Usage: scripts/check_blackbox_report.sh CRISIS_BIN REPORT_BIN OUTDIR
+set -euo pipefail
+
+CRISIS_BIN="$1"
+REPORT_BIN="$2"
+OUTDIR="$3"
+
+mkdir -p "$OUTDIR"
+
+"$CRISIS_BIN" --smoke --jobs 2 \
+    --blackbox "$OUTDIR/blackbox.json" \
+    --report "$OUTDIR/run.json" \
+    --watchdog "$OUTDIR/incidents.json" >/dev/null 2>&1
+
+if ! grep -q '"schema": "imsim.blackbox/1"' "$OUTDIR/blackbox.json"; then
+    echo "FAIL: $OUTDIR/blackbox.json is not schema-stamped" >&2
+    exit 1
+fi
+
+# Determinism across worker counts: the recorder payload may not
+# depend on sweep scheduling. Only the manifest line (one line holding
+# the timestamp and argv) may differ.
+"$CRISIS_BIN" --smoke --jobs 1 \
+    --blackbox "$OUTDIR/blackbox_j1.json" >/dev/null 2>&1
+"$CRISIS_BIN" --smoke --jobs 4 \
+    --blackbox "$OUTDIR/blackbox_j4.json" >/dev/null 2>&1
+if ! cmp -s <(sed '/"meta"/d' "$OUTDIR/blackbox_j1.json") \
+            <(sed '/"meta"/d' "$OUTDIR/blackbox_j4.json"); then
+    echo "FAIL: blackbox payload differs between --jobs 1 and 4" >&2
+    exit 1
+fi
+
+"$REPORT_BIN" --report "$OUTDIR/run.json" \
+    --incidents "$OUTDIR/incidents.json" \
+    --blackbox "$OUTDIR/blackbox.json" \
+    --out "$OUTDIR/report.html"
+HTML="$OUTDIR/report.html"
+if ! grep -q "Flight recorder" "$HTML"; then
+    echo "FAIL: no Flight recorder section in $HTML" >&2
+    exit 1
+fi
+if ! grep -q '<svg class="timeline"' "$HTML"; then
+    echo "FAIL: no inline SVG timeline in $HTML" >&2
+    exit 1
+fi
+
+# Forward compatibility: a dump from a newer build must degrade to the
+# muted paragraph, not break the page.
+echo '{"schema": "imsim.blackbox/99", "points": []}' \
+    > "$OUTDIR/blackbox_future.json"
+"$REPORT_BIN" --report "$OUTDIR/run.json" \
+    --blackbox "$OUTDIR/blackbox_future.json" \
+    --out "$OUTDIR/report_future.html" 2>/dev/null
+if ! grep -q "Could not render blackbox" "$OUTDIR/report_future.html"; then
+    echo "FAIL: newer-schema dump did not degrade gracefully" >&2
+    exit 1
+fi
+
+echo "blackbox_report_check: OK ($HTML)"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fleet/kernels.hh"
+#include "obs/blackbox.hh"
 #include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/watchdog.hh"
@@ -104,8 +105,17 @@ void
 DatacenterPowerSim::attachObservability(obs::FleetAggregator *aggregator,
                                         obs::Watchdog *watchdog_in)
 {
+    attachObservability(aggregator, watchdog_in, nullptr);
+}
+
+void
+DatacenterPowerSim::attachObservability(obs::FleetAggregator *aggregator,
+                                        obs::Watchdog *watchdog_in,
+                                        obs::FlightRecorder *recorder)
+{
     fleetAggregator = aggregator;
     watchdog = watchdog_in;
+    flightRecorder = recorder;
 }
 
 /**
@@ -126,7 +136,7 @@ DatacenterPowerSim::observeMinute(std::size_t minute,
                                   const util::ShardPlan *plan,
                                   util::ShardRunner *runner) const
 {
-    if (!fleetAggregator && !watchdog)
+    if (!fleetAggregator && !watchdog && !flightRecorder)
         return;
     const Seconds now = static_cast<double>(minute) * 60.0;
     if (fleetAggregator) {
@@ -138,6 +148,8 @@ DatacenterPowerSim::observeMinute(std::size_t minute,
     }
     if (watchdog)
         watchdog->evaluate(now);
+    if (flightRecorder)
+        flightRecorder->tick(now);
 }
 
 DatacenterOutcome

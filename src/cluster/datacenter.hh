@@ -33,6 +33,7 @@ namespace imsim {
 
 namespace obs {
 class FleetAggregator;
+class FlightRecorder;
 class MetricRegistry;
 class TimeSeries;
 class Watchdog;
@@ -218,9 +219,17 @@ class DatacenterPowerSim
      * Observers are pure reads: attaching them never changes a run's
      * outcome, telemetry, or RNG stream. Pass nullptrs to detach.
      * Both pointers must outlive subsequent run() calls.
+     *
+     * The three-argument overload additionally ticks @p recorder
+     * (obs::FlightRecorder) once per minute, after the aggregator
+     * reduction and the watchdog poll, so its channels can read the
+     * minute's published sample and alert state.
      */
     void attachObservability(obs::FleetAggregator *aggregator,
                              obs::Watchdog *watchdog);
+    void attachObservability(obs::FleetAggregator *aggregator,
+                             obs::Watchdog *watchdog,
+                             obs::FlightRecorder *recorder);
 
     /** @return total nominal peak power across racks [W]. */
     Watts fleetNominalPeak() const;
@@ -246,6 +255,7 @@ class DatacenterPowerSim
     PerServerPhysics physics;
     obs::FleetAggregator *fleetAggregator = nullptr;
     obs::Watchdog *watchdog = nullptr;
+    obs::FlightRecorder *flightRecorder = nullptr;
 };
 
 } // namespace cluster

@@ -6,6 +6,7 @@
 
 #include "fault/invariants.hh"
 #include "hw/cpu.hh"
+#include "obs/blackbox.hh"
 #include "obs/sampler.hh"
 #include "obs/watchdog.hh"
 #include "power/capping.hh"
@@ -140,6 +141,36 @@ runCrisisExperiment(autoscale::Policy policy, const CrisisParams &params)
     checker.watchCluster(cluster);
     checker.watchTank(tank);
     checker.watchBudget(feed, feed_scratch);
+
+    // The black-box flight recorder: the same signals the pager and
+    // the outcome read, folded into bounded multi-resolution rings,
+    // plus every alert/fault/violation in its event ring. Registered
+    // after the watchdog's every() above so a tick at the same instant
+    // samples the already-evaluated alert state. Pure observer.
+    if (obs::FlightRecorder *box = params.blackbox) {
+        box->addChannel("p99_latency_s", [&cluster] {
+            return cluster.recentTailQuantile(99.0);
+        });
+        box->addChannel("queue_depth", [&cluster] {
+            return static_cast<double>(cluster.queueDepth());
+        });
+        box->addChannel("active_servers", [&cluster] {
+            return static_cast<double>(cluster.activeServers());
+        });
+        box->addChannel("fluid_level",
+                        [&tank] { return tank.fluidLevel(); });
+        box->addChannel("feed_brownouts", [&feed] {
+            return static_cast<double>(feed.brownouts());
+        });
+        box->addChannel("alerts_firing", [&watchdog] {
+            return static_cast<double>(watchdog.firingCount());
+        });
+        watchdog.attachFlightRecorder(box);
+        injector.attachFlightRecorder(box);
+        checker.attachFlightRecorder(box);
+        sim.every(params.watchdogPeriod,
+                  [box, &sim] { box->tick(sim.now()); });
+    }
 
     // Optional observability capture, wired like the auto-scaler
     // experiments: one capture per run, merged by the caller.

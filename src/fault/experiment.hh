@@ -21,6 +21,11 @@
 #include "util/units.hh"
 
 namespace imsim {
+
+namespace obs {
+class FlightRecorder;
+} // namespace obs
+
 namespace fault {
 
 /** Parameters of the capacity-crisis run. */
@@ -61,6 +66,17 @@ struct CrisisParams
     double coolingDegradeLevel = 1.0; ///< Tank fluid level; 1 = none.
     double powerDerateFraction = 1.0; ///< Feed capacity; 1 = none.
     autoscale::ObsCapture *obs = nullptr; ///< Optional telemetry capture.
+    /**
+     * Optional black-box flight recorder. Must be fresh (never
+     * ticked): the experiment registers its channels (trailing P99,
+     * queue depth, active servers, fluid level, feed brownouts,
+     * firing alerts) and ticks it at watchdogPeriod, and wires the
+     * watchdog, injector, and invariant checker into its event ring —
+     * so an armed recorder post-mortems on the first page or
+     * violation. A pure observer: attaching one never changes the
+     * run's outcome.
+     */
+    obs::FlightRecorder *blackbox = nullptr;
 };
 
 /** Outcome of one crisis run. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autoscale/autoscaler.hh"
+#include "obs/blackbox.hh"
 #include "obs/incident.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -72,6 +73,12 @@ void
 FaultInjector::attachIncidentLog(obs::IncidentLog *log)
 {
     incidents = log;
+}
+
+void
+FaultInjector::attachFlightRecorder(obs::FlightRecorder *recorder)
+{
+    flightRecorder = recorder;
 }
 
 void
@@ -251,11 +258,16 @@ void
 FaultInjector::record(FaultKind kind, std::size_t target, double magnitude)
 {
     injected.push_back(InjectedFault{sim.now(), kind, target, magnitude});
-    if (incidents) {
+    if (incidents || flightRecorder) {
         std::string label = faultKindName(kind);
-        if (target != kAnyServer)
-            label += "#" + std::to_string(target);
-        incidents->noteFault(sim.now(), label);
+        if (target != kAnyServer) {
+            label += '#';
+            label += std::to_string(target);
+        }
+        if (incidents)
+            incidents->noteFault(sim.now(), label);
+        if (flightRecorder)
+            flightRecorder->noteFault(sim.now(), label);
     }
     if (tracer) {
         const double target_arg =

@@ -33,6 +33,7 @@ class AutoScaler;
 namespace obs {
 class Counter;
 class EventTracer;
+class FlightRecorder;
 class IncidentLog;
 class MetricRegistry;
 } // namespace obs
@@ -126,6 +127,14 @@ class FaultInjector
     void attachIncidentLog(obs::IncidentLog *log);
 
     /**
+     * Note every injected fault in @p recorder's event ring (same
+     * `<kind>#<target>` labels as the incident log), so post-mortem
+     * dumps carry the fault timeline. May be null to detach; must
+     * outlive the injector otherwise.
+     */
+    void attachFlightRecorder(obs::FlightRecorder *recorder);
+
+    /**
      * Arm @p plan: scripted faults are scheduled at their times and the
      * stochastic crash process (if enabled) starts ticking. May only be
      * called once.
@@ -162,6 +171,7 @@ class FaultInjector
     power::PowerBudget *budget = nullptr;
     Watts nominalFeedCapacity = 0.0;
     obs::IncidentLog *incidents = nullptr;
+    obs::FlightRecorder *flightRecorder = nullptr;
 
     bool started = false;
     bool stopped = false;

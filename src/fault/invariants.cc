@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/blackbox.hh"
 #include "obs/fleet_agg.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -118,6 +119,12 @@ InvariantChecker::attachTracer(obs::EventTracer *tracer_in)
 }
 
 void
+InvariantChecker::attachFlightRecorder(obs::FlightRecorder *recorder)
+{
+    flightRecorder = recorder;
+}
+
+void
 InvariantChecker::start(Seconds period)
 {
     util::fatalIf(period <= 0.0,
@@ -146,6 +153,8 @@ InvariantChecker::evaluate()
         if (check.holds())
             continue;
         failures.push_back(Violation{sim.now(), check.name});
+        if (flightRecorder)
+            flightRecorder->violation(sim.now(), check.name);
         if (violationMetric)
             violationMetric->inc();
         if (tracer) {

@@ -30,6 +30,7 @@ namespace obs {
 class Counter;
 class EventTracer;
 class FleetAggregator;
+class FlightRecorder;
 class MetricRegistry;
 } // namespace obs
 
@@ -111,6 +112,14 @@ class InvariantChecker
     /** Emit an instant trace event per violation. May be null. */
     void attachTracer(obs::EventTracer *tracer);
 
+    /**
+     * Route every violation through @p recorder->violation(): it lands
+     * in the event ring and triggers a post-mortem dump when the
+     * recorder is armed. May be null to detach; must outlive the
+     * checker otherwise.
+     */
+    void attachFlightRecorder(obs::FlightRecorder *recorder);
+
     /** Evaluate all checks every @p period seconds, starting now. */
     void start(Seconds period);
 
@@ -141,6 +150,7 @@ class InvariantChecker
     bool running = false;
 
     obs::EventTracer *tracer = nullptr;
+    obs::FlightRecorder *flightRecorder = nullptr;
     obs::Counter *checkMetric = nullptr;
     obs::Counter *violationMetric = nullptr;
 };

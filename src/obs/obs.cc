@@ -127,6 +127,35 @@ maybeWriteIncidents(
        << points.size() << " points) to " << path << "\n";
 }
 
+bool
+blackboxRequested(const util::Cli &cli)
+{
+    return !cli.blackboxFile().empty();
+}
+
+void
+maybeWriteBlackbox(
+    const util::Cli &cli,
+    const std::vector<std::pair<std::string, const FlightRecorder *>>
+        &points,
+    const RunManifest &manifest, std::ostream &os)
+{
+    const std::string path = cli.blackboxFile();
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    util::fatalIf(!out, "maybeWriteBlackbox: cannot open '" + path +
+                            "' for writing");
+    out << FlightRecorder::mergedJson(points, manifest.toJsonObject());
+    util::fatalIf(!out,
+                  "maybeWriteBlackbox: failed writing '" + path + "'");
+    std::size_t ticks = 0;
+    for (const auto &point : points)
+        ticks += point.second->ticks();
+    os << "[blackbox] wrote " << points.size() << " flight recorders ("
+       << ticks << " ticks) to " << path << "\n";
+}
+
 void
 maybeWriteProfile(const util::Cli &cli, const RunManifest &manifest,
                   std::ostream &os)

@@ -13,6 +13,7 @@
 
 #include <iosfwd>
 
+#include "obs/blackbox.hh"
 #include "obs/fleet_agg.hh"
 #include "obs/incident.hh"
 #include "obs/log.hh"
@@ -81,6 +82,22 @@ void maybeWriteTelemetry(const util::Cli &cli,
 
 /** @return whether the Cli asked for incidents (`--watchdog FILE`). */
 bool incidentsRequested(const util::Cli &cli);
+
+/** @return whether the Cli asked for a dump (`--blackbox FILE`). */
+bool blackboxRequested(const util::Cli &cli);
+
+/**
+ * Honor `--blackbox FILE`: when present, write the labelled flight
+ * recorders as one `imsim.blackbox/1` document
+ * (FlightRecorder::mergedJson, @p manifest embedded as "meta") and
+ * print a one-line confirmation to @p os. Pass points in sweep-index
+ * order so the artifact is deterministic under any job count.
+ */
+void maybeWriteBlackbox(
+    const util::Cli &cli,
+    const std::vector<std::pair<std::string, const FlightRecorder *>>
+        &points,
+    const RunManifest &manifest, std::ostream &os);
 
 /**
  * Honor `--watchdog FILE`: when present, write the labelled incident

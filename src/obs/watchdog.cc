@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/blackbox.hh"
 #include "obs/incident.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
@@ -79,9 +80,14 @@ Watchdog::evaluate(Seconds t)
         const bool breach =
             rule.fireAbove ? v >= rule.fireThreshold
                            : v <= rule.fireThreshold;
+        // A value exactly at the threshold is a breach for either
+        // fireAbove sense, so it must never also count as recovered:
+        // without hysteresis (clear == fire) the two would otherwise
+        // both hold and a signal parked on the limit would flap
+        // raise/clear every poll.
         const bool recovered =
-            rule.fireAbove ? v <= rule.clearThreshold
-                           : v >= rule.clearThreshold;
+            !breach && (rule.fireAbove ? v <= rule.clearThreshold
+                                       : v >= rule.clearThreshold);
         if (!state.isFiring) {
             if (breach) {
                 if (state.breachSince < 0.0)
@@ -118,6 +124,8 @@ Watchdog::raise(RuleState &state, Seconds t, double value)
                          alertKindName(state.rule.kind))
             .inc();
     }
+    if (flightRecorder)
+        flightRecorder->page(t, state.rule.name, value, true);
     if (logAlerts)
         watchdogLog.warn(describeTransition("ALERT", state.rule, value));
 }
@@ -136,6 +144,8 @@ Watchdog::clear(RuleState &state, Seconds t, double value)
     }
     if (metrics)
         metrics->counter(metricPrefix + ".cleared").inc();
+    if (flightRecorder)
+        flightRecorder->page(t, state.rule.name, value, false);
     if (logAlerts)
         watchdogLog.info(describeTransition("clear", state.rule, value));
 }

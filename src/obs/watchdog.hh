@@ -31,6 +31,7 @@
 namespace imsim {
 namespace obs {
 
+class FlightRecorder;
 class IncidentLog;
 class MetricRegistry;
 
@@ -140,6 +141,17 @@ class Watchdog
     void attachMetrics(MetricRegistry &registry,
                        const std::string &prefix = "watchdog");
 
+    /**
+     * Page @p recorder on every raise/clear: the transition lands in
+     * its event ring, and a raise triggers a post-mortem dump when the
+     * recorder is armed with a sink set. The recorder must outlive
+     * this watchdog.
+     */
+    void attachFlightRecorder(FlightRecorder *recorder)
+    {
+        flightRecorder = recorder;
+    }
+
     /** Emit a warn/info log line per raise/clear (off by default). */
     void setLogAlerts(bool on) { logAlerts = on; }
 
@@ -159,6 +171,7 @@ class Watchdog
     std::vector<Alert> transitions;
     std::size_t raised = 0;
     IncidentLog *incidents = nullptr;
+    FlightRecorder *flightRecorder = nullptr;
     MetricRegistry *metrics = nullptr;
     std::string metricPrefix;
     bool logAlerts = false;

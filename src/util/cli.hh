@@ -86,6 +86,9 @@ class Cli
     /** @return "--watchdog FILE" (incident-timeline JSON), "" if unset. */
     std::string watchdogFile() const { return get("--watchdog"); }
 
+    /** @return "--blackbox FILE" (flight-recorder JSON), "" if unset. */
+    std::string blackboxFile() const { return get("--blackbox"); }
+
     /** @return whether "--progress [FILE]" appeared at all. */
     bool progressRequested() const { return has("--progress"); }
 

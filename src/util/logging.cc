@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace imsim {
 namespace util {
@@ -9,6 +10,36 @@ namespace util {
 namespace {
 /** Process-wide threshold; warnings print, inform() does not. */
 std::atomic<LogLevel> levelFlag{LogLevel::Warn};
+
+/** The installed error hook (guarded; fatal paths are cold). */
+std::mutex hookMutex;
+ErrorHook errorHook = nullptr;
+void *errorHookCtx = nullptr;
+/** Re-entrancy latch: a fatal raised *inside* the hook skips it. */
+thread_local bool inErrorHook = false;
+
+void
+runErrorHook(const std::string &what)
+{
+    if (inErrorHook)
+        return;
+    ErrorHook hook;
+    void *ctx;
+    {
+        std::lock_guard<std::mutex> lock(hookMutex);
+        hook = errorHook;
+        ctx = errorHookCtx;
+    }
+    if (!hook)
+        return;
+    inErrorHook = true;
+    try {
+        hook(what.c_str(), ctx);
+    } catch (...) {
+        // The hook is best-effort; the original error must win.
+    }
+    inErrorHook = false;
+}
 } // namespace
 
 std::string
@@ -81,15 +112,27 @@ warn(const std::string &msg)
 }
 
 void
+setErrorHook(ErrorHook hook, void *ctx)
+{
+    std::lock_guard<std::mutex> lock(hookMutex);
+    errorHook = hook;
+    errorHookCtx = ctx;
+}
+
+void
 fatal(const std::string &msg)
 {
-    throw FatalError("fatal: " + msg);
+    const std::string what = "fatal: " + msg;
+    runErrorHook(what);
+    throw FatalError(what);
 }
 
 void
 panic(const std::string &msg)
 {
-    throw PanicError("panic: " + msg);
+    const std::string what = "panic: " + msg;
+    runErrorHook(what);
+    throw PanicError(what);
 }
 
 } // namespace util

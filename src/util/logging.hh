@@ -108,6 +108,24 @@ void warn(const std::string &msg);
 [[noreturn]] void panic(const std::string &msg);
 
 /**
+ * Process-wide error hook, invoked with the formatted message right
+ * before fatal()/panic() throw — the black-box flight recorder's
+ * post-mortem trigger (obs::FlightRecorder::setPostMortemSink). Plain
+ * function pointer + context, not std::function, so installing and
+ * clearing it is trivially safe at any point of the process lifetime.
+ */
+using ErrorHook = void (*)(const char *what, void *ctx);
+
+/**
+ * Install @p hook (nullptr clears). The hook runs once per
+ * fatal()/panic(), before the exception is thrown; exceptions it
+ * raises are swallowed and re-entrant fatals from inside the hook do
+ * not recurse, so a failing post-mortem dump cannot mask the original
+ * error. Thread-safe.
+ */
+void setErrorHook(ErrorHook hook, void *ctx);
+
+/**
  * Check a caller-supplied precondition.
  *
  * @param ok   Condition that must hold.

@@ -285,6 +285,21 @@ QuantileSketch::compatible(const QuantileSketch &other) const
 void
 QuantileSketch::merge(const QuantileSketch &other)
 {
+    // Empty-sketch edge cases first (a default-constructed sketch has
+    // no geometry, so compatible() would reject it): merging one in is
+    // a no-op beyond its dropped tally, and merging into one adopts
+    // the other's geometry — both accumulator idioms, neither an
+    // error. Everything else must match exactly.
+    if (other.counts.empty()) {
+        droppedCount += other.droppedCount;
+        return;
+    }
+    if (counts.empty()) {
+        const std::uint64_t dropped_here = droppedCount;
+        *this = other;
+        droppedCount += dropped_here;
+        return;
+    }
     fatalIf(!compatible(other),
             "QuantileSketch::merge: incompatible bin geometry");
     for (std::size_t i = 0; i < counts.size(); ++i)

@@ -285,7 +285,10 @@ class QuantileSketch
     void
     add(double x)
     {
-        if (!std::isfinite(x)) {
+        // A zero-bin (default-constructed) sketch has no geometry to
+        // bin into: count the sample as dropped instead of clamping an
+        // index into an empty vector.
+        if (!std::isfinite(x) || counts.empty()) {
             ++droppedCount;
             return;
         }
@@ -304,8 +307,12 @@ class QuantileSketch
     void reset();
 
     /**
-     * Add @p other's counts into this sketch. FatalError unless
-     * compatible() (identical geometry).
+     * Add @p other's counts into this sketch. Merging a zero-bin
+     * (default-constructed) sketch is a no-op beyond folding its
+     * dropped count; merging *into* a zero-bin sketch adopts the
+     * other's geometry wholesale (the natural accumulator idiom).
+     * Any other geometry mismatch is a FatalError — never a silent
+     * mis-binning.
      */
     void merge(const QuantileSketch &other);
 

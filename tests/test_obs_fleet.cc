@@ -139,6 +139,45 @@ TEST(QuantileSketch, IncompatibleMergeIsFatal)
     EXPECT_THROW(a.quantile(101.0), FatalError);
 }
 
+TEST(QuantileSketch, EmptySketchMergesAsAccumulator)
+{
+    // A default-constructed sketch has no geometry: add() drops into
+    // dropped() instead of indexing an empty bin vector.
+    util::QuantileSketch empty;
+    empty.add(1.0);
+    EXPECT_EQ(empty.count(), 0u);
+    EXPECT_EQ(empty.dropped(), 1u);
+
+    // Merging an empty sketch in: a no-op beyond its dropped tally.
+    auto a = util::QuantileSketch::linear(0.0, 10.0, 10);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.dropped(), 1u);
+    EXPECT_EQ(a.bins(), 10u);
+
+    // Merging into an empty sketch adopts the other's geometry while
+    // keeping its own dropped tally — the reduce-into-fresh idiom.
+    util::QuantileSketch acc;
+    acc.add(kNan);
+    acc.merge(a);
+    EXPECT_EQ(acc.bins(), 10u);
+    EXPECT_EQ(acc.count(), 1u);
+    EXPECT_EQ(acc.dropped(), 2u);
+    EXPECT_DOUBLE_EQ(acc.quantile(50.0), a.quantile(50.0));
+
+    // Adoption does not relax the geometry check for real sketches.
+    auto b = util::QuantileSketch::linear(0.0, 10.0, 20);
+    EXPECT_THROW(acc.merge(b), FatalError);
+
+    // Empty-empty merge stays empty (and still geometry-less).
+    util::QuantileSketch e1;
+    util::QuantileSketch e2;
+    e1.merge(e2);
+    EXPECT_EQ(e1.bins(), 0u);
+    EXPECT_EQ(e1.count(), 0u);
+}
+
 // ---------------------------------------------------------------------
 // obs::FleetAggregator.
 // ---------------------------------------------------------------------
@@ -531,6 +570,68 @@ TEST(Watchdog, FireBelowForFluidLevelStyleSignals)
     level = 0.99;
     watchdog.evaluate(3.0);
     EXPECT_FALSE(watchdog.firing(idx));
+}
+
+TEST(Watchdog, ValueExactlyAtThresholdBreachesForBothSenses)
+{
+    // Breach is inclusive in both directions: signal == fireThreshold
+    // raises for fireAbove and fire-below rules alike, and — with no
+    // hysteresis — a signal parked exactly on the threshold holds the
+    // alert instead of flapping raise/clear every poll.
+    double above = 0.0;
+    double below = 10.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule high;
+    high.name = "high";
+    high.signal = [&above] { return above; };
+    high.fireThreshold = 5.0;
+    const std::size_t hi_idx = watchdog.addRule(high);
+    obs::WatchdogRule low;
+    low.name = "low";
+    low.signal = [&below] { return below; };
+    low.fireThreshold = 5.0;
+    low.fireAbove = false;
+    const std::size_t lo_idx = watchdog.addRule(low);
+
+    above = 5.0;
+    below = 5.0;
+    watchdog.evaluate(0.0);
+    EXPECT_TRUE(watchdog.firing(hi_idx));
+    EXPECT_TRUE(watchdog.firing(lo_idx));
+    // Parked on the threshold: both alerts hold, no clear/re-raise.
+    watchdog.evaluate(1.0);
+    watchdog.evaluate(2.0);
+    EXPECT_TRUE(watchdog.firing(hi_idx));
+    EXPECT_TRUE(watchdog.firing(lo_idx));
+    EXPECT_EQ(watchdog.alerts().size(), 2u); // The two raises only.
+    // One step past the threshold on the recovery side clears.
+    above = 4.999;
+    below = 5.001;
+    watchdog.evaluate(3.0);
+    EXPECT_FALSE(watchdog.firing(hi_idx));
+    EXPECT_FALSE(watchdog.firing(lo_idx));
+    EXPECT_EQ(watchdog.alerts().size(), 4u);
+}
+
+TEST(Watchdog, ExplicitClearEqualToFireDoesNotFlapAtThreshold)
+{
+    // clearThreshold == fireThreshold (explicitly, not via the NaN
+    // default) is valid no-hysteresis config; the boundary value is
+    // still a breach, not a recovery.
+    double signal = 0.0;
+    obs::Watchdog watchdog;
+    obs::WatchdogRule rule;
+    rule.name = "edge";
+    rule.signal = [&signal] { return signal; };
+    rule.fireThreshold = 5.0;
+    rule.clearThreshold = 5.0;
+    const std::size_t idx = watchdog.addRule(rule);
+    signal = 5.0;
+    for (int t = 0; t < 4; ++t)
+        watchdog.evaluate(static_cast<double>(t));
+    EXPECT_TRUE(watchdog.firing(idx));
+    EXPECT_EQ(watchdog.raisedCount(), 1u);
+    EXPECT_EQ(watchdog.alerts().size(), 1u);
 }
 
 TEST(Watchdog, RuleValidationIsFatal)

@@ -10,6 +10,7 @@
  * Usage:
  *   imsim_report --report run.json [--telemetry run.csv]
  *                [--incidents incidents.json]
+ *                [--blackbox blackbox.json]
  *                [--profile prof.json] [--bench BENCH_hotpaths.json]
  *                [--out report.html] [--title STRING]
  *
@@ -29,6 +30,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -504,6 +506,221 @@ incidentsSection(const util::Json &doc)
     return html;
 }
 
+/** Lane palette for blackbox alert bands (one lane per alert rule). */
+const char *
+blackboxLaneColor(std::size_t lane)
+{
+    static const char *kPalette[] = {"#c1121f", "#e09f3e", "#2a6f97",
+                                     "#5f0f40", "#386641", "#9d0208"};
+    return kPalette[lane % (sizeof kPalette / sizeof kPalette[0])];
+}
+
+/**
+ * SVG timeline of one flight-recorder point's event ring: alert
+ * intervals reconstructed from alert_raise/alert_clear pairs (one lane
+ * per rule; a clear whose raise was evicted from the bounded ring
+ * draws from t=0, an unmatched raise draws to the horizon) over
+ * vertical tick marks for faults, invariant violations, and notes.
+ */
+std::string
+blackboxTimeline(const util::Json &point, double horizon)
+{
+    struct Span
+    {
+        std::string rule;
+        double open = 0.0;
+        double close = -1.0; // -1: still raised at dump time.
+        double value = 0.0;
+    };
+    std::vector<Span> spans;
+    std::map<std::string, std::size_t> raised; // rule -> open span.
+    struct Mark
+    {
+        double t = 0.0;
+        std::string kind;
+        std::string label;
+    };
+    std::vector<Mark> marks;
+    for (const auto &event : point.at("events").array()) {
+        const double t = event.at("t_s").number();
+        const std::string kind = event.at("kind").str();
+        const std::string label = event.at("label").str();
+        if (kind == "alert_raise") {
+            raised[label] = spans.size();
+            spans.push_back(
+                {label, t, -1.0, event.at("value").number()});
+        } else if (kind == "alert_clear") {
+            const auto it = raised.find(label);
+            if (it != raised.end()) {
+                spans[it->second].close = t;
+                raised.erase(it);
+            } else {
+                // The matching raise fell off the bounded ring: the
+                // alert was already up when retention began.
+                spans.push_back(
+                    {label, 0.0, t, event.at("value").number()});
+            }
+        } else {
+            marks.push_back({t, kind, label});
+        }
+    }
+
+    // One lane per distinct rule, in first-seen order.
+    std::map<std::string, int> lane_of;
+    for (const auto &span : spans)
+        if (lane_of.find(span.rule) == lane_of.end()) {
+            const int next = static_cast<int>(lane_of.size());
+            lane_of[span.rule] = next;
+        }
+    const int w = 700;
+    const int lane_h = 16;
+    const int axis_h = 18;
+    const int lanes = std::max<int>(1, static_cast<int>(lane_of.size()));
+    const int h = lanes * lane_h + axis_h;
+    const double span_t = horizon > 0.0 ? horizon : 1.0;
+    const auto x_of = [&](double t) {
+        return std::clamp(t / span_t, 0.0, 1.0) * (w - 2.0) + 1.0;
+    };
+
+    std::string svg = "<svg class=\"timeline\" width=\"" +
+                      std::to_string(w) + "\" height=\"" +
+                      std::to_string(h) + "\" viewBox=\"0 0 " +
+                      std::to_string(w) + " " + std::to_string(h) +
+                      "\">";
+    // Fault/violation/note ticks first, underneath the alert bands.
+    for (const auto &mark : marks) {
+        const std::string x = fmtCoord(x_of(mark.t));
+        const char *stroke = mark.kind == "violation" ? "#9d0208"
+                             : mark.kind == "fault"   ? "#999"
+                                                      : "#bbb";
+        const char *dash = mark.kind == "violation" ? "" : "2,2";
+        svg += "<line x1=\"" + x + "\" y1=\"0\" x2=\"" + x +
+               "\" y2=\"" + std::to_string(lanes * lane_h) +
+               "\" stroke=\"" + stroke + "\" stroke-dasharray=\"" +
+               dash + "\"><title>" + htmlEscape(mark.kind) + ": " +
+               htmlEscape(mark.label) + " @ " + fmtNum(mark.t) +
+               " s</title></line>";
+    }
+    for (const auto &span : spans) {
+        const int lane = lane_of[span.rule];
+        const double end = span.close >= 0.0 ? span.close : horizon;
+        const double x0 = x_of(span.open);
+        const double x1 = std::max(x_of(end), x0 + 2.0); // Sliver.
+        svg += "<rect x=\"" + fmtCoord(x0) + "\" y=\"" +
+               std::to_string(lane * lane_h + 2) + "\" width=\"" +
+               fmtCoord(x1 - x0) + "\" height=\"" +
+               std::to_string(lane_h - 4) + "\" rx=\"2\" fill=\"" +
+               blackboxLaneColor(static_cast<std::size_t>(lane)) +
+               "\" fill-opacity=\"0.85\"><title>" +
+               htmlEscape(span.rule) + " " + fmtNum(span.open) +
+               " s → " +
+               (span.close >= 0.0 ? fmtNum(span.close) + " s"
+                                  : std::string("open")) +
+               ", value " + fmtNum(span.value) + "</title></rect>";
+    }
+    // Time axis.
+    const int axis_y = lanes * lane_h + 4;
+    svg += "<line x1=\"1\" y1=\"" + std::to_string(axis_y) +
+           "\" x2=\"" + std::to_string(w - 1) + "\" y2=\"" +
+           std::to_string(axis_y) + "\" stroke=\"#888\"/>";
+    svg += "<text x=\"2\" y=\"" + std::to_string(axis_y + 12) +
+           "\" class=\"axis\">0 s</text>";
+    svg += "<text x=\"" + std::to_string(w - 2) + "\" y=\"" +
+           std::to_string(axis_y + 12) +
+           "\" class=\"axis\" text-anchor=\"end\">" + fmtNum(horizon) +
+           " s</text>";
+    svg += "</svg>";
+    return svg;
+}
+
+/**
+ * Flight-recorder section from an imsim.blackbox/1 document: per
+ * point, the event timeline over one table per retention tier (a
+ * sparkline of bin means plus the min/max envelope per channel).
+ */
+std::string
+blackboxSection(const util::Json &doc)
+{
+    const std::string schema =
+        doc.has("schema") ? doc.at("schema").str() : "(none)";
+    util::fatalIf(schema != obs::kBlackboxSchema,
+                  "unsupported blackbox schema '" + schema +
+                      "' (this build reads " +
+                      std::string(obs::kBlackboxSchema) + ")");
+    const auto &points = doc.at("points").array();
+
+    // One shared horizon so the per-point charts line up.
+    double horizon = 0.0;
+    for (const auto &point : points) {
+        for (const auto &tier : point.at("tiers").array()) {
+            const double res = tier.at("resolution_s").number();
+            const auto &rows = tier.at("rows").array();
+            if (!rows.empty())
+                horizon = std::max(
+                    horizon, rows.back().array()[0].number() + res);
+        }
+        for (const auto &event : point.at("events").array())
+            horizon = std::max(horizon, event.at("t_s").number());
+    }
+
+    std::string html;
+    for (const auto &point : points) {
+        const auto &channels = point.at("channels").array();
+        html += "<h3>" + htmlEscape(point.at("label").str()) + " (" +
+                fmtNum(point.at("ticks").number()) + " ticks, " +
+                fmtNum(point.at("events_noted").number()) +
+                " events noted)</h3>\n";
+        html += blackboxTimeline(point, horizon);
+        for (const auto &tier : point.at("tiers").array()) {
+            const double res = tier.at("resolution_s").number();
+            const auto &rows = tier.at("rows").array();
+            html += "<h4>Tier: " + fmtNum(res) + " s bins, " +
+                    fmtNum(tier.at("capacity").number()) +
+                    " retained (" + std::to_string(rows.size()) +
+                    " filled)</h4>\n";
+            if (rows.empty()) {
+                html += "<p class=\"muted\">No bins in this tier "
+                        "yet.</p>\n";
+                continue;
+            }
+            html += "<table>\n" + tableRow({"channel", "min", "max",
+                                            "last mean",
+                                            "mean sparkline"},
+                                           true);
+            for (std::size_t c = 0; c < channels.size(); ++c) {
+                std::vector<double> ts;
+                std::vector<double> means;
+                double lo = 0.0;
+                double hi = 0.0;
+                bool any = false;
+                for (const auto &row_json : rows) {
+                    // Row: [t, samples, min0, mean0, max0, min1, ...].
+                    const auto &row = row_json.array();
+                    ts.push_back(row[0].number());
+                    const double mn = row[2 + c * 3 + 0].number();
+                    const double mean = row[2 + c * 3 + 1].number();
+                    const double mx = row[2 + c * 3 + 2].number();
+                    means.push_back(mean);
+                    if (!std::isfinite(mn) || !std::isfinite(mx))
+                        continue;
+                    lo = any ? std::min(lo, mn) : mn;
+                    hi = any ? std::max(hi, mx) : mx;
+                    any = true;
+                }
+                html += tableRow(
+                    {htmlEscape(channels[c].str()),
+                     any ? fmtNum(lo) : std::string("&mdash;"),
+                     any ? fmtNum(hi) : std::string("&mdash;"),
+                     fmtNum(means.back()), sparkline(ts, means)});
+            }
+            html += "</table>\n";
+        }
+    }
+    if (points.empty())
+        html += "<p class=\"muted\">Document has no points.</p>\n";
+    return html;
+}
+
 /**
  * Run @p build and return its HTML; on FatalError (missing file, parse
  * failure, schema mismatch) return a muted message paragraph instead
@@ -528,6 +745,7 @@ gracefulSection(const std::string &what, Fn &&build)
 const char *kUsage =
     "usage: imsim_report --report run.json [--telemetry run.csv]\n"
     "                    [--incidents incidents.json]\n"
+    "                    [--blackbox blackbox.json]\n"
     "                    [--profile prof.json] [--bench bench.json]\n"
     "                    [--out report.html] [--title STRING]\n";
 
@@ -564,6 +782,7 @@ main(int argc, char **argv)
     }
     const std::string telemetry_path = cli.get("--telemetry");
     const std::string incidents_path = cli.get("--incidents");
+    const std::string blackbox_path = cli.get("--blackbox");
     const std::string profile_path = cli.get("--profile");
     const std::string bench_path = cli.get("--bench");
     const std::string out_path = cli.get("--out", "report.html");
@@ -627,6 +846,14 @@ main(int argc, char **argv)
                     const util::Json doc =
                         util::Json::parse(slurp(incidents_path));
                     return incidentsSection(doc);
+                });
+    }
+    if (!blackbox_path.empty()) {
+        html += "<h2>Flight recorder</h2>\n" +
+                gracefulSection("blackbox", [&] {
+                    const util::Json doc =
+                        util::Json::parse(slurp(blackbox_path));
+                    return blackboxSection(doc);
                 });
     }
     if (!profile_path.empty()) {
