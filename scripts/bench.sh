@@ -29,7 +29,8 @@ shift || true
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_hot_paths bench_fault_crisis bench_obs_overhead
+    --target bench_hot_paths bench_fault_crisis bench_obs_overhead \
+             bench_control
 
 if [[ "$CHECK" == 1 ]]; then
     # Container timing is noisy, so the ns/op band is generous (x1.5);
@@ -71,3 +72,10 @@ echo "bench_fault_crisis --smoke: ok"
 # flight_recorder_tick row of BENCH_hotpaths.json.
 "$BUILD_DIR"/bench/bench_obs_overhead --check
 echo "bench_obs_overhead --check: ok"
+
+# Closed-loop controller smoke: a tiny-horizon sweep of the static and
+# feedback controllers through a scripted crisis day (see
+# bench/bench_control.cc). Functional gate only, outside the --check
+# timing band — controller episodes are scenario runs, not hot paths.
+"$BUILD_DIR"/bench/bench_control --smoke >/dev/null
+echo "bench_control --smoke: ok"

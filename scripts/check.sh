@@ -12,8 +12,11 @@
 #      aggregator, watchdogs, incident timelines, crisis detection);
 #   7. the flight-recorder suite (`ctest -L blackbox`: retention /
 #      post-mortem unit tests plus the end-to-end dump + report gate);
-#   8. the perf smoke benches (`ctest -L perf`);
-#   9. the hot-path regression check against the committed
+#   8. the closed-loop control suite (`ctest -L control`: the ControlEnv
+#      determinism oracle, controller envelope tests, and the
+#      bench_control --smoke controller sweep);
+#   9. the perf smoke benches (`ctest -L perf`);
+#  10. the hot-path regression check against the committed
 #      BENCH_hotpaths.json (scripts/bench.sh --check, which also runs
 #      the bench_obs_overhead --check 0-allocs contract).
 #
@@ -26,32 +29,35 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
-echo "== [1/9] build ($BUILD_DIR) =="
+echo "== [1/10] build ($BUILD_DIR) =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
-echo "== [2/9] tier-1 tests =="
+echo "== [2/10] tier-1 tests =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
-echo "== [3/9] fault-injection suite (ctest -L fault) =="
+echo "== [3/10] fault-injection suite (ctest -L fault) =="
 ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure
 
-echo "== [4/9] fleet smoke (ctest -L fleet) =="
+echo "== [4/10] fleet smoke (ctest -L fleet) =="
 ctest --test-dir "$BUILD_DIR" -L fleet --output-on-failure
 
-echo "== [5/9] intra-run parallelism gate (ctest -L fleet-par) =="
+echo "== [5/10] intra-run parallelism gate (ctest -L fleet-par) =="
 ctest --test-dir "$BUILD_DIR" -L fleet-par --output-on-failure
 
-echo "== [6/9] observability suite (ctest -L obs) =="
+echo "== [6/10] observability suite (ctest -L obs) =="
 ctest --test-dir "$BUILD_DIR" -L obs --output-on-failure
 
-echo "== [7/9] flight-recorder suite (ctest -L blackbox) =="
+echo "== [7/10] flight-recorder suite (ctest -L blackbox) =="
 ctest --test-dir "$BUILD_DIR" -L blackbox --output-on-failure
 
-echo "== [8/9] perf smoke (ctest -L perf) =="
+echo "== [8/10] closed-loop control suite (ctest -L control) =="
+ctest --test-dir "$BUILD_DIR" -L control --output-on-failure
+
+echo "== [9/10] perf smoke (ctest -L perf) =="
 ctest --test-dir "$BUILD_DIR" -L perf --output-on-failure
 
-echo "== [9/9] hot-path regression check =="
+echo "== [10/10] hot-path regression check =="
 scripts/bench.sh --check
 
 echo "All checks passed."

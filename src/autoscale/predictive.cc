@@ -5,6 +5,11 @@
 namespace imsim {
 namespace autoscale {
 
+namespace {
+/// Shortest sample spacing the trend estimate is updated across [s].
+constexpr Seconds kMinTrendDt = 1e-6;
+} // namespace
+
 HoltForecaster::HoltForecaster(double alpha_in, double beta_in)
     : alpha(alpha_in), beta(beta_in)
 {
@@ -29,8 +34,13 @@ HoltForecaster::observe(Seconds t, double value)
         // irregular sampling works.
         levelEst = alpha * value +
                    (1.0 - alpha) * (levelEst + trendEst * dt);
-        trendEst = beta * ((levelEst - prev_level) / dt) +
-                   (1.0 - beta) * trendEst;
+        // Below kMinTrendDt the per-second slope (level delta / dt)
+        // amplifies sampling jitter into an arbitrarily large trend
+        // spike, so near-coincident samples refresh the level only.
+        if (dt >= kMinTrendDt) {
+            trendEst = beta * ((levelEst - prev_level) / dt) +
+                       (1.0 - beta) * trendEst;
+        }
     }
     lastTime = t;
     ++count;
@@ -70,11 +80,14 @@ planProactive(const HoltForecaster &forecaster, double threshold,
         return decision;
 
     // Start the scale-out so it lands at (or before) the breach; when
-    // the breach beats the VM-creation latency, bridge with overclock.
+    // the breach arrives no later than the VM-creation latency the VM
+    // lands with zero (or negative) slack, so the same boundary also
+    // raises the overclock bridge — a breach predicted *exactly* at
+    // the scale-out latency is covered, not left to race the VM.
     decision.scaleOutNow =
         decision.predictedBreach <= scale_out_latency;
     decision.overclockBridge =
-        decision.predictedBreach < scale_out_latency;
+        decision.predictedBreach <= scale_out_latency;
     return decision;
 }
 

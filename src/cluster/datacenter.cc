@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "fleet/kernels.hh"
 #include "obs/blackbox.hh"
@@ -419,40 +420,37 @@ DatacenterPowerSim::runRackAggregate(OverclockPolicy policy, util::Rng &rng,
     return out;
 }
 
-DatacenterOutcome
-DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
-                                 double days, obs::TimeSeries *telemetry,
-                                 obs::MetricRegistry *metrics) const
+PerServerSession::PerServerSession(const DatacenterPowerSim &sim_in,
+                                   OverclockPolicy policy_in,
+                                   util::Rng &rng, double days,
+                                   obs::TimeSeries *telemetry_in,
+                                   obs::MetricRegistry *metrics)
+    : owner(sim_in), policy(policy_in), telemetry(telemetry_in),
+      budget(sim_in.feedCapacity, sim_in.oversub),
+      runner(sim_in.simThreadCount), feedCap(sim_in.feedCapacity),
+      ceiling(std::numeric_limits<double>::infinity()),
+      ocAdmission(sim_in.physics.skus.size(), 1.0)
 {
-    const std::vector<fleet::SkuParams> &skus = physics.skus;
+    const auto &racks = owner.racks;
+    const auto &physics = owner.physics;
+    const std::vector<fleet::SkuParams> &sku_table = physics.skus;
 
-    obs::Counter *minute_metric = nullptr;
-    obs::Counter *capping_metric = nullptr;
-    obs::Counter *capped_rack_metric = nullptr;
-    obs::HistogramMetric *feed_util_metric = nullptr;
-    obs::Counter *server_minute_metric = nullptr;
-    obs::Counter *capped_server_metric = nullptr;
-    obs::Counter *oc_server_metric = nullptr;
-    obs::Gauge *mean_tj_gauge = nullptr;
-    obs::Gauge *max_tj_gauge = nullptr;
-    obs::Gauge *mean_wear_gauge = nullptr;
-    obs::Gauge *mean_credit_gauge = nullptr;
     if (metrics) {
-        minute_metric = &metrics->counter("datacenter.minutes");
-        capping_metric = &metrics->counter("datacenter.capping_minutes");
-        capped_rack_metric =
+        minuteMetric = &metrics->counter("datacenter.minutes");
+        cappingMetric = &metrics->counter("datacenter.capping_minutes");
+        cappedRackMetric =
             &metrics->counter("datacenter.capped_rack_minutes");
-        feed_util_metric =
+        feedUtilMetric =
             &metrics->histogram("datacenter.feed_utilization");
         // The fleet layer's own attachment points (per-server physics).
-        server_minute_metric = &metrics->counter("fleet.server_minutes");
-        capped_server_metric =
+        serverMinuteMetric = &metrics->counter("fleet.server_minutes");
+        cappedServerMetric =
             &metrics->counter("fleet.capped_server_minutes");
-        oc_server_metric = &metrics->counter("fleet.oc_server_minutes");
-        mean_tj_gauge = &metrics->gauge("fleet.mean_tj_c");
-        max_tj_gauge = &metrics->gauge("fleet.max_tj_c");
-        mean_wear_gauge = &metrics->gauge("fleet.mean_wear");
-        mean_credit_gauge = &metrics->gauge("fleet.mean_credit");
+        ocServerMetric = &metrics->counter("fleet.oc_server_minutes");
+        meanTjGauge = &metrics->gauge("fleet.mean_tj_c");
+        maxTjGauge = &metrics->gauge("fleet.max_tj_c");
+        meanWearGauge = &metrics->gauge("fleet.mean_wear");
+        meanCreditGauge = &metrics->gauge("fleet.mean_credit");
     }
     if (telemetry) {
         *telemetry = obs::TimeSeries();
@@ -461,12 +459,11 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
                                "max_tj_c", "mean_wear"});
     }
 
-    const auto traces = generateRackTraces(racks.size(), rng, days);
+    traces = generateRackTraces(racks.size(), rng, days);
 
     // Build the fleet columns: rack r owns servers
     // [rackBegin[r], rackBegin[r + 1]).
-    fleet::FleetState state;
-    std::vector<std::size_t> rackBegin(racks.size() + 1, 0);
+    rackBegin.assign(racks.size() + 1, 0);
     {
         std::size_t total = 0;
         for (const auto &rack : racks)
@@ -477,13 +474,14 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
         const std::uint32_t sku =
             physics.rackSku.empty() ? 0u : physics.rackSku[r];
         rackBegin[r + 1] = rackBegin[r] + racks[r].servers;
-        state.addServers(racks[r].servers, sku, skus[sku].coolantRef);
+        state.addServers(racks[r].servers, sku,
+                         sku_table[sku].coolantRef);
     }
-    const std::size_t n = state.size();
+    n = state.size();
 
     // Per-server static utilization offsets (drawn after the traces so
     // the rack-level load stream matches the aggregate mode).
-    std::vector<double> offset(n, 0.0);
+    offset.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i)
         offset[i] = physics.utilSpread > 0.0
                         ? rng.uniform(-physics.utilSpread,
@@ -494,7 +492,7 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
     // ceil(share * servers) servers of a rack want the overclock when
     // the wanting share is `share`, matching the aggregate model's
     // expected fraction without extra RNG draws.
-    std::vector<double> ocRank(n, 0.0);
+    ocRank.assign(n, 0.0);
     for (std::size_t r = 0; r < racks.size(); ++r) {
         const double servers = static_cast<double>(racks[r].servers);
         for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
@@ -506,14 +504,11 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
     // server draws its constant components plus coolant-reference
     // leakage, a guaranteed lower bound since Tj never falls below the
     // coolant reference.
-    const power::PowerBudget budget(feedCapacity, oversub);
-    power::AllocScratch scratch;
-    std::vector<power::PowerConsumer> consumers;
     consumers.reserve(racks.size());
     for (std::size_t r = 0; r < racks.size(); ++r) {
         const std::uint32_t sku =
             physics.rackSku.empty() ? 0u : physics.rackSku[r];
-        const fleet::SkuParams &p = skus[sku];
+        const fleet::SkuParams &p = sku_table[sku];
         const Watts idle_floor =
             p.leakRef *
                 std::exp((p.coolantRef - p.leakRefTj) / p.leakTheta) *
@@ -525,7 +520,6 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
             racks[r].priority});
     }
 
-    DatacenterOutcome out;
     out.policy = policy;
     out.fleet.servers = n;
 
@@ -535,10 +529,7 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
     // accumulation, bit-identical to the serial loop. The plan's
     // geometry depends only on the rack layout, never the thread
     // count; shardRack[s] is the first rack of shard s.
-    util::ShardRunner runner(simThreadCount);
-    const bool sharded = runner.threads() > 1;
-    util::ShardPlan plan;
-    std::vector<std::size_t> shardRack;
+    sharded = runner.threads() > 1;
     if (sharded) {
         plan = util::ShardPlan::alignedTo(rackBegin, shardCountFor(n));
         shardRack.reserve(plan.shards() + 1);
@@ -551,240 +542,374 @@ DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
         shardRack.push_back(racks.size());
     }
 
-    double feed_util_sum = 0.0;
-    double capping_minutes = 0.0;
-    double want_minutes = 0.0;
-    double oc_minutes = 0.0;
-    double capped_oc_minutes = 0.0;
-    double speedup_sum = 0.0;
-    double mean_tj_sum = 0.0;
-    double fleet_power_sum = 0.0;
-    Celsius peak_tj = 0.0;
+    minutesTotal = traces.front().size();
+}
 
+const std::vector<fleet::SkuParams> &
+PerServerSession::skus() const
+{
+    return owner.physics.skus;
+}
+
+Watts
+PerServerSession::nominalFeedCapacity() const
+{
+    return owner.feedCapacity;
+}
+
+Watts
+PerServerSession::minimumFeedDemand() const
+{
+    Watts total = 0.0;
+    for (const auto &consumer : consumers)
+        total += consumer.minimum;
+    return total;
+}
+
+void
+PerServerSession::setFrequencyCeiling(GHz ceiling_in)
+{
+    util::fatalIf(!(ceiling_in > 0.0),
+                  "PerServerSession: ceiling must be positive");
+    ceiling = ceiling_in;
+    const auto &sku_table = owner.physics.skus;
+    for (std::size_t s = 0; s < sku_table.size(); ++s) {
+        const GHz f_nom = sku_table[s].level[fleet::kNominal].frequency;
+        const GHz f_oc =
+            sku_table[s].level[fleet::kOverclocked].frequency;
+        if (ceiling >= f_oc)
+            ocAdmission[s] = 1.0;
+        else if (ceiling <= f_nom || f_oc <= f_nom)
+            ocAdmission[s] = 0.0;
+        else
+            ocAdmission[s] = (ceiling - f_nom) / (f_oc - f_nom);
+    }
+    // Demote running operating points right away so the next physics
+    // step already sees the cap, not just the next grant pass.
+    state.applyFrequencyCeiling(sku_table, ceiling);
+}
+
+void
+PerServerSession::setFeedCapacity(Watts capacity)
+{
+    util::fatalIf(capacity <= 0.0,
+                  "PerServerSession: feed capacity must be positive");
+    feedCap = capacity;
+    budget.setCapacity(capacity);
+}
+
+void
+PerServerSession::setRecoverableBrownout(bool recoverable)
+{
+    budget.setRecoverableBrownout(recoverable);
+}
+
+void
+PerServerSession::setPackingFraction(double fraction)
+{
+    util::fatalIf(fraction <= 0.0 || fraction > 1.0,
+                  "PerServerSession: packing fraction out of (0, 1]");
+    packing = fraction;
+}
+
+void
+PerServerSession::stepMinutes(std::size_t count)
+{
+    util::fatalIf(finished,
+                  "PerServerSession: stepMinutes after finish");
+    while (count > 0 && !done()) {
+        stepMinute();
+        --count;
+    }
+}
+
+DatacenterOutcome
+PerServerSession::finish()
+{
+    util::fatalIf(finished, "PerServerSession: finish called twice");
+    util::fatalIf(minuteIndex == 0,
+                  "PerServerSession: finish before any step");
+    finished = true;
+    const auto &sku_table = owner.physics.skus;
+    const double total_minutes = static_cast<double>(minuteIndex);
+    out.meanFeedUtilization = feedUtilSum / total_minutes;
+    out.cappingMinutesShare = cappingMinutes / total_minutes;
+    out.overclockShare =
+        wantMinutes > 0.0 ? ocMinutes / wantMinutes : 0.0;
+    out.cappedOverclockShare =
+        ocMinutes > 0.0 ? cappedOcMinutes / ocMinutes : 0.0;
+    out.speedupDelivered =
+        wantMinutes > 0.0 ? speedupSum / wantMinutes : 1.0;
+    out.fleet.meanTj = meanTjSum / total_minutes;
+    out.fleet.peakTj = peakTj;
+    out.fleet.meanWearConsumed = state.meanWearConsumed();
+    out.fleet.meanWearCredit = state.meanWearCredit(sku_table);
+    out.fleet.meanServerPower =
+        fleetPowerSum / total_minutes / static_cast<double>(n);
+    return out;
+}
+
+void
+PerServerSession::stepMinute()
+{
+    const auto &racks = owner.racks;
+    const std::vector<fleet::SkuParams> &skus = owner.physics.skus;
+    const std::size_t minute = minuteIndex;
     const Seconds minute_dt = 60.0;
     const Years minute_years = fleet::secondsToYears(minute_dt);
-    const std::size_t minutes = traces.front().size();
-    for (std::size_t minute = 0; minute < minutes; ++minute) {
-        obs::ProfScope minute_prof("datacenter.minute");
 
-        // Desired operating point per server (elementwise per rack).
-        const auto setRackOperatingPoints = [&](std::size_t r) {
-            const auto &rack = racks[r];
-            const double rack_util = traces[r][minute].utilization;
-            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
-                 ++i) {
-                const double u = std::clamp(rack_util + offset[i], 0.0,
-                                            1.0);
-                state.utilization[i] = u;
-                const bool wants =
-                    ocRank[i] < u * rack.overclockDemand;
-                const bool grant =
-                    wants && policy != OverclockPolicy::Never;
-                state.wantsOverclock[i] = wants ? 1 : 0;
-                state.overclockShare[i] = wants ? 1.0 : 0.0;
-                state.overclocked[i] = grant ? 1 : 0;
-                state.freqLevel[i] =
-                    grant ? fleet::kOverclocked : fleet::kNominal;
-                state.capped[i] = 0;
+    obs::ProfScope minute_prof("datacenter.minute");
+
+    // Desired operating point per server (elementwise per rack). The
+    // control knobs nest so that their neutral values (packing == 1,
+    // admission == 1) take the exact branches of the original
+    // monolithic loop — a session with untouched knobs is bit-identical
+    // to run().
+    const auto setRackOperatingPoints = [&](std::size_t r) {
+        const auto &rack = racks[r];
+        const std::uint32_t sku =
+            owner.physics.rackSku.empty() ? 0u : owner.physics.rackSku[r];
+        const double rack_util = traces[r][minute].utilization;
+        for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
+             ++i) {
+            double u = std::clamp(rack_util + offset[i], 0.0,
+                                  1.0);
+            if (packing < 1.0) {
+                // Packing: the head of the rack's rank order carries
+                // the rack's whole load at proportionally higher
+                // utilization; the tail idles.
+                u = ocRank[i] < packing
+                        ? std::clamp(rack_util / packing + offset[i],
+                                     0.0, 1.0)
+                        : 0.0;
+            }
+            state.utilization[i] = u;
+            const bool wants =
+                ocRank[i] < u * rack.overclockDemand;
+            bool grant =
+                wants && policy != OverclockPolicy::Never;
+            if (grant && ocAdmission[sku] < 1.0) {
+                // Frequency ceiling between the SKU's levels: admit
+                // only the head of the wanting ranks, in proportion.
+                grant = ocRank[i] <
+                        u * rack.overclockDemand * ocAdmission[sku];
+            }
+            state.wantsOverclock[i] = wants ? 1 : 0;
+            state.overclockShare[i] = wants ? 1.0 : 0.0;
+            state.overclocked[i] = grant ? 1 : 0;
+            state.freqLevel[i] =
+                grant ? fleet::kOverclocked : fleet::kNominal;
+            state.capped[i] = 0;
+        }
+    };
+    // Left-to-right sum over one rack's servers — whole inside a
+    // single shard, so serial and sharded runs associate
+    // identically.
+    const auto sumRackDemand = [&](std::size_t r) {
+        Watts demand = 0.0;
+        for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
+            demand += state.totalPower[i];
+        consumers[r].demand = demand;
+    };
+
+    // Physics pass: per-server dynamic + leakage power at the
+    // desired points feeds the rack demands and the capping
+    // decision.
+    if (sharded) {
+        runner.run(plan, [&](std::size_t s, std::size_t begin,
+                             std::size_t end) {
+            for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                 ++r)
+                setRackOperatingPoints(r);
+            fleet::stepPower(state, skus, begin, end);
+            for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                 ++r)
+                sumRackDemand(r);
+        });
+    } else {
+        for (std::size_t r = 0; r < racks.size(); ++r)
+            setRackOperatingPoints(r);
+        fleet::stepPower(state, skus);
+        for (std::size_t r = 0; r < racks.size(); ++r)
+            sumRackDemand(r);
+    }
+    // Cross-rack total: serial, in fixed rack order (the barrier
+    // before this line is what makes the order deterministic).
+    Watts demand_total = 0.0;
+    for (std::size_t r = 0; r < racks.size(); ++r)
+        demand_total += consumers[r].demand;
+
+    // Power-aware policy backs every overclock out when the fleet
+    // would breach the feed, before capping has to fire.
+    if (policy == OverclockPolicy::PowerAware &&
+        demand_total > feedCap && state.overclockedCount() > 0) {
+        const auto clearOverclocks = [&](std::size_t begin,
+                                         std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                if (state.overclocked[i] != 0) {
+                    state.overclocked[i] = 0;
+                    state.freqLevel[i] = fleet::kNominal;
+                }
             }
         };
-        // Left-to-right sum over one rack's servers — whole inside a
-        // single shard, so serial and sharded runs associate
-        // identically.
-        const auto sumRackDemand = [&](std::size_t r) {
-            Watts demand = 0.0;
-            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1]; ++i)
-                demand += state.totalPower[i];
-            consumers[r].demand = demand;
-        };
-
-        // Physics pass: per-server dynamic + leakage power at the
-        // desired points feeds the rack demands and the capping
-        // decision.
         if (sharded) {
             runner.run(plan, [&](std::size_t s, std::size_t begin,
                                  std::size_t end) {
-                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
-                     ++r)
-                    setRackOperatingPoints(r);
+                clearOverclocks(begin, end);
                 fleet::stepPower(state, skus, begin, end);
-                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
-                     ++r)
+                for (std::size_t r = shardRack[s];
+                     r < shardRack[s + 1]; ++r)
                     sumRackDemand(r);
             });
         } else {
-            for (std::size_t r = 0; r < racks.size(); ++r)
-                setRackOperatingPoints(r);
+            clearOverclocks(0, n);
             fleet::stepPower(state, skus);
             for (std::size_t r = 0; r < racks.size(); ++r)
                 sumRackDemand(r);
         }
-        // Cross-rack total: serial, in fixed rack order (the barrier
-        // before this line is what makes the order deterministic).
-        Watts demand_total = 0.0;
+        demand_total = 0.0;
         for (std::size_t r = 0; r < racks.size(); ++r)
             demand_total += consumers[r].demand;
-
-        // Power-aware policy backs every overclock out when the fleet
-        // would breach the feed, before capping has to fire.
-        if (policy == OverclockPolicy::PowerAware &&
-            demand_total > feedCapacity && state.overclockedCount() > 0) {
-            const auto clearOverclocks = [&](std::size_t begin,
-                                             std::size_t end) {
-                for (std::size_t i = begin; i < end; ++i) {
-                    if (state.overclocked[i] != 0) {
-                        state.overclocked[i] = 0;
-                        state.freqLevel[i] = fleet::kNominal;
-                    }
-                }
-            };
-            if (sharded) {
-                runner.run(plan, [&](std::size_t s, std::size_t begin,
-                                     std::size_t end) {
-                    clearOverclocks(begin, end);
-                    fleet::stepPower(state, skus, begin, end);
-                    for (std::size_t r = shardRack[s];
-                         r < shardRack[s + 1]; ++r)
-                        sumRackDemand(r);
-                });
-            } else {
-                clearOverclocks(0, n);
-                fleet::stepPower(state, skus);
-                for (std::size_t r = 0; r < racks.size(); ++r)
-                    sumRackDemand(r);
-            }
-            demand_total = 0.0;
-            for (std::size_t r = 0; r < racks.size(); ++r)
-                demand_total += consumers[r].demand;
-        }
-
-        budget.allocate(consumers, scratch, false);
-
-        Watts drawn = 0.0;
-        bool any_capped = false;
-        double minute_oc = 0.0;
-        std::size_t capped_racks = 0;
-        std::size_t capped_servers = 0;
-        for (std::size_t r = 0; r < racks.size(); ++r) {
-            drawn += scratch.granted[r];
-            const bool rack_capped = scratch.capped[r] != 0;
-            any_capped = any_capped || rack_capped;
-            if (rack_capped)
-                ++capped_racks;
-
-            for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
-                 ++i) {
-                if (state.wantsOverclock[i] != 0)
-                    want_minutes += 1.0;
-                if (rack_capped) {
-                    state.capped[i] = 1;
-                    ++capped_servers;
-                }
-                if (state.overclocked[i] != 0) {
-                    oc_minutes += 1.0;
-                    minute_oc += 1.0;
-                    if (rack_capped) {
-                        // Capping claws the frequency back: the
-                        // overclock bought nothing this minute.
-                        capped_oc_minutes += 1.0;
-                        speedup_sum += 1.0;
-                        state.freqLevel[i] = fleet::kNominal;
-                    } else {
-                        speedup_sum += ocSpeedup;
-                    }
-                } else if (state.wantsOverclock[i] != 0) {
-                    speedup_sum += 1.0;
-                }
-            }
-            if (rack_capped && !sharded) {
-                // Re-evaluate the rack's power at the clawed-back
-                // frequencies so the thermal/wear steps see the capped
-                // operating point.
-                fleet::stepPower(state, skus, rackBegin[r],
-                                 rackBegin[r + 1]);
-            }
-        }
-
-        // Thermal and wear advance at the post-capping operating point.
-        if (sharded) {
-            // The capped-rack power re-evaluation is deferred into this
-            // fused phase: every rack's freqLevel is final once the
-            // accounting loop above finishes, stepPower is elementwise
-            // over exactly that input, and nothing between the inline
-            // call site and here reads the power columns — so deferring
-            // it is bit-identical to the serial interleaving.
-            fleet::prepareThermalStep(state, skus, minute_dt);
-            fleet::prepareWearStep(state);
-            runner.run(plan, [&](std::size_t s, std::size_t begin,
-                                 std::size_t end) {
-                for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
-                     ++r) {
-                    if (scratch.capped[r] != 0)
-                        fleet::stepPower(state, skus, rackBegin[r],
-                                         rackBegin[r + 1]);
-                }
-                fleet::stepThermal(state, skus, minute_dt, begin, end);
-                fleet::stepWear(state, skus, minute_years, begin, end);
-            });
-        } else {
-            fleet::stepThermal(state, skus, minute_dt);
-            fleet::stepWear(state, skus, minute_years);
-        }
-
-        feed_util_sum += drawn / feedCapacity;
-        if (any_capped)
-            capping_minutes += 1.0;
-        out.energyMwh += drawn / 1e6 / 60.0;
-
-        const double feed_util = drawn / feedCapacity;
-        const Celsius mean_tj = state.meanTj();
-        const Celsius max_tj = state.maxTj();
-        const double mean_wear = state.meanWearConsumed();
-        mean_tj_sum += mean_tj;
-        peak_tj = std::max(peak_tj, max_tj);
-        fleet_power_sum += state.fleetPower();
-
-        if (telemetry) {
-            telemetry->append(static_cast<double>(minute) * 60.0,
-                              {drawn, feed_util, any_capped ? 1.0 : 0.0,
-                               minute_oc, mean_tj, max_tj, mean_wear});
-        }
-        if (metrics) {
-            minute_metric->inc();
-            if (any_capped)
-                capping_metric->inc();
-            capped_rack_metric->inc(
-                static_cast<std::uint64_t>(capped_racks));
-            feed_util_metric->observe(feed_util);
-            server_minute_metric->inc(static_cast<std::uint64_t>(n));
-            capped_server_metric->inc(
-                static_cast<std::uint64_t>(capped_servers));
-            oc_server_metric->inc(static_cast<std::uint64_t>(minute_oc));
-            mean_tj_gauge->set(mean_tj);
-            max_tj_gauge->set(max_tj);
-            mean_wear_gauge->set(mean_wear);
-            mean_credit_gauge->set(state.meanWearCredit(skus));
-        }
-        observeMinute(minute, state, sharded ? &plan : nullptr,
-                      sharded ? &runner : nullptr);
     }
 
-    const double total_minutes = static_cast<double>(minutes);
-    out.meanFeedUtilization = feed_util_sum / total_minutes;
-    out.cappingMinutesShare = capping_minutes / total_minutes;
-    out.overclockShare =
-        want_minutes > 0.0 ? oc_minutes / want_minutes : 0.0;
-    out.cappedOverclockShare =
-        oc_minutes > 0.0 ? capped_oc_minutes / oc_minutes : 0.0;
-    out.speedupDelivered =
-        want_minutes > 0.0 ? speedup_sum / want_minutes : 1.0;
-    out.fleet.meanTj = mean_tj_sum / total_minutes;
-    out.fleet.peakTj = peak_tj;
-    out.fleet.meanWearConsumed = state.meanWearConsumed();
-    out.fleet.meanWearCredit = state.meanWearCredit(skus);
-    out.fleet.meanServerPower =
-        fleet_power_sum / total_minutes / static_cast<double>(n);
-    return out;
+    budget.allocate(consumers, scratch, false);
+
+    Watts drawn = 0.0;
+    bool any_capped = false;
+    double minute_oc = 0.0;
+    std::size_t capped_racks = 0;
+    std::size_t capped_servers = 0;
+    for (std::size_t r = 0; r < racks.size(); ++r) {
+        drawn += scratch.granted[r];
+        const bool rack_capped = scratch.capped[r] != 0;
+        any_capped = any_capped || rack_capped;
+        if (rack_capped)
+            ++capped_racks;
+
+        for (std::size_t i = rackBegin[r]; i < rackBegin[r + 1];
+             ++i) {
+            if (state.wantsOverclock[i] != 0)
+                wantMinutes += 1.0;
+            if (rack_capped) {
+                state.capped[i] = 1;
+                ++capped_servers;
+            }
+            if (state.overclocked[i] != 0) {
+                ocMinutes += 1.0;
+                minute_oc += 1.0;
+                if (rack_capped) {
+                    // Capping claws the frequency back: the
+                    // overclock bought nothing this minute.
+                    cappedOcMinutes += 1.0;
+                    speedupSum += 1.0;
+                    state.freqLevel[i] = fleet::kNominal;
+                } else {
+                    speedupSum += owner.ocSpeedup;
+                }
+            } else if (state.wantsOverclock[i] != 0) {
+                speedupSum += 1.0;
+            }
+        }
+        if (rack_capped && !sharded) {
+            // Re-evaluate the rack's power at the clawed-back
+            // frequencies so the thermal/wear steps see the capped
+            // operating point.
+            fleet::stepPower(state, skus, rackBegin[r],
+                             rackBegin[r + 1]);
+        }
+    }
+
+    // Thermal and wear advance at the post-capping operating point.
+    if (sharded) {
+        // The capped-rack power re-evaluation is deferred into this
+        // fused phase: every rack's freqLevel is final once the
+        // accounting loop above finishes, stepPower is elementwise
+        // over exactly that input, and nothing between the inline
+        // call site and here reads the power columns — so deferring
+        // it is bit-identical to the serial interleaving.
+        fleet::prepareThermalStep(state, skus, minute_dt);
+        fleet::prepareWearStep(state);
+        runner.run(plan, [&](std::size_t s, std::size_t begin,
+                             std::size_t end) {
+            for (std::size_t r = shardRack[s]; r < shardRack[s + 1];
+                 ++r) {
+                if (scratch.capped[r] != 0)
+                    fleet::stepPower(state, skus, rackBegin[r],
+                                     rackBegin[r + 1]);
+            }
+            fleet::stepThermal(state, skus, minute_dt, begin, end);
+            fleet::stepWear(state, skus, minute_years, begin, end);
+        });
+    } else {
+        fleet::stepThermal(state, skus, minute_dt);
+        fleet::stepWear(state, skus, minute_years);
+    }
+
+    feedUtilSum += drawn / feedCap;
+    if (any_capped)
+        cappingMinutes += 1.0;
+    out.energyMwh += drawn / 1e6 / 60.0;
+
+    const double feed_util = drawn / feedCap;
+    const Celsius mean_tj = state.meanTj();
+    const Celsius max_tj = state.maxTj();
+    const double mean_wear = state.meanWearConsumed();
+    meanTjSum += mean_tj;
+    peakTj = std::max(peakTj, max_tj);
+    fleetPowerSum += state.fleetPower();
+
+    if (telemetry) {
+        telemetry->append(static_cast<double>(minute) * 60.0,
+                          {drawn, feed_util, any_capped ? 1.0 : 0.0,
+                           minute_oc, mean_tj, max_tj, mean_wear});
+    }
+    if (minuteMetric) {
+        minuteMetric->inc();
+        if (any_capped)
+            cappingMetric->inc();
+        cappedRackMetric->inc(
+            static_cast<std::uint64_t>(capped_racks));
+        feedUtilMetric->observe(feed_util);
+        serverMinuteMetric->inc(static_cast<std::uint64_t>(n));
+        cappedServerMetric->inc(
+            static_cast<std::uint64_t>(capped_servers));
+        ocServerMetric->inc(static_cast<std::uint64_t>(minute_oc));
+        meanTjGauge->set(mean_tj);
+        maxTjGauge->set(max_tj);
+        meanWearGauge->set(mean_wear);
+        meanCreditGauge->set(state.meanWearCredit(skus));
+    }
+    owner.observeMinute(minute, state, sharded ? &plan : nullptr,
+                        sharded ? &runner : nullptr);
+    ++minuteIndex;
+}
+
+std::unique_ptr<PerServerSession>
+DatacenterPowerSim::startPerServerSession(OverclockPolicy policy,
+                                          util::Rng &rng, double days,
+                                          obs::TimeSeries *telemetry,
+                                          obs::MetricRegistry *metrics)
+    const
+{
+    util::fatalIf(fidelityMode != FleetFidelity::PerServer,
+                  "startPerServerSession: call enablePerServerFidelity "
+                  "first");
+    util::fatalIf(days <= 0.0, "startPerServerSession: bad horizon");
+    return std::unique_ptr<PerServerSession>(new PerServerSession(
+        *this, policy, rng, days, telemetry, metrics));
+}
+
+DatacenterOutcome
+DatacenterPowerSim::runPerServer(OverclockPolicy policy, util::Rng &rng,
+                                 double days, obs::TimeSeries *telemetry,
+                                 obs::MetricRegistry *metrics) const
+{
+    // The monolithic run is the steppable session driven straight to
+    // the horizon with every knob at its neutral default.
+    PerServerSession session(*this, policy, rng, days, telemetry,
+                             metrics);
+    session.stepMinutes(session.totalMinutes());
+    return session.finish();
 }
 
 } // namespace cluster

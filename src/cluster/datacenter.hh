@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fleet/state.hh"
@@ -32,8 +33,11 @@
 namespace imsim {
 
 namespace obs {
+class Counter;
 class FleetAggregator;
 class FlightRecorder;
+class Gauge;
+class HistogramMetric;
 class MetricRegistry;
 class TimeSeries;
 class Watchdog;
@@ -118,6 +122,160 @@ struct DatacenterOutcome
     double speedupDelivered = 0.0;    ///< Mean delivered speedup across
                                       ///< overclock-demanding minutes.
     FleetPhysicsStats fleet;          ///< Populated in per-server mode.
+};
+
+class DatacenterPowerSim;
+
+/**
+ * An in-flight per-server-fidelity run that an external control loop
+ * can advance minute by minute (DatacenterPowerSim::run steps it to
+ * the horizon in one go — stepping in chunks is bit-identical to that
+ * monolithic run when no knob is touched mid-flight).
+ *
+ * Between steps, a controller may turn the actuation knobs:
+ *
+ *  - setFrequencyCeiling(): per-SKU overclock admission. A ceiling at
+ *    or above a SKU's overclock point admits every wanting server; one
+ *    at or below its nominal point admits none; in between, the head
+ *    of the rack's deterministic want-ranks is admitted
+ *    proportionally. Running servers above the ceiling are demoted
+ *    immediately via fleet::FleetState::applyFrequencyCeiling.
+ *  - setFeedCapacity(): the feed budget (PowerBudget::setCapacity),
+ *    e.g. a power cap or a derated feed during a crisis.
+ *  - setPackingFraction(): concentrate each rack's load onto its
+ *    first `fraction` of servers (the rest idle) — the packing-density
+ *    knob trading per-server utilization against idle-power overhead.
+ *
+ * Sessions are created by DatacenterPowerSim::startPerServerSession
+ * and borrow the parent sim (racks, physics, attached observers),
+ * which must outlive them. Determinism follows the parent's contract:
+ * for a fixed seed and knob/step schedule, any --sim-threads value
+ * reproduces the same bits.
+ */
+class PerServerSession
+{
+  public:
+    PerServerSession(const PerServerSession &) = delete;
+    PerServerSession &operator=(const PerServerSession &) = delete;
+
+    /** @return minutes in the full horizon. */
+    std::size_t totalMinutes() const { return minutesTotal; }
+
+    /** @return minutes simulated so far. */
+    std::size_t minutesDone() const { return minuteIndex; }
+
+    /** @return whether the horizon has been reached. */
+    bool done() const { return minuteIndex >= minutesTotal; }
+
+    /** Advance up to @p count minutes (stops at the horizon). */
+    void stepMinutes(std::size_t count);
+
+    /**
+     * Final accounting over the minutes simulated so far. Callable
+     * once; the session cannot be stepped afterwards.
+     */
+    DatacenterOutcome finish();
+
+    /** @return fleet size (servers). */
+    std::size_t servers() const { return n; }
+
+    /** @return the live fleet columns (pure read). */
+    const fleet::FleetState &fleet() const { return state; }
+
+    /** Cap operating points at @p ceiling [GHz] (see class comment). */
+    void setFrequencyCeiling(GHz ceiling);
+
+    /** @return the current frequency ceiling [GHz] (+inf = uncapped). */
+    GHz frequencyCeiling() const { return ceiling; }
+
+    /** Set the feed capacity [W] (oversubscription ratio is kept). */
+    void setFeedCapacity(Watts capacity);
+
+    /** @return the current feed capacity [W]. */
+    Watts feedCapacity() const { return feedCap; }
+
+    /** @return the parent sim's nominal feed capacity [W]. */
+    Watts nominalFeedCapacity() const;
+
+    /** @return the sum of the racks' capping floors [W] — the lowest
+     *  feed capacity allocatable without a brownout. */
+    Watts minimumFeedDemand() const;
+
+    /** Forwarded to PowerBudget::setRecoverableBrownout. */
+    void setRecoverableBrownout(bool recoverable);
+
+    /** Pack rack load onto the first @p fraction of servers, (0, 1]. */
+    void setPackingFraction(double fraction);
+
+    /** @return the current packing fraction. */
+    double packingFraction() const { return packing; }
+
+    /** @return the SKU physics table the session runs against. */
+    const std::vector<fleet::SkuParams> &skus() const;
+
+    /** @return IT energy consumed over the minutes stepped so far
+     *  [MWh] — running total, so epoch deltas cost out each control
+     *  period without waiting for finish(). */
+    double energyMwhSoFar() const { return out.energyMwh; }
+
+  private:
+    friend class DatacenterPowerSim;
+    PerServerSession(const DatacenterPowerSim &sim_in,
+                     OverclockPolicy policy_in, util::Rng &rng,
+                     double days, obs::TimeSeries *telemetry_in,
+                     obs::MetricRegistry *metrics);
+    void stepMinute();
+
+    const DatacenterPowerSim &owner;
+    OverclockPolicy policy;
+    obs::TimeSeries *telemetry = nullptr;
+    obs::Counter *minuteMetric = nullptr;
+    obs::Counter *cappingMetric = nullptr;
+    obs::Counter *cappedRackMetric = nullptr;
+    obs::HistogramMetric *feedUtilMetric = nullptr;
+    obs::Counter *serverMinuteMetric = nullptr;
+    obs::Counter *cappedServerMetric = nullptr;
+    obs::Counter *ocServerMetric = nullptr;
+    obs::Gauge *meanTjGauge = nullptr;
+    obs::Gauge *maxTjGauge = nullptr;
+    obs::Gauge *meanWearGauge = nullptr;
+    obs::Gauge *meanCreditGauge = nullptr;
+
+    std::vector<std::vector<workload::TraceSample>> traces;
+    fleet::FleetState state;
+    std::vector<std::size_t> rackBegin;
+    std::size_t n = 0;
+    std::vector<double> offset; ///< Static per-server util offsets.
+    std::vector<double> ocRank; ///< Deterministic want/packing ranks.
+    power::PowerBudget budget;
+    power::AllocScratch scratch;
+    std::vector<power::PowerConsumer> consumers;
+    util::ShardRunner runner;
+    bool sharded = false;
+    util::ShardPlan plan;
+    std::vector<std::size_t> shardRack;
+
+    DatacenterOutcome out;
+    double feedUtilSum = 0.0;
+    double cappingMinutes = 0.0;
+    double wantMinutes = 0.0;
+    double ocMinutes = 0.0;
+    double cappedOcMinutes = 0.0;
+    double speedupSum = 0.0;
+    double meanTjSum = 0.0;
+    double fleetPowerSum = 0.0;
+    Celsius peakTj = 0.0;
+    std::size_t minutesTotal = 0;
+    std::size_t minuteIndex = 0;
+    bool finished = false;
+
+    // ----- knobs -----------------------------------------------------
+    Watts feedCap = 0.0;
+    GHz ceiling = 0.0; ///< +inf until setFrequencyCeiling is called.
+    /** Per-SKU admitted share of overclock-wanting servers in [0, 1],
+     *  derived from the ceiling against the SKU's two levels. */
+    std::vector<double> ocAdmission;
+    double packing = 1.0;
 };
 
 /**
@@ -234,7 +392,31 @@ class DatacenterPowerSim
     /** @return total nominal peak power across racks [W]. */
     Watts fleetNominalPeak() const;
 
+    /** @return the rack configurations. */
+    const std::vector<RackConfig> &rackConfigs() const { return racks; }
+
+    /** @return the per-server physics (per-server fidelity only). */
+    const PerServerPhysics &perServerPhysics() const { return physics; }
+
+    /** @return the nominal feed capacity [W]. */
+    Watts feedCapacityNominal() const { return feedCapacity; }
+
+    /**
+     * Start an externally stepped per-server run (see PerServerSession;
+     * requires enablePerServerFidelity). The caller drives it with
+     * stepMinutes()/finish(); @p rng seeds the diurnal traces and
+     * per-server offsets exactly as run() would, so a session stepped
+     * straight to the horizon with untouched knobs reproduces run()
+     * bit-for-bit. The session borrows this sim — keep it alive.
+     */
+    std::unique_ptr<PerServerSession>
+    startPerServerSession(OverclockPolicy policy, util::Rng &rng,
+                          double days,
+                          obs::TimeSeries *telemetry = nullptr,
+                          obs::MetricRegistry *metrics = nullptr) const;
+
   private:
+    friend class PerServerSession;
     DatacenterOutcome runRackAggregate(OverclockPolicy policy,
                                        util::Rng &rng, double days,
                                        obs::TimeSeries *telemetry,

@@ -1,0 +1,233 @@
+#include "control/controllers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace imsim {
+namespace control {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerHour = 3600.0;
+
+/// Evenly spaced ceiling ladder from floor to cap, inclusive.
+std::vector<GHz>
+buildLadder(GHz floor, GHz cap, std::size_t levels)
+{
+    util::fatalIf(levels < 2, "controller ladder needs >= 2 levels");
+    util::fatalIf(cap <= floor, "controller ladder: cap <= floor");
+    std::vector<GHz> ladder(levels);
+    for (std::size_t i = 0; i < levels; ++i) {
+        ladder[i] = floor + (cap - floor) * static_cast<double>(i) /
+                                static_cast<double>(levels - 1);
+    }
+    return ladder;
+}
+
+/// Per-epoch objective the TCO-seeking controllers minimize: cost per
+/// million requests plus a flat penalty when the tail breached. The
+/// first epoch (no completed requests yet) scores neutral.
+double
+tcoObjective(const Observation &observation, Seconds sla_p99,
+             double sla_penalty)
+{
+    if (observation.epochRequests <= 0.0)
+        return 0.0;
+    double objective = observation.epochCostUsd * 1e6 /
+                       observation.epochRequests;
+    if (observation.tailP99S > sla_p99)
+        objective += sla_penalty;
+    return objective;
+}
+
+} // namespace
+
+// ----- StaticOcController ------------------------------------------------
+
+StaticOcController::StaticOcController(Mode mode_in, GHz floor_in,
+                                       GHz cap_in)
+    : mode(mode_in), floor(floor_in), cap(cap_in)
+{}
+
+const char *
+StaticOcController::name() const
+{
+    switch (mode) {
+      case Mode::Baseline:
+        return "static-baseline";
+      case Mode::OcA:
+        return "static-oc-a";
+      case Mode::OcB:
+        return "static-oc-b";
+    }
+    return "static";
+}
+
+Action
+StaticOcController::decide(const Observation &observation)
+{
+    Action action;
+    switch (mode) {
+      case Mode::Baseline:
+        action.frequencyCeiling = floor;
+        break;
+      case Mode::OcA:
+        action.frequencyCeiling = cap;
+        break;
+      case Mode::OcB: {
+        // Off-peak only: the diurnal peak sits at 16:00, so OC-B
+        // overclocks from 22:00 to 10:00 and rides nominal through
+        // the daytime ramp (the paper's "periods of power
+        // underutilization").
+        const double hour =
+            std::fmod(observation.t, kSecondsPerDay) / kSecondsPerHour;
+        const bool off_peak = hour < 10.0 || hour >= 22.0;
+        action.frequencyCeiling = off_peak ? cap : floor;
+        break;
+      }
+    }
+    return action;
+}
+
+// ----- PidTjController ---------------------------------------------------
+
+PidTjController::PidTjController(Celsius setpoint, GHz floor_in,
+                                 GHz cap_in, PidGains gains_in)
+    : target(setpoint), floor(floor_in), cap(cap_in), gains(gains_in)
+{
+    util::fatalIf(cap <= floor, "PidTjController: cap <= floor");
+}
+
+Action
+PidTjController::decide(const Observation &observation)
+{
+    // Positive error = thermal headroom below the setpoint = room to
+    // buy frequency.
+    const double error = target - observation.maxTjC;
+    if (!primed) {
+        prevError = error;
+        primed = true;
+    }
+    integrator = std::clamp(integrator + gains.ki * error, 0.0, 1.0);
+    const double derivative = gains.kd * (error - prevError);
+    prevError = error;
+    const double u =
+        std::clamp(gains.kp * error + integrator + derivative, 0.0, 1.0);
+    Action action;
+    action.frequencyCeiling = floor + u * (cap - floor);
+    return action;
+}
+
+// ----- GreedyTcoController -----------------------------------------------
+
+GreedyTcoController::GreedyTcoController(GHz floor, GHz cap,
+                                         std::size_t levels,
+                                         Seconds sla_p99,
+                                         double sla_penalty)
+    : ladder(buildLadder(floor, cap, levels)), slaP99(sla_p99),
+      slaPenalty(sla_penalty), forecaster(0.4, 0.2),
+      level(ladder.size() - 1)
+{}
+
+Action
+GreedyTcoController::decide(const Observation &observation)
+{
+    // Track load so exploration pauses while the diurnal ramp (not the
+    // climber's own move) is what changes the objective. The +1 guards
+    // the forecaster's strictly-increasing-time contract at t = 0.
+    forecaster.observe(observation.t + 1.0, observation.meanUtil);
+    const double predicted =
+        forecaster.forecast(300.0); // one epoch ahead
+    const bool load_swinging =
+        std::abs(predicted - observation.meanUtil) > 0.05;
+
+    const double objective =
+        tcoObjective(observation, slaP99, slaPenalty);
+    if (!primed) {
+        prevObjective = objective;
+        primed = true;
+    } else if (!load_swinging && observation.epochRequests > 0.0) {
+        // Keep walking while the objective improves; turn around when
+        // it worsens (ties keep the direction: no thrash on plateaus).
+        if (objective > prevObjective)
+            direction = -direction;
+        prevObjective = objective;
+        const long next = static_cast<long>(level) + direction;
+        if (next < 0 || next >= static_cast<long>(ladder.size()))
+            direction = -direction;
+        level = static_cast<std::size_t>(
+            std::clamp<long>(static_cast<long>(level) + direction, 0,
+                             static_cast<long>(ladder.size()) - 1));
+    }
+
+    Action action;
+    action.frequencyCeiling = ladder[level];
+    return action;
+}
+
+// ----- BanditController --------------------------------------------------
+
+BanditController::BanditController(GHz floor, GHz cap,
+                                   std::uint64_t seed,
+                                   std::size_t levels, double epsilon_in,
+                                   Seconds sla_p99)
+    : ladder(buildLadder(floor, cap, levels)),
+      value(ladder.size(), 0.0), pulls(ladder.size(), 0), rng(seed),
+      epsilon(epsilon_in), slaP99(sla_p99),
+      lastArm(ladder.size() - 1)
+{
+    util::fatalIf(epsilon < 0.0 || epsilon > 1.0,
+                  "BanditController: epsilon out of [0,1]");
+}
+
+Action
+BanditController::decide(const Observation &observation)
+{
+    // Credit assignment is one epoch late: this observation reflects
+    // the arm pulled last time.
+    if (primed && observation.epochRequests > 0.0) {
+        const double reward =
+            -tcoObjective(observation, slaP99, /*sla_penalty=*/50.0);
+        ++pulls[lastArm];
+        value[lastArm] +=
+            (reward - value[lastArm]) / static_cast<double>(pulls[lastArm]);
+    }
+    primed = true;
+
+    std::size_t arm;
+    if (rng.uniform() < epsilon) {
+        arm = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(ladder.size()) - 1));
+    } else {
+        // Greedy arm; unpulled arms (value 0) win early, which seeds
+        // exploration of the whole ladder. Ties break low-index for
+        // determinism.
+        arm = 0;
+        for (std::size_t i = 1; i < ladder.size(); ++i) {
+            if (value[i] > value[arm])
+                arm = i;
+        }
+    }
+    lastArm = arm;
+
+    Action action;
+    action.frequencyCeiling = ladder[arm];
+    return action;
+}
+
+// ----- runEpisode --------------------------------------------------------
+
+ControlOutcome
+runEpisode(ControlEnv &env, Controller &controller)
+{
+    env.act(controller.decide(env.observe()));
+    while (env.step())
+        env.act(controller.decide(env.observe()));
+    return env.finish();
+}
+
+} // namespace control
+} // namespace imsim

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Baseline controllers for the closed-loop control environment.
+ *
+ * Three learning-free controllers spanning the classic design space —
+ * a PID servo on the hottest junction temperature, a greedy
+ * hill-climber on per-epoch TCO, and an epsilon-greedy bandit over
+ * discrete frequency ceilings — plus the static OC-A / OC-B schedules
+ * from the paper as the yardsticks they must beat. Every controller is
+ * deterministic for a fixed seed and observation sequence, so the
+ * bench's Pareto fronts are exactly reproducible.
+ */
+
+#ifndef IMSIM_CONTROL_CONTROLLERS_HH
+#define IMSIM_CONTROL_CONTROLLERS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "autoscale/predictive.hh"
+#include "control/env.hh"
+#include "util/random.hh"
+#include "util/units.hh"
+
+namespace imsim {
+namespace control {
+
+/** Per-epoch policy: observation in, action out. */
+class Controller
+{
+  public:
+    virtual ~Controller() = default;
+
+    /** @return a stable display name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Choose the next epoch's action from the last observation. */
+    virtual Action decide(const Observation &observation) = 0;
+};
+
+/**
+ * The paper's static schedules: Baseline never overclocks, OC-A
+ * overclocks around the clock, OC-B only off-peak (the diurnal trough
+ * side, when the feed has headroom).
+ */
+class StaticOcController : public Controller
+{
+  public:
+    enum class Mode
+    {
+        Baseline, ///< Ceiling pinned at the nominal point.
+        OcA,      ///< Ceiling pinned at the overclock point.
+        OcB,      ///< Overclock 22:00-10:00, nominal through the peak.
+    };
+
+    /**
+     * @param mode      Schedule to follow.
+     * @param floor     Nominal-frequency ceiling [GHz].
+     * @param cap       Overclock-frequency ceiling [GHz].
+     */
+    StaticOcController(Mode mode, GHz floor, GHz cap);
+
+    const char *name() const override;
+    Action decide(const Observation &observation) override;
+
+  private:
+    Mode mode;
+    GHz floor;
+    GHz cap;
+};
+
+/**
+ * PID servo holding the fleet's hottest junction at a setpoint: the
+ * control signal u in [0, 1] maps linearly onto the [nominal,
+ * overclock] ceiling range, so positive thermal headroom buys
+ * frequency and overshoot sheds it. Gains are in ceiling-fractions per
+ * degree; the integrator is clamped to the actuator range
+ * (anti-windup).
+ */
+/** PID gains in ceiling-fractions per degree (and per epoch). */
+struct PidGains
+{
+    double kp = 0.10;  ///< [1/C]
+    double ki = 0.02;  ///< [1/(C*epoch)]
+    double kd = 0.05;  ///< [epoch/C]
+};
+
+class PidTjController : public Controller
+{
+  public:
+    /**
+     * @param setpoint Target max junction temperature [C].
+     * @param floor    Nominal-frequency ceiling [GHz].
+     * @param cap      Overclock-frequency ceiling [GHz].
+     * @param gains    PID gains (defaulted; tuned for the default env).
+     */
+    PidTjController(Celsius setpoint, GHz floor, GHz cap,
+                    PidGains gains = PidGains{});
+
+    const char *name() const override { return "pid-tj"; }
+    Action decide(const Observation &observation) override;
+
+    /** @return the temperature setpoint [C]. */
+    Celsius setpoint() const { return target; }
+
+  private:
+    Celsius target;
+    GHz floor;
+    GHz cap;
+    PidGains gains;
+    double integrator = 0.0;
+    double prevError = 0.0;
+    bool primed = false;
+};
+
+/**
+ * Greedy TCO hill-climber over a discrete ceiling ladder: each epoch
+ * scores the last epoch's cost per completed request (plus an SLA
+ * penalty when the tail breached), keeps walking the ladder in the
+ * current direction while the objective improves, and turns around
+ * when it worsens. A HoltForecaster over mean utilization gates
+ * exploration: while the forecast says load is swinging, the climber
+ * holds its level instead of attributing the swing to its own move.
+ */
+class GreedyTcoController : public Controller
+{
+  public:
+    /**
+     * @param floor        Nominal-frequency ceiling [GHz].
+     * @param cap          Overclock-frequency ceiling [GHz].
+     * @param levels       Ladder rungs between floor and cap (>= 2).
+     * @param sla_p99      Tail-latency SLA [s] for the penalty term.
+     * @param sla_penalty  Objective penalty per breached epoch [USD/Mreq].
+     */
+    GreedyTcoController(GHz floor, GHz cap, std::size_t levels = 5,
+                        Seconds sla_p99 = 1.0,
+                        double sla_penalty = 50.0);
+
+    const char *name() const override { return "greedy-tco"; }
+    Action decide(const Observation &observation) override;
+
+  private:
+    std::vector<GHz> ladder;
+    Seconds slaP99;
+    double slaPenalty;
+    autoscale::HoltForecaster forecaster;
+    std::size_t level;     ///< Current rung (starts at the top).
+    int direction = -1;    ///< Ladder walk direction.
+    double prevObjective = 0.0;
+    bool primed = false;
+};
+
+/**
+ * Epsilon-greedy bandit over the same discrete ceiling ladder: each
+ * arm's value is the running mean of the per-epoch reward (negative
+ * cost per request, minus the SLA penalty), explored with probability
+ * epsilon from the controller's own seeded stream. Credit is assigned
+ * one epoch late — an observation reflects the previously pulled arm.
+ */
+class BanditController : public Controller
+{
+  public:
+    /**
+     * @param floor    Nominal-frequency ceiling [GHz].
+     * @param cap      Overclock-frequency ceiling [GHz].
+     * @param seed     Seed of the exploration stream.
+     * @param levels   Number of arms (>= 2).
+     * @param epsilon  Exploration probability.
+     * @param sla_p99  Tail-latency SLA [s] for the penalty term.
+     */
+    BanditController(GHz floor, GHz cap, std::uint64_t seed,
+                     std::size_t levels = 5, double epsilon = 0.1,
+                     Seconds sla_p99 = 1.0);
+
+    const char *name() const override { return "bandit"; }
+    Action decide(const Observation &observation) override;
+
+  private:
+    std::vector<GHz> ladder;
+    std::vector<double> value; ///< Running mean reward per arm.
+    std::vector<std::size_t> pulls;
+    util::Rng rng;
+    double epsilon;
+    Seconds slaP99;
+    std::size_t lastArm = 0;
+    bool primed = false;
+};
+
+/**
+ * Drive @p env to the horizon under @p controller and return the final
+ * outcome: act on the initial observation, then observe-decide-act
+ * every epoch.
+ */
+ControlOutcome runEpisode(ControlEnv &env, Controller &controller);
+
+} // namespace control
+} // namespace imsim
+
+#endif // IMSIM_CONTROL_CONTROLLERS_HH

@@ -28,8 +28,14 @@ std::vector<TraceSample>
 TraceGenerator::generate(util::Rng &rng, double days) const
 {
     util::fatalIf(days <= 0.0, "TraceGenerator: days must be positive");
-    const auto samples = static_cast<std::size_t>(
-        days * kSecondsPerDay / cfg.sampleInterval);
+    // Round the sample count up so an interval that does not divide the
+    // horizon keeps its final partial sample instead of silently
+    // truncating it; the epsilon keeps exact multiples stable against
+    // floating-point representation of days * seconds / interval.
+    const double exact_samples =
+        days * kSecondsPerDay / cfg.sampleInterval;
+    const auto samples =
+        static_cast<std::size_t>(std::ceil(exact_samples - 1e-9));
     std::vector<TraceSample> out;
     out.reserve(samples);
 
@@ -41,10 +47,11 @@ TraceGenerator::generate(util::Rng &rng, double days) const
         const double day_frac = std::fmod(t, kSecondsPerDay) /
                                 kSecondsPerDay;
         const double day_index = t / kSecondsPerDay;
-        // Diurnal: trough ~04:00, peak ~16:00.
+        // Diurnal: trough at 04:00, peak at 16:00 — the 5/12-day phase
+        // puts the sine maximum at day fraction 2/3 (16:00) exactly.
         const double diurnal =
             cfg.diurnalAmplitude *
-            std::sin(2.0 * kPi * (day_frac - 0.292));
+            std::sin(2.0 * kPi * (day_frac - 5.0 / 12.0));
         // Weekly: days 5 and 6 of each week dip.
         const bool weekend = std::fmod(day_index, 7.0) >= 5.0;
         const double weekly = weekend ? -cfg.weekendDip : 0.0;

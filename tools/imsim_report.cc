@@ -226,6 +226,131 @@ resultsSection(const exp::RunReport &report)
     return html;
 }
 
+/**
+ * Latency/cost Pareto scatter for control reports (bench_control):
+ * every sweep point plotted on (P99 latency, cost per Mreq), the
+ * non-dominated front marked and connected, and a table of the front
+ * rows beneath. Applies the same strict-domination test the bench's
+ * stdout table uses, so the page and the console agree on the front.
+ */
+std::string
+paretoSection(const exp::RunReport &report)
+{
+    const auto &records = report.records();
+    std::vector<double> p99;
+    std::vector<double> cost;
+    std::vector<std::string> labels;
+    for (const auto &record : records) {
+        if (!record.metrics.has("p99_ms") ||
+            !record.metrics.has("cost_per_mreq"))
+            continue;
+        p99.push_back(record.metrics.get("p99_ms"));
+        cost.push_back(record.metrics.get("cost_per_mreq"));
+        std::string label;
+        for (const auto &param : record.params)
+            label += (label.empty() ? "" : " @ ") + param.second;
+        labels.push_back(label);
+    }
+    util::fatalIf(p99.empty(),
+                  "report has no points with p99_ms and cost_per_mreq");
+
+    // Both axes minimized: dominated = some other point is no worse on
+    // both and strictly better on at least one.
+    std::vector<bool> front(p99.size(), true);
+    for (std::size_t a = 0; a < p99.size(); ++a)
+        for (std::size_t b = 0; b < p99.size(); ++b)
+            if (a != b && p99[b] <= p99[a] && cost[b] <= cost[a] &&
+                (p99[b] < p99[a] || cost[b] < cost[a])) {
+                front[a] = false;
+                break;
+            }
+
+    const int w = 460;
+    const int h = 300;
+    const int pad = 40;
+    double p_lo = p99[0];
+    double p_hi = p99[0];
+    double c_lo = cost[0];
+    double c_hi = cost[0];
+    for (std::size_t i = 0; i < p99.size(); ++i) {
+        p_lo = std::min(p_lo, p99[i]);
+        p_hi = std::max(p_hi, p99[i]);
+        c_lo = std::min(c_lo, cost[i]);
+        c_hi = std::max(c_hi, cost[i]);
+    }
+    const double p_span = p_hi > p_lo ? p_hi - p_lo : 1.0;
+    const double c_span = c_hi > c_lo ? c_hi - c_lo : 1.0;
+    const auto px = [&](double v) {
+        return fmtCoord(pad + (v - p_lo) / p_span * (w - 2.0 * pad));
+    };
+    const auto py = [&](double v) {
+        return fmtCoord(h - pad - (v - c_lo) / c_span * (h - 2.0 * pad));
+    };
+
+    std::string svg =
+        "<svg class=\"timeline\" width=\"" + std::to_string(w) +
+        "\" height=\"" + std::to_string(h) + "\" viewBox=\"0 0 " +
+        std::to_string(w) + " " + std::to_string(h) + "\">";
+    svg += "<line x1=\"" + std::to_string(pad) + "\" y1=\"" +
+           std::to_string(h - pad) + "\" x2=\"" +
+           std::to_string(w - pad) + "\" y2=\"" +
+           std::to_string(h - pad) + "\" stroke=\"#999\"/>";
+    svg += "<line x1=\"" + std::to_string(pad) + "\" y1=\"" +
+           std::to_string(pad) + "\" x2=\"" + std::to_string(pad) +
+           "\" y2=\"" + std::to_string(h - pad) + "\" stroke=\"#999\"/>";
+    svg += "<text class=\"axis\" x=\"" + std::to_string(w / 2) +
+           "\" y=\"" + std::to_string(h - 8) +
+           "\" text-anchor=\"middle\">P99 latency [ms] (" +
+           fmtNum(p_lo) + " &#8211; " + fmtNum(p_hi) + ")</text>";
+    svg += "<text class=\"axis\" x=\"12\" y=\"" +
+           std::to_string(h / 2) + "\" text-anchor=\"middle\" "
+           "transform=\"rotate(-90 12 " + std::to_string(h / 2) +
+           ")\">USD/Mreq (" + fmtNum(c_lo) + " &#8211; " +
+           fmtNum(c_hi) + ")</text>";
+
+    // Connect the front in latency order so the trade-off curve reads
+    // left to right.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < p99.size(); ++i)
+        if (front[i])
+            order.push_back(i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return p99[a] < p99[b];
+              });
+    std::string points;
+    for (std::size_t i : order) {
+        if (!points.empty())
+            points += " ";
+        points += px(p99[i]) + "," + py(cost[i]);
+    }
+    if (order.size() > 1)
+        svg += "<polyline fill=\"none\" stroke=\"#2a6f97\" "
+               "stroke-dasharray=\"4 3\" points=\"" + points + "\"/>";
+    for (std::size_t i = 0; i < p99.size(); ++i) {
+        svg += "<circle cx=\"" + px(p99[i]) + "\" cy=\"" +
+               py(cost[i]) + "\" r=\"4\" " +
+               (front[i] ? "fill=\"#2a6f97\""
+                         : "fill=\"none\" stroke=\"#b55\"") +
+               "/>";
+        svg += "<text class=\"axis\" x=\"" + px(p99[i]) + "\" y=\"" +
+               py(cost[i]) + "\" dx=\"6\" dy=\"-4\">" +
+               htmlEscape(labels[i]) + "</text>";
+    }
+    svg += "</svg>";
+
+    std::string html =
+        "<p>Filled points are non-dominated on (P99 latency, cost per "
+        "million requests); hollow points are dominated by some other "
+        "controller.</p>\n" + svg + "\n<table>\n" +
+        tableRow({"Point", "P99 [ms]", "USD/Mreq"}, true);
+    for (std::size_t i : order)
+        html += tableRow({htmlEscape(labels[i]), fmtNum(p99[i]),
+                          fmtNum(cost[i])});
+    html += "</table>\n";
+    return html;
+}
+
 /** Per-point wall-clock bars from the report's timing section. */
 std::string
 timingSection(const exp::RunReport &report)
@@ -811,6 +936,14 @@ main(int argc, char **argv)
     html += "<h2>Provenance</h2>\n" + manifestSection(report);
     html += "<h2>Results (" + std::to_string(report.records().size()) +
             " sweep points)</h2>\n" + resultsSection(report);
+    // Control reports (bench_control) get the latency/cost trade-off
+    // plotted; detection is by report name so other sweeps that happen
+    // to share metric names are left alone.
+    if (report.name() == "control")
+        html += "<h2>Latency/cost Pareto front</h2>\n" +
+                gracefulSection("pareto", [&] {
+                    return paretoSection(report);
+                });
     if (report.hasTiming())
         html += "<h2>Wall-clock timing</h2>\n" + timingSection(report);
 
